@@ -1,0 +1,38 @@
+//! Micro-benchmark: the latency histogram on the simulators' hot path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use c3_metrics::LogHistogram;
+
+fn bench_histogram(c: &mut Criterion) {
+    c.bench_function("histogram_record", |b| {
+        let mut h = LogHistogram::new();
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(black_box(x % 100_000_000));
+        })
+    });
+
+    c.bench_function("histogram_p999", |b| {
+        let mut h = LogHistogram::new();
+        let mut x = 1u64;
+        for _ in 0..1_000_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(x % 100_000_000);
+        }
+        b.iter(|| black_box(h.value_at_quantile(0.999)))
+    });
+
+    c.bench_function("histogram_merge", |b| {
+        let mut a = LogHistogram::new();
+        let mut other = LogHistogram::new();
+        for v in 1..10_000u64 {
+            other.record(v * 7919 % 50_000_000);
+        }
+        b.iter(|| a.merge(black_box(&other)))
+    });
+}
+
+criterion_group!(benches, bench_histogram);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Micro-benchmark: the token bucket and cubic rate adaptation, which sit
+//! on the per-request fast path of every C3 client.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use c3_core::{C3Config, Nanos, RateLimiter};
+
+fn bench_rate(c: &mut Criterion) {
+    let cfg = C3Config::default();
+
+    c.bench_function("rate_try_acquire", |b| {
+        let mut rl = RateLimiter::new(&cfg, Nanos::ZERO);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 50_000; // 0.05 ms per call
+            black_box(rl.try_acquire(Nanos(t)))
+        })
+    });
+
+    c.bench_function("rate_on_response", |b| {
+        let mut rl = RateLimiter::new(&cfg, Nanos::ZERO);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 50_000;
+            rl.on_response(Nanos(t));
+            black_box(rl.srate())
+        })
+    });
+
+    c.bench_function("rate_full_cycle", |b| {
+        let mut rl = RateLimiter::new(&cfg, Nanos::ZERO);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 50_000;
+            if rl.try_acquire(Nanos(t)) {
+                rl.on_response(Nanos(t + 2_000_000));
+            }
+            black_box(rl.srate())
+        })
+    });
+}
+
+criterion_group!(benches, bench_rate);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Micro-benchmark: the end-to-end C3 client decision loop
+//! (select, send accounting, response processing) against a 50-server
+//! fleet with RF = 3 groups, as in the paper's simulator setup.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use c3_core::{C3Config, C3State, Feedback, Nanos, SendDecision};
+
+fn bench_scheduler(c: &mut Criterion) {
+    let cfg = C3Config {
+        initial_rate: 1_000.0,
+        ..C3Config::for_clients(150)
+    };
+
+    c.bench_function("c3_try_send_rf3", |b| {
+        let mut st = C3State::new(50, cfg, Nanos::ZERO);
+        let mut t = 0u64;
+        let mut g = 0usize;
+        b.iter(|| {
+            t += 20_000;
+            g = (g + 1) % 50;
+            let group = [g, (g + 1) % 50, (g + 2) % 50];
+            match st.try_send(&group, Nanos(t)) {
+                SendDecision::Send(s) => {
+                    st.record_send(s);
+                    st.on_response(
+                        s,
+                        Nanos::from_millis(4),
+                        Some(&Feedback::new(3, Nanos::from_millis(3))),
+                        Nanos(t + 4_000_000),
+                    );
+                    black_box(s)
+                }
+                SendDecision::Backpressure { .. } => black_box(0),
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

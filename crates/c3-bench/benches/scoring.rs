@@ -1,0 +1,48 @@
+//! Micro-benchmark: the C3 scoring function and replica ranking.
+//!
+//! Section 2.3 of the paper criticizes Dynamic Snitching's expensive score
+//! recomputation; C3's per-request scoring must therefore be cheap. This
+//! bench verifies scoring and ranking cost tens of nanoseconds.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use c3_core::{rank_by_score, score, C3Config, TrackerSnapshot};
+
+fn snapshots(n: usize) -> Vec<TrackerSnapshot> {
+    (0..n)
+        .map(|i| TrackerSnapshot {
+            outstanding: (i % 5) as u32,
+            queue_size: Some(1.0 + i as f64),
+            service_time_ms: Some(2.0 + (i % 7) as f64),
+            response_time_ms: Some(3.0 + (i % 11) as f64),
+        })
+        .collect()
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let cfg = C3Config::for_clients(150);
+    let snaps = snapshots(64);
+
+    c.bench_function("score_single_server", |b| {
+        b.iter(|| score(black_box(&cfg), black_box(&snaps[7])))
+    });
+
+    c.bench_function("rank_replica_group_rf3", |b| {
+        let mut group = vec![3usize, 17, 42];
+        b.iter(|| {
+            rank_by_score(black_box(&cfg), black_box(&mut group), |s| snaps[s]);
+            group[0]
+        })
+    });
+
+    c.bench_function("rank_replica_group_rf15", |b| {
+        let mut group: Vec<usize> = (0..15).collect();
+        b.iter(|| {
+            rank_by_score(black_box(&cfg), black_box(&mut group), |s| snaps[s]);
+            group[0]
+        })
+    });
+}
+
+criterion_group!(benches, bench_scoring);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Macro-benchmark: end-to-end simulator throughput, which bounds how
+//! large a parameter sweep the harness can afford.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use c3_core::Nanos;
+use c3_sim::{SimConfig, Simulation, StrategyKind};
+
+fn small_cfg(strategy: StrategyKind) -> SimConfig {
+    SimConfig {
+        servers: 20,
+        clients: 40,
+        generators: 40,
+        total_requests: 20_000,
+        fluctuation_interval: Nanos::from_millis(100),
+        strategy,
+        seed: 9,
+        ..SimConfig::default()
+    }
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_20k_requests");
+    group.sample_size(10);
+    for strategy in [StrategyKind::C3, StrategyKind::Lor, StrategyKind::Oracle] {
+        group.bench_function(format!("{strategy:?}"), |b| {
+            b.iter_batched(
+                || Simulation::new(small_cfg(strategy)),
+                |sim| sim.run(),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Micro-benchmark: workload generation (Zipfian sampling dominates the
+//! YCSB-style generators).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use c3_workload::{exp_sample, ScrambledZipfian, WorkloadMix, Zipfian};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_workload(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(7);
+
+    let zipf = Zipfian::ycsb(10_000_000);
+    c.bench_function("zipfian_sample_10M", |b| {
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
+
+    let scrambled = ScrambledZipfian::ycsb(10_000_000);
+    c.bench_function("scrambled_zipfian_sample_10M", |b| {
+        b.iter(|| black_box(scrambled.sample(&mut rng)))
+    });
+
+    let mix = WorkloadMix::read_heavy();
+    c.bench_function("mix_sample", |b| b.iter(|| black_box(mix.sample(&mut rng))));
+
+    c.bench_function("exp_sample", |b| {
+        b.iter(|| black_box(exp_sample(&mut rng, 4.0)))
+    });
+}
+
+criterion_group!(benches, bench_workload);
+criterion_main!(benches);

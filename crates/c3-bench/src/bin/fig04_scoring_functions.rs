@@ -1,0 +1,4 @@
+//! Reproduces one artifact of the C3 paper; see DESIGN.md for the index.
+fn main() {
+    c3_bench::analytic::fig04();
+}

@@ -1,0 +1,6 @@
+//! Reproduces one artifact of the C3 paper; see DESIGN.md for the index.
+use c3_bench::support::Scale;
+
+fn main() {
+    c3_bench::cluster_experiments::fig11(Scale::from_env());
+}

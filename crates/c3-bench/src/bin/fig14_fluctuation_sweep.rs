@@ -1,0 +1,6 @@
+//! Reproduces one artifact of the C3 paper; see DESIGN.md for the index.
+use c3_bench::support::Scale;
+
+fn main() {
+    c3_bench::sim_experiments::fig14(Scale::from_env());
+}

@@ -1,0 +1,467 @@
+//! Cluster-backed experiments: Figures 2, 6–13, Table 1 and the two §5
+//! text experiments (skewed records, speculative retries).
+
+use c3_cluster::{Cluster, ClusterConfig, ClusterStrategy, DiskKind, PerturbationSpec,
+    ScriptedSlowdown, WorkloadPhase};
+use c3_core::Nanos;
+use c3_metrics::{moving_median, ns_to_ms, Ecdf, RunSet, Table};
+use c3_workload::WorkloadMix;
+
+use crate::support::{across_seeds, banner, runs_from_env, Scale};
+
+fn base_cfg(strategy: ClusterStrategy, mix: WorkloadMix, scale: Scale, seed: u64) -> ClusterConfig {
+    ClusterConfig {
+        total_ops: scale.cluster_ops(),
+        warmup_ops: scale.cluster_ops() / 20,
+        strategy,
+        mix,
+        seed,
+        ..ClusterConfig::default()
+    }
+}
+
+/// Figure 2: load oscillations under Dynamic Snitching — the per-100 ms
+/// request counts at the most-utilized node swing between ~0 and the whole
+/// cluster's attention.
+pub fn fig02(scale: Scale) {
+    banner("F2", "Dynamic Snitching load oscillations (Figure 2)");
+    let mut table = Table::new(vec![
+        "strategy",
+        "busiest-node reads/100ms: p1",
+        "median",
+        "p99",
+        "max",
+        "swing (p99-p1)/median",
+        "coeff. of variation",
+    ]);
+    for strategy in [ClusterStrategy::DynamicSnitching, ClusterStrategy::C3] {
+        let res = Cluster::new(base_cfg(strategy, WorkloadMix::read_heavy(), scale, 1)).run();
+        let busiest = res.busiest_node();
+        let counts = res.server_load[busiest].counts().to_vec();
+        let mean = counts.iter().sum::<u64>() as f64 / counts.len().max(1) as f64;
+        let var = counts
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
+            / counts.len().max(1) as f64;
+        let cv = var.sqrt() / mean.max(1e-9);
+        let ecdf = Ecdf::from_samples(counts);
+        table.row(vec![
+            res.strategy.clone(),
+            format!("{}", ecdf.quantile(0.01)),
+            format!("{}", ecdf.quantile(0.5)),
+            format!("{}", ecdf.quantile(0.99)),
+            format!("{}", ecdf.max()),
+            format!(
+                "{:.2}",
+                ecdf.quantile(0.99).saturating_sub(ecdf.quantile(0.01)) as f64
+                    / ecdf.quantile(0.5).max(1) as f64
+            ),
+            format!("{cv:.2}"),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "The paper's Figure 2 shows DS swinging between 0 and ~500 requests\n\
+         per 100 ms — load bursts far wider than the node's typical level.\n\
+         The reproduction targets are the swing relative to the median and\n\
+         the coefficient of variation: both should be far higher for DS."
+    );
+}
+
+/// Table 1 + §2.2: the replica-selection landscape measured under one
+/// workload. Each row is a strategy emulating one of the popular stores.
+pub fn table1(scale: Scale) {
+    banner(
+        "T1",
+        "selection mechanisms in popular NoSQL stores, measured (Table 1)",
+    );
+    let mut table = Table::new(vec![
+        "strategy (store)",
+        "median ms",
+        "p99 ms",
+        "p99.9 ms",
+        "reads/s",
+    ]);
+    let rows: [(ClusterStrategy, &str); 5] = [
+        (ClusterStrategy::PrimaryOnly, "Primary (OpenStack Swift)"),
+        (ClusterStrategy::NearestNode, "Nearest (MongoDB)"),
+        (ClusterStrategy::Lor, "LOR (Riak behind Nginx/ELB)"),
+        (ClusterStrategy::DynamicSnitching, "DS (Cassandra)"),
+        (ClusterStrategy::C3, "C3 (this paper)"),
+    ];
+    for (strategy, label) in rows {
+        let res = Cluster::new(base_cfg(strategy, WorkloadMix::read_heavy(), scale, 1)).run();
+        let s = res.summary();
+        table.row(vec![
+            label.to_string(),
+            format!("{:.2}", s.metric_ms("median")),
+            format!("{:.2}", s.metric_ms("p99")),
+            format!("{:.2}", s.metric_ms("p999")),
+            format!("{:.0}", res.read_throughput()),
+        ]);
+    }
+    println!("{table}");
+}
+
+/// Figures 6 and 7: latency profile and read throughput for C3 vs DS
+/// across the three workload mixes, averaged over seeds with 95% CIs.
+pub fn fig06_fig07(scale: Scale) {
+    banner(
+        "F6+F7",
+        "latency profile and read throughput, C3 vs DS (Figures 6, 7)",
+    );
+    let runs = runs_from_env();
+    let mut lat_table = Table::new(vec![
+        "workload", "strategy", "mean ms", "median ms", "p95 ms", "p99 ms", "p99.9 ms",
+        "p99.9−median ms",
+    ]);
+    let mut thr_table = Table::new(vec!["workload", "strategy", "reads/s (95% CI)"]);
+    for mix in [
+        WorkloadMix::read_heavy(),
+        WorkloadMix::read_only(),
+        WorkloadMix::update_heavy(),
+    ] {
+        let mut tail_gap = Vec::new();
+        for strategy in [ClusterStrategy::C3, ClusterStrategy::DynamicSnitching] {
+            let mut mean = RunSet::new();
+            let mut median = RunSet::new();
+            let mut p95 = RunSet::new();
+            let mut p99 = RunSet::new();
+            let mut p999 = RunSet::new();
+            let thr = across_seeds(runs, |seed| {
+                let res = Cluster::new(base_cfg(strategy, mix, scale, seed)).run();
+                let s = res.summary();
+                mean.push(s.mean_ms());
+                median.push(s.metric_ms("median"));
+                p95.push(s.metric_ms("p95"));
+                p99.push(s.metric_ms("p99"));
+                p999.push(s.metric_ms("p999"));
+                res.read_throughput()
+            });
+            let gap = p999.mean() - median.mean();
+            tail_gap.push(gap);
+            lat_table.row(vec![
+                mix.label().to_string(),
+                strategy.label().to_string(),
+                format!("{:.2}", mean.mean()),
+                format!("{:.2}", median.mean()),
+                format!("{:.2}", p95.mean()),
+                format!("{:.2}", p99.mean()),
+                format!("{:.2}", p999.mean()),
+                format!("{gap:.2}"),
+            ]);
+            thr_table.row(vec![
+                mix.label().to_string(),
+                strategy.label().to_string(),
+                format!("{}", thr.ci95()),
+            ]);
+        }
+        println!(
+            "{}: tail-minus-median improvement C3 vs DS = {:.2}x",
+            mix.label(),
+            tail_gap[1] / tail_gap[0].max(1e-9)
+        );
+    }
+    println!("\nFigure 6 (latency):\n{lat_table}");
+    println!("Figure 7 (read throughput):\n{thr_table}");
+    println!(
+        "Paper shapes: C3 improves every percentile, cuts p99.9−median by\n\
+         ~3x (read-heavy) / ~2.6x (others), and lifts throughput 26–43%."
+    );
+}
+
+/// Figures 8 and 9: load conditioning — distribution and time series of the
+/// most-utilized node's per-100 ms served reads.
+pub fn fig08_fig09(scale: Scale) {
+    banner(
+        "F8+F9",
+        "load distribution and time series on the busiest node (Figures 8, 9)",
+    );
+    let mut table = Table::new(vec![
+        "strategy",
+        "busiest reads/100ms median",
+        "p99",
+        "p99−median",
+        "total served by busiest",
+    ]);
+    for strategy in [ClusterStrategy::C3, ClusterStrategy::DynamicSnitching] {
+        let res = Cluster::new(base_cfg(strategy, WorkloadMix::read_heavy(), scale, 1)).run();
+        let busiest = res.busiest_node();
+        let w = &res.server_load[busiest];
+        let ecdf = Ecdf::from_samples(w.counts().to_vec());
+        table.row(vec![
+            res.strategy.clone(),
+            format!("{}", ecdf.quantile(0.5)),
+            format!("{}", ecdf.quantile(0.99)),
+            format!("{}", ecdf.quantile(0.99).saturating_sub(ecdf.quantile(0.5))),
+            format!("{}", w.total()),
+        ]);
+        // Figure 9: a downsampled slice of the time series.
+        let counts = w.counts();
+        let n = counts.len().min(100);
+        let series: Vec<String> = counts[..n]
+            .chunks(10)
+            .map(|c| format!("{}", c.iter().sum::<u64>() / c.len() as u64))
+            .collect();
+        println!(
+            "{} busiest-node reads/100ms (1s averages over first {}s): {}",
+            res.strategy,
+            n / 10,
+            series.join(" ")
+        );
+    }
+    println!("{table}");
+    println!(
+        "Paper shape: despite higher total throughput, C3's busiest node\n\
+         serves a *narrower* load band (lower p99−median) than DS's."
+    );
+}
+
+/// Figure 10: degradation when the offered load rises from 120 to 210
+/// generators (read-heavy).
+pub fn fig10(scale: Scale) {
+    banner("F10", "performance at higher system utilization (Figure 10)");
+    let mut table = Table::new(vec![
+        "strategy", "generators", "median ms", "p95 ms", "p99 ms", "p99.9 ms",
+    ]);
+    let mut degr: Vec<(String, f64, f64)> = Vec::new();
+    for strategy in [ClusterStrategy::C3, ClusterStrategy::DynamicSnitching] {
+        let mut p999s = Vec::new();
+        for generators in [120usize, 210] {
+            let mut cfg = base_cfg(strategy, WorkloadMix::read_heavy(), scale, 1);
+            cfg.generators = generators;
+            let res = Cluster::new(cfg).run();
+            let s = res.summary();
+            p999s.push(s.metric_ms("p999"));
+            table.row(vec![
+                res.strategy.clone(),
+                format!("{generators}"),
+                format!("{:.2}", s.metric_ms("median")),
+                format!("{:.2}", s.metric_ms("p95")),
+                format!("{:.2}", s.metric_ms("p99")),
+                format!("{:.2}", s.metric_ms("p999")),
+            ]);
+        }
+        degr.push((strategy.label().to_string(), p999s[0], p999s[1]));
+    }
+    println!("{table}");
+    for (name, lo, hi) in degr {
+        println!("{name}: p99.9 degradation at +75% load = {:.0}%", (hi / lo - 1.0) * 100.0);
+    }
+    println!("Paper shape: C3 degrades roughly proportionally to load; DS worse.");
+}
+
+/// Figure 11: an update-heavy workload joins a running read-heavy workload;
+/// the moving median of read latencies shows C3 degrading gracefully.
+pub fn fig11(scale: Scale) {
+    banner("F11", "adaptation to dynamic workload change (Figure 11)");
+    // Scaled-down timeline: the paper adds 40 generators at t = 640 s of a
+    // long run; we add them mid-run.
+    let phase_at = Nanos::from_secs(match scale {
+        Scale::Quick => 8,
+        Scale::Full => 60,
+    });
+    for strategy in [ClusterStrategy::C3, ClusterStrategy::DynamicSnitching] {
+        let mut cfg = base_cfg(strategy, WorkloadMix::read_heavy(), scale, 1);
+        cfg.generators = 80;
+        cfg.phase = Some(WorkloadPhase {
+            at: phase_at,
+            extra_generators: 40,
+            mix: WorkloadMix::update_heavy(),
+        });
+        let res = Cluster::new(cfg).with_latency_trace().run();
+        // 50-sample moving median, as the paper plots.
+        let values: Vec<f64> = res
+            .latency_trace
+            .iter()
+            .map(|&(_, l)| ns_to_ms(l.as_nanos()))
+            .collect();
+        let smoothed = moving_median(&values, 50);
+        // Split at the phase-entry point.
+        let split = res
+            .latency_trace
+            .partition_point(|&(t, _)| t < phase_at);
+        let stats = |xs: &[f64]| -> (f64, f64) {
+            if xs.is_empty() {
+                return (0.0, 0.0);
+            }
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            let max = xs.iter().copied().fold(f64::MIN, f64::max);
+            (mean, max)
+        };
+        let (before_mean, before_max) = stats(&smoothed[..split.min(smoothed.len())]);
+        let (after_mean, after_max) = stats(&smoothed[split.min(smoothed.len())..]);
+        println!(
+            "{:3}: moving-median latency before joiners: mean {:.2} ms (max {:.2}); \
+             after: mean {:.2} ms (max {:.2}); spike ratio {:.2}x",
+            res.strategy,
+            before_mean,
+            before_max,
+            after_mean,
+            after_max,
+            after_max / before_mean.max(1e-9),
+        );
+    }
+    println!(
+        "Paper shape: both systems degrade when the 40 update-heavy\n\
+         generators join, but DS shows synchronized latency spikes (high\n\
+         max/mean) while C3 degrades gracefully."
+    );
+}
+
+/// Figure 12: the SSD deployment at 210 generators.
+pub fn fig12(scale: Scale) {
+    banner("F12", "SSD-backed cluster at 210 generators (Figure 12)");
+    let mut table = Table::new(vec![
+        "strategy", "median ms", "p95 ms", "p99 ms", "p99.9 ms", "p99.9−p99 ms", "reads/s",
+    ]);
+    for strategy in [ClusterStrategy::C3, ClusterStrategy::DynamicSnitching] {
+        let mut cfg = base_cfg(strategy, WorkloadMix::read_heavy(), scale, 1);
+        cfg.disk = DiskKind::Ssd;
+        cfg.generators = 210;
+        let res = Cluster::new(cfg).run();
+        let s = res.summary();
+        table.row(vec![
+            res.strategy.clone(),
+            format!("{:.2}", s.metric_ms("median")),
+            format!("{:.2}", s.metric_ms("p95")),
+            format!("{:.2}", s.metric_ms("p99")),
+            format!("{:.2}", s.metric_ms("p999")),
+            format!("{:.2}", s.metric_ms("p999") - s.metric_ms("p99")),
+            format!("{:.0}", res.read_throughput()),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Paper shape: much lower absolute latencies than spinning disks;\n\
+         C3 still cuts p99.9 ~3x and keeps p99.9−p99 tight (<5 ms vs ~20 ms)."
+    );
+}
+
+/// Figure 13: sending-rate adaptation and backpressure on a 7-node cluster
+/// while one node's performance is artificially degraded three times.
+pub fn fig13(scale: Scale) {
+    banner(
+        "F13",
+        "sending-rate adaptation of two coordinators to a degraded peer (Figure 13)",
+    );
+    let tracked_node = 2usize;
+    let episodes = [
+        (Nanos::from_secs(6), Nanos::from_secs(10)),
+        (Nanos::from_secs(12), Nanos::from_millis(12_800)),
+        (Nanos::from_secs(14), Nanos::from_millis(14_800)),
+    ];
+    let mut cfg = base_cfg(ClusterStrategy::C3, WorkloadMix::read_heavy(), scale, 1);
+    cfg.nodes = 7;
+    cfg.generators = 70;
+    cfg.perturbations = PerturbationSpec::none();
+    cfg.scripted = episodes
+        .iter()
+        .map(|&(start, end)| ScriptedSlowdown {
+            node: tracked_node,
+            start,
+            end,
+            multiplier: 8.0,
+        })
+        .collect();
+    let res = Cluster::new(cfg)
+        .with_rate_probes(vec![(0, tracked_node), (1, tracked_node)])
+        .run();
+
+    for (i, trace) in res.rate_traces.iter().enumerate() {
+        let vals = trace.values();
+        let smooth = moving_median(&vals, 25);
+        // Average the smoothed rate in each second for a readable series.
+        let mut per_sec: Vec<(u64, Vec<f64>)> = Vec::new();
+        for (&(t, _), &m) in trace.samples().iter().zip(smooth.iter()) {
+            let sec = t / 1_000_000_000;
+            match per_sec.last_mut() {
+                Some((s, v)) if *s == sec => v.push(m),
+                _ => per_sec.push((sec, vec![m])),
+            }
+        }
+        let series: Vec<String> = per_sec
+            .iter()
+            .map(|(s, v)| format!("{}s:{:.1}", s, v.iter().sum::<f64>() / v.len() as f64))
+            .collect();
+        println!("coordinator {i} srate toward node {tracked_node} (req/δ): {}",
+            series.join(" "));
+    }
+    for (i, events) in res.backpressure_events.iter().enumerate() {
+        let times: Vec<String> = events
+            .iter()
+            .map(|t| format!("{:.1}s", t.as_secs_f64()))
+            .collect();
+        println!("coordinator {i} backpressure events: [{}]", times.join(", "));
+    }
+    println!(
+        "Degradation windows: {:?}",
+        episodes
+            .iter()
+            .map(|&(a, b)| format!("{:.1}-{:.1}s", a.as_secs_f64(), b.as_secs_f64()))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "Paper shape: both coordinators' rate estimates agree, drop\n\
+         multiplicatively inside each degradation window and recover along\n\
+         the cubic curve afterwards; backpressure fires near the windows."
+    );
+}
+
+/// §5 text: Zipfian-distributed record sizes (≤2 KB) — C3 should keep its
+/// advantage with variable-length records.
+pub fn extra_skewed_records(scale: Scale) {
+    banner("X1", "skewed record sizes (§5 text: ~2x p99 win)");
+    let mut table = Table::new(vec!["strategy", "median ms", "p99 ms", "p99.9 ms"]);
+    for strategy in [ClusterStrategy::C3, ClusterStrategy::DynamicSnitching] {
+        let mut cfg = base_cfg(strategy, WorkloadMix::read_heavy(), scale, 1);
+        cfg.skewed_records = true;
+        let res = Cluster::new(cfg).run();
+        let s = res.summary();
+        table.row(vec![
+            res.strategy.clone(),
+            format!("{:.2}", s.metric_ms("median")),
+            format!("{:.2}", s.metric_ms("p99")),
+            format!("{:.2}", s.metric_ms("p999")),
+        ]);
+    }
+    println!("{table}");
+    println!("Paper numbers: C3 p99 ≈ 14 ms vs DS ≈ 30 ms (>2x).");
+}
+
+/// §5 text: speculative retries on top of DS *degrade* latency under high
+/// utilization (up to 5x at p99 in the paper).
+pub fn extra_speculative_retry(scale: Scale) {
+    banner(
+        "X2",
+        "speculative retries atop DS degrade the tail (§5 text)",
+    );
+    let mut table = Table::new(vec![
+        "configuration", "p95 ms", "p99 ms", "p99.9 ms", "spec retries",
+    ]);
+    for speculative in [false, true] {
+        let mut cfg = base_cfg(
+            ClusterStrategy::DynamicSnitching,
+            WorkloadMix::read_heavy(),
+            scale,
+            1,
+        );
+        cfg.speculative_retry = speculative;
+        let res = Cluster::new(cfg).run();
+        let s = res.summary();
+        table.row(vec![
+            if speculative { "DS + speculative retry (p99 trigger)" } else { "DS" }.to_string(),
+            format!("{:.2}", s.metric_ms("p95")),
+            format!("{:.2}", s.metric_ms("p99")),
+            format!("{:.2}", s.metric_ms("p999")),
+            format!("{}", res.speculative_retries),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Paper observation: with DS's already-variable response times the\n\
+         coordinators speculate too much, adding disk load and *raising*\n\
+         latency — reissues are not a silver bullet at high utilization."
+    );
+}

@@ -1,0 +1,14 @@
+//! # c3-bench — the reproduction harness
+//!
+//! One experiment function per figure/table of the paper (see the
+//! per-experiment index in `DESIGN.md`), each exposed as a binary under
+//! `src/bin/`, plus Criterion micro-benchmarks under `benches/`.
+//!
+//! All experiments honour `C3_SCALE` (`quick`/`full`) and `C3_RUNS`
+//! (repetitions per configuration); `run_all` executes the full suite and
+//! is what `EXPERIMENTS.md` is produced from.
+
+pub mod analytic;
+pub mod cluster_experiments;
+pub mod sim_experiments;
+pub mod support;

@@ -1,0 +1,94 @@
+//! Shared harness support: experiment scale, repetition, aggregation.
+//!
+//! Every experiment binary honours two environment variables:
+//!
+//! - `C3_SCALE`: `quick` (default), `full` — `full` uses paper-scale
+//!   operation counts (slower by ~20×),
+//! - `C3_RUNS`: repetitions per configuration (default 3; the paper uses 5).
+
+use c3_metrics::RunSet;
+
+/// Operation-count scale for the experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-friendly: hundreds of thousands of simulated operations.
+    Quick,
+    /// Paper-scale operation counts.
+    Full,
+}
+
+impl Scale {
+    /// Read the scale from `C3_SCALE` (default quick).
+    pub fn from_env() -> Scale {
+        match std::env::var("C3_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Cluster operations per run.
+    pub fn cluster_ops(self) -> u64 {
+        match self {
+            Scale::Quick => 150_000,
+            Scale::Full => 2_000_000,
+        }
+    }
+
+    /// Simulator requests per run (the paper generates 600k).
+    pub fn sim_requests(self) -> u64 {
+        match self {
+            Scale::Quick => 150_000,
+            Scale::Full => 600_000,
+        }
+    }
+}
+
+/// Repetitions per configuration, from `C3_RUNS` (default 3).
+pub fn runs_from_env() -> u64 {
+    std::env::var("C3_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(3)
+}
+
+/// Run `f` once per seed and aggregate a named scalar metric across runs.
+pub fn across_seeds(runs: u64, mut f: impl FnMut(u64) -> f64) -> RunSet {
+    let mut set = RunSet::new();
+    for seed in 1..=runs {
+        set.push(f(seed));
+    }
+    set
+}
+
+/// Print an experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!();
+    println!("== {id}: {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_quick() {
+        // The test environment does not set C3_SCALE=full.
+        if std::env::var("C3_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::Quick);
+        }
+    }
+
+    #[test]
+    fn scales_order_sensibly() {
+        assert!(Scale::Full.cluster_ops() > Scale::Quick.cluster_ops());
+        assert!(Scale::Full.sim_requests() > Scale::Quick.sim_requests());
+    }
+
+    #[test]
+    fn across_seeds_aggregates() {
+        let set = across_seeds(4, |seed| seed as f64);
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.mean(), 2.5);
+    }
+}

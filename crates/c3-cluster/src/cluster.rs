@@ -1,0 +1,1071 @@
+//! The Cassandra-like cluster simulation (the paper's §5 system).
+//!
+//! Flow of a read: a closed-loop generator thread issues an operation to a
+//! coordinator node (round-robin, as the YCSB Cassandra driver does); the
+//! coordinator selects a replica from the key's replica group using the
+//! configured strategy (Dynamic Snitching, C3, or a Table-1 baseline) and
+//! forwards the request (local reads skip the network); the replica's read
+//! stage executes it under the disk model scaled by the node's current
+//! perturbation multiplier; the response — carrying C3 feedback — returns
+//! via the coordinator to the client, which immediately issues its next
+//! operation.
+//!
+//! Writes go to all replicas and complete on the first acknowledgement
+//! (consistency level ONE, the YCSB default the paper uses). 10% of reads
+//! fan out to every replica (read repair). Optional speculative retry
+//! reissues a read to the next-best replica once it outlives the
+//! coordinator's running 99th-percentile estimate.
+
+use c3_core::{
+    BacklogQueue, C3State, Feedback, Nanos, ReplicaSelector, SendDecision, ServerId,
+};
+use c3_core::strategies::LeastOutstanding;
+use c3_metrics::{GaugeSeries, LogHistogram, WindowedCounts};
+use c3_workload::{Op, RecordSizes, ScrambledZipfian, WorkloadMix};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use c3_sim::EventQueue;
+
+use crate::config::{ClusterConfig, ClusterStrategy};
+use crate::perturb::{EpisodeKind, NodePerturbation};
+use crate::ring::Ring;
+use crate::snitch::DynamicSnitch;
+use crate::storage::DiskModel;
+
+type OpId = u64;
+type SendId = u64;
+
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// A generator thread issues its next operation.
+    ClientIssue { thread: usize },
+    /// An operation reaches its coordinator.
+    CoordArrive { op: OpId },
+    /// A forwarded sub-request reaches a replica node.
+    ReplicaArrive { send: SendId },
+    /// A sub-request finishes executing at a replica.
+    ReplicaDone { send: SendId, service_time: Nanos },
+    /// A sub-response reaches the coordinator.
+    CoordReceive { send: SendId },
+    /// The final response reaches the client thread.
+    ClientReceive { op: OpId },
+    /// Nodes disseminate their iowait averages.
+    GossipTick,
+    /// All Dynamic Snitches recompute scores.
+    SnitchTick,
+    /// A perturbation episode starts on a node.
+    PerturbStart { node: usize, kind: EpisodeKind },
+    /// A C3 coordinator retries a backlogged replica group.
+    RetryBacklog { coord: usize, group: usize },
+    /// Speculative-retry timeout check for a read.
+    SpecCheck { op: OpId },
+    /// Extra generators enter the system (Figure 11).
+    PhaseStart,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct OpState {
+    thread: u32,
+    kind: Op,
+    coord: u16,
+    /// Replica-group id (primary node index).
+    group: u16,
+    record_bytes: u32,
+    created: Nanos,
+    /// The selected replica send that defines read latency.
+    primary_send: SendId,
+    read_repair: bool,
+    completed: bool,
+    spec_sent: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SendState {
+    op: OpId,
+    node: u16,
+    is_write: bool,
+    sent_at: Nanos,
+}
+
+/// Per-node service stages.
+struct NodeState {
+    read_q: std::collections::VecDeque<SendId>,
+    read_inflight: usize,
+    read_concurrency: usize,
+    write_q: std::collections::VecDeque<SendId>,
+    write_inflight: usize,
+    write_concurrency: usize,
+    perturb: NodePerturbation,
+}
+
+/// Per-coordinator replica-selection state.
+struct Coordinator {
+    c3: Option<C3State>,
+    snitch: Option<DynamicSnitch>,
+    lor: Option<LeastOutstanding>,
+    /// Static preference order for `NearestNode`.
+    nearest_rank: Vec<usize>,
+    backlogs: Vec<BacklogQueue<OpId>>,
+    retry_scheduled: Vec<bool>,
+    /// Coordinator-observed replica read latencies (speculative-retry
+    /// threshold source).
+    replica_latency: LogHistogram,
+    rng: SmallRng,
+}
+
+/// Results of one cluster run.
+#[derive(Debug)]
+pub struct ClusterResult {
+    /// Strategy label.
+    pub strategy: String,
+    /// Seed used.
+    pub seed: u64,
+    /// Client-observed read latencies (ns).
+    pub read_latency: LogHistogram,
+    /// Client-observed update latencies (ns).
+    pub update_latency: LogHistogram,
+    /// Reads served per window, per node.
+    pub server_load: Vec<WindowedCounts>,
+    /// Reads completed (excluding warm-up).
+    pub reads_completed: u64,
+    /// Updates completed (excluding warm-up).
+    pub updates_completed: u64,
+    /// Simulated duration from first to last completion (excluding
+    /// warm-up).
+    pub duration: Nanos,
+    /// Backpressure activations across coordinators (C3 only).
+    pub backpressure_activations: u64,
+    /// Speculative retries issued.
+    pub speculative_retries: u64,
+    /// Optional `(time, read latency)` trace (Figure 11).
+    pub latency_trace: Vec<(Nanos, Nanos)>,
+    /// Sending-rate traces for each configured probe (Figure 13).
+    pub rate_traces: Vec<GaugeSeries>,
+    /// Times at which probed coordinators entered backpressure.
+    pub backpressure_events: Vec<Vec<Nanos>>,
+    /// Events processed (diagnostics).
+    pub events_processed: u64,
+}
+
+impl ClusterResult {
+    /// Read-latency summary at the paper's percentiles.
+    pub fn summary(&self) -> c3_metrics::LatencySummary {
+        c3_metrics::LatencySummary::from_histogram(&self.read_latency)
+    }
+
+    /// Read throughput in requests/s.
+    pub fn read_throughput(&self) -> f64 {
+        if self.duration == Nanos::ZERO {
+            return 0.0;
+        }
+        self.reads_completed as f64 / self.duration.as_secs_f64()
+    }
+
+    /// Index of the node that served the most reads (Figures 2, 8, 9).
+    pub fn busiest_node(&self) -> usize {
+        self.server_load
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, w)| w.total())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// The assembled cluster simulation.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    disk: DiskModel,
+    ring: Ring,
+    queue: EventQueue<Ev>,
+    nodes: Vec<NodeState>,
+    coords: Vec<Coordinator>,
+    ops: Vec<OpState>,
+    sends: Vec<SendState>,
+    feedbacks: Vec<Feedback>,
+    /// Key chooser + mix per generator thread.
+    threads: Vec<ThreadState>,
+    /// Shared Zipfian tables cloned into phase threads (Figure 11).
+    key_template: ScrambledZipfian,
+    records: RecordSizes,
+    wl_rng: SmallRng,
+    srv_rng: SmallRng,
+    issued: u64,
+    completed: u64,
+    reads_completed: u64,
+    updates_completed: u64,
+    first_completion: Option<Nanos>,
+    last_completion: Nanos,
+    read_latency: LogHistogram,
+    update_latency: LogHistogram,
+    server_load: Vec<WindowedCounts>,
+    spec_retries: u64,
+    latency_trace: Vec<(Nanos, Nanos)>,
+    record_trace: bool,
+    probes: Vec<(usize, usize)>,
+    rate_traces: Vec<GaugeSeries>,
+    backpressure_events: Vec<Vec<Nanos>>,
+}
+
+struct ThreadState {
+    keys: ScrambledZipfian,
+    mix: WorkloadMix,
+    next_coord: usize,
+    rng: SmallRng,
+}
+
+impl Cluster {
+    /// Build a cluster from a validated config.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        cfg.validate();
+        let disk = cfg.disk_model();
+        let ring = Ring::new(cfg.nodes, cfg.replication_factor);
+        let wl_rng = SmallRng::seed_from_u64(cfg.seed.wrapping_mul(0x9e3779b97f4a7c15));
+        let srv_rng = SmallRng::seed_from_u64(cfg.seed.wrapping_mul(0xd1b54a32d192ed03) ^ 7);
+
+        let mut c3 = cfg.c3;
+        // w = number of clients; coordinators are the C3 clients here.
+        c3.concurrency_weight = cfg.nodes as f64;
+
+        let nodes: Vec<NodeState> = (0..cfg.nodes)
+            .map(|i| {
+                let mut perturb = NodePerturbation::new(cfg.perturbations);
+                for s in cfg.scripted.iter().filter(|s| s.node == i) {
+                    perturb.add_scripted(*s);
+                }
+                NodeState {
+                    read_q: Default::default(),
+                    read_inflight: 0,
+                    read_concurrency: disk.concurrency,
+                    write_q: Default::default(),
+                    write_inflight: 0,
+                    write_concurrency: 8,
+                    perturb,
+                }
+            })
+            .collect();
+
+        let coords: Vec<Coordinator> = (0..cfg.nodes)
+            .map(|i| {
+                let seed = cfg.seed ^ (0xa076_1d64_78bd_642fu64.wrapping_mul(i as u64 + 1));
+                let mut rng = SmallRng::seed_from_u64(seed);
+                // Static "network distance" preference for NearestNode: a
+                // per-coordinator random permutation, fixed for the run.
+                let mut nearest_rank: Vec<usize> = (0..cfg.nodes).collect();
+                for k in (1..nearest_rank.len()).rev() {
+                    let j = rng.gen_range(0..=k);
+                    nearest_rank.swap(k, j);
+                }
+                let uses_c3 = matches!(
+                    cfg.strategy,
+                    ClusterStrategy::C3 | ClusterStrategy::C3NoRateControl
+                );
+                let c3_cfg = if cfg.strategy == ClusterStrategy::C3NoRateControl {
+                    c3.without_rate_control()
+                } else {
+                    c3
+                };
+                Coordinator {
+                    c3: uses_c3.then(|| C3State::new(cfg.nodes, c3_cfg, Nanos::ZERO)),
+                    snitch: (cfg.strategy == ClusterStrategy::DynamicSnitching)
+                        .then(|| DynamicSnitch::new(cfg.nodes, cfg.snitch)),
+                    lor: (cfg.strategy == ClusterStrategy::Lor)
+                        .then(|| LeastOutstanding::new(cfg.nodes, seed ^ 0x55)),
+                    nearest_rank,
+                    backlogs: (0..cfg.nodes).map(|_| BacklogQueue::new()).collect(),
+                    retry_scheduled: vec![false; cfg.nodes],
+                    replica_latency: LogHistogram::new(),
+                    rng,
+                }
+            })
+            .collect();
+
+        let records = if cfg.skewed_records {
+            RecordSizes::skewed(2048)
+        } else {
+            RecordSizes::paper_default()
+        };
+
+        // The Zipfian tables (zeta over `keys` terms) are expensive to
+        // build; construct once and clone per thread.
+        let key_template = ScrambledZipfian::new(cfg.keys, cfg.keys, cfg.zipf_theta);
+        let threads: Vec<ThreadState> = (0..cfg.generators)
+            .map(|i| ThreadState {
+                keys: key_template.clone(),
+                mix: cfg.mix,
+                next_coord: i % cfg.nodes,
+                rng: SmallRng::seed_from_u64(
+                    cfg.seed ^ (0xbf58_476d_1ce4_e5b9u64.wrapping_mul(i as u64 + 1)),
+                ),
+            })
+            .collect();
+
+        let probes: Vec<(usize, usize)> = Vec::new();
+        let mut cluster = Self {
+            disk,
+            ring,
+            queue: EventQueue::new(),
+            nodes,
+            coords,
+            key_template,
+            ops: Vec::with_capacity(cfg.total_ops as usize),
+            sends: Vec::with_capacity(cfg.total_ops as usize * 2),
+            feedbacks: Vec::with_capacity(cfg.total_ops as usize * 2),
+            threads,
+            records,
+            srv_rng,
+            issued: 0,
+            completed: 0,
+            reads_completed: 0,
+            updates_completed: 0,
+            first_completion: None,
+            last_completion: Nanos::ZERO,
+            read_latency: LogHistogram::new(),
+            update_latency: LogHistogram::new(),
+            server_load: (0..cfg.nodes)
+                .map(|_| WindowedCounts::new(cfg.load_window.as_nanos()))
+                .collect(),
+            spec_retries: 0,
+            latency_trace: Vec::new(),
+            record_trace: false,
+            probes,
+            rate_traces: Vec::new(),
+            backpressure_events: Vec::new(),
+            wl_rng,
+            cfg,
+        };
+
+        // Kick off the generator threads with a small deterministic stagger.
+        for t in 0..cluster.cfg.generators {
+            let jitter = Nanos::from_micros(10 * t as u64 + 1);
+            cluster.queue.schedule(jitter, Ev::ClientIssue { thread: t });
+        }
+        cluster
+            .queue
+            .schedule(cluster.cfg.gossip_interval, Ev::GossipTick);
+        cluster
+            .queue
+            .schedule(cluster.cfg.snitch.update_interval, Ev::SnitchTick);
+        // Perturbation processes.
+        for node in 0..cluster.cfg.nodes {
+            for kind in [EpisodeKind::Gc, EpisodeKind::Compaction, EpisodeKind::Slowdown] {
+                if let Some(gap) =
+                    cluster.nodes[node].perturb.next_start_gap(kind, &mut cluster.srv_rng)
+                {
+                    cluster.queue.schedule(gap, Ev::PerturbStart { node, kind });
+                }
+            }
+        }
+        if let Some(phase) = &cluster.cfg.phase {
+            cluster.queue.schedule(phase.at, Ev::PhaseStart);
+        }
+        cluster
+    }
+
+    /// Record `(time, latency)` pairs for every completed read (Figure 11).
+    pub fn with_latency_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Install sending-rate probes: `(coordinator, target node)` pairs
+    /// (Figure 13). Only meaningful for C3 runs.
+    pub fn with_rate_probes(mut self, probes: Vec<(usize, usize)>) -> Self {
+        for &(c, n) in &probes {
+            assert!(c < self.cfg.nodes && n < self.cfg.nodes, "probe out of range");
+        }
+        self.backpressure_events = vec![Vec::new(); probes.len()];
+        self.rate_traces = vec![GaugeSeries::new(); probes.len()];
+        self.probes = probes;
+        self
+    }
+
+    /// The config in force.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Run to completion.
+    pub fn run(mut self) -> ClusterResult {
+        while let Some((now, ev)) = self.queue.pop() {
+            match ev {
+                Ev::ClientIssue { thread } => self.on_client_issue(thread, now),
+                Ev::CoordArrive { op } => self.on_coord_arrive(op, now),
+                Ev::ReplicaArrive { send } => self.on_replica_arrive(send, now),
+                Ev::ReplicaDone { send, service_time } => {
+                    self.on_replica_done(send, service_time, now)
+                }
+                Ev::CoordReceive { send } => self.on_coord_receive(send, now),
+                Ev::ClientReceive { op } => self.on_client_receive(op, now),
+                Ev::GossipTick => self.on_gossip(now),
+                Ev::SnitchTick => self.on_snitch_tick(now),
+                Ev::PerturbStart { node, kind } => self.on_perturb_start(node, kind, now),
+                Ev::RetryBacklog { coord, group } => self.on_retry(coord, group, now),
+                Ev::SpecCheck { op } => self.on_spec_check(op, now),
+                Ev::PhaseStart => self.on_phase_start(now),
+            }
+            if self.completed >= self.cfg.total_ops {
+                break;
+            }
+        }
+        self.finish()
+    }
+
+    fn finish(self) -> ClusterResult {
+        let mut backpressure = 0;
+        for c in &self.coords {
+            backpressure += c.backlogs.iter().map(|b| b.activations()).sum::<u64>();
+        }
+        ClusterResult {
+            strategy: self.cfg.strategy.label().to_string(),
+            seed: self.cfg.seed,
+            read_latency: self.read_latency,
+            update_latency: self.update_latency,
+            server_load: self.server_load,
+            reads_completed: self.reads_completed,
+            updates_completed: self.updates_completed,
+            duration: self
+                .last_completion
+                .saturating_sub(self.first_completion.unwrap_or(Nanos::ZERO)),
+            backpressure_activations: backpressure,
+            speculative_retries: self.spec_retries,
+            latency_trace: self.latency_trace,
+            rate_traces: self.rate_traces,
+            backpressure_events: self.backpressure_events,
+            events_processed: self.queue.processed(),
+        }
+    }
+
+    // ---- client side -----------------------------------------------------
+
+    fn on_client_issue(&mut self, thread: usize, now: Nanos) {
+        if self.issued >= self.cfg.total_ops {
+            return;
+        }
+        self.issued += 1;
+        let t = &mut self.threads[thread];
+        let key = t.keys.sample(&mut t.rng);
+        let kind = t.mix.sample(&mut t.rng);
+        let coord = t.next_coord;
+        t.next_coord = (t.next_coord + 1) % self.cfg.nodes;
+        let record_bytes = {
+            let t = &mut self.threads[thread];
+            self.records.sample(&mut t.rng)
+        };
+        let read_repair = kind == Op::Read
+            && self.wl_rng.gen::<f64>() < self.cfg.read_repair_prob;
+        let op_id = self.ops.len() as OpId;
+        self.ops.push(OpState {
+            thread: thread as u32,
+            kind,
+            coord: coord as u16,
+            group: self.ring.group_id(key) as u16,
+            record_bytes,
+            created: now,
+            primary_send: SendId::MAX,
+            read_repair,
+            completed: false,
+            spec_sent: false,
+        });
+        self.queue
+            .schedule_in(self.cfg.net_latency, Ev::CoordArrive { op: op_id });
+    }
+
+    fn on_client_receive(&mut self, op_id: OpId, now: Nanos) {
+        let op = self.ops[op_id as usize];
+        let warmup = op_id < self.cfg.warmup_ops;
+        let latency = now.saturating_sub(op.created);
+        if !warmup {
+            match op.kind {
+                Op::Read => {
+                    self.read_latency.record(latency.as_nanos());
+                    self.reads_completed += 1;
+                    if self.record_trace {
+                        self.latency_trace.push((now, latency));
+                    }
+                }
+                Op::Update => {
+                    self.update_latency.record(latency.as_nanos());
+                    self.updates_completed += 1;
+                }
+            }
+            if self.first_completion.is_none() {
+                self.first_completion = Some(now);
+            }
+            self.last_completion = now;
+        }
+        self.completed += 1;
+        // Closed loop: the thread issues its next operation immediately.
+        self.queue.schedule_in(
+            Nanos::from_micros(50),
+            Ev::ClientIssue {
+                thread: op.thread as usize,
+            },
+        );
+    }
+
+    // ---- coordinator side ------------------------------------------------
+
+    fn on_coord_arrive(&mut self, op_id: OpId, now: Nanos) {
+        let op = self.ops[op_id as usize];
+        match op.kind {
+            Op::Update => {
+                // Writes fan out to all replicas; CL=ONE.
+                let group = self.ring.group_of_primary(op.group as usize);
+                for node in group {
+                    self.forward(op_id, node, true, false, now);
+                }
+            }
+            Op::Read => self.dispatch_read(op_id, now),
+        }
+    }
+
+    fn dispatch_read(&mut self, op_id: OpId, now: Nanos) {
+        let op = self.ops[op_id as usize];
+        let coord_id = op.coord as usize;
+        let group = self.ring.group_of_primary(op.group as usize);
+
+        let choice: Result<ServerId, Nanos> = match self.cfg.strategy {
+            ClusterStrategy::C3 | ClusterStrategy::C3NoRateControl => {
+                let c3 = self.coords[coord_id].c3.as_mut().expect("c3 state");
+                match c3.try_send(&group, now) {
+                    SendDecision::Send(s) => Ok(s),
+                    SendDecision::Backpressure { retry_at } => Err(retry_at),
+                }
+            }
+            ClusterStrategy::DynamicSnitching => {
+                Ok(self.coords[coord_id].snitch.as_ref().expect("snitch").select(&group))
+            }
+            ClusterStrategy::Lor => {
+                let lor = self.coords[coord_id].lor.as_mut().expect("lor");
+                Ok(lor
+                    .select(&group, now)
+                    .server()
+                    .expect("LOR always selects"))
+            }
+            ClusterStrategy::PrimaryOnly => Ok(group[0]),
+            ClusterStrategy::NearestNode => {
+                let rank = &self.coords[coord_id].nearest_rank;
+                Ok(*group
+                    .iter()
+                    .min_by_key(|&&n| rank[n])
+                    .expect("non-empty group"))
+            }
+            ClusterStrategy::Random => {
+                let coord = &mut self.coords[coord_id];
+                Ok(group[coord.rng.gen_range(0..group.len())])
+            }
+        };
+
+        match choice {
+            Ok(primary) => {
+                self.account_send(coord_id, primary, now);
+                self.forward(op_id, primary, false, true, now);
+                if op.read_repair {
+                    for &node in &group {
+                        if node != primary {
+                            self.account_send(coord_id, node, now);
+                            self.forward(op_id, node, false, false, now);
+                        }
+                    }
+                }
+                if self.cfg.speculative_retry {
+                    let threshold = self.spec_threshold(coord_id);
+                    self.queue.schedule_in(threshold, Ev::SpecCheck { op: op_id });
+                }
+            }
+            Err(retry_at) => {
+                let group_id = op.group as usize;
+                let coord = &mut self.coords[coord_id];
+                coord.backlogs[group_id].push(op_id);
+                let entered_backpressure = coord.backlogs[group_id].len() == 1;
+                if !coord.retry_scheduled[group_id] {
+                    coord.retry_scheduled[group_id] = true;
+                    let at = retry_at.max(now + Nanos(1));
+                    self.queue.schedule(
+                        at,
+                        Ev::RetryBacklog {
+                            coord: coord_id,
+                            group: group_id,
+                        },
+                    );
+                }
+                if entered_backpressure {
+                    for (i, &(pc, _)) in self.probes.iter().enumerate() {
+                        if pc == coord_id {
+                            self.backpressure_events[i].push(now);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn account_send(&mut self, coord_id: usize, node: ServerId, now: Nanos) {
+        let coord = &mut self.coords[coord_id];
+        if let Some(c3) = coord.c3.as_mut() {
+            c3.record_send(node);
+        }
+        if let Some(lor) = coord.lor.as_mut() {
+            lor.on_send(node, now);
+        }
+    }
+
+    /// Forward a sub-request from the coordinator to a replica node.
+    fn forward(&mut self, op_id: OpId, node: ServerId, is_write: bool, primary: bool, now: Nanos) {
+        let send_id = self.sends.len() as SendId;
+        self.sends.push(SendState {
+            op: op_id,
+            node: node as u16,
+            is_write,
+            sent_at: now,
+        });
+        self.feedbacks.push(Feedback::new(0, Nanos::ZERO));
+        if primary {
+            self.ops[op_id as usize].primary_send = send_id;
+        }
+        let coord = self.ops[op_id as usize].coord as usize;
+        let delay = if coord == node {
+            Nanos::from_micros(20) // local read: in-process handoff
+        } else {
+            self.cfg.net_latency
+        };
+        self.queue.schedule_in(delay, Ev::ReplicaArrive { send: send_id });
+    }
+
+    fn spec_threshold(&self, coord_id: usize) -> Nanos {
+        let h = &self.coords[coord_id].replica_latency;
+        if h.count() < 100 {
+            return Nanos::from_millis(50);
+        }
+        Nanos(h.value_at_quantile(0.99).max(1_000_000))
+    }
+
+    fn on_spec_check(&mut self, op_id: OpId, now: Nanos) {
+        let op = self.ops[op_id as usize];
+        if op.completed || op.spec_sent {
+            return;
+        }
+        self.ops[op_id as usize].spec_sent = true;
+        self.spec_retries += 1;
+        // Reissue to a replica other than the one already tried.
+        let tried = self.sends[op.primary_send as usize].node as usize;
+        let group = self.ring.group_of_primary(op.group as usize);
+        let alt = *group.iter().find(|&&n| n != tried).unwrap_or(&group[0]);
+        let coord_id = op.coord as usize;
+        self.account_send(coord_id, alt, now);
+        // The duplicate becomes the new primary: first response wins
+        // because `on_coord_receive` completes on whichever primary-marked
+        // send arrives first; keep both marked by re-pointing primary_send
+        // only if the duplicate could be faster. Simplest faithful model:
+        // whichever response arrives first completes the op, so mark the
+        // duplicate as primary too by tracking completion per-op.
+        let send_id = self.sends.len() as SendId;
+        self.sends.push(SendState {
+            op: op_id,
+            node: alt as u16,
+            is_write: false,
+            sent_at: now,
+        });
+        self.feedbacks.push(Feedback::new(0, Nanos::ZERO));
+        // Duplicate is also allowed to complete the op: see on_coord_receive.
+        let delay = if coord_id == alt {
+            Nanos::from_micros(20)
+        } else {
+            self.cfg.net_latency
+        };
+        self.queue.schedule_in(delay, Ev::ReplicaArrive { send: send_id });
+    }
+
+    // ---- replica side ----------------------------------------------------
+
+    fn on_replica_arrive(&mut self, send_id: SendId, now: Nanos) {
+        let send = self.sends[send_id as usize];
+        let node = &mut self.nodes[send.node as usize];
+        node.perturb.expire(now);
+        if send.is_write {
+            if node.write_inflight < node.write_concurrency {
+                node.write_inflight += 1;
+                let st = self.disk.sample_write(
+                    &mut self.srv_rng,
+                    self.ops[send.op as usize].record_bytes,
+                    node.perturb.multiplier(now),
+                );
+                self.queue.schedule_in(
+                    st,
+                    Ev::ReplicaDone {
+                        send: send_id,
+                        service_time: st,
+                    },
+                );
+            } else {
+                node.write_q.push_back(send_id);
+            }
+        } else if node.read_inflight < node.read_concurrency {
+            node.read_inflight += 1;
+            let st = self.disk.sample_read(
+                &mut self.srv_rng,
+                self.ops[send.op as usize].record_bytes,
+                node.perturb.multiplier(now),
+            );
+            self.queue.schedule_in(
+                st,
+                Ev::ReplicaDone {
+                    send: send_id,
+                    service_time: st,
+                },
+            );
+        } else {
+            node.read_q.push_back(send_id);
+        }
+    }
+
+    fn on_replica_done(&mut self, send_id: SendId, service_time: Nanos, now: Nanos) {
+        let send = self.sends[send_id as usize];
+        let node_id = send.node as usize;
+
+        if !send.is_write {
+            self.server_load[node_id].record(now.as_nanos());
+        }
+
+        // Start the next queued request of the same stage.
+        {
+            let node = &mut self.nodes[node_id];
+            node.perturb.expire(now);
+            let mult = node.perturb.multiplier(now);
+            if send.is_write {
+                node.write_inflight -= 1;
+                if let Some(next) = node.write_q.pop_front() {
+                    node.write_inflight += 1;
+                    let bytes = self.ops[self.sends[next as usize].op as usize].record_bytes;
+                    let st = self.disk.sample_write(&mut self.srv_rng, bytes, mult);
+                    self.queue.schedule_in(
+                        st,
+                        Ev::ReplicaDone {
+                            send: next,
+                            service_time: st,
+                        },
+                    );
+                }
+            } else {
+                node.read_inflight -= 1;
+                if let Some(next) = node.read_q.pop_front() {
+                    node.read_inflight += 1;
+                    let bytes = self.ops[self.sends[next as usize].op as usize].record_bytes;
+                    let st = self.disk.sample_read(&mut self.srv_rng, bytes, mult);
+                    self.queue.schedule_in(
+                        st,
+                        Ev::ReplicaDone {
+                            send: next,
+                            service_time: st,
+                        },
+                    );
+                }
+            }
+        }
+
+        // Feedback: pending reads at this node when the response leaves.
+        let pending = {
+            let node = &self.nodes[node_id];
+            (node.read_inflight + node.read_q.len()) as u32
+        };
+        self.feedbacks[send_id as usize] = Feedback::new(pending, service_time);
+
+        let coord = self.ops[send.op as usize].coord as usize;
+        let delay = if coord == node_id {
+            Nanos::from_micros(20)
+        } else {
+            self.cfg.net_latency
+        };
+        self.queue.schedule_in(delay, Ev::CoordReceive { send: send_id });
+    }
+
+    // ---- coordinator receives a sub-response ------------------------------
+
+    fn on_coord_receive(&mut self, send_id: SendId, now: Nanos) {
+        let send = self.sends[send_id as usize];
+        let op = self.ops[send.op as usize];
+        let coord_id = op.coord as usize;
+        let node = send.node as usize;
+        let rtt = now.saturating_sub(send.sent_at);
+        let feedback = self.feedbacks[send_id as usize];
+
+        // Update the coordinator's selection state.
+        if !send.is_write {
+            let coord = &mut self.coords[coord_id];
+            if let Some(c3) = coord.c3.as_mut() {
+                c3.on_response(node, rtt, Some(&feedback), now);
+            }
+            if let Some(snitch) = coord.snitch.as_mut() {
+                snitch.record_latency(node, rtt);
+            }
+            if let Some(lor) = coord.lor.as_mut() {
+                lor.on_response(
+                    node,
+                    &c3_core::ResponseInfo {
+                        response_time: rtt,
+                        feedback: Some(feedback),
+                    },
+                    now,
+                );
+            }
+            coord.replica_latency.record(rtt.as_nanos());
+        }
+
+        // Sample rate probes after the controller reacted.
+        for (i, &(pc, pn)) in self.probes.iter().enumerate() {
+            if pc == coord_id {
+                if let Some(c3) = self.coords[coord_id].c3.as_ref() {
+                    self.rate_traces[i].push(now.as_nanos(), c3.limiter(pn).srate());
+                }
+            }
+        }
+
+        // Completion semantics: reads complete on the primary (or any
+        // speculative duplicate); writes complete on the first ack.
+        let completes = if send.is_write {
+            !op.completed
+        } else {
+            !op.completed && (op.primary_send == send_id || op.spec_sent)
+        };
+        if completes {
+            self.ops[send.op as usize].completed = true;
+            self.queue
+                .schedule_in(self.cfg.net_latency, Ev::ClientReceive { op: send.op });
+        }
+
+        // A response may free C3 rate for groups containing this node.
+        if self.coords[coord_id].c3.is_some() {
+            for group_id in self.ring.groups_of_node(node) {
+                if !self.coords[coord_id].backlogs[group_id].is_empty() {
+                    self.on_retry(coord_id, group_id, now);
+                }
+            }
+        }
+    }
+
+    fn on_retry(&mut self, coord_id: usize, group_id: usize, now: Nanos) {
+        self.coords[coord_id].retry_scheduled[group_id] = false;
+        loop {
+            let Some(&op_id) = self.coords[coord_id].backlogs[group_id].peek() else {
+                return;
+            };
+            let group = self.ring.group_of_primary(group_id);
+            let decision = {
+                let c3 = self.coords[coord_id].c3.as_mut().expect("C3 backlog");
+                c3.try_send(&group, now)
+            };
+            match decision {
+                SendDecision::Send(node) => {
+                    self.coords[coord_id].backlogs[group_id].pop();
+                    self.account_send(coord_id, node, now);
+                    self.forward(op_id, node, false, true, now);
+                    let op = self.ops[op_id as usize];
+                    if op.read_repair {
+                        for &n in &group {
+                            if n != node {
+                                self.account_send(coord_id, n, now);
+                                self.forward(op_id, n, false, false, now);
+                            }
+                        }
+                    }
+                }
+                SendDecision::Backpressure { retry_at } => {
+                    let coord = &mut self.coords[coord_id];
+                    if !coord.retry_scheduled[group_id] {
+                        coord.retry_scheduled[group_id] = true;
+                        let at = retry_at.max(now + Nanos(1));
+                        self.queue.schedule(
+                            at,
+                            Ev::RetryBacklog {
+                                coord: coord_id,
+                                group: group_id,
+                            },
+                        );
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    // ---- cluster-wide processes -------------------------------------------
+
+    fn on_gossip(&mut self, now: Nanos) {
+        // Every node's 1-second iowait average reaches every snitch.
+        let iowaits: Vec<f64> = self
+            .nodes
+            .iter()
+            .map(|n| n.perturb.iowait(now))
+            .collect();
+        for coord in &mut self.coords {
+            if let Some(snitch) = coord.snitch.as_mut() {
+                for (peer, &io) in iowaits.iter().enumerate() {
+                    snitch.record_iowait(peer, io);
+                }
+            }
+        }
+        self.queue.schedule_in(self.cfg.gossip_interval, Ev::GossipTick);
+    }
+
+    fn on_snitch_tick(&mut self, now: Nanos) {
+        for coord in &mut self.coords {
+            if let Some(snitch) = coord.snitch.as_mut() {
+                snitch.recompute(now);
+            }
+        }
+        self.queue
+            .schedule_in(self.cfg.snitch.update_interval, Ev::SnitchTick);
+    }
+
+    fn on_perturb_start(&mut self, node: usize, kind: EpisodeKind, now: Nanos) {
+        let end = self.nodes[node].perturb.begin(kind, now, &mut self.srv_rng);
+        if let Some(gap) = self.nodes[node].perturb.next_start_gap(kind, &mut self.srv_rng) {
+            self.queue
+                .schedule(end.saturating_add(gap), Ev::PerturbStart { node, kind });
+        }
+    }
+
+    fn on_phase_start(&mut self, now: Nanos) {
+        let phase = self.cfg.phase.expect("phase event without phase config");
+        let base = self.threads.len();
+        for i in 0..phase.extra_generators {
+            let idx = base + i;
+            self.threads.push(ThreadState {
+                keys: self.key_template.clone(),
+                mix: phase.mix,
+                next_coord: idx % self.cfg.nodes,
+                rng: SmallRng::seed_from_u64(
+                    self.cfg.seed ^ (0x94d0_49bb_1331_11ebu64.wrapping_mul(idx as u64 + 1)),
+                ),
+            });
+            self.queue.schedule(
+                now + Nanos::from_micros(10 * i as u64 + 1),
+                Ev::ClientIssue { thread: idx },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(strategy: ClusterStrategy) -> ClusterConfig {
+        ClusterConfig {
+            nodes: 9,
+            generators: 30,
+            total_ops: 8_000,
+            warmup_ops: 500,
+            keys: 100_000,
+            strategy,
+            seed: 11,
+            ..ClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn c3_cluster_completes() {
+        let res = Cluster::new(small(ClusterStrategy::C3)).run();
+        assert_eq!(
+            res.reads_completed + res.updates_completed,
+            8_000 - 500,
+            "all post-warmup ops recorded"
+        );
+        assert!(res.read_throughput() > 0.0);
+    }
+
+    #[test]
+    fn all_strategies_complete() {
+        for s in [
+            ClusterStrategy::C3,
+            ClusterStrategy::DynamicSnitching,
+            ClusterStrategy::Lor,
+            ClusterStrategy::PrimaryOnly,
+            ClusterStrategy::NearestNode,
+            ClusterStrategy::Random,
+            ClusterStrategy::C3NoRateControl,
+        ] {
+            let mut cfg = small(s);
+            cfg.total_ops = 3_000;
+            cfg.warmup_ops = 200;
+            let res = Cluster::new(cfg).run();
+            assert_eq!(
+                res.reads_completed + res.updates_completed,
+                2_800,
+                "strategy {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_runs_are_deterministic() {
+        let a = Cluster::new(small(ClusterStrategy::DynamicSnitching)).run();
+        let b = Cluster::new(small(ClusterStrategy::DynamicSnitching)).run();
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(
+            a.read_latency.value_at_quantile(0.99),
+            b.read_latency.value_at_quantile(0.99)
+        );
+    }
+
+    #[test]
+    fn update_heavy_records_updates() {
+        let mut cfg = small(ClusterStrategy::C3);
+        cfg.mix = WorkloadMix::update_heavy();
+        let res = Cluster::new(cfg).run();
+        assert!(res.updates_completed > 2_000, "updates {}", res.updates_completed);
+        assert!(res.update_latency.count() > 0);
+    }
+
+    #[test]
+    fn latency_trace_is_recorded_when_enabled() {
+        let res = Cluster::new(small(ClusterStrategy::C3))
+            .with_latency_trace()
+            .run();
+        assert_eq!(res.latency_trace.len() as u64, res.reads_completed);
+        // Trace must be time-ordered.
+        for w in res.latency_trace.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn rate_probes_record_for_c3() {
+        let res = Cluster::new(small(ClusterStrategy::C3))
+            .with_rate_probes(vec![(0, 2), (1, 2)])
+            .run();
+        assert_eq!(res.rate_traces.len(), 2);
+        assert!(!res.rate_traces[0].is_empty());
+        assert!(!res.rate_traces[1].is_empty());
+    }
+
+    #[test]
+    fn speculative_retry_issues_duplicates() {
+        let mut cfg = small(ClusterStrategy::DynamicSnitching);
+        cfg.speculative_retry = true;
+        let res = Cluster::new(cfg).run();
+        assert!(res.speculative_retries > 0, "some reads should speculate");
+    }
+
+    #[test]
+    fn scripted_slowdown_inflates_latency() {
+        use crate::perturb::{PerturbationSpec, ScriptedSlowdown};
+        let mut quiet = small(ClusterStrategy::PrimaryOnly);
+        quiet.perturbations = PerturbationSpec::none();
+        let mut scripted = quiet.clone();
+        scripted.scripted = vec![ScriptedSlowdown {
+            node: 0,
+            start: Nanos::ZERO,
+            end: Nanos::from_secs(1_000),
+            multiplier: 10.0,
+        }];
+        let base = Cluster::new(quiet).run();
+        let slow = Cluster::new(scripted).run();
+        assert!(
+            slow.summary().p99_ns > base.summary().p99_ns,
+            "slowing a primary must raise the tail"
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! Cluster experiment configuration.
+//!
+//! Defaults follow the paper's §5 EC2 deployment: a 15-node Cassandra
+//! cluster with replication factor 3, spinning-disk storage, read repair on
+//! 10% of reads, driven by 120 closed-loop YCSB generator threads issuing
+//! Zipfian-keyed (ρ = 0.99) requests over 10 M keys.
+
+use c3_core::{C3Config, Nanos};
+use c3_workload::WorkloadMix;
+
+use crate::perturb::{PerturbationSpec, ScriptedSlowdown};
+use crate::snitch::SnitchConfig;
+use crate::storage::{DiskKind, DiskModel};
+
+/// Replica-selection strategy a coordinator runs (Table 1 landscape plus
+/// C3 and its ablations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClusterStrategy {
+    /// C3 (this paper).
+    C3,
+    /// Cassandra's Dynamic Snitching.
+    DynamicSnitching,
+    /// Least-outstanding-requests per coordinator (Nginx/ELB-style; the
+    /// Riak recommendation of an external load balancer).
+    Lor,
+    /// Always read from the primary replica (OpenStack Swift's
+    /// read-one-and-retry policy, minus failures).
+    PrimaryOnly,
+    /// Statically nearest node by network distance (MongoDB's
+    /// nearest-member read preference — ignores CPU/I/O load).
+    NearestNode,
+    /// Uniform random replica.
+    Random,
+    /// C3 without rate control (ablation).
+    C3NoRateControl,
+}
+
+impl ClusterStrategy {
+    /// Label used in harness tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ClusterStrategy::C3 => "C3",
+            ClusterStrategy::DynamicSnitching => "DS",
+            ClusterStrategy::Lor => "LOR",
+            ClusterStrategy::PrimaryOnly => "Primary",
+            ClusterStrategy::NearestNode => "Nearest",
+            ClusterStrategy::Random => "Random",
+            ClusterStrategy::C3NoRateControl => "C3-noRC",
+        }
+    }
+}
+
+/// A change in offered load at a point in time (Figure 11 adds 40
+/// update-heavy generators at t = 640 s).
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadPhase {
+    /// When the extra generators enter the system.
+    pub at: Nanos,
+    /// How many generator threads join.
+    pub extra_generators: usize,
+    /// The mix those generators issue.
+    pub mix: WorkloadMix,
+}
+
+/// Full configuration of one cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of Cassandra nodes (paper: 15; Figure 13 uses 7).
+    pub nodes: usize,
+    /// Replication factor (paper: 3).
+    pub replication_factor: usize,
+    /// Storage hardware.
+    pub disk: DiskKind,
+    /// Base workload mix.
+    pub mix: WorkloadMix,
+    /// Closed-loop generator threads (paper: 120, later 210).
+    pub generators: usize,
+    /// Total client operations to run (paper: 10 M; scale down for CI).
+    pub total_ops: u64,
+    /// Operations to ignore in latency metrics while state warms up.
+    pub warmup_ops: u64,
+    /// Number of distinct keys (paper: 10 M).
+    pub keys: u64,
+    /// Zipfian constant (paper: 0.99).
+    pub zipf_theta: f64,
+    /// Read-repair probability (Cassandra default: 10%).
+    pub read_repair_prob: f64,
+    /// One-way network latency between any two machines.
+    pub net_latency: Nanos,
+    /// Use Zipfian-distributed record sizes capped at 2 KB instead of
+    /// fixed 1 KB records (the skewed-record experiment).
+    pub skewed_records: bool,
+    /// Stochastic perturbation environment.
+    pub perturbations: PerturbationSpec,
+    /// Scripted slowdowns (Figure 13).
+    pub scripted: Vec<ScriptedSlowdown>,
+    /// Enable speculative retry at the coordinator's running p99 (the
+    /// paper's negative result, §5).
+    pub speculative_retry: bool,
+    /// Replica-selection strategy under test.
+    pub strategy: ClusterStrategy,
+    /// C3 parameters; `concurrency_weight` is set to the number of
+    /// coordinators (= nodes), matching "w = number of clients".
+    pub c3: C3Config,
+    /// Dynamic Snitching parameters.
+    pub snitch: SnitchConfig,
+    /// Gossip dissemination period for iowait (Cassandra: 1 s averages).
+    pub gossip_interval: Nanos,
+    /// Additional workload entering mid-run (Figure 11).
+    pub phase: Option<WorkloadPhase>,
+    /// Window for per-node served-reads time series (paper: 100 ms).
+    pub load_window: Nanos,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 15,
+            replication_factor: 3,
+            disk: DiskKind::Spinning,
+            mix: WorkloadMix::read_heavy(),
+            generators: 120,
+            total_ops: 500_000,
+            warmup_ops: 20_000,
+            keys: 10_000_000,
+            zipf_theta: 0.99,
+            read_repair_prob: 0.1,
+            net_latency: Nanos::from_micros(300),
+            skewed_records: false,
+            perturbations: PerturbationSpec::default(),
+            scripted: Vec::new(),
+            speculative_retry: false,
+            strategy: ClusterStrategy::C3,
+            c3: C3Config::default(),
+            snitch: SnitchConfig::default(),
+            gossip_interval: Nanos::from_secs(1),
+            phase: None,
+            load_window: Nanos::from_millis(100),
+            seed: 1,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The paper's §5 setup for a given strategy and mix.
+    pub fn paper(strategy: ClusterStrategy, mix: WorkloadMix) -> Self {
+        Self {
+            strategy,
+            mix,
+            ..Self::default()
+        }
+    }
+
+    /// The disk model for this config's hardware and mix.
+    pub fn disk_model(&self) -> DiskModel {
+        match self.disk {
+            DiskKind::Spinning => DiskModel::spinning(self.mix.read_fraction()),
+            DiskKind::Ssd => DiskModel::ssd(self.mix.read_fraction()),
+        }
+    }
+
+    /// Validate invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a parameter is out of range.
+    pub fn validate(&self) {
+        assert!(self.nodes >= self.replication_factor, "too few nodes");
+        assert!(self.generators >= 1, "need generators");
+        assert!(self.total_ops > 0, "need operations");
+        assert!(self.warmup_ops < self.total_ops, "warm-up swallows the run");
+        assert!(self.keys > 0, "need keys");
+        assert!(
+            (0.0..=1.0).contains(&self.read_repair_prob),
+            "read-repair probability out of range"
+        );
+        if let Some(p) = &self.phase {
+            assert!(p.extra_generators > 0, "phase must add generators");
+        }
+        self.c3.validate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_section5() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.nodes, 15);
+        assert_eq!(c.replication_factor, 3);
+        assert_eq!(c.generators, 120);
+        assert_eq!(c.keys, 10_000_000);
+        assert!((c.zipf_theta - 0.99).abs() < 1e-12);
+        assert!((c.read_repair_prob - 0.1).abs() < 1e-12);
+        assert_eq!(c.disk, DiskKind::Spinning);
+        c.validate();
+    }
+
+    #[test]
+    fn disk_model_follows_kind_and_mix() {
+        let mut c = ClusterConfig::default();
+        assert_eq!(c.disk_model().kind, DiskKind::Spinning);
+        c.disk = DiskKind::Ssd;
+        assert_eq!(c.disk_model().kind, DiskKind::Ssd);
+    }
+
+    #[test]
+    fn labels_cover_table1() {
+        assert_eq!(ClusterStrategy::DynamicSnitching.label(), "DS");
+        assert_eq!(ClusterStrategy::PrimaryOnly.label(), "Primary");
+        assert_eq!(ClusterStrategy::NearestNode.label(), "Nearest");
+    }
+
+    #[test]
+    #[should_panic(expected = "warm-up")]
+    fn warmup_cannot_cover_run() {
+        let c = ClusterConfig {
+            total_ops: 100,
+            warmup_ops: 100,
+            ..ClusterConfig::default()
+        };
+        c.validate();
+    }
+}

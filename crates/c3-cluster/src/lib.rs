@@ -1,0 +1,49 @@
+//! # c3-cluster — a Cassandra-like replicated data store substrate
+//!
+//! The C3 paper's §5 evaluation runs a patched Cassandra 2.0 on a 15-node
+//! EC2 cluster. This crate rebuilds that system at request granularity on
+//! the deterministic event kernel from `c3-sim`:
+//!
+//! - [`Ring`]: equal-range token ring with successor replication (RF = 3),
+//! - [`DiskModel`]: spinning-disk (m1.xlarge RAID0) and SSD (m3.xlarge)
+//!   storage models with memtable-hit behaviour tied to the workload mix,
+//! - [`NodePerturbation`]: per-node GC pauses, compactions (which drive
+//!   `iowait`) and noisy-neighbour slowdowns — the §2.1 fluctuation
+//!   sources,
+//! - [`DynamicSnitch`]: Cassandra's Dynamic Snitching (interval-frozen
+//!   scores, gossiped iowait with dominant weight, reservoir medians),
+//! - [`Cluster`]: coordinators running C3, Dynamic Snitching, or the
+//!   Table-1 baselines over the full read/write path, driven by
+//!   closed-loop YCSB-style generator threads; with optional speculative
+//!   retry, scripted slowdowns (Figure 13) and latency traces (Figure 11).
+//!
+//! ```
+//! use c3_cluster::{Cluster, ClusterConfig, ClusterStrategy};
+//! use c3_workload::WorkloadMix;
+//!
+//! let mut cfg = ClusterConfig::paper(ClusterStrategy::C3, WorkloadMix::read_heavy());
+//! cfg.total_ops = 5_000; // scaled down for the doctest
+//! cfg.warmup_ops = 100;
+//! cfg.generators = 24;
+//! let result = Cluster::new(cfg).run();
+//! println!("p99.9 = {:.1} ms", result.summary().metric_ms("p999"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod config;
+mod perturb;
+mod ring;
+mod snitch;
+mod storage;
+
+pub use cluster::{Cluster, ClusterResult};
+pub use config::{ClusterConfig, ClusterStrategy, WorkloadPhase};
+pub use perturb::{
+    EpisodeKind, EpisodeSpec, NodePerturbation, PerturbationSpec, ScriptedSlowdown,
+};
+pub use ring::Ring;
+pub use snitch::{DynamicSnitch, SnitchConfig};
+pub use storage::{DiskKind, DiskModel};

@@ -1,0 +1,203 @@
+//! Disk models.
+//!
+//! The paper evaluates on two storage configurations: m1.xlarge instances
+//! with four spinning-disk ephemeral volumes in RAID0 (Figures 6–11) and
+//! m3.xlarge instances with SSDs (Figure 12). The observable differences
+//! the models must reproduce:
+//!
+//! - spinning reads are seek-dominated (≈ 8 ms random read) unless the row
+//!   is memory-resident; SSD reads are fast and tightly distributed;
+//! - read-heavy and update-heavy workloads see lower latency than
+//!   read-only because recent updates are served from the memtable
+//!   (§5: "the read-heavy workload results in lower latencies than the
+//!   read-only workload");
+//! - larger records add transfer time (the skewed-record experiment);
+//! - writes are cheap (memtable append + commit log).
+
+use c3_core::Nanos;
+use c3_workload::exp_sample;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Storage backing a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskKind {
+    /// Spinning-disk RAID0 (the paper's m1.xlarge setup).
+    Spinning,
+    /// SSD (the paper's m3.xlarge setup).
+    Ssd,
+}
+
+/// Parameters of a node's storage model.
+#[derive(Clone, Copy, Debug)]
+pub struct DiskModel {
+    /// Which hardware the model mimics.
+    pub kind: DiskKind,
+    /// Mean service time of a read that misses memory, in ms.
+    pub miss_ms: f64,
+    /// Mean service time of a memory-resident read, in ms.
+    pub hit_ms: f64,
+    /// Mean service time of a write (memtable + commit log), in ms.
+    pub write_ms: f64,
+    /// Probability a read is memory-resident (memtable/caches). Derived
+    /// from the workload mix: updates keep hot rows in the memtable.
+    pub memory_hit_prob: f64,
+    /// Sequential throughput used to charge record transfer time, bytes/ms.
+    pub bytes_per_ms: f64,
+    /// Requests the node executes in parallel on this storage.
+    pub concurrency: usize,
+}
+
+impl DiskModel {
+    /// Spinning-disk model, parameterized by the workload's read fraction
+    /// (more updates ⇒ more memtable hits ⇒ fewer seeks).
+    pub fn spinning(read_fraction: f64) -> Self {
+        Self {
+            kind: DiskKind::Spinning,
+            miss_ms: 8.0,
+            hit_ms: 0.4,
+            write_ms: 0.3,
+            memory_hit_prob: memory_hit_prob(read_fraction),
+            bytes_per_ms: 100_000.0, // ~100 MB/s
+            concurrency: 4,
+        }
+    }
+
+    /// SSD model (same memtable behaviour, much cheaper misses, deeper
+    /// device parallelism).
+    pub fn ssd(read_fraction: f64) -> Self {
+        Self {
+            kind: DiskKind::Ssd,
+            miss_ms: 0.8,
+            hit_ms: 0.25,
+            write_ms: 0.2,
+            memory_hit_prob: memory_hit_prob(read_fraction),
+            bytes_per_ms: 400_000.0, // ~400 MB/s
+            concurrency: 16,
+        }
+    }
+
+    /// Sample a read service time. `perturb_multiplier` scales the mean
+    /// (compaction/GC/noisy-neighbour episodes); `record_bytes` adds
+    /// transfer time.
+    pub fn sample_read(
+        &self,
+        rng: &mut SmallRng,
+        record_bytes: u32,
+        perturb_multiplier: f64,
+    ) -> Nanos {
+        let mean = if rng.gen::<f64>() < self.memory_hit_prob {
+            self.hit_ms
+        } else {
+            self.miss_ms
+        };
+        let transfer = record_bytes as f64 / self.bytes_per_ms;
+        let ms = exp_sample(rng, mean * perturb_multiplier.max(1.0)) + transfer;
+        Nanos::from_millis_f64(ms.max(0.001))
+    }
+
+    /// Sample a write service time.
+    pub fn sample_write(
+        &self,
+        rng: &mut SmallRng,
+        record_bytes: u32,
+        perturb_multiplier: f64,
+    ) -> Nanos {
+        let transfer = record_bytes as f64 / self.bytes_per_ms;
+        let ms = exp_sample(rng, self.write_ms * perturb_multiplier.max(1.0)) + transfer;
+        Nanos::from_millis_f64(ms.max(0.001))
+    }
+}
+
+/// Memtable/cache hit probability as a function of the read fraction:
+/// a base key/page-cache rate plus the memtable benefit of update traffic
+/// on a Zipfian keyset.
+fn memory_hit_prob(read_fraction: f64) -> f64 {
+    let update_fraction = 1.0 - read_fraction.clamp(0.0, 1.0);
+    (0.30 + 0.45 * update_fraction).min(0.95)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(5)
+    }
+
+    fn mean_read(model: &DiskModel, mult: f64, n: usize) -> f64 {
+        let mut r = rng();
+        (0..n)
+            .map(|_| model.sample_read(&mut r, 1024, mult).as_millis_f64())
+            .sum::<f64>()
+            / n as f64
+    }
+
+    #[test]
+    fn spinning_reads_slower_than_ssd() {
+        let sp = DiskModel::spinning(1.0);
+        let ssd = DiskModel::ssd(1.0);
+        assert!(mean_read(&sp, 1.0, 20_000) > 3.0 * mean_read(&ssd, 1.0, 20_000));
+    }
+
+    #[test]
+    fn update_heavy_mix_hits_memory_more() {
+        // §5: read-heavy < read-only latency; update-heavy even lower.
+        let read_only = DiskModel::spinning(1.0);
+        let read_heavy = DiskModel::spinning(0.95);
+        let update_heavy = DiskModel::spinning(0.5);
+        assert!(read_heavy.memory_hit_prob > read_only.memory_hit_prob);
+        assert!(update_heavy.memory_hit_prob > read_heavy.memory_hit_prob);
+        let ro = mean_read(&read_only, 1.0, 30_000);
+        let uh = mean_read(&update_heavy, 1.0, 30_000);
+        assert!(uh < ro, "update-heavy mean {uh} should be below read-only {ro}");
+    }
+
+    #[test]
+    fn perturbation_scales_service_time() {
+        let m = DiskModel::spinning(0.95);
+        let base = mean_read(&m, 1.0, 20_000);
+        let slow = mean_read(&m, 3.0, 20_000);
+        assert!(
+            slow > 2.0 * base,
+            "3x multiplier should show: {base} -> {slow}"
+        );
+    }
+
+    #[test]
+    fn bigger_records_cost_transfer_time() {
+        let m = DiskModel::ssd(1.0);
+        let mut r = rng();
+        let small: f64 = (0..20_000)
+            .map(|_| m.sample_read(&mut r, 100, 1.0).as_millis_f64())
+            .sum::<f64>()
+            / 20_000.0;
+        let big: f64 = (0..20_000)
+            .map(|_| m.sample_read(&mut r, 200_000, 1.0).as_millis_f64())
+            .sum::<f64>()
+            / 20_000.0;
+        assert!(big > small + 0.4, "transfer time must show: {small} vs {big}");
+    }
+
+    #[test]
+    fn writes_are_cheap() {
+        let m = DiskModel::spinning(0.95);
+        let mut r = rng();
+        let w: f64 = (0..20_000)
+            .map(|_| m.sample_write(&mut r, 1024, 1.0).as_millis_f64())
+            .sum::<f64>()
+            / 20_000.0;
+        assert!(w < 1.0, "write mean {w} should be well under a millisecond");
+    }
+
+    #[test]
+    fn service_times_are_positive() {
+        let m = DiskModel::ssd(0.5);
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(m.sample_read(&mut r, 0, 0.0) > Nanos::ZERO);
+            assert!(m.sample_write(&mut r, 0, 0.0) > Nanos::ZERO);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the cluster substrate's structural pieces.
+
+use c3_cluster::{DynamicSnitch, Ring, SnitchConfig};
+use c3_core::Nanos;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every key maps to exactly RF distinct replicas, all in range, and
+    /// the mapping is a pure function of the key.
+    #[test]
+    fn ring_replicas_well_formed(
+        nodes in 3usize..64,
+        rf_offset in 0usize..3,
+        keys in proptest::collection::vec(0u64..u64::MAX, 1..50),
+    ) {
+        let rf = (rf_offset % nodes.min(3)) + 1;
+        let ring = Ring::new(nodes, rf);
+        for &key in &keys {
+            let reps = ring.replicas(key);
+            prop_assert_eq!(reps.len(), rf);
+            let mut sorted = reps.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), rf, "replicas must be distinct");
+            prop_assert!(reps.iter().all(|&r| r < nodes));
+            prop_assert_eq!(ring.replicas(key), reps, "mapping must be pure");
+        }
+    }
+
+    /// groups_of_node is the exact inverse of group membership.
+    #[test]
+    fn ring_group_membership_inverts(nodes in 3usize..40) {
+        let ring = Ring::new(nodes, 3);
+        for node in 0..nodes {
+            for g in ring.groups_of_node(node) {
+                prop_assert!(ring.group_of_primary(g).contains(&node));
+            }
+        }
+        // And conversely: every group containing `node` is listed.
+        for g in 0..nodes {
+            for &member in &ring.group_of_primary(g) {
+                prop_assert!(ring.groups_of_node(member).contains(&g));
+            }
+        }
+    }
+
+    /// Ring ownership is balanced within a few percent for uniform keys.
+    #[test]
+    fn ring_ownership_balanced(nodes in 2usize..20, seed in 0u64..20) {
+        let ring = Ring::new(nodes, 1);
+        let mut counts = vec![0u64; nodes];
+        let total = 20_000u64;
+        for i in 0..total {
+            counts[ring.primary(i.wrapping_mul(0x9e3779b97f4a7c15) ^ seed)] += 1;
+        }
+        let expect = total as f64 / nodes as f64;
+        for &c in &counts {
+            prop_assert!(
+                (c as f64 - expect).abs() / expect < 0.15,
+                "ownership skewed: {counts:?}"
+            );
+        }
+    }
+
+    /// The snitch's selection is always a member of the supplied group and
+    /// is stable between recomputations.
+    #[test]
+    fn snitch_selects_in_group(
+        peers in 3usize..16,
+        latencies in proptest::collection::vec(1u64..500, 3..16),
+    ) {
+        let mut s = DynamicSnitch::new(peers, SnitchConfig::default());
+        for (peer, &l) in latencies.iter().enumerate().take(peers) {
+            s.record_latency(peer, Nanos::from_millis(l));
+        }
+        s.recompute(Nanos::from_millis(100));
+        let group: Vec<usize> = (0..peers.min(3)).collect();
+        let first = s.select(&group);
+        prop_assert!(group.contains(&first));
+        // Feed arbitrary new evidence without a recompute: frozen choice.
+        for peer in 0..peers {
+            s.record_latency(peer, Nanos::from_millis(1));
+        }
+        prop_assert_eq!(s.select(&group), first, "ranking must stay frozen");
+    }
+
+    /// Snitch scores are monotone in the gossiped iowait.
+    #[test]
+    fn snitch_score_monotone_in_iowait(io in 0.0f64..1.0, extra in 0.01f64..0.5) {
+        let mut a = DynamicSnitch::new(1, SnitchConfig::default());
+        let mut b = DynamicSnitch::new(1, SnitchConfig::default());
+        a.record_latency(0, Nanos::from_millis(5));
+        b.record_latency(0, Nanos::from_millis(5));
+        a.record_iowait(0, io);
+        b.record_iowait(0, (io + extra).min(1.5));
+        a.recompute(Nanos::from_millis(100));
+        b.recompute(Nanos::from_millis(100));
+        prop_assert!(b.score(0) >= a.score(0));
+    }
+}

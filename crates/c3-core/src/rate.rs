@@ -1,0 +1,559 @@
+//! Distributed rate control: token bucket + cubic adaptation (§3.2, Alg. 2).
+//!
+//! Every client keeps one [`RateLimiter`] per server. The limiter enforces a
+//! sending-rate limit `srate` expressed in requests per δ window (δ = 20 ms
+//! by default) via a window-refilled token bucket, measures the server's
+//! receive rate `rrate` (responses per δ), and adapts `srate` with a
+//! CUBIC-inspired controller:
+//!
+//! - if `srate > rrate` and a hysteresis period has elapsed since the last
+//!   increase, the client records the saturation rate `R₀ ← srate` and
+//!   decreases multiplicatively, `srate ← srate·β`;
+//! - if `srate < rrate`, the client grows along the cubic curve
+//!   `R(ΔT) = γ·(ΔT − ∛(β·R₀/γ))³ + R₀` where `ΔT` is the time since the
+//!   last decrease, capping each step at `s_max`.
+//!
+//! The scaling factor γ is derived from the configured saddle duration `K`
+//! (γ = β·R₀/K³), so the curve's inflection point — the flat saddle where
+//! the client sits near the last-known saturation rate — always spans the
+//! configured duration regardless of R₀. Past the saddle the curve grows
+//! steeply again: the *optimistic probing* region (Figure 5).
+
+use crate::config::C3Config;
+use crate::time::Nanos;
+
+/// Operating region of the cubic growth curve (Figure 5 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RatePhase {
+    /// Well below the saturation rate: steep recovery growth.
+    LowRate,
+    /// Near the saturation rate: conservative growth.
+    Saddle,
+    /// Past the saddle: aggressively probing for more capacity.
+    OptimisticProbing,
+}
+
+/// Per-server token-bucket rate limiter with cubic rate adaptation.
+#[derive(Clone, Debug)]
+pub struct RateLimiter {
+    cfg: RateParams,
+    /// Current sending-rate limit, requests per δ.
+    srate: f64,
+    /// Tokens remaining in the current δ window.
+    tokens: f64,
+    /// Start of the current token window.
+    window_start: Nanos,
+    /// Per-window traffic measurement (sends, receives, throttles).
+    meter: WindowMeter,
+    /// Saturation rate `R₀`: srate at the moment of the last decrease.
+    r0: f64,
+    /// Time of the last multiplicative decrease.
+    t_decrease: Nanos,
+    /// Virtual extension of the elapsed-since-decrease time, non-zero only
+    /// before the first real decrease (see [`RateLimiter::new`]).
+    anchor_offset: Nanos,
+    /// Time of the last rate increase.
+    t_increase: Nanos,
+    /// Counters for introspection.
+    stats: RateStats,
+}
+
+/// Subset of [`C3Config`] the limiter needs; copied at construction.
+#[derive(Clone, Copy, Debug)]
+struct RateParams {
+    beta: f64,
+    delta: Nanos,
+    saddle: Nanos,
+    smax: f64,
+    hysteresis: Nanos,
+    min_rate: f64,
+}
+
+/// Counters describing the limiter's behaviour over a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RateStats {
+    /// Number of multiplicative decreases performed.
+    pub decreases: u64,
+    /// Number of cubic increases performed.
+    pub increases: u64,
+    /// Number of sends rejected because the window budget was exhausted.
+    pub throttled: u64,
+}
+
+impl RateLimiter {
+    /// Create a limiter from a C3 configuration, starting at
+    /// `cfg.initial_rate` requests per δ.
+    pub fn new(cfg: &C3Config, now: Nanos) -> Self {
+        cfg.validate();
+        Self {
+            cfg: RateParams {
+                beta: cfg.beta,
+                delta: cfg.delta,
+                saddle: cfg.saddle,
+                smax: cfg.smax,
+                hysteresis: cfg.hysteresis,
+                min_rate: cfg.min_rate,
+            },
+            srate: cfg.initial_rate,
+            tokens: cfg.initial_rate,
+            window_start: now,
+            meter: WindowMeter::new(now),
+            r0: cfg.initial_rate,
+            t_decrease: now,
+            // A fresh limiter behaves as if the last decrease happened one
+            // saddle ago: the cubic curve then evaluates to exactly
+            // `initial_rate` now, and probing can begin immediately if the
+            // server proves fast. The offset is cleared on the first real
+            // decrease.
+            anchor_offset: cfg.saddle,
+            t_increase: now,
+            stats: RateStats::default(),
+        }
+    }
+
+    /// Time of the last multiplicative decrease (the cubic curve's anchor).
+    pub fn last_decrease(&self) -> Nanos {
+        self.t_decrease
+    }
+
+    /// Time of the last rate increase.
+    pub fn last_increase(&self) -> Nanos {
+        self.t_increase
+    }
+
+    /// Current sending-rate limit (requests per δ).
+    pub fn srate(&self) -> f64 {
+        self.srate
+    }
+
+    /// Receive rate measured over the last completed δ window.
+    pub fn rrate(&self) -> f64 {
+        self.meter.rrate
+    }
+
+    /// Actual send rate measured over the last completed δ window.
+    pub fn arate(&self) -> f64 {
+        self.meter.arate
+    }
+
+    /// Last recorded saturation rate `R₀`.
+    pub fn saturation_rate(&self) -> f64 {
+        self.r0
+    }
+
+    /// Behaviour counters.
+    pub fn stats(&self) -> RateStats {
+        self.stats
+    }
+
+    /// The operating region the limiter is currently in, judged by the
+    /// elapsed time since the last decrease relative to the saddle.
+    pub fn phase(&self, now: Nanos) -> RatePhase {
+        let k = self.cfg.saddle.as_millis_f64();
+        let dt = (now.saturating_sub(self.t_decrease) + self.anchor_offset).as_millis_f64();
+        // The saddle spans roughly [K/2, 3K/2] around the inflection at K.
+        if dt < 0.5 * k {
+            RatePhase::LowRate
+        } else if dt <= 1.5 * k {
+            RatePhase::Saddle
+        } else {
+            RatePhase::OptimisticProbing
+        }
+    }
+
+    /// Roll the token window forward if `now` has crossed one or more
+    /// window boundaries, refilling the budget to `srate`.
+    fn roll_window(&mut self, now: Nanos) {
+        let delta = self.cfg.delta.as_nanos();
+        let elapsed = now.saturating_sub(self.window_start).as_nanos();
+        if elapsed >= delta {
+            let windows = elapsed / delta;
+            self.window_start = Nanos(self.window_start.as_nanos() + windows * delta);
+            self.tokens = self.srate;
+        }
+    }
+
+    /// Try to consume one send token. Returns `true` when the request may
+    /// be sent to the server now; `false` means the server's rate is
+    /// saturated for the remainder of the window.
+    pub fn try_acquire(&mut self, now: Nanos) -> bool {
+        self.roll_window(now);
+        self.meter.roll(now, self.cfg.delta);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            self.meter.sent += 1;
+            true
+        } else {
+            self.stats.throttled += 1;
+            self.meter.throttled += 1;
+            false
+        }
+    }
+
+    /// Earliest time at which a token could become available again (the next
+    /// window boundary). Backpressured callers should retry then (a response
+    /// arriving earlier may also raise the rate; callers retry on responses
+    /// too).
+    pub fn next_window(&self, now: Nanos) -> Nanos {
+        let delta = self.cfg.delta.as_nanos();
+        let elapsed = now.saturating_sub(self.window_start).as_nanos();
+        let windows_ahead = elapsed / delta + 1;
+        Nanos(self.window_start.as_nanos() + windows_ahead * delta)
+    }
+
+    /// The cubic growth curve `R(ΔT)` anchored at the last decrease
+    /// (requests per δ). Exposed for the Figure 5 reproduction.
+    pub fn cubic_rate_at(&self, dt: Nanos) -> f64 {
+        cubic_rate(
+            self.r0,
+            self.cfg.beta,
+            self.cfg.saddle.as_millis_f64(),
+            dt.as_millis_f64(),
+        )
+    }
+
+    /// Record a response from the server and run the adaptation step
+    /// (Algorithm 2, lines 3–11).
+    ///
+    /// One deliberate deviation from the paper's pseudocode, documented in
+    /// `DESIGN.md`: Algorithm 2 compares the rate *limit* (`srate`) against
+    /// the measured receive rate. Taken literally, a client whose demand is
+    /// far below its limit always sees `srate > rrate` and decays the limit
+    /// to the floor even though the server is perfectly healthy — at
+    /// realistic per-(client, server) loads (~1 request per δ) this
+    /// throttles the whole system. A rate limit is only falsifiable where
+    /// it binds, so this implementation decreases when the **actual** send
+    /// rate outruns the receive rate (the congestion signal the limit
+    /// stands in for) and grows along the cubic curve when the budget was
+    /// actually exhausted while the server kept pace.
+    pub fn on_response(&mut self, now: Nanos) {
+        self.meter.roll(now, self.cfg.delta);
+        self.meter.recv += 1;
+        let arate = self.meter.arate;
+        let rrate = self.meter.rrate;
+        let was_throttled = self.meter.was_throttled;
+
+        if arate > rrate + DEAD_BAND
+            && now.saturating_sub(self.t_increase) > self.cfg.hysteresis
+            && now.saturating_sub(self.t_decrease) > self.cfg.hysteresis
+        {
+            // The server fell behind what we actually sent: multiplicative
+            // decrease, anchored at the observed saturation rate.
+            self.r0 = self.srate;
+            self.srate = (self.srate * self.cfg.beta).max(self.cfg.min_rate);
+            self.t_decrease = now;
+            self.anchor_offset = Nanos::ZERO;
+            self.stats.decreases += 1;
+        } else if was_throttled && rrate + DEAD_BAND >= arate {
+            // The budget was binding and the server kept pace: grow along
+            // the cubic curve, at most `smax` per step.
+            let dt = now.saturating_sub(self.t_decrease) + self.anchor_offset;
+            self.t_increase = now;
+            let target = self.cubic_rate_at(dt);
+            let stepped = (self.srate + self.cfg.smax).min(target);
+            if stepped > self.srate {
+                self.srate = stepped;
+                self.stats.increases += 1;
+            }
+        }
+    }
+}
+
+/// Tolerance on per-window count comparisons: with only a handful of
+/// requests per δ window, off-by-one phase effects between the send and
+/// receive streams are noise, not congestion.
+const DEAD_BAND: f64 = 1.0;
+
+/// Per-δ-window measurement of actual traffic to one server.
+#[derive(Clone, Copy, Debug)]
+struct WindowMeter {
+    window_start: Nanos,
+    sent: u64,
+    recv: u64,
+    throttled: u64,
+    /// Send rate over the last completed window.
+    arate: f64,
+    /// Receive rate over the last completed window.
+    rrate: f64,
+    /// Whether any send was throttled in the last completed window (or the
+    /// current one).
+    was_throttled: bool,
+}
+
+impl WindowMeter {
+    fn new(now: Nanos) -> Self {
+        Self {
+            window_start: now,
+            sent: 0,
+            recv: 0,
+            throttled: 0,
+            arate: 0.0,
+            rrate: 0.0,
+            was_throttled: false,
+        }
+    }
+
+    /// Close out completed windows if `now` has moved past them. Counts
+    /// from a window followed by idle windows are spread over the gap.
+    fn roll(&mut self, now: Nanos, delta: Nanos) {
+        let delta_ns = delta.as_nanos();
+        let elapsed = now.saturating_sub(self.window_start).as_nanos();
+        if elapsed < delta_ns {
+            return;
+        }
+        let windows = elapsed / delta_ns;
+        let spread = windows as f64;
+        self.arate = self.sent as f64 / spread;
+        self.rrate = self.recv as f64 / spread;
+        self.was_throttled = self.throttled > 0;
+        self.window_start = Nanos(self.window_start.as_nanos() + windows * delta_ns);
+        self.sent = 0;
+        self.recv = 0;
+        self.throttled = 0;
+    }
+}
+
+/// The cubic growth function
+/// `R(ΔT) = γ·(ΔT − K)³ + R₀` with `K = ∛(β·R₀/γ)` chosen so the inflection
+/// (saddle midpoint) sits at `saddle_ms`: `γ = β·R₀ / K³`.
+///
+/// At `ΔT = 0` the curve starts at `R₀·(1−β)`; it flattens around
+/// `ΔT = K = saddle_ms` where it crosses `R₀`; beyond the saddle it grows
+/// cubically (optimistic probing).
+pub fn cubic_rate(r0: f64, beta: f64, saddle_ms: f64, dt_ms: f64) -> f64 {
+    let k = saddle_ms;
+    let gamma = beta * r0 / k.powi(3);
+    gamma * (dt_ms - k).powi(3) + r0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> C3Config {
+        C3Config {
+            initial_rate: 10.0,
+            ..C3Config::default()
+        }
+    }
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    #[test]
+    fn token_bucket_enforces_rate_per_window() {
+        let mut rl = RateLimiter::new(&cfg(), Nanos::ZERO);
+        let mut sent = 0;
+        for _ in 0..50 {
+            if rl.try_acquire(ms(1)) {
+                sent += 1;
+            }
+        }
+        assert_eq!(sent, 10, "exactly srate sends per window");
+        assert_eq!(rl.stats().throttled, 40);
+    }
+
+    #[test]
+    fn window_refills_budget() {
+        let mut rl = RateLimiter::new(&cfg(), Nanos::ZERO);
+        for _ in 0..10 {
+            assert!(rl.try_acquire(ms(0)));
+        }
+        assert!(!rl.try_acquire(ms(19)));
+        assert!(rl.try_acquire(ms(20)), "new window refills tokens");
+    }
+
+    #[test]
+    fn next_window_is_boundary() {
+        let rl = RateLimiter::new(&cfg(), Nanos::ZERO);
+        assert_eq!(rl.next_window(ms(0)), ms(20));
+        assert_eq!(rl.next_window(ms(19)), ms(20));
+        assert_eq!(rl.next_window(ms(20)), ms(40));
+        assert_eq!(rl.next_window(ms(45)), ms(60));
+    }
+
+    #[test]
+    fn cubic_curve_endpoints() {
+        // At ΔT=0 the curve is R₀(1−β); at the saddle it crosses R₀.
+        let r0 = 100.0;
+        assert!((cubic_rate(r0, 0.2, 100.0, 0.0) - 80.0).abs() < 1e-9);
+        assert!((cubic_rate(r0, 0.2, 100.0, 100.0) - 100.0).abs() < 1e-9);
+        // Past the saddle the curve probes above R₀.
+        assert!(cubic_rate(r0, 0.2, 100.0, 200.0) > r0 + 10.0);
+    }
+
+    #[test]
+    fn cubic_curve_is_monotone_nondecreasing() {
+        let mut prev = f64::NEG_INFINITY;
+        for t in 0..300 {
+            let v = cubic_rate(50.0, 0.2, 100.0, t as f64);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    /// Drive `windows` consecutive δ windows: attempt `attempts` sends per
+    /// window and let a server of the given per-window capacity respond to
+    /// what actually went out.
+    fn drive(
+        rl: &mut RateLimiter,
+        start_ms: u64,
+        windows: u64,
+        attempts: u64,
+        server_capacity: u64,
+    ) -> Nanos {
+        let mut t = ms(start_ms);
+        for w in 0..windows {
+            let base = start_ms + w * 20;
+            let mut sent = 0;
+            for i in 0..attempts {
+                if rl.try_acquire(ms(base + 1) + Nanos(i)) {
+                    sent += 1;
+                }
+            }
+            let responses = sent.min(server_capacity);
+            for i in 0..responses {
+                t = ms(base + 2 + i * 17 / responses.max(1));
+                rl.on_response(t);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn overload_triggers_multiplicative_decrease() {
+        let mut rl = RateLimiter::new(&cfg(), Nanos::ZERO);
+        // Send 8 per window but only 2 responses come back: the server is
+        // falling behind the actual send rate ⇒ multiplicative decrease.
+        drive(&mut rl, 0, 10, 8, 2);
+        assert!(rl.stats().decreases >= 1, "should have decreased");
+        assert!(rl.srate() < 10.0);
+        assert!(rl.saturation_rate() >= rl.srate());
+    }
+
+    #[test]
+    fn idle_client_never_decreases() {
+        // The pathology the implementation deliberately avoids (documented
+        // deviation from the paper's pseudocode): a client sending far
+        // below its limit must not decay the limit to the floor.
+        let mut rl = RateLimiter::new(&cfg(), Nanos::ZERO);
+        drive(&mut rl, 0, 50, 1, 10); // light traffic, healthy server
+        assert_eq!(rl.stats().decreases, 0, "healthy idle traffic decreased");
+        assert_eq!(rl.srate(), 10.0);
+    }
+
+    #[test]
+    fn decrease_respects_min_rate_floor() {
+        let c = C3Config {
+            initial_rate: 2.0,
+            min_rate: 1.0,
+            ..C3Config::default()
+        };
+        let mut rl = RateLimiter::new(&c, Nanos::ZERO);
+        let mut t = ms(0);
+        for _ in 0..50 {
+            t = t + ms(50);
+            rl.on_response(t);
+        }
+        assert!(rl.srate() >= 1.0, "rate must never drop below the floor");
+    }
+
+    #[test]
+    fn fast_server_triggers_cubic_growth() {
+        let mut rl = RateLimiter::new(&cfg(), Nanos::ZERO);
+        // Saturate the budget every window (12 attempts vs limit 10) while
+        // the server keeps pace with everything that was sent: the limit is
+        // binding and falsified ⇒ cubic growth.
+        drive(&mut rl, 0, 40, 12, u64::MAX);
+        assert!(rl.stats().increases >= 1, "should have grown");
+        assert!(rl.srate() > 10.0);
+    }
+
+    #[test]
+    fn growth_steps_capped_by_smax() {
+        let c = C3Config {
+            initial_rate: 10.0,
+            smax: 3.0,
+            ..C3Config::default()
+        };
+        let mut rl = RateLimiter::new(&c, Nanos::ZERO);
+        let mut prev = rl.srate();
+        for w in 0..60u64 {
+            let base = w * 20;
+            for i in 0..20 {
+                let _ = rl.try_acquire(ms(base + 1) + Nanos(i));
+            }
+            for i in 0..15u64 {
+                rl.on_response(ms(base + 2 + i));
+                let cur = rl.srate();
+                assert!(cur - prev <= 3.0 + 1e-9, "step {} exceeded smax", cur - prev);
+                prev = cur;
+            }
+        }
+        assert!(rl.stats().increases > 0, "growth must have happened");
+    }
+
+    #[test]
+    fn hysteresis_blocks_immediate_decrease_after_increase() {
+        let mut rl = RateLimiter::new(&cfg(), Nanos::ZERO);
+        // Keep the budget saturated with a healthy server so increases keep
+        // happening right up to the end of the phase.
+        let t = drive(&mut rl, 0, 40, 1_000, u64::MAX);
+        assert!(rl.srate() > 10.0, "precondition: growth happened");
+        let decreases_before = rl.stats().decreases;
+        // One bad window right after the last increase: a decrease must be
+        // suppressed inside the hysteresis period (2δ = 40 ms).
+        let next_ms = t.as_millis_f64() as u64 / 20 * 20 + 20;
+        for i in 0..10 {
+            let _ = rl.try_acquire(ms(next_ms + 1) + Nanos(i));
+        }
+        rl.on_response(ms(next_ms + 21)); // closes the bad window
+        assert_eq!(rl.stats().decreases, decreases_before);
+    }
+
+    #[test]
+    fn phases_progress_over_time() {
+        let mut rl = RateLimiter::new(&cfg(), Nanos::ZERO);
+        // Force a decrease to anchor t_decrease.
+        drive(&mut rl, 0, 10, 8, 2);
+        assert!(rl.stats().decreases >= 1, "test needs a decrease anchor");
+        let t0 = rl.last_decrease();
+        assert_eq!(rl.phase(t0 + ms(10)), RatePhase::LowRate);
+        assert_eq!(rl.phase(t0 + ms(100)), RatePhase::Saddle);
+        assert_eq!(rl.phase(t0 + ms(400)), RatePhase::OptimisticProbing);
+    }
+
+    #[test]
+    fn receive_rate_measured_per_window() {
+        let mut rl = RateLimiter::new(&cfg(), Nanos::ZERO);
+        // 5 responses in window 0, then one at the start of window 1.
+        for i in 0..5 {
+            rl.on_response(Nanos(i * 1_000_000));
+        }
+        rl.on_response(ms(20));
+        assert_eq!(rl.rrate(), 5.0);
+    }
+
+    #[test]
+    fn send_rate_measured_per_window() {
+        let mut rl = RateLimiter::new(&cfg(), Nanos::ZERO);
+        for i in 0..4 {
+            assert!(rl.try_acquire(Nanos(i * 1_000_000)));
+        }
+        // Crossing the window boundary closes it out.
+        assert!(rl.try_acquire(ms(20)));
+        assert_eq!(rl.arate(), 4.0);
+    }
+
+    #[test]
+    fn idle_gap_dilutes_receive_rate() {
+        let mut rl = RateLimiter::new(&cfg(), Nanos::ZERO);
+        for i in 0..8 {
+            rl.on_response(Nanos(i * 1_000_000));
+        }
+        // Next response 10 windows later: rate should be spread thin.
+        rl.on_response(ms(200));
+        assert!(rl.rrate() < 1.0, "rrate {} should be diluted", rl.rrate());
+    }
+}

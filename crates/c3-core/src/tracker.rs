@@ -1,0 +1,163 @@
+//! Client-side per-server state.
+//!
+//! For every candidate server a C3 client keeps (§3.1):
+//!
+//! - `os_s`, the instantaneous count of outstanding requests to `s`,
+//! - `q̄_s`, an EWMA of the queue-size feedback,
+//! - `μ̄_s⁻¹`, an EWMA of the service-time feedback,
+//! - `R̄_s`, an EWMA of the response time the client itself observed.
+//!
+//! [`ServerTracker`] owns that state; [`TrackerSnapshot`] is a cheap copy
+//! handed to the scoring function.
+
+use crate::ewma::Ewma;
+use crate::feedback::Feedback;
+use crate::time::Nanos;
+
+/// Per-server client state feeding the C3 scoring function.
+#[derive(Clone, Debug)]
+pub struct ServerTracker {
+    outstanding: u32,
+    queue_size: Ewma,
+    service_time_ms: Ewma,
+    response_time_ms: Ewma,
+}
+
+/// A read-only snapshot of a [`ServerTracker`] used for scoring.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrackerSnapshot {
+    /// Outstanding requests from this client to the server.
+    pub outstanding: u32,
+    /// Smoothed queue-size feedback `q̄_s` (None before any feedback).
+    pub queue_size: Option<f64>,
+    /// Smoothed service time `μ̄_s⁻¹` in milliseconds.
+    pub service_time_ms: Option<f64>,
+    /// Smoothed client-observed response time `R̄_s` in milliseconds.
+    pub response_time_ms: Option<f64>,
+}
+
+impl ServerTracker {
+    /// Create a tracker whose EWMAs use the given new-sample weight.
+    pub fn new(ewma_alpha: f64) -> Self {
+        Self {
+            outstanding: 0,
+            queue_size: Ewma::new(ewma_alpha),
+            service_time_ms: Ewma::new(ewma_alpha),
+            response_time_ms: Ewma::new(ewma_alpha),
+        }
+    }
+
+    /// Record that a request was sent to this server.
+    pub fn on_send(&mut self) {
+        self.outstanding += 1;
+    }
+
+    /// Record a response: decrements the outstanding count and folds the
+    /// piggybacked feedback and the observed response time into the EWMAs.
+    ///
+    /// Responses without feedback (e.g. errors or strategies that do not
+    /// piggyback) still decrement the outstanding count and update `R̄_s`.
+    pub fn on_response(&mut self, response_time: Nanos, feedback: Option<&Feedback>) {
+        debug_assert!(self.outstanding > 0, "response without outstanding request");
+        self.outstanding = self.outstanding.saturating_sub(1);
+        self.response_time_ms.update(response_time.as_millis_f64());
+        if let Some(fb) = feedback {
+            self.queue_size.update(fb.queue_size as f64);
+            self.service_time_ms.update(fb.service_time.as_millis_f64());
+        }
+    }
+
+    /// Record a response that never arrived (timeout / connection error):
+    /// only releases the outstanding slot.
+    pub fn on_abandoned(&mut self) {
+        self.outstanding = self.outstanding.saturating_sub(1);
+    }
+
+    /// Current outstanding request count `os_s`.
+    pub fn outstanding(&self) -> u32 {
+        self.outstanding
+    }
+
+    /// Snapshot for scoring.
+    pub fn snapshot(&self) -> TrackerSnapshot {
+        TrackerSnapshot {
+            outstanding: self.outstanding,
+            queue_size: self.queue_size.value(),
+            service_time_ms: self.service_time_ms.value(),
+            response_time_ms: self.response_time_ms.value(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fb(q: u32, ms: u64) -> Feedback {
+        Feedback::new(q, Nanos::from_millis(ms))
+    }
+
+    #[test]
+    fn outstanding_counts_sends_and_responses() {
+        let mut t = ServerTracker::new(0.5);
+        t.on_send();
+        t.on_send();
+        assert_eq!(t.outstanding(), 2);
+        t.on_response(Nanos::from_millis(5), Some(&fb(1, 4)));
+        assert_eq!(t.outstanding(), 1);
+        t.on_abandoned();
+        assert_eq!(t.outstanding(), 0);
+    }
+
+    #[test]
+    fn feedback_updates_ewmas() {
+        let mut t = ServerTracker::new(1.0); // track exactly
+        t.on_send();
+        t.on_response(Nanos::from_millis(10), Some(&fb(6, 4)));
+        let s = t.snapshot();
+        assert_eq!(s.queue_size, Some(6.0));
+        assert_eq!(s.service_time_ms, Some(4.0));
+        assert_eq!(s.response_time_ms, Some(10.0));
+        assert_eq!(s.outstanding, 0);
+    }
+
+    #[test]
+    fn response_without_feedback_updates_response_time_only() {
+        let mut t = ServerTracker::new(1.0);
+        t.on_send();
+        t.on_response(Nanos::from_millis(8), None);
+        let s = t.snapshot();
+        assert_eq!(s.response_time_ms, Some(8.0));
+        assert_eq!(s.queue_size, None);
+        assert_eq!(s.service_time_ms, None);
+    }
+
+    #[test]
+    fn ewma_smooths_feedback_sequence() {
+        let mut t = ServerTracker::new(0.5);
+        for (q, st) in [(0u32, 2u64), (8, 6)] {
+            t.on_send();
+            t.on_response(Nanos::from_millis(st), Some(&fb(q, st)));
+        }
+        let s = t.snapshot();
+        assert_eq!(s.queue_size, Some(4.0)); // 0.5·8 + 0.5·0
+        assert_eq!(s.service_time_ms, Some(4.0)); // 0.5·6 + 0.5·2
+    }
+
+    #[test]
+    fn abandoned_never_underflows() {
+        let mut t = ServerTracker::new(0.5);
+        t.on_abandoned();
+        assert_eq!(t.outstanding(), 0);
+    }
+
+    #[test]
+    fn fresh_tracker_snapshot_is_empty() {
+        let t = ServerTracker::new(0.5);
+        let s = t.snapshot();
+        assert_eq!(s.outstanding, 0);
+        assert!(s.queue_size.is_none());
+        assert!(s.service_time_ms.is_none());
+        assert!(s.response_time_ms.is_none());
+    }
+}

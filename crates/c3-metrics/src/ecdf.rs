@@ -1,0 +1,143 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Figures 6 and 8 of the paper plot ECDFs of read latencies and of
+//! per-window load. [`Ecdf`] stores the sorted sample set exactly, so
+//! quantiles and evaluations are exact (no bucketing error), which is what
+//! you want for plots of a few thousand points.
+
+/// An exact empirical CDF over `u64` samples.
+#[derive(Clone, Debug, Default)]
+pub struct Ecdf {
+    sorted: Vec<u64>,
+}
+
+impl Ecdf {
+    /// Build an ECDF from raw samples (consumes and sorts them).
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        samples.sort_unstable();
+        Self { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≤ `x` (the CDF evaluated at `x`).
+    pub fn eval(&self, x: u64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// Value at quantile `q` in `[0, 1]` using the nearest-rank method.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.sorted.is_empty() {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).max(1);
+        self.sorted[rank - 1]
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> u64 {
+        self.sorted.first().copied().unwrap_or(0)
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.sorted.last().copied().unwrap_or(0)
+    }
+
+    /// `(value, cumulative_fraction)` pairs at `n` evenly spaced quantiles,
+    /// suitable for plotting a monotone step curve. Always includes the
+    /// endpoints when non-empty.
+    pub fn points(&self, n: usize) -> Vec<(u64, f64)> {
+        if self.sorted.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let n = n.max(2);
+        (0..n)
+            .map(|i| {
+                let q = i as f64 / (n - 1) as f64;
+                (self.quantile(q), q)
+            })
+            .collect()
+    }
+
+    /// Iterate over the sorted samples.
+    pub fn samples(&self) -> &[u64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ecdf_is_well_behaved() {
+        let e = Ecdf::from_samples(vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.eval(100), 0.0);
+        assert_eq!(e.quantile(0.5), 0);
+        assert!(e.points(10).is_empty());
+    }
+
+    #[test]
+    fn eval_counts_inclusive() {
+        let e = Ecdf::from_samples(vec![1, 2, 3, 4]);
+        assert_eq!(e.eval(0), 0.0);
+        assert_eq!(e.eval(1), 0.25);
+        assert_eq!(e.eval(2), 0.5);
+        assert_eq!(e.eval(4), 1.0);
+        assert_eq!(e.eval(100), 1.0);
+    }
+
+    #[test]
+    fn quantile_nearest_rank() {
+        let e = Ecdf::from_samples(vec![10, 20, 30, 40, 50]);
+        assert_eq!(e.quantile(0.0), 10);
+        assert_eq!(e.quantile(0.2), 10);
+        assert_eq!(e.quantile(0.21), 20);
+        assert_eq!(e.quantile(0.5), 30);
+        assert_eq!(e.quantile(1.0), 50);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let e = Ecdf::from_samples(vec![5, 1, 4, 2, 3]);
+        assert_eq!(e.samples(), &[1, 2, 3, 4, 5]);
+        assert_eq!(e.min(), 1);
+        assert_eq!(e.max(), 5);
+    }
+
+    #[test]
+    fn points_are_monotone() {
+        let e = Ecdf::from_samples((0..1000).map(|i| (i * 7919) % 100_000).collect());
+        let pts = e.points(50);
+        assert_eq!(pts.len(), 50);
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(pts.first().unwrap().0, e.min());
+        assert_eq!(pts.last().unwrap().0, e.max());
+    }
+
+    #[test]
+    fn duplicates_are_handled() {
+        let e = Ecdf::from_samples(vec![7, 7, 7, 7]);
+        assert_eq!(e.eval(6), 0.0);
+        assert_eq!(e.eval(7), 1.0);
+        assert_eq!(e.quantile(0.5), 7);
+    }
+}

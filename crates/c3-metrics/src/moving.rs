@@ -1,0 +1,140 @@
+//! Sliding-window medians.
+//!
+//! The paper plots a 50-sample moving median over latency traces (Figure 11)
+//! and sending-rate traces (Figure 13), noting that a moving median reveals
+//! the underlying trend of a high-variance series better than a moving
+//! average. [`MovingMedian`] is an incremental implementation; the free
+//! function [`moving_median`] transforms a whole slice at once.
+
+use std::collections::VecDeque;
+
+/// Incremental fixed-window moving median over `f64` samples.
+///
+/// Each `push` is O(w) where `w` is the window length — fine for the offline
+/// trace post-processing this crate is used for.
+#[derive(Clone, Debug)]
+pub struct MovingMedian {
+    window: usize,
+    buf: VecDeque<f64>,
+}
+
+impl MovingMedian {
+    /// Create a moving median with the given window length (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be at least 1");
+        Self {
+            window,
+            buf: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// Push a sample and return the median of the samples currently in the
+    /// window (fewer than `window` during warm-up).
+    pub fn push(&mut self, v: f64) -> f64 {
+        if self.buf.len() == self.window {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(v);
+        self.current()
+    }
+
+    /// Median of the samples currently in the window (NaN when empty).
+    pub fn current(&self) -> f64 {
+        median_of(self.buf.iter().copied())
+    }
+
+    /// Number of samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+fn median_of(values: impl Iterator<Item = f64>) -> f64 {
+    let mut v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in moving median input"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Moving median of `values` with the given window, one output per input
+/// (warm-up outputs use the partial window, matching how trace plots are
+/// usually drawn).
+pub fn moving_median(values: &[f64], window: usize) -> Vec<f64> {
+    let mut mm = MovingMedian::new(window);
+    values.iter().map(|&v| mm.push(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even_windows() {
+        let mut mm = MovingMedian::new(3);
+        assert_eq!(mm.push(1.0), 1.0);
+        assert_eq!(mm.push(3.0), 2.0); // median of {1,3}
+        assert_eq!(mm.push(2.0), 2.0); // median of {1,3,2}
+        assert_eq!(mm.push(100.0), 3.0); // window is {3,2,100}
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut mm = MovingMedian::new(2);
+        mm.push(10.0);
+        mm.push(20.0);
+        mm.push(30.0);
+        assert_eq!(mm.len(), 2);
+        assert_eq!(mm.current(), 25.0);
+    }
+
+    #[test]
+    fn suppresses_spikes() {
+        // A single spike in an otherwise flat series must not move the
+        // median — this is why the paper uses it for Figure 11.
+        let series: Vec<f64> = (0..100)
+            .map(|i| if i == 50 { 1000.0 } else { 5.0 })
+            .collect();
+        let out = moving_median(&series, 9);
+        assert!(out.iter().all(|&m| m == 5.0));
+    }
+
+    #[test]
+    fn empty_window_is_nan() {
+        let mm = MovingMedian::new(4);
+        assert!(mm.current().is_nan());
+        assert!(mm.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_window_panics() {
+        let _ = MovingMedian::new(0);
+    }
+
+    #[test]
+    fn free_function_matches_incremental() {
+        let vals = [4.0, 8.0, 15.0, 16.0, 23.0, 42.0];
+        let out = moving_median(&vals, 3);
+        assert_eq!(out.len(), vals.len());
+        assert_eq!(out[0], 4.0);
+        assert_eq!(out[1], 6.0);
+        assert_eq!(out[2], 8.0);
+        assert_eq!(out[5], 23.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the measurement substrate.
+
+use c3_metrics::{moving_median, Ecdf, LogHistogram, WindowedCounts};
+use proptest::prelude::*;
+
+proptest! {
+    /// Histogram quantiles agree with exact nearest-rank quantiles within
+    /// the documented ~0.8% relative quantization error.
+    #[test]
+    fn histogram_quantiles_match_exact(
+        mut samples in proptest::collection::vec(1u64..1_000_000_000, 10..500),
+        q in 0.0f64..1.0,
+    ) {
+        let mut h = LogHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        let rank = ((q * samples.len() as f64).ceil() as usize).max(1) - 1;
+        let exact = samples[rank] as f64;
+        let approx = h.value_at_quantile(q) as f64;
+        prop_assert!(
+            (approx - exact).abs() <= exact * 0.009 + 1.0,
+            "q={q}: approx {approx} vs exact {exact}"
+        );
+    }
+
+    /// Histogram count/min/max/mean are exact for any input.
+    #[test]
+    fn histogram_aggregates_are_exact(
+        samples in proptest::collection::vec(0u64..1_000_000_000, 1..300),
+    ) {
+        let mut h = LogHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min(), *samples.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+        let mean = samples.iter().map(|&v| v as f64).sum::<f64>() / samples.len() as f64;
+        prop_assert!((h.mean() - mean).abs() < 1e-6 * mean.max(1.0));
+    }
+
+    /// Merging two histograms equals recording the concatenation.
+    #[test]
+    fn histogram_merge_is_concatenation(
+        a in proptest::collection::vec(1u64..1_000_000, 1..100),
+        b in proptest::collection::vec(1u64..1_000_000, 1..100),
+    ) {
+        let mut ha = LogHistogram::new();
+        for &v in &a { ha.record(v); }
+        let mut hb = LogHistogram::new();
+        for &v in &b { hb.record(v); }
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+
+        let mut all = LogHistogram::new();
+        for &v in a.iter().chain(b.iter()) { all.record(v); }
+
+        prop_assert_eq!(merged.count(), all.count());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            prop_assert_eq!(merged.value_at_quantile(q), all.value_at_quantile(q));
+        }
+    }
+
+    /// ECDF eval is the exact fraction ≤ x.
+    #[test]
+    fn ecdf_eval_is_exact(
+        samples in proptest::collection::vec(0u64..10_000, 1..200),
+        x in 0u64..10_000,
+    ) {
+        let exact = samples.iter().filter(|&&v| v <= x).count() as f64
+            / samples.len() as f64;
+        let e = Ecdf::from_samples(samples);
+        prop_assert!((e.eval(x) - exact).abs() < 1e-12);
+    }
+
+    /// Windowed counts conserve the total number of events.
+    #[test]
+    fn windowed_counts_conserve_events(
+        times in proptest::collection::vec(0u64..10_000_000, 0..300),
+        window in 1u64..100_000,
+    ) {
+        let mut w = WindowedCounts::new(window);
+        for &t in &times {
+            w.record(t);
+        }
+        prop_assert_eq!(w.total(), times.len() as u64);
+    }
+
+    /// A moving median output is always bounded by the window's min/max.
+    #[test]
+    fn moving_median_is_bounded(
+        values in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        window in 1usize..20,
+    ) {
+        let out = moving_median(&values, window);
+        prop_assert_eq!(out.len(), values.len());
+        for (i, &m) in out.iter().enumerate() {
+            let start = i.saturating_sub(window - 1);
+            let lo = values[start..=i].iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = values[start..=i].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= lo && m <= hi, "median {m} outside [{lo}, {hi}] at {i}");
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! The multiplexed RPC client with the C3 scheduler embedded.
+//!
+//! One TCP connection per server, shared by all callers: a writer side
+//! (requests are framed and queued through an mpsc channel) and a reader
+//! task that matches responses to waiting callers by correlation id and
+//! feeds the C3 state (response time, piggybacked feedback) before waking
+//! the caller.
+//!
+//! [`C3Client::get`] is the paper's Algorithm 1 in async form: rank the
+//! replica group, send to the best in-rate server, or — when every replica
+//! is rate-saturated — wait out the backpressure interval and retry.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::{Bytes, BytesMut};
+use parking_lot::Mutex;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::TcpStream;
+use tokio::sync::{mpsc, oneshot};
+
+use c3_core::{C3Config, C3State, Nanos, SendDecision};
+
+use crate::error::NetError;
+use crate::proto::{decode_frame, encode_request, Frame, Request, Response};
+
+/// Monotonic clock shared by the client: C3 needs timestamps, tokio gives
+/// us `Instant`.
+#[derive(Clone, Copy, Debug)]
+struct Clock {
+    epoch: tokio::time::Instant,
+}
+
+impl Clock {
+    fn new() -> Self {
+        Self {
+            epoch: tokio::time::Instant::now(),
+        }
+    }
+
+    fn now(&self) -> Nanos {
+        Nanos(self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+    }
+}
+
+/// One server connection: writer channel + in-flight table.
+struct Conn {
+    tx: mpsc::UnboundedSender<Bytes>,
+    inflight: Arc<Mutex<HashMap<u64, Waiter>>>,
+}
+
+struct Waiter {
+    sent_at: Nanos,
+    /// Whether this send was charged to the C3 state (tracked reads) and
+    /// must be credited on response. Untracked sends (direct PUTs) bypass
+    /// the selector entirely.
+    tracked: bool,
+    reply: oneshot::Sender<(Response, Nanos)>,
+}
+
+/// A key-value client that talks to a set of replica servers and performs
+/// C3 adaptive replica selection among them.
+pub struct C3Client {
+    conns: Vec<Conn>,
+    c3: Arc<Mutex<C3State>>,
+    clock: Clock,
+    next_id: AtomicU64,
+}
+
+impl C3Client {
+    /// Connect to all `addrs`; server index `i` in every replica group
+    /// refers to `addrs[i]`.
+    pub async fn connect(addrs: &[std::net::SocketAddr], cfg: C3Config) -> Result<Self, NetError> {
+        let clock = Clock::new();
+        let c3 = Arc::new(Mutex::new(C3State::new(addrs.len(), cfg, clock.now())));
+        let mut conns = Vec::with_capacity(addrs.len());
+        for (server, addr) in addrs.iter().enumerate() {
+            let stream = TcpStream::connect(addr).await?;
+            stream.set_nodelay(true)?;
+            let (rd, wr) = stream.into_split();
+            let inflight: Arc<Mutex<HashMap<u64, Waiter>>> = Arc::new(Mutex::new(HashMap::new()));
+            let (tx, rx) = mpsc::unbounded_channel::<Bytes>();
+            tokio::spawn(write_loop(wr, rx));
+            tokio::spawn(read_loop(rd, inflight.clone(), c3.clone(), clock, server));
+            conns.push(Conn { tx, inflight });
+        }
+        Ok(Self {
+            conns,
+            c3,
+            clock,
+            next_id: AtomicU64::new(1),
+        })
+    }
+
+    /// Number of servers this client knows.
+    pub fn num_servers(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Snapshot of C3 state for introspection (scores, rates).
+    pub fn with_state<T>(&self, f: impl FnOnce(&C3State) -> T) -> T {
+        f(&self.c3.lock())
+    }
+
+    /// Write `key = value` on a specific server (replication is the
+    /// caller's policy; the examples write to every replica).
+    pub async fn put_on(&self, server: usize, key: Bytes, value: Bytes) -> Result<(), NetError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (resp, _rt) = self
+            .send_on(server, Request::Put { id, key, value }, false)
+            .await?;
+        let _ = resp;
+        Ok(())
+    }
+
+    /// Read `key` from the best replica among `group` (indices into the
+    /// address list), using C3 ranking + rate control + backpressure.
+    /// Returns the value (if found) and the server that served it.
+    pub async fn get(
+        &self,
+        group: &[usize],
+        key: Bytes,
+    ) -> Result<(Option<Bytes>, usize), NetError> {
+        for &s in group {
+            if s >= self.conns.len() {
+                return Err(NetError::UnknownServer(s));
+            }
+        }
+        // Algorithm 1: select or wait out backpressure.
+        let server = loop {
+            let decision = {
+                let mut c3 = self.c3.lock();
+                c3.try_send(group, self.clock.now())
+            };
+            match decision {
+                SendDecision::Send(s) => break s,
+                SendDecision::Backpressure { retry_at } => {
+                    let now = self.clock.now();
+                    let wait = retry_at.saturating_sub(now);
+                    tokio::time::sleep(std::time::Duration::from(wait).max(
+                        std::time::Duration::from_micros(100),
+                    ))
+                    .await;
+                }
+            }
+        };
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (resp, _) = self.send_on(server, Request::Get { id, key }, true).await?;
+        let value = match resp.status {
+            crate::proto::Status::Ok => Some(resp.value),
+            crate::proto::Status::NotFound => None,
+        };
+        Ok((value, server))
+    }
+
+    /// Send a request on a specific connection and await its response.
+    /// When `track` is set, the C3 state is charged for the send and
+    /// credited on the response.
+    async fn send_on(
+        &self,
+        server: usize,
+        req: Request,
+        track: bool,
+    ) -> Result<(Response, Nanos), NetError> {
+        let conn = self.conns.get(server).ok_or(NetError::UnknownServer(server))?;
+        let (reply_tx, reply_rx) = oneshot::channel();
+        let sent_at = self.clock.now();
+        conn.inflight.lock().insert(
+            req.id(),
+            Waiter {
+                sent_at,
+                tracked: track,
+                reply: reply_tx,
+            },
+        );
+        if track {
+            self.c3.lock().record_send(server);
+        }
+        let mut buf = BytesMut::with_capacity(64);
+        encode_request(&req, &mut buf);
+        if conn.tx.send(buf.freeze()).is_err() {
+            conn.inflight.lock().remove(&req.id());
+            if track {
+                self.c3.lock().on_abandoned(server);
+            }
+            return Err(NetError::ConnectionClosed);
+        }
+        match reply_rx.await {
+            Ok((resp, response_time)) => Ok((resp, response_time)),
+            Err(_) => {
+                if track {
+                    self.c3.lock().on_abandoned(server);
+                }
+                Err(NetError::ConnectionClosed)
+            }
+        }
+    }
+}
+
+async fn write_loop(
+    mut wr: tokio::net::tcp::OwnedWriteHalf,
+    mut rx: mpsc::UnboundedReceiver<Bytes>,
+) {
+    while let Some(frame) = rx.recv().await {
+        if wr.write_all(&frame).await.is_err() {
+            break;
+        }
+    }
+}
+
+async fn read_loop(
+    mut rd: tokio::net::tcp::OwnedReadHalf,
+    inflight: Arc<Mutex<HashMap<u64, Waiter>>>,
+    c3: Arc<Mutex<C3State>>,
+    clock: Clock,
+    server: usize,
+) {
+    let mut buf = BytesMut::with_capacity(64 * 1024);
+    loop {
+        match decode_frame(&mut buf) {
+            Ok(Some(Frame::Response(resp))) => {
+                let now = clock.now();
+                if let Some(waiter) = inflight.lock().remove(&resp.id) {
+                    let response_time = now.saturating_sub(waiter.sent_at);
+                    if waiter.tracked {
+                        // Feed the C3 state before waking the caller,
+                        // exactly like Algorithm 2's on-completion step.
+                        c3.lock()
+                            .on_response(server, response_time, Some(&resp.feedback), now);
+                    }
+                    let _ = waiter.reply.send((resp, response_time));
+                }
+                continue;
+            }
+            Ok(Some(Frame::Request(_))) | Err(_) => break, // protocol violation
+            Ok(None) => {}
+        }
+        match rd.read_buf(&mut buf).await {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    // Connection is gone: release every waiter (their awaits fail).
+    inflight.lock().clear();
+}

@@ -1,0 +1,30 @@
+//! # c3-net — C3 over real sockets
+//!
+//! A tokio/TCP implementation of the C3 client/server protocol, playing
+//! the role the Akka-based Cassandra patch plays in §4 of the paper:
+//!
+//! - [`KvServer`]: an async key-value server that tracks its pending
+//!   request count and per-request service times, piggybacking both on
+//!   every response ([`proto`] frames). Optional simulated service times
+//!   turn a localhost process into a convincingly loaded replica.
+//! - [`C3Client`]: a multiplexed RPC client (one connection per server,
+//!   correlation-id matching) whose read path is Algorithm 1: rank the
+//!   replica group with the cubic score, send to the best in-rate server,
+//!   or wait out backpressure when all replicas are saturated. The reader
+//!   task feeds responses into [`c3_core::C3State`] before waking callers.
+//!
+//! The crate is deliberately small and dependency-light: frames are
+//! hand-encoded with `bytes`, shared state uses `parking_lot`, and the
+//! only runtime is tokio.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod error;
+pub mod proto;
+mod server;
+
+pub use client::C3Client;
+pub use error::NetError;
+pub use server::{KvServer, ServiceProfile};

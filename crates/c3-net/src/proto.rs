@@ -1,0 +1,368 @@
+//! Wire protocol: length-delimited frames carrying key-value requests and
+//! responses with piggybacked C3 feedback.
+//!
+//! Frame layout (all integers big-endian):
+//!
+//! ```text
+//! [u32 frame_len] [u8 kind] [payload...]
+//!
+//! Request (kind = 1 GET, 2 PUT):
+//!   [u64 id] [u16 key_len] [key] [u32 value_len] [value]   (value only for PUT)
+//! Response (kind = 3):
+//!   [u64 id] [u8 status] [u32 queue_size] [u64 service_time_ns]
+//!   [u32 value_len] [value]
+//! ```
+//!
+//! `queue_size` and `service_time_ns` are the per-response server feedback
+//! C3 clients smooth into `q̄_s` and `μ̄_s⁻¹` (§3.1 of the paper).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use c3_core::{Feedback, Nanos};
+
+use crate::error::NetError;
+
+/// Maximum frame size accepted (16 MiB) — guards against corrupt lengths.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Read a key.
+    Get {
+        /// Correlation id, echoed in the response.
+        id: u64,
+        /// Key bytes.
+        key: Bytes,
+    },
+    /// Write a key.
+    Put {
+        /// Correlation id, echoed in the response.
+        id: u64,
+        /// Key bytes.
+        key: Bytes,
+        /// Value bytes.
+        value: Bytes,
+    },
+}
+
+impl Request {
+    /// The correlation id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Get { id, .. } | Request::Put { id, .. } => *id,
+        }
+    }
+}
+
+/// Response status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Operation succeeded; `value` is meaningful for GET.
+    Ok,
+    /// Key not found (GET only).
+    NotFound,
+}
+
+/// A server response with piggybacked feedback.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// Correlation id echoed from the request.
+    pub id: u64,
+    /// Outcome.
+    pub status: Status,
+    /// C3 feedback: pending requests and service time at the server.
+    pub feedback: Feedback,
+    /// Value bytes (empty unless a successful GET).
+    pub value: Bytes,
+}
+
+const KIND_GET: u8 = 1;
+const KIND_PUT: u8 = 2;
+const KIND_RESPONSE: u8 = 3;
+
+/// Encode a request into a frame (including the length prefix).
+pub fn encode_request(req: &Request, out: &mut BytesMut) {
+    let start = out.len();
+    out.put_u32(0); // placeholder
+    match req {
+        Request::Get { id, key } => {
+            out.put_u8(KIND_GET);
+            out.put_u64(*id);
+            out.put_u16(key.len() as u16);
+            out.put_slice(key);
+        }
+        Request::Put { id, key, value } => {
+            out.put_u8(KIND_PUT);
+            out.put_u64(*id);
+            out.put_u16(key.len() as u16);
+            out.put_slice(key);
+            out.put_u32(value.len() as u32);
+            out.put_slice(value);
+        }
+    }
+    patch_len(out, start);
+}
+
+/// Encode a response into a frame (including the length prefix).
+pub fn encode_response(resp: &Response, out: &mut BytesMut) {
+    let start = out.len();
+    out.put_u32(0);
+    out.put_u8(KIND_RESPONSE);
+    out.put_u64(resp.id);
+    out.put_u8(match resp.status {
+        Status::Ok => 0,
+        Status::NotFound => 1,
+    });
+    out.put_u32(resp.feedback.queue_size);
+    out.put_u64(resp.feedback.service_time.as_nanos());
+    out.put_u32(resp.value.len() as u32);
+    out.put_slice(&resp.value);
+    patch_len(out, start);
+}
+
+fn patch_len(out: &mut BytesMut, start: usize) {
+    let body_len = out.len() - start - 4;
+    out[start..start + 4].copy_from_slice(&(body_len as u32).to_be_bytes());
+}
+
+/// A decoded frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// A request frame.
+    Request(Request),
+    /// A response frame.
+    Response(Response),
+}
+
+/// Try to decode one frame from `buf`. Returns `Ok(None)` when more bytes
+/// are needed; on success the consumed bytes are removed from `buf`.
+pub fn decode_frame(buf: &mut BytesMut) -> Result<Option<Frame>, NetError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let body_len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if body_len > MAX_FRAME {
+        return Err(NetError::FrameTooLarge(body_len));
+    }
+    if buf.len() < 4 + body_len {
+        return Ok(None);
+    }
+    buf.advance(4);
+    let mut body = buf.split_to(body_len);
+    let frame = parse_body(&mut body)?;
+    Ok(Some(frame))
+}
+
+fn parse_body(body: &mut BytesMut) -> Result<Frame, NetError> {
+    if body.is_empty() {
+        return Err(NetError::Malformed("empty frame body"));
+    }
+    let kind = body.get_u8();
+    match kind {
+        KIND_GET => {
+            let id = need_u64(body)?;
+            let key_len = need_u16(body)? as usize;
+            let key = take_bytes(body, key_len)?;
+            Ok(Frame::Request(Request::Get { id, key }))
+        }
+        KIND_PUT => {
+            let id = need_u64(body)?;
+            let key_len = need_u16(body)? as usize;
+            let key = take_bytes(body, key_len)?;
+            let value_len = need_u32(body)? as usize;
+            let value = take_bytes(body, value_len)?;
+            Ok(Frame::Request(Request::Put { id, key, value }))
+        }
+        KIND_RESPONSE => {
+            let id = need_u64(body)?;
+            let status = match need_u8(body)? {
+                0 => Status::Ok,
+                1 => Status::NotFound,
+                s => return Err(NetError::Malformed(Box::leak(
+                    format!("unknown status {s}").into_boxed_str(),
+                ))),
+            };
+            let queue_size = need_u32(body)?;
+            let service_time = Nanos(need_u64(body)?);
+            let value_len = need_u32(body)? as usize;
+            let value = take_bytes(body, value_len)?;
+            Ok(Frame::Response(Response {
+                id,
+                status,
+                feedback: Feedback::new(queue_size, service_time),
+                value,
+            }))
+        }
+        k => Err(NetError::Malformed(Box::leak(
+            format!("unknown frame kind {k}").into_boxed_str(),
+        ))),
+    }
+}
+
+fn need_u8(b: &mut BytesMut) -> Result<u8, NetError> {
+    if b.remaining() < 1 {
+        return Err(NetError::Malformed("truncated u8"));
+    }
+    Ok(b.get_u8())
+}
+
+fn need_u16(b: &mut BytesMut) -> Result<u16, NetError> {
+    if b.remaining() < 2 {
+        return Err(NetError::Malformed("truncated u16"));
+    }
+    Ok(b.get_u16())
+}
+
+fn need_u32(b: &mut BytesMut) -> Result<u32, NetError> {
+    if b.remaining() < 4 {
+        return Err(NetError::Malformed("truncated u32"));
+    }
+    Ok(b.get_u32())
+}
+
+fn need_u64(b: &mut BytesMut) -> Result<u64, NetError> {
+    if b.remaining() < 8 {
+        return Err(NetError::Malformed("truncated u64"));
+    }
+    Ok(b.get_u64())
+}
+
+fn take_bytes(b: &mut BytesMut, n: usize) -> Result<Bytes, NetError> {
+    if b.remaining() < n {
+        return Err(NetError::Malformed("truncated bytes field"));
+    }
+    Ok(b.split_to(n).freeze())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) {
+        let mut buf = BytesMut::new();
+        match &frame {
+            Frame::Request(r) => encode_request(r, &mut buf),
+            Frame::Response(r) => encode_response(r, &mut buf),
+        }
+        let decoded = decode_frame(&mut buf).unwrap().unwrap();
+        assert_eq!(decoded, frame);
+        assert!(buf.is_empty(), "all bytes consumed");
+    }
+
+    #[test]
+    fn get_round_trips() {
+        round_trip(Frame::Request(Request::Get {
+            id: 42,
+            key: Bytes::from_static(b"user:123"),
+        }));
+    }
+
+    #[test]
+    fn put_round_trips() {
+        round_trip(Frame::Request(Request::Put {
+            id: 7,
+            key: Bytes::from_static(b"k"),
+            value: Bytes::from(vec![0xabu8; 1024]),
+        }));
+    }
+
+    #[test]
+    fn response_round_trips_with_feedback() {
+        round_trip(Frame::Response(Response {
+            id: 99,
+            status: Status::Ok,
+            feedback: Feedback::new(17, Nanos::from_millis(4)),
+            value: Bytes::from_static(b"payload"),
+        }));
+    }
+
+    #[test]
+    fn not_found_round_trips() {
+        round_trip(Frame::Response(Response {
+            id: 1,
+            status: Status::NotFound,
+            feedback: Feedback::new(0, Nanos::ZERO),
+            value: Bytes::new(),
+        }));
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_bytes() {
+        let mut buf = BytesMut::new();
+        encode_request(
+            &Request::Get {
+                id: 5,
+                key: Bytes::from_static(b"abc"),
+            },
+            &mut buf,
+        );
+        let full = buf.clone();
+        // Feed one byte at a time; only the final byte yields the frame.
+        let mut partial = BytesMut::new();
+        for (i, b) in full.iter().enumerate() {
+            partial.put_u8(*b);
+            let r = decode_frame(&mut partial).unwrap();
+            if i + 1 < full.len() {
+                assert!(r.is_none(), "should wait at byte {i}");
+            } else {
+                assert!(r.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn two_frames_in_one_buffer() {
+        let mut buf = BytesMut::new();
+        encode_request(
+            &Request::Get {
+                id: 1,
+                key: Bytes::from_static(b"a"),
+            },
+            &mut buf,
+        );
+        encode_request(
+            &Request::Get {
+                id: 2,
+                key: Bytes::from_static(b"b"),
+            },
+            &mut buf,
+        );
+        let f1 = decode_frame(&mut buf).unwrap().unwrap();
+        let f2 = decode_frame(&mut buf).unwrap().unwrap();
+        match (f1, f2) {
+            (Frame::Request(a), Frame::Request(b)) => {
+                assert_eq!(a.id(), 1);
+                assert_eq!(b.id(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32((MAX_FRAME + 1) as u32);
+        buf.put_u8(KIND_GET);
+        assert!(matches!(
+            decode_frame(&mut buf),
+            Err(NetError::FrameTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(1);
+        buf.put_u8(200);
+        assert!(matches!(decode_frame(&mut buf), Err(NetError::Malformed(_))));
+    }
+
+    #[test]
+    fn truncated_body_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(3);
+        buf.put_u8(KIND_GET);
+        buf.put_u16(10); // claims a 10-byte key, but body ends here
+        assert!(matches!(decode_frame(&mut buf), Err(NetError::Malformed(_))));
+    }
+}

@@ -1,0 +1,229 @@
+//! The tokio key-value server.
+//!
+//! A small in-memory store behind real TCP sockets. Each accepted
+//! connection gets a reader task; responses are written back on the same
+//! connection. The server plays the role of a C3 *server* (§3.1): it
+//! tracks its pending-request count, measures each request's service time,
+//! and piggybacks both on every response.
+//!
+//! To make replica-selection experiments meaningful on a single machine,
+//! the server can simulate service times (`ServiceProfile`): each request
+//! holds an execution slot for an exponentially distributed duration before
+//! responding, so queue sizes and service-time feedback behave like a real
+//! loaded replica.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::{Bytes, BytesMut};
+use parking_lot::Mutex;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::Semaphore;
+
+use c3_core::{Feedback, Nanos};
+
+use crate::error::NetError;
+use crate::proto::{decode_frame, encode_response, Frame, Request, Response, Status};
+
+/// Simulated execution behaviour of the server.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceProfile {
+    /// Mean simulated service time per request. `Duration::ZERO` disables
+    /// simulation (requests are served as fast as the store allows).
+    pub mean_service: std::time::Duration,
+    /// Execution slots (requests served concurrently; queuing beyond).
+    pub concurrency: usize,
+}
+
+impl Default for ServiceProfile {
+    fn default() -> Self {
+        Self {
+            mean_service: std::time::Duration::ZERO,
+            concurrency: 4,
+        }
+    }
+}
+
+/// Shared server state.
+struct Shared {
+    store: Mutex<HashMap<Bytes, Bytes>>,
+    /// Requests accepted but not yet responded to.
+    pending: AtomicU32,
+    served: AtomicU64,
+    profile: ServiceProfile,
+    slots: Semaphore,
+    /// Deterministic per-request jitter source for simulated service times.
+    seq: AtomicU64,
+    seed: u64,
+}
+
+/// A running key-value server.
+pub struct KvServer {
+    local_addr: std::net::SocketAddr,
+    shared: Arc<Shared>,
+    handle: tokio::task::JoinHandle<()>,
+}
+
+impl KvServer {
+    /// Bind to `addr` (use port 0 for an ephemeral port) and start serving.
+    pub async fn bind(
+        addr: &str,
+        profile: ServiceProfile,
+        seed: u64,
+    ) -> Result<KvServer, NetError> {
+        let listener = TcpListener::bind(addr).await?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            store: Mutex::new(HashMap::new()),
+            pending: AtomicU32::new(0),
+            served: AtomicU64::new(0),
+            profile,
+            slots: Semaphore::new(profile.concurrency.max(1)),
+            seq: AtomicU64::new(0),
+            seed,
+        });
+        let accept_shared = shared.clone();
+        let handle = tokio::spawn(async move {
+            loop {
+                match listener.accept().await {
+                    Ok((stream, _)) => {
+                        let s = accept_shared.clone();
+                        tokio::spawn(async move {
+                            let _ = serve_connection(stream, s).await;
+                        });
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(KvServer {
+            local_addr,
+            shared,
+            handle,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests served so far.
+    pub fn served(&self) -> u64 {
+        self.shared.served.load(Ordering::Relaxed)
+    }
+
+    /// Requests currently pending.
+    pub fn pending(&self) -> u32 {
+        self.shared.pending.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting connections (existing connections finish naturally
+    /// when clients disconnect).
+    pub fn shutdown(&self) {
+        self.handle.abort();
+    }
+}
+
+impl Drop for KvServer {
+    fn drop(&mut self) {
+        self.handle.abort();
+    }
+}
+
+async fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> Result<(), NetError> {
+    stream.set_nodelay(true)?;
+    let (mut rd, wr) = stream.into_split();
+    let wr = Arc::new(tokio::sync::Mutex::new(wr));
+    let mut buf = BytesMut::with_capacity(64 * 1024);
+    loop {
+        // Decode as many complete frames as are buffered.
+        while let Some(frame) = decode_frame(&mut buf)? {
+            let Frame::Request(req) = frame else {
+                return Err(NetError::Malformed("server received a response frame"));
+            };
+            shared.pending.fetch_add(1, Ordering::Relaxed);
+            let s = shared.clone();
+            let w = wr.clone();
+            tokio::spawn(async move {
+                let resp = execute(&s, req).await;
+                let mut out = BytesMut::with_capacity(64 + resp.value.len());
+                encode_response(&resp, &mut out);
+                let mut guard = w.lock().await;
+                let _ = guard.write_all(&out).await;
+            });
+        }
+        let n = rd.read_buf(&mut buf).await?;
+        if n == 0 {
+            return Ok(()); // clean disconnect
+        }
+    }
+}
+
+/// Execute one request, holding an execution slot for the simulated
+/// service time, and build the response with feedback.
+async fn execute(shared: &Arc<Shared>, req: Request) -> Response {
+    let _permit = shared.slots.acquire().await.expect("semaphore open");
+    let started = tokio::time::Instant::now();
+    if shared.profile.mean_service > std::time::Duration::ZERO {
+        let n = shared.seq.fetch_add(1, Ordering::Relaxed);
+        let jitter = exp_jitter(shared.seed, n);
+        let dur = shared.profile.mean_service.mul_f64(jitter);
+        tokio::time::sleep(dur).await;
+    }
+    let (id, status, value) = match req {
+        Request::Get { id, key } => match shared.store.lock().get(&key) {
+            Some(v) => (id, Status::Ok, v.clone()),
+            None => (id, Status::NotFound, Bytes::new()),
+        },
+        Request::Put { id, key, value } => {
+            shared.store.lock().insert(key, value);
+            (id, Status::Ok, Bytes::new())
+        }
+    };
+    let service_time = Nanos(started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    // Pending count *excluding* this response, as the paper specifies
+    // (recorded as the response is about to be dispatched).
+    let pending_after = shared
+        .pending
+        .fetch_sub(1, Ordering::Relaxed)
+        .saturating_sub(1);
+    shared.served.fetch_add(1, Ordering::Relaxed);
+    Response {
+        id,
+        status,
+        feedback: Feedback::new(pending_after, service_time),
+        value,
+    }
+}
+
+/// Deterministic exponential multiplier with mean 1.0 (splitmix-hash the
+/// sequence number into a uniform, then invert).
+fn exp_jitter(seed: u64, n: u64) -> f64 {
+    let mut z = seed ^ n.wrapping_mul(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^= z >> 31;
+    let u = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+    -(1.0 - u).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_jitter_has_unit_mean() {
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|i| exp_jitter(42, i)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn exp_jitter_is_deterministic() {
+        assert_eq!(exp_jitter(1, 5), exp_jitter(1, 5));
+        assert_ne!(exp_jitter(1, 5), exp_jitter(1, 6));
+    }
+}

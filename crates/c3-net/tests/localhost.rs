@@ -1,0 +1,160 @@
+//! End-to-end tests for the tokio implementation: real sockets on
+//! localhost, ephemeral ports only.
+
+use bytes::Bytes;
+use c3_core::C3Config;
+use c3_net::{C3Client, KvServer, ServiceProfile};
+
+async fn spawn_servers(n: usize, profile: ServiceProfile) -> (Vec<KvServer>, Vec<std::net::SocketAddr>) {
+    let mut servers = Vec::new();
+    let mut addrs = Vec::new();
+    for i in 0..n {
+        let s = KvServer::bind("127.0.0.1:0", profile, 42 + i as u64)
+            .await
+            .expect("bind");
+        addrs.push(s.local_addr());
+        servers.push(s);
+    }
+    (servers, addrs)
+}
+
+fn client_config() -> C3Config {
+    C3Config {
+        // Plenty of rate for functional tests.
+        initial_rate: 1_000.0,
+        ..C3Config::for_clients(1)
+    }
+}
+
+#[tokio::test]
+async fn put_then_get_round_trips() {
+    let (_servers, addrs) = spawn_servers(3, ServiceProfile::default()).await;
+    let client = C3Client::connect(&addrs, client_config()).await.expect("connect");
+
+    // Replicate the key on all three servers, then read via C3 selection.
+    for s in 0..3 {
+        client
+            .put_on(s, Bytes::from_static(b"user:1"), Bytes::from_static(b"alice"))
+            .await
+            .expect("put");
+    }
+    let (value, served_by) = client
+        .get(&[0, 1, 2], Bytes::from_static(b"user:1"))
+        .await
+        .expect("get");
+    assert_eq!(value.as_deref(), Some(b"alice".as_slice()));
+    assert!(served_by < 3);
+}
+
+#[tokio::test]
+async fn missing_key_returns_none() {
+    let (_servers, addrs) = spawn_servers(2, ServiceProfile::default()).await;
+    let client = C3Client::connect(&addrs, client_config()).await.expect("connect");
+    let (value, _) = client
+        .get(&[0, 1], Bytes::from_static(b"nope"))
+        .await
+        .expect("get");
+    assert!(value.is_none());
+}
+
+#[tokio::test]
+async fn feedback_flows_back_into_scores() {
+    let (_servers, addrs) = spawn_servers(2, ServiceProfile::default()).await;
+    let client = C3Client::connect(&addrs, client_config()).await.expect("connect");
+    for s in 0..2 {
+        client
+            .put_on(s, Bytes::from_static(b"k"), Bytes::from_static(b"v"))
+            .await
+            .expect("put");
+    }
+    for _ in 0..20 {
+        client.get(&[0, 1], Bytes::from_static(b"k")).await.expect("get");
+    }
+    // After 20 tracked reads, both servers should have been observed
+    // (scores initialized away from the unknown-server default of 0).
+    let scores = client.with_state(|st| (st.score_of(0), st.score_of(1)));
+    assert!(
+        scores.0 > 0.0 || scores.1 > 0.0,
+        "feedback should have set scores: {scores:?}"
+    );
+    let outstanding = client.with_state(|st| (st.outstanding(0), st.outstanding(1)));
+    assert_eq!(outstanding, (0, 0), "all requests accounted");
+}
+
+#[tokio::test]
+async fn c3_avoids_the_slow_replica() {
+    // Server 0 simulates 20 ms mean service; server 1 is immediate. After
+    // a learning phase, C3 should send the clear majority of reads to the
+    // fast replica.
+    let slow = KvServer::bind(
+        "127.0.0.1:0",
+        ServiceProfile {
+            mean_service: std::time::Duration::from_millis(20),
+            concurrency: 2,
+        },
+        1,
+    )
+    .await
+    .expect("bind slow");
+    let fast = KvServer::bind("127.0.0.1:0", ServiceProfile::default(), 2)
+        .await
+        .expect("bind fast");
+    let addrs = vec![slow.local_addr(), fast.local_addr()];
+    let client = C3Client::connect(&addrs, client_config()).await.expect("connect");
+    for s in 0..2 {
+        client
+            .put_on(s, Bytes::from_static(b"hot"), Bytes::from_static(b"x"))
+            .await
+            .expect("put");
+    }
+
+    let mut counts = [0u32; 2];
+    for _ in 0..60 {
+        let (_, served_by) = client.get(&[0, 1], Bytes::from_static(b"hot")).await.expect("get");
+        counts[served_by] += 1;
+    }
+    assert!(
+        counts[1] > counts[0],
+        "fast replica should serve the majority: {counts:?}"
+    );
+    assert!(slow.served() + fast.served() >= 60);
+}
+
+#[tokio::test]
+async fn concurrent_callers_share_the_client() {
+    let (_servers, addrs) = spawn_servers(3, ServiceProfile::default()).await;
+    let client = std::sync::Arc::new(
+        C3Client::connect(&addrs, client_config()).await.expect("connect"),
+    );
+    for s in 0..3 {
+        client
+            .put_on(s, Bytes::from_static(b"shared"), Bytes::from_static(b"v"))
+            .await
+            .expect("put");
+    }
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let c = client.clone();
+        handles.push(tokio::spawn(async move {
+            for _ in 0..25 {
+                let (v, _) = c.get(&[0, 1, 2], Bytes::from_static(b"shared")).await.expect("get");
+                assert!(v.is_some());
+            }
+        }));
+    }
+    for h in handles {
+        h.await.expect("task");
+    }
+    let outstanding = client.with_state(|st| {
+        (0..st.num_servers()).map(|s| st.outstanding(s)).sum::<u32>()
+    });
+    assert_eq!(outstanding, 0, "no leaked outstanding slots");
+}
+
+#[tokio::test]
+async fn unknown_server_index_is_rejected() {
+    let (_servers, addrs) = spawn_servers(1, ServiceProfile::default()).await;
+    let client = C3Client::connect(&addrs, client_config()).await.expect("connect");
+    let err = client.get(&[0, 5], Bytes::from_static(b"k")).await.unwrap_err();
+    assert!(matches!(err, c3_net::NetError::UnknownServer(5)));
+}

@@ -1,0 +1,213 @@
+//! Deterministic discrete-event kernel.
+//!
+//! A minimal event queue shared by the §6 simulator (this crate) and the
+//! Cassandra-like cluster simulator (`c3-cluster`). Events are ordered by
+//! `(time, insertion sequence)` so simultaneous events fire in insertion
+//! order — runs are bit-for-bit reproducible given a seed.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use c3_core::Nanos;
+
+/// A scheduled entry in the queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Entry {
+    time: Nanos,
+    seq: u64,
+}
+
+/// A deterministic event queue.
+///
+/// `E` is the simulation's event type. The kernel never inspects events —
+/// it only orders them.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Entry, usize)>>,
+    slots: Vec<Option<E>>,
+    free: Vec<usize>,
+    seq: u64,
+    now: Nanos,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue starting at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            seq: 0,
+            now: Nanos::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before the current time).
+    pub fn schedule(&mut self, at: Nanos, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at:?} < {:?}",
+            self.now
+        );
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(event);
+                i
+            }
+            None => {
+                self.slots.push(Some(event));
+                self.slots.len() - 1
+            }
+        };
+        let entry = Entry {
+            time: at,
+            seq: self.seq,
+        };
+        self.seq += 1;
+        self.heap.push(Reverse((entry, slot)));
+    }
+
+    /// Schedule `event` after a delay from the current time.
+    pub fn schedule_in(&mut self, delay: Nanos, event: E) {
+        let at = self.now.saturating_add(delay);
+        self.schedule(at, event);
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        let Reverse((entry, slot)) = self.heap.pop()?;
+        self.now = entry.time;
+        self.processed += 1;
+        let event = self.slots[slot].take().expect("slot must be filled");
+        self.free.push(slot);
+        Some((entry.time, event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_millis(30), "c");
+        q.schedule(Nanos::from_millis(10), "a");
+        q.schedule(Nanos::from_millis(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Nanos::from_millis(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_millis(7), ());
+        assert_eq!(q.now(), Nanos::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Nanos::from_millis(7));
+        assert_eq!(q.processed(), 1);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_millis(10), 1);
+        q.pop();
+        q.schedule_in(Nanos::from_millis(5), 2);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t, Nanos::from_millis(15));
+        assert_eq!(e, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_millis(10), ());
+        q.pop();
+        q.schedule(Nanos::from_millis(5), ());
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..100 {
+            q.schedule_in(Nanos::from_millis(1), round);
+            q.pop();
+        }
+        // All events went through a single recycled slot.
+        assert!(q.slots.len() <= 2, "slots grew: {}", q.slots.len());
+    }
+
+    #[test]
+    fn empty_pop_returns_none() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_is_deterministic() {
+        let run = || {
+            let mut q = EventQueue::new();
+            let mut log = Vec::new();
+            q.schedule(Nanos::from_millis(1), 100);
+            while let Some((t, e)) = q.pop() {
+                log.push((t, e));
+                if e < 105 {
+                    q.schedule_in(Nanos::from_millis(1), e + 1);
+                    q.schedule_in(Nanos::from_millis(1), e + 1);
+                }
+                if log.len() > 100 {
+                    break;
+                }
+            }
+            log
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,61 @@
+//! Results of one simulation run.
+
+use c3_core::{Nanos, RateStats};
+use c3_metrics::{Ecdf, LatencySummary, LogHistogram, WindowedCounts};
+
+/// Everything the harness needs from one run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Strategy label ("C3", "LOR", ...).
+    pub strategy: String,
+    /// Seed the run used.
+    pub seed: u64,
+    /// End-to-end read latencies (request creation to primary response),
+    /// in nanoseconds.
+    pub latency: LogHistogram,
+    /// Per-server counts of requests served per load window.
+    pub server_load: Vec<WindowedCounts>,
+    /// Requests completed (primaries only, excluding warm-up).
+    pub completed: u64,
+    /// Wall-clock (simulated) duration from first generation to last
+    /// completion.
+    pub duration: Nanos,
+    /// Total backpressure activations across clients (C3/RR only).
+    pub backpressure_activations: u64,
+    /// Aggregate rate-limiter statistics across clients (C3/RR only).
+    pub rate_stats: RateStats,
+    /// Events processed by the kernel (diagnostics).
+    pub events_processed: u64,
+}
+
+impl RunResult {
+    /// Latency summary at the paper's percentiles.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary::from_histogram(&self.latency)
+    }
+
+    /// Read throughput in requests per second.
+    pub fn throughput(&self) -> f64 {
+        if self.duration == Nanos::ZERO {
+            return 0.0;
+        }
+        self.completed as f64 / self.duration.as_secs_f64()
+    }
+
+    /// Index of the most heavily utilized server (by total requests
+    /// served), as used by Figures 8 and 9.
+    pub fn busiest_server(&self) -> usize {
+        self.server_load
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, w)| w.total())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// ECDF of per-window request counts on the busiest server (Figure 8).
+    pub fn busiest_server_load_ecdf(&self) -> Ecdf {
+        let w = &self.server_load[self.busiest_server()];
+        Ecdf::from_samples(w.counts().to_vec())
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the discrete-event kernel and the simulator's
+//! conservation laws.
+
+use c3_core::Nanos;
+use c3_sim::{EventQueue, SimConfig, Simulation, StrategyKind};
+use proptest::prelude::*;
+
+proptest! {
+    /// The kernel pops events in non-decreasing time order with ties in
+    /// insertion order, for any schedule.
+    #[test]
+    fn kernel_orders_any_schedule(
+        delays in proptest::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &d) in delays.iter().enumerate() {
+            q.schedule(Nanos(d), i);
+        }
+        let mut last: Option<(Nanos, usize)> = None;
+        while let Some((t, idx)) = q.pop() {
+            prop_assert_eq!(Nanos(delays[idx]), t, "event carries its own time");
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t > lt || (t == lt && idx > lidx),
+                    "ordering violated: ({lt:?},{lidx}) then ({t:?},{idx})");
+            }
+            last = Some((t, idx));
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    /// Interleaved scheduling during processing preserves the clock
+    /// invariant (never pops into the past).
+    #[test]
+    fn kernel_clock_is_monotone(
+        seeds in proptest::collection::vec(1u64..100_000, 1..50),
+    ) {
+        let mut q = EventQueue::new();
+        for &s in &seeds {
+            q.schedule(Nanos(s), s);
+        }
+        let mut prev = Nanos::ZERO;
+        let mut budget = 500;
+        while let Some((t, v)) = q.pop() {
+            prop_assert!(t >= prev);
+            prev = t;
+            if budget > 0 && v % 3 == 0 {
+                q.schedule_in(Nanos(v % 1_000 + 1), v / 2 + 1);
+                budget -= 1;
+            }
+        }
+    }
+
+    /// Conservation: the simulator completes exactly the configured number
+    /// of requests and records exactly (total − warmup) latencies, for any
+    /// small topology and strategy.
+    #[test]
+    fn simulation_conserves_requests(
+        servers in 4usize..12,
+        clients in 2usize..10,
+        warmup in 0u64..500,
+        strategy_pick in 0usize..4,
+    ) {
+        let strategy = [
+            StrategyKind::C3,
+            StrategyKind::Lor,
+            StrategyKind::Oracle,
+            StrategyKind::RoundRobin,
+        ][strategy_pick];
+        let total = 2_000u64;
+        let cfg = SimConfig {
+            servers,
+            clients,
+            generators: clients,
+            total_requests: total,
+            warmup_requests: warmup,
+            strategy,
+            seed: servers as u64 * 31 + clients as u64,
+            ..SimConfig::default()
+        };
+        let res = Simulation::new(cfg).run();
+        prop_assert_eq!(res.completed, total);
+        prop_assert_eq!(res.latency.count(), total - warmup.min(total));
+        // Total server-side service events ≥ completed primaries (read
+        // repair adds extras, never removes).
+        let served: u64 = res.server_load.iter().map(|w| w.total()).sum();
+        prop_assert!(served >= total);
+    }
+
+    /// Determinism: identical configs yield identical results, different
+    /// seeds yield different event streams.
+    #[test]
+    fn simulation_is_deterministic(seed in 1u64..500) {
+        let cfg = || SimConfig {
+            servers: 6,
+            clients: 4,
+            generators: 4,
+            total_requests: 1_500,
+            strategy: StrategyKind::C3,
+            seed,
+            ..SimConfig::default()
+        };
+        let a = Simulation::new(cfg()).run();
+        let b = Simulation::new(cfg()).run();
+        prop_assert_eq!(a.events_processed, b.events_processed);
+        prop_assert_eq!(a.latency.value_at_quantile(0.9), b.latency.value_at_quantile(0.9));
+    }
+}

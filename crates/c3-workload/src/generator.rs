@@ -1,0 +1,154 @@
+//! Workload generator "threads".
+//!
+//! The paper drives Cassandra from 120 (and later 210) YCSB generator
+//! threads, each a closed loop: issue a request for a Zipfian key, wait for
+//! the response, repeat. [`GeneratorSpec`] captures the configuration of a
+//! fleet of such generators; [`RequestFactory`] is one generator's sampling
+//! state, producing the `(key, op, record_size)` triple for each request.
+//! The drivers in `c3-sim`/`c3-cluster` own the timing (closed loop or
+//! Poisson) — this module owns only what is sampled per request.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::mix::{Op, WorkloadMix};
+use crate::records::RecordSizes;
+use crate::zipf::ScrambledZipfian;
+
+/// Configuration shared by a fleet of generators.
+#[derive(Clone, Debug)]
+pub struct GeneratorSpec {
+    /// Number of generator threads (the paper uses 120 or 210).
+    pub generators: usize,
+    /// Key popularity distribution (YCSB scrambled Zipfian, ρ = 0.99).
+    pub keys: ScrambledZipfian,
+    /// Read/update mix.
+    pub mix: WorkloadMix,
+    /// Record-size model.
+    pub record_sizes: RecordSizes,
+}
+
+impl GeneratorSpec {
+    /// The paper's §5 default: Zipfian ρ = 0.99 over 10 M keys, 1 KB
+    /// records, the given mix and generator count.
+    pub fn paper_default(generators: usize, mix: WorkloadMix) -> Self {
+        Self {
+            generators,
+            keys: ScrambledZipfian::ycsb(10_000_000),
+            mix,
+            record_sizes: RecordSizes::paper_default(),
+        }
+    }
+
+    /// Build the per-generator factories, deterministically seeded from
+    /// `seed` (generator `i` uses `seed ⊕ i`-derived streams).
+    pub fn build(&self, seed: u64) -> Vec<RequestFactory> {
+        (0..self.generators)
+            .map(|i| RequestFactory {
+                keys: self.keys.clone(),
+                mix: self.mix,
+                record_sizes: self.record_sizes.clone(),
+                rng: SmallRng::seed_from_u64(seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1))),
+            })
+            .collect()
+    }
+}
+
+/// A single sampled request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// The key being read or updated.
+    pub key: u64,
+    /// Operation kind.
+    pub op: Op,
+    /// Record size in bytes (affects service time in the disk models).
+    pub record_bytes: u32,
+}
+
+/// One generator thread's sampling state.
+#[derive(Clone, Debug)]
+pub struct RequestFactory {
+    keys: ScrambledZipfian,
+    mix: WorkloadMix,
+    record_sizes: RecordSizes,
+    rng: SmallRng,
+}
+
+impl RequestFactory {
+    /// Sample the next request.
+    pub fn next_request(&mut self) -> Request {
+        Request {
+            key: self.keys.sample(&mut self.rng),
+            op: self.mix.sample(&mut self.rng),
+            record_bytes: self.record_sizes.sample(&mut self.rng),
+        }
+    }
+
+    /// The configured mix (diagnostics).
+    pub fn mix(&self) -> WorkloadMix {
+        self.mix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(n: usize) -> GeneratorSpec {
+        GeneratorSpec {
+            generators: n,
+            keys: ScrambledZipfian::ycsb(1000),
+            mix: WorkloadMix::read_heavy(),
+            record_sizes: RecordSizes::paper_default(),
+        }
+    }
+
+    #[test]
+    fn builds_one_factory_per_generator() {
+        let factories = spec(7).build(42);
+        assert_eq!(factories.len(), 7);
+    }
+
+    #[test]
+    fn factories_are_deterministic_per_seed() {
+        let mut a = spec(2).build(42);
+        let mut b = spec(2).build(42);
+        for _ in 0..100 {
+            assert_eq!(a[0].next_request(), b[0].next_request());
+            assert_eq!(a[1].next_request(), b[1].next_request());
+        }
+    }
+
+    #[test]
+    fn different_generators_produce_different_streams() {
+        let mut f = spec(2).build(42);
+        let (a, b) = f.split_at_mut(1);
+        let same = (0..50).all(|_| a[0].next_request() == b[0].next_request());
+        assert!(!same, "generator streams must differ");
+    }
+
+    #[test]
+    fn requests_respect_keyspace_and_mix() {
+        let mut f = spec(1).build(9);
+        let mut reads = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            let r = f[0].next_request();
+            assert!(r.key < 1000);
+            assert_eq!(r.record_bytes, 1024);
+            if r.op == Op::Read {
+                reads += 1;
+            }
+        }
+        let frac = reads as f64 / n as f64;
+        assert!((frac - 0.95).abs() < 0.01, "read fraction {frac}");
+    }
+
+    #[test]
+    fn paper_default_matches_section5() {
+        let s = GeneratorSpec::paper_default(120, WorkloadMix::update_heavy());
+        assert_eq!(s.generators, 120);
+        assert_eq!(s.keys.keyspace(), 10_000_000);
+        assert_eq!(s.record_sizes.max_bytes(), 1024);
+    }
+}

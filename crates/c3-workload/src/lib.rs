@@ -1,0 +1,34 @@
+//! # c3-workload — YCSB-like workload substrate
+//!
+//! The C3 paper drives its Cassandra clusters with the Yahoo! Cloud Serving
+//! Benchmark: Zipfian-distributed keys (ρ = 0.99) over 10 million keys,
+//! closed-loop generator threads, three workload mixes (read-heavy 95/5,
+//! update-heavy 50/50, read-only), 1 KB records, and — for one experiment —
+//! Zipfian-distributed field sizes up to 2 KB. Its §6 simulator instead uses
+//! open-loop Poisson arrivals.
+//!
+//! This crate rebuilds those pieces from scratch:
+//!
+//! - [`Zipfian`] / [`ScrambledZipfian`]: the YCSB key-chooser algorithm
+//!   (rejection-free method with precomputed zeta),
+//! - [`WorkloadMix`] and [`Op`]: read/update mixes,
+//! - [`PoissonArrivals`] and [`exp_sample`]: open-loop arrival processes and
+//!   exponential sampling used by the simulator's service times,
+//! - [`RecordSizes`]: fixed and Zipfian-field record-size models,
+//! - [`GeneratorSpec`] / [`RequestFactory`]: a generator "thread"
+//!   (YCSB worker analogue) that produces `(key, op, size)` triples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arrival;
+mod generator;
+mod mix;
+mod records;
+mod zipf;
+
+pub use arrival::{exp_sample, PoissonArrivals};
+pub use generator::{GeneratorSpec, Request, RequestFactory};
+pub use mix::{Op, WorkloadMix};
+pub use records::RecordSizes;
+pub use zipf::{ScrambledZipfian, Zipfian};

@@ -1,0 +1,129 @@
+//! Workload mixes.
+//!
+//! The paper evaluates three request mixes that YCSB calls out as typical
+//! Cassandra deployments: read-heavy (95% reads / 5% updates, "photo
+//! tagging"), update-heavy (50/50, "session store"), and read-only (100%
+//! reads, "user profile").
+
+use rand::Rng;
+
+/// A single data-store operation kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Read one record.
+    Read,
+    /// Update one record.
+    Update,
+}
+
+/// A read/update mix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadMix {
+    read_fraction: f64,
+}
+
+impl WorkloadMix {
+    /// A mix with the given read fraction in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fraction is out of range.
+    pub fn new(read_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&read_fraction),
+            "read fraction must be in [0,1], got {read_fraction}"
+        );
+        Self { read_fraction }
+    }
+
+    /// 95% reads / 5% updates — the paper's "read-heavy" workload
+    /// (photo-tagging style).
+    pub fn read_heavy() -> Self {
+        Self::new(0.95)
+    }
+
+    /// 50% reads / 50% updates — the paper's "update-heavy" workload
+    /// (session-store style).
+    pub fn update_heavy() -> Self {
+        Self::new(0.50)
+    }
+
+    /// 100% reads — the paper's "read-only" workload (user-profile style).
+    pub fn read_only() -> Self {
+        Self::new(1.0)
+    }
+
+    /// The read fraction.
+    pub fn read_fraction(&self) -> f64 {
+        self.read_fraction
+    }
+
+    /// Sample the next operation kind.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Op {
+        if self.read_fraction >= 1.0 || rng.gen::<f64>() < self.read_fraction {
+            Op::Read
+        } else {
+            Op::Update
+        }
+    }
+
+    /// Human-readable name matching the paper's figure labels.
+    pub fn label(&self) -> &'static str {
+        if self.read_fraction >= 1.0 {
+            "Read-Only"
+        } else if self.read_fraction >= 0.95 {
+            "Read-Heavy"
+        } else if self.read_fraction <= 0.5 {
+            "Update-Heavy"
+        } else {
+            "Mixed"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn named_mixes_have_paper_fractions() {
+        assert_eq!(WorkloadMix::read_heavy().read_fraction(), 0.95);
+        assert_eq!(WorkloadMix::update_heavy().read_fraction(), 0.50);
+        assert_eq!(WorkloadMix::read_only().read_fraction(), 1.0);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(WorkloadMix::read_heavy().label(), "Read-Heavy");
+        assert_eq!(WorkloadMix::update_heavy().label(), "Update-Heavy");
+        assert_eq!(WorkloadMix::read_only().label(), "Read-Only");
+        assert_eq!(WorkloadMix::new(0.7).label(), "Mixed");
+    }
+
+    #[test]
+    fn read_only_never_updates() {
+        let mix = WorkloadMix::read_only();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert_eq!(mix.sample(&mut rng), Op::Read);
+        }
+    }
+
+    #[test]
+    fn sampled_fractions_converge() {
+        let mix = WorkloadMix::read_heavy();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 100_000;
+        let reads = (0..n).filter(|_| mix.sample(&mut rng) == Op::Read).count();
+        let frac = reads as f64 / n as f64;
+        assert!((frac - 0.95).abs() < 0.005, "got {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "read fraction")]
+    fn out_of_range_fraction_panics() {
+        let _ = WorkloadMix::new(1.5);
+    }
+}

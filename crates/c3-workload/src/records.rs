@@ -1,0 +1,123 @@
+//! Record-size models.
+//!
+//! Most of the paper's experiments use fixed 1 KB records (YCSB's default:
+//! ten 100-byte fields plus a key). The "skewed record sizes" experiment
+//! (§5) switches to Zipfian-distributed field sizes favouring shorter
+//! values, with records capped at 2 KB across ten fields.
+
+use rand::Rng;
+
+use crate::zipf::Zipfian;
+
+/// A record-size distribution, in bytes.
+#[derive(Clone, Debug)]
+pub enum RecordSizes {
+    /// Every record is exactly this many bytes (paper default: 1024).
+    Fixed(u32),
+    /// Each of `fields` field lengths is drawn Zipfian over
+    /// `1..=max_field_bytes` favouring small values; the record is their
+    /// sum (plus nothing for the key — key bytes are negligible).
+    ZipfianFields {
+        /// Number of fields per record (YCSB default: 10).
+        fields: u32,
+        /// Maximum bytes per field (2 KB records / 10 fields ⇒ ~204).
+        max_field_bytes: u32,
+        /// Zipfian skew of the field-length distribution.
+        zipf: Zipfian,
+    },
+}
+
+impl RecordSizes {
+    /// The paper's default: fixed 1 KB records.
+    pub fn paper_default() -> Self {
+        RecordSizes::Fixed(1024)
+    }
+
+    /// The paper's skewed-record experiment: ten Zipfian fields, records
+    /// capped at `max_record_bytes` (2 KB in §5).
+    pub fn skewed(max_record_bytes: u32) -> Self {
+        let fields = 10;
+        let max_field = (max_record_bytes / fields).max(1);
+        RecordSizes::ZipfianFields {
+            fields,
+            max_field_bytes: max_field,
+            zipf: Zipfian::new(max_field as u64, 0.99),
+        }
+    }
+
+    /// Sample one record's size in bytes.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        match self {
+            RecordSizes::Fixed(b) => *b,
+            RecordSizes::ZipfianFields { fields, zipf, .. } => {
+                // Zipfian rank 0 (most likely) = shortest field (1 byte).
+                (0..*fields)
+                    .map(|_| zipf.sample(rng) as u32 + 1)
+                    .sum()
+            }
+        }
+    }
+
+    /// Maximum possible record size.
+    pub fn max_bytes(&self) -> u32 {
+        match self {
+            RecordSizes::Fixed(b) => *b,
+            RecordSizes::ZipfianFields {
+                fields,
+                max_field_bytes,
+                ..
+            } => fields * max_field_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_is_constant() {
+        let r = RecordSizes::paper_default();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(r.sample(&mut rng), 1024);
+        }
+        assert_eq!(r.max_bytes(), 1024);
+    }
+
+    #[test]
+    fn skewed_respects_cap() {
+        let r = RecordSizes::skewed(2048);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let s = r.sample(&mut rng);
+            assert!(s >= 10, "ten fields of >= 1 byte");
+            assert!(s <= r.max_bytes());
+        }
+    }
+
+    #[test]
+    fn skewed_favors_short_records() {
+        // Zipfian field lengths favour short values, so the mean record
+        // must sit well below half the cap.
+        let r = RecordSizes::skewed(2048);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!(
+            mean < 0.25 * r.max_bytes() as f64,
+            "mean {mean} not skewed small"
+        );
+    }
+
+    #[test]
+    fn skewed_has_variance() {
+        let r = RecordSizes::skewed(2048);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let first = r.sample(&mut rng);
+        let varied = (0..100).any(|_| r.sample(&mut rng) != first);
+        assert!(varied, "skewed sizes must vary");
+    }
+}

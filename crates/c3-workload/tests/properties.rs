@@ -1,0 +1,102 @@
+//! Property-based tests for the workload substrate.
+
+use c3_workload::{exp_sample, PoissonArrivals, RecordSizes, ScrambledZipfian, WorkloadMix, Zipfian};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Zipfian samples always fall inside the item range, for any valid
+    /// (items, theta) pair.
+    #[test]
+    fn zipfian_samples_in_range(
+        items in 1u64..100_000,
+        theta in 0.01f64..0.999,
+        seed in 0u64..1_000,
+    ) {
+        let z = Zipfian::new(items, theta);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(z.sample(&mut rng) < items);
+        }
+    }
+
+    /// Zipfian probabilities are a proper, monotone-decreasing
+    /// distribution.
+    #[test]
+    fn zipfian_probabilities_valid(items in 2u64..2_000, theta in 0.01f64..0.999) {
+        let z = Zipfian::new(items, theta);
+        let mut total = 0.0;
+        let mut prev = f64::INFINITY;
+        for i in 0..items {
+            let p = z.probability(i);
+            prop_assert!(p > 0.0 && p <= prev);
+            prev = p;
+            total += p;
+        }
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    /// Scrambled samples stay inside the keyspace even when it differs
+    /// from the item count.
+    #[test]
+    fn scrambled_stays_in_keyspace(
+        items in 1u64..10_000,
+        keyspace in 1u64..10_000,
+        seed in 0u64..100,
+    ) {
+        let s = ScrambledZipfian::new(items, keyspace, 0.9);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(s.sample(&mut rng) < keyspace);
+        }
+    }
+
+    /// A mix's sampled read fraction converges to its configured value.
+    #[test]
+    fn mix_fraction_converges(frac in 0.0f64..1.0, seed in 0u64..50) {
+        let mix = WorkloadMix::new(frac);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = 20_000;
+        let reads = (0..n)
+            .filter(|_| mix.sample(&mut rng) == c3_workload::Op::Read)
+            .count();
+        let got = reads as f64 / n as f64;
+        prop_assert!((got - frac).abs() < 0.02, "frac {frac} got {got}");
+    }
+
+    /// Exponential samples are non-negative and average to the mean.
+    #[test]
+    fn exp_sample_mean_tracks(mean in 0.001f64..1_000.0, seed in 0u64..50) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = 20_000;
+        let mut total = 0.0;
+        for _ in 0..n {
+            let v = exp_sample(&mut rng, mean);
+            prop_assert!(v >= 0.0);
+            total += v;
+        }
+        let got = total / n as f64;
+        prop_assert!((got - mean).abs() / mean < 0.1, "mean {mean} got {got}");
+    }
+
+    /// Poisson gaps are strictly positive for any sane rate.
+    #[test]
+    fn poisson_gaps_positive(rate in 1.0f64..1e7, seed in 0u64..50) {
+        let p = PoissonArrivals::new(rate);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(p.next_gap(&mut rng).as_nanos() >= 1);
+        }
+    }
+
+    /// Record sizes respect their documented maxima.
+    #[test]
+    fn record_sizes_bounded(cap in 10u32..65_535, seed in 0u64..50) {
+        let r = RecordSizes::skewed(cap);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(r.sample(&mut rng) <= r.max_bytes());
+        }
+    }
+}

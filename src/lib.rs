@@ -1,0 +1,26 @@
+//! Umbrella crate for the C3 reproduction workspace.
+//!
+//! This crate re-exports every workspace crate under one roof so that the
+//! examples under `examples/` and the integration tests under `tests/` can
+//! use the entire system through a single dependency:
+//!
+//! - [`core`] — the C3 algorithm itself (replica ranking, cubic rate
+//!   control, backpressure) plus the baseline client-local strategies.
+//! - [`metrics`] — histograms, ECDFs, windowed time series and summaries.
+//! - [`workload`] — YCSB-like workload generation (Zipfian keys, workload
+//!   mixes, arrival processes, record sizes).
+//! - [`sim`] — the paper's §6 discrete-event simulator.
+//! - [`cluster`] — the Cassandra-like replicated data store substrate with
+//!   Dynamic Snitching, used by the paper's §5 system evaluation.
+//! - [`net`] — a real tokio/TCP implementation of the C3 client/server
+//!   protocol.
+//!
+//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for the
+//! per-figure reproduction record.
+
+pub use c3_cluster as cluster;
+pub use c3_core as core;
+pub use c3_metrics as metrics;
+pub use c3_net as net;
+pub use c3_sim as sim;
+pub use c3_workload as workload;

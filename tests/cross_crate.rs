@@ -1,0 +1,152 @@
+//! Cross-crate integration tests: the headline claims of the paper must
+//! hold end-to-end through the full stack (workload → simulator/cluster →
+//! metrics), and runs must be reproducible.
+
+use c3::cluster::{Cluster, ClusterConfig, ClusterStrategy};
+use c3::core::Nanos;
+use c3::sim::{SimConfig, Simulation, StrategyKind};
+use c3::workload::WorkloadMix;
+
+fn sim_cfg(strategy: StrategyKind) -> SimConfig {
+    SimConfig {
+        servers: 20,
+        clients: 50,
+        generators: 50,
+        total_requests: 60_000,
+        fluctuation_interval: Nanos::from_millis(300),
+        strategy,
+        seed: 5,
+        ..SimConfig::default()
+    }
+}
+
+fn cluster_cfg(strategy: ClusterStrategy) -> ClusterConfig {
+    ClusterConfig {
+        total_ops: 60_000,
+        warmup_ops: 5_000,
+        strategy,
+        seed: 5,
+        ..ClusterConfig::paper(strategy, WorkloadMix::read_heavy())
+    }
+}
+
+#[test]
+fn c3_beats_lor_at_the_tail_in_the_simulator() {
+    // The paper's central §6 claim at slow fluctuations (Figure 14).
+    let c3 = Simulation::new(sim_cfg(StrategyKind::C3)).run();
+    let lor = Simulation::new(sim_cfg(StrategyKind::Lor)).run();
+    assert!(
+        c3.summary().p99_ns < lor.summary().p99_ns,
+        "C3 p99 {} must beat LOR p99 {}",
+        c3.summary().p99_ns,
+        lor.summary().p99_ns
+    );
+}
+
+#[test]
+fn oracle_upper_bounds_c3() {
+    let ora = Simulation::new(sim_cfg(StrategyKind::Oracle)).run();
+    let c3 = Simulation::new(sim_cfg(StrategyKind::C3)).run();
+    assert!(
+        ora.summary().p99_ns <= c3.summary().p99_ns,
+        "the oracle cannot lose to C3"
+    );
+}
+
+#[test]
+fn c3_beats_dynamic_snitching_in_the_cluster() {
+    // The paper's central §5 claims: better tail AND better throughput.
+    let c3 = Cluster::new(cluster_cfg(ClusterStrategy::C3)).run();
+    let ds = Cluster::new(cluster_cfg(ClusterStrategy::DynamicSnitching)).run();
+    assert!(
+        c3.summary().p999_ns < ds.summary().p999_ns,
+        "C3 p99.9 {} must beat DS p99.9 {}",
+        c3.summary().p999_ns,
+        ds.summary().p999_ns
+    );
+    assert!(
+        c3.read_throughput() > ds.read_throughput(),
+        "C3 throughput {} must beat DS {}",
+        c3.read_throughput(),
+        ds.read_throughput()
+    );
+}
+
+#[test]
+fn c3_conditions_load_better_than_ds() {
+    // Figure 8: the busiest node under C3 serves a narrower load band.
+    let c3 = Cluster::new(cluster_cfg(ClusterStrategy::C3)).run();
+    let ds = Cluster::new(cluster_cfg(ClusterStrategy::DynamicSnitching)).run();
+    let spread = |res: &c3::cluster::ClusterResult| {
+        let w = &res.server_load[res.busiest_node()];
+        let e = c3::metrics::Ecdf::from_samples(w.counts().to_vec());
+        e.quantile(0.99).saturating_sub(e.quantile(0.5))
+    };
+    assert!(
+        spread(&c3) < spread(&ds),
+        "C3 load spread {} must be narrower than DS {}",
+        spread(&c3),
+        spread(&ds)
+    );
+}
+
+#[test]
+fn simulator_and_cluster_are_deterministic_end_to_end() {
+    let a = Simulation::new(sim_cfg(StrategyKind::C3)).run();
+    let b = Simulation::new(sim_cfg(StrategyKind::C3)).run();
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.summary().p999_ns, b.summary().p999_ns);
+
+    let x = Cluster::new(cluster_cfg(ClusterStrategy::C3)).run();
+    let y = Cluster::new(cluster_cfg(ClusterStrategy::C3)).run();
+    assert_eq!(x.events_processed, y.events_processed);
+    assert_eq!(x.summary().p999_ns, y.summary().p999_ns);
+}
+
+#[test]
+fn latency_includes_backpressure_time() {
+    // With a severely under-provisioned rate cap (and growth effectively
+    // frozen via a tiny s_max), C3 must park requests in backlog queues
+    // and the recorded latencies must include that waiting time.
+    let mut constrained = sim_cfg(StrategyKind::C3);
+    constrained.clients = 5; // concentrate demand: ~5.6 req/δ per server pair
+    constrained.c3.initial_rate = 2.0;
+    constrained.c3.min_rate = 1.0;
+    constrained.c3.smax = 0.2;
+    constrained.total_requests = 20_000;
+    let mut unconstrained = sim_cfg(StrategyKind::C3);
+    unconstrained.clients = 5;
+    unconstrained.total_requests = 20_000;
+    let tight = Simulation::new(constrained).run();
+    let free = Simulation::new(unconstrained).run();
+    assert!(tight.backpressure_activations > free.backpressure_activations);
+    assert!(
+        tight.summary().mean_ns > free.summary().mean_ns,
+        "a binding rate cap must show up in recorded latency: {} vs {}",
+        tight.summary().mean_ns,
+        free.summary().mean_ns
+    );
+}
+
+#[test]
+fn update_heavy_cluster_serves_both_kinds() {
+    let mut cfg = cluster_cfg(ClusterStrategy::C3);
+    cfg.mix = WorkloadMix::update_heavy();
+    let res = Cluster::new(cfg).run();
+    assert!(res.reads_completed > 20_000);
+    assert!(res.updates_completed > 20_000);
+    // Writes are memtable-cheap: their median must undercut reads'.
+    assert!(
+        res.update_latency.value_at_quantile(0.5) < res.read_latency.value_at_quantile(0.5)
+    );
+}
+
+#[test]
+fn read_repair_disabled_still_completes() {
+    let mut cfg = cluster_cfg(ClusterStrategy::C3);
+    cfg.read_repair_prob = 0.0;
+    cfg.total_ops = 20_000;
+    cfg.warmup_ops = 1_000;
+    let res = Cluster::new(cfg).run();
+    assert_eq!(res.reads_completed + res.updates_completed, 19_000);
+}
