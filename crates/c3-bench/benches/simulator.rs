@@ -4,9 +4,9 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use c3_core::Nanos;
-use c3_sim::{SimConfig, Simulation, StrategyKind};
+use c3_sim::{SimConfig, Simulation, Strategy};
 
-fn small_cfg(strategy: StrategyKind) -> SimConfig {
+fn small_cfg(strategy: Strategy) -> SimConfig {
     SimConfig {
         servers: 20,
         clients: 40,
@@ -22,10 +22,10 @@ fn small_cfg(strategy: StrategyKind) -> SimConfig {
 fn bench_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator_20k_requests");
     group.sample_size(10);
-    for strategy in [StrategyKind::C3, StrategyKind::Lor, StrategyKind::Oracle] {
-        group.bench_function(format!("{strategy:?}"), |b| {
+    for strategy in [Strategy::c3(), Strategy::lor(), Strategy::oracle()] {
+        group.bench_function(strategy.label().to_string(), |b| {
             b.iter_batched(
-                || Simulation::new(small_cfg(strategy)),
+                || Simulation::new(small_cfg(strategy.clone())),
                 |sim| sim.run(),
                 BatchSize::PerIteration,
             )

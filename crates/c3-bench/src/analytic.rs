@@ -17,7 +17,10 @@ use crate::support::banner;
 /// the paper quotes max latency 32 ms for its slightly different split;
 /// we print the whole frontier).
 pub fn fig01() {
-    banner("F1", "LOR vs ideal allocation of a 12-request burst (Figure 1)");
+    banner(
+        "F1",
+        "LOR vs ideal allocation of a 12-request burst (Figure 1)",
+    );
     let total = 12u64;
     let fast_ms = 4.0;
     let slow_ms = 10.0;
@@ -111,7 +114,11 @@ pub fn fig05() {
         } else {
             "optimistic probing"
         };
-        table.row(vec![format!("{dt}"), format!("{rate:.1}"), region.to_string()]);
+        table.row(vec![
+            format!("{dt}"),
+            format!("{rate:.1}"),
+            region.to_string(),
+        ]);
     }
     println!("{table}");
     println!(

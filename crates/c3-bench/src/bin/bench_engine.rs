@@ -1,0 +1,188 @@
+//! Engine benchmark: events/sec through the discrete-event kernel and the
+//! end-to-end §6 simulator, written to `BENCH_engine.json` so the perf
+//! trajectory across PRs has a machine-readable record.
+//!
+//! The kernel comparison pits the pre-refactor design (per-event
+//! `Option<E>` slots plus an auxiliary free vector, as `c3-sim`'s kernel
+//! shipped before `c3-engine` existed) against the engine's slab kernel
+//! with its intrusive free list and cancellable timers, on the same
+//! workload: a hot loop holding a bounded number of pending timers, as the
+//! simulators do.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::io::Write as _;
+use std::time::Instant;
+
+use c3_core::Nanos;
+use c3_engine::EventQueue;
+use c3_sim::{SimConfig, Simulation, Strategy};
+
+/// The seed repo's kernel, reproduced verbatim as the baseline: a binary
+/// heap of `(time, seq)` keys over `Vec<Option<E>>` slots with a separate
+/// free-slot vector.
+struct LegacyEventQueue<E> {
+    heap: BinaryHeap<Reverse<((Nanos, u64), usize)>>,
+    slots: Vec<Option<E>>,
+    free: Vec<usize>,
+    seq: u64,
+    now: Nanos,
+    processed: u64,
+}
+
+impl<E> LegacyEventQueue<E> {
+    fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            seq: 0,
+            now: Nanos::ZERO,
+            processed: 0,
+        }
+    }
+
+    fn schedule(&mut self, at: Nanos, event: E) {
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(event);
+                i
+            }
+            None => {
+                self.slots.push(Some(event));
+                self.slots.len() - 1
+            }
+        };
+        self.seq += 1;
+        self.heap.push(Reverse(((at, self.seq), slot)));
+    }
+
+    fn pop(&mut self) -> Option<(Nanos, E)> {
+        let Reverse(((time, _), slot)) = self.heap.pop()?;
+        self.now = time;
+        self.processed += 1;
+        let event = self.slots[slot].take().expect("slot must be filled");
+        self.free.push(slot);
+        Some((time, event))
+    }
+}
+
+/// Deterministic pseudo-random delays for the churn loop.
+fn next_delay(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (*state >> 33) % 1_000_000 + 1
+}
+
+/// Kernel churn workload: keep `pending` timers alive, pop one + push one
+/// per step, `steps` times. Returns events/sec.
+fn bench_legacy(pending: usize, steps: u64) -> f64 {
+    let mut q = LegacyEventQueue::new();
+    let mut rng = 0x1234_5678_9abc_def0u64;
+    for i in 0..pending {
+        q.schedule(Nanos(next_delay(&mut rng)), i as u64);
+    }
+    let start = Instant::now();
+    for _ in 0..steps {
+        let (t, e) = q.pop().expect("pending events");
+        q.schedule(Nanos(t.as_nanos() + next_delay(&mut rng)), e);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(q.processed);
+    steps as f64 / secs
+}
+
+/// Same churn workload through the engine's slab kernel.
+fn bench_engine_kernel(pending: usize, steps: u64) -> f64 {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut rng = 0x1234_5678_9abc_def0u64;
+    for i in 0..pending {
+        q.schedule(Nanos(next_delay(&mut rng)), i as u64);
+    }
+    let start = Instant::now();
+    for _ in 0..steps {
+        let (t, e) = q.pop().expect("pending events");
+        q.schedule(Nanos(t.as_nanos() + next_delay(&mut rng)), e);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(q.processed());
+    steps as f64 / secs
+}
+
+/// End-to-end simulator throughput in kernel events/sec.
+fn bench_simulator(strategy: Strategy) -> (f64, u64) {
+    let cfg = SimConfig {
+        servers: 20,
+        clients: 40,
+        generators: 40,
+        total_requests: 60_000,
+        fluctuation_interval: Nanos::from_millis(100),
+        strategy,
+        seed: 9,
+        ..SimConfig::default()
+    };
+    let sim = Simulation::new(cfg);
+    let start = Instant::now();
+    let res = sim.run();
+    let secs = start.elapsed().as_secs_f64();
+    (res.events_processed as f64 / secs, res.events_processed)
+}
+
+fn median_of(mut runs: Vec<f64>) -> f64 {
+    runs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    runs[runs.len() / 2]
+}
+
+fn main() {
+    const PENDING: usize = 4_096;
+    const STEPS: u64 = 2_000_000;
+    const REPS: usize = 5;
+
+    println!("engine benchmark: kernel churn ({PENDING} pending timers, {STEPS} steps) ×{REPS}");
+    let legacy = median_of((0..REPS).map(|_| bench_legacy(PENDING, STEPS)).collect());
+    let slab = median_of(
+        (0..REPS)
+            .map(|_| bench_engine_kernel(PENDING, STEPS))
+            .collect(),
+    );
+    println!("  legacy Option-slot kernel: {legacy:>12.0} events/sec");
+    println!("  c3-engine slab kernel:     {slab:>12.0} events/sec");
+    println!("  delta: {:+.1}%", (slab / legacy - 1.0) * 100.0);
+
+    println!("end-to-end §6 simulator (60k requests, 20 servers):");
+    let mut sim_results = Vec::new();
+    for strategy in [Strategy::c3(), Strategy::lor(), Strategy::oracle()] {
+        let label = strategy.label().to_string();
+        let (eps, events) = {
+            let runs: Vec<(f64, u64)> = (0..3).map(|_| bench_simulator(strategy.clone())).collect();
+            let eps = median_of(runs.iter().map(|r| r.0).collect());
+            (eps, runs[0].1)
+        };
+        println!("  {label:<4} {eps:>12.0} events/sec ({events} events)");
+        sim_results.push((label, eps, events));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"kernel_churn\": {{\"pending\": {PENDING}, \"steps\": {STEPS}, \
+         \"legacy_events_per_sec\": {legacy:.0}, \"engine_events_per_sec\": {slab:.0}, \
+         \"delta_pct\": {:.2}}},\n",
+        (slab / legacy - 1.0) * 100.0
+    ));
+    json.push_str("  \"simulator\": {\n");
+    for (i, (label, eps, events)) in sim_results.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{label}\": {{\"events_per_sec\": {eps:.0}, \"events\": {events}}}{}\n",
+            if i + 1 < sim_results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+
+    let path = std::env::var("BENCH_ENGINE_OUT").unwrap_or_else(|_| "BENCH_engine.json".into());
+    let mut f = std::fs::File::create(&path).expect("create BENCH_engine.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_engine.json");
+    println!("wrote {path}");
+}

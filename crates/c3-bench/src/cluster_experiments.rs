@@ -1,15 +1,16 @@
 //! Cluster-backed experiments: Figures 2, 6–13, Table 1 and the two §5
 //! text experiments (skewed records, speculative retries).
 
-use c3_cluster::{Cluster, ClusterConfig, ClusterStrategy, DiskKind, PerturbationSpec,
-    ScriptedSlowdown, WorkloadPhase};
+use c3_cluster::{
+    Cluster, ClusterConfig, DiskKind, PerturbationSpec, ScriptedSlowdown, Strategy, WorkloadPhase,
+};
 use c3_core::Nanos;
 use c3_metrics::{moving_median, ns_to_ms, Ecdf, RunSet, Table};
 use c3_workload::WorkloadMix;
 
 use crate::support::{across_seeds, banner, runs_from_env, Scale};
 
-fn base_cfg(strategy: ClusterStrategy, mix: WorkloadMix, scale: Scale, seed: u64) -> ClusterConfig {
+fn base_cfg(strategy: Strategy, mix: WorkloadMix, scale: Scale, seed: u64) -> ClusterConfig {
     ClusterConfig {
         total_ops: scale.cluster_ops(),
         warmup_ops: scale.cluster_ops() / 20,
@@ -34,7 +35,7 @@ pub fn fig02(scale: Scale) {
         "swing (p99-p1)/median",
         "coeff. of variation",
     ]);
-    for strategy in [ClusterStrategy::DynamicSnitching, ClusterStrategy::C3] {
+    for strategy in [Strategy::dynamic_snitching(), Strategy::c3()] {
         let res = Cluster::new(base_cfg(strategy, WorkloadMix::read_heavy(), scale, 1)).run();
         let busiest = res.busiest_node();
         let counts = res.server_load[busiest].counts().to_vec();
@@ -83,12 +84,12 @@ pub fn table1(scale: Scale) {
         "p99.9 ms",
         "reads/s",
     ]);
-    let rows: [(ClusterStrategy, &str); 5] = [
-        (ClusterStrategy::PrimaryOnly, "Primary (OpenStack Swift)"),
-        (ClusterStrategy::NearestNode, "Nearest (MongoDB)"),
-        (ClusterStrategy::Lor, "LOR (Riak behind Nginx/ELB)"),
-        (ClusterStrategy::DynamicSnitching, "DS (Cassandra)"),
-        (ClusterStrategy::C3, "C3 (this paper)"),
+    let rows: [(Strategy, &str); 5] = [
+        (Strategy::primary_only(), "Primary (OpenStack Swift)"),
+        (Strategy::nearest_node(), "Nearest (MongoDB)"),
+        (Strategy::lor(), "LOR (Riak behind Nginx/ELB)"),
+        (Strategy::dynamic_snitching(), "DS (Cassandra)"),
+        (Strategy::c3(), "C3 (this paper)"),
     ];
     for (strategy, label) in rows {
         let res = Cluster::new(base_cfg(strategy, WorkloadMix::read_heavy(), scale, 1)).run();
@@ -113,7 +114,13 @@ pub fn fig06_fig07(scale: Scale) {
     );
     let runs = runs_from_env();
     let mut lat_table = Table::new(vec![
-        "workload", "strategy", "mean ms", "median ms", "p95 ms", "p99 ms", "p99.9 ms",
+        "workload",
+        "strategy",
+        "mean ms",
+        "median ms",
+        "p95 ms",
+        "p99 ms",
+        "p99.9 ms",
         "p99.9−median ms",
     ]);
     let mut thr_table = Table::new(vec!["workload", "strategy", "reads/s (95% CI)"]);
@@ -123,14 +130,14 @@ pub fn fig06_fig07(scale: Scale) {
         WorkloadMix::update_heavy(),
     ] {
         let mut tail_gap = Vec::new();
-        for strategy in [ClusterStrategy::C3, ClusterStrategy::DynamicSnitching] {
+        for strategy in [Strategy::c3(), Strategy::dynamic_snitching()] {
             let mut mean = RunSet::new();
             let mut median = RunSet::new();
             let mut p95 = RunSet::new();
             let mut p99 = RunSet::new();
             let mut p999 = RunSet::new();
             let thr = across_seeds(runs, |seed| {
-                let res = Cluster::new(base_cfg(strategy, mix, scale, seed)).run();
+                let res = Cluster::new(base_cfg(strategy.clone(), mix, scale, seed)).run();
                 let s = res.summary();
                 mean.push(s.mean_ms());
                 median.push(s.metric_ms("median"));
@@ -185,7 +192,7 @@ pub fn fig08_fig09(scale: Scale) {
         "p99−median",
         "total served by busiest",
     ]);
-    for strategy in [ClusterStrategy::C3, ClusterStrategy::DynamicSnitching] {
+    for strategy in [Strategy::c3(), Strategy::dynamic_snitching()] {
         let res = Cluster::new(base_cfg(strategy, WorkloadMix::read_heavy(), scale, 1)).run();
         let busiest = res.busiest_node();
         let w = &res.server_load[busiest];
@@ -221,15 +228,23 @@ pub fn fig08_fig09(scale: Scale) {
 /// Figure 10: degradation when the offered load rises from 120 to 210
 /// generators (read-heavy).
 pub fn fig10(scale: Scale) {
-    banner("F10", "performance at higher system utilization (Figure 10)");
+    banner(
+        "F10",
+        "performance at higher system utilization (Figure 10)",
+    );
     let mut table = Table::new(vec![
-        "strategy", "generators", "median ms", "p95 ms", "p99 ms", "p99.9 ms",
+        "strategy",
+        "generators",
+        "median ms",
+        "p95 ms",
+        "p99 ms",
+        "p99.9 ms",
     ]);
     let mut degr: Vec<(String, f64, f64)> = Vec::new();
-    for strategy in [ClusterStrategy::C3, ClusterStrategy::DynamicSnitching] {
+    for strategy in [Strategy::c3(), Strategy::dynamic_snitching()] {
         let mut p999s = Vec::new();
         for generators in [120usize, 210] {
-            let mut cfg = base_cfg(strategy, WorkloadMix::read_heavy(), scale, 1);
+            let mut cfg = base_cfg(strategy.clone(), WorkloadMix::read_heavy(), scale, 1);
             cfg.generators = generators;
             let res = Cluster::new(cfg).run();
             let s = res.summary();
@@ -247,7 +262,10 @@ pub fn fig10(scale: Scale) {
     }
     println!("{table}");
     for (name, lo, hi) in degr {
-        println!("{name}: p99.9 degradation at +75% load = {:.0}%", (hi / lo - 1.0) * 100.0);
+        println!(
+            "{name}: p99.9 degradation at +75% load = {:.0}%",
+            (hi / lo - 1.0) * 100.0
+        );
     }
     println!("Paper shape: C3 degrades roughly proportionally to load; DS worse.");
 }
@@ -262,7 +280,7 @@ pub fn fig11(scale: Scale) {
         Scale::Quick => 8,
         Scale::Full => 60,
     });
-    for strategy in [ClusterStrategy::C3, ClusterStrategy::DynamicSnitching] {
+    for strategy in [Strategy::c3(), Strategy::dynamic_snitching()] {
         let mut cfg = base_cfg(strategy, WorkloadMix::read_heavy(), scale, 1);
         cfg.generators = 80;
         cfg.phase = Some(WorkloadPhase {
@@ -279,9 +297,7 @@ pub fn fig11(scale: Scale) {
             .collect();
         let smoothed = moving_median(&values, 50);
         // Split at the phase-entry point.
-        let split = res
-            .latency_trace
-            .partition_point(|&(t, _)| t < phase_at);
+        let split = res.latency_trace.partition_point(|&(t, _)| t < phase_at);
         let stats = |xs: &[f64]| -> (f64, f64) {
             if xs.is_empty() {
                 return (0.0, 0.0);
@@ -314,9 +330,15 @@ pub fn fig11(scale: Scale) {
 pub fn fig12(scale: Scale) {
     banner("F12", "SSD-backed cluster at 210 generators (Figure 12)");
     let mut table = Table::new(vec![
-        "strategy", "median ms", "p95 ms", "p99 ms", "p99.9 ms", "p99.9−p99 ms", "reads/s",
+        "strategy",
+        "median ms",
+        "p95 ms",
+        "p99 ms",
+        "p99.9 ms",
+        "p99.9−p99 ms",
+        "reads/s",
     ]);
-    for strategy in [ClusterStrategy::C3, ClusterStrategy::DynamicSnitching] {
+    for strategy in [Strategy::c3(), Strategy::dynamic_snitching()] {
         let mut cfg = base_cfg(strategy, WorkloadMix::read_heavy(), scale, 1);
         cfg.disk = DiskKind::Ssd;
         cfg.generators = 210;
@@ -352,7 +374,7 @@ pub fn fig13(scale: Scale) {
         (Nanos::from_secs(12), Nanos::from_millis(12_800)),
         (Nanos::from_secs(14), Nanos::from_millis(14_800)),
     ];
-    let mut cfg = base_cfg(ClusterStrategy::C3, WorkloadMix::read_heavy(), scale, 1);
+    let mut cfg = base_cfg(Strategy::c3(), WorkloadMix::read_heavy(), scale, 1);
     cfg.nodes = 7;
     cfg.generators = 70;
     cfg.perturbations = PerturbationSpec::none();
@@ -385,15 +407,20 @@ pub fn fig13(scale: Scale) {
             .iter()
             .map(|(s, v)| format!("{}s:{:.1}", s, v.iter().sum::<f64>() / v.len() as f64))
             .collect();
-        println!("coordinator {i} srate toward node {tracked_node} (req/δ): {}",
-            series.join(" "));
+        println!(
+            "coordinator {i} srate toward node {tracked_node} (req/δ): {}",
+            series.join(" ")
+        );
     }
     for (i, events) in res.backpressure_events.iter().enumerate() {
         let times: Vec<String> = events
             .iter()
             .map(|t| format!("{:.1}s", t.as_secs_f64()))
             .collect();
-        println!("coordinator {i} backpressure events: [{}]", times.join(", "));
+        println!(
+            "coordinator {i} backpressure events: [{}]",
+            times.join(", ")
+        );
     }
     println!(
         "Degradation windows: {:?}",
@@ -414,7 +441,7 @@ pub fn fig13(scale: Scale) {
 pub fn extra_skewed_records(scale: Scale) {
     banner("X1", "skewed record sizes (§5 text: ~2x p99 win)");
     let mut table = Table::new(vec!["strategy", "median ms", "p99 ms", "p99.9 ms"]);
-    for strategy in [ClusterStrategy::C3, ClusterStrategy::DynamicSnitching] {
+    for strategy in [Strategy::c3(), Strategy::dynamic_snitching()] {
         let mut cfg = base_cfg(strategy, WorkloadMix::read_heavy(), scale, 1);
         cfg.skewed_records = true;
         let res = Cluster::new(cfg).run();
@@ -438,11 +465,15 @@ pub fn extra_speculative_retry(scale: Scale) {
         "speculative retries atop DS degrade the tail (§5 text)",
     );
     let mut table = Table::new(vec![
-        "configuration", "p95 ms", "p99 ms", "p99.9 ms", "spec retries",
+        "configuration",
+        "p95 ms",
+        "p99 ms",
+        "p99.9 ms",
+        "spec retries",
     ]);
     for speculative in [false, true] {
         let mut cfg = base_cfg(
-            ClusterStrategy::DynamicSnitching,
+            Strategy::dynamic_snitching(),
             WorkloadMix::read_heavy(),
             scale,
             1,
@@ -451,7 +482,12 @@ pub fn extra_speculative_retry(scale: Scale) {
         let res = Cluster::new(cfg).run();
         let s = res.summary();
         table.row(vec![
-            if speculative { "DS + speculative retry (p99 trigger)" } else { "DS" }.to_string(),
+            if speculative {
+                "DS + speculative retry (p99 trigger)"
+            } else {
+                "DS"
+            }
+            .to_string(),
             format!("{:.2}", s.metric_ms("p95")),
             format!("{:.2}", s.metric_ms("p99")),
             format!("{:.2}", s.metric_ms("p999")),

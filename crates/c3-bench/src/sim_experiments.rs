@@ -3,14 +3,14 @@
 
 use c3_core::{C3Config, Nanos};
 use c3_metrics::Table;
-use c3_sim::{DemandSkew, SimConfig, Simulation, StrategyKind};
+use c3_sim::{DemandSkew, SimConfig, Simulation, Strategy};
 
 use crate::support::{across_seeds, banner, runs_from_env, Scale};
 
 const INTERVALS_MS: [u64; 6] = [10, 50, 100, 200, 300, 500];
 
 fn sim_cfg(
-    strategy: StrategyKind,
+    strategy: Strategy,
     clients: usize,
     interval_ms: u64,
     utilization: f64,
@@ -52,21 +52,35 @@ pub fn fig14(scale: Scale) {
         "p99 vs service-time fluctuation interval (Figure 14)",
     );
     let runs = runs_from_env();
-    for (util, util_label) in [(0.7, "high utilization (70%)"), (0.45, "low utilization (45%)")] {
+    for (util, util_label) in [
+        (0.7, "high utilization (70%)"),
+        (0.45, "low utilization (45%)"),
+    ] {
         for clients in [150usize, 300] {
             let mut table = Table::new(vec![
-                "interval ms", "ORA p99", "C3 p99", "LOR p99", "RR p99",
+                "interval ms",
+                "ORA p99",
+                "C3 p99",
+                "LOR p99",
+                "RR p99",
             ]);
             for interval in INTERVALS_MS {
                 let mut row = vec![format!("{interval}")];
                 for strategy in [
-                    StrategyKind::Oracle,
-                    StrategyKind::C3,
-                    StrategyKind::Lor,
-                    StrategyKind::RoundRobin,
+                    Strategy::oracle(),
+                    Strategy::c3(),
+                    Strategy::lor(),
+                    Strategy::round_robin(),
                 ] {
                     let set = across_seeds(runs, |seed| {
-                        p99_of(sim_cfg(strategy, clients, interval, util, scale, seed))
+                        p99_of(sim_cfg(
+                            strategy.clone(),
+                            clients,
+                            interval,
+                            util,
+                            scale,
+                            seed,
+                        ))
                     });
                     row.push(format!("{:.1}", set.mean()));
                 }
@@ -91,19 +105,23 @@ pub fn fig15(scale: Scale) {
     for skew_clients in [0.2, 0.5] {
         for clients in [150usize, 300] {
             let mut table = Table::new(vec![
-                "interval ms", "ORA p99", "C3 p99", "LOR p99", "RR p99",
+                "interval ms",
+                "ORA p99",
+                "C3 p99",
+                "LOR p99",
+                "RR p99",
             ]);
             for interval in INTERVALS_MS {
                 let mut row = vec![format!("{interval}")];
                 for strategy in [
-                    StrategyKind::Oracle,
-                    StrategyKind::C3,
-                    StrategyKind::Lor,
-                    StrategyKind::RoundRobin,
+                    Strategy::oracle(),
+                    Strategy::c3(),
+                    Strategy::lor(),
+                    Strategy::round_robin(),
                 ] {
                     let set = across_seeds(runs, |seed| {
                         let mut cfg =
-                            sim_cfg(strategy, clients, interval, 0.7, scale, seed);
+                            sim_cfg(strategy.clone(), clients, interval, 0.7, scale, seed);
                         cfg.demand_skew = Some(DemandSkew {
                             fraction_of_clients: skew_clients,
                             fraction_of_demand: 0.8,
@@ -133,18 +151,21 @@ pub fn ablation_components(scale: Scale) {
     let runs = runs_from_env();
     let mut table = Table::new(vec!["variant", "p99 ms (mean over seeds)"]);
     for strategy in [
-        StrategyKind::C3,
-        StrategyKind::C3NoRateControl,
-        StrategyKind::C3NoConcurrencyComp,
-        StrategyKind::C3Exponent(1),
-        StrategyKind::C3Exponent(2),
-        StrategyKind::C3Exponent(4),
-        StrategyKind::Lor,
+        Strategy::c3(),
+        Strategy::c3_no_rate_control(),
+        Strategy::c3_no_concurrency_comp(),
+        Strategy::c3_exponent(1),
+        Strategy::c3_exponent(2),
+        Strategy::c3_exponent(4),
+        Strategy::lor(),
     ] {
         let set = across_seeds(runs, |seed| {
-            p99_of(sim_cfg(strategy, 150, 200, 0.7, scale, seed))
+            p99_of(sim_cfg(strategy.clone(), 150, 200, 0.7, scale, seed))
         });
-        table.row(vec![strategy.label(), format!("{:.1}", set.mean())]);
+        table.row(vec![
+            strategy.label().to_string(),
+            format!("{:.1}", set.mean()),
+        ]);
     }
     println!("{table}");
     println!(
@@ -162,7 +183,7 @@ pub fn ablation_params(scale: Scale) {
     let mut table = Table::new(vec!["parameter", "value", "p99 ms"]);
     for w in [1.0, 10.0, 150.0, 1000.0] {
         let set = across_seeds(runs, |seed| {
-            let mut cfg = sim_cfg(StrategyKind::C3, 150, 200, 0.7, scale, seed);
+            let mut cfg = sim_cfg(Strategy::c3(), 150, 200, 0.7, scale, seed);
             cfg.keep_c3_weight = true;
             cfg.c3.concurrency_weight = w;
             p99_of(cfg)
@@ -175,11 +196,8 @@ pub fn ablation_params(scale: Scale) {
     }
     for beta in [0.1, 0.2, 0.5, 0.8] {
         let set = across_seeds(runs, |seed| {
-            let mut cfg = sim_cfg(StrategyKind::C3, 150, 200, 0.7, scale, seed);
-            cfg.c3 = C3Config {
-                beta,
-                ..cfg.c3
-            };
+            let mut cfg = sim_cfg(Strategy::c3(), 150, 200, 0.7, scale, seed);
+            cfg.c3 = C3Config { beta, ..cfg.c3 };
             p99_of(cfg)
         });
         table.row(vec![

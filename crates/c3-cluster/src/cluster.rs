@@ -1,43 +1,63 @@
-//! The Cassandra-like cluster simulation (the paper's §5 system).
+//! The Cassandra-like cluster simulation (the paper's §5 system), on the
+//! shared `c3-engine` scenario runner.
 //!
 //! Flow of a read: a closed-loop generator thread issues an operation to a
 //! coordinator node (round-robin, as the YCSB Cassandra driver does); the
-//! coordinator selects a replica from the key's replica group using the
-//! configured strategy (Dynamic Snitching, C3, or a Table-1 baseline) and
-//! forwards the request (local reads skip the network); the replica's read
-//! stage executes it under the disk model scaled by the node's current
-//! perturbation multiplier; the response — carrying C3 feedback — returns
-//! via the coordinator to the client, which immediately issues its next
-//! operation.
+//! coordinator selects a replica from the key's replica group using its
+//! registry-built [`ReplicaSelector`] (Dynamic Snitching, C3, or a Table-1
+//! baseline) and forwards the request (local reads skip the network); the
+//! replica's read stage executes it under the disk model scaled by the
+//! node's current perturbation multiplier; the response — carrying C3
+//! feedback — returns via the coordinator to the client, which immediately
+//! issues its next operation.
 //!
 //! Writes go to all replicas and complete on the first acknowledgement
 //! (consistency level ONE, the YCSB default the paper uses). 10% of reads
 //! fan out to every replica (read repair). Optional speculative retry
 //! reissues a read to the next-best replica once it outlives the
 //! coordinator's running 99th-percentile estimate.
+//!
+//! Every coordinator drives one uniform selector path: backpressure-capable
+//! strategies (the C3 family, RR) park reads in per-group backlog queues;
+//! Dynamic Snitching receives its gossip/recompute ticks through the
+//! selector's `as_any_mut` hook (see [`SnitchSelector`]).
 
-use c3_core::{
-    BacklogQueue, C3State, Feedback, Nanos, ReplicaSelector, SendDecision, ServerId,
+use c3_core::{BacklogQueue, Feedback, Nanos, ReplicaSelector, Selection, ServerId};
+use c3_engine::{
+    EngineStats, EventQueue, RunMetrics, Scenario, ScenarioRunner, SeedSeq, SelectorCtx,
+    StrategyRegistry,
 };
-use c3_core::strategies::LeastOutstanding;
 use c3_metrics::{GaugeSeries, LogHistogram, WindowedCounts};
 use c3_workload::{Op, RecordSizes, ScrambledZipfian, WorkloadMix};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use c3_sim::EventQueue;
-
-use crate::config::{ClusterConfig, ClusterStrategy};
+use crate::config::ClusterConfig;
 use crate::perturb::{EpisodeKind, NodePerturbation};
 use crate::ring::Ring;
-use crate::snitch::DynamicSnitch;
+use crate::snitch::{SnitchConfig, SnitchSelector};
 use crate::storage::DiskModel;
 
 type OpId = u64;
 type SendId = u64;
 
+/// Latency channel indices in the engine's [`RunMetrics`].
+const READ_CHANNEL: usize = 0;
+const UPDATE_CHANNEL: usize = 1;
+
+/// Register the cluster-only strategies (Dynamic Snitching, which needs a
+/// [`SnitchConfig`] and gossip plumbing) into an engine registry.
+pub fn register_cluster_strategies(registry: &mut StrategyRegistry, snitch: SnitchConfig) {
+    registry.register("DS", move |ctx: &SelectorCtx| {
+        Box::new(SnitchSelector::new(ctx.servers, snitch)) as Box<dyn ReplicaSelector>
+    });
+}
+
+/// The cluster's event alphabet (public because it is the scenario's
+/// `Scenario::Event` type; construction stays internal).
 #[derive(Clone, Copy, Debug)]
-enum Ev {
+#[allow(missing_docs)]
+pub enum Ev {
     /// A generator thread issues its next operation.
     ClientIssue { thread: usize },
     /// An operation reaches its coordinator.
@@ -56,7 +76,7 @@ enum Ev {
     SnitchTick,
     /// A perturbation episode starts on a node.
     PerturbStart { node: usize, kind: EpisodeKind },
-    /// A C3 coordinator retries a backlogged replica group.
+    /// A coordinator retries a backlogged replica group.
     RetryBacklog { coord: usize, group: usize },
     /// Speculative-retry timeout check for a read.
     SpecCheck { op: OpId },
@@ -99,19 +119,15 @@ struct NodeState {
     perturb: NodePerturbation,
 }
 
-/// Per-coordinator replica-selection state.
+/// Per-coordinator replica-selection state: one registry-built selector
+/// plus the backpressure backlog and the speculative-retry latency view.
 struct Coordinator {
-    c3: Option<C3State>,
-    snitch: Option<DynamicSnitch>,
-    lor: Option<LeastOutstanding>,
-    /// Static preference order for `NearestNode`.
-    nearest_rank: Vec<usize>,
+    selector: Box<dyn ReplicaSelector>,
     backlogs: Vec<BacklogQueue<OpId>>,
     retry_scheduled: Vec<bool>,
     /// Coordinator-observed replica read latencies (speculative-retry
     /// threshold source).
     replica_latency: LogHistogram,
-    rng: SmallRng,
 }
 
 /// Results of one cluster run.
@@ -173,12 +189,13 @@ impl ClusterResult {
     }
 }
 
-/// The assembled cluster simulation.
-pub struct Cluster {
+/// The §5 scenario: state plus event handlers, driven by the engine's
+/// [`ScenarioRunner`]. Build one with [`ClusterScenario::new`], or use the
+/// [`Cluster`] wrapper which owns the runner plumbing.
+pub struct ClusterScenario {
     cfg: ClusterConfig,
     disk: DiskModel,
     ring: Ring,
-    queue: EventQueue<Ev>,
     nodes: Vec<NodeState>,
     coords: Vec<Coordinator>,
     ops: Vec<OpState>,
@@ -189,23 +206,18 @@ pub struct Cluster {
     /// Shared Zipfian tables cloned into phase threads (Figure 11).
     key_template: ScrambledZipfian,
     records: RecordSizes,
+    seeds: SeedSeq,
     wl_rng: SmallRng,
     srv_rng: SmallRng,
     issued: u64,
-    completed: u64,
-    reads_completed: u64,
-    updates_completed: u64,
-    first_completion: Option<Nanos>,
-    last_completion: Nanos,
-    read_latency: LogHistogram,
-    update_latency: LogHistogram,
-    server_load: Vec<WindowedCounts>,
     spec_retries: u64,
     latency_trace: Vec<(Nanos, Nanos)>,
     record_trace: bool,
     probes: Vec<(usize, usize)>,
     rate_traces: Vec<GaugeSeries>,
     backpressure_events: Vec<Vec<Nanos>>,
+    /// Scratch for the per-response backlog drain (avoids allocation).
+    drain_scratch: Vec<usize>,
 }
 
 struct ThreadState {
@@ -215,14 +227,29 @@ struct ThreadState {
     rng: SmallRng,
 }
 
-impl Cluster {
-    /// Build a cluster from a validated config.
+impl ClusterScenario {
+    /// Build the scenario with the engine's default registry plus the
+    /// cluster-only strategies (DS).
     pub fn new(cfg: ClusterConfig) -> Self {
+        let mut registry = StrategyRegistry::with_defaults();
+        register_cluster_strategies(&mut registry, cfg.snitch);
+        Self::with_registry(cfg, &registry)
+    }
+
+    /// Build the scenario resolving the configured strategy through a
+    /// caller-supplied registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the strategy is unknown or needs simulator-global
+    /// state this frontend cannot provide (`ORA`).
+    pub fn with_registry(cfg: ClusterConfig, registry: &StrategyRegistry) -> Self {
         cfg.validate();
         let disk = cfg.disk_model();
         let ring = Ring::new(cfg.nodes, cfg.replication_factor);
-        let wl_rng = SmallRng::seed_from_u64(cfg.seed.wrapping_mul(0x9e3779b97f4a7c15));
-        let srv_rng = SmallRng::seed_from_u64(cfg.seed.wrapping_mul(0xd1b54a32d192ed03) ^ 7);
+        let seeds = SeedSeq::new(cfg.seed);
+        let wl_rng = seeds.workload_rng();
+        let srv_rng = seeds.service_rng(7);
 
         let mut c3 = cfg.c3;
         // w = number of clients; coordinators are the C3 clients here.
@@ -248,35 +275,21 @@ impl Cluster {
 
         let coords: Vec<Coordinator> = (0..cfg.nodes)
             .map(|i| {
-                let seed = cfg.seed ^ (0xa076_1d64_78bd_642fu64.wrapping_mul(i as u64 + 1));
-                let mut rng = SmallRng::seed_from_u64(seed);
-                // Static "network distance" preference for NearestNode: a
-                // per-coordinator random permutation, fixed for the run.
-                let mut nearest_rank: Vec<usize> = (0..cfg.nodes).collect();
-                for k in (1..nearest_rank.len()).rev() {
-                    let j = rng.gen_range(0..=k);
-                    nearest_rank.swap(k, j);
-                }
-                let uses_c3 = matches!(
-                    cfg.strategy,
-                    ClusterStrategy::C3 | ClusterStrategy::C3NoRateControl
-                );
-                let c3_cfg = if cfg.strategy == ClusterStrategy::C3NoRateControl {
-                    c3.without_rate_control()
-                } else {
-                    c3
+                let ctx = SelectorCtx {
+                    servers: cfg.nodes,
+                    c3,
+                    seed: seeds.client_seed(i as u64),
+                    now: Nanos::ZERO,
                 };
+                let selector = registry
+                    .build(&cfg.strategy, &ctx)
+                    .unwrap_or_else(|e| panic!("{e}"))
+                    .expect_selector(&cfg.strategy);
                 Coordinator {
-                    c3: uses_c3.then(|| C3State::new(cfg.nodes, c3_cfg, Nanos::ZERO)),
-                    snitch: (cfg.strategy == ClusterStrategy::DynamicSnitching)
-                        .then(|| DynamicSnitch::new(cfg.nodes, cfg.snitch)),
-                    lor: (cfg.strategy == ClusterStrategy::Lor)
-                        .then(|| LeastOutstanding::new(cfg.nodes, seed ^ 0x55)),
-                    nearest_rank,
+                    selector,
                     backlogs: (0..cfg.nodes).map(|_| BacklogQueue::new()).collect(),
                     retry_scheduled: vec![false; cfg.nodes],
                     replica_latency: LogHistogram::new(),
-                    rng,
                 }
             })
             .collect();
@@ -295,17 +308,13 @@ impl Cluster {
                 keys: key_template.clone(),
                 mix: cfg.mix,
                 next_coord: i % cfg.nodes,
-                rng: SmallRng::seed_from_u64(
-                    cfg.seed ^ (0xbf58_476d_1ce4_e5b9u64.wrapping_mul(i as u64 + 1)),
-                ),
+                rng: SmallRng::seed_from_u64(seeds.thread_seed(i as u64)),
             })
             .collect();
 
-        let probes: Vec<(usize, usize)> = Vec::new();
-        let mut cluster = Self {
+        Self {
             disk,
             ring,
-            queue: EventQueue::new(),
             nodes,
             coords,
             key_template,
@@ -314,71 +323,19 @@ impl Cluster {
             feedbacks: Vec::with_capacity(cfg.total_ops as usize * 2),
             threads,
             records,
+            seeds,
             srv_rng,
             issued: 0,
-            completed: 0,
-            reads_completed: 0,
-            updates_completed: 0,
-            first_completion: None,
-            last_completion: Nanos::ZERO,
-            read_latency: LogHistogram::new(),
-            update_latency: LogHistogram::new(),
-            server_load: (0..cfg.nodes)
-                .map(|_| WindowedCounts::new(cfg.load_window.as_nanos()))
-                .collect(),
             spec_retries: 0,
             latency_trace: Vec::new(),
             record_trace: false,
-            probes,
+            probes: Vec::new(),
             rate_traces: Vec::new(),
             backpressure_events: Vec::new(),
+            drain_scratch: Vec::new(),
             wl_rng,
             cfg,
-        };
-
-        // Kick off the generator threads with a small deterministic stagger.
-        for t in 0..cluster.cfg.generators {
-            let jitter = Nanos::from_micros(10 * t as u64 + 1);
-            cluster.queue.schedule(jitter, Ev::ClientIssue { thread: t });
         }
-        cluster
-            .queue
-            .schedule(cluster.cfg.gossip_interval, Ev::GossipTick);
-        cluster
-            .queue
-            .schedule(cluster.cfg.snitch.update_interval, Ev::SnitchTick);
-        // Perturbation processes.
-        for node in 0..cluster.cfg.nodes {
-            for kind in [EpisodeKind::Gc, EpisodeKind::Compaction, EpisodeKind::Slowdown] {
-                if let Some(gap) =
-                    cluster.nodes[node].perturb.next_start_gap(kind, &mut cluster.srv_rng)
-                {
-                    cluster.queue.schedule(gap, Ev::PerturbStart { node, kind });
-                }
-            }
-        }
-        if let Some(phase) = &cluster.cfg.phase {
-            cluster.queue.schedule(phase.at, Ev::PhaseStart);
-        }
-        cluster
-    }
-
-    /// Record `(time, latency)` pairs for every completed read (Figure 11).
-    pub fn with_latency_trace(mut self) -> Self {
-        self.record_trace = true;
-        self
-    }
-
-    /// Install sending-rate probes: `(coordinator, target node)` pairs
-    /// (Figure 13). Only meaningful for C3 runs.
-    pub fn with_rate_probes(mut self, probes: Vec<(usize, usize)>) -> Self {
-        for &(c, n) in &probes {
-            assert!(c < self.cfg.nodes && n < self.cfg.nodes, "probe out of range");
-        }
-        self.backpressure_events = vec![Vec::new(); probes.len()];
-        self.rate_traces = vec![GaugeSeries::new(); probes.len()];
-        self.probes = probes;
-        self
     }
 
     /// The config in force.
@@ -386,60 +343,58 @@ impl Cluster {
         &self.cfg
     }
 
-    /// Run to completion.
-    pub fn run(mut self) -> ClusterResult {
-        while let Some((now, ev)) = self.queue.pop() {
-            match ev {
-                Ev::ClientIssue { thread } => self.on_client_issue(thread, now),
-                Ev::CoordArrive { op } => self.on_coord_arrive(op, now),
-                Ev::ReplicaArrive { send } => self.on_replica_arrive(send, now),
-                Ev::ReplicaDone { send, service_time } => {
-                    self.on_replica_done(send, service_time, now)
-                }
-                Ev::CoordReceive { send } => self.on_coord_receive(send, now),
-                Ev::ClientReceive { op } => self.on_client_receive(op, now),
-                Ev::GossipTick => self.on_gossip(now),
-                Ev::SnitchTick => self.on_snitch_tick(now),
-                Ev::PerturbStart { node, kind } => self.on_perturb_start(node, kind, now),
-                Ev::RetryBacklog { coord, group } => self.on_retry(coord, group, now),
-                Ev::SpecCheck { op } => self.on_spec_check(op, now),
-                Ev::PhaseStart => self.on_phase_start(now),
-            }
-            if self.completed >= self.cfg.total_ops {
-                break;
-            }
-        }
-        self.finish()
+    /// Record `(time, latency)` pairs for every completed read (Figure 11).
+    pub fn set_latency_trace(&mut self) {
+        self.record_trace = true;
     }
 
-    fn finish(self) -> ClusterResult {
+    /// Install sending-rate probes: `(coordinator, target node)` pairs
+    /// (Figure 13). Only meaningful for C3 runs.
+    pub fn set_rate_probes(&mut self, probes: Vec<(usize, usize)>) {
+        for &(c, n) in &probes {
+            assert!(
+                c < self.cfg.nodes && n < self.cfg.nodes,
+                "probe out of range"
+            );
+        }
+        self.backpressure_events = vec![Vec::new(); probes.len()];
+        self.rate_traces = vec![GaugeSeries::new(); probes.len()];
+        self.probes = probes;
+    }
+
+    /// Assemble the public result from this scenario plus the runner's
+    /// metrics and engine statistics.
+    pub fn into_result(self, metrics: RunMetrics, stats: EngineStats) -> ClusterResult {
         let mut backpressure = 0;
         for c in &self.coords {
             backpressure += c.backlogs.iter().map(|b| b.activations()).sum::<u64>();
         }
+        let reads_completed = metrics.measured(READ_CHANNEL);
+        let updates_completed = metrics.measured(UPDATE_CHANNEL);
+        let (mut latency, server_load, _completions, duration) = metrics.into_parts();
+        let update_latency = latency.remove(UPDATE_CHANNEL);
+        let read_latency = latency.remove(READ_CHANNEL);
         ClusterResult {
             strategy: self.cfg.strategy.label().to_string(),
             seed: self.cfg.seed,
-            read_latency: self.read_latency,
-            update_latency: self.update_latency,
-            server_load: self.server_load,
-            reads_completed: self.reads_completed,
-            updates_completed: self.updates_completed,
-            duration: self
-                .last_completion
-                .saturating_sub(self.first_completion.unwrap_or(Nanos::ZERO)),
+            read_latency,
+            update_latency,
+            server_load,
+            reads_completed,
+            updates_completed,
+            duration,
             backpressure_activations: backpressure,
             speculative_retries: self.spec_retries,
             latency_trace: self.latency_trace,
             rate_traces: self.rate_traces,
             backpressure_events: self.backpressure_events,
-            events_processed: self.queue.processed(),
+            events_processed: stats.events_processed,
         }
     }
 
     // ---- client side -----------------------------------------------------
 
-    fn on_client_issue(&mut self, thread: usize, now: Nanos) {
+    fn on_client_issue(&mut self, thread: usize, now: Nanos, engine: &mut EventQueue<Ev>) {
         if self.issued >= self.cfg.total_ops {
             return;
         }
@@ -453,8 +408,7 @@ impl Cluster {
             let t = &mut self.threads[thread];
             self.records.sample(&mut t.rng)
         };
-        let read_repair = kind == Op::Read
-            && self.wl_rng.gen::<f64>() < self.cfg.read_repair_prob;
+        let read_repair = kind == Op::Read && self.wl_rng.gen::<f64>() < self.cfg.read_repair_prob;
         let op_id = self.ops.len() as OpId;
         self.ops.push(OpState {
             thread: thread as u32,
@@ -468,36 +422,29 @@ impl Cluster {
             completed: false,
             spec_sent: false,
         });
-        self.queue
-            .schedule_in(self.cfg.net_latency, Ev::CoordArrive { op: op_id });
+        engine.schedule_in(self.cfg.net_latency, Ev::CoordArrive { op: op_id });
     }
 
-    fn on_client_receive(&mut self, op_id: OpId, now: Nanos) {
+    fn on_client_receive(
+        &mut self,
+        op_id: OpId,
+        now: Nanos,
+        engine: &mut EventQueue<Ev>,
+        metrics: &mut RunMetrics,
+    ) {
         let op = self.ops[op_id as usize];
-        let warmup = op_id < self.cfg.warmup_ops;
+        let measured = metrics.past_warmup(op_id);
         let latency = now.saturating_sub(op.created);
-        if !warmup {
-            match op.kind {
-                Op::Read => {
-                    self.read_latency.record(latency.as_nanos());
-                    self.reads_completed += 1;
-                    if self.record_trace {
-                        self.latency_trace.push((now, latency));
-                    }
-                }
-                Op::Update => {
-                    self.update_latency.record(latency.as_nanos());
-                    self.updates_completed += 1;
-                }
-            }
-            if self.first_completion.is_none() {
-                self.first_completion = Some(now);
-            }
-            self.last_completion = now;
+        let channel = match op.kind {
+            Op::Read => READ_CHANNEL,
+            Op::Update => UPDATE_CHANNEL,
+        };
+        metrics.record_completion(channel, now, latency, measured);
+        if measured && op.kind == Op::Read && self.record_trace {
+            self.latency_trace.push((now, latency));
         }
-        self.completed += 1;
         // Closed loop: the thread issues its next operation immediately.
-        self.queue.schedule_in(
+        engine.schedule_in(
             Nanos::from_micros(50),
             Ev::ClientIssue {
                 thread: op.thread as usize,
@@ -507,75 +454,43 @@ impl Cluster {
 
     // ---- coordinator side ------------------------------------------------
 
-    fn on_coord_arrive(&mut self, op_id: OpId, now: Nanos) {
+    fn on_coord_arrive(&mut self, op_id: OpId, now: Nanos, engine: &mut EventQueue<Ev>) {
         let op = self.ops[op_id as usize];
         match op.kind {
             Op::Update => {
                 // Writes fan out to all replicas; CL=ONE.
                 let group = self.ring.group_of_primary(op.group as usize);
                 for node in group {
-                    self.forward(op_id, node, true, false, now);
+                    self.forward(op_id, node, true, false, now, engine);
                 }
             }
-            Op::Read => self.dispatch_read(op_id, now),
+            Op::Read => self.dispatch_read(op_id, now, engine),
         }
     }
 
-    fn dispatch_read(&mut self, op_id: OpId, now: Nanos) {
+    fn dispatch_read(&mut self, op_id: OpId, now: Nanos, engine: &mut EventQueue<Ev>) {
         let op = self.ops[op_id as usize];
         let coord_id = op.coord as usize;
         let group = self.ring.group_of_primary(op.group as usize);
 
-        let choice: Result<ServerId, Nanos> = match self.cfg.strategy {
-            ClusterStrategy::C3 | ClusterStrategy::C3NoRateControl => {
-                let c3 = self.coords[coord_id].c3.as_mut().expect("c3 state");
-                match c3.try_send(&group, now) {
-                    SendDecision::Send(s) => Ok(s),
-                    SendDecision::Backpressure { retry_at } => Err(retry_at),
-                }
-            }
-            ClusterStrategy::DynamicSnitching => {
-                Ok(self.coords[coord_id].snitch.as_ref().expect("snitch").select(&group))
-            }
-            ClusterStrategy::Lor => {
-                let lor = self.coords[coord_id].lor.as_mut().expect("lor");
-                Ok(lor
-                    .select(&group, now)
-                    .server()
-                    .expect("LOR always selects"))
-            }
-            ClusterStrategy::PrimaryOnly => Ok(group[0]),
-            ClusterStrategy::NearestNode => {
-                let rank = &self.coords[coord_id].nearest_rank;
-                Ok(*group
-                    .iter()
-                    .min_by_key(|&&n| rank[n])
-                    .expect("non-empty group"))
-            }
-            ClusterStrategy::Random => {
-                let coord = &mut self.coords[coord_id];
-                Ok(group[coord.rng.gen_range(0..group.len())])
-            }
-        };
-
-        match choice {
-            Ok(primary) => {
-                self.account_send(coord_id, primary, now);
-                self.forward(op_id, primary, false, true, now);
+        match self.coords[coord_id].selector.select(&group, now) {
+            Selection::Server(primary) => {
+                self.coords[coord_id].selector.on_send(primary, now);
+                self.forward(op_id, primary, false, true, now, engine);
                 if op.read_repair {
                     for &node in &group {
                         if node != primary {
-                            self.account_send(coord_id, node, now);
-                            self.forward(op_id, node, false, false, now);
+                            self.coords[coord_id].selector.on_send(node, now);
+                            self.forward(op_id, node, false, false, now, engine);
                         }
                     }
                 }
                 if self.cfg.speculative_retry {
                     let threshold = self.spec_threshold(coord_id);
-                    self.queue.schedule_in(threshold, Ev::SpecCheck { op: op_id });
+                    engine.schedule_in(threshold, Ev::SpecCheck { op: op_id });
                 }
             }
-            Err(retry_at) => {
+            Selection::Backpressure { retry_at } => {
                 let group_id = op.group as usize;
                 let coord = &mut self.coords[coord_id];
                 coord.backlogs[group_id].push(op_id);
@@ -583,7 +498,7 @@ impl Cluster {
                 if !coord.retry_scheduled[group_id] {
                     coord.retry_scheduled[group_id] = true;
                     let at = retry_at.max(now + Nanos(1));
-                    self.queue.schedule(
+                    engine.schedule(
                         at,
                         Ev::RetryBacklog {
                             coord: coord_id,
@@ -602,18 +517,16 @@ impl Cluster {
         }
     }
 
-    fn account_send(&mut self, coord_id: usize, node: ServerId, now: Nanos) {
-        let coord = &mut self.coords[coord_id];
-        if let Some(c3) = coord.c3.as_mut() {
-            c3.record_send(node);
-        }
-        if let Some(lor) = coord.lor.as_mut() {
-            lor.on_send(node, now);
-        }
-    }
-
     /// Forward a sub-request from the coordinator to a replica node.
-    fn forward(&mut self, op_id: OpId, node: ServerId, is_write: bool, primary: bool, now: Nanos) {
+    fn forward(
+        &mut self,
+        op_id: OpId,
+        node: ServerId,
+        is_write: bool,
+        primary: bool,
+        now: Nanos,
+        engine: &mut EventQueue<Ev>,
+    ) {
         let send_id = self.sends.len() as SendId;
         self.sends.push(SendState {
             op: op_id,
@@ -631,7 +544,7 @@ impl Cluster {
         } else {
             self.cfg.net_latency
         };
-        self.queue.schedule_in(delay, Ev::ReplicaArrive { send: send_id });
+        engine.schedule_in(delay, Ev::ReplicaArrive { send: send_id });
     }
 
     fn spec_threshold(&self, coord_id: usize) -> Nanos {
@@ -642,7 +555,7 @@ impl Cluster {
         Nanos(h.value_at_quantile(0.99).max(1_000_000))
     }
 
-    fn on_spec_check(&mut self, op_id: OpId, now: Nanos) {
+    fn on_spec_check(&mut self, op_id: OpId, now: Nanos, engine: &mut EventQueue<Ev>) {
         let op = self.ops[op_id as usize];
         if op.completed || op.spec_sent {
             return;
@@ -654,13 +567,9 @@ impl Cluster {
         let group = self.ring.group_of_primary(op.group as usize);
         let alt = *group.iter().find(|&&n| n != tried).unwrap_or(&group[0]);
         let coord_id = op.coord as usize;
-        self.account_send(coord_id, alt, now);
-        // The duplicate becomes the new primary: first response wins
-        // because `on_coord_receive` completes on whichever primary-marked
-        // send arrives first; keep both marked by re-pointing primary_send
-        // only if the duplicate could be faster. Simplest faithful model:
-        // whichever response arrives first completes the op, so mark the
-        // duplicate as primary too by tracking completion per-op.
+        self.coords[coord_id].selector.on_send(alt, now);
+        // Whichever response arrives first completes the op (completion is
+        // tracked per-op), so the duplicate is also allowed to finish it.
         let send_id = self.sends.len() as SendId;
         self.sends.push(SendState {
             op: op_id,
@@ -669,18 +578,17 @@ impl Cluster {
             sent_at: now,
         });
         self.feedbacks.push(Feedback::new(0, Nanos::ZERO));
-        // Duplicate is also allowed to complete the op: see on_coord_receive.
         let delay = if coord_id == alt {
             Nanos::from_micros(20)
         } else {
             self.cfg.net_latency
         };
-        self.queue.schedule_in(delay, Ev::ReplicaArrive { send: send_id });
+        engine.schedule_in(delay, Ev::ReplicaArrive { send: send_id });
     }
 
     // ---- replica side ----------------------------------------------------
 
-    fn on_replica_arrive(&mut self, send_id: SendId, now: Nanos) {
+    fn on_replica_arrive(&mut self, send_id: SendId, now: Nanos, engine: &mut EventQueue<Ev>) {
         let send = self.sends[send_id as usize];
         let node = &mut self.nodes[send.node as usize];
         node.perturb.expire(now);
@@ -692,7 +600,7 @@ impl Cluster {
                     self.ops[send.op as usize].record_bytes,
                     node.perturb.multiplier(now),
                 );
-                self.queue.schedule_in(
+                engine.schedule_in(
                     st,
                     Ev::ReplicaDone {
                         send: send_id,
@@ -709,7 +617,7 @@ impl Cluster {
                 self.ops[send.op as usize].record_bytes,
                 node.perturb.multiplier(now),
             );
-            self.queue.schedule_in(
+            engine.schedule_in(
                 st,
                 Ev::ReplicaDone {
                     send: send_id,
@@ -721,12 +629,19 @@ impl Cluster {
         }
     }
 
-    fn on_replica_done(&mut self, send_id: SendId, service_time: Nanos, now: Nanos) {
+    fn on_replica_done(
+        &mut self,
+        send_id: SendId,
+        service_time: Nanos,
+        now: Nanos,
+        engine: &mut EventQueue<Ev>,
+        metrics: &mut RunMetrics,
+    ) {
         let send = self.sends[send_id as usize];
         let node_id = send.node as usize;
 
         if !send.is_write {
-            self.server_load[node_id].record(now.as_nanos());
+            metrics.record_service(node_id, now);
         }
 
         // Start the next queued request of the same stage.
@@ -740,7 +655,7 @@ impl Cluster {
                     node.write_inflight += 1;
                     let bytes = self.ops[self.sends[next as usize].op as usize].record_bytes;
                     let st = self.disk.sample_write(&mut self.srv_rng, bytes, mult);
-                    self.queue.schedule_in(
+                    engine.schedule_in(
                         st,
                         Ev::ReplicaDone {
                             send: next,
@@ -754,7 +669,7 @@ impl Cluster {
                     node.read_inflight += 1;
                     let bytes = self.ops[self.sends[next as usize].op as usize].record_bytes;
                     let st = self.disk.sample_read(&mut self.srv_rng, bytes, mult);
-                    self.queue.schedule_in(
+                    engine.schedule_in(
                         st,
                         Ev::ReplicaDone {
                             send: next,
@@ -778,12 +693,12 @@ impl Cluster {
         } else {
             self.cfg.net_latency
         };
-        self.queue.schedule_in(delay, Ev::CoordReceive { send: send_id });
+        engine.schedule_in(delay, Ev::CoordReceive { send: send_id });
     }
 
     // ---- coordinator receives a sub-response ------------------------------
 
-    fn on_coord_receive(&mut self, send_id: SendId, now: Nanos) {
+    fn on_coord_receive(&mut self, send_id: SendId, now: Nanos, engine: &mut EventQueue<Ev>) {
         let send = self.sends[send_id as usize];
         let op = self.ops[send.op as usize];
         let coord_id = op.coord as usize;
@@ -791,33 +706,26 @@ impl Cluster {
         let rtt = now.saturating_sub(send.sent_at);
         let feedback = self.feedbacks[send_id as usize];
 
-        // Update the coordinator's selection state.
+        // Update the coordinator's selection state (reads only; writes are
+        // fan-out sends the selector never chose).
         if !send.is_write {
             let coord = &mut self.coords[coord_id];
-            if let Some(c3) = coord.c3.as_mut() {
-                c3.on_response(node, rtt, Some(&feedback), now);
-            }
-            if let Some(snitch) = coord.snitch.as_mut() {
-                snitch.record_latency(node, rtt);
-            }
-            if let Some(lor) = coord.lor.as_mut() {
-                lor.on_response(
-                    node,
-                    &c3_core::ResponseInfo {
-                        response_time: rtt,
-                        feedback: Some(feedback),
-                    },
-                    now,
-                );
-            }
+            coord.selector.on_response(
+                node,
+                &c3_core::ResponseInfo {
+                    response_time: rtt,
+                    feedback: Some(feedback),
+                },
+                now,
+            );
             coord.replica_latency.record(rtt.as_nanos());
         }
 
         // Sample rate probes after the controller reacted.
         for (i, &(pc, pn)) in self.probes.iter().enumerate() {
             if pc == coord_id {
-                if let Some(c3) = self.coords[coord_id].c3.as_ref() {
-                    self.rate_traces[i].push(now.as_nanos(), c3.limiter(pn).srate());
+                if let Some(c3) = self.coords[coord_id].selector.as_c3() {
+                    self.rate_traces[i].push(now.as_nanos(), c3.state().limiter(pn).srate());
                 }
             }
         }
@@ -831,52 +739,58 @@ impl Cluster {
         };
         if completes {
             self.ops[send.op as usize].completed = true;
-            self.queue
-                .schedule_in(self.cfg.net_latency, Ev::ClientReceive { op: send.op });
+            engine.schedule_in(self.cfg.net_latency, Ev::ClientReceive { op: send.op });
         }
 
-        // A response may free C3 rate for groups containing this node.
-        if self.coords[coord_id].c3.is_some() {
-            for group_id in self.ring.groups_of_node(node) {
-                if !self.coords[coord_id].backlogs[group_id].is_empty() {
-                    self.on_retry(coord_id, group_id, now);
-                }
+        // A response may free rate for the backlogged groups containing
+        // this node (backpressure-capable selectors only; others never
+        // have a backlog). The scratch buffer is reused across events so
+        // this per-response path does not allocate.
+        let mut groups = std::mem::take(&mut self.drain_scratch);
+        groups.clear();
+        groups.extend(self.ring.groups_of_node(node));
+        for &group_id in &groups {
+            if !self.coords[coord_id].backlogs[group_id].is_empty() {
+                self.on_retry(coord_id, group_id, now, engine);
             }
         }
+        self.drain_scratch = groups;
     }
 
-    fn on_retry(&mut self, coord_id: usize, group_id: usize, now: Nanos) {
+    fn on_retry(
+        &mut self,
+        coord_id: usize,
+        group_id: usize,
+        now: Nanos,
+        engine: &mut EventQueue<Ev>,
+    ) {
         self.coords[coord_id].retry_scheduled[group_id] = false;
         loop {
             let Some(&op_id) = self.coords[coord_id].backlogs[group_id].peek() else {
                 return;
             };
             let group = self.ring.group_of_primary(group_id);
-            let decision = {
-                let c3 = self.coords[coord_id].c3.as_mut().expect("C3 backlog");
-                c3.try_send(&group, now)
-            };
-            match decision {
-                SendDecision::Send(node) => {
+            match self.coords[coord_id].selector.select(&group, now) {
+                Selection::Server(node) => {
                     self.coords[coord_id].backlogs[group_id].pop();
-                    self.account_send(coord_id, node, now);
-                    self.forward(op_id, node, false, true, now);
+                    self.coords[coord_id].selector.on_send(node, now);
+                    self.forward(op_id, node, false, true, now, engine);
                     let op = self.ops[op_id as usize];
                     if op.read_repair {
                         for &n in &group {
                             if n != node {
-                                self.account_send(coord_id, n, now);
-                                self.forward(op_id, n, false, false, now);
+                                self.coords[coord_id].selector.on_send(n, now);
+                                self.forward(op_id, n, false, false, now, engine);
                             }
                         }
                     }
                 }
-                SendDecision::Backpressure { retry_at } => {
+                Selection::Backpressure { retry_at } => {
                     let coord = &mut self.coords[coord_id];
                     if !coord.retry_scheduled[group_id] {
                         coord.retry_scheduled[group_id] = true;
                         let at = retry_at.max(now + Nanos(1));
-                        self.queue.schedule(
+                        engine.schedule(
                             at,
                             Ev::RetryBacklog {
                                 coord: coord_id,
@@ -892,42 +806,53 @@ impl Cluster {
 
     // ---- cluster-wide processes -------------------------------------------
 
-    fn on_gossip(&mut self, now: Nanos) {
-        // Every node's 1-second iowait average reaches every snitch.
-        let iowaits: Vec<f64> = self
-            .nodes
-            .iter()
-            .map(|n| n.perturb.iowait(now))
-            .collect();
+    /// Feed the gossiped 1-second iowait averages to every DS selector.
+    fn on_gossip(&mut self, now: Nanos, engine: &mut EventQueue<Ev>) {
+        let iowaits: Vec<f64> = self.nodes.iter().map(|n| n.perturb.iowait(now)).collect();
         for coord in &mut self.coords {
-            if let Some(snitch) = coord.snitch.as_mut() {
+            if let Some(snitch) = coord
+                .selector
+                .as_any_mut()
+                .and_then(|any| any.downcast_mut::<SnitchSelector>())
+            {
                 for (peer, &io) in iowaits.iter().enumerate() {
-                    snitch.record_iowait(peer, io);
+                    snitch.snitch_mut().record_iowait(peer, io);
                 }
             }
         }
-        self.queue.schedule_in(self.cfg.gossip_interval, Ev::GossipTick);
+        engine.schedule_in(self.cfg.gossip_interval, Ev::GossipTick);
     }
 
-    fn on_snitch_tick(&mut self, now: Nanos) {
+    fn on_snitch_tick(&mut self, now: Nanos, engine: &mut EventQueue<Ev>) {
         for coord in &mut self.coords {
-            if let Some(snitch) = coord.snitch.as_mut() {
-                snitch.recompute(now);
+            if let Some(snitch) = coord
+                .selector
+                .as_any_mut()
+                .and_then(|any| any.downcast_mut::<SnitchSelector>())
+            {
+                snitch.snitch_mut().recompute(now);
             }
         }
-        self.queue
-            .schedule_in(self.cfg.snitch.update_interval, Ev::SnitchTick);
+        engine.schedule_in(self.cfg.snitch.update_interval, Ev::SnitchTick);
     }
 
-    fn on_perturb_start(&mut self, node: usize, kind: EpisodeKind, now: Nanos) {
+    fn on_perturb_start(
+        &mut self,
+        node: usize,
+        kind: EpisodeKind,
+        now: Nanos,
+        engine: &mut EventQueue<Ev>,
+    ) {
         let end = self.nodes[node].perturb.begin(kind, now, &mut self.srv_rng);
-        if let Some(gap) = self.nodes[node].perturb.next_start_gap(kind, &mut self.srv_rng) {
-            self.queue
-                .schedule(end.saturating_add(gap), Ev::PerturbStart { node, kind });
+        if let Some(gap) = self.nodes[node]
+            .perturb
+            .next_start_gap(kind, &mut self.srv_rng)
+        {
+            engine.schedule(end.saturating_add(gap), Ev::PerturbStart { node, kind });
         }
     }
 
-    fn on_phase_start(&mut self, now: Nanos) {
+    fn on_phase_start(&mut self, now: Nanos, engine: &mut EventQueue<Ev>) {
         let phase = self.cfg.phase.expect("phase event without phase config");
         let base = self.threads.len();
         for i in 0..phase.extra_generators {
@@ -936,11 +861,9 @@ impl Cluster {
                 keys: self.key_template.clone(),
                 mix: phase.mix,
                 next_coord: idx % self.cfg.nodes,
-                rng: SmallRng::seed_from_u64(
-                    self.cfg.seed ^ (0x94d0_49bb_1331_11ebu64.wrapping_mul(idx as u64 + 1)),
-                ),
+                rng: SmallRng::seed_from_u64(self.seeds.phase_seed(idx as u64)),
             });
-            self.queue.schedule(
+            engine.schedule(
                 now + Nanos::from_micros(10 * i as u64 + 1),
                 Ev::ClientIssue { thread: idx },
             );
@@ -948,11 +871,124 @@ impl Cluster {
     }
 }
 
+impl Scenario for ClusterScenario {
+    type Event = Ev;
+
+    fn start(&mut self, engine: &mut EventQueue<Ev>) {
+        // Kick off the generator threads with a small deterministic
+        // stagger.
+        for t in 0..self.cfg.generators {
+            let jitter = Nanos::from_micros(10 * t as u64 + 1);
+            engine.schedule(jitter, Ev::ClientIssue { thread: t });
+        }
+        engine.schedule(self.cfg.gossip_interval, Ev::GossipTick);
+        engine.schedule(self.cfg.snitch.update_interval, Ev::SnitchTick);
+        // Perturbation processes.
+        for node in 0..self.cfg.nodes {
+            for kind in [
+                EpisodeKind::Gc,
+                EpisodeKind::Compaction,
+                EpisodeKind::Slowdown,
+            ] {
+                if let Some(gap) = self.nodes[node]
+                    .perturb
+                    .next_start_gap(kind, &mut self.srv_rng)
+                {
+                    engine.schedule(gap, Ev::PerturbStart { node, kind });
+                }
+            }
+        }
+        if let Some(phase) = &self.cfg.phase {
+            engine.schedule(phase.at, Ev::PhaseStart);
+        }
+    }
+
+    fn handle(
+        &mut self,
+        event: Ev,
+        now: Nanos,
+        engine: &mut EventQueue<Ev>,
+        metrics: &mut RunMetrics,
+    ) {
+        match event {
+            Ev::ClientIssue { thread } => self.on_client_issue(thread, now, engine),
+            Ev::CoordArrive { op } => self.on_coord_arrive(op, now, engine),
+            Ev::ReplicaArrive { send } => self.on_replica_arrive(send, now, engine),
+            Ev::ReplicaDone { send, service_time } => {
+                self.on_replica_done(send, service_time, now, engine, metrics)
+            }
+            Ev::CoordReceive { send } => self.on_coord_receive(send, now, engine),
+            Ev::ClientReceive { op } => self.on_client_receive(op, now, engine, metrics),
+            Ev::GossipTick => self.on_gossip(now, engine),
+            Ev::SnitchTick => self.on_snitch_tick(now, engine),
+            Ev::PerturbStart { node, kind } => self.on_perturb_start(node, kind, now, engine),
+            Ev::RetryBacklog { coord, group } => self.on_retry(coord, group, now, engine),
+            Ev::SpecCheck { op } => self.on_spec_check(op, now, engine),
+            Ev::PhaseStart => self.on_phase_start(now, engine),
+        }
+    }
+
+    fn is_done(&self, metrics: &RunMetrics) -> bool {
+        metrics.total_completions() >= self.cfg.total_ops
+    }
+}
+
+/// The assembled cluster simulation: a [`ClusterScenario`] plus its runner
+/// plumbing. Build with [`Cluster::new`], run with [`Cluster::run`].
+pub struct Cluster {
+    scenario: ClusterScenario,
+}
+
+impl Cluster {
+    /// Build a cluster from a validated config.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        Self {
+            scenario: ClusterScenario::new(cfg),
+        }
+    }
+
+    /// Build a cluster resolving strategies through a caller-supplied
+    /// registry.
+    pub fn with_strategy_registry(cfg: ClusterConfig, registry: &StrategyRegistry) -> Self {
+        Self {
+            scenario: ClusterScenario::with_registry(cfg, registry),
+        }
+    }
+
+    /// Record `(time, latency)` pairs for every completed read (Figure 11).
+    pub fn with_latency_trace(mut self) -> Self {
+        self.scenario.set_latency_trace();
+        self
+    }
+
+    /// Install sending-rate probes: `(coordinator, target node)` pairs
+    /// (Figure 13). Only meaningful for C3 runs.
+    pub fn with_rate_probes(mut self, probes: Vec<(usize, usize)>) -> Self {
+        self.scenario.set_rate_probes(probes);
+        self
+    }
+
+    /// The config in force.
+    pub fn config(&self) -> &ClusterConfig {
+        self.scenario.config()
+    }
+
+    /// Run to completion.
+    pub fn run(self) -> ClusterResult {
+        let cfg = self.scenario.config().clone();
+        let runner = ScenarioRunner::new(cfg.seed).with_warmup(cfg.warmup_ops);
+        let mut scenario = self.scenario;
+        let (metrics, stats) = runner.run(&mut scenario, 2, cfg.nodes, cfg.load_window);
+        scenario.into_result(metrics, stats)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use c3_engine::Strategy;
 
-    fn small(strategy: ClusterStrategy) -> ClusterConfig {
+    fn small(strategy: Strategy) -> ClusterConfig {
         ClusterConfig {
             nodes: 9,
             generators: 30,
@@ -967,7 +1003,7 @@ mod tests {
 
     #[test]
     fn c3_cluster_completes() {
-        let res = Cluster::new(small(ClusterStrategy::C3)).run();
+        let res = Cluster::new(small(Strategy::c3())).run();
         assert_eq!(
             res.reads_completed + res.updates_completed,
             8_000 - 500,
@@ -979,30 +1015,32 @@ mod tests {
     #[test]
     fn all_strategies_complete() {
         for s in [
-            ClusterStrategy::C3,
-            ClusterStrategy::DynamicSnitching,
-            ClusterStrategy::Lor,
-            ClusterStrategy::PrimaryOnly,
-            ClusterStrategy::NearestNode,
-            ClusterStrategy::Random,
-            ClusterStrategy::C3NoRateControl,
+            Strategy::c3(),
+            Strategy::dynamic_snitching(),
+            Strategy::lor(),
+            Strategy::primary_only(),
+            Strategy::nearest_node(),
+            Strategy::random(),
+            Strategy::c3_no_rate_control(),
+            Strategy::round_robin(),
+            Strategy::power_of_two(),
         ] {
-            let mut cfg = small(s);
+            let mut cfg = small(s.clone());
             cfg.total_ops = 3_000;
             cfg.warmup_ops = 200;
             let res = Cluster::new(cfg).run();
             assert_eq!(
                 res.reads_completed + res.updates_completed,
                 2_800,
-                "strategy {s:?}"
+                "strategy {s}"
             );
         }
     }
 
     #[test]
     fn cluster_runs_are_deterministic() {
-        let a = Cluster::new(small(ClusterStrategy::DynamicSnitching)).run();
-        let b = Cluster::new(small(ClusterStrategy::DynamicSnitching)).run();
+        let a = Cluster::new(small(Strategy::dynamic_snitching())).run();
+        let b = Cluster::new(small(Strategy::dynamic_snitching())).run();
         assert_eq!(a.events_processed, b.events_processed);
         assert_eq!(
             a.read_latency.value_at_quantile(0.99),
@@ -1012,16 +1050,20 @@ mod tests {
 
     #[test]
     fn update_heavy_records_updates() {
-        let mut cfg = small(ClusterStrategy::C3);
+        let mut cfg = small(Strategy::c3());
         cfg.mix = WorkloadMix::update_heavy();
         let res = Cluster::new(cfg).run();
-        assert!(res.updates_completed > 2_000, "updates {}", res.updates_completed);
+        assert!(
+            res.updates_completed > 2_000,
+            "updates {}",
+            res.updates_completed
+        );
         assert!(res.update_latency.count() > 0);
     }
 
     #[test]
     fn latency_trace_is_recorded_when_enabled() {
-        let res = Cluster::new(small(ClusterStrategy::C3))
+        let res = Cluster::new(small(Strategy::c3()))
             .with_latency_trace()
             .run();
         assert_eq!(res.latency_trace.len() as u64, res.reads_completed);
@@ -1033,7 +1075,7 @@ mod tests {
 
     #[test]
     fn rate_probes_record_for_c3() {
-        let res = Cluster::new(small(ClusterStrategy::C3))
+        let res = Cluster::new(small(Strategy::c3()))
             .with_rate_probes(vec![(0, 2), (1, 2)])
             .run();
         assert_eq!(res.rate_traces.len(), 2);
@@ -1043,16 +1085,27 @@ mod tests {
 
     #[test]
     fn speculative_retry_issues_duplicates() {
-        let mut cfg = small(ClusterStrategy::DynamicSnitching);
+        let mut cfg = small(Strategy::dynamic_snitching());
         cfg.speculative_retry = true;
         let res = Cluster::new(cfg).run();
         assert!(res.speculative_retries > 0, "some reads should speculate");
     }
 
     #[test]
+    fn oracle_is_rejected_with_a_clear_panic() {
+        let cfg = small(Strategy::oracle());
+        let err = std::panic::catch_unwind(|| {
+            let _ = Cluster::new(cfg);
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("ORA"), "got: {msg}");
+    }
+
+    #[test]
     fn scripted_slowdown_inflates_latency() {
         use crate::perturb::{PerturbationSpec, ScriptedSlowdown};
-        let mut quiet = small(ClusterStrategy::PrimaryOnly);
+        let mut quiet = small(Strategy::primary_only());
         quiet.perturbations = PerturbationSpec::none();
         let mut scripted = quiet.clone();
         scripted.scripted = vec![ScriptedSlowdown {

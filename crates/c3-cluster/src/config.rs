@@ -6,49 +6,12 @@
 //! Zipfian-keyed (ρ = 0.99) requests over 10 M keys.
 
 use c3_core::{C3Config, Nanos};
+use c3_engine::Strategy;
 use c3_workload::WorkloadMix;
 
 use crate::perturb::{PerturbationSpec, ScriptedSlowdown};
 use crate::snitch::SnitchConfig;
 use crate::storage::{DiskKind, DiskModel};
-
-/// Replica-selection strategy a coordinator runs (Table 1 landscape plus
-/// C3 and its ablations).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ClusterStrategy {
-    /// C3 (this paper).
-    C3,
-    /// Cassandra's Dynamic Snitching.
-    DynamicSnitching,
-    /// Least-outstanding-requests per coordinator (Nginx/ELB-style; the
-    /// Riak recommendation of an external load balancer).
-    Lor,
-    /// Always read from the primary replica (OpenStack Swift's
-    /// read-one-and-retry policy, minus failures).
-    PrimaryOnly,
-    /// Statically nearest node by network distance (MongoDB's
-    /// nearest-member read preference — ignores CPU/I/O load).
-    NearestNode,
-    /// Uniform random replica.
-    Random,
-    /// C3 without rate control (ablation).
-    C3NoRateControl,
-}
-
-impl ClusterStrategy {
-    /// Label used in harness tables.
-    pub fn label(&self) -> &'static str {
-        match self {
-            ClusterStrategy::C3 => "C3",
-            ClusterStrategy::DynamicSnitching => "DS",
-            ClusterStrategy::Lor => "LOR",
-            ClusterStrategy::PrimaryOnly => "Primary",
-            ClusterStrategy::NearestNode => "Nearest",
-            ClusterStrategy::Random => "Random",
-            ClusterStrategy::C3NoRateControl => "C3-noRC",
-        }
-    }
-}
 
 /// A change in offered load at a point in time (Figure 11 adds 40
 /// update-heavy generators at t = 640 s).
@@ -97,8 +60,8 @@ pub struct ClusterConfig {
     /// Enable speculative retry at the coordinator's running p99 (the
     /// paper's negative result, §5).
     pub speculative_retry: bool,
-    /// Replica-selection strategy under test.
-    pub strategy: ClusterStrategy,
+    /// Replica-selection strategy under test, by registry name.
+    pub strategy: Strategy,
     /// C3 parameters; `concurrency_weight` is set to the number of
     /// coordinators (= nodes), matching "w = number of clients".
     pub c3: C3Config,
@@ -132,7 +95,7 @@ impl Default for ClusterConfig {
             perturbations: PerturbationSpec::default(),
             scripted: Vec::new(),
             speculative_retry: false,
-            strategy: ClusterStrategy::C3,
+            strategy: Strategy::c3(),
             c3: C3Config::default(),
             snitch: SnitchConfig::default(),
             gossip_interval: Nanos::from_secs(1),
@@ -145,7 +108,7 @@ impl Default for ClusterConfig {
 
 impl ClusterConfig {
     /// The paper's §5 setup for a given strategy and mix.
-    pub fn paper(strategy: ClusterStrategy, mix: WorkloadMix) -> Self {
+    pub fn paper(strategy: Strategy, mix: WorkloadMix) -> Self {
         Self {
             strategy,
             mix,
@@ -210,9 +173,9 @@ mod tests {
 
     #[test]
     fn labels_cover_table1() {
-        assert_eq!(ClusterStrategy::DynamicSnitching.label(), "DS");
-        assert_eq!(ClusterStrategy::PrimaryOnly.label(), "Primary");
-        assert_eq!(ClusterStrategy::NearestNode.label(), "Nearest");
+        assert_eq!(Strategy::dynamic_snitching().label(), "DS");
+        assert_eq!(Strategy::primary_only().label(), "Primary");
+        assert_eq!(Strategy::nearest_node().label(), "Nearest");
     }
 
     #[test]

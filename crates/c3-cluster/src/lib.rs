@@ -2,7 +2,7 @@
 //!
 //! The C3 paper's §5 evaluation runs a patched Cassandra 2.0 on a 15-node
 //! EC2 cluster. This crate rebuilds that system at request granularity on
-//! the deterministic event kernel from `c3-sim`:
+//! the deterministic event engine and scenario runner from [`c3_engine`]:
 //!
 //! - [`Ring`]: equal-range token ring with successor replication (RF = 3),
 //! - [`DiskModel`]: spinning-disk (m1.xlarge RAID0) and SSD (m3.xlarge)
@@ -12,16 +12,19 @@
 //!   sources,
 //! - [`DynamicSnitch`]: Cassandra's Dynamic Snitching (interval-frozen
 //!   scores, gossiped iowait with dominant weight, reservoir medians),
-//! - [`Cluster`]: coordinators running C3, Dynamic Snitching, or the
-//!   Table-1 baselines over the full read/write path, driven by
+//!   exposed to the engine's strategy registry as [`SnitchSelector`]
+//!   through [`register_cluster_strategies`],
+//! - [`Cluster`]: coordinators running any registry strategy (C3, DS, or
+//!   a Table-1 baseline) over the full read/write path, driven by
 //!   closed-loop YCSB-style generator threads; with optional speculative
 //!   retry, scripted slowdowns (Figure 13) and latency traces (Figure 11).
 //!
 //! ```
-//! use c3_cluster::{Cluster, ClusterConfig, ClusterStrategy};
+//! use c3_cluster::{Cluster, ClusterConfig};
+//! use c3_engine::Strategy;
 //! use c3_workload::WorkloadMix;
 //!
-//! let mut cfg = ClusterConfig::paper(ClusterStrategy::C3, WorkloadMix::read_heavy());
+//! let mut cfg = ClusterConfig::paper(Strategy::c3(), WorkloadMix::read_heavy());
 //! cfg.total_ops = 5_000; // scaled down for the doctest
 //! cfg.warmup_ops = 100;
 //! cfg.generators = 24;
@@ -39,11 +42,10 @@ mod ring;
 mod snitch;
 mod storage;
 
-pub use cluster::{Cluster, ClusterResult};
-pub use config::{ClusterConfig, ClusterStrategy, WorkloadPhase};
-pub use perturb::{
-    EpisodeKind, EpisodeSpec, NodePerturbation, PerturbationSpec, ScriptedSlowdown,
-};
+pub use c3_engine::Strategy;
+pub use cluster::{register_cluster_strategies, Cluster, ClusterResult, ClusterScenario};
+pub use config::{ClusterConfig, WorkloadPhase};
+pub use perturb::{EpisodeKind, EpisodeSpec, NodePerturbation, PerturbationSpec, ScriptedSlowdown};
 pub use ring::Ring;
-pub use snitch::{DynamicSnitch, SnitchConfig};
+pub use snitch::{DynamicSnitch, SnitchConfig, SnitchSelector};
 pub use storage::{DiskKind, DiskModel};

@@ -83,11 +83,11 @@ impl Ring {
     }
 
     /// All groups that `node` belongs to (used to drain backlogs when a
-    /// response from `node` arrives).
-    pub fn groups_of_node(&self, node: ServerId) -> Vec<usize> {
-        (0..self.replication_factor)
-            .map(|k| (node + self.nodes - k) % self.nodes)
-            .collect()
+    /// response from `node` arrives). Allocation-free: this runs on the
+    /// per-response hot path.
+    pub fn groups_of_node(&self, node: ServerId) -> impl Iterator<Item = usize> + '_ {
+        let nodes = self.nodes;
+        (0..self.replication_factor).map(move |k| (node + nodes - k) % nodes)
     }
 }
 
@@ -121,7 +121,7 @@ mod tests {
     #[test]
     fn ownership_is_roughly_balanced() {
         let ring = Ring::new(15, 3);
-        let mut counts = vec![0u64; 15];
+        let mut counts = [0u64; 15];
         for key in 0..150_000u64 {
             counts[ring.primary(key)] += 1;
         }

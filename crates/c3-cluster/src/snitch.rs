@@ -172,6 +172,58 @@ impl DynamicSnitch {
     }
 }
 
+/// [`DynamicSnitch`] behind the shared [`ReplicaSelector`] trait, so the
+/// cluster drives DS through the same registry-built selector path as every
+/// other strategy. Read responses feed the latency reservoirs; the gossip
+/// and recompute ticks reach the wrapped snitch through the trait's
+/// `as_any_mut` downcast hook ([`Cluster`](crate::Cluster) owns those
+/// cluster-wide processes — they are not per-request selector concerns).
+#[derive(Debug)]
+pub struct SnitchSelector {
+    snitch: DynamicSnitch,
+}
+
+impl SnitchSelector {
+    /// Create a selector over a fresh snitch for `peers` nodes.
+    pub fn new(peers: usize, cfg: SnitchConfig) -> Self {
+        Self {
+            snitch: DynamicSnitch::new(peers, cfg),
+        }
+    }
+
+    /// The wrapped snitch (gossip feed, recompute ticks, diagnostics).
+    pub fn snitch_mut(&mut self) -> &mut DynamicSnitch {
+        &mut self.snitch
+    }
+
+    /// Read-only view of the wrapped snitch.
+    pub fn snitch(&self) -> &DynamicSnitch {
+        &self.snitch
+    }
+}
+
+impl c3_core::ReplicaSelector for SnitchSelector {
+    fn select(&mut self, group: &[usize], _now: Nanos) -> c3_core::Selection {
+        c3_core::Selection::Server(self.snitch.select(group))
+    }
+
+    fn on_send(&mut self, _server: usize, _now: Nanos) {}
+
+    fn on_response(&mut self, server: usize, info: &c3_core::ResponseInfo, _now: Nanos) {
+        self.snitch.record_latency(server, info.response_time);
+    }
+
+    fn on_abandoned(&mut self, _server: usize, _now: Nanos) {}
+
+    fn name(&self) -> &'static str {
+        "DS"
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

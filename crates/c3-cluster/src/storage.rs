@@ -151,7 +151,10 @@ mod tests {
         assert!(update_heavy.memory_hit_prob > read_heavy.memory_hit_prob);
         let ro = mean_read(&read_only, 1.0, 30_000);
         let uh = mean_read(&update_heavy, 1.0, 30_000);
-        assert!(uh < ro, "update-heavy mean {uh} should be below read-only {ro}");
+        assert!(
+            uh < ro,
+            "update-heavy mean {uh} should be below read-only {ro}"
+        );
     }
 
     #[test]
@@ -177,7 +180,10 @@ mod tests {
             .map(|_| m.sample_read(&mut r, 200_000, 1.0).as_millis_f64())
             .sum::<f64>()
             / 20_000.0;
-        assert!(big > small + 0.4, "transfer time must show: {small} vs {big}");
+        assert!(
+            big > small + 0.4,
+            "transfer time must show: {small} vs {big}"
+        );
     }
 
     #[test]

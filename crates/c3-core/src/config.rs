@@ -109,7 +109,10 @@ impl C3Config {
         assert!(self.delta > Nanos::ZERO, "delta must be positive");
         assert!(self.saddle > Nanos::ZERO, "saddle must be positive");
         assert!(self.smax > 0.0, "smax must be positive");
-        assert!(self.initial_rate >= self.min_rate, "initial rate below floor");
+        assert!(
+            self.initial_rate >= self.min_rate,
+            "initial rate below floor"
+        );
         assert!(self.min_rate > 0.0, "min rate must be positive");
     }
 }

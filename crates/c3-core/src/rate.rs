@@ -453,7 +453,7 @@ mod tests {
         let mut rl = RateLimiter::new(&c, Nanos::ZERO);
         let mut t = ms(0);
         for _ in 0..50 {
-            t = t + ms(50);
+            t += ms(50);
             rl.on_response(t);
         }
         assert!(rl.srate() >= 1.0, "rate must never drop below the floor");
@@ -487,7 +487,11 @@ mod tests {
             for i in 0..15u64 {
                 rl.on_response(ms(base + 2 + i));
                 let cur = rl.srate();
-                assert!(cur - prev <= 3.0 + 1e-9, "step {} exceeded smax", cur - prev);
+                assert!(
+                    cur - prev <= 3.0 + 1e-9,
+                    "step {} exceeded smax",
+                    cur - prev
+                );
                 prev = cur;
             }
         }

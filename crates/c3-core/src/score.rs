@@ -167,9 +167,9 @@ mod tests {
     #[test]
     fn rank_orders_by_ascending_score() {
         let cfg = C3Config::default();
-        let snaps = vec![
-            snap(0, 9.0, 4.0, 4.0), // busy fast server
-            snap(0, 0.0, 4.0, 4.0), // idle fast server — best
+        let snaps = [
+            snap(0, 9.0, 4.0, 4.0),   // busy fast server
+            snap(0, 0.0, 4.0, 4.0),   // idle fast server — best
             snap(0, 0.0, 30.0, 30.0), // idle slow server
         ];
         let mut group = vec![0usize, 1, 2];

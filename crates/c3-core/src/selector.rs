@@ -52,6 +52,13 @@ pub trait ReplicaSelector {
     fn as_c3(&self) -> Option<&C3Selector> {
         None
     }
+
+    /// General downcast hook for selectors that need frontend-specific
+    /// plumbing beyond this trait (e.g. Dynamic Snitching's gossip feed).
+    /// Selectors that have nothing to expose keep the default `None`.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }
 
 /// Result of a selection attempt.
@@ -159,7 +166,10 @@ mod tests {
             ..C3Config::default()
         };
         let mut sel = C3Selector::new(1, cfg, Nanos::ZERO);
-        assert!(matches!(sel.select(&[0], Nanos::ZERO), Selection::Server(0)));
+        assert!(matches!(
+            sel.select(&[0], Nanos::ZERO),
+            Selection::Server(0)
+        ));
         match sel.select(&[0], Nanos::ZERO) {
             Selection::Backpressure { retry_at } => {
                 assert_eq!(retry_at, Nanos::from_millis(20))

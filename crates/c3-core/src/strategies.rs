@@ -125,7 +125,9 @@ impl RoundRobinRate {
     /// Create for `num_servers` servers using C3's rate parameters.
     pub fn new(num_servers: usize, cfg: &C3Config, now: Nanos) -> Self {
         Self {
-            limiters: (0..num_servers).map(|_| RateLimiter::new(cfg, now)).collect(),
+            limiters: (0..num_servers)
+                .map(|_| RateLimiter::new(cfg, now))
+                .collect(),
             next: 0,
             rate_control: cfg.rate_control,
         }
@@ -324,6 +326,85 @@ impl ReplicaSelector for PowerOfTwoChoices {
     }
 }
 
+/// Always read from the first replica of the group — OpenStack Swift's
+/// read-one policy (Table 1's "Primary" row). Load-oblivious by design.
+#[derive(Debug, Default)]
+pub struct PrimaryFirst;
+
+impl PrimaryFirst {
+    /// Create the (stateless) primary-only selector.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl ReplicaSelector for PrimaryFirst {
+    fn select(&mut self, group: &[ServerId], _now: Nanos) -> Selection {
+        assert!(!group.is_empty());
+        Selection::Server(group[0])
+    }
+
+    fn on_send(&mut self, _server: ServerId, _now: Nanos) {}
+
+    fn on_response(&mut self, _server: ServerId, _info: &ResponseInfo, _now: Nanos) {}
+
+    fn on_abandoned(&mut self, _server: ServerId, _now: Nanos) {}
+
+    fn name(&self) -> &'static str {
+        "Primary"
+    }
+}
+
+/// Statically nearest replica by a fixed per-client "network distance"
+/// preference — MongoDB's nearest-member read preference (Table 1's
+/// "Nearest" row). The distance order is a seed-derived random permutation
+/// fixed for the client's lifetime; it never reacts to load.
+#[derive(Debug)]
+pub struct NearestRank {
+    rank: Vec<usize>,
+}
+
+impl NearestRank {
+    /// Create for `num_servers` servers with a deterministic preference
+    /// permutation derived from `seed`.
+    pub fn new(num_servers: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rank: Vec<usize> = (0..num_servers).collect();
+        for k in (1..rank.len()).rev() {
+            let j = rng.gen_range(0..=k);
+            rank.swap(k, j);
+        }
+        Self { rank }
+    }
+
+    /// The preference rank of a server (lower = nearer).
+    pub fn rank_of(&self, server: ServerId) -> usize {
+        self.rank[server]
+    }
+}
+
+impl ReplicaSelector for NearestRank {
+    fn select(&mut self, group: &[ServerId], _now: Nanos) -> Selection {
+        assert!(!group.is_empty());
+        Selection::Server(
+            *group
+                .iter()
+                .min_by_key(|&&s| self.rank[s])
+                .expect("non-empty group"),
+        )
+    }
+
+    fn on_send(&mut self, _server: ServerId, _now: Nanos) {}
+
+    fn on_response(&mut self, _server: ServerId, _info: &ResponseInfo, _now: Nanos) {}
+
+    fn on_abandoned(&mut self, _server: ServerId, _now: Nanos) {}
+
+    fn name(&self) -> &'static str {
+        "Nearest"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -467,5 +548,32 @@ mod tests {
         assert_eq!(LeastResponseTime::new(1, 0.5, 0).name(), "LRT");
         assert_eq!(WeightedRandom::new(1, 0.5, 0).name(), "WRand");
         assert_eq!(PowerOfTwoChoices::new(1, 0).name(), "P2C");
+        assert_eq!(PrimaryFirst::new().name(), "Primary");
+        assert_eq!(NearestRank::new(1, 0).name(), "Nearest");
+    }
+
+    #[test]
+    fn primary_always_picks_group_head() {
+        let mut p = PrimaryFirst::new();
+        assert_eq!(p.select(&[4, 1, 2], Nanos::ZERO).server(), Some(4));
+        assert_eq!(p.select(&[0, 9], Nanos::ZERO).server(), Some(0));
+    }
+
+    #[test]
+    fn nearest_is_stable_and_seed_dependent() {
+        let mut a = NearestRank::new(6, 3);
+        let mut b = NearestRank::new(6, 3);
+        let group = [0usize, 2, 5];
+        let pick = a.select(&group, Nanos::ZERO).server();
+        for _ in 0..10 {
+            assert_eq!(a.select(&group, Nanos::ZERO).server(), pick);
+            assert_eq!(b.select(&group, Nanos::ZERO).server(), pick);
+        }
+        // Different seeds should produce a different permutation sometimes;
+        // check the permutation itself rather than one group's pick.
+        let c = NearestRank::new(6, 4);
+        let ranks_a: Vec<usize> = (0..6).map(|s| a.rank_of(s)).collect();
+        let ranks_c: Vec<usize> = (0..6).map(|s| c.rank_of(s)).collect();
+        assert_ne!(ranks_a, ranks_c);
     }
 }

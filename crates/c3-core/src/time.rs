@@ -72,6 +72,7 @@ impl Nanos {
     }
 
     /// Multiply a duration by an integer factor.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, k: u64) -> Nanos {
         Nanos(self.0 * k)
     }

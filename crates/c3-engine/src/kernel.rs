@@ -1,0 +1,354 @@
+//! Deterministic discrete-event kernel.
+//!
+//! The kernel orders typed events by `(time, insertion sequence)` so that
+//! simultaneous events fire in insertion order — runs are bit-for-bit
+//! reproducible given a seed. Event payloads live in a slab with an
+//! intrusive free list: the binary heap holds only small fixed-size keys,
+//! vacated slots chain onto the free list in place (no auxiliary free
+//! vector, no `Option<E>` per live slot), and cancelled timers simply
+//! vacate their slot — the stale heap key is skipped when it surfaces.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use c3_core::Nanos;
+
+/// Sentinel for "free list empty".
+const NIL: u32 = u32::MAX;
+
+/// Key stored in the heap: orders by time, then insertion sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct HeapKey {
+    time: Nanos,
+    seq: u64,
+    slot: u32,
+}
+
+/// One slab cell: either a live event (tagged with the sequence number of
+/// the heap key that owns it) or a link in the free list.
+#[derive(Debug)]
+enum Slot<E> {
+    Occupied { seq: u64, event: E },
+    Vacant { next_free: u32 },
+}
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimerId {
+    slot: u32,
+    seq: u64,
+}
+
+/// A deterministic event queue.
+///
+/// `E` is the simulation's event type. The kernel never inspects events —
+/// it only orders them.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<HeapKey>>,
+    slab: Vec<Slot<E>>,
+    free_head: u32,
+    seq: u64,
+    now: Nanos,
+    processed: u64,
+    cancelled: u64,
+    live: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue starting at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            slab: Vec::new(),
+            free_head: NIL,
+            seq: 0,
+            now: Nanos::ZERO,
+            processed: 0,
+            cancelled: 0,
+            live: 0,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of timers cancelled so far.
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled
+    }
+
+    /// Number of pending (live, uncancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Schedule `event` at absolute time `at`. Returns a [`TimerId`] that
+    /// can cancel the event before it fires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before the current time).
+    pub fn schedule(&mut self, at: Nanos, event: E) -> TimerId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at:?} < {:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        let slot = if self.free_head != NIL {
+            let idx = self.free_head;
+            match self.slab[idx as usize] {
+                Slot::Vacant { next_free } => self.free_head = next_free,
+                Slot::Occupied { .. } => unreachable!("free list points at a live slot"),
+            }
+            self.slab[idx as usize] = Slot::Occupied { seq, event };
+            idx
+        } else {
+            assert!(self.slab.len() < NIL as usize, "event slab full");
+            self.slab.push(Slot::Occupied { seq, event });
+            (self.slab.len() - 1) as u32
+        };
+        self.heap.push(Reverse(HeapKey {
+            time: at,
+            seq,
+            slot,
+        }));
+        self.live += 1;
+        TimerId { slot, seq }
+    }
+
+    /// Schedule `event` after a delay from the current time.
+    pub fn schedule_in(&mut self, delay: Nanos, event: E) -> TimerId {
+        let at = self.now.saturating_add(delay);
+        self.schedule(at, event)
+    }
+
+    /// Cancel a scheduled event, returning its payload if it had not yet
+    /// fired (or been cancelled). The stale heap key is skipped lazily
+    /// when it reaches the front.
+    pub fn cancel(&mut self, id: TimerId) -> Option<E> {
+        match self.slab.get(id.slot as usize) {
+            Some(Slot::Occupied { seq, .. }) if *seq == id.seq => {}
+            _ => return None,
+        }
+        let taken = std::mem::replace(
+            &mut self.slab[id.slot as usize],
+            Slot::Vacant {
+                next_free: self.free_head,
+            },
+        );
+        self.free_head = id.slot;
+        self.live -= 1;
+        self.cancelled += 1;
+        match taken {
+            Slot::Occupied { event, .. } => Some(event),
+            Slot::Vacant { .. } => unreachable!("checked occupied above"),
+        }
+    }
+
+    /// Timestamp of the next live event, if any, without popping it.
+    pub fn next_time(&mut self) -> Option<Nanos> {
+        self.skim_stale();
+        self.heap.peek().map(|Reverse(k)| k.time)
+    }
+
+    /// Drop stale (cancelled) keys off the front of the heap.
+    fn skim_stale(&mut self) {
+        while let Some(Reverse(key)) = self.heap.peek() {
+            let fresh = matches!(
+                self.slab.get(key.slot as usize),
+                Some(Slot::Occupied { seq, .. }) if *seq == key.seq
+            );
+            if fresh {
+                return;
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        loop {
+            let Reverse(key) = self.heap.pop()?;
+            let fresh = matches!(
+                self.slab.get(key.slot as usize),
+                Some(Slot::Occupied { seq, .. }) if *seq == key.seq
+            );
+            if !fresh {
+                continue; // cancelled timer: slot was vacated or reused
+            }
+            let taken = std::mem::replace(
+                &mut self.slab[key.slot as usize],
+                Slot::Vacant {
+                    next_free: self.free_head,
+                },
+            );
+            self.free_head = key.slot;
+            self.now = key.time;
+            self.processed += 1;
+            self.live -= 1;
+            match taken {
+                Slot::Occupied { event, .. } => return Some((key.time, event)),
+                Slot::Vacant { .. } => unreachable!("checked occupied above"),
+            }
+        }
+    }
+
+    /// Capacity of the backing slab (diagnostics: peak concurrent events).
+    pub fn slab_capacity(&self) -> usize {
+        self.slab.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_millis(30), "c");
+        q.schedule(Nanos::from_millis(10), "a");
+        q.schedule(Nanos::from_millis(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Nanos::from_millis(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_millis(7), ());
+        assert_eq!(q.now(), Nanos::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Nanos::from_millis(7));
+        assert_eq!(q.processed(), 1);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_millis(10), 1);
+        q.pop();
+        q.schedule_in(Nanos::from_millis(5), 2);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t, Nanos::from_millis(15));
+        assert_eq!(e, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_millis(10), ());
+        q.pop();
+        q.schedule(Nanos::from_millis(5), ());
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..100 {
+            q.schedule_in(Nanos::from_millis(1), round);
+            q.pop();
+        }
+        assert!(q.slab_capacity() <= 2, "slab grew: {}", q.slab_capacity());
+    }
+
+    #[test]
+    fn empty_pop_returns_none() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let keep = q.schedule(Nanos::from_millis(1), "keep");
+        let drop = q.schedule(Nanos::from_millis(2), "drop");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.cancel(drop), Some("drop"));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.cancelled(), 1);
+        let fired: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(fired, vec!["keep"]);
+        // Double-cancel and cancel-after-fire are no-ops.
+        assert_eq!(q.cancel(drop), None);
+        assert_eq!(q.cancel(keep), None);
+    }
+
+    #[test]
+    fn cancel_is_safe_across_slot_reuse() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Nanos::from_millis(1), 1);
+        assert_eq!(q.cancel(a), Some(1));
+        // Slot is reused by a new event; the old handle must not cancel it.
+        let b = q.schedule(Nanos::from_millis(2), 2);
+        assert_eq!(q.cancel(a), None);
+        assert_eq!(q.pop(), Some((Nanos::from_millis(2), 2)));
+        assert_eq!(q.cancel(b), None);
+    }
+
+    #[test]
+    fn next_time_skips_cancelled_heads() {
+        let mut q = EventQueue::new();
+        let head = q.schedule(Nanos::from_millis(1), "head");
+        q.schedule(Nanos::from_millis(5), "tail");
+        q.cancel(head);
+        assert_eq!(q.next_time(), Some(Nanos::from_millis(5)));
+        assert_eq!(q.pop(), Some((Nanos::from_millis(5), "tail")));
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_is_deterministic() {
+        let run = || {
+            let mut q = EventQueue::new();
+            let mut log = Vec::new();
+            q.schedule(Nanos::from_millis(1), 100);
+            while let Some((t, e)) = q.pop() {
+                log.push((t, e));
+                if e < 105 {
+                    q.schedule_in(Nanos::from_millis(1), e + 1);
+                    q.schedule_in(Nanos::from_millis(1), e + 1);
+                }
+                if log.len() > 100 {
+                    break;
+                }
+            }
+            log
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,73 @@
+//! # c3-engine — one deterministic engine behind both simulators
+//!
+//! The C3 paper evaluates its mechanism twice: in an abstract §6
+//! discrete-event simulator and in a Cassandra-like §5 cluster. This crate
+//! is the machinery both of those frontends (and any future workload)
+//! share, so that adding a strategy or a scenario is a registration, not a
+//! parallel reimplementation:
+//!
+//! - [`EventQueue`]: a deterministic discrete-event kernel with typed
+//!   events, `(time, insertion-seq)` ordering, **cancellable timers**
+//!   ([`TimerId`]/[`EventQueue::cancel`]) and a slab-backed event store
+//!   with an intrusive free list — no auxiliary free vector and no
+//!   per-event `Option` slots on the hot path.
+//! - [`StrategyRegistry`]: one name → selector-factory table covering C3,
+//!   its ablations, every `c3_core::strategies` baseline and (registered
+//!   by `c3-cluster`) Dynamic Snitching, so simulators, benches and
+//!   examples select strategies with a [`Strategy`] name instead of
+//!   hand-rolled per-crate enums.
+//! - [`ScenarioRunner`]: owns RNG seed derivation ([`SeedSeq`]), the
+//!   warm-up/measure window, and the uniform [`RunMetrics`] (latency
+//!   histograms, throughput, per-server load time series) for any
+//!   [`Scenario`] implementation.
+//!
+//! ```
+//! use c3_core::Nanos;
+//! use c3_engine::{EventQueue, RunMetrics, Scenario, ScenarioRunner};
+//!
+//! /// A toy scenario: 100 ticks, 1 ms apart, each "completing" instantly.
+//! struct Ticks(u64);
+//!
+//! impl Scenario for Ticks {
+//!     type Event = ();
+//!
+//!     fn start(&mut self, engine: &mut EventQueue<()>) {
+//!         engine.schedule(Nanos::from_millis(1), ());
+//!     }
+//!
+//!     fn handle(
+//!         &mut self,
+//!         _ev: (),
+//!         now: Nanos,
+//!         engine: &mut EventQueue<()>,
+//!         metrics: &mut RunMetrics,
+//!     ) {
+//!         metrics.record_completion(0, now, Nanos::from_micros(100), true);
+//!         self.0 += 1;
+//!         if self.0 < 100 {
+//!             engine.schedule_in(Nanos::from_millis(1), ());
+//!         }
+//!     }
+//!
+//!     fn is_done(&self, _metrics: &RunMetrics) -> bool {
+//!         self.0 >= 100
+//!     }
+//! }
+//!
+//! let runner = ScenarioRunner::new(1);
+//! let mut scenario = Ticks(0);
+//! let (metrics, stats) = runner.run(&mut scenario, 1, 1, Nanos::from_millis(100));
+//! assert_eq!(metrics.completions(0), 100);
+//! assert_eq!(stats.events_processed, 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kernel;
+mod registry;
+mod runner;
+
+pub use kernel::{EventQueue, TimerId};
+pub use registry::{BuiltSelector, SelectorCtx, Strategy, StrategyRegistry, UnknownStrategy};
+pub use runner::{EngineStats, RunMetrics, Scenario, ScenarioRunner, SeedSeq};

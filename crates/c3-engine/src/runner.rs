@@ -1,0 +1,395 @@
+//! The scenario runner: seed derivation, the event loop, and uniform
+//! run metrics for every frontend.
+//!
+//! A frontend (the §6 simulator, the §5 cluster, or any future workload)
+//! implements [`Scenario`]: it schedules its initial events, handles each
+//! event, and says when the run is complete. [`ScenarioRunner`] owns
+//! everything around that: the deterministic RNG seed derivation
+//! ([`SeedSeq`]), the warm-up/measure window, the event loop itself, and
+//! the [`RunMetrics`] (latency histograms, throughput, per-server load
+//! time series) that every frontend reports the same way.
+
+use c3_core::Nanos;
+use c3_metrics::{Ecdf, LatencySummary, LogHistogram, WindowedCounts};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::kernel::EventQueue;
+
+/// Deterministic derivation of all RNG streams of a run from one seed.
+///
+/// Both simulators historically derived their workload, service and
+/// per-actor streams with these multipliers; centralizing them here keeps
+/// the two frontends (and any new one) on the same scheme — and keeps
+/// old seeds producing the streams they always produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeedSeq {
+    seed: u64,
+}
+
+impl SeedSeq {
+    /// Wrap a run seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The raw run seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Workload randomness (arrivals, key/client/group choices).
+    pub fn workload_rng(&self) -> SmallRng {
+        SmallRng::seed_from_u64(self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Service-time randomness. `salt` separates frontends sharing a seed.
+    pub fn service_rng(&self, salt: u64) -> SmallRng {
+        SmallRng::seed_from_u64(self.seed.wrapping_mul(0xd1b5_4a32_d192_ed03) ^ salt)
+    }
+
+    /// Seed for client/coordinator `i`'s selector randomness.
+    pub fn client_seed(&self, i: u64) -> u64 {
+        self.seed ^ 0xa076_1d64_78bd_642fu64.wrapping_mul(i + 1)
+    }
+
+    /// Seed for generator thread `i`.
+    pub fn thread_seed(&self, i: u64) -> u64 {
+        self.seed ^ 0xbf58_476d_1ce4_e5b9u64.wrapping_mul(i + 1)
+    }
+
+    /// Seed for a mid-run phase thread `i` (Figure 11 joiners).
+    pub fn phase_seed(&self, i: u64) -> u64 {
+        self.seed ^ 0x94d0_49bb_1331_11ebu64.wrapping_mul(i + 1)
+    }
+}
+
+/// Uniform per-run measurements: latency histogram channels (the §6
+/// simulator uses one; the cluster uses read and update channels), total
+/// completion counts, the measured time window, and per-server load time
+/// series.
+#[derive(Debug)]
+pub struct RunMetrics {
+    warmup: u64,
+    latency: Vec<LogHistogram>,
+    completions: Vec<u64>,
+    server_load: Vec<WindowedCounts>,
+    first_completion: Option<Nanos>,
+    last_completion: Nanos,
+}
+
+impl RunMetrics {
+    /// Metrics with `channels` latency channels over `servers` servers.
+    /// The first `warmup` issued units (requests/operations) are excluded
+    /// from histograms via [`RunMetrics::past_warmup`].
+    pub fn new(channels: usize, servers: usize, load_window: Nanos, warmup: u64) -> Self {
+        assert!(channels >= 1, "need at least one latency channel");
+        Self {
+            warmup,
+            latency: (0..channels).map(|_| LogHistogram::new()).collect(),
+            completions: vec![0; channels],
+            server_load: (0..servers)
+                .map(|_| WindowedCounts::new(load_window.as_nanos()))
+                .collect(),
+            first_completion: None,
+            last_completion: Nanos::ZERO,
+        }
+    }
+
+    /// Whether the unit issued with 0-based index `issue_index` falls in
+    /// the measured window (past warm-up).
+    pub fn past_warmup(&self, issue_index: u64) -> bool {
+        issue_index >= self.warmup
+    }
+
+    /// Record a completed unit on `channel`. Only `measured` completions
+    /// (past warm-up) enter the histogram and the measured time window;
+    /// every completion advances the total count used by stop conditions.
+    pub fn record_completion(
+        &mut self,
+        channel: usize,
+        now: Nanos,
+        latency: Nanos,
+        measured: bool,
+    ) {
+        self.completions[channel] += 1;
+        if measured {
+            self.latency[channel].record(latency.as_nanos());
+            if self.first_completion.is_none() {
+                self.first_completion = Some(now);
+            }
+            self.last_completion = now;
+        }
+    }
+
+    /// Record that `server` served one request at `now` (load time series).
+    pub fn record_service(&mut self, server: usize, now: Nanos) {
+        self.server_load[server].record(now.as_nanos());
+    }
+
+    /// All completions on a channel, warm-up included.
+    pub fn completions(&self, channel: usize) -> u64 {
+        self.completions[channel]
+    }
+
+    /// Completions across all channels, warm-up included.
+    pub fn total_completions(&self) -> u64 {
+        self.completions.iter().sum()
+    }
+
+    /// Measured (histogram-recorded) completions on a channel.
+    pub fn measured(&self, channel: usize) -> u64 {
+        self.latency[channel].count()
+    }
+
+    /// The latency histogram of a channel.
+    pub fn histogram(&self, channel: usize) -> &LogHistogram {
+        &self.latency[channel]
+    }
+
+    /// Latency summary of a channel at the paper's percentiles.
+    pub fn summary(&self, channel: usize) -> LatencySummary {
+        LatencySummary::from_histogram(&self.latency[channel])
+    }
+
+    /// Measured duration: first to last measured completion.
+    pub fn duration(&self) -> Nanos {
+        self.last_completion
+            .saturating_sub(self.first_completion.unwrap_or(Nanos::ZERO))
+    }
+
+    /// Measured throughput of a channel in completions/second.
+    pub fn throughput(&self, channel: usize) -> f64 {
+        let d = self.duration();
+        if d == Nanos::ZERO {
+            return 0.0;
+        }
+        self.measured(channel) as f64 / d.as_secs_f64()
+    }
+
+    /// Per-server load time series.
+    pub fn server_load(&self) -> &[WindowedCounts] {
+        &self.server_load
+    }
+
+    /// Index of the server that served the most requests.
+    pub fn busiest_server(&self) -> usize {
+        self.server_load
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, w)| w.total())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// ECDF of per-window request counts on the busiest server.
+    pub fn busiest_server_load_ecdf(&self) -> Ecdf {
+        Ecdf::from_samples(self.server_load[self.busiest_server()].counts().to_vec())
+    }
+
+    /// Decompose into the owned artifacts frontends embed in their result
+    /// types: `(latency histograms, server load series, completion counts,
+    /// measured duration)`.
+    pub fn into_parts(self) -> (Vec<LogHistogram>, Vec<WindowedCounts>, Vec<u64>, Nanos) {
+        let duration = self.duration();
+        (self.latency, self.server_load, self.completions, duration)
+    }
+}
+
+/// Engine-side statistics of one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events processed by the kernel.
+    pub events_processed: u64,
+    /// Timers cancelled before firing.
+    pub events_cancelled: u64,
+}
+
+/// A workload that runs on the engine.
+///
+/// Implementations schedule their initial events in [`Scenario::start`],
+/// react to each popped event in [`Scenario::handle`] (scheduling
+/// follow-ups through the engine handle), and report completion through
+/// [`Scenario::is_done`], which the runner checks after every event.
+pub trait Scenario {
+    /// The simulation's typed event.
+    type Event;
+
+    /// Schedule the initial events.
+    fn start(&mut self, engine: &mut EventQueue<Self::Event>);
+
+    /// Handle one event at simulated time `now`.
+    fn handle(
+        &mut self,
+        event: Self::Event,
+        now: Nanos,
+        engine: &mut EventQueue<Self::Event>,
+        metrics: &mut RunMetrics,
+    );
+
+    /// Whether the run is complete (checked after every handled event;
+    /// the run also ends when no events remain).
+    fn is_done(&self, metrics: &RunMetrics) -> bool;
+}
+
+/// Drives a [`Scenario`] to completion deterministically.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioRunner {
+    seeds: SeedSeq,
+    warmup: u64,
+}
+
+impl ScenarioRunner {
+    /// A runner for the given seed with no warm-up window.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seeds: SeedSeq::new(seed),
+            warmup: 0,
+        }
+    }
+
+    /// Exclude the first `n` issued units from latency measurement.
+    pub fn with_warmup(mut self, n: u64) -> Self {
+        self.warmup = n;
+        self
+    }
+
+    /// The seed-derivation scheme of this run.
+    pub fn seeds(&self) -> &SeedSeq {
+        &self.seeds
+    }
+
+    /// Run `scenario` to completion, returning the metrics and engine
+    /// statistics. `channels`, `servers` and `load_window` size the
+    /// [`RunMetrics`].
+    pub fn run<S: Scenario>(
+        &self,
+        scenario: &mut S,
+        channels: usize,
+        servers: usize,
+        load_window: Nanos,
+    ) -> (RunMetrics, EngineStats) {
+        let mut metrics = RunMetrics::new(channels, servers, load_window, self.warmup);
+        let mut engine = EventQueue::new();
+        scenario.start(&mut engine);
+        while let Some((now, event)) = engine.pop() {
+            scenario.handle(event, now, &mut engine, &mut metrics);
+            if scenario.is_done(&metrics) {
+                break;
+            }
+        }
+        (
+            metrics,
+            EngineStats {
+                events_processed: engine.processed(),
+                events_cancelled: engine.cancelled(),
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Chain {
+        remaining: u64,
+        gap: Nanos,
+    }
+
+    impl Scenario for Chain {
+        type Event = u64;
+
+        fn start(&mut self, engine: &mut EventQueue<u64>) {
+            engine.schedule(self.gap, 0);
+        }
+
+        fn handle(
+            &mut self,
+            event: u64,
+            now: Nanos,
+            engine: &mut EventQueue<u64>,
+            metrics: &mut RunMetrics,
+        ) {
+            let measured = metrics.past_warmup(event);
+            metrics.record_completion(0, now, Nanos::from_micros(10 + event), measured);
+            if event + 1 < self.remaining {
+                engine.schedule_in(self.gap, event + 1);
+            }
+        }
+
+        fn is_done(&self, metrics: &RunMetrics) -> bool {
+            metrics.total_completions() >= self.remaining
+        }
+    }
+
+    #[test]
+    fn runs_to_completion() {
+        let runner = ScenarioRunner::new(3);
+        let mut s = Chain {
+            remaining: 50,
+            gap: Nanos::from_millis(1),
+        };
+        let (metrics, stats) = runner.run(&mut s, 1, 1, Nanos::from_millis(100));
+        assert_eq!(metrics.completions(0), 50);
+        assert_eq!(metrics.measured(0), 50);
+        assert_eq!(stats.events_processed, 50);
+        assert!(metrics.duration() > Nanos::ZERO);
+        assert!(metrics.throughput(0) > 0.0);
+    }
+
+    #[test]
+    fn warmup_excludes_early_units_from_histograms() {
+        let runner = ScenarioRunner::new(3).with_warmup(20);
+        let mut s = Chain {
+            remaining: 50,
+            gap: Nanos::from_millis(1),
+        };
+        let (metrics, _) = runner.run(&mut s, 1, 1, Nanos::from_millis(100));
+        assert_eq!(metrics.completions(0), 50, "all completions counted");
+        assert_eq!(metrics.measured(0), 30, "warm-up excluded from histogram");
+    }
+
+    #[test]
+    fn seed_seq_is_deterministic_and_distinct() {
+        let a = SeedSeq::new(9);
+        let b = SeedSeq::new(9);
+        assert_eq!(a.client_seed(4), b.client_seed(4));
+        assert_eq!(a.thread_seed(4), b.thread_seed(4));
+        assert_ne!(a.client_seed(4), a.client_seed(5));
+        assert_ne!(a.client_seed(4), a.thread_seed(4));
+        assert_ne!(
+            SeedSeq::new(1).client_seed(0),
+            SeedSeq::new(2).client_seed(0)
+        );
+    }
+
+    #[test]
+    fn runner_runs_are_identical() {
+        let run = || {
+            let runner = ScenarioRunner::new(11).with_warmup(5);
+            let mut s = Chain {
+                remaining: 200,
+                gap: Nanos::from_micros(137),
+            };
+            let (metrics, stats) = runner.run(&mut s, 1, 1, Nanos::from_millis(10));
+            (
+                metrics.summary(0).p99_ns,
+                metrics.duration(),
+                stats.events_processed,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn record_service_feeds_busiest_server() {
+        let mut m = RunMetrics::new(1, 3, Nanos::from_millis(1), 0);
+        for i in 0..10u64 {
+            m.record_service(1, Nanos::from_micros(i * 10));
+        }
+        m.record_service(0, Nanos::from_micros(5));
+        assert_eq!(m.busiest_server(), 1);
+        assert!(!m.busiest_server_load_ecdf().is_empty());
+    }
+}

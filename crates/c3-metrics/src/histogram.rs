@@ -258,11 +258,27 @@ mod tests {
 
     #[test]
     fn low_of_inverts_index_of() {
-        for &v in &[0u64, 1, 63, 127, 128, 129, 255, 256, 1000, 1 << 20, u64::MAX / 2] {
+        for &v in &[
+            0u64,
+            1,
+            63,
+            127,
+            128,
+            129,
+            255,
+            256,
+            1000,
+            1 << 20,
+            u64::MAX / 2,
+        ] {
             let idx = LogHistogram::index_of(v);
             let low = LogHistogram::low_of(idx);
             assert!(low <= v, "low {low} must be <= value {v}");
-            assert_eq!(LogHistogram::index_of(low), idx, "low must land in same bucket");
+            assert_eq!(
+                LogHistogram::index_of(low),
+                idx,
+                "low must land in same bucket"
+            );
         }
     }
 
@@ -273,9 +289,7 @@ mod tests {
             h.record(v);
         }
         for v in 0..SUB {
-            assert!(
-                (h.fraction_at_or_below(v) - (v + 1) as f64 / SUB as f64).abs() < 1e-9
-            );
+            assert!((h.fraction_at_or_below(v) - (v + 1) as f64 / SUB as f64).abs() < 1e-9);
         }
     }
 
@@ -311,7 +325,7 @@ mod tests {
         let mut h = LogHistogram::new();
         h.record(1_000_000);
         h.record(2_000_000);
-        assert_eq!(h.value_at_quantile(0.0), 1_000_000 * 0 + h.value_at_quantile(0.0));
+        assert_eq!(h.value_at_quantile(0.0), h.value_at_quantile(0.0));
         assert!(h.value_at_quantile(0.0) >= h.min());
         assert!(h.value_at_quantile(1.0) <= h.max());
     }
@@ -356,7 +370,7 @@ mod tests {
         h.record(u64::MAX);
         h.record(u64::MAX - 1);
         assert_eq!(h.count(), 2);
-        assert!(h.value_at_quantile(1.0) <= u64::MAX);
+        assert!(h.value_at_quantile(1.0) >= h.value_at_quantile(0.999));
     }
 
     #[test]

@@ -173,7 +173,10 @@ impl RunSet {
         if self.values.is_empty() {
             return 0.0;
         }
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 }
 

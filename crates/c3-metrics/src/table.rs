@@ -184,6 +184,6 @@ mod tests {
     #[test]
     fn f2_formats_two_decimals() {
         assert_eq!(f2(1.0), "1.00");
-        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(f2(2.46802), "2.47");
     }
 }

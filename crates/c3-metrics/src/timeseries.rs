@@ -111,7 +111,7 @@ impl GaugeSeries {
     /// order; this is asserted in debug builds.
     pub fn push(&mut self, t_ns: u64, value: f64) {
         debug_assert!(
-            self.samples.last().map_or(true, |&(t, _)| t <= t_ns),
+            self.samples.last().is_none_or(|&(t, _)| t <= t_ns),
             "gauge samples must be time-ordered"
         );
         self.samples.push((t_ns, value));

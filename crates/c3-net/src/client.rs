@@ -138,9 +138,9 @@ impl C3Client {
                 SendDecision::Backpressure { retry_at } => {
                     let now = self.clock.now();
                     let wait = retry_at.saturating_sub(now);
-                    tokio::time::sleep(std::time::Duration::from(wait).max(
-                        std::time::Duration::from_micros(100),
-                    ))
+                    tokio::time::sleep(
+                        std::time::Duration::from(wait).max(std::time::Duration::from_micros(100)),
+                    )
                     .await;
                 }
             }
@@ -163,7 +163,10 @@ impl C3Client {
         req: Request,
         track: bool,
     ) -> Result<(Response, Nanos), NetError> {
-        let conn = self.conns.get(server).ok_or(NetError::UnknownServer(server))?;
+        let conn = self
+            .conns
+            .get(server)
+            .ok_or(NetError::UnknownServer(server))?;
         let (reply_tx, reply_rx) = oneshot::channel();
         let sent_at = self.clock.now();
         conn.inflight.lock().insert(

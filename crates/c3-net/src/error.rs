@@ -53,14 +53,14 @@ mod tests {
         assert!(format!("{}", NetError::ConnectionClosed).contains("closed"));
         assert!(format!("{}", NetError::FrameTooLarge(9)).contains('9'));
         assert!(format!("{}", NetError::UnknownServer(3)).contains('3'));
-        let io = NetError::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        let io = NetError::from(std::io::Error::other("x"));
         assert!(format!("{io}").contains("i/o"));
     }
 
     #[test]
     fn io_source_is_exposed() {
         use std::error::Error;
-        let io = NetError::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        let io = NetError::from(std::io::Error::other("x"));
         assert!(io.source().is_some());
         assert!(NetError::ConnectionClosed.source().is_none());
     }

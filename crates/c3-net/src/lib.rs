@@ -20,11 +20,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+// The tokio client/server need `tokio` and `parking_lot`, which the
+// build environment cannot fetch (no crates registry). The wire protocol
+// and error types below always build; enable the `rt` feature after
+// adding those dependencies to Cargo.toml to compile the full stack.
+#[cfg(feature = "rt")]
 mod client;
 mod error;
 pub mod proto;
+#[cfg(feature = "rt")]
 mod server;
 
+#[cfg(feature = "rt")]
 pub use client::C3Client;
 pub use error::NetError;
+#[cfg(feature = "rt")]
 pub use server::{KvServer, ServiceProfile};

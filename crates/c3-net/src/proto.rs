@@ -178,9 +178,11 @@ fn parse_body(body: &mut BytesMut) -> Result<Frame, NetError> {
             let status = match need_u8(body)? {
                 0 => Status::Ok,
                 1 => Status::NotFound,
-                s => return Err(NetError::Malformed(Box::leak(
-                    format!("unknown status {s}").into_boxed_str(),
-                ))),
+                s => {
+                    return Err(NetError::Malformed(Box::leak(
+                        format!("unknown status {s}").into_boxed_str(),
+                    )))
+                }
             };
             let queue_size = need_u32(body)?;
             let service_time = Nanos(need_u64(body)?);
@@ -354,7 +356,10 @@ mod tests {
         let mut buf = BytesMut::new();
         buf.put_u32(1);
         buf.put_u8(200);
-        assert!(matches!(decode_frame(&mut buf), Err(NetError::Malformed(_))));
+        assert!(matches!(
+            decode_frame(&mut buf),
+            Err(NetError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -363,6 +368,9 @@ mod tests {
         buf.put_u32(3);
         buf.put_u8(KIND_GET);
         buf.put_u16(10); // claims a 10-byte key, but body ends here
-        assert!(matches!(decode_frame(&mut buf), Err(NetError::Malformed(_))));
+        assert!(matches!(
+            decode_frame(&mut buf),
+            Err(NetError::Malformed(_))
+        ));
     }
 }

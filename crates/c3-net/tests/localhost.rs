@@ -1,3 +1,5 @@
+#![cfg(feature = "rt")]
+
 //! End-to-end tests for the tokio implementation: real sockets on
 //! localhost, ephemeral ports only.
 
@@ -5,7 +7,10 @@ use bytes::Bytes;
 use c3_core::C3Config;
 use c3_net::{C3Client, KvServer, ServiceProfile};
 
-async fn spawn_servers(n: usize, profile: ServiceProfile) -> (Vec<KvServer>, Vec<std::net::SocketAddr>) {
+async fn spawn_servers(
+    n: usize,
+    profile: ServiceProfile,
+) -> (Vec<KvServer>, Vec<std::net::SocketAddr>) {
     let mut servers = Vec::new();
     let mut addrs = Vec::new();
     for i in 0..n {
@@ -29,12 +34,18 @@ fn client_config() -> C3Config {
 #[tokio::test]
 async fn put_then_get_round_trips() {
     let (_servers, addrs) = spawn_servers(3, ServiceProfile::default()).await;
-    let client = C3Client::connect(&addrs, client_config()).await.expect("connect");
+    let client = C3Client::connect(&addrs, client_config())
+        .await
+        .expect("connect");
 
     // Replicate the key on all three servers, then read via C3 selection.
     for s in 0..3 {
         client
-            .put_on(s, Bytes::from_static(b"user:1"), Bytes::from_static(b"alice"))
+            .put_on(
+                s,
+                Bytes::from_static(b"user:1"),
+                Bytes::from_static(b"alice"),
+            )
             .await
             .expect("put");
     }
@@ -49,7 +60,9 @@ async fn put_then_get_round_trips() {
 #[tokio::test]
 async fn missing_key_returns_none() {
     let (_servers, addrs) = spawn_servers(2, ServiceProfile::default()).await;
-    let client = C3Client::connect(&addrs, client_config()).await.expect("connect");
+    let client = C3Client::connect(&addrs, client_config())
+        .await
+        .expect("connect");
     let (value, _) = client
         .get(&[0, 1], Bytes::from_static(b"nope"))
         .await
@@ -60,7 +73,9 @@ async fn missing_key_returns_none() {
 #[tokio::test]
 async fn feedback_flows_back_into_scores() {
     let (_servers, addrs) = spawn_servers(2, ServiceProfile::default()).await;
-    let client = C3Client::connect(&addrs, client_config()).await.expect("connect");
+    let client = C3Client::connect(&addrs, client_config())
+        .await
+        .expect("connect");
     for s in 0..2 {
         client
             .put_on(s, Bytes::from_static(b"k"), Bytes::from_static(b"v"))
@@ -68,7 +83,10 @@ async fn feedback_flows_back_into_scores() {
             .expect("put");
     }
     for _ in 0..20 {
-        client.get(&[0, 1], Bytes::from_static(b"k")).await.expect("get");
+        client
+            .get(&[0, 1], Bytes::from_static(b"k"))
+            .await
+            .expect("get");
     }
     // After 20 tracked reads, both servers should have been observed
     // (scores initialized away from the unknown-server default of 0).
@@ -100,7 +118,9 @@ async fn c3_avoids_the_slow_replica() {
         .await
         .expect("bind fast");
     let addrs = vec![slow.local_addr(), fast.local_addr()];
-    let client = C3Client::connect(&addrs, client_config()).await.expect("connect");
+    let client = C3Client::connect(&addrs, client_config())
+        .await
+        .expect("connect");
     for s in 0..2 {
         client
             .put_on(s, Bytes::from_static(b"hot"), Bytes::from_static(b"x"))
@@ -110,7 +130,10 @@ async fn c3_avoids_the_slow_replica() {
 
     let mut counts = [0u32; 2];
     for _ in 0..60 {
-        let (_, served_by) = client.get(&[0, 1], Bytes::from_static(b"hot")).await.expect("get");
+        let (_, served_by) = client
+            .get(&[0, 1], Bytes::from_static(b"hot"))
+            .await
+            .expect("get");
         counts[served_by] += 1;
     }
     assert!(
@@ -124,7 +147,9 @@ async fn c3_avoids_the_slow_replica() {
 async fn concurrent_callers_share_the_client() {
     let (_servers, addrs) = spawn_servers(3, ServiceProfile::default()).await;
     let client = std::sync::Arc::new(
-        C3Client::connect(&addrs, client_config()).await.expect("connect"),
+        C3Client::connect(&addrs, client_config())
+            .await
+            .expect("connect"),
     );
     for s in 0..3 {
         client
@@ -137,7 +162,10 @@ async fn concurrent_callers_share_the_client() {
         let c = client.clone();
         handles.push(tokio::spawn(async move {
             for _ in 0..25 {
-                let (v, _) = c.get(&[0, 1, 2], Bytes::from_static(b"shared")).await.expect("get");
+                let (v, _) = c
+                    .get(&[0, 1, 2], Bytes::from_static(b"shared"))
+                    .await
+                    .expect("get");
                 assert!(v.is_some());
             }
         }));
@@ -146,7 +174,9 @@ async fn concurrent_callers_share_the_client() {
         h.await.expect("task");
     }
     let outstanding = client.with_state(|st| {
-        (0..st.num_servers()).map(|s| st.outstanding(s)).sum::<u32>()
+        (0..st.num_servers())
+            .map(|s| st.outstanding(s))
+            .sum::<u32>()
     });
     assert_eq!(outstanding, 0, "no leaked outstanding slots");
 }
@@ -154,7 +184,12 @@ async fn concurrent_callers_share_the_client() {
 #[tokio::test]
 async fn unknown_server_index_is_rejected() {
     let (_servers, addrs) = spawn_servers(1, ServiceProfile::default()).await;
-    let client = C3Client::connect(&addrs, client_config()).await.expect("connect");
-    let err = client.get(&[0, 5], Bytes::from_static(b"k")).await.unwrap_err();
+    let client = C3Client::connect(&addrs, client_config())
+        .await
+        .expect("connect");
+    let err = client
+        .get(&[0, 5], Bytes::from_static(b"k"))
+        .await
+        .unwrap_err();
     assert!(matches!(err, c3_net::NetError::UnknownServer(5)));
 }

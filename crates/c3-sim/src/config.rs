@@ -6,54 +6,13 @@
 //! re-sampled every fluctuation interval), 200 Poisson workload generators
 //! driving 150–300 clients, replication factor 3, 10% read repair, 250 µs
 //! one-way network latency, and 600,000 requests per run.
+//!
+//! Strategies are referenced by [`Strategy`] name and resolved through the
+//! shared `c3-engine` [`c3_engine::StrategyRegistry`]; the simulator itself
+//! provides the global state the `ORA` baseline needs.
 
 use c3_core::{C3Config, Nanos};
-
-/// Which replica-selection strategy a simulated client runs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum StrategyKind {
-    /// Full C3 (cubic ranking + rate control + backpressure).
-    C3,
-    /// Oracle: instantaneous global `q/μ` knowledge (upper bound).
-    Oracle,
-    /// Least-outstanding-requests.
-    Lor,
-    /// Rate-limited round-robin (C3's rate control without ranking).
-    RoundRobin,
-    /// Uniform random.
-    Random,
-    /// Least EWMA response time.
-    LeastResponseTime,
-    /// Response-time-weighted random.
-    WeightedRandom,
-    /// Power-of-two-choices on outstanding requests.
-    PowerOfTwo,
-    /// C3 without the rate-control component (ablation).
-    C3NoRateControl,
-    /// C3 without concurrency compensation (ablation).
-    C3NoConcurrencyComp,
-    /// C3 with a non-default queue exponent `b` (ablation; b=3 is C3).
-    C3Exponent(u32),
-}
-
-impl StrategyKind {
-    /// Display name used in harness tables (matches the paper's labels).
-    pub fn label(&self) -> String {
-        match self {
-            StrategyKind::C3 => "C3".into(),
-            StrategyKind::Oracle => "ORA".into(),
-            StrategyKind::Lor => "LOR".into(),
-            StrategyKind::RoundRobin => "RR".into(),
-            StrategyKind::Random => "Random".into(),
-            StrategyKind::LeastResponseTime => "LRT".into(),
-            StrategyKind::WeightedRandom => "WRand".into(),
-            StrategyKind::PowerOfTwo => "P2C".into(),
-            StrategyKind::C3NoRateControl => "C3-noRC".into(),
-            StrategyKind::C3NoConcurrencyComp => "C3-noCC".into(),
-            StrategyKind::C3Exponent(b) => format!("C3-b{b}"),
-        }
-    }
-}
+use c3_engine::Strategy;
 
 /// Skewed client demand: `fraction_of_clients` of the clients receive
 /// `fraction_of_demand` of all requests (Figure 15 uses 20%/80% and
@@ -103,8 +62,8 @@ pub struct SimConfig {
     pub warmup_requests: u64,
     /// Optional client demand skew (Figure 15).
     pub demand_skew: Option<DemandSkew>,
-    /// The strategy under test.
-    pub strategy: StrategyKind,
+    /// The strategy under test, by registry name.
+    pub strategy: Strategy,
     /// C3 parameters (also supplies rate parameters to the RR baseline).
     /// `concurrency_weight` is overwritten with `clients` unless
     /// `keep_c3_weight` is set.
@@ -135,7 +94,7 @@ impl Default for SimConfig {
             total_requests: 600_000,
             warmup_requests: 0,
             demand_skew: None,
-            strategy: StrategyKind::C3,
+            strategy: Strategy::c3(),
             c3: C3Config::default(),
             keep_c3_weight: false,
             load_window: Nanos::from_millis(100),
@@ -148,7 +107,7 @@ impl SimConfig {
     /// The paper's §6 setup with the given strategy, client count,
     /// fluctuation interval and utilization.
     pub fn paper(
-        strategy: StrategyKind,
+        strategy: Strategy,
         clients: usize,
         fluctuation_interval: Nanos,
         utilization: f64,
@@ -226,6 +185,7 @@ mod tests {
         assert_eq!(c.read_repair_prob, 0.1);
         assert_eq!(c.one_way_latency, Nanos::from_micros(250));
         assert_eq!(c.total_requests, 600_000);
+        assert_eq!(c.strategy, Strategy::c3());
         c.validate();
     }
 
@@ -241,24 +201,12 @@ mod tests {
 
     #[test]
     fn paper_constructor_plumbs_fields() {
-        let c = SimConfig::paper(
-            StrategyKind::Lor,
-            300,
-            Nanos::from_millis(500),
-            0.45,
-        );
+        let c = SimConfig::paper(Strategy::lor(), 300, Nanos::from_millis(500), 0.45);
         assert_eq!(c.clients, 300);
-        assert_eq!(c.strategy, StrategyKind::Lor);
+        assert_eq!(c.strategy, Strategy::lor());
         assert_eq!(c.fluctuation_interval, Nanos::from_millis(500));
         assert!((c.utilization - 0.45).abs() < 1e-12);
         c.validate();
-    }
-
-    #[test]
-    fn labels_are_stable() {
-        assert_eq!(StrategyKind::C3.label(), "C3");
-        assert_eq!(StrategyKind::Oracle.label(), "ORA");
-        assert_eq!(StrategyKind::C3Exponent(2).label(), "C3-b2");
     }
 
     #[test]

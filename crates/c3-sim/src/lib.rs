@@ -7,15 +7,16 @@
 //! exponential service times, and bimodal time-varying service rates
 //! (μ vs μ·D re-sampled every fluctuation interval).
 //!
-//! The strategies under test are the paper's: full **C3**, the **Oracle**
-//! (instantaneous global `q/μ` knowledge), **LOR**
-//! (least-outstanding-requests), rate-limited **RR**, plus the weaker
-//! baselines the paper mentions testing (uniform random,
-//! least-response-time, weighted random) and power-of-two-choices; C3
-//! component/parameter ablations are additional strategy variants.
+//! The event loop, strategy resolution and run metrics all come from the
+//! shared [`c3_engine`] crate: this crate contributes the §6 scenario
+//! ([`SimScenario`], driven by `c3_engine::ScenarioRunner`) and the
+//! global-knowledge `ORA` baseline. Every other strategy — full **C3**,
+//! **LOR**, rate-limited **RR**, uniform random, least-response-time,
+//! weighted random, power-of-two-choices, and the C3 ablations — is
+//! resolved by name through the engine's `StrategyRegistry`.
 //!
 //! ```
-//! use c3_sim::{SimConfig, Simulation, StrategyKind};
+//! use c3_sim::{SimConfig, Simulation, Strategy};
 //! use c3_core::Nanos;
 //!
 //! let cfg = SimConfig {
@@ -24,7 +25,7 @@
 //!     generators: 20,
 //!     total_requests: 2_000,
 //!     fluctuation_interval: Nanos::from_millis(200),
-//!     strategy: StrategyKind::C3,
+//!     strategy: Strategy::c3(),
 //!     ..SimConfig::default()
 //! };
 //! let result = Simulation::new(cfg).run();
@@ -36,13 +37,12 @@
 #![warn(missing_docs)]
 
 mod config;
-mod kernel;
 mod result;
 mod server;
 mod sim;
 
-pub use config::{DemandSkew, SimConfig, StrategyKind};
-pub use kernel::EventQueue;
+pub use c3_engine::Strategy;
+pub use config::{DemandSkew, SimConfig};
 pub use result::RunResult;
 pub use server::{ReqId, ServerAction, SimServer, SpeedState};
-pub use sim::{RateProbe, Simulation};
+pub use sim::{RateProbe, SimScenario, Simulation};

@@ -15,9 +15,9 @@ pub struct RunResult {
     pub latency: LogHistogram,
     /// Per-server counts of requests served per load window.
     pub server_load: Vec<WindowedCounts>,
-    /// Requests completed (primaries only, excluding warm-up).
+    /// Requests completed (primaries only, warm-up included).
     pub completed: u64,
-    /// Wall-clock (simulated) duration from first generation to last
+    /// Measured (simulated) duration: first to last post-warm-up
     /// completion.
     pub duration: Nanos,
     /// Total backpressure activations across clients (C3/RR only).
@@ -34,12 +34,14 @@ impl RunResult {
         LatencySummary::from_histogram(&self.latency)
     }
 
-    /// Read throughput in requests per second.
+    /// Read throughput in requests per second: measured (post-warm-up)
+    /// completions over the measured window, so a configured warm-up
+    /// affects neither numerator nor denominator.
     pub fn throughput(&self) -> f64 {
         if self.duration == Nanos::ZERO {
             return 0.0;
         }
-        self.completed as f64 / self.duration.as_secs_f64()
+        self.latency.count() as f64 / self.duration.as_secs_f64()
     }
 
     /// Index of the most heavily utilized server (by total requests

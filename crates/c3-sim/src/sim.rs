@@ -1,4 +1,5 @@
-//! The §6 simulator: wiring, event loop, clients, and the Oracle baseline.
+//! The §6 simulator: wiring, clients, and the Oracle baseline, on the
+//! shared `c3-engine` scenario runner.
 //!
 //! Topology and flow follow the paper's description: Poisson workload
 //! generators create requests at clients; each request targets a uniformly
@@ -9,22 +10,24 @@
 //! response returns with piggybacked feedback. With probability 10% a
 //! request is a read-repair and is sent to *all* replicas of its group;
 //! latency is still measured on the strategy-selected primary.
+//!
+//! All client-local strategies come from the engine's
+//! [`StrategyRegistry`]; the `ORA` baseline reads global server state and
+//! is wired here (it resolves to [`c3_engine::BuiltSelector::Oracle`]).
 
-use c3_core::strategies::{
-    LeastOutstanding, LeastResponseTime, PowerOfTwoChoices, RoundRobinRate, UniformRandom,
-    WeightedRandom,
-};
 use c3_core::{
-    BacklogQueue, C3Config, C3Selector, Feedback, Nanos, RateStats, ReplicaSelector,
-    ResponseInfo, Selection, ServerId,
+    BacklogQueue, Feedback, Nanos, RateStats, ReplicaSelector, ResponseInfo, Selection, ServerId,
 };
-use c3_metrics::{GaugeSeries, LogHistogram, WindowedCounts};
+use c3_engine::{
+    BuiltSelector, EngineStats, EventQueue, RunMetrics, Scenario, ScenarioRunner, SeedSeq,
+    SelectorCtx, StrategyRegistry,
+};
+use c3_metrics::GaugeSeries;
 use c3_workload::PoissonArrivals;
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
-use crate::config::{SimConfig, StrategyKind};
-use crate::kernel::EventQueue;
+use crate::config::SimConfig;
 use crate::result::RunResult;
 use crate::server::{ReqId, ServerAction, SimServer, SpeedState};
 
@@ -32,8 +35,11 @@ use crate::server::{ReqId, ServerAction, SimServer, SpeedState};
 /// read repair).
 type SendId = u64;
 
+/// The simulator's event alphabet (public because it is the scenario's
+/// `Scenario::Event` type; construction stays internal).
 #[derive(Clone, Copy, Debug)]
-enum Event {
+#[allow(missing_docs)]
+pub enum Event {
     /// A generator fires: create a request and reschedule.
     Generate { generator: usize },
     /// A send reaches its server.
@@ -62,7 +68,8 @@ struct RequestState {
     /// The strategy-selected send whose response defines latency
     /// (`SendId::MAX` until dispatched).
     primary_send: SendId,
-    warmup: bool,
+    /// Whether this request falls in the measured (post-warm-up) window.
+    measured: bool,
     completed: bool,
 }
 
@@ -74,6 +81,7 @@ struct SendState {
 }
 
 struct SimClient {
+    /// `None` for the Oracle, which reads global server state instead.
     selector: Option<Box<dyn ReplicaSelector>>,
     /// Per-replica-group backlog of requests awaiting rate tokens.
     backlogs: Vec<BacklogQueue<ReqId>>,
@@ -91,11 +99,11 @@ pub struct RateProbe {
     pub server: usize,
 }
 
-/// The assembled simulation. Build with [`Simulation::new`], run with
-/// [`Simulation::run`].
-pub struct Simulation {
+/// The §6 scenario: state plus event handlers, driven by the engine's
+/// [`ScenarioRunner`]. Build one with [`SimScenario::new`], or use the
+/// [`Simulation`] wrapper which owns the runner plumbing.
+pub struct SimScenario {
     cfg: SimConfig,
-    queue: EventQueue<Event>,
     servers: Vec<SimServer>,
     clients: Vec<SimClient>,
     groups: Vec<Vec<ServerId>>,
@@ -109,21 +117,27 @@ pub struct Simulation {
     /// Service-time randomness.
     srv_rng: SmallRng,
     generated: u64,
-    completed: u64,
-    first_completion: Option<Nanos>,
-    last_completion: Nanos,
-    latency: LogHistogram,
-    server_load: Vec<WindowedCounts>,
     probe: Option<RateProbe>,
     probe_series: GaugeSeries,
 }
 
-impl Simulation {
-    /// Build a simulation from a validated config.
+impl SimScenario {
+    /// Build the scenario with the engine's default strategy registry.
     pub fn new(cfg: SimConfig) -> Self {
+        Self::with_registry(cfg, &StrategyRegistry::with_defaults())
+    }
+
+    /// Build the scenario resolving the configured strategy through a
+    /// caller-supplied registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configured strategy is not in the registry.
+    pub fn with_registry(cfg: SimConfig, registry: &StrategyRegistry) -> Self {
         cfg.validate();
-        let mut wl_rng = SmallRng::seed_from_u64(cfg.seed.wrapping_mul(0x9e3779b97f4a7c15));
-        let srv_rng = SmallRng::seed_from_u64(cfg.seed.wrapping_mul(0xd1b54a32d192ed03) ^ 1);
+        let seeds = SeedSeq::new(cfg.seed);
+        let mut wl_rng = seeds.workload_rng();
+        let srv_rng = seeds.service_rng(1);
 
         let mut c3 = cfg.c3;
         if !cfg.keep_c3_weight {
@@ -157,9 +171,21 @@ impl Simulation {
 
         let clients: Vec<SimClient> = (0..cfg.clients)
             .map(|i| {
-                let seed = cfg.seed ^ (0xa076_1d64_78bd_642fu64.wrapping_mul(i as u64 + 1));
+                let ctx = SelectorCtx {
+                    servers: cfg.servers,
+                    c3,
+                    seed: seeds.client_seed(i as u64),
+                    now: Nanos::ZERO,
+                };
+                let selector = match registry
+                    .build(&cfg.strategy, &ctx)
+                    .unwrap_or_else(|e| panic!("{e}"))
+                {
+                    BuiltSelector::Selector(s) => Some(s),
+                    BuiltSelector::Oracle => None,
+                };
                 SimClient {
-                    selector: build_selector(cfg.strategy, cfg.servers, &c3, seed),
+                    selector,
                     backlogs: (0..cfg.servers).map(|_| BacklogQueue::new()).collect(),
                     retry_scheduled: vec![false; cfg.servers],
                 }
@@ -168,8 +194,7 @@ impl Simulation {
 
         let arrivals = PoissonArrivals::new(cfg.total_arrival_rate() / cfg.generators as f64);
 
-        let mut sim = Self {
-            queue: EventQueue::new(),
+        Self {
             servers,
             clients,
             groups,
@@ -180,34 +205,10 @@ impl Simulation {
             wl_rng,
             srv_rng,
             generated: 0,
-            completed: 0,
-            first_completion: None,
-            last_completion: Nanos::ZERO,
-            latency: LogHistogram::new(),
-            server_load: (0..cfg.servers)
-                .map(|_| WindowedCounts::new(cfg.load_window.as_nanos()))
-                .collect(),
             probe: None,
             probe_series: GaugeSeries::new(),
             cfg,
-        };
-
-        // Stagger generator start times over their first inter-arrival gap.
-        for g in 0..sim.cfg.generators {
-            let jitter = sim.arrivals.next_gap(&mut sim.wl_rng);
-            sim.queue.schedule(jitter, Event::Generate { generator: g });
         }
-        sim.queue
-            .schedule(sim.cfg.fluctuation_interval, Event::Fluctuate);
-        sim
-    }
-
-    /// Install a sending-rate probe (only meaningful for C3-family runs).
-    pub fn with_rate_probe(mut self, probe: RateProbe) -> Self {
-        assert!(probe.client < self.cfg.clients, "probe client out of range");
-        assert!(probe.server < self.cfg.servers, "probe server out of range");
-        self.probe = Some(probe);
-        self
     }
 
     /// The config in force.
@@ -215,41 +216,16 @@ impl Simulation {
         &self.cfg
     }
 
-    /// The probe's sending-rate samples so far (empty unless a probe was
-    /// installed). Also available from the result via
-    /// [`Simulation::run_with_probe`].
-    pub fn probe_series(&self) -> &GaugeSeries {
-        &self.probe_series
+    /// Install a sending-rate probe (only meaningful for C3-family runs).
+    pub fn set_rate_probe(&mut self, probe: RateProbe) {
+        assert!(probe.client < self.cfg.clients, "probe client out of range");
+        assert!(probe.server < self.cfg.servers, "probe server out of range");
+        self.probe = Some(probe);
     }
 
-    /// Run to completion and produce the result.
-    pub fn run(self) -> RunResult {
-        self.run_with_probe().0
-    }
-
-    /// Run to completion, returning the result and the probe trace.
-    pub fn run_with_probe(mut self) -> (RunResult, GaugeSeries) {
-        while let Some((now, ev)) = self.queue.pop() {
-            match ev {
-                Event::Generate { generator } => self.on_generate(generator, now),
-                Event::ServerArrive { server, send } => self.on_server_arrive(server, send),
-                Event::ServiceDone {
-                    server,
-                    send,
-                    service_time,
-                } => self.on_service_done(server, send, service_time, now),
-                Event::ClientReceive { send } => self.on_client_receive(send, now),
-                Event::Fluctuate => self.on_fluctuate(),
-                Event::RetryBacklog { client, group } => self.on_retry(client, group, now),
-            }
-            if self.completed == self.cfg.total_requests {
-                break;
-            }
-        }
-        self.finish()
-    }
-
-    fn finish(self) -> (RunResult, GaugeSeries) {
+    /// Assemble the public result from this scenario plus the runner's
+    /// metrics and engine statistics.
+    pub fn into_result(self, metrics: RunMetrics, stats: EngineStats) -> (RunResult, GaugeSeries) {
         let mut backpressure = 0;
         let mut rate_stats = RateStats::default();
         for c in &self.clients {
@@ -261,29 +237,34 @@ impl Simulation {
                 rate_stats.throttled += s.throttled;
             }
         }
-        let duration = self
-            .last_completion
-            .saturating_sub(self.first_completion.unwrap_or(Nanos::ZERO));
+        let (mut latency, server_load, completions, duration) = metrics.into_parts();
         (
             RunResult {
-                strategy: self.cfg.strategy.label(),
+                strategy: self.cfg.strategy.label().to_string(),
                 seed: self.cfg.seed,
-                latency: self.latency,
-                server_load: self.server_load,
-                completed: self.completed,
+                latency: latency.remove(0),
+                server_load,
+                completed: completions[0],
                 duration,
                 backpressure_activations: backpressure,
                 rate_stats,
-                events_processed: self.queue.processed(),
+                events_processed: stats.events_processed,
             },
             self.probe_series,
         )
     }
 
-    fn on_generate(&mut self, generator: usize, now: Nanos) {
+    fn on_generate(
+        &mut self,
+        generator: usize,
+        now: Nanos,
+        engine: &mut EventQueue<Event>,
+        metrics: &RunMetrics,
+    ) {
         if self.generated >= self.cfg.total_requests {
             return;
         }
+        let issue_index = self.generated;
         self.generated += 1;
         let client = self.pick_client();
         let group = self.wl_rng.gen_range(0..self.groups.len());
@@ -295,13 +276,13 @@ impl Simulation {
             created: now,
             read_repair,
             primary_send: SendId::MAX,
-            warmup: self.generated <= self.cfg.warmup_requests,
+            measured: metrics.past_warmup(issue_index),
             completed: false,
         });
-        self.try_dispatch(req_id, now);
+        self.try_dispatch(req_id, now, engine);
         if self.generated < self.cfg.total_requests {
             let gap = self.arrivals.next_gap(&mut self.wl_rng);
-            self.queue.schedule_in(gap, Event::Generate { generator });
+            engine.schedule_in(gap, Event::Generate { generator });
         }
     }
 
@@ -309,8 +290,7 @@ impl Simulation {
         match self.cfg.demand_skew {
             None => self.wl_rng.gen_range(0..self.cfg.clients),
             Some(skew) => {
-                let heavy = ((self.cfg.clients as f64 * skew.fraction_of_clients).ceil()
-                    as usize)
+                let heavy = ((self.cfg.clients as f64 * skew.fraction_of_clients).ceil() as usize)
                     .clamp(1, self.cfg.clients - 1);
                 if self.wl_rng.gen::<f64>() < skew.fraction_of_demand {
                     self.wl_rng.gen_range(0..heavy)
@@ -323,7 +303,7 @@ impl Simulation {
 
     /// Attempt to dispatch a request (first attempt). On backpressure the
     /// request is backlogged and retried later.
-    fn try_dispatch(&mut self, req: ReqId, now: Nanos) {
+    fn try_dispatch(&mut self, req: ReqId, now: Nanos, engine: &mut EventQueue<Event>) {
         let (client_id, group_id) = {
             let r = &self.requests[req as usize];
             (r.client as usize, r.group as usize)
@@ -333,7 +313,7 @@ impl Simulation {
         if self.clients[client_id].selector.is_none() {
             let group = &self.groups[group_id];
             let primary = oracle_pick(&self.servers, group);
-            self.fan_out(req, primary, now);
+            self.fan_out(req, primary, now, engine);
             return;
         }
 
@@ -343,35 +323,49 @@ impl Simulation {
             sel.select(group, now)
         };
         match selection {
-            Selection::Server(primary) => self.fan_out(req, primary, now),
+            Selection::Server(primary) => self.fan_out(req, primary, now, engine),
             Selection::Backpressure { retry_at } => {
-                self.backlog(client_id, group_id, req, retry_at, now)
+                self.backlog(client_id, group_id, req, retry_at, now, engine)
             }
         }
     }
 
     /// Send the primary, plus read-repair duplicates to the rest of the
     /// group when the request carries the flag.
-    fn fan_out(&mut self, req: ReqId, primary: ServerId, now: Nanos) {
-        self.send_one(req, primary, now, true);
+    fn fan_out(
+        &mut self,
+        req: ReqId,
+        primary: ServerId,
+        now: Nanos,
+        engine: &mut EventQueue<Event>,
+    ) {
+        self.send_one(req, primary, now, true, engine);
         if self.requests[req as usize].read_repair {
             let group_id = self.requests[req as usize].group as usize;
             let group = self.groups[group_id].clone();
             for s in group {
                 if s != primary {
-                    self.send_one(req, s, now, false);
+                    self.send_one(req, s, now, false, engine);
                 }
             }
         }
     }
 
-    fn backlog(&mut self, client_id: usize, group_id: usize, req: ReqId, retry_at: Nanos, now: Nanos) {
+    fn backlog(
+        &mut self,
+        client_id: usize,
+        group_id: usize,
+        req: ReqId,
+        retry_at: Nanos,
+        now: Nanos,
+        engine: &mut EventQueue<Event>,
+    ) {
         let client = &mut self.clients[client_id];
         client.backlogs[group_id].push(req);
         if !client.retry_scheduled[group_id] {
             client.retry_scheduled[group_id] = true;
             let at = retry_at.max(now + Nanos(1));
-            self.queue.schedule(
+            engine.schedule(
                 at,
                 Event::RetryBacklog {
                     client: client_id,
@@ -381,7 +375,14 @@ impl Simulation {
         }
     }
 
-    fn send_one(&mut self, req: ReqId, server: ServerId, now: Nanos, primary: bool) {
+    fn send_one(
+        &mut self,
+        req: ReqId,
+        server: ServerId,
+        now: Nanos,
+        primary: bool,
+        engine: &mut EventQueue<Event>,
+    ) {
         let send_id = self.sends.len() as SendId;
         self.sends.push(SendState {
             req,
@@ -396,7 +397,7 @@ impl Simulation {
         if let Some(sel) = self.clients[client_id].selector.as_mut() {
             sel.on_send(server, now);
         }
-        self.queue.schedule_in(
+        engine.schedule_in(
             self.cfg.one_way_latency,
             Event::ServerArrive {
                 server,
@@ -405,11 +406,11 @@ impl Simulation {
         );
     }
 
-    fn on_server_arrive(&mut self, server: usize, send: SendId) {
+    fn on_server_arrive(&mut self, server: usize, send: SendId, engine: &mut EventQueue<Event>) {
         if let ServerAction::StartService { req, service_time } =
             self.servers[server].on_arrival(send, &mut self.srv_rng)
         {
-            self.queue.schedule_in(
+            engine.schedule_in(
                 service_time,
                 Event::ServiceDone {
                     server,
@@ -420,18 +421,25 @@ impl Simulation {
         }
     }
 
-    fn on_service_done(&mut self, server: usize, send: SendId, service_time: Nanos, now: Nanos) {
+    fn on_service_done(
+        &mut self,
+        server: usize,
+        send: SendId,
+        service_time: Nanos,
+        now: Nanos,
+        engine: &mut EventQueue<Event>,
+        metrics: &mut RunMetrics,
+    ) {
         let (feedback, next) = self.servers[server].on_completion(service_time, &mut self.srv_rng);
-        self.server_load[server].record(now.as_nanos());
+        metrics.record_service(server, now);
         self.feedbacks[send as usize] = feedback;
-        self.queue
-            .schedule_in(self.cfg.one_way_latency, Event::ClientReceive { send });
+        engine.schedule_in(self.cfg.one_way_latency, Event::ClientReceive { send });
         if let ServerAction::StartService {
             req: next_send,
             service_time: st,
         } = next
         {
-            self.queue.schedule_in(
+            engine.schedule_in(
                 st,
                 Event::ServiceDone {
                     server,
@@ -442,7 +450,13 @@ impl Simulation {
         }
     }
 
-    fn on_client_receive(&mut self, send: SendId, now: Nanos) {
+    fn on_client_receive(
+        &mut self,
+        send: SendId,
+        now: Nanos,
+        engine: &mut EventQueue<Event>,
+        metrics: &mut RunMetrics,
+    ) {
         let s = self.sends[send as usize];
         let client_id = self.requests[s.req as usize].client as usize;
         let feedback = self.feedbacks[send as usize];
@@ -463,16 +477,9 @@ impl Simulation {
             let req = &mut self.requests[s.req as usize];
             if req.primary_send == send && !req.completed {
                 req.completed = true;
-                let warmup = req.warmup;
                 let latency = now.saturating_sub(req.created);
-                if !warmup {
-                    self.latency.record(latency.as_nanos());
-                }
-                self.completed += 1;
-                if self.first_completion.is_none() {
-                    self.first_completion = Some(now);
-                }
-                self.last_completion = now;
+                let measured = req.measured;
+                metrics.record_completion(0, now, latency, measured);
             }
         }
 
@@ -491,21 +498,33 @@ impl Simulation {
         }
 
         // A response may free rate for the groups containing this server.
-        self.drain_groups_of_server(client_id, s.server as usize, now);
+        self.drain_groups_of_server(client_id, s.server as usize, now, engine);
     }
 
-    fn drain_groups_of_server(&mut self, client_id: usize, server: usize, now: Nanos) {
+    fn drain_groups_of_server(
+        &mut self,
+        client_id: usize,
+        server: usize,
+        now: Nanos,
+        engine: &mut EventQueue<Event>,
+    ) {
         let rf = self.cfg.replication_factor;
         let n = self.cfg.servers;
         for k in 0..rf {
             let group_id = (server + n - k) % n;
             if !self.clients[client_id].backlogs[group_id].is_empty() {
-                self.on_retry(client_id, group_id, now);
+                self.on_retry(client_id, group_id, now, engine);
             }
         }
     }
 
-    fn on_retry(&mut self, client_id: usize, group_id: usize, now: Nanos) {
+    fn on_retry(
+        &mut self,
+        client_id: usize,
+        group_id: usize,
+        now: Nanos,
+        engine: &mut EventQueue<Event>,
+    ) {
         self.clients[client_id].retry_scheduled[group_id] = false;
         loop {
             let Some(&req) = self.clients[client_id].backlogs[group_id].peek() else {
@@ -522,14 +541,14 @@ impl Simulation {
             match selection {
                 Selection::Server(server) => {
                     self.clients[client_id].backlogs[group_id].pop();
-                    self.fan_out(req, server, now);
+                    self.fan_out(req, server, now, engine);
                 }
                 Selection::Backpressure { retry_at } => {
                     let client = &mut self.clients[client_id];
                     if !client.retry_scheduled[group_id] {
                         client.retry_scheduled[group_id] = true;
                         let at = retry_at.max(now + Nanos(1));
-                        self.queue.schedule(
+                        engine.schedule(
                             at,
                             Event::RetryBacklog {
                                 client: client_id,
@@ -543,12 +562,97 @@ impl Simulation {
         }
     }
 
-    fn on_fluctuate(&mut self) {
+    fn on_fluctuate(&mut self, engine: &mut EventQueue<Event>) {
         for s in &mut self.servers {
             s.fluctuate(&mut self.srv_rng);
         }
-        self.queue
-            .schedule_in(self.cfg.fluctuation_interval, Event::Fluctuate);
+        engine.schedule_in(self.cfg.fluctuation_interval, Event::Fluctuate);
+    }
+}
+
+impl Scenario for SimScenario {
+    type Event = Event;
+
+    fn start(&mut self, engine: &mut EventQueue<Event>) {
+        // Stagger generator start times over their first inter-arrival gap.
+        for g in 0..self.cfg.generators {
+            let jitter = self.arrivals.next_gap(&mut self.wl_rng);
+            engine.schedule(jitter, Event::Generate { generator: g });
+        }
+        engine.schedule(self.cfg.fluctuation_interval, Event::Fluctuate);
+    }
+
+    fn handle(
+        &mut self,
+        event: Event,
+        now: Nanos,
+        engine: &mut EventQueue<Event>,
+        metrics: &mut RunMetrics,
+    ) {
+        match event {
+            Event::Generate { generator } => self.on_generate(generator, now, engine, metrics),
+            Event::ServerArrive { server, send } => self.on_server_arrive(server, send, engine),
+            Event::ServiceDone {
+                server,
+                send,
+                service_time,
+            } => self.on_service_done(server, send, service_time, now, engine, metrics),
+            Event::ClientReceive { send } => self.on_client_receive(send, now, engine, metrics),
+            Event::Fluctuate => self.on_fluctuate(engine),
+            Event::RetryBacklog { client, group } => self.on_retry(client, group, now, engine),
+        }
+    }
+
+    fn is_done(&self, metrics: &RunMetrics) -> bool {
+        metrics.completions(0) == self.cfg.total_requests
+    }
+}
+
+/// The assembled simulation: a [`SimScenario`] plus its runner plumbing.
+/// Build with [`Simulation::new`], run with [`Simulation::run`].
+pub struct Simulation {
+    scenario: SimScenario,
+}
+
+impl Simulation {
+    /// Build a simulation from a validated config.
+    pub fn new(cfg: SimConfig) -> Self {
+        Self {
+            scenario: SimScenario::new(cfg),
+        }
+    }
+
+    /// Build a simulation resolving strategies through a caller-supplied
+    /// registry.
+    pub fn with_strategy_registry(cfg: SimConfig, registry: &StrategyRegistry) -> Self {
+        Self {
+            scenario: SimScenario::with_registry(cfg, registry),
+        }
+    }
+
+    /// Install a sending-rate probe (only meaningful for C3-family runs).
+    pub fn with_rate_probe(mut self, probe: RateProbe) -> Self {
+        self.scenario.set_rate_probe(probe);
+        self
+    }
+
+    /// The config in force.
+    pub fn config(&self) -> &SimConfig {
+        self.scenario.config()
+    }
+
+    /// Run to completion and produce the result.
+    pub fn run(self) -> RunResult {
+        self.run_with_probe().0
+    }
+
+    /// Run to completion, returning the result and the probe trace.
+    pub fn run_with_probe(self) -> (RunResult, GaugeSeries) {
+        let cfg = self.scenario.config().clone();
+        let runner = ScenarioRunner::new(cfg.seed).with_warmup(cfg.warmup_requests);
+        let mut scenario = self.scenario;
+        let (metrics, stats) = runner.run(&mut scenario, 1, cfg.servers, cfg.load_window);
+        scenario.into_result(metrics, stats)
     }
 }
 
@@ -565,48 +669,12 @@ fn oracle_pick(servers: &[SimServer], group: &[ServerId]) -> ServerId {
         .expect("non-empty group")
 }
 
-fn build_selector(
-    strategy: StrategyKind,
-    servers: usize,
-    c3: &C3Config,
-    seed: u64,
-) -> Option<Box<dyn ReplicaSelector>> {
-    Some(match strategy {
-        StrategyKind::Oracle => return None,
-        StrategyKind::C3 => Box::new(C3Selector::new(servers, *c3, Nanos::ZERO)),
-        StrategyKind::C3NoRateControl => Box::new(C3Selector::new(
-            servers,
-            c3.without_rate_control(),
-            Nanos::ZERO,
-        )),
-        StrategyKind::C3NoConcurrencyComp => Box::new(C3Selector::new(
-            servers,
-            c3.without_concurrency_compensation(),
-            Nanos::ZERO,
-        )),
-        StrategyKind::C3Exponent(b) => Box::new(C3Selector::new(
-            servers,
-            c3.with_queue_exponent(b),
-            Nanos::ZERO,
-        )),
-        StrategyKind::Lor => Box::new(LeastOutstanding::new(servers, seed)),
-        StrategyKind::RoundRobin => Box::new(RoundRobinRate::new(servers, c3, Nanos::ZERO)),
-        StrategyKind::Random => Box::new(UniformRandom::new(seed)),
-        StrategyKind::LeastResponseTime => {
-            Box::new(LeastResponseTime::new(servers, c3.ewma_alpha, seed))
-        }
-        StrategyKind::WeightedRandom => {
-            Box::new(WeightedRandom::new(servers, c3.ewma_alpha, seed))
-        }
-        StrategyKind::PowerOfTwo => Box::new(PowerOfTwoChoices::new(servers, seed)),
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use c3_engine::Strategy;
 
-    fn small_cfg(strategy: StrategyKind) -> SimConfig {
+    fn small_cfg(strategy: Strategy) -> SimConfig {
         SimConfig {
             servers: 10,
             clients: 20,
@@ -620,7 +688,7 @@ mod tests {
 
     #[test]
     fn c3_run_completes_all_requests() {
-        let res = Simulation::new(small_cfg(StrategyKind::C3)).run();
+        let res = Simulation::new(small_cfg(Strategy::c3())).run();
         assert_eq!(res.completed, 5_000);
         assert_eq!(res.latency.count(), 5_000);
         assert!(res.throughput() > 0.0);
@@ -630,29 +698,31 @@ mod tests {
     #[test]
     fn every_strategy_completes() {
         for strategy in [
-            StrategyKind::C3,
-            StrategyKind::Oracle,
-            StrategyKind::Lor,
-            StrategyKind::RoundRobin,
-            StrategyKind::Random,
-            StrategyKind::LeastResponseTime,
-            StrategyKind::WeightedRandom,
-            StrategyKind::PowerOfTwo,
-            StrategyKind::C3NoRateControl,
-            StrategyKind::C3NoConcurrencyComp,
-            StrategyKind::C3Exponent(2),
+            Strategy::c3(),
+            Strategy::oracle(),
+            Strategy::lor(),
+            Strategy::round_robin(),
+            Strategy::random(),
+            Strategy::least_response_time(),
+            Strategy::weighted_random(),
+            Strategy::power_of_two(),
+            Strategy::primary_only(),
+            Strategy::nearest_node(),
+            Strategy::c3_no_rate_control(),
+            Strategy::c3_no_concurrency_comp(),
+            Strategy::c3_exponent(2),
         ] {
-            let mut cfg = small_cfg(strategy);
+            let mut cfg = small_cfg(strategy.clone());
             cfg.total_requests = 2_000;
             let res = Simulation::new(cfg).run();
-            assert_eq!(res.completed, 2_000, "strategy {strategy:?}");
+            assert_eq!(res.completed, 2_000, "strategy {strategy}");
         }
     }
 
     #[test]
     fn runs_are_deterministic() {
-        let a = Simulation::new(small_cfg(StrategyKind::C3)).run();
-        let b = Simulation::new(small_cfg(StrategyKind::C3)).run();
+        let a = Simulation::new(small_cfg(Strategy::c3())).run();
+        let b = Simulation::new(small_cfg(Strategy::c3())).run();
         assert_eq!(a.latency.count(), b.latency.count());
         assert_eq!(
             a.latency.value_at_quantile(0.99),
@@ -664,8 +734,8 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = Simulation::new(small_cfg(StrategyKind::C3)).run();
-        let mut cfg = small_cfg(StrategyKind::C3);
+        let a = Simulation::new(small_cfg(Strategy::c3())).run();
+        let mut cfg = small_cfg(Strategy::c3());
         cfg.seed = 8;
         let b = Simulation::new(cfg).run();
         assert_ne!(a.events_processed, b.events_processed);
@@ -673,7 +743,7 @@ mod tests {
 
     #[test]
     fn warmup_requests_are_excluded_from_latency() {
-        let mut cfg = small_cfg(StrategyKind::Lor);
+        let mut cfg = small_cfg(Strategy::lor());
         cfg.warmup_requests = 1_000;
         let res = Simulation::new(cfg).run();
         assert_eq!(res.completed, 5_000);
@@ -682,9 +752,9 @@ mod tests {
 
     #[test]
     fn read_repair_fans_out_extra_load() {
-        let mut with_rr = small_cfg(StrategyKind::Lor);
+        let mut with_rr = small_cfg(Strategy::lor());
         with_rr.read_repair_prob = 0.5;
-        let mut without_rr = small_cfg(StrategyKind::Lor);
+        let mut without_rr = small_cfg(Strategy::lor());
         without_rr.read_repair_prob = 0.0;
         let a = Simulation::new(with_rr).run();
         let b = Simulation::new(without_rr).run();
@@ -699,7 +769,7 @@ mod tests {
     #[test]
     fn demand_skew_loads_heavy_clients() {
         use crate::config::DemandSkew;
-        let mut cfg = small_cfg(StrategyKind::C3);
+        let mut cfg = small_cfg(Strategy::c3());
         cfg.demand_skew = Some(DemandSkew {
             fraction_of_clients: 0.2,
             fraction_of_demand: 0.8,
@@ -712,9 +782,9 @@ mod tests {
 
     #[test]
     fn oracle_beats_random_under_fluctuations() {
-        let mut ora_cfg = small_cfg(StrategyKind::Oracle);
+        let mut ora_cfg = small_cfg(Strategy::oracle());
         ora_cfg.total_requests = 20_000;
-        let mut rnd_cfg = small_cfg(StrategyKind::Random);
+        let mut rnd_cfg = small_cfg(Strategy::random());
         rnd_cfg.total_requests = 20_000;
         let ora = Simulation::new(ora_cfg).run();
         let rnd = Simulation::new(rnd_cfg).run();
@@ -728,18 +798,32 @@ mod tests {
 
     #[test]
     fn probe_records_rate_samples_for_c3() {
-        let cfg = small_cfg(StrategyKind::C3);
-        let sim = Simulation::new(cfg).with_rate_probe(RateProbe { client: 0, server: 0 });
+        let cfg = small_cfg(Strategy::c3());
+        let sim = Simulation::new(cfg).with_rate_probe(RateProbe {
+            client: 0,
+            server: 0,
+        });
         let (_res, series) = sim.run_with_probe();
         assert!(!series.is_empty(), "probe should record samples");
     }
 
     #[test]
     fn busiest_server_is_computed() {
-        let res = Simulation::new(small_cfg(StrategyKind::C3)).run();
+        let res = Simulation::new(small_cfg(Strategy::c3())).run();
         let busiest = res.busiest_server();
         assert!(busiest < 10);
         let ecdf = res.busiest_server_load_ecdf();
         assert!(!ecdf.is_empty());
+    }
+
+    #[test]
+    fn unknown_strategy_panics_with_name() {
+        let cfg = small_cfg(Strategy::named("NoSuchStrategy"));
+        let err = std::panic::catch_unwind(|| {
+            let _ = Simulation::new(cfg);
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("NoSuchStrategy"), "got: {msg}");
     }
 }

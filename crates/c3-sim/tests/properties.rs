@@ -2,7 +2,8 @@
 //! conservation laws.
 
 use c3_core::Nanos;
-use c3_sim::{EventQueue, SimConfig, Simulation, StrategyKind};
+use c3_engine::EventQueue;
+use c3_sim::{SimConfig, Simulation, Strategy};
 use proptest::prelude::*;
 
 proptest! {
@@ -61,11 +62,11 @@ proptest! {
         strategy_pick in 0usize..4,
     ) {
         let strategy = [
-            StrategyKind::C3,
-            StrategyKind::Lor,
-            StrategyKind::Oracle,
-            StrategyKind::RoundRobin,
-        ][strategy_pick];
+            Strategy::c3(),
+            Strategy::lor(),
+            Strategy::oracle(),
+            Strategy::round_robin(),
+        ][strategy_pick].clone();
         let total = 2_000u64;
         let cfg = SimConfig {
             servers,
@@ -95,7 +96,7 @@ proptest! {
             clients: 4,
             generators: 4,
             total_requests: 1_500,
-            strategy: StrategyKind::C3,
+            strategy: Strategy::c3(),
             seed,
             ..SimConfig::default()
         };

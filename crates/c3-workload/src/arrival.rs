@@ -90,9 +90,7 @@ mod tests {
         // ~63.2% of samples fall below the mean for an exponential.
         let mut rng = SmallRng::seed_from_u64(17);
         let n = 100_000;
-        let below = (0..n)
-            .filter(|_| exp_sample(&mut rng, 10.0) < 10.0)
-            .count();
+        let below = (0..n).filter(|_| exp_sample(&mut rng, 10.0) < 10.0).count();
         let frac = below as f64 / n as f64;
         assert!((frac - 0.632).abs() < 0.01, "got {frac}");
     }

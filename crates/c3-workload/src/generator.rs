@@ -48,7 +48,9 @@ impl GeneratorSpec {
                 keys: self.keys.clone(),
                 mix: self.mix,
                 record_sizes: self.record_sizes.clone(),
-                rng: SmallRng::seed_from_u64(seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1))),
+                rng: SmallRng::seed_from_u64(
+                    seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1)),
+                ),
             })
             .collect()
     }

@@ -51,9 +51,7 @@ impl RecordSizes {
             RecordSizes::Fixed(b) => *b,
             RecordSizes::ZipfianFields { fields, zipf, .. } => {
                 // Zipfian rank 0 (most likely) = shortest field (1 byte).
-                (0..*fields)
-                    .map(|_| zipf.sample(rng) as u32 + 1)
-                    .sum()
+                (0..*fields).map(|_| zipf.sample(rng) as u32 + 1).sum()
             }
         }
     }

@@ -186,8 +186,8 @@ mod tests {
             }
         }
         // Ranks 0 and 1 are produced exactly by the sampler; check tightly.
-        for i in 0..2usize {
-            let got = counts[i] as f64 / n as f64;
+        for (i, &count) in counts.iter().enumerate().take(2) {
+            let got = count as f64 / n as f64;
             let want = z.probability(i as u64);
             assert!(
                 (got - want).abs() / want < 0.10,

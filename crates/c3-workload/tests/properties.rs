@@ -1,6 +1,8 @@
 //! Property-based tests for the workload substrate.
 
-use c3_workload::{exp_sample, PoissonArrivals, RecordSizes, ScrambledZipfian, WorkloadMix, Zipfian};
+use c3_workload::{
+    exp_sample, PoissonArrivals, RecordSizes, ScrambledZipfian, WorkloadMix, Zipfian,
+};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;

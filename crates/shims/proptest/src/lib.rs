@@ -1,0 +1,327 @@
+//! Workspace-local stand-in for the `proptest` property-testing crate.
+//!
+//! Implements the subset the workspace's property tests use:
+//!
+//! - the [`proptest!`] macro (each test runs a fixed number of
+//!   deterministically seeded cases; failing inputs are printed, there is
+//!   no shrinking),
+//! - strategies: numeric ranges, tuples (arity 2–4), [`collection::vec`],
+//!   [`option::of`], [`bool::ANY`], and [`Strategy::prop_map`],
+//! - assertions: [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`].
+
+#![forbid(unsafe_code)]
+#![allow(clippy::should_implement_trait)]
+
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Number of sampled cases per property (override with `PROPTEST_CASES`).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the runner draws a new case.
+    Reject(String),
+    /// `prop_assert!` failed; the test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// An assumption rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result of one sampled case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A source of sampled values.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Transform sampled values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut SmallRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut SmallRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
+/// Boolean strategies (`prop::bool::ANY`).
+pub mod bool {
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+
+    /// Uniform boolean strategy.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Draws `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut SmallRng) -> bool {
+            rng.gen()
+        }
+    }
+}
+
+/// Optional-value strategies (`proptest::option::of`).
+pub mod option {
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy wrapper producing `Option<T>`.
+    pub struct OptionOf<S> {
+        inner: S,
+    }
+
+    /// `Some` with probability ¾, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionOf<S> {
+        OptionOf { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionOf<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut SmallRng) -> Option<S::Value> {
+            if rng.gen_bool(0.75) {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy producing vectors with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A vector of `element` values with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The imports property tests pull in with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, Strategy};
+}
+
+/// Deterministic per-test RNG: derived from the test name so adding tests
+/// does not reshuffle existing ones.
+pub fn case_rng(test_name: &str, case: u32) -> SmallRng {
+    use rand::SeedableRng;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}
+
+/// Assert inside a property, failing the case (not panicking) so the
+/// runner can report the sampled inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "{} ({:?} != {:?})",
+                format!($($fmt)+),
+                a,
+                b
+            )));
+        }
+    }};
+}
+
+/// Reject the sampled inputs; the runner draws a fresh case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond).to_string()));
+        }
+    };
+}
+
+/// Declares property tests. Each runs [`cases`] sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let total = $crate::cases();
+                let mut ran = 0u32;
+                let mut draws = 0u32;
+                while ran < total && draws < total * 16 {
+                    let mut rng = $crate::case_rng(stringify!($name), draws);
+                    draws += 1;
+                    let outcome: $crate::TestCaseResult = (|| {
+                        $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => ran += 1,
+                        Err($crate::TestCaseError::Reject(_)) => {}
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("property {} failed: {}", stringify!($name), msg);
+                        }
+                    }
+                }
+                assert!(ran > 0, "all cases rejected by prop_assume!");
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (u64, bool)> {
+        (1u64..100, prop::bool::ANY).prop_map(|(a, b)| (a * 2, b))
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..50, f in -1.5f64..1.5) {
+            prop_assert!((5..50).contains(&x));
+            prop_assert!((-1.5..1.5).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(0u32..10, 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn options_hit_both_variants_eventually(o in prop::option::of(0u32..3)) {
+            if let Some(x) = o {
+                prop_assert!(x < 3);
+            }
+        }
+
+        #[test]
+        fn mapped_tuples_work(p in pair()) {
+            prop_assert_eq!(p.0 % 2, 0);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+}

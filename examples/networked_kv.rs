@@ -21,11 +21,20 @@ async fn main() {
         mean_service: std::time::Duration::from_millis(12),
         concurrency: 2,
     };
-    let s0 = KvServer::bind("127.0.0.1:0", healthy, 1).await.expect("bind s0");
-    let s1 = KvServer::bind("127.0.0.1:0", straggler, 2).await.expect("bind s1");
-    let s2 = KvServer::bind("127.0.0.1:0", healthy, 3).await.expect("bind s2");
+    let s0 = KvServer::bind("127.0.0.1:0", healthy, 1)
+        .await
+        .expect("bind s0");
+    let s1 = KvServer::bind("127.0.0.1:0", straggler, 2)
+        .await
+        .expect("bind s1");
+    let s2 = KvServer::bind("127.0.0.1:0", healthy, 3)
+        .await
+        .expect("bind s2");
     let addrs = vec![s0.local_addr(), s1.local_addr(), s2.local_addr()];
-    println!("servers: fast={} SLOW={} fast={}", addrs[0], addrs[1], addrs[2]);
+    println!(
+        "servers: fast={} SLOW={} fast={}",
+        addrs[0], addrs[1], addrs[2]
+    );
 
     let client = C3Client::connect(&addrs, C3Config::for_clients(1))
         .await
@@ -36,7 +45,10 @@ async fn main() {
         let key = Bytes::from(format!("session:{k}"));
         let value = Bytes::from(vec![b'x'; 512]);
         for s in 0..3 {
-            client.put_on(s, key.clone(), value.clone()).await.expect("put");
+            client
+                .put_on(s, key.clone(), value.clone())
+                .await
+                .expect("put");
         }
     }
 

@@ -10,7 +10,7 @@
 //! disks make stragglers expensive, and per-node GC/compaction episodes
 //! provide the performance fluctuations C3 is designed to ride out.
 
-use c3::cluster::{Cluster, ClusterConfig, ClusterStrategy};
+use c3::cluster::{Cluster, ClusterConfig, Strategy};
 use c3::metrics::Table;
 use c3::workload::WorkloadMix;
 
@@ -24,7 +24,7 @@ fn main() {
         "reads/s",
         "backpressure",
     ]);
-    for strategy in [ClusterStrategy::C3, ClusterStrategy::DynamicSnitching] {
+    for strategy in [Strategy::c3(), Strategy::dynamic_snitching()] {
         let cfg = ClusterConfig {
             total_ops: 120_000,
             warmup_ops: 10_000,

@@ -32,10 +32,19 @@ impl ToyServer {
 }
 
 fn main() {
-    let mut servers = vec![
-        ToyServer { service_ms: 4.0, queue_free_at: Nanos::ZERO },
-        ToyServer { service_ms: 10.0, queue_free_at: Nanos::ZERO },
-        ToyServer { service_ms: 6.0, queue_free_at: Nanos::ZERO },
+    let mut servers = [
+        ToyServer {
+            service_ms: 4.0,
+            queue_free_at: Nanos::ZERO,
+        },
+        ToyServer {
+            service_ms: 10.0,
+            queue_free_at: Nanos::ZERO,
+        },
+        ToyServer {
+            service_ms: 6.0,
+            queue_free_at: Nanos::ZERO,
+        },
     ];
 
     // One client, three replicas, paper-default parameters.
@@ -71,7 +80,7 @@ fn main() {
                 continue;
             }
         }
-        now = now + Nanos::from_micros(2500); // ~400 req/s offered vs ~516/s capacity
+        now += Nanos::from_micros(2500); // ~400 req/s offered vs ~516/s capacity
         if (i + 1) % 1500 == 0 {
             println!(
                 "after {:4} requests: allocation = {:?} (scores: {:.1} / {:.1} / {:.1})",

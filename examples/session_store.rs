@@ -6,7 +6,7 @@
 //! cargo run --release --example session_store
 //! ```
 
-use c3::cluster::{Cluster, ClusterConfig, ClusterStrategy, DiskKind};
+use c3::cluster::{Cluster, ClusterConfig, DiskKind, Strategy};
 use c3::metrics::Table;
 use c3::workload::WorkloadMix;
 
@@ -19,11 +19,11 @@ fn run(disk: DiskKind, label: &str) {
         "reads/s",
     ]);
     for strategy in [
-        ClusterStrategy::C3,
-        ClusterStrategy::DynamicSnitching,
-        ClusterStrategy::Lor,
-        ClusterStrategy::NearestNode,
-        ClusterStrategy::PrimaryOnly,
+        Strategy::c3(),
+        Strategy::dynamic_snitching(),
+        Strategy::lor(),
+        Strategy::nearest_node(),
+        Strategy::primary_only(),
     ] {
         let cfg = ClusterConfig {
             disk,

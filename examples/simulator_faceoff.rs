@@ -7,22 +7,29 @@
 
 use c3::core::Nanos;
 use c3::metrics::Table;
-use c3::sim::{SimConfig, Simulation, StrategyKind};
+use c3::sim::{SimConfig, Simulation, Strategy};
 
 fn main() {
-    for (util, label) in [(0.7, "high utilization (70%)"), (0.45, "low utilization (45%)")] {
+    for (util, label) in [
+        (0.7, "high utilization (70%)"),
+        (0.45, "low utilization (45%)"),
+    ] {
         let mut table = Table::new(vec![
-            "strategy", "median ms", "p99 ms", "p99.9 ms", "throughput/s",
+            "strategy",
+            "median ms",
+            "p99 ms",
+            "p99.9 ms",
+            "throughput/s",
         ]);
         for strategy in [
-            StrategyKind::Oracle,
-            StrategyKind::C3,
-            StrategyKind::Lor,
-            StrategyKind::PowerOfTwo,
-            StrategyKind::RoundRobin,
-            StrategyKind::LeastResponseTime,
-            StrategyKind::WeightedRandom,
-            StrategyKind::Random,
+            Strategy::oracle(),
+            Strategy::c3(),
+            Strategy::lor(),
+            Strategy::power_of_two(),
+            Strategy::round_robin(),
+            Strategy::least_response_time(),
+            Strategy::weighted_random(),
+            Strategy::random(),
         ] {
             let cfg = SimConfig {
                 total_requests: 100_000,

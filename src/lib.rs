@@ -6,20 +6,24 @@
 //!
 //! - [`core`] — the C3 algorithm itself (replica ranking, cubic rate
 //!   control, backpressure) plus the baseline client-local strategies.
+//! - [`engine`] — the shared deterministic event engine: slab-backed
+//!   event queue with cancellable timers, the name → selector
+//!   `StrategyRegistry`, and the `ScenarioRunner` (seeds, warm-up,
+//!   uniform run metrics) both simulators run on.
 //! - [`metrics`] — histograms, ECDFs, windowed time series and summaries.
 //! - [`workload`] — YCSB-like workload generation (Zipfian keys, workload
 //!   mixes, arrival processes, record sizes).
 //! - [`sim`] — the paper's §6 discrete-event simulator.
 //! - [`cluster`] — the Cassandra-like replicated data store substrate with
 //!   Dynamic Snitching, used by the paper's §5 system evaluation.
-//! - [`net`] — a real tokio/TCP implementation of the C3 client/server
-//!   protocol.
+//! - [`net`] — the C3 wire protocol (the tokio client/server sit behind
+//!   the non-default `rt` feature).
 //!
-//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for the
-//! per-figure reproduction record.
+//! See `README.md` for the crate map and quickstart.
 
 pub use c3_cluster as cluster;
 pub use c3_core as core;
+pub use c3_engine as engine;
 pub use c3_metrics as metrics;
 pub use c3_net as net;
 pub use c3_sim as sim;
