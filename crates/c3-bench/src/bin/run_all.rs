@@ -2,7 +2,9 @@
 //! `C3_SCALE` (quick/full) and `C3_RUNS`; output is the source for
 //! EXPERIMENTS.md.
 use c3_bench::support::Scale;
-use c3_bench::{analytic, cluster_experiments as cl, sim_experiments as sim};
+use c3_bench::{
+    analytic, cluster_experiments as cl, scenario_experiments as sc, sim_experiments as sim,
+};
 
 fn main() {
     let scale = Scale::from_env();
@@ -25,5 +27,6 @@ fn main() {
     sim::fig15(scale);
     sim::ablation_components(scale);
     sim::ablation_params(scale);
+    sc::scenario_matrix(scale);
     println!("\nSuite complete.");
 }

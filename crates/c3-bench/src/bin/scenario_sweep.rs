@@ -1,0 +1,9 @@
+//! Sweeps every strategy in the registry against every scenario in the
+//! `c3-scenarios` library, in parallel. Honours `C3_SCALE` (quick/full)
+//! and `C3_RUNS` (seeds per cell).
+use c3_bench::scenario_experiments;
+use c3_bench::support::Scale;
+
+fn main() {
+    scenario_experiments::scenario_matrix(Scale::from_env());
+}

@@ -10,5 +10,6 @@
 
 pub mod analytic;
 pub mod cluster_experiments;
+pub mod scenario_experiments;
 pub mod sim_experiments;
 pub mod support;

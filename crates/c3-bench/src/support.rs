@@ -41,6 +41,16 @@ impl Scale {
             Scale::Full => 600_000,
         }
     }
+
+    /// Operations per scenario-library run (the sweep covers the whole
+    /// strategy × scenario matrix, so each cell stays smaller than a
+    /// figure reproduction).
+    pub fn scenario_ops(self) -> u64 {
+        match self {
+            Scale::Quick => 30_000,
+            Scale::Full => 300_000,
+        }
+    }
 }
 
 /// Repetitions per configuration, from `C3_RUNS` (default 3).

@@ -24,8 +24,8 @@
 
 use c3_core::{BacklogQueue, Feedback, Nanos, ReplicaSelector, Selection, ServerId};
 use c3_engine::{
-    EngineStats, EventQueue, RunMetrics, Scenario, ScenarioRunner, SeedSeq, SelectorCtx,
-    StrategyRegistry,
+    ChannelId, ChannelSet, EngineStats, EventQueue, RunMetrics, Scenario, ScenarioRunner, SeedSeq,
+    SelectorCtx, StrategyRegistry, TimerId,
 };
 use c3_metrics::{GaugeSeries, LogHistogram, WindowedCounts};
 use c3_workload::{Op, RecordSizes, ScrambledZipfian, WorkloadMix};
@@ -41,9 +41,13 @@ use crate::storage::DiskModel;
 type OpId = u64;
 type SendId = u64;
 
-/// Latency channel indices in the engine's [`RunMetrics`].
-const READ_CHANNEL: usize = 0;
-const UPDATE_CHANNEL: usize = 1;
+/// The cluster's named latency channels (declared in this order by
+/// `Scenario::channels`).
+const READ_CHANNEL: ChannelId = ChannelId::new(0);
+const UPDATE_CHANNEL: ChannelId = ChannelId::new(1);
+
+/// The channel names the cluster records into.
+pub const CLUSTER_CHANNELS: [&str; 2] = ["read", "update"];
 
 /// Register the cluster-only strategies (Dynamic Snitching, which needs a
 /// [`SnitchConfig`] and gossip plumbing) into an engine registry.
@@ -98,6 +102,9 @@ struct OpState {
     read_repair: bool,
     completed: bool,
     spec_sent: bool,
+    /// The pending speculative-retry check timer, cancelled on completion
+    /// so no dead `SpecCheck` events survive on the hot path.
+    spec_timer: Option<TimerId>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -154,6 +161,12 @@ pub struct ClusterResult {
     pub backpressure_activations: u64,
     /// Speculative retries issued.
     pub speculative_retries: u64,
+    /// `SpecCheck` events that fired after their operation had already
+    /// completed. Completion cancels the timer, so this stays zero; the
+    /// field exists to prove that regression-style.
+    pub dead_spec_checks: u64,
+    /// Timers (speculative-retry checks) cancelled before firing.
+    pub events_cancelled: u64,
     /// Optional `(time, read latency)` trace (Figure 11).
     pub latency_trace: Vec<(Nanos, Nanos)>,
     /// Sending-rate traces for each configured probe (Figure 13).
@@ -211,6 +224,7 @@ pub struct ClusterScenario {
     srv_rng: SmallRng,
     issued: u64,
     spec_retries: u64,
+    dead_spec_checks: u64,
     latency_trace: Vec<(Nanos, Nanos)>,
     record_trace: bool,
     probes: Vec<(usize, usize)>,
@@ -327,6 +341,7 @@ impl ClusterScenario {
             srv_rng,
             issued: 0,
             spec_retries: 0,
+            dead_spec_checks: 0,
             latency_trace: Vec::new(),
             record_trace: false,
             probes: Vec::new(),
@@ -371,9 +386,9 @@ impl ClusterScenario {
         }
         let reads_completed = metrics.measured(READ_CHANNEL);
         let updates_completed = metrics.measured(UPDATE_CHANNEL);
-        let (mut latency, server_load, _completions, duration) = metrics.into_parts();
-        let update_latency = latency.remove(UPDATE_CHANNEL);
-        let read_latency = latency.remove(READ_CHANNEL);
+        let (_channels, mut latency, server_load, _completions, duration) = metrics.into_parts();
+        let update_latency = latency.remove(UPDATE_CHANNEL.index());
+        let read_latency = latency.remove(READ_CHANNEL.index());
         ClusterResult {
             strategy: self.cfg.strategy.label().to_string(),
             seed: self.cfg.seed,
@@ -385,6 +400,8 @@ impl ClusterScenario {
             duration,
             backpressure_activations: backpressure,
             speculative_retries: self.spec_retries,
+            dead_spec_checks: self.dead_spec_checks,
+            events_cancelled: stats.events_cancelled,
             latency_trace: self.latency_trace,
             rate_traces: self.rate_traces,
             backpressure_events: self.backpressure_events,
@@ -421,6 +438,7 @@ impl ClusterScenario {
             read_repair,
             completed: false,
             spec_sent: false,
+            spec_timer: None,
         });
         engine.schedule_in(self.cfg.net_latency, Ev::CoordArrive { op: op_id });
     }
@@ -487,7 +505,8 @@ impl ClusterScenario {
                 }
                 if self.cfg.speculative_retry {
                     let threshold = self.spec_threshold(coord_id);
-                    engine.schedule_in(threshold, Ev::SpecCheck { op: op_id });
+                    let timer = engine.schedule_in(threshold, Ev::SpecCheck { op: op_id });
+                    self.ops[op_id as usize].spec_timer = Some(timer);
                 }
             }
             Selection::Backpressure { retry_at } => {
@@ -556,8 +575,15 @@ impl ClusterScenario {
     }
 
     fn on_spec_check(&mut self, op_id: OpId, now: Nanos, engine: &mut EventQueue<Ev>) {
+        self.ops[op_id as usize].spec_timer = None;
         let op = self.ops[op_id as usize];
-        if op.completed || op.spec_sent {
+        if op.completed {
+            // Unreachable since completion cancels the timer; counted so a
+            // regression back to fire-and-filter is visible in results.
+            self.dead_spec_checks += 1;
+            return;
+        }
+        if op.spec_sent {
             return;
         }
         self.ops[op_id as usize].spec_sent = true;
@@ -739,6 +765,11 @@ impl ClusterScenario {
         };
         if completes {
             self.ops[send.op as usize].completed = true;
+            // The speculative-retry check can no longer act: cancel it
+            // instead of letting a dead event surface through the kernel.
+            if let Some(timer) = self.ops[send.op as usize].spec_timer.take() {
+                engine.cancel(timer);
+            }
             engine.schedule_in(self.cfg.net_latency, Ev::ClientReceive { op: send.op });
         }
 
@@ -874,6 +905,10 @@ impl ClusterScenario {
 impl Scenario for ClusterScenario {
     type Event = Ev;
 
+    fn channels(&self) -> ChannelSet {
+        ChannelSet::of(CLUSTER_CHANNELS)
+    }
+
     fn start(&mut self, engine: &mut EventQueue<Ev>) {
         // Kick off the generator threads with a small deterministic
         // stagger.
@@ -978,7 +1013,7 @@ impl Cluster {
         let cfg = self.scenario.config().clone();
         let runner = ScenarioRunner::new(cfg.seed).with_warmup(cfg.warmup_ops);
         let mut scenario = self.scenario;
-        let (metrics, stats) = runner.run(&mut scenario, 2, cfg.nodes, cfg.load_window);
+        let (metrics, stats) = runner.run(&mut scenario, cfg.nodes, cfg.load_window);
         scenario.into_result(metrics, stats)
     }
 }
@@ -1089,6 +1124,37 @@ mod tests {
         cfg.speculative_retry = true;
         let res = Cluster::new(cfg).run();
         assert!(res.speculative_retries > 0, "some reads should speculate");
+    }
+
+    #[test]
+    fn completed_ops_cancel_their_spec_timers() {
+        use crate::perturb::PerturbationSpec;
+        // A quiet cluster (no perturbation episodes, so no stragglers
+        // beyond the service-time distribution itself): nearly every
+        // speculative-retry timer outlives its read. Completion must
+        // cancel those timers rather than letting them surface as dead
+        // events, so the dead-check count is exactly zero.
+        let mut cfg = small(Strategy::lor());
+        cfg.speculative_retry = true;
+        cfg.perturbations = PerturbationSpec::none();
+        let res = Cluster::new(cfg).run();
+        assert_eq!(
+            res.dead_spec_checks, 0,
+            "no SpecCheck may fire after its op completed"
+        );
+        assert!(
+            res.events_cancelled > 0,
+            "completions must cancel pending spec timers"
+        );
+    }
+
+    #[test]
+    fn spec_timers_do_not_change_results_when_disabled() {
+        // Without speculative retry no timers are scheduled, so nothing
+        // can be cancelled.
+        let res = Cluster::new(small(Strategy::lor())).run();
+        assert_eq!(res.events_cancelled, 0);
+        assert_eq!(res.dead_spec_checks, 0);
     }
 
     #[test]

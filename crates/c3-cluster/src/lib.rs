@@ -43,7 +43,9 @@ mod snitch;
 mod storage;
 
 pub use c3_engine::Strategy;
-pub use cluster::{register_cluster_strategies, Cluster, ClusterResult, ClusterScenario};
+pub use cluster::{
+    register_cluster_strategies, Cluster, ClusterResult, ClusterScenario, CLUSTER_CHANNELS,
+};
 pub use config::{ClusterConfig, WorkloadPhase};
 pub use perturb::{EpisodeKind, EpisodeSpec, NodePerturbation, PerturbationSpec, ScriptedSlowdown};
 pub use ring::Ring;

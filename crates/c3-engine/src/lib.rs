@@ -17,19 +17,28 @@
 //!   examples select strategies with a [`Strategy`] name instead of
 //!   hand-rolled per-crate enums.
 //! - [`ScenarioRunner`]: owns RNG seed derivation ([`SeedSeq`]), the
-//!   warm-up/measure window, and the uniform [`RunMetrics`] (latency
-//!   histograms, throughput, per-server load time series) for any
-//!   [`Scenario`] implementation.
+//!   warm-up/measure window, and the uniform [`RunMetrics`] (named latency
+//!   channels, throughput, per-server load time series) for any
+//!   [`Scenario`] implementation. Independent runs fan out across worker
+//!   threads via [`ScenarioRunner::run_all`] / [`fan_out`], bit-identical
+//!   for any thread count.
 //!
 //! ```
 //! use c3_core::Nanos;
-//! use c3_engine::{EventQueue, RunMetrics, Scenario, ScenarioRunner};
+//! use c3_engine::{ChannelId, ChannelSet, EventQueue, RunMetrics, Scenario, ScenarioRunner};
 //!
 //! /// A toy scenario: 100 ticks, 1 ms apart, each "completing" instantly.
 //! struct Ticks(u64);
 //!
+//! /// The first (and only) declared channel.
+//! const TICK: ChannelId = ChannelId::new(0);
+//!
 //! impl Scenario for Ticks {
 //!     type Event = ();
+//!
+//!     fn channels(&self) -> ChannelSet {
+//!         ChannelSet::single("tick")
+//!     }
 //!
 //!     fn start(&mut self, engine: &mut EventQueue<()>) {
 //!         engine.schedule(Nanos::from_millis(1), ());
@@ -42,7 +51,7 @@
 //!         engine: &mut EventQueue<()>,
 //!         metrics: &mut RunMetrics,
 //!     ) {
-//!         metrics.record_completion(0, now, Nanos::from_micros(100), true);
+//!         metrics.record_completion(TICK, now, Nanos::from_micros(100), true);
 //!         self.0 += 1;
 //!         if self.0 < 100 {
 //!             engine.schedule_in(Nanos::from_millis(1), ());
@@ -56,8 +65,9 @@
 //!
 //! let runner = ScenarioRunner::new(1);
 //! let mut scenario = Ticks(0);
-//! let (metrics, stats) = runner.run(&mut scenario, 1, 1, Nanos::from_millis(100));
-//! assert_eq!(metrics.completions(0), 100);
+//! let (metrics, stats) = runner.run(&mut scenario, 1, Nanos::from_millis(100));
+//! assert_eq!(metrics.completions(TICK), 100);
+//! assert_eq!(metrics.channel("tick"), Some(TICK));
 //! assert_eq!(stats.events_processed, 100);
 //! ```
 
@@ -68,6 +78,7 @@ mod kernel;
 mod registry;
 mod runner;
 
+pub use c3_metrics::{ChannelId, ChannelSet};
 pub use kernel::{EventQueue, TimerId};
 pub use registry::{BuiltSelector, SelectorCtx, Strategy, StrategyRegistry, UnknownStrategy};
-pub use runner::{EngineStats, RunMetrics, Scenario, ScenarioRunner, SeedSeq};
+pub use runner::{fan_out, EngineStats, RunMetrics, Scenario, ScenarioRunner, SeedSeq};

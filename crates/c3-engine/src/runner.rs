@@ -2,15 +2,20 @@
 //! run metrics for every frontend.
 //!
 //! A frontend (the §6 simulator, the §5 cluster, or any future workload)
-//! implements [`Scenario`]: it schedules its initial events, handles each
-//! event, and says when the run is complete. [`ScenarioRunner`] owns
-//! everything around that: the deterministic RNG seed derivation
-//! ([`SeedSeq`]), the warm-up/measure window, the event loop itself, and
-//! the [`RunMetrics`] (latency histograms, throughput, per-server load
-//! time series) that every frontend reports the same way.
+//! implements [`Scenario`]: it names its latency channels, schedules its
+//! initial events, handles each event, and says when the run is complete.
+//! [`ScenarioRunner`] owns everything around that: the deterministic RNG
+//! seed derivation ([`SeedSeq`]), the warm-up/measure window, the event
+//! loop itself, and the [`RunMetrics`] (named latency channels,
+//! throughput, per-server load time series) that every frontend reports
+//! the same way. Independent runs fan out across threads with
+//! [`ScenarioRunner::run_all`] — results are bit-identical regardless of
+//! thread count because every run is a pure function of `(config, seed)`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use c3_core::Nanos;
-use c3_metrics::{Ecdf, LatencySummary, LogHistogram, WindowedCounts};
+use c3_metrics::{ChannelId, ChannelSet, Ecdf, LatencySummary, LogHistogram, WindowedCounts};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -62,15 +67,23 @@ impl SeedSeq {
     pub fn phase_seed(&self, i: u64) -> u64 {
         self.seed ^ 0x94d0_49bb_1331_11ebu64.wrapping_mul(i + 1)
     }
+
+    /// Seed for tenant class `i`'s workload stream (multi-tenant
+    /// scenarios).
+    pub fn tenant_seed(&self, i: u64) -> u64 {
+        self.seed ^ 0x2545_f491_4f6c_dd1du64.wrapping_mul(i + 1)
+    }
 }
 
-/// Uniform per-run measurements: latency histogram channels (the §6
-/// simulator uses one; the cluster uses read and update channels), total
+/// Uniform per-run measurements: named latency channels (the §6 simulator
+/// uses one `latency` channel; the cluster uses `read` and `update`;
+/// multi-tenant scenarios declare one channel per tenant), total
 /// completion counts, the measured time window, and per-server load time
 /// series.
 #[derive(Debug)]
 pub struct RunMetrics {
     warmup: u64,
+    channels: ChannelSet,
     latency: Vec<LogHistogram>,
     completions: Vec<u64>,
     server_load: Vec<WindowedCounts>,
@@ -79,21 +92,33 @@ pub struct RunMetrics {
 }
 
 impl RunMetrics {
-    /// Metrics with `channels` latency channels over `servers` servers.
+    /// Metrics with the given latency channels over `servers` servers.
     /// The first `warmup` issued units (requests/operations) are excluded
     /// from histograms via [`RunMetrics::past_warmup`].
-    pub fn new(channels: usize, servers: usize, load_window: Nanos, warmup: u64) -> Self {
-        assert!(channels >= 1, "need at least one latency channel");
+    pub fn new(channels: ChannelSet, servers: usize, load_window: Nanos, warmup: u64) -> Self {
+        assert!(!channels.is_empty(), "need at least one latency channel");
+        let n = channels.len();
         Self {
             warmup,
-            latency: (0..channels).map(|_| LogHistogram::new()).collect(),
-            completions: vec![0; channels],
+            channels,
+            latency: (0..n).map(|_| LogHistogram::new()).collect(),
+            completions: vec![0; n],
             server_load: (0..servers)
                 .map(|_| WindowedCounts::new(load_window.as_nanos()))
                 .collect(),
             first_completion: None,
             last_completion: Nanos::ZERO,
         }
+    }
+
+    /// The channel names of this run.
+    pub fn channels(&self) -> &ChannelSet {
+        &self.channels
+    }
+
+    /// Look a channel up by name.
+    pub fn channel(&self, name: &str) -> Option<ChannelId> {
+        self.channels.id(name)
     }
 
     /// Whether the unit issued with 0-based index `issue_index` falls in
@@ -107,14 +132,14 @@ impl RunMetrics {
     /// every completion advances the total count used by stop conditions.
     pub fn record_completion(
         &mut self,
-        channel: usize,
+        channel: ChannelId,
         now: Nanos,
         latency: Nanos,
         measured: bool,
     ) {
-        self.completions[channel] += 1;
+        self.completions[channel.index()] += 1;
         if measured {
-            self.latency[channel].record(latency.as_nanos());
+            self.latency[channel.index()].record(latency.as_nanos());
             if self.first_completion.is_none() {
                 self.first_completion = Some(now);
             }
@@ -128,8 +153,8 @@ impl RunMetrics {
     }
 
     /// All completions on a channel, warm-up included.
-    pub fn completions(&self, channel: usize) -> u64 {
-        self.completions[channel]
+    pub fn completions(&self, channel: ChannelId) -> u64 {
+        self.completions[channel.index()]
     }
 
     /// Completions across all channels, warm-up included.
@@ -138,18 +163,26 @@ impl RunMetrics {
     }
 
     /// Measured (histogram-recorded) completions on a channel.
-    pub fn measured(&self, channel: usize) -> u64 {
-        self.latency[channel].count()
+    pub fn measured(&self, channel: ChannelId) -> u64 {
+        self.latency[channel.index()].count()
     }
 
     /// The latency histogram of a channel.
-    pub fn histogram(&self, channel: usize) -> &LogHistogram {
-        &self.latency[channel]
+    pub fn histogram(&self, channel: ChannelId) -> &LogHistogram {
+        &self.latency[channel.index()]
     }
 
     /// Latency summary of a channel at the paper's percentiles.
-    pub fn summary(&self, channel: usize) -> LatencySummary {
-        LatencySummary::from_histogram(&self.latency[channel])
+    pub fn summary(&self, channel: ChannelId) -> LatencySummary {
+        LatencySummary::from_histogram(&self.latency[channel.index()])
+    }
+
+    /// `(name, summary)` pairs for every channel, in declaration order.
+    pub fn named_summaries(&self) -> Vec<(&str, LatencySummary)> {
+        self.channels
+            .iter()
+            .map(|(id, name)| (name, self.summary(id)))
+            .collect()
     }
 
     /// Measured duration: first to last measured completion.
@@ -159,7 +192,7 @@ impl RunMetrics {
     }
 
     /// Measured throughput of a channel in completions/second.
-    pub fn throughput(&self, channel: usize) -> f64 {
+    pub fn throughput(&self, channel: ChannelId) -> f64 {
         let d = self.duration();
         if d == Nanos::ZERO {
             return 0.0;
@@ -188,11 +221,26 @@ impl RunMetrics {
     }
 
     /// Decompose into the owned artifacts frontends embed in their result
-    /// types: `(latency histograms, server load series, completion counts,
-    /// measured duration)`.
-    pub fn into_parts(self) -> (Vec<LogHistogram>, Vec<WindowedCounts>, Vec<u64>, Nanos) {
+    /// types: `(channel names, latency histograms, server load series,
+    /// completion counts, measured duration)`. Histograms and counts are
+    /// in channel-declaration order.
+    pub fn into_parts(
+        self,
+    ) -> (
+        ChannelSet,
+        Vec<LogHistogram>,
+        Vec<WindowedCounts>,
+        Vec<u64>,
+        Nanos,
+    ) {
         let duration = self.duration();
-        (self.latency, self.server_load, self.completions, duration)
+        (
+            self.channels,
+            self.latency,
+            self.server_load,
+            self.completions,
+            duration,
+        )
     }
 }
 
@@ -207,13 +255,20 @@ pub struct EngineStats {
 
 /// A workload that runs on the engine.
 ///
-/// Implementations schedule their initial events in [`Scenario::start`],
-/// react to each popped event in [`Scenario::handle`] (scheduling
-/// follow-ups through the engine handle), and report completion through
-/// [`Scenario::is_done`], which the runner checks after every event.
+/// Implementations declare their named latency channels in
+/// [`Scenario::channels`], schedule their initial events in
+/// [`Scenario::start`], react to each popped event in [`Scenario::handle`]
+/// (scheduling follow-ups through the engine handle), and report
+/// completion through [`Scenario::is_done`], which the runner checks after
+/// every event.
 pub trait Scenario {
     /// The simulation's typed event.
     type Event;
+
+    /// The latency channels this scenario records into. Channel ids are
+    /// assigned in declaration order, so implementations may keep
+    /// `ChannelId::new(n)` constants for their hot paths.
+    fn channels(&self) -> ChannelSet;
 
     /// Schedule the initial events.
     fn start(&mut self, engine: &mut EventQueue<Self::Event>);
@@ -260,16 +315,15 @@ impl ScenarioRunner {
     }
 
     /// Run `scenario` to completion, returning the metrics and engine
-    /// statistics. `channels`, `servers` and `load_window` size the
-    /// [`RunMetrics`].
+    /// statistics. The scenario's [`Scenario::channels`] size the latency
+    /// histograms; `servers` and `load_window` size the load time series.
     pub fn run<S: Scenario>(
         &self,
         scenario: &mut S,
-        channels: usize,
         servers: usize,
         load_window: Nanos,
     ) -> (RunMetrics, EngineStats) {
-        let mut metrics = RunMetrics::new(channels, servers, load_window, self.warmup);
+        let mut metrics = RunMetrics::new(scenario.channels(), servers, load_window, self.warmup);
         let mut engine = EventQueue::new();
         scenario.start(&mut engine);
         while let Some((now, event)) = engine.pop() {
@@ -286,11 +340,75 @@ impl ScenarioRunner {
             },
         )
     }
+
+    /// Run one independent job per seed, fanning the jobs out over up to
+    /// `threads` worker threads.
+    ///
+    /// Each job receives a fresh `ScenarioRunner` for its seed (apply
+    /// `with_warmup` inside the job if needed) and must be a pure function
+    /// of that runner — which every engine scenario is, since all
+    /// randomness derives from the seed. Results come back in seed order
+    /// and are **bit-identical regardless of `threads`**: parallelism only
+    /// changes which OS thread computes a result, never its inputs.
+    pub fn run_all<R, F>(seeds: &[u64], threads: usize, job: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(ScenarioRunner) -> R + Sync,
+    {
+        fan_out(seeds.len(), threads, |i| job(ScenarioRunner::new(seeds[i])))
+    }
+}
+
+/// Compute `job(0..count)` on up to `threads` worker threads, returning
+/// results in index order.
+///
+/// Work is handed out through a shared atomic counter, and each result is
+/// keyed by its index before the final in-order merge — so the output is
+/// identical for any thread count (including 1, which runs inline without
+/// spawning). `job` must be a pure function of its index for that
+/// guarantee to mean anything; every `(config, seed)`-driven scenario run
+/// qualifies.
+pub fn fan_out<R, F>(count: usize, threads: usize, job: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.clamp(1, count.max(1));
+    if threads == 1 {
+        return (0..count).map(&job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        local.push((i, job(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("fan_out worker panicked"))
+            .collect()
+    });
+    let mut keyed: Vec<(usize, R)> = parts.into_iter().flatten().collect();
+    keyed.sort_by_key(|&(i, _)| i);
+    keyed.into_iter().map(|(_, r)| r).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const CH: ChannelId = ChannelId::new(0);
 
     struct Chain {
         remaining: u64,
@@ -299,6 +417,10 @@ mod tests {
 
     impl Scenario for Chain {
         type Event = u64;
+
+        fn channels(&self) -> ChannelSet {
+            ChannelSet::single("latency")
+        }
 
         fn start(&mut self, engine: &mut EventQueue<u64>) {
             engine.schedule(self.gap, 0);
@@ -312,7 +434,7 @@ mod tests {
             metrics: &mut RunMetrics,
         ) {
             let measured = metrics.past_warmup(event);
-            metrics.record_completion(0, now, Nanos::from_micros(10 + event), measured);
+            metrics.record_completion(CH, now, Nanos::from_micros(10 + event), measured);
             if event + 1 < self.remaining {
                 engine.schedule_in(self.gap, event + 1);
             }
@@ -330,12 +452,12 @@ mod tests {
             remaining: 50,
             gap: Nanos::from_millis(1),
         };
-        let (metrics, stats) = runner.run(&mut s, 1, 1, Nanos::from_millis(100));
-        assert_eq!(metrics.completions(0), 50);
-        assert_eq!(metrics.measured(0), 50);
+        let (metrics, stats) = runner.run(&mut s, 1, Nanos::from_millis(100));
+        assert_eq!(metrics.completions(CH), 50);
+        assert_eq!(metrics.measured(CH), 50);
         assert_eq!(stats.events_processed, 50);
         assert!(metrics.duration() > Nanos::ZERO);
-        assert!(metrics.throughput(0) > 0.0);
+        assert!(metrics.throughput(CH) > 0.0);
     }
 
     #[test]
@@ -345,9 +467,26 @@ mod tests {
             remaining: 50,
             gap: Nanos::from_millis(1),
         };
-        let (metrics, _) = runner.run(&mut s, 1, 1, Nanos::from_millis(100));
-        assert_eq!(metrics.completions(0), 50, "all completions counted");
-        assert_eq!(metrics.measured(0), 30, "warm-up excluded from histogram");
+        let (metrics, _) = runner.run(&mut s, 1, Nanos::from_millis(100));
+        assert_eq!(metrics.completions(CH), 50, "all completions counted");
+        assert_eq!(metrics.measured(CH), 30, "warm-up excluded from histogram");
+    }
+
+    #[test]
+    fn channels_resolve_by_name() {
+        let runner = ScenarioRunner::new(1);
+        let mut s = Chain {
+            remaining: 10,
+            gap: Nanos::from_millis(1),
+        };
+        let (metrics, _) = runner.run(&mut s, 1, Nanos::from_millis(100));
+        assert_eq!(metrics.channel("latency"), Some(CH));
+        assert_eq!(metrics.channel("nope"), None);
+        assert_eq!(metrics.channels().name(CH), "latency");
+        let named = metrics.named_summaries();
+        assert_eq!(named.len(), 1);
+        assert_eq!(named[0].0, "latency");
+        assert_eq!(named[0].1.count, 10);
     }
 
     #[test]
@@ -356,8 +495,10 @@ mod tests {
         let b = SeedSeq::new(9);
         assert_eq!(a.client_seed(4), b.client_seed(4));
         assert_eq!(a.thread_seed(4), b.thread_seed(4));
+        assert_eq!(a.tenant_seed(4), b.tenant_seed(4));
         assert_ne!(a.client_seed(4), a.client_seed(5));
         assert_ne!(a.client_seed(4), a.thread_seed(4));
+        assert_ne!(a.tenant_seed(4), a.thread_seed(4));
         assert_ne!(
             SeedSeq::new(1).client_seed(0),
             SeedSeq::new(2).client_seed(0)
@@ -372,9 +513,9 @@ mod tests {
                 remaining: 200,
                 gap: Nanos::from_micros(137),
             };
-            let (metrics, stats) = runner.run(&mut s, 1, 1, Nanos::from_millis(10));
+            let (metrics, stats) = runner.run(&mut s, 1, Nanos::from_millis(10));
             (
-                metrics.summary(0).p99_ns,
+                metrics.summary(CH).p99_ns,
                 metrics.duration(),
                 stats.events_processed,
             )
@@ -384,12 +525,51 @@ mod tests {
 
     #[test]
     fn record_service_feeds_busiest_server() {
-        let mut m = RunMetrics::new(1, 3, Nanos::from_millis(1), 0);
+        let mut m = RunMetrics::new(ChannelSet::single("latency"), 3, Nanos::from_millis(1), 0);
         for i in 0..10u64 {
             m.record_service(1, Nanos::from_micros(i * 10));
         }
         m.record_service(0, Nanos::from_micros(5));
         assert_eq!(m.busiest_server(), 1);
         assert!(!m.busiest_server_load_ecdf().is_empty());
+    }
+
+    #[test]
+    fn run_all_matches_serial_for_any_thread_count() {
+        let job = |runner: ScenarioRunner| {
+            let mut s = Chain {
+                remaining: 120,
+                gap: Nanos::from_micros(runner.seeds().seed() * 31 + 7),
+            };
+            let (metrics, stats) = runner
+                .with_warmup(10)
+                .run(&mut s, 1, Nanos::from_millis(10));
+            (
+                runner.seeds().seed(),
+                metrics.summary(CH).p99_ns,
+                metrics.summary(CH).mean_ns.to_bits(),
+                metrics.duration(),
+                stats.events_processed,
+            )
+        };
+        let seeds = [3u64, 1, 4, 1, 5, 9, 2, 6];
+        let serial = ScenarioRunner::run_all(&seeds, 1, job);
+        for threads in [2, 4, 16] {
+            let parallel = ScenarioRunner::run_all(&seeds, threads, job);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+        // Results come back in seed order, not completion order.
+        let order: Vec<u64> = serial.iter().map(|r| r.0).collect();
+        assert_eq!(order, seeds);
+    }
+
+    #[test]
+    fn fan_out_handles_degenerate_counts() {
+        let empty: Vec<usize> = fan_out(0, 4, |i| i);
+        assert!(empty.is_empty());
+        let one = fan_out(1, 8, |i| i * 10);
+        assert_eq!(one, vec![0]);
+        let more_threads_than_jobs = fan_out(3, 64, |i| i);
+        assert_eq!(more_threads_than_jobs, vec![0, 1, 2]);
     }
 }

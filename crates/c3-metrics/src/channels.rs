@@ -1,0 +1,176 @@
+//! Named measurement channels.
+//!
+//! A run records latencies into one or more *channels*. Historically these
+//! were positional (`0` = reads, `1` = updates, by convention per
+//! frontend), which meant every scenario and its reporting code had to
+//! agree on indices out of band. A [`ChannelSet`] makes the naming
+//! explicit: scenarios declare channels by name ("latency", "read",
+//! "tenant:batch", ...), reporting code looks them up by name, and the hot
+//! path still records through a dense [`ChannelId`] index — no string
+//! hashing per completion.
+
+use std::fmt;
+
+/// Dense handle to one channel of a [`ChannelSet`].
+///
+/// Ids are assigned in declaration order starting at 0, so a scenario that
+/// builds its own `ChannelSet` may keep `ChannelId` constants for its hot
+/// path (`ChannelId::new(0)` is the first declared channel).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(usize);
+
+impl ChannelId {
+    /// The id of the `index`-th declared channel.
+    pub const fn new(index: usize) -> Self {
+        ChannelId(index)
+    }
+
+    /// Position of this channel in declaration order.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// An ordered set of uniquely named channels.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChannelSet {
+    names: Vec<String>,
+}
+
+impl ChannelSet {
+    /// An empty set (add channels with [`ChannelSet::add`]).
+    pub fn new() -> Self {
+        Self { names: Vec::new() }
+    }
+
+    /// A set with one channel.
+    pub fn single(name: impl Into<String>) -> Self {
+        let mut set = Self::new();
+        set.add(name);
+        set
+    }
+
+    /// A set with the given channels, in order.
+    pub fn of<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut set = Self::new();
+        for n in names {
+            set.add(n);
+        }
+        set
+    }
+
+    /// Declare a channel, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the name is empty or already declared — duplicate names
+    /// would make by-name lookups ambiguous.
+    pub fn add(&mut self, name: impl Into<String>) -> ChannelId {
+        let name = name.into();
+        assert!(!name.is_empty(), "channel names must be non-empty");
+        assert!(
+            !self.names.contains(&name),
+            "duplicate channel name {name:?}"
+        );
+        self.names.push(name);
+        ChannelId(self.names.len() - 1)
+    }
+
+    /// Look a channel up by name.
+    pub fn id(&self, name: &str) -> Option<ChannelId> {
+        self.names.iter().position(|n| n == name).map(ChannelId)
+    }
+
+    /// The name of a channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id does not belong to this set.
+    pub fn name(&self, id: ChannelId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of channels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no channels are declared.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// `(id, name)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (ChannelId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (ChannelId(i), n.as_str()))
+    }
+
+    /// The names in declaration order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+impl fmt::Display for ChannelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_follow_declaration_order() {
+        let mut set = ChannelSet::new();
+        let read = set.add("read");
+        let update = set.add("update");
+        assert_eq!(read, ChannelId::new(0));
+        assert_eq!(update, ChannelId::new(1));
+        assert_eq!(set.id("read"), Some(read));
+        assert_eq!(set.id("update"), Some(update));
+        assert_eq!(set.id("nope"), None);
+        assert_eq!(set.name(update), "update");
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn of_and_single_build_in_order() {
+        let set = ChannelSet::of(["a", "b", "c"]);
+        assert_eq!(set.names(), &["a", "b", "c"]);
+        let one = ChannelSet::single("latency");
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.id("latency"), Some(ChannelId::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_names_panic() {
+        ChannelSet::of(["x", "x"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_names_panic() {
+        ChannelSet::single("");
+    }
+
+    #[test]
+    fn iter_yields_pairs() {
+        let set = ChannelSet::of(["p", "q"]);
+        let pairs: Vec<(ChannelId, &str)> = set.iter().collect();
+        assert_eq!(
+            pairs,
+            vec![(ChannelId::new(0), "p"), (ChannelId::new(1), "q")]
+        );
+        assert_eq!(set.to_string(), "[p, q]");
+    }
+}

@@ -20,7 +20,10 @@
 //! - [`LatencySummary`] and [`RunSet`]: per-run summaries and multi-run
 //!   aggregation with normal-approximation confidence intervals,
 //! - [`Table`]: plain-text aligned tables used by the benchmark harness to
-//!   print paper-style rows.
+//!   print paper-style rows,
+//! - [`ChannelSet`] / [`ChannelId`]: named measurement channels, so
+//!   scenarios can declare per-op-type or per-tenant latency histograms
+//!   without coordinating positional indices out of band.
 //!
 //! Everything here is deterministic and allocation-light; the histogram is
 //! the only structure on the hot path of the simulators.
@@ -28,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod channels;
 mod ecdf;
 mod histogram;
 mod moving;
@@ -35,6 +39,7 @@ mod summary;
 mod table;
 mod timeseries;
 
+pub use channels::{ChannelId, ChannelSet};
 pub use ecdf::Ecdf;
 pub use histogram::LogHistogram;
 pub use moving::{moving_median, MovingMedian};

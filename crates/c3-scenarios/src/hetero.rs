@@ -1,0 +1,148 @@
+//! Heterogeneous fleet: per-node service-time multipliers layered on the
+//! §5 cluster's ring.
+//!
+//! Real deployments mix hardware generations: a third of the fleet on
+//! older disks or throttled instances serves every request a constant
+//! factor slower. Unlike the stochastic perturbations of §2.1 this skew is
+//! *permanent*, so a selection strategy cannot wait it out — it has to
+//! learn the slow tier and keep load off it without starving it (the slow
+//! nodes still hold a third of the replicas). The tiers are realized as
+//! whole-run scripted slowdowns on top of [`c3_cluster`]'s perturbation
+//! machinery, so GC/compaction noise still rides on top of the tier skew.
+
+use c3_cluster::{ClusterConfig, ClusterScenario, ScriptedSlowdown};
+use c3_core::Nanos;
+use c3_engine::{ScenarioRunner, Strategy, StrategyRegistry};
+
+use crate::report::ScenarioReport;
+
+/// Configuration of a heterogeneous-fleet run.
+#[derive(Clone, Debug)]
+pub struct HeteroFleetConfig {
+    /// The underlying cluster (nodes, mix, disk, perturbations, ...).
+    pub cluster: ClusterConfig,
+    /// Service-time multiplier of each hardware tier; node `i` lands in
+    /// tier `i % tiers.len()`. `1.0` is the baseline tier.
+    pub tier_multipliers: Vec<f64>,
+}
+
+impl Default for HeteroFleetConfig {
+    fn default() -> Self {
+        Self {
+            cluster: ClusterConfig::default(),
+            // Every third node runs 3x slower — an aged hardware tier
+            // holding a full replica of a third of the key ranges.
+            tier_multipliers: vec![1.0, 1.0, 3.0],
+        }
+    }
+}
+
+impl HeteroFleetConfig {
+    /// The tier multiplier assigned to `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no tiers are configured.
+    pub fn tier_of(&self, node: usize) -> f64 {
+        assert!(
+            !self.tier_multipliers.is_empty(),
+            "need at least one hardware tier"
+        );
+        self.tier_multipliers[node % self.tier_multipliers.len()]
+    }
+
+    /// The cluster config with the tier skew materialized as whole-run
+    /// scripted slowdowns.
+    pub fn apply(&self) -> ClusterConfig {
+        assert!(
+            !self.tier_multipliers.is_empty(),
+            "need at least one hardware tier"
+        );
+        assert!(
+            self.tier_multipliers.iter().all(|&m| m >= 1.0),
+            "tier multipliers must be >= 1"
+        );
+        let mut cfg = self.cluster.clone();
+        for node in 0..cfg.nodes {
+            let multiplier = self.tier_of(node);
+            if multiplier > 1.0 {
+                cfg.scripted.push(ScriptedSlowdown {
+                    node,
+                    start: Nanos::ZERO,
+                    end: Nanos(u64::MAX),
+                    multiplier,
+                });
+            }
+        }
+        cfg
+    }
+}
+
+/// Run a heterogeneous-fleet config to completion.
+///
+/// # Panics
+///
+/// Panics when the configured strategy is unknown or needs
+/// simulator-global state (`ORA`).
+pub fn run(cfg: &HeteroFleetConfig, registry: &StrategyRegistry) -> ScenarioReport {
+    let cluster_cfg = cfg.apply();
+    let strategy: Strategy = cluster_cfg.strategy.clone();
+    let seed = cluster_cfg.seed;
+    let nodes = cluster_cfg.nodes;
+    let load_window = cluster_cfg.load_window;
+    let runner = ScenarioRunner::new(seed).with_warmup(cluster_cfg.warmup_ops);
+    let mut scenario = ClusterScenario::with_registry(cluster_cfg, registry);
+    let (metrics, stats) = runner.run(&mut scenario, nodes, load_window);
+    ScenarioReport::from_metrics(super::HETERO_FLEET, &strategy, seed, &metrics, &stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario_registry;
+
+    fn small(strategy: Strategy) -> HeteroFleetConfig {
+        let mut cfg = HeteroFleetConfig::default();
+        cfg.cluster.nodes = 9;
+        cfg.cluster.generators = 30;
+        cfg.cluster.total_ops = 6_000;
+        cfg.cluster.warmup_ops = 500;
+        cfg.cluster.keys = 50_000;
+        cfg.cluster.strategy = strategy;
+        cfg.cluster.seed = 7;
+        cfg
+    }
+
+    #[test]
+    fn tiers_map_round_robin() {
+        let cfg = HeteroFleetConfig::default();
+        assert_eq!(cfg.tier_of(0), 1.0);
+        assert_eq!(cfg.tier_of(2), 3.0);
+        assert_eq!(cfg.tier_of(5), 3.0);
+        let applied = cfg.apply();
+        assert_eq!(applied.scripted.len(), 5, "15 nodes / every third slow");
+    }
+
+    #[test]
+    fn slow_tier_raises_the_tail_for_naive_selection() {
+        let hetero = small(Strategy::primary_only());
+        let mut uniform = small(Strategy::primary_only());
+        uniform.tier_multipliers = vec![1.0];
+        let h = run(&hetero, &scenario_registry());
+        let u = run(&uniform, &scenario_registry());
+        assert!(
+            h.headline().summary.p99_ns > u.headline().summary.p99_ns,
+            "a slow tier must hurt a tier-blind strategy: {} vs {}",
+            h.headline().summary.p99_ns,
+            u.headline().summary.p99_ns
+        );
+    }
+
+    #[test]
+    fn reports_read_and_update_channels() {
+        let report = run(&small(Strategy::c3()), &scenario_registry());
+        assert_eq!(report.headline().name, "read");
+        assert!(report.channel("update").is_some());
+        assert_eq!(report.total_completions(), 5_500);
+    }
+}

@@ -1,0 +1,73 @@
+//! # c3-scenarios — a library of named workload scenarios
+//!
+//! The C3 paper's headline claims are about robustness under *adverse
+//! conditions*: skewed demand, heterogeneous service times, and replicas
+//! whose performance fluctuates or vanishes outright. This crate turns the
+//! engine's `Scenario` trait into a library of such conditions, each
+//! selectable by name through a [`ScenarioRegistry`] exactly as strategies
+//! are selectable through the engine's `StrategyRegistry` — the cross
+//! product of the two tables is the experiment matrix:
+//!
+//! - [`MULTI_TENANT`] ([`MultiTenantConfig`]): several tenant classes with
+//!   distinct Zipf skew, arrival rates and value sizes sharing one fleet,
+//!   reporting latency into one **named channel per tenant**;
+//! - [`HETERO_FLEET`] ([`HeteroFleetConfig`]): permanent fast/slow
+//!   hardware tiers layered on the §5 cluster's ring;
+//! - [`PARTITION_FLUX`] ([`PartitionFluxConfig`]): scripted and stochastic
+//!   replica blackouts and recoveries built on the cluster's perturbation
+//!   episodes, exercising C3's rate-control recovery path.
+//!
+//! Every run produces the same [`ScenarioReport`] (per-channel summaries,
+//! throughput, a bit-exact [`ScenarioReport::fingerprint`]), and
+//! [`ScenarioRegistry::sweep`] fans the full scenario × strategy × seed
+//! matrix out over worker threads with results bit-identical for any
+//! thread count.
+//!
+//! ```
+//! use c3_engine::Strategy;
+//! use c3_scenarios::{ScenarioParams, ScenarioRegistry, MULTI_TENANT};
+//!
+//! let registry = ScenarioRegistry::with_defaults();
+//! let report = registry
+//!     .run(MULTI_TENANT, &ScenarioParams::sized(Strategy::c3(), 1, 3_000))
+//!     .unwrap();
+//! // One latency channel per tenant, by name.
+//! assert_eq!(report.channels.len(), 3);
+//! assert!(report.channel("interactive").is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hetero;
+mod multi_tenant;
+mod partition;
+mod registry;
+mod report;
+
+pub use hetero::{run as run_hetero_fleet, HeteroFleetConfig};
+pub use multi_tenant::{
+    run as run_multi_tenant, MtEvent, MultiTenantConfig, MultiTenantScenario, TenantSpec,
+};
+pub use partition::{run as run_partition_flux, PartitionFluxConfig};
+pub use registry::{ScenarioError, ScenarioParams, ScenarioRegistry};
+pub use report::{ChannelReport, ScenarioReport};
+
+use c3_cluster::{register_cluster_strategies, SnitchConfig};
+use c3_engine::StrategyRegistry;
+
+/// Registry name of the multi-tenant scenario.
+pub const MULTI_TENANT: &str = "multi-tenant";
+/// Registry name of the heterogeneous-fleet scenario.
+pub const HETERO_FLEET: &str = "hetero-fleet";
+/// Registry name of the partition/flux scenario.
+pub const PARTITION_FLUX: &str = "partition-flux";
+
+/// The full strategy registry every scenario resolves against: the
+/// engine's defaults plus the cluster-only strategies (Dynamic Snitching
+/// with its default config).
+pub fn scenario_registry() -> StrategyRegistry {
+    let mut registry = StrategyRegistry::with_defaults();
+    register_cluster_strategies(&mut registry, SnitchConfig::default());
+    registry
+}

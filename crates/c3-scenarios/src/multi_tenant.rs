@@ -1,0 +1,730 @@
+//! Multi-tenant workload: several tenant classes with distinct key skew,
+//! demand share and value sizes contending for one replicated fleet.
+//!
+//! §5 of the paper stresses C3 with *skewed demand*; production stores see
+//! that skew arrive as tenants — an interactive app hammering a hot
+//! keyset, an analytics job scanning colder keys with large values, a bulk
+//! loader pushing big records at low rate. Each tenant here is an
+//! independent open-loop Poisson source with its own Zipfian key chooser
+//! and fixed value size (which scales service time), all sharing the same
+//! servers, clients and replica groups. Latency is recorded into one
+//! **named channel per tenant**, so a single run answers the question the
+//! positional-channel era could not express: *who* pays the tail when the
+//! fleet misbehaves.
+
+use std::collections::VecDeque;
+
+use c3_cluster::SnitchSelector;
+use c3_core::{BacklogQueue, C3Config, Feedback, Nanos, ReplicaSelector, ResponseInfo, Selection};
+use c3_engine::{
+    BuiltSelector, ChannelId, ChannelSet, EventQueue, RunMetrics, Scenario, ScenarioRunner,
+    SeedSeq, SelectorCtx, Strategy, StrategyRegistry,
+};
+use c3_workload::{exp_sample, PoissonArrivals, ScrambledZipfian};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::report::ScenarioReport;
+
+/// One tenant class sharing the fleet.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Channel name this tenant's latencies are recorded under.
+    pub name: String,
+    /// Zipfian constant of the tenant's key distribution, in `(0, 1)`
+    /// exclusive — YCSB's 0.99 is heavily skewed, values near 0 approach
+    /// uniform.
+    pub zipf_theta: f64,
+    /// The tenant's share of the total offered arrival rate, in `(0, 1]`.
+    pub demand_fraction: f64,
+    /// Value size in bytes; service time scales linearly with it
+    /// (1024 B = the base mean service time).
+    pub value_bytes: u32,
+}
+
+impl TenantSpec {
+    /// A latency-sensitive interactive tenant: hot Zipfian keys, small
+    /// values, the bulk of the demand.
+    pub fn interactive() -> Self {
+        Self {
+            name: "interactive".into(),
+            zipf_theta: 0.99,
+            demand_fraction: 0.6,
+            value_bytes: 1024,
+        }
+    }
+
+    /// An analytics tenant: mild skew, 4 KB values, moderate demand.
+    pub fn analytics() -> Self {
+        Self {
+            name: "analytics".into(),
+            zipf_theta: 0.6,
+            demand_fraction: 0.3,
+            value_bytes: 4096,
+        }
+    }
+
+    /// A bulk-load tenant: near-uniform keys, 8 KB values, low rate.
+    pub fn bulk() -> Self {
+        Self {
+            name: "bulk".into(),
+            zipf_theta: 0.2,
+            demand_fraction: 0.1,
+            value_bytes: 8192,
+        }
+    }
+}
+
+/// Full configuration of one multi-tenant run.
+#[derive(Clone, Debug)]
+pub struct MultiTenantConfig {
+    /// Replica servers sharing the fleet.
+    pub servers: usize,
+    /// Clients performing replica selection.
+    pub clients: usize,
+    /// Replica-group size.
+    pub replication_factor: usize,
+    /// Requests a server executes in parallel.
+    pub server_concurrency: usize,
+    /// Mean service time for a 1 KB value, ms (exponential).
+    pub mean_service_ms: f64,
+    /// Offered load as a fraction of fleet capacity, accounting for each
+    /// tenant's value-size service multiplier.
+    pub utilization: f64,
+    /// One-way client/server network latency.
+    pub one_way_latency: Nanos,
+    /// Distinct keys; a key's replica group is `key % servers`.
+    pub keys: u64,
+    /// Total requests across all tenants.
+    pub total_requests: u64,
+    /// Requests excluded from latency measurement while state warms up.
+    pub warmup_requests: u64,
+    /// The tenant classes (channel names must be unique).
+    pub tenants: Vec<TenantSpec>,
+    /// Strategy under test, by registry name.
+    pub strategy: Strategy,
+    /// C3 parameters; `concurrency_weight` is set to the client count.
+    pub c3: C3Config,
+    /// Recompute interval for Dynamic Snitching selectors (fed through the
+    /// selector's downcast hook, as the cluster does via gossip).
+    pub snitch_tick: Nanos,
+    /// Window for the per-server load time series.
+    pub load_window: Nanos,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MultiTenantConfig {
+    fn default() -> Self {
+        Self {
+            servers: 12,
+            clients: 24,
+            replication_factor: 3,
+            server_concurrency: 4,
+            mean_service_ms: 3.0,
+            utilization: 0.65,
+            one_way_latency: Nanos::from_micros(250),
+            keys: 100_000,
+            total_requests: 40_000,
+            warmup_requests: 2_000,
+            tenants: vec![
+                TenantSpec::interactive(),
+                TenantSpec::analytics(),
+                TenantSpec::bulk(),
+            ],
+            strategy: Strategy::c3(),
+            c3: C3Config::default(),
+            snitch_tick: Nanos::from_millis(100),
+            load_window: Nanos::from_millis(100),
+            seed: 1,
+        }
+    }
+}
+
+impl MultiTenantConfig {
+    /// Mean service time in ms averaged over tenant demand (value sizes
+    /// scale service linearly; 1 KB is the base).
+    pub fn effective_service_ms(&self) -> f64 {
+        self.tenants
+            .iter()
+            .map(|t| t.demand_fraction * self.mean_service_ms * f64::from(t.value_bytes) / 1024.0)
+            .sum()
+    }
+
+    /// Total offered arrival rate in requests/second at the configured
+    /// utilization.
+    pub fn total_arrival_rate(&self) -> f64 {
+        let capacity = self.servers as f64 * self.server_concurrency as f64 * 1000.0
+            / self.effective_service_ms();
+        self.utilization * capacity
+    }
+
+    /// Validate invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a parameter is out of range.
+    pub fn validate(&self) {
+        assert!(self.servers >= self.replication_factor, "too few servers");
+        assert!(self.clients >= 1, "need clients");
+        assert!(self.server_concurrency >= 1, "need execution slots");
+        assert!(self.mean_service_ms > 0.0, "service time must be positive");
+        assert!(
+            self.utilization > 0.0 && self.utilization < 1.0,
+            "utilization must be in (0,1)"
+        );
+        assert!(self.keys > 0, "need keys");
+        assert!(self.total_requests > 0, "need requests");
+        assert!(
+            self.warmup_requests < self.total_requests,
+            "warm-up swallows the run"
+        );
+        assert!(!self.tenants.is_empty(), "need at least one tenant");
+        for (i, t) in self.tenants.iter().enumerate() {
+            assert!(
+                !self.tenants[..i].iter().any(|u| u.name == t.name),
+                "duplicate tenant name {:?} (channel names must be unique)",
+                t.name
+            );
+        }
+        let demand: f64 = self.tenants.iter().map(|t| t.demand_fraction).sum();
+        assert!(
+            (demand - 1.0).abs() < 1e-9,
+            "tenant demand fractions must sum to 1 (got {demand})"
+        );
+        for t in &self.tenants {
+            assert!(t.demand_fraction > 0.0, "tenant {} has no demand", t.name);
+            assert!(t.value_bytes > 0, "tenant {} has empty values", t.name);
+            assert!(
+                t.zipf_theta > 0.0 && t.zipf_theta < 1.0,
+                "tenant {} zipf theta must be in (0,1) exclusive",
+                t.name
+            );
+        }
+        self.c3.validate();
+    }
+}
+
+/// The scenario's event alphabet.
+#[derive(Clone, Copy, Debug)]
+#[allow(missing_docs)]
+pub enum MtEvent {
+    /// A tenant's Poisson source fires: create a request and reschedule.
+    Arrive { tenant: usize },
+    /// A request reaches its server.
+    ServerArrive { req: u64 },
+    /// A request finishes executing at its server.
+    ServiceDone {
+        server: usize,
+        req: u64,
+        service_time: Nanos,
+    },
+    /// A response reaches its client.
+    ClientReceive { req: u64 },
+    /// A client retries the backlog of one replica group.
+    RetryBacklog { client: usize, group: usize },
+    /// Dynamic Snitching selectors recompute their scores.
+    SnitchTick,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct MtRequest {
+    tenant: u16,
+    client: u16,
+    group: u16,
+    server: u16,
+    created: Nanos,
+    sent_at: Nanos,
+    measured: bool,
+}
+
+struct MtServer {
+    queue: VecDeque<u64>,
+    inflight: usize,
+}
+
+struct MtClient {
+    /// `None` for the Oracle, which reads global server state instead.
+    selector: Option<Box<dyn ReplicaSelector>>,
+    backlogs: Vec<BacklogQueue<u64>>,
+    retry_scheduled: Vec<bool>,
+}
+
+struct TenantState {
+    spec: TenantSpec,
+    keys: ScrambledZipfian,
+    arrivals: PoissonArrivals,
+    rng: SmallRng,
+}
+
+/// The multi-tenant scenario, driven by the engine's [`ScenarioRunner`].
+pub struct MultiTenantScenario {
+    cfg: MultiTenantConfig,
+    tenants: Vec<TenantState>,
+    servers: Vec<MtServer>,
+    clients: Vec<MtClient>,
+    groups: Vec<Vec<usize>>,
+    requests: Vec<MtRequest>,
+    feedbacks: Vec<Feedback>,
+    wl_rng: SmallRng,
+    srv_rng: SmallRng,
+    generated: u64,
+}
+
+impl MultiTenantScenario {
+    /// Build the scenario, resolving the strategy through `registry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configured strategy is not in the registry.
+    pub fn new(cfg: MultiTenantConfig, registry: &StrategyRegistry) -> Self {
+        cfg.validate();
+        let seeds = SeedSeq::new(cfg.seed);
+        let wl_rng = seeds.workload_rng();
+        let srv_rng = seeds.service_rng(21);
+
+        let mut c3 = cfg.c3;
+        c3.concurrency_weight = cfg.clients as f64;
+
+        let total_rate = cfg.total_arrival_rate();
+        let tenants: Vec<TenantState> = cfg
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| TenantState {
+                spec: spec.clone(),
+                keys: ScrambledZipfian::new(cfg.keys, cfg.keys, spec.zipf_theta),
+                arrivals: PoissonArrivals::new(total_rate * spec.demand_fraction),
+                rng: SmallRng::seed_from_u64(seeds.tenant_seed(i as u64)),
+            })
+            .collect();
+
+        let groups: Vec<Vec<usize>> = (0..cfg.servers)
+            .map(|g| {
+                (0..cfg.replication_factor)
+                    .map(|k| (g + k) % cfg.servers)
+                    .collect()
+            })
+            .collect();
+
+        let servers = (0..cfg.servers)
+            .map(|_| MtServer {
+                queue: VecDeque::new(),
+                inflight: 0,
+            })
+            .collect();
+
+        let clients: Vec<MtClient> = (0..cfg.clients)
+            .map(|i| {
+                let ctx = SelectorCtx {
+                    servers: cfg.servers,
+                    c3,
+                    seed: seeds.client_seed(i as u64),
+                    now: Nanos::ZERO,
+                };
+                let selector = match registry
+                    .build(&cfg.strategy, &ctx)
+                    .unwrap_or_else(|e| panic!("{e}"))
+                {
+                    BuiltSelector::Selector(s) => Some(s),
+                    BuiltSelector::Oracle => None,
+                };
+                MtClient {
+                    selector,
+                    backlogs: (0..cfg.servers).map(|_| BacklogQueue::new()).collect(),
+                    retry_scheduled: vec![false; cfg.servers],
+                }
+            })
+            .collect();
+
+        Self {
+            tenants,
+            servers,
+            clients,
+            groups,
+            requests: Vec::with_capacity(cfg.total_requests as usize),
+            feedbacks: Vec::with_capacity(cfg.total_requests as usize),
+            wl_rng,
+            srv_rng,
+            generated: 0,
+            cfg,
+        }
+    }
+
+    /// The config in force.
+    pub fn config(&self) -> &MultiTenantConfig {
+        &self.cfg
+    }
+
+    fn service_time(&mut self, tenant: usize) -> Nanos {
+        let scale = f64::from(self.tenants[tenant].spec.value_bytes) / 1024.0;
+        Nanos::from_millis_f64(exp_sample(
+            &mut self.srv_rng,
+            self.cfg.mean_service_ms * scale,
+        ))
+    }
+
+    fn on_arrive(
+        &mut self,
+        tenant: usize,
+        now: Nanos,
+        engine: &mut EventQueue<MtEvent>,
+        metrics: &RunMetrics,
+    ) {
+        if self.generated >= self.cfg.total_requests {
+            return;
+        }
+        let issue_index = self.generated;
+        self.generated += 1;
+        let client = self.wl_rng.gen_range(0..self.cfg.clients);
+        let key = {
+            let t = &mut self.tenants[tenant];
+            t.keys.sample(&mut t.rng)
+        };
+        let group = (key % self.cfg.servers as u64) as usize;
+        let req = self.requests.len() as u64;
+        self.requests.push(MtRequest {
+            tenant: tenant as u16,
+            client: client as u16,
+            group: group as u16,
+            server: u16::MAX,
+            created: now,
+            sent_at: Nanos::ZERO,
+            measured: metrics.past_warmup(issue_index),
+        });
+        self.feedbacks.push(Feedback::new(0, Nanos::ZERO));
+        self.try_dispatch(req, now, engine);
+        if self.generated < self.cfg.total_requests {
+            let t = &mut self.tenants[tenant];
+            let gap = t.arrivals.next_gap(&mut t.rng);
+            engine.schedule_in(gap, MtEvent::Arrive { tenant });
+        }
+    }
+
+    fn try_dispatch(&mut self, req: u64, now: Nanos, engine: &mut EventQueue<MtEvent>) {
+        let (client_id, group_id) = {
+            let r = &self.requests[req as usize];
+            (r.client as usize, r.group as usize)
+        };
+
+        // Oracle path: perfect knowledge of instantaneous queue depths.
+        if self.clients[client_id].selector.is_none() {
+            let server = self.oracle_pick(group_id);
+            self.send(req, server, now, engine);
+            return;
+        }
+
+        let selection = {
+            let group = &self.groups[group_id];
+            let sel = self.clients[client_id].selector.as_mut().expect("selector");
+            sel.select(group, now)
+        };
+        match selection {
+            Selection::Server(server) => self.send(req, server, now, engine),
+            Selection::Backpressure { retry_at } => {
+                let client = &mut self.clients[client_id];
+                client.backlogs[group_id].push(req);
+                if !client.retry_scheduled[group_id] {
+                    client.retry_scheduled[group_id] = true;
+                    let at = retry_at.max(now + Nanos(1));
+                    engine.schedule(
+                        at,
+                        MtEvent::RetryBacklog {
+                            client: client_id,
+                            group: group_id,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn oracle_pick(&self, group_id: usize) -> usize {
+        *self.groups[group_id]
+            .iter()
+            .min_by_key(|&&s| self.servers[s].inflight + self.servers[s].queue.len())
+            .expect("non-empty group")
+    }
+
+    fn send(&mut self, req: u64, server: usize, now: Nanos, engine: &mut EventQueue<MtEvent>) {
+        {
+            let r = &mut self.requests[req as usize];
+            r.server = server as u16;
+            r.sent_at = now;
+        }
+        let client_id = self.requests[req as usize].client as usize;
+        if let Some(sel) = self.clients[client_id].selector.as_mut() {
+            sel.on_send(server, now);
+        }
+        engine.schedule_in(self.cfg.one_way_latency, MtEvent::ServerArrive { req });
+    }
+
+    fn on_server_arrive(&mut self, req: u64, engine: &mut EventQueue<MtEvent>) {
+        let server = self.requests[req as usize].server as usize;
+        if self.servers[server].inflight < self.cfg.server_concurrency {
+            self.servers[server].inflight += 1;
+            let st = self.service_time(self.requests[req as usize].tenant as usize);
+            engine.schedule_in(
+                st,
+                MtEvent::ServiceDone {
+                    server,
+                    req,
+                    service_time: st,
+                },
+            );
+        } else {
+            self.servers[server].queue.push_back(req);
+        }
+    }
+
+    fn on_service_done(
+        &mut self,
+        server: usize,
+        req: u64,
+        service_time: Nanos,
+        now: Nanos,
+        engine: &mut EventQueue<MtEvent>,
+        metrics: &mut RunMetrics,
+    ) {
+        metrics.record_service(server, now);
+        self.servers[server].inflight -= 1;
+        if let Some(next) = self.servers[server].queue.pop_front() {
+            self.servers[server].inflight += 1;
+            let st = self.service_time(self.requests[next as usize].tenant as usize);
+            engine.schedule_in(
+                st,
+                MtEvent::ServiceDone {
+                    server,
+                    req: next,
+                    service_time: st,
+                },
+            );
+        }
+        let pending = (self.servers[server].inflight + self.servers[server].queue.len()) as u32;
+        self.feedbacks[req as usize] = Feedback::new(pending, service_time);
+        engine.schedule_in(self.cfg.one_way_latency, MtEvent::ClientReceive { req });
+    }
+
+    fn on_client_receive(
+        &mut self,
+        req: u64,
+        now: Nanos,
+        engine: &mut EventQueue<MtEvent>,
+        metrics: &mut RunMetrics,
+    ) {
+        let r = self.requests[req as usize];
+        let client_id = r.client as usize;
+        let server = r.server as usize;
+        if let Some(sel) = self.clients[client_id].selector.as_mut() {
+            sel.on_response(
+                server,
+                &ResponseInfo {
+                    response_time: now.saturating_sub(r.sent_at),
+                    feedback: Some(self.feedbacks[req as usize]),
+                },
+                now,
+            );
+        }
+        metrics.record_completion(
+            ChannelId::new(r.tenant as usize),
+            now,
+            now.saturating_sub(r.created),
+            r.measured,
+        );
+        // A response may free rate for the groups containing this server.
+        let rf = self.cfg.replication_factor;
+        let n = self.cfg.servers;
+        for k in 0..rf {
+            let group_id = (server + n - k) % n;
+            if !self.clients[client_id].backlogs[group_id].is_empty() {
+                self.on_retry(client_id, group_id, now, engine);
+            }
+        }
+    }
+
+    fn on_retry(
+        &mut self,
+        client_id: usize,
+        group_id: usize,
+        now: Nanos,
+        engine: &mut EventQueue<MtEvent>,
+    ) {
+        self.clients[client_id].retry_scheduled[group_id] = false;
+        loop {
+            let Some(&req) = self.clients[client_id].backlogs[group_id].peek() else {
+                return;
+            };
+            let selection = {
+                let group = &self.groups[group_id];
+                let sel = self.clients[client_id]
+                    .selector
+                    .as_mut()
+                    .expect("backpressure implies a selector");
+                sel.select(group, now)
+            };
+            match selection {
+                Selection::Server(server) => {
+                    self.clients[client_id].backlogs[group_id].pop();
+                    self.send(req, server, now, engine);
+                }
+                Selection::Backpressure { retry_at } => {
+                    let client = &mut self.clients[client_id];
+                    if !client.retry_scheduled[group_id] {
+                        client.retry_scheduled[group_id] = true;
+                        let at = retry_at.max(now + Nanos(1));
+                        engine.schedule(
+                            at,
+                            MtEvent::RetryBacklog {
+                                client: client_id,
+                                group: group_id,
+                            },
+                        );
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Feed Dynamic Snitching selectors their periodic recompute (the
+    /// cluster does this through gossip; here every node idles at baseline
+    /// iowait, so only the latency reservoir matters).
+    fn on_snitch_tick(&mut self, now: Nanos, engine: &mut EventQueue<MtEvent>) {
+        let servers = self.cfg.servers;
+        for client in &mut self.clients {
+            if let Some(snitch) = client
+                .selector
+                .as_mut()
+                .and_then(|s| s.as_any_mut())
+                .and_then(|any| any.downcast_mut::<SnitchSelector>())
+            {
+                for peer in 0..servers {
+                    snitch.snitch_mut().record_iowait(peer, 0.02);
+                }
+                snitch.snitch_mut().recompute(now);
+            }
+        }
+        engine.schedule_in(self.cfg.snitch_tick, MtEvent::SnitchTick);
+    }
+}
+
+impl Scenario for MultiTenantScenario {
+    type Event = MtEvent;
+
+    fn channels(&self) -> ChannelSet {
+        ChannelSet::of(self.cfg.tenants.iter().map(|t| t.name.clone()))
+    }
+
+    fn start(&mut self, engine: &mut EventQueue<MtEvent>) {
+        for tenant in 0..self.tenants.len() {
+            let t = &mut self.tenants[tenant];
+            let jitter = t.arrivals.next_gap(&mut t.rng);
+            engine.schedule(jitter, MtEvent::Arrive { tenant });
+        }
+        engine.schedule(self.cfg.snitch_tick, MtEvent::SnitchTick);
+    }
+
+    fn handle(
+        &mut self,
+        event: MtEvent,
+        now: Nanos,
+        engine: &mut EventQueue<MtEvent>,
+        metrics: &mut RunMetrics,
+    ) {
+        match event {
+            MtEvent::Arrive { tenant } => self.on_arrive(tenant, now, engine, metrics),
+            MtEvent::ServerArrive { req } => self.on_server_arrive(req, engine),
+            MtEvent::ServiceDone {
+                server,
+                req,
+                service_time,
+            } => self.on_service_done(server, req, service_time, now, engine, metrics),
+            MtEvent::ClientReceive { req } => self.on_client_receive(req, now, engine, metrics),
+            MtEvent::RetryBacklog { client, group } => self.on_retry(client, group, now, engine),
+            MtEvent::SnitchTick => self.on_snitch_tick(now, engine),
+        }
+    }
+
+    fn is_done(&self, metrics: &RunMetrics) -> bool {
+        metrics.total_completions() >= self.cfg.total_requests
+    }
+}
+
+/// Run a multi-tenant config to completion and report per-tenant channels.
+pub fn run(cfg: MultiTenantConfig, registry: &StrategyRegistry) -> ScenarioReport {
+    let runner = ScenarioRunner::new(cfg.seed).with_warmup(cfg.warmup_requests);
+    let servers = cfg.servers;
+    let load_window = cfg.load_window;
+    let strategy = cfg.strategy.clone();
+    let seed = cfg.seed;
+    let mut scenario = MultiTenantScenario::new(cfg, registry);
+    let (metrics, stats) = runner.run(&mut scenario, servers, load_window);
+    ScenarioReport::from_metrics(super::MULTI_TENANT, &strategy, seed, &metrics, &stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario_registry;
+
+    fn small(strategy: Strategy) -> MultiTenantConfig {
+        MultiTenantConfig {
+            total_requests: 6_000,
+            warmup_requests: 500,
+            strategy,
+            seed: 3,
+            ..MultiTenantConfig::default()
+        }
+    }
+
+    #[test]
+    fn tenants_get_their_own_channels() {
+        let report = run(small(Strategy::c3()), &scenario_registry());
+        assert_eq!(report.channels.len(), 3);
+        assert_eq!(report.headline().name, "interactive");
+        assert!(report.channel("analytics").is_some());
+        assert!(report.channel("bulk").is_some());
+        assert_eq!(report.total_completions(), 6_000 - 500);
+        for c in &report.channels {
+            assert!(c.completions > 0, "tenant {} starved", c.name);
+        }
+    }
+
+    #[test]
+    fn heavier_values_cost_more_latency() {
+        let report = run(small(Strategy::c3()), &scenario_registry());
+        let interactive = report.channel("interactive").unwrap().summary.p50_ns;
+        let bulk = report.channel("bulk").unwrap().summary.p50_ns;
+        assert!(
+            bulk > interactive,
+            "8 KB values must out-wait 1 KB values: {bulk} vs {interactive}"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(small(Strategy::c3()), &scenario_registry());
+        let b = run(small(Strategy::c3()), &scenario_registry());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn oracle_and_snitch_run_on_this_frontend() {
+        for strategy in [Strategy::oracle(), Strategy::dynamic_snitching()] {
+            let report = run(small(strategy.clone()), &scenario_registry());
+            assert_eq!(
+                report.total_completions(),
+                5_500,
+                "strategy {strategy} must complete"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "demand fractions")]
+    fn demand_must_sum_to_one() {
+        let mut cfg = small(Strategy::c3());
+        cfg.tenants[0].demand_fraction = 0.9;
+        cfg.validate();
+    }
+}

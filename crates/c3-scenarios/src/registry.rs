@@ -1,0 +1,334 @@
+//! The scenario registry: named workloads, runnable by `(strategy, seed)`,
+//! with parallel sweeps.
+//!
+//! Mirrors the engine's `StrategyRegistry` on the workload axis: where
+//! that table resolves *how to pick replicas*, this one resolves *what the
+//! world does* — and the cross product of the two is the experiment matrix
+//! the bench harness sweeps.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use c3_engine::{fan_out, Strategy};
+
+use crate::report::ScenarioReport;
+use crate::{hetero, multi_tenant, partition, scenario_registry};
+use crate::{HETERO_FLEET, MULTI_TENANT, PARTITION_FLUX};
+
+/// Everything a scenario needs to produce one run.
+#[derive(Clone, Debug)]
+pub struct ScenarioParams {
+    /// Strategy under test, by registry name.
+    pub strategy: Strategy,
+    /// RNG seed; a `(scenario, strategy, seed, ops)` tuple fully
+    /// determines a run.
+    pub seed: u64,
+    /// Total operations/requests of the run.
+    pub ops: u64,
+    /// Operations excluded from latency measurement while state warms up.
+    pub warmup: u64,
+    /// Cap on the scenarios' keyspace (`None` keeps each scenario's
+    /// configured default — the stock cluster uses 10 M keys, whose
+    /// Zipf table dominates a short run's build time).
+    pub keys: Option<u64>,
+}
+
+impl ScenarioParams {
+    /// Params at the scenario smoke scale (40k ops, 5% warm-up).
+    pub fn new(strategy: Strategy, seed: u64) -> Self {
+        Self::sized(strategy, seed, 40_000)
+    }
+
+    /// Params with an explicit operation count (warm-up = 5%) and the
+    /// keyspace capped at 1 M keys so sweep cells stay cheap to build;
+    /// set [`ScenarioParams::keys`] to `None` for full-keyspace runs.
+    pub fn sized(strategy: Strategy, seed: u64, ops: u64) -> Self {
+        Self {
+            strategy,
+            seed,
+            ops,
+            warmup: ops / 20,
+            keys: Some(1_000_000),
+        }
+    }
+}
+
+/// Why a scenario run could not be produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The scenario name is not registered.
+    UnknownScenario(String),
+    /// The strategy name does not resolve in the strategy registry.
+    UnknownStrategy(String),
+    /// The strategy resolves, but this scenario's frontend cannot drive it
+    /// (the `ORA` baseline needs simulator-global state only the
+    /// multi-tenant frontend provides).
+    UnsupportedStrategy {
+        /// Scenario that rejected the strategy.
+        scenario: String,
+        /// The rejected strategy name.
+        strategy: String,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::UnknownScenario(name) => write!(f, "unknown scenario {name:?}"),
+            ScenarioError::UnknownStrategy(name) => write!(f, "unknown strategy {name:?}"),
+            ScenarioError::UnsupportedStrategy { scenario, strategy } => {
+                write!(
+                    f,
+                    "scenario {scenario:?} cannot drive strategy {strategy:?}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+type ScenarioFn =
+    Box<dyn Fn(&ScenarioParams) -> Result<ScenarioReport, ScenarioError> + Send + Sync>;
+
+/// Name → runnable-workload table.
+pub struct ScenarioRegistry {
+    entries: BTreeMap<String, ScenarioFn>,
+}
+
+impl Default for ScenarioRegistry {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+impl ScenarioRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        Self {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The library's stock scenarios: [`MULTI_TENANT`], [`HETERO_FLEET`]
+    /// and [`PARTITION_FLUX`], each at its default shape scaled by
+    /// [`ScenarioParams::ops`].
+    pub fn with_defaults() -> Self {
+        let mut reg = Self::empty();
+        reg.register(MULTI_TENANT, |p: &ScenarioParams| {
+            let strategies = scenario_registry();
+            if !strategies.contains(&p.strategy) {
+                return Err(ScenarioError::UnknownStrategy(p.strategy.name().into()));
+            }
+            let mut cfg = multi_tenant::MultiTenantConfig {
+                total_requests: p.ops,
+                warmup_requests: p.warmup,
+                strategy: p.strategy.clone(),
+                seed: p.seed,
+                ..multi_tenant::MultiTenantConfig::default()
+            };
+            if let Some(keys) = p.keys {
+                cfg.keys = cfg.keys.min(keys);
+            }
+            cfg.validate();
+            Ok(multi_tenant::run(cfg, &strategies))
+        });
+        reg.register(HETERO_FLEET, |p: &ScenarioParams| {
+            let strategies = scenario_registry();
+            let mut cfg = hetero::HeteroFleetConfig::default();
+            apply_cluster_params(&mut cfg.cluster, p, HETERO_FLEET, &strategies)?;
+            Ok(hetero::run(&cfg, &strategies))
+        });
+        reg.register(PARTITION_FLUX, |p: &ScenarioParams| {
+            let strategies = scenario_registry();
+            let mut cfg = partition::PartitionFluxConfig::default();
+            apply_cluster_params(&mut cfg.cluster, p, PARTITION_FLUX, &strategies)?;
+            Ok(partition::run(&cfg, &strategies))
+        });
+        reg
+    }
+
+    /// Register (or replace) a named scenario.
+    pub fn register<F>(&mut self, name: impl Into<String>, run: F)
+    where
+        F: Fn(&ScenarioParams) -> Result<ScenarioReport, ScenarioError> + Send + Sync + 'static,
+    {
+        self.entries.insert(name.into(), Box::new(run));
+    }
+
+    /// Whether a scenario name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+
+    /// Run one scenario by name.
+    pub fn run(
+        &self,
+        name: &str,
+        params: &ScenarioParams,
+    ) -> Result<ScenarioReport, ScenarioError> {
+        let entry = self
+            .entries
+            .get(name)
+            .ok_or_else(|| ScenarioError::UnknownScenario(name.to_string()))?;
+        entry(params)
+    }
+
+    /// Sweep the full `scenarios × strategies × seeds` matrix, fanning the
+    /// independent runs out over up to `threads` worker threads.
+    ///
+    /// Results come back in matrix order (scenario-major, then strategy,
+    /// then seed) and are bit-identical for any thread count — each run is
+    /// a pure function of its `(scenario, strategy, seed, ops)` cell.
+    /// Unsupported cells (e.g. `ORA` on a cluster-backed scenario) come
+    /// back as errors rather than aborting the sweep.
+    pub fn sweep(
+        &self,
+        scenarios: &[&str],
+        strategies: &[Strategy],
+        seeds: &[u64],
+        ops: u64,
+        threads: usize,
+    ) -> Vec<Result<ScenarioReport, ScenarioError>> {
+        let cells: Vec<(&str, &Strategy, u64)> = scenarios
+            .iter()
+            .flat_map(|&sc| {
+                strategies
+                    .iter()
+                    .flat_map(move |st| seeds.iter().map(move |&seed| (sc, st, seed)))
+            })
+            .collect();
+        fan_out(cells.len(), threads, |i| {
+            let (scenario, strategy, seed) = cells[i];
+            self.run(
+                scenario,
+                &ScenarioParams::sized(strategy.clone(), seed, ops),
+            )
+        })
+    }
+}
+
+/// Plumb the shared params into a cluster-backed scenario's config,
+/// rejecting strategies the cluster frontend cannot drive.
+fn apply_cluster_params(
+    cfg: &mut c3_cluster::ClusterConfig,
+    p: &ScenarioParams,
+    scenario: &str,
+    strategies: &c3_engine::StrategyRegistry,
+) -> Result<(), ScenarioError> {
+    if !strategies.contains(&p.strategy) {
+        return Err(ScenarioError::UnknownStrategy(p.strategy.name().into()));
+    }
+    if p.strategy.is_oracle() {
+        return Err(ScenarioError::UnsupportedStrategy {
+            scenario: scenario.to_string(),
+            strategy: p.strategy.name().to_string(),
+        });
+    }
+    cfg.total_ops = p.ops;
+    cfg.warmup_ops = p.warmup;
+    cfg.strategy = p.strategy.clone();
+    cfg.seed = p.seed;
+    if let Some(keys) = p.keys {
+        cfg.keys = cfg.keys.min(keys);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_registry_lists_all_scenarios() {
+        let reg = ScenarioRegistry::with_defaults();
+        assert_eq!(
+            reg.names(),
+            vec![HETERO_FLEET, MULTI_TENANT, PARTITION_FLUX]
+        );
+        assert!(reg.contains(MULTI_TENANT));
+        assert!(!reg.contains("nope"));
+    }
+
+    #[test]
+    fn unknown_names_error_cleanly() {
+        let reg = ScenarioRegistry::with_defaults();
+        let err = reg
+            .run("nope", &ScenarioParams::new(Strategy::c3(), 1))
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::UnknownScenario("nope".into()));
+        let err = reg
+            .run(
+                MULTI_TENANT,
+                &ScenarioParams::new(Strategy::named("NoSuch"), 1),
+            )
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::UnknownStrategy("NoSuch".into()));
+    }
+
+    #[test]
+    fn oracle_is_unsupported_on_cluster_backed_scenarios_only() {
+        let reg = ScenarioRegistry::with_defaults();
+        let p = ScenarioParams::sized(Strategy::oracle(), 1, 4_000);
+        for name in [HETERO_FLEET, PARTITION_FLUX] {
+            match reg.run(name, &p) {
+                Err(ScenarioError::UnsupportedStrategy { scenario, strategy }) => {
+                    assert_eq!(scenario, name);
+                    assert_eq!(strategy, "ORA");
+                }
+                other => panic!("expected UnsupportedStrategy, got {other:?}"),
+            }
+        }
+        let report = reg.run(MULTI_TENANT, &p).expect("MT provides global state");
+        assert_eq!(report.strategy, "ORA");
+    }
+
+    #[test]
+    fn every_scenario_runs_c3_by_name() {
+        let reg = ScenarioRegistry::with_defaults();
+        for name in reg.names() {
+            let report = reg
+                .run(name, &ScenarioParams::sized(Strategy::c3(), 2, 4_000))
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(report.scenario, name);
+            assert!(report.total_completions() > 0);
+        }
+    }
+
+    #[test]
+    fn sweep_is_matrix_ordered_and_thread_invariant() {
+        let reg = ScenarioRegistry::with_defaults();
+        let strategies = [Strategy::c3(), Strategy::lor()];
+        let seeds = [1, 2];
+        let serial = reg.sweep(&[MULTI_TENANT], &strategies, &seeds, 3_000, 1);
+        let parallel = reg.sweep(&[MULTI_TENANT], &strategies, &seeds, 3_000, 4);
+        assert_eq!(serial.len(), 4);
+        let fp = |runs: &[Result<ScenarioReport, ScenarioError>]| -> Vec<u64> {
+            runs.iter()
+                .map(|r| r.as_ref().expect("run failed").fingerprint())
+                .collect()
+        };
+        assert_eq!(fp(&serial), fp(&parallel));
+        let order: Vec<(String, u64)> = serial
+            .iter()
+            .map(|r| {
+                let r = r.as_ref().unwrap();
+                (r.strategy.clone(), r.seed)
+            })
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("C3".into(), 1),
+                ("C3".into(), 2),
+                ("LOR".into(), 1),
+                ("LOR".into(), 2)
+            ]
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! The uniform result of one scenario run.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use c3_core::Nanos;
+use c3_engine::{EngineStats, RunMetrics, Strategy};
+use c3_metrics::LatencySummary;
+
+/// One named latency channel of a finished run.
+#[derive(Clone, Debug)]
+pub struct ChannelReport {
+    /// Channel name as declared by the scenario ("read", "tenant name", ...).
+    pub name: String,
+    /// Measured (post-warm-up) completions on this channel.
+    pub completions: u64,
+    /// Measured completions per second over the run's measured window.
+    pub throughput: f64,
+    /// Latency summary at the paper's percentiles.
+    pub summary: LatencySummary,
+}
+
+/// Uniform result of one `(scenario, strategy, seed)` run, built straight
+/// from the engine's [`RunMetrics`] so every scenario reports the same
+/// shape regardless of which frontend it runs on.
+#[derive(Clone, Debug)]
+pub struct ScenarioReport {
+    /// Scenario registry name.
+    pub scenario: String,
+    /// Strategy registry name.
+    pub strategy: String,
+    /// Seed of the run.
+    pub seed: u64,
+    /// Measured duration (first to last measured completion).
+    pub duration: Nanos,
+    /// Per-channel results, in the scenario's channel-declaration order.
+    pub channels: Vec<ChannelReport>,
+    /// Events processed by the kernel.
+    pub events_processed: u64,
+    /// Timers cancelled before firing.
+    pub events_cancelled: u64,
+}
+
+impl ScenarioReport {
+    /// Assemble a report from a finished run's metrics and engine stats.
+    pub fn from_metrics(
+        scenario: &str,
+        strategy: &Strategy,
+        seed: u64,
+        metrics: &RunMetrics,
+        stats: &EngineStats,
+    ) -> Self {
+        let channels = metrics
+            .channels()
+            .iter()
+            .map(|(id, name)| ChannelReport {
+                name: name.to_string(),
+                completions: metrics.measured(id),
+                throughput: metrics.throughput(id),
+                summary: metrics.summary(id),
+            })
+            .collect();
+        Self {
+            scenario: scenario.to_string(),
+            strategy: strategy.label().to_string(),
+            seed,
+            duration: metrics.duration(),
+            channels,
+            events_processed: stats.events_processed,
+            events_cancelled: stats.events_cancelled,
+        }
+    }
+
+    /// The report of a channel, by name.
+    pub fn channel(&self, name: &str) -> Option<&ChannelReport> {
+        self.channels.iter().find(|c| c.name == name)
+    }
+
+    /// The scenario's first-declared (headline) channel — the one its
+    /// primary latency claim is stated over.
+    pub fn headline(&self) -> &ChannelReport {
+        &self.channels[0]
+    }
+
+    /// Headline-channel p99 in milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.headline().summary.metric_ms("p99")
+    }
+
+    /// Measured completions across all channels.
+    pub fn total_completions(&self) -> u64 {
+        self.channels.iter().map(|c| c.completions).sum()
+    }
+
+    /// A deterministic digest of everything measurable in this report:
+    /// per-channel counts, every reported percentile, the f64 mean and
+    /// throughput *by bits*, the duration, and the kernel event counts.
+    /// Two runs are bit-identical iff their fingerprints match, which is
+    /// what the determinism golden tests compare across repeated runs and
+    /// across `run_all` thread counts.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.scenario.hash(&mut h);
+        self.strategy.hash(&mut h);
+        self.seed.hash(&mut h);
+        self.duration.as_nanos().hash(&mut h);
+        self.events_processed.hash(&mut h);
+        self.events_cancelled.hash(&mut h);
+        for c in &self.channels {
+            c.name.hash(&mut h);
+            c.completions.hash(&mut h);
+            c.throughput.to_bits().hash(&mut h);
+            c.summary.count.hash(&mut h);
+            c.summary.mean_ns.to_bits().hash(&mut h);
+            c.summary.p50_ns.hash(&mut h);
+            c.summary.p95_ns.hash(&mut h);
+            c.summary.p99_ns.hash(&mut h);
+            c.summary.p999_ns.hash(&mut h);
+            c.summary.max_ns.hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_report(p99: u64) -> ScenarioReport {
+        ScenarioReport {
+            scenario: "toy".into(),
+            strategy: "C3".into(),
+            seed: 1,
+            duration: Nanos::from_millis(10),
+            channels: vec![ChannelReport {
+                name: "latency".into(),
+                completions: 100,
+                throughput: 10_000.0,
+                summary: LatencySummary {
+                    count: 100,
+                    mean_ns: 1.5e6,
+                    p50_ns: 1_000_000,
+                    p95_ns: 2_000_000,
+                    p99_ns: p99,
+                    p999_ns: 4_000_000,
+                    max_ns: 5_000_000,
+                },
+            }],
+            events_processed: 500,
+            events_cancelled: 0,
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = toy_report(3_000_000);
+        let b = toy_report(3_000_000);
+        let c = toy_report(3_000_001);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn channel_lookup_and_headline() {
+        let r = toy_report(3_000_000);
+        assert!(r.channel("latency").is_some());
+        assert!(r.channel("nope").is_none());
+        assert_eq!(r.headline().name, "latency");
+        assert!((r.p99_ms() - 3.0).abs() < 1e-9);
+        assert_eq!(r.total_completions(), 100);
+    }
+}

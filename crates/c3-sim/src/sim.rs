@@ -19,8 +19,8 @@ use c3_core::{
     BacklogQueue, Feedback, Nanos, RateStats, ReplicaSelector, ResponseInfo, Selection, ServerId,
 };
 use c3_engine::{
-    BuiltSelector, EngineStats, EventQueue, RunMetrics, Scenario, ScenarioRunner, SeedSeq,
-    SelectorCtx, StrategyRegistry,
+    BuiltSelector, ChannelId, ChannelSet, EngineStats, EventQueue, RunMetrics, Scenario,
+    ScenarioRunner, SeedSeq, SelectorCtx, StrategyRegistry,
 };
 use c3_metrics::GaugeSeries;
 use c3_workload::PoissonArrivals;
@@ -34,6 +34,9 @@ use crate::server::{ReqId, ServerAction, SimServer, SpeedState};
 /// Identifier of one send (one request may fan out into several sends via
 /// read repair).
 type SendId = u64;
+
+/// The simulator's single latency channel (named `latency`).
+const LATENCY: ChannelId = ChannelId::new(0);
 
 /// The simulator's event alphabet (public because it is the scenario's
 /// `Scenario::Event` type; construction stays internal).
@@ -237,14 +240,14 @@ impl SimScenario {
                 rate_stats.throttled += s.throttled;
             }
         }
-        let (mut latency, server_load, completions, duration) = metrics.into_parts();
+        let (_channels, mut latency, server_load, completions, duration) = metrics.into_parts();
         (
             RunResult {
                 strategy: self.cfg.strategy.label().to_string(),
                 seed: self.cfg.seed,
-                latency: latency.remove(0),
+                latency: latency.remove(LATENCY.index()),
                 server_load,
-                completed: completions[0],
+                completed: completions[LATENCY.index()],
                 duration,
                 backpressure_activations: backpressure,
                 rate_stats,
@@ -479,7 +482,7 @@ impl SimScenario {
                 req.completed = true;
                 let latency = now.saturating_sub(req.created);
                 let measured = req.measured;
-                metrics.record_completion(0, now, latency, measured);
+                metrics.record_completion(LATENCY, now, latency, measured);
             }
         }
 
@@ -573,6 +576,10 @@ impl SimScenario {
 impl Scenario for SimScenario {
     type Event = Event;
 
+    fn channels(&self) -> ChannelSet {
+        ChannelSet::single("latency")
+    }
+
     fn start(&mut self, engine: &mut EventQueue<Event>) {
         // Stagger generator start times over their first inter-arrival gap.
         for g in 0..self.cfg.generators {
@@ -604,7 +611,7 @@ impl Scenario for SimScenario {
     }
 
     fn is_done(&self, metrics: &RunMetrics) -> bool {
-        metrics.completions(0) == self.cfg.total_requests
+        metrics.completions(LATENCY) == self.cfg.total_requests
     }
 }
 
@@ -651,7 +658,7 @@ impl Simulation {
         let cfg = self.scenario.config().clone();
         let runner = ScenarioRunner::new(cfg.seed).with_warmup(cfg.warmup_requests);
         let mut scenario = self.scenario;
-        let (metrics, stats) = runner.run(&mut scenario, 1, cfg.servers, cfg.load_window);
+        let (metrics, stats) = runner.run(&mut scenario, cfg.servers, cfg.load_window);
         scenario.into_result(metrics, stats)
     }
 }

@@ -1,0 +1,93 @@
+//! The scenario library in one screen: C3 against its main rivals across
+//! multi-tenant, heterogeneous-fleet and partition/flux workloads, with
+//! the multi-tenant run broken down per tenant channel.
+//!
+//! ```sh
+//! cargo run --release --example scenario_faceoff
+//! ```
+
+use c3::engine::Strategy;
+use c3::metrics::Table;
+use c3::scenarios::{ScenarioRegistry, MULTI_TENANT};
+
+fn main() {
+    let registry = ScenarioRegistry::with_defaults();
+    let strategies = [
+        Strategy::c3(),
+        Strategy::dynamic_snitching(),
+        Strategy::lor(),
+        Strategy::power_of_two(),
+        Strategy::random(),
+    ];
+    let seeds = [1u64, 2];
+    let ops = 20_000;
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
+
+    let scenario_names = registry.names();
+    let results = registry.sweep(&scenario_names, &strategies, &seeds, ops, threads);
+    let mut iter = results.into_iter();
+
+    for scenario in &scenario_names {
+        let mut table = Table::new(vec!["strategy", "median ms", "p99 ms", "p99.9 ms", "ops/s"]);
+        let mut tenant_rows: Vec<Vec<String>> = Vec::new();
+        for strategy in &strategies {
+            let runs: Vec<_> = (0..seeds.len())
+                .map(|_| {
+                    iter.next()
+                        .expect("cell")
+                        .expect("all strategies supported")
+                })
+                .collect();
+            let n = runs.len() as f64;
+            let avg =
+                |f: fn(&c3::scenarios::ScenarioReport) -> f64| runs.iter().map(f).sum::<f64>() / n;
+            table.row(vec![
+                strategy.label().to_string(),
+                format!("{:.2}", avg(|r| r.headline().summary.metric_ms("median"))),
+                format!("{:.2}", avg(|r| r.headline().summary.metric_ms("p99"))),
+                format!("{:.2}", avg(|r| r.headline().summary.metric_ms("p999"))),
+                format!("{:.0}", avg(|r| r.headline().throughput)),
+            ]);
+            if *scenario == MULTI_TENANT {
+                let mut row = vec![strategy.label().to_string()];
+                for ch in &runs[0].channels {
+                    let p99 = runs
+                        .iter()
+                        .map(|r| r.channel(&ch.name).unwrap().summary.metric_ms("p99"))
+                        .sum::<f64>()
+                        / n;
+                    row.push(format!("{:.2}", p99));
+                }
+                tenant_rows.push(row);
+            }
+        }
+        println!(
+            "scenario {scenario} ({} seeds, {ops} ops):\n\n{table}",
+            seeds.len()
+        );
+        if !tenant_rows.is_empty() {
+            let mut t = Table::new(vec![
+                "strategy",
+                "interactive p99 ms",
+                "analytics p99 ms",
+                "bulk p99 ms",
+            ]);
+            for row in tenant_rows {
+                t.row(row);
+            }
+            println!("per-tenant read tail (named channels):\n\n{t}");
+        }
+    }
+    println!(
+        "Expected shape: C3 beats DS and the static baselines in every\n\
+         scenario; under partition-flux the frozen-ranking and static\n\
+         strategies pay the largest tail penalty (instantaneous-queue\n\
+         baselines like LOR stay competitive there), and in the\n\
+         multi-tenant breakdown the bulk tenant's large values dominate\n\
+         its own channel without dragging the interactive tenant's tail\n\
+         with it."
+    );
+}

@@ -16,6 +16,9 @@
 //! - [`sim`] — the paper's §6 discrete-event simulator.
 //! - [`cluster`] — the Cassandra-like replicated data store substrate with
 //!   Dynamic Snitching, used by the paper's §5 system evaluation.
+//! - [`scenarios`] — the named workload scenario library (multi-tenant,
+//!   heterogeneous fleets, partition/flux) with registry-driven parallel
+//!   sweeps.
 //! - [`net`] — the C3 wire protocol (the tokio client/server sit behind
 //!   the non-default `rt` feature).
 //!
@@ -26,5 +29,6 @@ pub use c3_core as core;
 pub use c3_engine as engine;
 pub use c3_metrics as metrics;
 pub use c3_net as net;
+pub use c3_scenarios as scenarios;
 pub use c3_sim as sim;
 pub use c3_workload as workload;

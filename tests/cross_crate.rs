@@ -153,7 +153,7 @@ fn scenario_runner_matches_legacy_entry_point() {
     let runner = ScenarioRunner::new(cfg.seed).with_warmup(cfg.warmup_requests);
     assert_eq!(runner.seeds(), &SeedSeq::new(cfg.seed));
     let mut scenario = SimScenario::new(cfg.clone());
-    let (metrics, stats) = runner.run(&mut scenario, 1, cfg.servers, cfg.load_window);
+    let (metrics, stats) = runner.run(&mut scenario, cfg.servers, cfg.load_window);
     let (via_runner, _probe) = scenario.into_result(metrics, stats);
 
     assert_eq!(via_runner.completed, legacy.completed);
@@ -200,6 +200,55 @@ fn update_heavy_cluster_serves_both_kinds() {
     assert!(res.updates_completed > 20_000);
     // Writes are memtable-cheap: their median must undercut reads'.
     assert!(res.update_latency.value_at_quantile(0.5) < res.read_latency.value_at_quantile(0.5));
+}
+
+#[test]
+fn scenario_library_runs_are_bit_identical_across_repeats_and_thread_counts() {
+    // Every scenario in the library must produce bit-identical RunMetrics
+    // summaries (the fingerprint hashes every percentile, the f64 mean and
+    // throughput by bits, and the kernel event counts) across repeated
+    // runs AND across `run_all` fan-out thread counts (1 vs 4).
+    use c3::scenarios::ScenarioRegistry;
+
+    let reg = ScenarioRegistry::with_defaults();
+    let names = reg.names();
+    let strategies = [Strategy::c3(), Strategy::lor()];
+    let seeds = [1u64, 2];
+    let sweep = |threads: usize| -> Vec<u64> {
+        reg.sweep(&names, &strategies, &seeds, 3_000, threads)
+            .into_iter()
+            .map(|r| r.expect("all cells supported").fingerprint())
+            .collect()
+    };
+    let serial = sweep(1);
+    assert_eq!(serial.len(), names.len() * strategies.len() * seeds.len());
+    assert_eq!(serial, sweep(4), "thread count must not change results");
+    assert_eq!(serial, sweep(1), "repeated runs must be bit-identical");
+}
+
+#[test]
+fn parallel_run_all_matches_serial_for_the_simulator() {
+    // The engine-level fan-out applied to a real frontend: per-seed §6
+    // runs through `ScenarioRunner::run_all` are bit-identical whether
+    // computed on one thread or four.
+    use c3::engine::ScenarioRunner;
+
+    let job = |runner: c3::engine::ScenarioRunner| {
+        let mut cfg = sim_cfg(Strategy::c3());
+        cfg.total_requests = 5_000;
+        cfg.seed = runner.seeds().seed();
+        let res = Simulation::new(cfg).run();
+        (
+            res.seed,
+            res.events_processed,
+            res.summary().p99_ns,
+            res.summary().mean_ns.to_bits(),
+        )
+    };
+    let seeds = [5u64, 6, 7, 8];
+    let serial = ScenarioRunner::run_all(&seeds, 1, job);
+    let parallel = ScenarioRunner::run_all(&seeds, 4, job);
+    assert_eq!(serial, parallel);
 }
 
 #[test]

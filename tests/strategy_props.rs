@@ -1,0 +1,162 @@
+//! Property tests over the strategy registry (via the proptest shim):
+//! every registered name resolves, resolution is case-stable, and two
+//! selectors built from the same name behave identically on a shared
+//! replay trace.
+
+use c3::core::{C3Config, Feedback, Nanos, ReplicaSelector, ResponseInfo, Selection};
+use c3::engine::{BuiltSelector, SelectorCtx, Strategy, StrategyRegistry};
+// The canonical full registry (engine defaults + cluster-registered DS) —
+// the same table every scenario resolves against.
+use c3::scenarios::scenario_registry as full_registry;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SERVERS: usize = 6;
+
+fn ctx(seed: u64) -> SelectorCtx {
+    SelectorCtx {
+        servers: SERVERS,
+        c3: C3Config::for_clients(10),
+        seed,
+        now: Nanos::ZERO,
+    }
+}
+
+/// One step of a replay trace, as observed by the driver.
+#[derive(Debug, PartialEq)]
+enum Decision {
+    Sent(usize),
+    Backpressure(Nanos),
+}
+
+/// Drive a selector through a deterministic trace derived from
+/// `trace_seed`: rotating replica groups, per-step response times and
+/// piggybacked feedback. Returns the full decision sequence.
+fn replay(selector: &mut dyn ReplicaSelector, steps: usize, trace_seed: u64) -> Vec<Decision> {
+    let mut rng = SmallRng::seed_from_u64(trace_seed);
+    let mut decisions = Vec::with_capacity(steps);
+    for step in 0..steps {
+        let now = Nanos::from_micros(500 * (step as u64 + 1));
+        let g = rng.gen_range(0..SERVERS);
+        let group: Vec<usize> = (0..3).map(|k| (g + k) % SERVERS).collect();
+        match selector.select(&group, now) {
+            Selection::Server(server) => {
+                decisions.push(Decision::Sent(server));
+                selector.on_send(server, now);
+                let feedback = Feedback::new(
+                    rng.gen_range(0u32..12),
+                    Nanos::from_micros(rng.gen_range(200u64..8_000)),
+                );
+                let response_time = Nanos::from_micros(rng.gen_range(300u64..20_000));
+                selector.on_response(
+                    server,
+                    &ResponseInfo {
+                        response_time,
+                        feedback: Some(feedback),
+                    },
+                    now,
+                );
+            }
+            Selection::Backpressure { retry_at } => {
+                decisions.push(Decision::Backpressure(retry_at));
+                // Draw the same amount of randomness as the sent path so
+                // later steps stay aligned across replicas of the trace.
+                let _ = rng.gen_range(0u32..12);
+                let _ = rng.gen_range(200u64..8_000);
+                let _ = rng.gen_range(300u64..20_000);
+            }
+        }
+    }
+    decisions
+}
+
+/// Registered names, plus a few members of the dynamic `C3-b{n}` family
+/// the registry resolves without registration.
+fn all_names(reg: &StrategyRegistry) -> Vec<String> {
+    let mut names: Vec<String> = reg.names().into_iter().map(String::from).collect();
+    names.extend(["C3-b1", "C3-b2", "C3-b4"].map(String::from));
+    names
+}
+
+proptest! {
+    /// Every name in the registry resolves — client-local strategies to a
+    /// working selector, the simulator-global `ORA` to the Oracle marker —
+    /// and `contains` agrees with `build`.
+    #[test]
+    fn every_registered_name_resolves(seed in 0u64..1_000) {
+        let reg = full_registry();
+        for name in all_names(&reg) {
+            let strategy = Strategy::named(name.clone());
+            prop_assert!(reg.contains(&strategy), "{name} not contained");
+            match reg.build(&strategy, &ctx(seed)) {
+                Ok(BuiltSelector::Selector(s)) => {
+                    prop_assert!(!s.name().is_empty(), "{name} has no label");
+                }
+                Ok(BuiltSelector::Oracle) => {
+                    prop_assert!(strategy.is_oracle(), "only ORA may be global: {name}");
+                }
+                Err(e) => prop_assert!(false, "{name} failed to build: {e}"),
+            }
+        }
+    }
+
+    /// Resolution is case-stable: a name round-trips through
+    /// `Strategy::named` unchanged, repeated lookups agree, and no two
+    /// registered names collide when case is folded — so a name is never
+    /// one case-flip away from silently resolving to a different strategy.
+    #[test]
+    fn resolution_is_case_stable(seed in 0u64..1_000) {
+        let reg = full_registry();
+        let names = all_names(&reg);
+        for name in &names {
+            let a = Strategy::named(name.clone());
+            let b = Strategy::named(name.to_string());
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(a.name(), name.as_str());
+            prop_assert_eq!(a.label(), name.as_str());
+            prop_assert_eq!(reg.contains(&a), reg.contains(&b));
+            let built_twice = (
+                reg.build(&a, &ctx(seed)).is_ok(),
+                reg.build(&b, &ctx(seed)).is_ok(),
+            );
+            prop_assert_eq!(built_twice.0, built_twice.1);
+        }
+        for (i, x) in names.iter().enumerate() {
+            for y in &names[i + 1..] {
+                prop_assert!(
+                    x.to_lowercase() != y.to_lowercase(),
+                    "names {x:?} and {y:?} collide under case folding"
+                );
+            }
+        }
+    }
+
+    /// Two selectors built from the same name (and the same client seed)
+    /// make identical choices on a shared replay trace — resolution has no
+    /// hidden per-build state.
+    #[test]
+    fn same_name_same_choices_on_shared_trace(
+        seed in 0u64..10_000,
+        trace_seed in 0u64..10_000,
+        steps in 1usize..200,
+    ) {
+        let reg = full_registry();
+        for name in all_names(&reg) {
+            let strategy = Strategy::named(name.clone());
+            let build = || reg.build(&strategy, &ctx(seed)).expect("resolves");
+            let (first, second) = (build(), build());
+            let (mut first, mut second) = match (first, second) {
+                (BuiltSelector::Selector(a), BuiltSelector::Selector(b)) => (a, b),
+                (BuiltSelector::Oracle, BuiltSelector::Oracle) => continue,
+                _ => {
+                    prop_assert!(false, "{name} resolved to different kinds");
+                    unreachable!()
+                }
+            };
+            let a = replay(first.as_mut(), steps, trace_seed);
+            let b = replay(second.as_mut(), steps, trace_seed);
+            prop_assert_eq!(a, b, "{} diverged on the shared trace", name);
+        }
+    }
+}
