@@ -5,5 +5,7 @@ use c3_bench::scenario_experiments;
 use c3_bench::support::Scale;
 
 fn main() {
-    scenario_experiments::scenario_matrix(Scale::from_env());
+    let scale = Scale::from_env();
+    scenario_experiments::scenario_matrix(scale);
+    scenario_experiments::multi_tenant_fairness(scale);
 }

@@ -8,7 +8,9 @@ use c3_core::Nanos;
 use c3_metrics::{moving_median, ns_to_ms, Ecdf, RunSet, Table};
 use c3_workload::WorkloadMix;
 
-use crate::support::{across_seeds, banner, runs_from_env, Scale};
+use c3_engine::fan_out;
+
+use crate::support::{banner, fan_out_threads, runs_from_env, Scale};
 
 fn base_cfg(strategy: Strategy, mix: WorkloadMix, scale: Scale, seed: u64) -> ClusterConfig {
     ClusterConfig {
@@ -136,16 +138,22 @@ pub fn fig06_fig07(scale: Scale) {
             let mut p95 = RunSet::new();
             let mut p99 = RunSet::new();
             let mut p999 = RunSet::new();
-            let thr = across_seeds(runs, |seed| {
+            let mut thr = RunSet::new();
+            // Seeds run in parallel (pure per-seed jobs, results in seed
+            // order); the RunSets aggregate afterwards.
+            let per_seed = fan_out(runs as usize, fan_out_threads(), |i| {
+                let seed = i as u64 + 1;
                 let res = Cluster::new(base_cfg(strategy.clone(), mix, scale, seed)).run();
-                let s = res.summary();
+                (res.summary(), res.read_throughput())
+            });
+            for (s, throughput) in per_seed {
                 mean.push(s.mean_ms());
                 median.push(s.metric_ms("median"));
                 p95.push(s.metric_ms("p95"));
                 p99.push(s.metric_ms("p99"));
                 p999.push(s.metric_ms("p999"));
-                res.read_throughput()
-            });
+                thr.push(throughput);
+            }
             let gap = p999.mean() - median.mean();
             tail_gap.push(gap);
             lat_table.row(vec![

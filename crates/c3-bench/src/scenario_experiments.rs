@@ -9,15 +9,12 @@
 use c3_metrics::Table;
 use c3_scenarios::{scenario_registry, ScenarioError, ScenarioRegistry, ScenarioReport};
 
-use crate::support::{banner, runs_from_env, Scale};
+use crate::support::{banner, fan_out_threads, runs_from_env, Scale};
 
 /// Worker threads for scenario sweeps: the machine's parallelism, capped
 /// so CI runners are not oversubscribed. Results do not depend on this.
 pub fn sweep_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
+    fan_out_threads()
 }
 
 /// The strategy × scenario matrix. Every name in the strategy registry is
@@ -91,6 +88,67 @@ pub fn scenario_matrix(scale: Scale) {
          dark nodes. Instantaneous-queue baselines (LOR, P2C) stay\n\
          competitive when stragglers are transient; the asserted\n\
          comparisons live in the claims tier (tests/claims.rs)."
+    );
+}
+
+/// Multi-tenant fairness: who pays the tail for sharing the fleet?
+///
+/// For each strategy, runs the shared multi-tenant scenario plus one
+/// isolation baseline per tenant (the tenant alone at its own arrival
+/// rate) and reports each tenant's slowdown-vs-isolated p99 factor and
+/// the Jain fairness index over those factors (1.0 = everyone pays the
+/// same relative price; 1/n = one tenant absorbs all the interference).
+pub fn multi_tenant_fairness(scale: Scale) {
+    use c3_engine::Strategy;
+    use c3_scenarios::{run_multi_tenant, run_multi_tenant_isolated, MultiTenantConfig};
+
+    banner(
+        "SC-F",
+        "multi-tenant fairness: slowdown vs isolated + Jain index",
+    );
+    let strategies = [
+        Strategy::c3(),
+        Strategy::dynamic_snitching(),
+        Strategy::lor(),
+    ];
+    let ops = scale.scenario_ops();
+    let registry = scenario_registry();
+    let base = MultiTenantConfig {
+        total_requests: ops,
+        warmup_requests: ops / 20,
+        ..MultiTenantConfig::default()
+    };
+    let tenant_names: Vec<String> = base.tenants.iter().map(|t| t.name.clone()).collect();
+    let mut header = vec!["strategy".to_string()];
+    header.extend(tenant_names.iter().map(|n| format!("{n} slowdown")));
+    header.push("Jain index".to_string());
+    let mut table = Table::new(header);
+
+    // One fan-out cell per strategy (each cell runs shared + isolated
+    // baselines serially; the strategies are independent).
+    let rows = c3_engine::fan_out(strategies.len(), sweep_threads(), |i| {
+        let cfg = MultiTenantConfig {
+            strategy: strategies[i].clone(),
+            ..base.clone()
+        };
+        let shared = run_multi_tenant(cfg.clone(), &registry);
+        let isolated = run_multi_tenant_isolated(&cfg, &registry);
+        let slowdowns = shared.slowdown_vs_isolated(&isolated);
+        let jain = shared.jain_fairness(&isolated);
+        (slowdowns, jain)
+    });
+    for (strategy, (slowdowns, jain)) in strategies.iter().zip(rows) {
+        let mut row = vec![strategy.label().to_string()];
+        row.extend(slowdowns.iter().map(|(_, f)| format!("{f:.2}x")));
+        row.push(format!("{jain:.3}"));
+        table.row(row);
+    }
+    println!("{table}");
+    println!(
+        "Reading: factors near 1x mean sharing was nearly free for that\n\
+         tenant; a high Jain index with low factors is the ideal. C3's\n\
+         queue-aware ranking should spread the interference cost more\n\
+         evenly than DS's interval-frozen scores."
     );
 }
 

@@ -6,6 +6,7 @@
 //!   operation counts (slower by ~20×),
 //! - `C3_RUNS`: repetitions per configuration (default 3; the paper uses 5).
 
+use c3_engine::fan_out;
 use c3_metrics::RunSet;
 
 /// Operation-count scale for the experiments.
@@ -62,11 +63,24 @@ pub fn runs_from_env() -> u64 {
         .unwrap_or(3)
 }
 
-/// Run `f` once per seed and aggregate a named scalar metric across runs.
-pub fn across_seeds(runs: u64, mut f: impl FnMut(u64) -> f64) -> RunSet {
+/// Worker threads for seed fan-outs: the machine's parallelism, capped so
+/// CI runners are not oversubscribed. Results do not depend on this.
+pub fn fan_out_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Run `f` once per seed (seeds `1..=runs`, fanned out over worker
+/// threads via the engine's `fan_out`) and aggregate a scalar metric
+/// across runs. Each per-seed run is a pure function of its seed, so the
+/// aggregate is bit-identical to the old serial loop for any thread
+/// count — `fan_out` returns results in seed order.
+pub fn across_seeds(runs: u64, f: impl Fn(u64) -> f64 + Sync) -> RunSet {
     let mut set = RunSet::new();
-    for seed in 1..=runs {
-        set.push(f(seed));
+    for value in fan_out(runs as usize, fan_out_threads(), |i| f(i as u64 + 1)) {
+        set.push(value);
     }
     set
 }

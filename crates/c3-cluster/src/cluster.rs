@@ -131,7 +131,9 @@ struct NodeState {
 struct Coordinator {
     selector: Box<dyn ReplicaSelector>,
     backlogs: Vec<BacklogQueue<OpId>>,
-    retry_scheduled: Vec<bool>,
+    /// Pending `RetryBacklog` timer per replica group, cancelled when a
+    /// response drains the backlog first (so no dead retry events fire).
+    retry_timer: Vec<Option<TimerId>>,
     /// Coordinator-observed replica read latencies (speculative-retry
     /// threshold source).
     replica_latency: LogHistogram,
@@ -165,7 +167,12 @@ pub struct ClusterResult {
     /// completed. Completion cancels the timer, so this stays zero; the
     /// field exists to prove that regression-style.
     pub dead_spec_checks: u64,
-    /// Timers (speculative-retry checks) cancelled before firing.
+    /// `RetryBacklog` events that fired against an already-drained
+    /// backlog. Draining cancels the pending timer, so this stays zero;
+    /// the field exists to prove that regression-style.
+    pub dead_retries: u64,
+    /// Timers cancelled before firing: speculative-retry checks cancelled
+    /// on op completion plus backlog-retry timers cancelled on drain.
     pub events_cancelled: u64,
     /// Optional `(time, read latency)` trace (Figure 11).
     pub latency_trace: Vec<(Nanos, Nanos)>,
@@ -173,6 +180,9 @@ pub struct ClusterResult {
     pub rate_traces: Vec<GaugeSeries>,
     /// Times at which probed coordinators entered backpressure.
     pub backpressure_events: Vec<Vec<Nanos>>,
+    /// `(time, per-node C3 scores)` of the probed coordinator (sim-vs-live
+    /// parity harness); empty unless a score probe was installed.
+    pub score_trace: Vec<(Nanos, Vec<f64>)>,
     /// Events processed (diagnostics).
     pub events_processed: u64,
 }
@@ -225,11 +235,18 @@ pub struct ClusterScenario {
     issued: u64,
     spec_retries: u64,
     dead_spec_checks: u64,
+    dead_retries: u64,
     latency_trace: Vec<(Nanos, Nanos)>,
     record_trace: bool,
     probes: Vec<(usize, usize)>,
     rate_traces: Vec<GaugeSeries>,
     backpressure_events: Vec<Vec<Nanos>>,
+    /// Coordinator whose per-replica C3 scores are sampled (sim-vs-live
+    /// parity harness).
+    score_probe: Option<usize>,
+    score_trace: Vec<(Nanos, Vec<f64>)>,
+    score_interval: Nanos,
+    last_score_sample: Option<Nanos>,
     /// Scratch for the per-response backlog drain (avoids allocation).
     drain_scratch: Vec<usize>,
 }
@@ -302,7 +319,7 @@ impl ClusterScenario {
                 Coordinator {
                     selector,
                     backlogs: (0..cfg.nodes).map(|_| BacklogQueue::new()).collect(),
-                    retry_scheduled: vec![false; cfg.nodes],
+                    retry_timer: vec![None; cfg.nodes],
                     replica_latency: LogHistogram::new(),
                 }
             })
@@ -342,11 +359,16 @@ impl ClusterScenario {
             issued: 0,
             spec_retries: 0,
             dead_spec_checks: 0,
+            dead_retries: 0,
             latency_trace: Vec::new(),
             record_trace: false,
             probes: Vec::new(),
             rate_traces: Vec::new(),
             backpressure_events: Vec::new(),
+            score_probe: None,
+            score_trace: Vec::new(),
+            score_interval: Nanos::from_millis(50),
+            last_score_sample: None,
             drain_scratch: Vec::new(),
             wl_rng,
             cfg,
@@ -361,6 +383,15 @@ impl ClusterScenario {
     /// Record `(time, latency)` pairs for every completed read (Figure 11).
     pub fn set_latency_trace(&mut self) {
         self.record_trace = true;
+    }
+
+    /// Sample coordinator `coord`'s per-replica C3 scores (throttled to
+    /// one sample per 50 ms of simulated time) into a `(time, scores)`
+    /// trace. Only meaningful for C3-family runs; the sim-vs-live parity
+    /// harness compares these rankings against the socket backend's.
+    pub fn set_score_probe(&mut self, coord: usize) {
+        assert!(coord < self.cfg.nodes, "probe out of range");
+        self.score_probe = Some(coord);
     }
 
     /// Install sending-rate probes: `(coordinator, target node)` pairs
@@ -401,12 +432,21 @@ impl ClusterScenario {
             backpressure_activations: backpressure,
             speculative_retries: self.spec_retries,
             dead_spec_checks: self.dead_spec_checks,
+            dead_retries: self.dead_retries,
             events_cancelled: stats.events_cancelled,
             latency_trace: self.latency_trace,
             rate_traces: self.rate_traces,
             backpressure_events: self.backpressure_events,
+            score_trace: self.score_trace,
             events_processed: stats.events_processed,
         }
+    }
+
+    /// Events that fired with nothing left to do (completed op, drained
+    /// backlog). Both sources are cancelled at their trigger, so this is
+    /// zero on every scenario — asserted regression-style.
+    pub fn dead_events(&self) -> u64 {
+        self.dead_spec_checks + self.dead_retries
     }
 
     // ---- client side -----------------------------------------------------
@@ -514,16 +554,16 @@ impl ClusterScenario {
                 let coord = &mut self.coords[coord_id];
                 coord.backlogs[group_id].push(op_id);
                 let entered_backpressure = coord.backlogs[group_id].len() == 1;
-                if !coord.retry_scheduled[group_id] {
-                    coord.retry_scheduled[group_id] = true;
+                if coord.retry_timer[group_id].is_none() {
                     let at = retry_at.max(now + Nanos(1));
-                    engine.schedule(
+                    let timer = engine.schedule(
                         at,
                         Ev::RetryBacklog {
                             coord: coord_id,
                             group: group_id,
                         },
                     );
+                    coord.retry_timer[group_id] = Some(timer);
                 }
                 if entered_backpressure {
                     for (i, &(pc, _)) in self.probes.iter().enumerate() {
@@ -756,6 +796,22 @@ impl ClusterScenario {
             }
         }
 
+        // Sample the score probe after the tracker EWMAs updated (one
+        // sample per interval, so traces stay small at any run length).
+        if self.score_probe == Some(coord_id)
+            && self
+                .last_score_sample
+                .is_none_or(|last| now.saturating_sub(last) >= self.score_interval)
+        {
+            if let Some(c3) = self.coords[coord_id].selector.as_c3() {
+                let scores: Vec<f64> = (0..self.cfg.nodes)
+                    .map(|n| c3.state().score_of(n))
+                    .collect();
+                self.score_trace.push((now, scores));
+                self.last_score_sample = Some(now);
+            }
+        }
+
         // Completion semantics: reads complete on the primary (or any
         // speculative duplicate); writes complete on the first ack.
         let completes = if send.is_write {
@@ -782,7 +838,7 @@ impl ClusterScenario {
         groups.extend(self.ring.groups_of_node(node));
         for &group_id in &groups {
             if !self.coords[coord_id].backlogs[group_id].is_empty() {
-                self.on_retry(coord_id, group_id, now, engine);
+                self.on_retry(coord_id, group_id, now, engine, false);
             }
         }
         self.drain_scratch = groups;
@@ -794,8 +850,22 @@ impl ClusterScenario {
         group_id: usize,
         now: Nanos,
         engine: &mut EventQueue<Ev>,
+        from_timer: bool,
     ) {
-        self.coords[coord_id].retry_scheduled[group_id] = false;
+        if from_timer {
+            // The timer owning this event has fired; forget its handle.
+            self.coords[coord_id].retry_timer[group_id] = None;
+            if self.coords[coord_id].backlogs[group_id].is_empty() {
+                // Unreachable since draining cancels the timer; counted so
+                // a regression back to fire-and-filter is visible.
+                self.dead_retries += 1;
+                return;
+            }
+        } else if let Some(timer) = self.coords[coord_id].retry_timer[group_id].take() {
+            // A response beat the retry timer to this backlog: the drain
+            // below supersedes it, so the timer must not fire dead.
+            engine.cancel(timer);
+        }
         loop {
             let Some(&op_id) = self.coords[coord_id].backlogs[group_id].peek() else {
                 return;
@@ -818,16 +888,16 @@ impl ClusterScenario {
                 }
                 Selection::Backpressure { retry_at } => {
                     let coord = &mut self.coords[coord_id];
-                    if !coord.retry_scheduled[group_id] {
-                        coord.retry_scheduled[group_id] = true;
+                    if coord.retry_timer[group_id].is_none() {
                         let at = retry_at.max(now + Nanos(1));
-                        engine.schedule(
+                        let timer = engine.schedule(
                             at,
                             Ev::RetryBacklog {
                                 coord: coord_id,
                                 group: group_id,
                             },
                         );
+                        coord.retry_timer[group_id] = Some(timer);
                     }
                     return;
                 }
@@ -957,7 +1027,7 @@ impl Scenario for ClusterScenario {
             Ev::GossipTick => self.on_gossip(now, engine),
             Ev::SnitchTick => self.on_snitch_tick(now, engine),
             Ev::PerturbStart { node, kind } => self.on_perturb_start(node, kind, now, engine),
-            Ev::RetryBacklog { coord, group } => self.on_retry(coord, group, now, engine),
+            Ev::RetryBacklog { coord, group } => self.on_retry(coord, group, now, engine, true),
             Ev::SpecCheck { op } => self.on_spec_check(op, now, engine),
             Ev::PhaseStart => self.on_phase_start(now, engine),
         }
@@ -1000,6 +1070,13 @@ impl Cluster {
     /// (Figure 13). Only meaningful for C3 runs.
     pub fn with_rate_probes(mut self, probes: Vec<(usize, usize)>) -> Self {
         self.scenario.set_rate_probes(probes);
+        self
+    }
+
+    /// Sample one coordinator's per-replica C3 scores into
+    /// `ClusterResult::score_trace` (sim-vs-live parity harness).
+    pub fn with_score_probe(mut self, coord: usize) -> Self {
+        self.scenario.set_score_probe(coord);
         self
     }
 
@@ -1116,6 +1193,41 @@ mod tests {
         assert_eq!(res.rate_traces.len(), 2);
         assert!(!res.rate_traces[0].is_empty());
         assert!(!res.rate_traces[1].is_empty());
+    }
+
+    #[test]
+    fn score_probe_traces_every_node_throttled() {
+        let res = Cluster::new(small(Strategy::c3()))
+            .with_score_probe(0)
+            .run();
+        assert!(!res.score_trace.is_empty(), "probe must sample");
+        for (_, scores) in &res.score_trace {
+            assert_eq!(scores.len(), 9, "one score per node");
+        }
+        // Throttle: consecutive samples at least 50 ms of sim time apart.
+        for w in res.score_trace.windows(2) {
+            assert!(w[1].0.saturating_sub(w[0].0) >= Nanos::from_millis(50));
+        }
+    }
+
+    #[test]
+    fn drained_backlogs_cancel_their_retry_timers() {
+        // Constrain C3's rate so backpressure (and thus RetryBacklog
+        // timers) actually occurs, then assert that no timer ever fires
+        // against a drained backlog: response-driven drains must cancel
+        // the pending timer rather than let it surface as a dead event.
+        let mut cfg = small(Strategy::c3());
+        cfg.c3.initial_rate = 4.0;
+        cfg.c3.smax = 0.5;
+        let res = Cluster::new(cfg).run();
+        assert!(
+            res.backpressure_activations > 0,
+            "rate cap must bind for this regression test to bite"
+        );
+        assert_eq!(
+            res.dead_retries, 0,
+            "no RetryBacklog may fire on a drained backlog"
+        );
     }
 
     #[test]

@@ -81,5 +81,5 @@ pub use rate::{cubic_rate, RateLimiter, RatePhase, RateStats};
 pub use scheduler::{BacklogQueue, C3State, SendDecision, ServerId};
 pub use score::{queue_size_estimate, rank_by_score, score};
 pub use selector::{C3Selector, ReplicaSelector, ResponseInfo, Selection};
-pub use time::Nanos;
+pub use time::{Clock, Nanos, WallClock};
 pub use tracker::{ServerTracker, TrackerSnapshot};

@@ -30,7 +30,11 @@ pub struct ResponseInfo {
 /// [`ReplicaSelector::on_response`] / [`ReplicaSelector::on_abandoned`].
 /// On `Selection::Backpressure` the driver must hold the request and retry
 /// at `retry_at` or when any response arrives.
-pub trait ReplicaSelector {
+///
+/// Selectors are `Send`: the live socket client shares one selector
+/// across worker threads behind a mutex, and every implementation is
+/// plain data (trackers, limiters, small RNGs).
+pub trait ReplicaSelector: Send {
     /// Choose a server from `group` for the next request.
     fn select(&mut self, group: &[ServerId], now: Nanos) -> Selection;
 

@@ -116,6 +116,52 @@ impl From<Nanos> for Duration {
     }
 }
 
+/// A source of "now" for drivers that cannot (or should not) thread an
+/// explicit timestamp through every call site.
+///
+/// The algorithm itself stays clock-free — every `c3-core` entry point
+/// still takes `Nanos` — but a *driver* needs to produce those values
+/// from somewhere: the simulators read their event-queue clock, while the
+/// live socket backend (`c3-live`) reads a [`WallClock`] anchored at run
+/// start. Both yield "nanoseconds since run start", so scripted slowdown
+/// timelines and score trajectories line up between sim and live runs.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds elapsed since this clock's origin.
+    fn now(&self) -> Nanos;
+}
+
+/// Monotonic wall-clock time since construction (or an explicit anchor).
+///
+/// Thread-safe and cheap: every reader shares the same `Instant` origin,
+/// so timestamps from different threads are mutually ordered the same way
+/// the simulators' single event clock orders them.
+#[derive(Clone, Copy, Debug)]
+pub struct WallClock {
+    origin: std::time::Instant,
+}
+
+impl WallClock {
+    /// A clock whose zero is "now". Copies share the origin, which is
+    /// how the live backend keeps many threads on one timeline.
+    pub fn start() -> Self {
+        Self {
+            origin: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Nanos {
+        self.origin.elapsed().into()
+    }
+}
+
 impl fmt::Display for Nanos {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.0 >= 1_000_000_000 {
@@ -178,5 +224,28 @@ mod tests {
     fn ordering_is_numeric() {
         assert!(Nanos::from_millis(1) < Nanos::from_millis(2));
         assert!(Nanos::MAX > Nanos::from_secs(1_000_000));
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic_from_zero() {
+        let clock = WallClock::start();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+        assert!(a < Nanos::from_secs(60), "origin anchors at construction");
+    }
+
+    #[test]
+    fn wall_clock_copies_share_the_origin() {
+        let clock = WallClock::start();
+        let copy = clock;
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let a = clock.now();
+        let b = copy.now();
+        // Same origin: the two readings differ only by the time between
+        // the calls, never by a fresh anchor.
+        assert!(b >= a && b.saturating_sub(a) < Nanos::from_secs(1));
+        let dyn_clock: &dyn Clock = &clock;
+        assert!(dyn_clock.now() >= b);
     }
 }

@@ -1,0 +1,359 @@
+//! The threaded C3 client: closed-loop workers over blocking connection
+//! pools, one *shared* replica selector driving every send.
+//!
+//! The selector is exactly the `c3-core` machinery the simulators run —
+//! cubic scoring, CUBIC rate control, backpressure — built through the
+//! same strategy registry, fed wall-clock `Nanos` from the run's shared
+//! [`WallClock`]. Workers serialize briefly on the selector mutex around
+//! `select`/`on_response` (microseconds against millisecond service
+//! times), which mirrors the paper's single scheduler actor per client.
+//!
+//! On `Backpressure` a worker sleeps until the returned token time and
+//! retries — the live analogue of the simulators' backlog queues — and
+//! the waiting time lands in the recorded latency, as it does in the sim.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use bytes::{Bytes, BytesMut};
+use c3_cluster::{register_cluster_strategies, SnitchSelector};
+use c3_core::{Clock, Nanos, ReplicaSelector, ResponseInfo, Selection, WallClock};
+use c3_engine::{SeedSeq, SelectorCtx, StrategyRegistry};
+use c3_net::proto::{Frame, Request};
+use c3_workload::{PoissonArrivals, ScrambledZipfian};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::LiveConfig;
+use crate::server::{encode_key, LiveCluster};
+use crate::slowdown::SlowdownScript;
+use crate::wire::{read_frame, write_request};
+
+/// One completed operation, as the metrics replay sees it.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Sample {
+    pub issue_index: u64,
+    /// `true` = GET (read channel), `false` = PUT (update channel).
+    pub is_read: bool,
+    pub completed_at: Nanos,
+    pub latency: Nanos,
+    pub replica: usize,
+}
+
+/// Everything a live run produces besides the uniform report.
+pub(crate) struct ClientArtifacts {
+    pub samples: Vec<Sample>,
+    pub score_trace: Vec<(Nanos, Vec<f64>)>,
+    pub backpressure_waits: u64,
+    pub issued: u64,
+}
+
+/// Selector state shared by every worker (and the DS ticker).
+struct SelectorState {
+    selector: Box<dyn ReplicaSelector>,
+    last_score_sample: Option<Nanos>,
+    score_trace: Vec<(Nanos, Vec<f64>)>,
+    backpressure_waits: u64,
+}
+
+/// The strategy registry live runs resolve against: the engine defaults
+/// plus Dynamic Snitching with this run's snitch parameters.
+pub fn live_strategy_registry(cfg: &LiveConfig) -> StrategyRegistry {
+    let mut registry = StrategyRegistry::with_defaults();
+    register_cluster_strategies(&mut registry, cfg.snitch);
+    registry
+}
+
+/// Spawn the fleet, run the closed-loop workers to the configured stop
+/// condition, tear everything down, and hand back the raw artifacts.
+///
+/// # Panics
+///
+/// Panics when the strategy is unknown or needs simulator-global state
+/// this backend cannot provide (`ORA`) — mirroring the §5 cluster.
+pub(crate) fn execute(cfg: &LiveConfig) -> io::Result<ClientArtifacts> {
+    cfg.validate();
+    let clock = WallClock::start();
+    let cluster = LiveCluster::spawn(
+        cfg,
+        SlowdownScript::new(cfg.scripted.clone()).into_hook(),
+        clock,
+    )?;
+
+    let registry = live_strategy_registry(cfg);
+    let seeds = SeedSeq::new(cfg.seed);
+    let mut c3 = cfg.c3;
+    // All workers share one selector, so its outstanding counts are
+    // already the client's global concurrency: w = 1.
+    c3.concurrency_weight = 1.0;
+    let ctx = SelectorCtx {
+        servers: cfg.replicas,
+        c3,
+        seed: seeds.client_seed(0),
+        now: Nanos::ZERO,
+    };
+    let selector = registry
+        .build(&cfg.strategy, &ctx)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .expect_selector(&cfg.strategy);
+    let is_ds = cfg.strategy.name() == "DS";
+    let shared = Arc::new(Mutex::new(SelectorState {
+        selector,
+        last_score_sample: None,
+        score_trace: Vec::new(),
+        backpressure_waits: 0,
+    }));
+
+    let issued = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let key_template = ScrambledZipfian::new(cfg.keys, cfg.keys, cfg.zipf_theta);
+    let addrs: Arc<Vec<_>> = Arc::new(cluster.addrs().to_vec());
+
+    // Dynamic Snitching gets its periodic recompute from a ticker thread
+    // (the cluster delivers the same through gossip/snitch tick events).
+    let ticker = is_ds.then(|| {
+        let shared = Arc::clone(&shared);
+        let stop = Arc::clone(&stop);
+        let interval: Nanos = cfg.snitch.update_interval;
+        let replicas = cfg.replicas;
+        std::thread::spawn(move || {
+            // Sleep in short slices for stop responsiveness, but hold the
+            // *recompute cadence* to the configured update interval — the
+            // sim's SnitchTick fires exactly that often, and the parity
+            // comparison assumes live DS is no better informed.
+            let mut last_recompute = Nanos::ZERO;
+            while !stop.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(10).min(interval.into()));
+                let now = clock.now();
+                if now.saturating_sub(last_recompute) < interval {
+                    continue;
+                }
+                last_recompute = now;
+                let mut state = shared.lock().expect("selector poisoned");
+                if let Some(snitch) = state
+                    .selector
+                    .as_any_mut()
+                    .and_then(|any| any.downcast_mut::<SnitchSelector>())
+                {
+                    for peer in 0..replicas {
+                        // Loopback replicas idle at baseline iowait; the
+                        // latency reservoir carries the signal, as in the
+                        // multi-tenant frontend.
+                        snitch.snitch_mut().record_iowait(peer, 0.02);
+                    }
+                    snitch.snitch_mut().recompute(now);
+                }
+            }
+        })
+    });
+
+    let workers: Vec<_> = (0..cfg.threads)
+        .map(|w| {
+            let cfg = cfg.clone();
+            let addrs = Arc::clone(&addrs);
+            let shared = Arc::clone(&shared);
+            let issued = Arc::clone(&issued);
+            let keys = key_template.clone();
+            std::thread::spawn(move || worker_loop(w, &cfg, &addrs, clock, &shared, &issued, keys))
+        })
+        .collect();
+
+    let mut samples = Vec::new();
+    let mut first_err = None;
+    for worker in workers {
+        match worker.join().expect("worker panicked") {
+            Ok(mut s) => samples.append(&mut s),
+            Err(e) => first_err = first_err.or(Some(e)),
+        }
+    }
+    stop.store(true, Ordering::Release);
+    if let Some(t) = ticker {
+        let _ = t.join();
+    }
+    cluster.shutdown();
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+
+    // Replay order must be completion order for the metrics' first/last
+    // window; wall timestamps from different threads share one origin.
+    samples.sort_by_key(|s| (s.completed_at, s.issue_index));
+    let state = Arc::try_unwrap(shared)
+        .map_err(|_| "selector still shared")
+        .expect("all workers joined")
+        .into_inner()
+        .expect("selector poisoned");
+    Ok(ClientArtifacts {
+        samples,
+        score_trace: state.score_trace,
+        backpressure_waits: state.backpressure_waits,
+        issued: issued.load(Ordering::Acquire),
+    })
+}
+
+/// One closed-loop worker: issue, select (or wait out backpressure),
+/// send, receive, feed the selector, record — until the deadline or cap.
+fn worker_loop(
+    w: usize,
+    cfg: &LiveConfig,
+    addrs: &[std::net::SocketAddr],
+    clock: WallClock,
+    shared: &Mutex<SelectorState>,
+    issued: &AtomicU64,
+    keys: ScrambledZipfian,
+) -> io::Result<Vec<Sample>> {
+    let deadline: Nanos = Nanos::from(cfg.run_for);
+    let score_interval: Nanos = Nanos::from(cfg.score_sample_every);
+    let mut rng = SmallRng::seed_from_u64(SeedSeq::new(cfg.seed).thread_seed(w as u64));
+    let value = Bytes::from(vec![0x5Au8; cfg.value_bytes as usize]);
+
+    let mut streams = Vec::with_capacity(addrs.len());
+    let mut bufs = Vec::with_capacity(addrs.len());
+    for addr in addrs {
+        let stream = std::net::TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        streams.push(stream);
+        bufs.push(BytesMut::new());
+    }
+
+    // Quasi-open loop: this worker's own Poisson arrival schedule. The
+    // intended arrival time is the latency epoch, so lag a slow replica
+    // inflicts on the worker is charged to the strategy (no coordinated
+    // omission).
+    let mut arrivals = cfg
+        .offered_rate
+        .map(|rate| PoissonArrivals::new(rate / cfg.threads as f64));
+    let mut next_arrival = Nanos::ZERO;
+
+    let mut samples = Vec::new();
+    let mut next_id = (w as u64) << 48;
+    loop {
+        if clock.now() >= deadline {
+            break;
+        }
+        if let Some(arrivals) = arrivals.as_mut() {
+            next_arrival += arrivals.next_gap(&mut rng);
+            let now = clock.now();
+            if next_arrival > now {
+                std::thread::sleep((next_arrival - now).into());
+            }
+        }
+        let issue_index = issued.fetch_add(1, Ordering::AcqRel);
+        if issue_index >= cfg.ops_cap {
+            break;
+        }
+        let key = keys.sample(&mut rng);
+        let group = cfg.group_of(key);
+        let is_read = rng.gen_bool(cfg.read_fraction);
+        next_id += 1;
+        let id = next_id;
+        let created = if arrivals.is_some() {
+            next_arrival
+        } else {
+            clock.now()
+        };
+
+        let target = if is_read {
+            // Algorithm 1 under the shared selector; park on backpressure.
+            loop {
+                let now = clock.now();
+                let decision = {
+                    let mut state = shared.lock().expect("selector poisoned");
+                    let decision = state.selector.select(&group, now);
+                    if let Selection::Server(s) = decision {
+                        state.selector.on_send(s, now);
+                    } else {
+                        state.backpressure_waits += 1;
+                    }
+                    decision
+                };
+                match decision {
+                    Selection::Server(s) => break s,
+                    Selection::Backpressure { retry_at } => {
+                        if now >= deadline {
+                            return Ok(samples);
+                        }
+                        let wait = retry_at
+                            .saturating_sub(now)
+                            .max(Nanos::from_micros(100))
+                            .min(Nanos::from_millis(20));
+                        std::thread::sleep(wait.into());
+                    }
+                }
+            }
+        } else {
+            // Writes go to the primary, outside the read selection path
+            // (the paper's selection concerns reads).
+            group[0]
+        };
+
+        let request = if is_read {
+            Request::Get {
+                id,
+                key: encode_key(key),
+            }
+        } else {
+            Request::Put {
+                id,
+                key: encode_key(key),
+                value: value.clone(),
+            }
+        };
+        let sent_at = clock.now();
+        write_request(&mut streams[target], &request)?;
+        let frame = read_frame(&mut streams[target], &mut bufs[target])?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "replica closed mid-run")
+        })?;
+        let Frame::Response(resp) = frame else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "client received a request frame",
+            ));
+        };
+        if resp.id != id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response id {} for request {}", resp.id, id),
+            ));
+        }
+        let now = clock.now();
+
+        if is_read {
+            let mut state = shared.lock().expect("selector poisoned");
+            state.selector.on_response(
+                target,
+                &ResponseInfo {
+                    response_time: now.saturating_sub(sent_at),
+                    feedback: Some(resp.feedback),
+                },
+                now,
+            );
+            // The live half of the parity trace: per-replica scores at a
+            // steady cadence, from whichever worker's response lands past
+            // the sampling interval first.
+            let due = state
+                .last_score_sample
+                .is_none_or(|last| now.saturating_sub(last) >= score_interval);
+            if due {
+                if let Some(c3) = state.selector.as_c3() {
+                    let scores: Vec<f64> =
+                        (0..cfg.replicas).map(|r| c3.state().score_of(r)).collect();
+                    state.score_trace.push((now, scores));
+                    state.last_score_sample = Some(now);
+                }
+            }
+        }
+
+        samples.push(Sample {
+            issue_index,
+            is_read,
+            completed_at: now,
+            latency: now.saturating_sub(created),
+            replica: target,
+        });
+    }
+    Ok(samples)
+}

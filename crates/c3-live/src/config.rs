@@ -1,0 +1,182 @@
+//! Configuration of one live loopback run.
+
+use std::time::Duration;
+
+use c3_cluster::{DiskKind, ScriptedSlowdown, SnitchConfig};
+use c3_core::C3Config;
+use c3_engine::Strategy;
+
+/// Full configuration of one live run: the server fleet, the client, the
+/// workload, and the adverse-condition script.
+///
+/// Live runs measure wall time over real sockets, so unlike the
+/// simulators they are *not* bit-deterministic — the seed pins the
+/// workload (keys, mix draws, service-time samples) but thread and
+/// network scheduling stay the OS's business. The stop condition is
+/// therefore twofold: the run ends at [`LiveConfig::run_for`] of wall
+/// time or after [`LiveConfig::ops_cap`] operations, whichever comes
+/// first.
+#[derive(Clone, Debug)]
+pub struct LiveConfig {
+    /// Replica servers to spawn, each a `TcpListener` on loopback.
+    pub replicas: usize,
+    /// Replica-group size: a key's group is its primary (`key % replicas`)
+    /// plus the next `replication_factor - 1` successors.
+    pub replication_factor: usize,
+    /// Closed-loop client worker threads, each holding one connection per
+    /// replica. All workers share one replica selector.
+    pub threads: usize,
+    /// Distinct keys (Zipfian-chosen).
+    pub keys: u64,
+    /// Zipfian constant of the key distribution.
+    pub zipf_theta: f64,
+    /// Fraction of operations that are GETs; the rest are PUTs to the
+    /// key's primary.
+    pub read_fraction: f64,
+    /// Value size in bytes (PUT payloads; also the transfer size charged
+    /// by the service-time model).
+    pub value_bytes: u32,
+    /// Storage model the replicas emulate (service times are sampled from
+    /// the same `DiskModel` the §5 cluster uses, then slept for real).
+    pub disk: DiskKind,
+    /// Requests a replica executes concurrently; arrivals beyond this
+    /// queue, and the queue depth rides back on every response as C3
+    /// feedback.
+    pub concurrency: usize,
+    /// Replica-selection strategy under test, by registry name.
+    pub strategy: Strategy,
+    /// C3 parameters. `concurrency_weight` is set to 1 internally: all
+    /// workers share one selector, so its outstanding counts are already
+    /// global.
+    pub c3: C3Config,
+    /// Dynamic Snitching parameters (used when `strategy` is `DS`; the
+    /// client runs the snitch's recompute tick on a timer thread).
+    pub snitch: SnitchConfig,
+    /// Offered load in requests/second across all workers. `None` runs
+    /// closed-loop (each worker issues as fast as responses return, like
+    /// the §5 YCSB generators); `Some(rate)` runs quasi-open-loop: each
+    /// worker issues on its own Poisson schedule and latency is measured
+    /// from the *intended* arrival time, so a stalled worker's lag counts
+    /// against the strategy that stalled it (the standard
+    /// coordinated-omission correction). Open loop is what makes two
+    /// strategies' tails comparable — closed loop lets a faster strategy
+    /// raise its own utilization and pay for it at the tail.
+    pub offered_rate: Option<f64>,
+    /// Wall-clock run length.
+    pub run_for: Duration,
+    /// Operations excluded from latency measurement while state warms up
+    /// (by issue index, like the simulators).
+    pub warmup_ops: u64,
+    /// Hard cap on issued operations (`u64::MAX` = run purely on time).
+    pub ops_cap: u64,
+    /// Scripted slowdown windows (`node` indexes replicas; times are wall
+    /// time since run start). The same scripts drive the §5 cluster, so
+    /// sim and live timelines line up for parity checks.
+    pub scripted: Vec<ScriptedSlowdown>,
+    /// Minimum spacing between per-replica score samples of the shared
+    /// C3 selector (the live side of the parity trace).
+    pub score_sample_every: Duration,
+    /// RNG seed for the workload streams.
+    pub seed: u64,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        Self {
+            replicas: 6,
+            replication_factor: 3,
+            threads: 8,
+            keys: 10_000,
+            zipf_theta: 0.99,
+            read_fraction: 0.9,
+            value_bytes: 1024,
+            disk: DiskKind::Ssd,
+            concurrency: 4,
+            strategy: Strategy::c3(),
+            c3: C3Config::default(),
+            snitch: SnitchConfig::default(),
+            offered_rate: None,
+            run_for: Duration::from_millis(1_500),
+            warmup_ops: 500,
+            ops_cap: u64::MAX,
+            scripted: Vec::new(),
+            score_sample_every: Duration::from_millis(50),
+            seed: 1,
+        }
+    }
+}
+
+impl LiveConfig {
+    /// Validate invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a parameter is out of range.
+    pub fn validate(&self) {
+        assert!(self.replicas >= self.replication_factor, "too few replicas");
+        assert!(self.replication_factor >= 1, "need a replica group");
+        assert!(self.threads >= 1, "need client workers");
+        assert!(self.keys > 0, "need keys");
+        assert!(
+            self.zipf_theta > 0.0 && self.zipf_theta < 1.0,
+            "zipf theta must be in (0,1) exclusive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.read_fraction),
+            "read fraction out of range"
+        );
+        assert!(self.value_bytes > 0, "need a value size");
+        assert!(self.concurrency >= 1, "need execution slots");
+        assert!(self.run_for > Duration::ZERO, "need a run length");
+        if let Some(rate) = self.offered_rate {
+            assert!(rate > 0.0, "offered rate must be positive");
+        }
+        assert!(self.ops_cap > self.warmup_ops, "warm-up swallows the run");
+        for s in &self.scripted {
+            assert!(s.node < self.replicas, "scripted slowdown out of range");
+            assert!(s.multiplier >= 1.0, "slowdowns must slow things down");
+        }
+        self.c3.validate();
+    }
+
+    /// The replica group of `key`: primary plus successors.
+    pub fn group_of(&self, key: u64) -> Vec<usize> {
+        let primary = (key % self.replicas as u64) as usize;
+        (0..self.replication_factor)
+            .map(|k| (primary + k) % self.replicas)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        LiveConfig::default().validate();
+    }
+
+    #[test]
+    fn groups_wrap_the_ring() {
+        let cfg = LiveConfig::default();
+        assert_eq!(cfg.group_of(0), vec![0, 1, 2]);
+        assert_eq!(cfg.group_of(5), vec![5, 0, 1]);
+        assert_eq!(cfg.group_of(17), vec![5, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn scripted_nodes_must_exist() {
+        let cfg = LiveConfig {
+            scripted: vec![ScriptedSlowdown {
+                node: 99,
+                start: c3_core::Nanos::ZERO,
+                end: c3_core::Nanos::from_secs(1),
+                multiplier: 2.0,
+            }],
+            ..LiveConfig::default()
+        };
+        cfg.validate();
+    }
+}

@@ -1,0 +1,58 @@
+//! # c3-live — C3 over real loopback sockets, std-only
+//!
+//! The paper's claim is about a *real* data store: C3's replica ranking
+//! and rate control cut the tail on actual servers, not just in a
+//! discrete-event kernel. This crate is the first end-to-end path from
+//! the workspace's algorithm to real bytes on a wire, with **no runtime
+//! dependencies beyond `std::net` + `std::thread`** (the tokio-based
+//! `c3-net` client stays gated behind its non-default `rt` feature,
+//! which this environment cannot build):
+//!
+//! - [`LiveCluster`]: N replica servers on loopback TCP — per-connection
+//!   handler threads, a sharded in-memory store, bounded execution slots
+//!   whose queue depth rides back as piggybacked feedback
+//!   (`queue_size`, `service_time`) on every `c3-net` response frame,
+//!   and service times sampled from the §5 cluster's `DiskModel` then
+//!   *actually slept*;
+//! - [`Slowdown`] / [`SlowdownScript`]: the injectable adversity hook —
+//!   the same `ScriptedSlowdown` windows the sim scenarios use, replayed
+//!   against wall time, so `hetero-fleet` and `partition-flux` scripts
+//!   run unchanged over real sockets;
+//! - the threaded client ([`LiveConfig::threads`] closed-loop workers
+//!   over blocking per-replica connections) drives the **same
+//!   `c3-core` selector state the simulators run** — scoring, cubic rate
+//!   control, backpressure — built by name through the same strategy
+//!   registry (incl. `DS`, ticked by a recompute thread);
+//! - [`LiveScenario`] adapts a run onto the engine's `Scenario` trait,
+//!   so results land in the same named `read`/`update` channels and the
+//!   same [`c3_scenarios::ScenarioReport`]; [`register_live_scenarios`]
+//!   makes [`LIVE_HETERO_FLEET`] and [`LIVE_PARTITION_FLUX`] ordinary
+//!   registry names that `ScenarioRegistry::sweep` fans out like any sim
+//!   cell.
+//!
+//! The parity harness (`tests/sim_vs_live.rs`, plus the `live_faceoff`
+//! example) runs the same scripted blackouts through the kernel and the
+//! sockets and checks that per-replica score rankings agree at matched
+//! sample points and that C3's p99 win over DS survives the move to real
+//! I/O. Live runs measure wall time, so they are statistical rather than
+//! bit-deterministic — the seed pins the workload, the OS keeps the
+//! scheduling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod config;
+mod scenario;
+mod server;
+mod slowdown;
+mod wire;
+
+pub use client::live_strategy_registry;
+pub use config::LiveConfig;
+pub use scenario::{
+    hetero_fleet_config, live_registry, partition_flux_config, register_live_scenarios, run_live,
+    LiveReport, LiveScenario, LIVE_HETERO_FLEET, LIVE_PARTITION_FLUX,
+};
+pub use server::{encode_key, LiveCluster};
+pub use slowdown::{NoSlowdown, Slowdown, SlowdownScript};

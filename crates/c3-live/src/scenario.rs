@@ -1,0 +1,319 @@
+//! The engine/registry face of the live backend.
+//!
+//! [`LiveScenario`] implements the engine's `Scenario` trait so a socket
+//! run rides the exact same plumbing as the simulators: the
+//! `ScenarioRunner` owns the metrics, and the run reports through the
+//! same named channels (`read`/`update`) the §5 cluster declares. The
+//! whole live run executes inside the scenario's single event — real
+//! sockets cannot be event-stepped, but their completions *can* be
+//! replayed into `RunMetrics` in completion order, which is all the
+//! uniform reporting needs.
+//!
+//! [`register_live_scenarios`] then mirrors the sim-backed scenario
+//! library on the live axis: `live-hetero-fleet` and
+//! `live-partition-flux` are the same adversity scripts, replayed against
+//! wall time over loopback, selectable by name through the ordinary
+//! `ScenarioRegistry` — `sweep` and every other caller work unchanged.
+
+use std::time::Duration;
+
+use c3_cluster::{ScriptedSlowdown, CLUSTER_CHANNELS};
+use c3_core::Nanos;
+use c3_engine::{ChannelId, ChannelSet, EventQueue, RunMetrics, Scenario, ScenarioRunner};
+use c3_scenarios::{ScenarioError, ScenarioParams, ScenarioRegistry, ScenarioReport};
+
+use crate::client::{execute, live_strategy_registry, ClientArtifacts};
+use crate::config::LiveConfig;
+use crate::slowdown::SlowdownScript;
+
+const READ_CHANNEL: ChannelId = ChannelId::new(0);
+const UPDATE_CHANNEL: ChannelId = ChannelId::new(1);
+
+/// Registry name of the live heterogeneous-fleet scenario.
+pub const LIVE_HETERO_FLEET: &str = "live-hetero-fleet";
+/// Registry name of the live partition/flux scenario.
+pub const LIVE_PARTITION_FLUX: &str = "live-partition-flux";
+
+/// A live run as an engine scenario: one event, inside which the socket
+/// cluster spins up, the workers run to the stop condition, and every
+/// completion is replayed into the runner's metrics.
+pub struct LiveScenario {
+    cfg: LiveConfig,
+    artifacts: Option<ClientArtifacts>,
+}
+
+impl LiveScenario {
+    /// Wrap a validated config.
+    pub fn new(cfg: LiveConfig) -> Self {
+        cfg.validate();
+        Self {
+            cfg,
+            artifacts: None,
+        }
+    }
+
+    /// The config in force.
+    pub fn config(&self) -> &LiveConfig {
+        &self.cfg
+    }
+}
+
+impl Scenario for LiveScenario {
+    type Event = ();
+
+    fn channels(&self) -> ChannelSet {
+        ChannelSet::of(CLUSTER_CHANNELS)
+    }
+
+    fn start(&mut self, engine: &mut EventQueue<()>) {
+        engine.schedule(Nanos::ZERO, ());
+    }
+
+    fn handle(
+        &mut self,
+        _event: (),
+        _now: Nanos,
+        _engine: &mut EventQueue<()>,
+        metrics: &mut RunMetrics,
+    ) {
+        let artifacts = execute(&self.cfg).expect("live run failed");
+        for s in &artifacts.samples {
+            let channel = if s.is_read {
+                READ_CHANNEL
+            } else {
+                UPDATE_CHANNEL
+            };
+            let measured = s.issue_index >= self.cfg.warmup_ops;
+            metrics.record_completion(channel, s.completed_at, s.latency, measured);
+            if s.is_read {
+                metrics.record_service(s.replica, s.completed_at);
+            }
+        }
+        self.artifacts = Some(artifacts);
+    }
+
+    fn is_done(&self, _metrics: &RunMetrics) -> bool {
+        self.artifacts.is_some()
+    }
+}
+
+/// Result of one live run: the uniform report plus the live-only
+/// artifacts the parity harness compares.
+#[derive(Debug)]
+pub struct LiveReport {
+    /// The same shape every sim scenario reports.
+    pub report: ScenarioReport,
+    /// `(elapsed, per-replica C3 scores)` sampled at response time
+    /// (C3-family strategies only).
+    pub score_trace: Vec<(Nanos, Vec<f64>)>,
+    /// Times a worker parked on `Selection::Backpressure`.
+    pub backpressure_waits: u64,
+    /// Operations issued (including unmeasured warm-up).
+    pub ops_issued: u64,
+}
+
+/// Run a live config under a scenario name, through the engine runner.
+///
+/// Live runs in one process serialize on a global gate: a socket run
+/// measures *wall time*, so two live cells sleeping real service times
+/// on the same machine would inflate each other's tails. This is what
+/// lets `ScenarioRegistry::sweep` fan live scenarios out like any other
+/// cell — the sim cells parallelize, the live cells take turns.
+///
+/// # Panics
+///
+/// Panics when the strategy is unknown/unsupported or the loopback
+/// cluster cannot be spawned.
+pub fn run_live(scenario_name: &str, cfg: LiveConfig) -> LiveReport {
+    static LIVE_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _exclusive = LIVE_GATE.lock().unwrap_or_else(|poisoned| {
+        // A panicked sibling run cannot corrupt the gate (it guards no
+        // data); keep serializing.
+        poisoned.into_inner()
+    });
+    let strategy = cfg.strategy.clone();
+    let seed = cfg.seed;
+    let replicas = cfg.replicas;
+    let runner = ScenarioRunner::new(seed).with_warmup(cfg.warmup_ops);
+    let mut scenario = LiveScenario::new(cfg);
+    let (metrics, stats) = runner.run(&mut scenario, replicas, Nanos::from_millis(100));
+    let artifacts = scenario.artifacts.take().expect("run completed");
+    LiveReport {
+        report: ScenarioReport::from_metrics(scenario_name, &strategy, seed, &metrics, &stats),
+        score_trace: artifacts.score_trace,
+        backpressure_waits: artifacts.backpressure_waits,
+        ops_issued: artifacts.issued,
+    }
+}
+
+/// The live hetero-fleet script: every third replica a permanent 3x tier,
+/// matching the sim scenario's default shape.
+pub fn hetero_fleet_config(params: &ScenarioParams) -> Result<LiveConfig, ScenarioError> {
+    let mut cfg = base_config(LIVE_HETERO_FLEET, params)?;
+    cfg.scripted = SlowdownScript::tiers(&[1.0, 1.0, 3.0], cfg.replicas)
+        .windows()
+        .to_vec();
+    Ok(cfg)
+}
+
+/// The live partition/flux script: two scripted blackouts early in the
+/// run (replica 0, then replica 1), the same detect → avoid → recover
+/// shape the sim scenario scripts.
+pub fn partition_flux_config(params: &ScenarioParams) -> Result<LiveConfig, ScenarioError> {
+    let mut cfg = base_config(LIVE_PARTITION_FLUX, params)?;
+    cfg.scripted = vec![
+        ScriptedSlowdown {
+            node: 0,
+            start: Nanos::from_millis(250),
+            end: Nanos::from_millis(650),
+            multiplier: 30.0,
+        },
+        ScriptedSlowdown {
+            node: 1,
+            start: Nanos::from_millis(900),
+            end: Nanos::from_millis(1_300),
+            multiplier: 30.0,
+        },
+    ];
+    Ok(cfg)
+}
+
+fn base_config(scenario: &str, params: &ScenarioParams) -> Result<LiveConfig, ScenarioError> {
+    let mut cfg = LiveConfig {
+        strategy: params.strategy.clone(),
+        seed: params.seed,
+        warmup_ops: params.warmup,
+        ops_cap: params.ops,
+        run_for: Duration::from_millis(1_500),
+        ..LiveConfig::default()
+    };
+    if let Some(keys) = params.keys {
+        cfg.keys = cfg.keys.min(keys);
+    }
+    if !live_strategy_registry(&cfg).contains(&cfg.strategy) {
+        return Err(ScenarioError::UnknownStrategy(cfg.strategy.name().into()));
+    }
+    if cfg.strategy.is_oracle() {
+        return Err(ScenarioError::UnsupportedStrategy {
+            scenario: scenario.to_string(),
+            strategy: cfg.strategy.name().to_string(),
+        });
+    }
+    Ok(cfg)
+}
+
+/// Register the live scenarios into an existing registry, so
+/// `ScenarioRegistry::sweep` (and `run`) drive real sockets by name with
+/// no API change for callers.
+pub fn register_live_scenarios(registry: &mut ScenarioRegistry) {
+    registry.register(LIVE_HETERO_FLEET, |p: &ScenarioParams| {
+        Ok(run_live(LIVE_HETERO_FLEET, hetero_fleet_config(p)?).report)
+    });
+    registry.register(LIVE_PARTITION_FLUX, |p: &ScenarioParams| {
+        Ok(run_live(LIVE_PARTITION_FLUX, partition_flux_config(p)?).report)
+    });
+}
+
+/// The full scenario registry: the sim-backed library plus the live
+/// backends.
+pub fn live_registry() -> ScenarioRegistry {
+    let mut registry = ScenarioRegistry::with_defaults();
+    register_live_scenarios(&mut registry);
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c3_engine::Strategy;
+
+    fn smoke_cfg(strategy: Strategy) -> LiveConfig {
+        LiveConfig {
+            replicas: 3,
+            threads: 4,
+            strategy,
+            run_for: Duration::from_millis(300),
+            warmup_ops: 50,
+            seed: 7,
+            ..LiveConfig::default()
+        }
+    }
+
+    #[test]
+    fn live_run_reports_cluster_channels() {
+        let live = run_live("live-smoke", smoke_cfg(Strategy::c3()));
+        let report = &live.report;
+        assert_eq!(report.scenario, "live-smoke");
+        assert_eq!(report.strategy, "C3");
+        assert_eq!(report.channels.len(), 2);
+        assert_eq!(report.headline().name, "read");
+        assert!(report.channel("update").is_some());
+        assert!(
+            report.total_completions() > 100,
+            "300 ms of closed loop must complete real work, got {}",
+            report.total_completions()
+        );
+        assert!(report.p99_ms() > 0.0);
+        assert!(report.duration > Nanos::ZERO);
+        assert!(!live.score_trace.is_empty(), "C3 runs sample scores");
+        for (_, scores) in &live.score_trace {
+            assert_eq!(scores.len(), 3);
+        }
+    }
+
+    #[test]
+    fn ops_cap_bounds_a_live_run() {
+        let cfg = LiveConfig {
+            ops_cap: 200,
+            run_for: Duration::from_secs(10),
+            warmup_ops: 20,
+            ..smoke_cfg(Strategy::lor())
+        };
+        let live = run_live("live-capped", cfg);
+        // Workers race the cap by a thread count at most.
+        assert!(live.ops_issued >= 200 && live.ops_issued < 200 + 8);
+        assert!(live.report.total_completions() <= 200 + 8);
+    }
+
+    #[test]
+    fn registry_runs_live_scenarios_by_name() {
+        let registry = live_registry();
+        assert!(registry.contains(LIVE_PARTITION_FLUX));
+        assert!(registry.contains(LIVE_HETERO_FLEET));
+        // The sim library is still there untouched.
+        assert!(registry.contains(c3_scenarios::PARTITION_FLUX));
+        let report = registry
+            .run(
+                LIVE_HETERO_FLEET,
+                &ScenarioParams::sized(Strategy::c3(), 1, 800),
+            )
+            .expect("live hetero runs by name");
+        assert_eq!(report.scenario, LIVE_HETERO_FLEET);
+        assert!(report.total_completions() > 0);
+    }
+
+    #[test]
+    fn oracle_is_unsupported_on_the_live_backend() {
+        let registry = live_registry();
+        let err = registry
+            .run(
+                LIVE_PARTITION_FLUX,
+                &ScenarioParams::sized(Strategy::oracle(), 1, 500),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::UnsupportedStrategy {
+                scenario: LIVE_PARTITION_FLUX.into(),
+                strategy: "ORA".into(),
+            }
+        );
+        let err = registry
+            .run(
+                LIVE_HETERO_FLEET,
+                &ScenarioParams::sized(Strategy::named("NoSuch"), 1, 500),
+            )
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::UnknownStrategy("NoSuch".into()));
+    }
+}

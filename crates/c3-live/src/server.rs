@@ -1,0 +1,446 @@
+//! The live replica fleet: N key-value servers on loopback TCP, each a
+//! `TcpListener` with one handler thread per connection, a sharded
+//! in-memory store, bounded execution slots, and per-replica queue-size
+//! accounting piggybacked on every response.
+//!
+//! Service times come from the same [`DiskModel`] the §5 cluster
+//! simulates — sampled, scaled by the injected [`Slowdown`] hook at the
+//! current wall time, then *actually slept* while holding one of the
+//! replica's execution slots. Arrivals beyond the slot count queue on the
+//! slot gate, so the `queue_size` a response carries reflects genuine
+//! contention, exactly like the simulator's `read_inflight + read_q`.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use bytes::{Bytes, BytesMut};
+use c3_core::{Clock, Feedback, WallClock};
+use c3_net::proto::{Frame, Request, Response, Status};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use c3_cluster::DiskModel;
+
+use crate::config::LiveConfig;
+use crate::slowdown::Slowdown;
+use crate::wire::{read_frame, write_response};
+
+/// Store shards per replica (keyed by `key % SHARDS`; coarse, but keeps
+/// writers off each other's locks).
+const SHARDS: usize = 16;
+
+/// A counting semaphore: the replica's execution slots.
+struct Gate {
+    permits: Mutex<usize>,
+    available: Condvar,
+}
+
+impl Gate {
+    fn new(permits: usize) -> Self {
+        Self {
+            permits: Mutex::new(permits),
+            available: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut permits = self.permits.lock().expect("gate poisoned");
+        while *permits == 0 {
+            permits = self.available.wait(permits).expect("gate poisoned");
+        }
+        *permits -= 1;
+    }
+
+    fn release(&self) {
+        let mut permits = self.permits.lock().expect("gate poisoned");
+        *permits += 1;
+        drop(permits);
+        self.available.notify_one();
+    }
+}
+
+/// Shared state of one replica, seen by all its connection handlers.
+struct Replica {
+    id: usize,
+    shards: Vec<Mutex<HashMap<u64, Bytes>>>,
+    /// Requests arrived but not yet responded (inflight + queued) — the
+    /// `q_s` feedback C3 smooths into its queue-size estimate.
+    pending: AtomicU32,
+    gate: Gate,
+    model: DiskModel,
+    /// Service-time randomness, shared so the stream is seed-derived.
+    rng: Mutex<SmallRng>,
+    slowdown: Arc<dyn Slowdown>,
+    clock: WallClock,
+    nominal_bytes: u32,
+}
+
+impl Replica {
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Bytes>> {
+        &self.shards[(key % SHARDS as u64) as usize]
+    }
+
+    /// Execute one request: queue for a slot, sleep the sampled service
+    /// time (scaled by the slowdown hook), touch the store, and build the
+    /// response with fresh feedback.
+    fn execute(&self, req: Request) -> Response {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        self.gate.acquire();
+        let multiplier = self.slowdown.multiplier(self.id, self.clock.now());
+        let (id, key, put_value) = match req {
+            Request::Get { id, key } => (id, key, None),
+            Request::Put { id, key, value } => (id, key, Some(value)),
+        };
+        let record_bytes = put_value
+            .as_ref()
+            .map(|v| v.len() as u32)
+            .unwrap_or(self.nominal_bytes);
+        let service = {
+            let mut rng = self.rng.lock().expect("rng poisoned");
+            if put_value.is_some() {
+                self.model.sample_write(&mut rng, record_bytes, multiplier)
+            } else {
+                self.model.sample_read(&mut rng, record_bytes, multiplier)
+            }
+        };
+        std::thread::sleep(service.into());
+
+        let key_id = decode_key(&key);
+        let (status, value) = match put_value {
+            Some(value) => {
+                self.shard(key_id)
+                    .lock()
+                    .expect("shard poisoned")
+                    .insert(key_id, value);
+                (Status::Ok, Bytes::new())
+            }
+            None => match self
+                .shard(key_id)
+                .lock()
+                .expect("shard poisoned")
+                .get(&key_id)
+            {
+                Some(v) => (Status::Ok, v.clone()),
+                None => (Status::NotFound, Bytes::new()),
+            },
+        };
+
+        self.gate.release();
+        // Pending *after* this request left, like the simulator reports
+        // the node's remaining read queue when the response departs.
+        let pending_after = self
+            .pending
+            .fetch_sub(1, Ordering::AcqRel)
+            .saturating_sub(1);
+        Response {
+            id,
+            status,
+            feedback: Feedback::new(pending_after, service),
+            value,
+        }
+    }
+}
+
+/// Keys travel as 8-byte big-endian ids; anything else hashes down.
+fn decode_key(key: &Bytes) -> u64 {
+    match <[u8; 8]>::try_from(key.as_ref()) {
+        Ok(raw) => u64::from_be_bytes(raw),
+        Err(_) => key.iter().fold(0u64, |h, &b| h.wrapping_mul(31) ^ b as u64),
+    }
+}
+
+/// Encode a key id for the wire.
+pub fn encode_key(key: u64) -> Bytes {
+    Bytes::copy_from_slice(&key.to_be_bytes())
+}
+
+/// The running fleet: addresses to dial plus the shutdown plumbing.
+pub struct LiveCluster {
+    addrs: Vec<SocketAddr>,
+    shutdown: Arc<AtomicBool>,
+    accept_handles: Vec<JoinHandle<()>>,
+    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl LiveCluster {
+    /// Spawn one listener (plus its handler threads) per replica on
+    /// loopback ephemeral ports, all sharing `clock` and `slowdown` so
+    /// client and servers agree on the adversity timeline.
+    pub fn spawn(
+        cfg: &LiveConfig,
+        slowdown: Arc<dyn Slowdown>,
+        clock: WallClock,
+    ) -> io::Result<Self> {
+        cfg.validate();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conn_handles = Arc::new(Mutex::new(Vec::new()));
+        let model = match cfg.disk {
+            c3_cluster::DiskKind::Spinning => DiskModel::spinning(cfg.read_fraction),
+            c3_cluster::DiskKind::Ssd => DiskModel::ssd(cfg.read_fraction),
+        };
+        let mut addrs = Vec::with_capacity(cfg.replicas);
+        let mut accept_handles = Vec::with_capacity(cfg.replicas);
+        for id in 0..cfg.replicas {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            addrs.push(listener.local_addr()?);
+            let replica = Arc::new(Replica {
+                id,
+                shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+                pending: AtomicU32::new(0),
+                gate: Gate::new(cfg.concurrency),
+                model,
+                rng: Mutex::new(SmallRng::seed_from_u64(
+                    cfg.seed ^ 0xd1b5_4a32_d192_ed03u64.wrapping_mul(id as u64 + 1),
+                )),
+                slowdown: Arc::clone(&slowdown),
+                clock,
+                nominal_bytes: cfg.value_bytes,
+            });
+            let stop = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conn_handles);
+            accept_handles.push(std::thread::spawn(move || {
+                accept_loop(listener, replica, stop, conns)
+            }));
+        }
+        Ok(Self {
+            addrs,
+            shutdown,
+            accept_handles,
+            conn_handles,
+        })
+    }
+
+    /// Addresses of the replicas, in replica-id order.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Stop accepting, wait for every handler to drain, and join all
+    /// server threads. Callers must have closed their client connections
+    /// first (handlers exit on EOF).
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::Release);
+        // The accept loops poll nonblockingly, so the flag alone is
+        // guaranteed to stop them within one poll interval — no wake-up
+        // connection whose failure could leave a thread parked forever.
+        for handle in self.accept_handles {
+            let _ = handle.join();
+        }
+        let handles = std::mem::take(&mut *self.conn_handles.lock().expect("handles poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    replica: Arc<Replica>,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    // Poll rather than block: a blocked `accept` can only be woken by a
+    // connection, and a wake-up dial can fail (port pressure under
+    // parallel test runs), which would hang shutdown forever. Clients
+    // connect once at run start, so 5 ms of accept latency is invisible;
+    // the OS backlog completes handshakes regardless.
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Accepted sockets may inherit the listener's nonblocking
+                // mode on some platforms; handlers need blocking reads.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let replica = Arc::clone(&replica);
+                let handle = std::thread::spawn(move || {
+                    let _ = serve_connection(stream, &replica);
+                });
+                conns.lock().expect("handles poisoned").push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            // A signal mid-accept is not a dead listener; try again.
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Serve one client connection to completion (EOF or error).
+fn serve_connection(mut stream: TcpStream, replica: &Replica) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut buf = BytesMut::new();
+    while let Some(frame) = read_frame(&mut stream, &mut buf)? {
+        let Frame::Request(req) = frame else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "server received a response frame",
+            ));
+        };
+        let resp = replica.execute(req);
+        write_response(&mut stream, &resp)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slowdown::{NoSlowdown, SlowdownScript};
+    use crate::wire::write_request;
+    use c3_cluster::ScriptedSlowdown;
+    use c3_core::Nanos;
+    use std::time::Instant;
+
+    fn tiny_cfg() -> LiveConfig {
+        LiveConfig {
+            replicas: 2,
+            replication_factor: 2,
+            threads: 1,
+            ..LiveConfig::default()
+        }
+    }
+
+    fn round_trip(stream: &mut TcpStream, buf: &mut BytesMut, req: Request) -> Response {
+        write_request(stream, &req).unwrap();
+        match read_frame(stream, buf).unwrap().expect("response") {
+            Frame::Response(resp) => resp,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn get_put_get_round_trips_with_feedback() {
+        let cluster =
+            LiveCluster::spawn(&tiny_cfg(), Arc::new(NoSlowdown), WallClock::start()).unwrap();
+        let mut stream = TcpStream::connect(cluster.addrs()[0]).unwrap();
+        let mut buf = BytesMut::new();
+
+        let miss = round_trip(
+            &mut stream,
+            &mut buf,
+            Request::Get {
+                id: 1,
+                key: encode_key(42),
+            },
+        );
+        assert_eq!(miss.status, Status::NotFound);
+        assert!(miss.feedback.service_time > Nanos::ZERO);
+
+        let put = round_trip(
+            &mut stream,
+            &mut buf,
+            Request::Put {
+                id: 2,
+                key: encode_key(42),
+                value: Bytes::from_static(b"hello"),
+            },
+        );
+        assert_eq!(put.status, Status::Ok);
+
+        let hit = round_trip(
+            &mut stream,
+            &mut buf,
+            Request::Get {
+                id: 3,
+                key: encode_key(42),
+            },
+        );
+        assert_eq!(hit.status, Status::Ok);
+        assert_eq!(hit.value.as_ref(), b"hello");
+        assert_eq!(hit.id, 3);
+
+        drop(stream);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn slowdown_hook_inflates_measured_service() {
+        // Replica 0 slowed 20x for the whole run; replica 1 healthy. The
+        // *measured wall time* of requests against replica 0 must be
+        // visibly longer — proving the hook reaches real sleeps.
+        let script = SlowdownScript::new(vec![ScriptedSlowdown {
+            node: 0,
+            start: Nanos::ZERO,
+            end: Nanos(u64::MAX),
+            multiplier: 20.0,
+        }]);
+        let cluster =
+            LiveCluster::spawn(&tiny_cfg(), script.into_hook(), WallClock::start()).unwrap();
+        let mut timings = [Nanos::ZERO; 2];
+        for (replica, slot) in timings.iter_mut().enumerate() {
+            let mut stream = TcpStream::connect(cluster.addrs()[replica]).unwrap();
+            let mut buf = BytesMut::new();
+            let started = Instant::now();
+            for id in 0..20 {
+                let resp = round_trip(
+                    &mut stream,
+                    &mut buf,
+                    Request::Get {
+                        id,
+                        key: encode_key(id),
+                    },
+                );
+                assert_eq!(resp.id, id);
+            }
+            *slot = started.elapsed().into();
+        }
+        assert!(
+            timings[0] > timings[1].mul(3),
+            "slowed replica must be slower for real: {} vs {}",
+            timings[0],
+            timings[1]
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn queue_feedback_reflects_contention() {
+        // Saturate one replica from many connections; piggybacked queue
+        // sizes must rise above the idle baseline of zero.
+        let cfg = LiveConfig {
+            concurrency: 1,
+            ..tiny_cfg()
+        };
+        let cluster = LiveCluster::spawn(&cfg, Arc::new(NoSlowdown), WallClock::start()).unwrap();
+        let addr = cluster.addrs()[0];
+        let seen_queue = Arc::new(AtomicU32::new(0));
+        let workers: Vec<_> = (0..4)
+            .map(|w| {
+                let seen = Arc::clone(&seen_queue);
+                std::thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    let mut buf = BytesMut::new();
+                    for id in 0..15 {
+                        let resp = round_trip(
+                            &mut stream,
+                            &mut buf,
+                            Request::Get {
+                                id: w * 100 + id,
+                                key: encode_key(id),
+                            },
+                        );
+                        seen.fetch_max(resp.feedback.queue_size, Ordering::AcqRel);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert!(
+            seen_queue.load(Ordering::Acquire) > 0,
+            "4 workers on 1 slot must queue"
+        );
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,134 @@
+//! The injectable slowdown hook: how adverse-condition scripts reach the
+//! live replicas.
+//!
+//! The §5 cluster's scenarios express heterogeneity and partitions as
+//! [`ScriptedSlowdown`] windows on simulated time. The live backend
+//! replays the *same* windows against wall time since run start, so a
+//! `hetero-fleet` or `partition-flux` script produces the same timeline
+//! of adversity over real sockets that it produces in the kernel — which
+//! is what makes the sim-vs-live parity comparison meaningful.
+
+use std::sync::Arc;
+
+use c3_cluster::ScriptedSlowdown;
+use c3_core::Nanos;
+
+/// A source of per-replica service-time multipliers, injected into every
+/// live replica. Implementations must be cheap: the hook is consulted on
+/// every request's service-time sample.
+pub trait Slowdown: Send + Sync {
+    /// Service-time multiplier of `replica` at `elapsed` since run start
+    /// (≥ 1.0; 1.0 = healthy).
+    fn multiplier(&self, replica: usize, elapsed: Nanos) -> f64;
+}
+
+/// A healthy fleet: multiplier 1 everywhere, forever.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoSlowdown;
+
+impl Slowdown for NoSlowdown {
+    fn multiplier(&self, _replica: usize, _elapsed: Nanos) -> f64 {
+        1.0
+    }
+}
+
+/// Scripted slowdown windows — the live twin of the cluster's scripted
+/// perturbations. Overlapping windows on the same replica multiply, as
+/// concurrent episodes do in the simulator.
+#[derive(Clone, Debug, Default)]
+pub struct SlowdownScript {
+    windows: Vec<ScriptedSlowdown>,
+}
+
+impl SlowdownScript {
+    /// A script from explicit windows.
+    pub fn new(windows: Vec<ScriptedSlowdown>) -> Self {
+        Self { windows }
+    }
+
+    /// A hetero-fleet style whole-run tier script: replica `i` runs at
+    /// `multipliers[i % multipliers.len()]` for the entire run.
+    pub fn tiers(multipliers: &[f64], replicas: usize) -> Self {
+        assert!(!multipliers.is_empty(), "need at least one tier");
+        let windows = (0..replicas)
+            .filter_map(|node| {
+                let multiplier = multipliers[node % multipliers.len()];
+                (multiplier > 1.0).then_some(ScriptedSlowdown {
+                    node,
+                    start: Nanos::ZERO,
+                    end: Nanos(u64::MAX),
+                    multiplier,
+                })
+            })
+            .collect();
+        Self { windows }
+    }
+
+    /// The scripted windows.
+    pub fn windows(&self) -> &[ScriptedSlowdown] {
+        &self.windows
+    }
+
+    /// Box the script behind the hook trait.
+    pub fn into_hook(self) -> Arc<dyn Slowdown> {
+        Arc::new(self)
+    }
+}
+
+impl Slowdown for SlowdownScript {
+    fn multiplier(&self, replica: usize, elapsed: Nanos) -> f64 {
+        self.windows
+            .iter()
+            .filter(|w| w.node == replica && w.start <= elapsed && elapsed < w.end)
+            .map(|w| w.multiplier)
+            .product::<f64>()
+            .max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(node: usize, start_ms: u64, end_ms: u64, multiplier: f64) -> ScriptedSlowdown {
+        ScriptedSlowdown {
+            node,
+            start: Nanos::from_millis(start_ms),
+            end: Nanos::from_millis(end_ms),
+            multiplier,
+        }
+    }
+
+    #[test]
+    fn windows_apply_only_inside_their_span_and_node() {
+        let s = SlowdownScript::new(vec![window(1, 100, 200, 8.0)]);
+        assert_eq!(s.multiplier(1, Nanos::from_millis(99)), 1.0);
+        assert_eq!(s.multiplier(1, Nanos::from_millis(100)), 8.0);
+        assert_eq!(s.multiplier(1, Nanos::from_millis(199)), 8.0);
+        assert_eq!(s.multiplier(1, Nanos::from_millis(200)), 1.0);
+        assert_eq!(s.multiplier(0, Nanos::from_millis(150)), 1.0);
+    }
+
+    #[test]
+    fn overlapping_windows_compound() {
+        let s = SlowdownScript::new(vec![window(0, 0, 300, 2.0), window(0, 100, 200, 3.0)]);
+        assert_eq!(s.multiplier(0, Nanos::from_millis(50)), 2.0);
+        assert_eq!(s.multiplier(0, Nanos::from_millis(150)), 6.0);
+    }
+
+    #[test]
+    fn tiers_cover_the_whole_run_round_robin() {
+        let s = SlowdownScript::tiers(&[1.0, 1.0, 3.0], 6);
+        assert_eq!(s.windows().len(), 2, "two slow nodes out of six");
+        for t in [0u64, 1_000, 1_000_000] {
+            assert_eq!(s.multiplier(2, Nanos::from_millis(t)), 3.0);
+            assert_eq!(s.multiplier(5, Nanos::from_millis(t)), 3.0);
+            assert_eq!(s.multiplier(0, Nanos::from_millis(t)), 1.0);
+        }
+    }
+
+    #[test]
+    fn no_slowdown_is_always_healthy() {
+        assert_eq!(NoSlowdown.multiplier(3, Nanos::from_secs(9)), 1.0);
+    }
+}

@@ -43,7 +43,7 @@ pub use channels::{ChannelId, ChannelSet};
 pub use ecdf::Ecdf;
 pub use histogram::LogHistogram;
 pub use moving::{moving_median, MovingMedian};
-pub use summary::{ConfidenceInterval, LatencySummary, RunSet};
+pub use summary::{jain_index, ConfidenceInterval, LatencySummary, RunSet};
 pub use table::{f2, Align, Table};
 pub use timeseries::{GaugeSeries, WindowedCounts};
 

@@ -66,6 +66,32 @@ impl LatencySummary {
     }
 }
 
+/// Jain's fairness index over a set of non-negative allocations:
+/// `(Σx)² / (n·Σx²)`. 1.0 means perfectly equal shares; `1/n` means one
+/// party holds everything. Degenerate inputs (empty, or all zero) are
+/// trivially fair and return 1.0.
+///
+/// The scenario library applies it to per-tenant *slowdown factors*
+/// (shared-run tail over isolated-run tail), the standard multi-tenant
+/// fairness formulation: equal slowdowns are fair even when absolute
+/// latencies differ by tenant.
+pub fn jain_index(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 1.0;
+    }
+    assert!(
+        values.iter().all(|v| v.is_finite() && *v >= 0.0),
+        "Jain index needs finite non-negative values, got {values:?}"
+    );
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sum_sq)
+}
+
 /// A mean with a symmetric confidence half-width.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ConfidenceInterval {
@@ -224,6 +250,23 @@ mod tests {
     fn metric_ms_rejects_unknown_labels() {
         let s = LatencySummary::from_histogram(&filled_histogram());
         let _ = s.metric_ms("p42");
+    }
+
+    #[test]
+    fn jain_index_bounds_and_degenerate_cases() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12);
+        // One party holds everything: index collapses to 1/n.
+        assert!((jain_index(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        // Monotone: more skew, lower index.
+        assert!(jain_index(&[1.0, 2.0]) > jain_index(&[1.0, 10.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn jain_index_rejects_negative_values() {
+        let _ = jain_index(&[1.0, -2.0]);
     }
 
     #[test]

@@ -94,6 +94,7 @@ pub fn run(cfg: &HeteroFleetConfig, registry: &StrategyRegistry) -> ScenarioRepo
     let mut scenario = ClusterScenario::with_registry(cluster_cfg, registry);
     let (metrics, stats) = runner.run(&mut scenario, nodes, load_window);
     ScenarioReport::from_metrics(super::HETERO_FLEET, &strategy, seed, &metrics, &stats)
+        .with_dead_events(scenario.dead_events())
 }
 
 #[cfg(test)]

@@ -47,7 +47,8 @@ mod report;
 
 pub use hetero::{run as run_hetero_fleet, HeteroFleetConfig};
 pub use multi_tenant::{
-    run as run_multi_tenant, MtEvent, MultiTenantConfig, MultiTenantScenario, TenantSpec,
+    run as run_multi_tenant, run_isolated as run_multi_tenant_isolated, MtEvent, MultiTenantConfig,
+    MultiTenantScenario, TenantSpec,
 };
 pub use partition::{run as run_partition_flux, PartitionFluxConfig};
 pub use registry::{ScenarioError, ScenarioParams, ScenarioRegistry};

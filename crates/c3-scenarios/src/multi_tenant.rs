@@ -18,7 +18,7 @@ use c3_cluster::SnitchSelector;
 use c3_core::{BacklogQueue, C3Config, Feedback, Nanos, ReplicaSelector, ResponseInfo, Selection};
 use c3_engine::{
     BuiltSelector, ChannelId, ChannelSet, EventQueue, RunMetrics, Scenario, ScenarioRunner,
-    SeedSeq, SelectorCtx, Strategy, StrategyRegistry,
+    SeedSeq, SelectorCtx, Strategy, StrategyRegistry, TimerId,
 };
 use c3_workload::{exp_sample, PoissonArrivals, ScrambledZipfian};
 use rand::rngs::SmallRng;
@@ -159,6 +159,38 @@ impl MultiTenantConfig {
         self.utilization * capacity
     }
 
+    /// The configuration of tenant `i` running *alone* on the same fleet
+    /// at its own arrival rate: the isolation baseline for
+    /// slowdown-vs-isolated fairness accounting. The single remaining
+    /// tenant takes demand fraction 1, and the utilization is rescaled so
+    /// the isolated arrival rate equals the shared run's rate for that
+    /// tenant; request counts scale by the demand fraction so baselines
+    /// cost proportionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn isolated(&self, i: usize) -> MultiTenantConfig {
+        let tenant = self.tenants[i].clone();
+        // rate_i = U·C/eff · f_i  must equal  U'·C/s_i, so U' = U·f_i·s_i/eff.
+        let s_i = self.mean_service_ms * f64::from(tenant.value_bytes) / 1024.0;
+        let utilization =
+            self.utilization * tenant.demand_fraction * s_i / self.effective_service_ms();
+        let total = ((self.total_requests as f64 * tenant.demand_fraction) as u64).max(1_000);
+        let warmup = ((self.warmup_requests as f64 * tenant.demand_fraction) as u64)
+            .min(total.saturating_sub(1));
+        MultiTenantConfig {
+            utilization,
+            total_requests: total,
+            warmup_requests: warmup,
+            tenants: vec![TenantSpec {
+                demand_fraction: 1.0,
+                ..tenant
+            }],
+            ..self.clone()
+        }
+    }
+
     /// Validate invariants.
     ///
     /// # Panics
@@ -247,7 +279,9 @@ struct MtClient {
     /// `None` for the Oracle, which reads global server state instead.
     selector: Option<Box<dyn ReplicaSelector>>,
     backlogs: Vec<BacklogQueue<u64>>,
-    retry_scheduled: Vec<bool>,
+    /// Pending `RetryBacklog` timer per replica group, cancelled when a
+    /// response drains the backlog first (so no dead retry events fire).
+    retry_timer: Vec<Option<TimerId>>,
 }
 
 struct TenantState {
@@ -269,6 +303,7 @@ pub struct MultiTenantScenario {
     wl_rng: SmallRng,
     srv_rng: SmallRng,
     generated: u64,
+    dead_retries: u64,
 }
 
 impl MultiTenantScenario {
@@ -332,7 +367,7 @@ impl MultiTenantScenario {
                 MtClient {
                     selector,
                     backlogs: (0..cfg.servers).map(|_| BacklogQueue::new()).collect(),
-                    retry_scheduled: vec![false; cfg.servers],
+                    retry_timer: vec![None; cfg.servers],
                 }
             })
             .collect();
@@ -347,8 +382,16 @@ impl MultiTenantScenario {
             wl_rng,
             srv_rng,
             generated: 0,
+            dead_retries: 0,
             cfg,
         }
+    }
+
+    /// `RetryBacklog` events that fired against an already-drained
+    /// backlog. Draining cancels the pending timer, so this stays zero —
+    /// asserted regression-style across the scenario library.
+    pub fn dead_events(&self) -> u64 {
+        self.dead_retries
     }
 
     /// The config in force.
@@ -424,16 +467,16 @@ impl MultiTenantScenario {
             Selection::Backpressure { retry_at } => {
                 let client = &mut self.clients[client_id];
                 client.backlogs[group_id].push(req);
-                if !client.retry_scheduled[group_id] {
-                    client.retry_scheduled[group_id] = true;
+                if client.retry_timer[group_id].is_none() {
                     let at = retry_at.max(now + Nanos(1));
-                    engine.schedule(
+                    let timer = engine.schedule(
                         at,
                         MtEvent::RetryBacklog {
                             client: client_id,
                             group: group_id,
                         },
                     );
+                    client.retry_timer[group_id] = Some(timer);
                 }
             }
         }
@@ -537,7 +580,7 @@ impl MultiTenantScenario {
         for k in 0..rf {
             let group_id = (server + n - k) % n;
             if !self.clients[client_id].backlogs[group_id].is_empty() {
-                self.on_retry(client_id, group_id, now, engine);
+                self.on_retry(client_id, group_id, now, engine, false);
             }
         }
     }
@@ -548,8 +591,22 @@ impl MultiTenantScenario {
         group_id: usize,
         now: Nanos,
         engine: &mut EventQueue<MtEvent>,
+        from_timer: bool,
     ) {
-        self.clients[client_id].retry_scheduled[group_id] = false;
+        if from_timer {
+            // The timer owning this event has fired; forget its handle.
+            self.clients[client_id].retry_timer[group_id] = None;
+            if self.clients[client_id].backlogs[group_id].is_empty() {
+                // Unreachable since draining cancels the timer; counted so
+                // a regression back to fire-and-filter is visible.
+                self.dead_retries += 1;
+                return;
+            }
+        } else if let Some(timer) = self.clients[client_id].retry_timer[group_id].take() {
+            // A response beat the retry timer to this backlog: the drain
+            // below supersedes it, so the timer must not fire dead.
+            engine.cancel(timer);
+        }
         loop {
             let Some(&req) = self.clients[client_id].backlogs[group_id].peek() else {
                 return;
@@ -569,16 +626,16 @@ impl MultiTenantScenario {
                 }
                 Selection::Backpressure { retry_at } => {
                     let client = &mut self.clients[client_id];
-                    if !client.retry_scheduled[group_id] {
-                        client.retry_scheduled[group_id] = true;
+                    if client.retry_timer[group_id].is_none() {
                         let at = retry_at.max(now + Nanos(1));
-                        engine.schedule(
+                        let timer = engine.schedule(
                             at,
                             MtEvent::RetryBacklog {
                                 client: client_id,
                                 group: group_id,
                             },
                         );
+                        client.retry_timer[group_id] = Some(timer);
                     }
                     return;
                 }
@@ -640,7 +697,9 @@ impl Scenario for MultiTenantScenario {
                 service_time,
             } => self.on_service_done(server, req, service_time, now, engine, metrics),
             MtEvent::ClientReceive { req } => self.on_client_receive(req, now, engine, metrics),
-            MtEvent::RetryBacklog { client, group } => self.on_retry(client, group, now, engine),
+            MtEvent::RetryBacklog { client, group } => {
+                self.on_retry(client, group, now, engine, true)
+            }
             MtEvent::SnitchTick => self.on_snitch_tick(now, engine),
         }
     }
@@ -648,6 +707,16 @@ impl Scenario for MultiTenantScenario {
     fn is_done(&self, metrics: &RunMetrics) -> bool {
         metrics.total_completions() >= self.cfg.total_requests
     }
+}
+
+/// Run each tenant's isolation baseline (see
+/// [`MultiTenantConfig::isolated`]), in tenant order — the shape
+/// [`ScenarioReport::slowdown_vs_isolated`] and
+/// [`ScenarioReport::jain_fairness`] take.
+pub fn run_isolated(cfg: &MultiTenantConfig, registry: &StrategyRegistry) -> Vec<ScenarioReport> {
+    (0..cfg.tenants.len())
+        .map(|i| run(cfg.isolated(i), registry))
+        .collect()
 }
 
 /// Run a multi-tenant config to completion and report per-tenant channels.
@@ -660,6 +729,7 @@ pub fn run(cfg: MultiTenantConfig, registry: &StrategyRegistry) -> ScenarioRepor
     let mut scenario = MultiTenantScenario::new(cfg, registry);
     let (metrics, stats) = runner.run(&mut scenario, servers, load_window);
     ScenarioReport::from_metrics(super::MULTI_TENANT, &strategy, seed, &metrics, &stats)
+        .with_dead_events(scenario.dead_events())
 }
 
 #[cfg(test)]
@@ -718,6 +788,46 @@ mod tests {
                 "strategy {strategy} must complete"
             );
         }
+    }
+
+    #[test]
+    fn isolated_config_preserves_the_tenant_arrival_rate() {
+        let cfg = small(Strategy::c3());
+        let shared_rate = cfg.total_arrival_rate();
+        for (i, tenant) in cfg.tenants.iter().enumerate() {
+            let iso = cfg.isolated(i);
+            iso.validate();
+            assert_eq!(iso.tenants.len(), 1);
+            assert_eq!(iso.tenants[0].name, tenant.name);
+            let want = shared_rate * tenant.demand_fraction;
+            let got = iso.total_arrival_rate();
+            assert!(
+                (got - want).abs() / want < 1e-9,
+                "tenant {}: isolated rate {got} != shared share {want}",
+                tenant.name
+            );
+        }
+    }
+
+    #[test]
+    fn fairness_metrics_come_out_of_isolated_baselines() {
+        let cfg = small(Strategy::c3());
+        let reg = scenario_registry();
+        let shared = run(cfg.clone(), &reg);
+        let isolated = run_isolated(&cfg, &reg);
+        let slowdowns = shared.slowdown_vs_isolated(&isolated);
+        assert_eq!(slowdowns.len(), 3);
+        for (name, factor) in &slowdowns {
+            assert!(*factor > 0.0, "tenant {name} slowdown {factor}");
+        }
+        // Sharing a 65%-utilized fleet cannot be free for everyone: at
+        // least one tenant's tail must pay something.
+        assert!(
+            slowdowns.iter().any(|(_, f)| *f > 1.0),
+            "no tenant pays for interference? {slowdowns:?}"
+        );
+        let jain = shared.jain_fairness(&isolated);
+        assert!(jain > 1.0 / 3.0 && jain <= 1.0, "Jain {jain} out of range");
     }
 
     #[test]

@@ -100,6 +100,7 @@ pub fn run(cfg: &PartitionFluxConfig, registry: &StrategyRegistry) -> ScenarioRe
     let mut scenario = ClusterScenario::with_registry(cluster_cfg, registry);
     let (metrics, stats) = runner.run(&mut scenario, nodes, load_window);
     ScenarioReport::from_metrics(super::PARTITION_FLUX, &strategy, seed, &metrics, &stats)
+        .with_dead_events(scenario.dead_events())
 }
 
 #[cfg(test)]

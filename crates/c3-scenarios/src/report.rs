@@ -39,6 +39,11 @@ pub struct ScenarioReport {
     pub events_processed: u64,
     /// Timers cancelled before firing.
     pub events_cancelled: u64,
+    /// Events that fired with nothing left to do (a completed operation's
+    /// speculative check, a drained backlog's retry). Every such source is
+    /// cancelled at its trigger, so this is zero for every scenario — the
+    /// dead-event regression test asserts it across the whole library.
+    pub dead_events: u64,
 }
 
 impl ScenarioReport {
@@ -68,7 +73,15 @@ impl ScenarioReport {
             channels,
             events_processed: stats.events_processed,
             events_cancelled: stats.events_cancelled,
+            dead_events: 0,
         }
+    }
+
+    /// Attach the scenario's dead-event count (see
+    /// [`ScenarioReport::dead_events`]).
+    pub fn with_dead_events(mut self, dead_events: u64) -> Self {
+        self.dead_events = dead_events;
+        self
     }
 
     /// The report of a channel, by name.
@@ -92,6 +105,50 @@ impl ScenarioReport {
         self.channels.iter().map(|c| c.completions).sum()
     }
 
+    /// Per-channel slowdown factors against isolation: channel `i`'s p99
+    /// divided by the headline p99 of `isolated[i]` (the same tenant run
+    /// alone at its own arrival rate). A factor of 1 means sharing the
+    /// fleet cost that tenant nothing at the tail; large factors mean it
+    /// pays for its neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `isolated` does not have one report per channel, or an
+    /// isolated baseline recorded a zero p99.
+    pub fn slowdown_vs_isolated(&self, isolated: &[ScenarioReport]) -> Vec<(String, f64)> {
+        assert_eq!(
+            isolated.len(),
+            self.channels.len(),
+            "need one isolated baseline per channel"
+        );
+        self.channels
+            .iter()
+            .zip(isolated)
+            .map(|(c, iso)| {
+                let base = iso.headline().summary.p99_ns;
+                assert!(
+                    base > 0,
+                    "isolated baseline for {:?} has empty tail",
+                    c.name
+                );
+                (c.name.clone(), c.summary.p99_ns as f64 / base as f64)
+            })
+            .collect()
+    }
+
+    /// Jain fairness index over the per-channel slowdown factors of
+    /// [`ScenarioReport::slowdown_vs_isolated`]: 1.0 when every tenant
+    /// pays the same relative price for sharing, `1/n` when one tenant
+    /// absorbs the entire interference cost.
+    pub fn jain_fairness(&self, isolated: &[ScenarioReport]) -> f64 {
+        let slowdowns: Vec<f64> = self
+            .slowdown_vs_isolated(isolated)
+            .into_iter()
+            .map(|(_, f)| f)
+            .collect();
+        c3_metrics::jain_index(&slowdowns)
+    }
+
     /// A deterministic digest of everything measurable in this report:
     /// per-channel counts, every reported percentile, the f64 mean and
     /// throughput *by bits*, the duration, and the kernel event counts.
@@ -106,6 +163,7 @@ impl ScenarioReport {
         self.duration.as_nanos().hash(&mut h);
         self.events_processed.hash(&mut h);
         self.events_cancelled.hash(&mut h);
+        self.dead_events.hash(&mut h);
         for c in &self.channels {
             c.name.hash(&mut h);
             c.completions.hash(&mut h);
@@ -148,6 +206,7 @@ mod tests {
             }],
             events_processed: 500,
             events_cancelled: 0,
+            dead_events: 0,
         }
     }
 
@@ -158,6 +217,33 @@ mod tests {
         let c = toy_report(3_000_001);
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sees_dead_events() {
+        let clean = toy_report(3_000_000);
+        let dirty = toy_report(3_000_000).with_dead_events(1);
+        assert_eq!(dirty.dead_events, 1);
+        assert_ne!(clean.fingerprint(), dirty.fingerprint());
+    }
+
+    #[test]
+    fn slowdown_and_fairness_against_isolated_baselines() {
+        // Shared run with p99 = 6 ms on its one channel, isolated = 3 ms:
+        // slowdown 2x, and with a single channel Jain is trivially 1.
+        let shared = toy_report(6_000_000);
+        let isolated = vec![toy_report(3_000_000)];
+        let slow = shared.slowdown_vs_isolated(&isolated);
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].0, "latency");
+        assert!((slow[0].1 - 2.0).abs() < 1e-12);
+        assert!((shared.jain_fairness(&isolated) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one isolated baseline per channel")]
+    fn slowdown_needs_matching_baselines() {
+        let _ = toy_report(1).slowdown_vs_isolated(&[]);
     }
 
     #[test]

@@ -21,12 +21,17 @@
 //!   sweeps.
 //! - [`net`] — the C3 wire protocol (the tokio client/server sit behind
 //!   the non-default `rt` feature).
+//! - [`live`] — C3 over real loopback sockets with std-only threading: a
+//!   replicated KV fleet, a threaded client driving the same selector
+//!   state as the simulators, and live twins of the scenario library
+//!   (`live-hetero-fleet`, `live-partition-flux`).
 //!
 //! See `README.md` for the crate map and quickstart.
 
 pub use c3_cluster as cluster;
 pub use c3_core as core;
 pub use c3_engine as engine;
+pub use c3_live as live;
 pub use c3_metrics as metrics;
 pub use c3_net as net;
 pub use c3_scenarios as scenarios;
