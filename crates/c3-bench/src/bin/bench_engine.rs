@@ -1,26 +1,44 @@
-//! Engine benchmark: events/sec through the discrete-event kernel and the
-//! end-to-end §6 simulator, written to `BENCH_engine.json` so the perf
-//! trajectory across PRs has a machine-readable record.
+//! Layered engine benchmark: kernel churn, selector-only microbenches,
+//! end-to-end §6 simulator throughput, and scenario-library ops/sec —
+//! written to `BENCH_engine.json` so the perf trajectory across PRs has a
+//! machine-readable record.
 //!
-//! The kernel comparison pits the pre-refactor design (per-event
-//! `Option<E>` slots plus an auxiliary free vector, as `c3-sim`'s kernel
-//! shipped before `c3-engine` existed) against the engine's slab kernel
-//! with its intrusive free list and cancellable timers, on the same
-//! workload: a hot loop holding a bounded number of pending timers, as the
-//! simulators do.
+//! # Methodology
+//!
+//! Every number is a **best-of-R** (minimum-time) estimate over R
+//! interleaved repetitions: subjects take turns rep by rep, so slow
+//! machine phases hit all subjects alike, and the minimum-time estimator
+//! discards interference entirely — on the shared single-vCPU runners
+//! this repo builds on, steal time inflates wall-clock by double-digit
+//! percent in bursts, and a mean (or even a median over few reps) measures
+//! the neighbours, not the code. Medians are reported alongside for
+//! honesty about spread.
+//!
+//! # Modes
+//!
+//! * default — full suite, rewrites `BENCH_engine.json` (override the
+//!   path with `BENCH_ENGINE_OUT`). Deltas against the previously
+//!   committed file are embedded, so the JSON documents before → after
+//!   for every PR that touches performance.
+//! * `--smoke` — reduced-scale simulator rows only, compared against the
+//!   committed file's `smoke` section; exits non-zero when any strategy
+//!   regresses more than 15% (override with `C3_BENCH_TOLERANCE_PCT`).
+//!   This is the CI perf-regression gate.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt::Write as _;
 use std::io::Write as _;
 use std::time::Instant;
 
-use c3_core::Nanos;
-use c3_engine::EventQueue;
-use c3_sim::{SimConfig, Simulation, Strategy};
+use c3_core::{C3Config, Nanos, ReplicaSelector, ResponseInfo, Selection};
+use c3_engine::{BuiltSelector, EventQueue, SelectorCtx, Strategy, StrategyRegistry};
+use c3_scenarios::{ScenarioParams, ScenarioRegistry};
+use c3_sim::{SimConfig, Simulation};
 
-/// The seed repo's kernel, reproduced verbatim as the baseline: a binary
-/// heap of `(time, seq)` keys over `Vec<Option<E>>` slots with a separate
-/// free-slot vector.
+/// The seed repo's kernel, reproduced verbatim as the churn baseline: a
+/// binary heap of `(time, seq)` keys over `Vec<Option<E>>` slots with a
+/// separate free-slot vector.
 struct LegacyEventQueue<E> {
     heap: BinaryHeap<Reverse<((Nanos, u64), usize)>>,
     slots: Vec<Option<E>>,
@@ -75,8 +93,8 @@ fn next_delay(state: &mut u64) -> u64 {
     (*state >> 33) % 1_000_000 + 1
 }
 
-/// Kernel churn workload: keep `pending` timers alive, pop one + push one
-/// per step, `steps` times. Returns events/sec.
+/// Kernel churn workload through the legacy kernel: keep `pending` timers
+/// alive, pop one + push one per step, `steps` times. Returns events/sec.
 fn bench_legacy(pending: usize, steps: u64) -> f64 {
     let mut q = LegacyEventQueue::new();
     let mut rng = 0x1234_5678_9abc_def0u64;
@@ -93,7 +111,7 @@ fn bench_legacy(pending: usize, steps: u64) -> f64 {
     steps as f64 / secs
 }
 
-/// Same churn workload through the engine's slab kernel.
+/// Same churn workload through the engine's kernel (inline-payload path).
 fn bench_engine_kernel(pending: usize, steps: u64) -> f64 {
     let mut q: EventQueue<u64> = EventQueue::new();
     let mut rng = 0x1234_5678_9abc_def0u64;
@@ -110,13 +128,37 @@ fn bench_engine_kernel(pending: usize, steps: u64) -> f64 {
     steps as f64 / secs
 }
 
+/// Selector-only microbench: ns per select → on_send → on_response cycle
+/// over a 3-replica group out of 20 servers, mimicking the simulators'
+/// per-request selector traffic.
+fn bench_selector(selector: &mut dyn ReplicaSelector, cycles: u64) -> f64 {
+    let group = [3usize, 4, 5];
+    let info = ResponseInfo {
+        response_time: Nanos::from_millis(2),
+        feedback: None,
+    };
+    let start = Instant::now();
+    let mut picked = 0u64;
+    for i in 0..cycles {
+        let now = Nanos(i * 2_000);
+        if let Selection::Server(s) = selector.select(&group, now) {
+            selector.on_send(s, now);
+            selector.on_response(s, &info, now);
+            picked += s as u64;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(picked);
+    secs * 1e9 / cycles as f64
+}
+
 /// End-to-end simulator throughput in kernel events/sec.
-fn bench_simulator(strategy: Strategy) -> (f64, u64) {
+fn bench_simulator(strategy: Strategy, total_requests: u64) -> (f64, u64) {
     let cfg = SimConfig {
         servers: 20,
         clients: 40,
         generators: 40,
-        total_requests: 60_000,
+        total_requests,
         fluctuation_interval: Nanos::from_millis(100),
         strategy,
         seed: 9,
@@ -129,60 +171,330 @@ fn bench_simulator(strategy: Strategy) -> (f64, u64) {
     (res.events_processed as f64 / secs, res.events_processed)
 }
 
-fn median_of(mut runs: Vec<f64>) -> f64 {
+/// Full scenario-library run (C3 strategy): `(ops/sec, events/sec)`.
+fn bench_scenario(reg: &ScenarioRegistry, name: &str, ops: u64) -> (f64, f64) {
+    let params = ScenarioParams::sized(Strategy::c3(), 9, ops);
+    let start = Instant::now();
+    let report = reg.run(name, &params).expect("scenario cell supported");
+    let secs = start.elapsed().as_secs_f64();
+    (
+        report.total_completions() as f64 / secs,
+        report.events_processed as f64 / secs,
+    )
+}
+
+/// Best (interference-free estimate) and median of a set of rate samples.
+fn best_and_median(mut runs: Vec<f64>) -> (f64, f64) {
     runs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-    runs[runs.len() / 2]
+    let median = runs[runs.len() / 2];
+    let best = *runs.last().expect("non-empty");
+    (best, median)
+}
+
+/// Run `subjects` round-robin for `reps` rounds, collecting per-subject
+/// samples; interleaving decorrelates slow machine phases from subjects.
+fn interleaved<T>(
+    subjects: &mut [T],
+    reps: usize,
+    mut run: impl FnMut(&mut T) -> f64,
+) -> Vec<Vec<f64>> {
+    let mut out: Vec<Vec<f64>> = subjects.iter().map(|_| Vec::with_capacity(reps)).collect();
+    for _ in 0..reps {
+        for (i, s) in subjects.iter_mut().enumerate() {
+            out[i].push(run(s));
+        }
+    }
+    out
+}
+
+/// Pull the number following `"<field>":` after `"<key>"` inside
+/// `"<section>"` out of the committed JSON (good enough for the schema
+/// this binary itself writes).
+fn scrape_number(json: &str, section: &str, key: &str, field: &str) -> Option<f64> {
+    let sec = json.find(&format!("\"{section}\""))?;
+    let tail = &json[sec..];
+    let k = tail.find(&format!("\"{key}\""))?;
+    let tail = &tail[k..];
+    let needle = format!("\"{field}\":");
+    let f = tail.find(&needle)?;
+    let tail = &tail[f + needle.len()..];
+    let end = tail.find([',', '}']).unwrap_or(tail.len());
+    tail[..end].trim().parse().ok()
+}
+
+/// Pull `"<key>": {"events_per_sec": <num>` out of the committed JSON.
+fn scrape_rate(json: &str, section: &str, key: &str) -> Option<f64> {
+    scrape_number(json, section, key, "events_per_sec")
+}
+
+const SIM_STRATEGIES: [&str; 3] = ["C3", "LOR", "ORA"];
+const FULL_REQUESTS: u64 = 60_000;
+const SMOKE_REQUESTS: u64 = 12_000;
+const SIM_REPS: usize = 13;
+
+fn measure_simulator(total_requests: u64, reps: usize) -> Vec<(String, f64, f64, u64)> {
+    let mut subjects: Vec<(Strategy, u64)> = SIM_STRATEGIES
+        .iter()
+        .map(|s| (Strategy::named(*s), 0u64))
+        .collect();
+    let samples = interleaved(&mut subjects, reps, |(strategy, events)| {
+        let (rate, ev) = bench_simulator(strategy.clone(), total_requests);
+        *events = ev;
+        rate
+    });
+    subjects
+        .iter()
+        .zip(samples)
+        .map(|((strategy, events), runs)| {
+            let (best, median) = best_and_median(runs);
+            (strategy.name().to_string(), best, median, *events)
+        })
+        .collect()
+}
+
+fn run_smoke(baseline: &str) -> i32 {
+    let tolerance_pct: f64 = std::env::var("C3_BENCH_TOLERANCE_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15.0);
+    println!("bench smoke: {SMOKE_REQUESTS} requests/strategy, best of {SIM_REPS}, tolerance {tolerance_pct}%");
+
+    // Machine-speed canary: the committed baseline was measured on some
+    // other (or other-phased) host. The legacy seed kernel is frozen code
+    // — it never changes across PRs — so the ratio of its churn rate now
+    // vs at commit time measures pure machine speed, and the committed
+    // simulator baseline is rescaled by it before the gate applies. A
+    // slow CI runner then doesn't fail the build; slow *code* still does.
+    let canary_now = {
+        let runs: Vec<f64> = (0..5).map(|_| bench_legacy(128, 500_000)).collect();
+        best_and_median(runs).0
+    };
+    let scale = scrape_number(baseline, "smoke", "canary", "legacy_events_per_sec")
+        .map(|committed| canary_now / committed);
+    match scale {
+        Some(s) => println!(
+            "  machine-speed canary (legacy kernel churn): {canary_now:.0} ev/s, {s:.2}x the committed host"
+        ),
+        None => println!(
+            "  machine-speed canary: no committed canary — comparing raw events/sec"
+        ),
+    }
+
+    let rows = measure_simulator(SMOKE_REQUESTS, SIM_REPS);
+    let mut failed = false;
+    for (name, best, median, _) in rows {
+        match scrape_rate(baseline, "smoke", &name) {
+            Some(committed) => {
+                let expected = committed * scale.unwrap_or(1.0);
+                let delta_pct = (best / expected - 1.0) * 100.0;
+                let ok = delta_pct >= -tolerance_pct;
+                println!(
+                    "  {name:<4} best {best:>12.0} ev/s (median {median:>12.0})  expected {expected:>12.0}  delta {delta_pct:+.1}%  {}",
+                    if ok { "ok" } else { "REGRESSION" }
+                );
+                failed |= !ok;
+            }
+            None => println!(
+                "  {name:<4} best {best:>12.0} ev/s (median {median:>12.0})  no committed smoke baseline — skipped"
+            ),
+        }
+    }
+    if failed {
+        eprintln!("bench smoke FAILED: simulator events/sec regressed more than {tolerance_pct}% (machine-speed-normalized)");
+        1
+    } else {
+        println!("bench smoke ok");
+        0
+    }
 }
 
 fn main() {
-    const PENDING: usize = 4_096;
-    const STEPS: u64 = 2_000_000;
-    const REPS: usize = 5;
+    let out_path = std::env::var("BENCH_ENGINE_OUT").unwrap_or_else(|_| "BENCH_engine.json".into());
+    // The committed file doubles as the regression baseline; read it
+    // before overwriting.
+    let committed = std::fs::read_to_string("BENCH_engine.json").unwrap_or_default();
 
-    println!("engine benchmark: kernel churn ({PENDING} pending timers, {STEPS} steps) ×{REPS}");
-    let legacy = median_of((0..REPS).map(|_| bench_legacy(PENDING, STEPS)).collect());
-    let slab = median_of(
-        (0..REPS)
-            .map(|_| bench_engine_kernel(PENDING, STEPS))
-            .collect(),
-    );
-    println!("  legacy Option-slot kernel: {legacy:>12.0} events/sec");
-    println!("  c3-engine slab kernel:     {slab:>12.0} events/sec");
-    println!("  delta: {:+.1}%", (slab / legacy - 1.0) * 100.0);
-
-    println!("end-to-end §6 simulator (60k requests, 20 servers):");
-    let mut sim_results = Vec::new();
-    for strategy in [Strategy::c3(), Strategy::lor(), Strategy::oracle()] {
-        let label = strategy.label().to_string();
-        let (eps, events) = {
-            let runs: Vec<(f64, u64)> = (0..3).map(|_| bench_simulator(strategy.clone())).collect();
-            let eps = median_of(runs.iter().map(|r| r.0).collect());
-            (eps, runs[0].1)
-        };
-        println!("  {label:<4} {eps:>12.0} events/sec ({events} events)");
-        sim_results.push((label, eps, events));
+    if std::env::args().any(|a| a == "--smoke") {
+        std::process::exit(run_smoke(&committed));
     }
 
+    // ---- layer 1: kernel churn -------------------------------------------
+    const KERNEL_STEPS: u64 = 2_000_000;
+    const KERNEL_REPS: usize = 5;
+    // 128 pending ≈ the live-event census of the §6 simulator runs; 4096
+    // is the historical stress figure.
+    let kernel_cases = [128usize, 4096];
+    println!("kernel churn ({KERNEL_STEPS} steps, best of {KERNEL_REPS}):");
+    let mut kernel_rows = Vec::new();
+    for pending in kernel_cases {
+        let mut subjects = ["legacy", "engine"];
+        let samples = interleaved(&mut subjects, KERNEL_REPS, |which| match *which {
+            "legacy" => bench_legacy(pending, KERNEL_STEPS),
+            _ => bench_engine_kernel(pending, KERNEL_STEPS),
+        });
+        let (legacy_best, _) = best_and_median(samples[0].clone());
+        let (engine_best, _) = best_and_median(samples[1].clone());
+        let delta = (engine_best / legacy_best - 1.0) * 100.0;
+        println!(
+            "  pending {pending:>5}: legacy {legacy_best:>12.0} ev/s | engine {engine_best:>12.0} ev/s | {delta:+.1}%"
+        );
+        kernel_rows.push((pending, legacy_best, engine_best, delta));
+    }
+
+    // ---- layer 2: selector-only microbench -------------------------------
+    const SELECTOR_CYCLES: u64 = 1_000_000;
+    const SELECTOR_REPS: usize = 5;
+    let registry = StrategyRegistry::with_defaults();
+    let ctx = SelectorCtx {
+        servers: 20,
+        c3: C3Config::for_clients(40),
+        seed: 7,
+        now: Nanos::ZERO,
+    };
+    let mut selectors: Vec<(String, Box<dyn ReplicaSelector>)> = registry
+        .names()
+        .iter()
+        .filter_map(|name| {
+            match registry.build(&Strategy::named(*name), &ctx).ok()? {
+                BuiltSelector::Selector(s) => Some((name.to_string(), s)),
+                BuiltSelector::Oracle => None, // needs simulator-global state
+            }
+        })
+        .collect();
+    println!(
+        "selector microbench ({SELECTOR_CYCLES} cycles, group of 3/20, best of {SELECTOR_REPS}):"
+    );
+    let samples = interleaved(&mut selectors, SELECTOR_REPS, |(_, s)| {
+        // Negated: best_and_median picks the max, and for ns/op lower is
+        // better.
+        -bench_selector(s.as_mut(), SELECTOR_CYCLES)
+    });
+    let mut selector_rows = Vec::new();
+    for ((name, _), runs) in selectors.iter().zip(samples) {
+        let (best, _) = best_and_median(runs);
+        let ns = -best;
+        println!("  {name:<8} {ns:>7.1} ns/cycle");
+        selector_rows.push((name.clone(), ns));
+    }
+
+    // ---- layer 3: end-to-end simulator -----------------------------------
+    println!("§6 simulator ({FULL_REQUESTS} requests, 20 servers, best of {SIM_REPS}):");
+    let sim_rows = measure_simulator(FULL_REQUESTS, SIM_REPS);
+    let mut sim_json_rows = Vec::new();
+    for (name, best, median, events) in &sim_rows {
+        let baseline = scrape_rate(&committed, "simulator", name);
+        let speedup = baseline.map(|b| *best / b);
+        match speedup {
+            Some(s) => println!(
+                "  {name:<4} best {best:>12.0} ev/s (median {median:>12.0}, {events} events)  {s:.2}x vs committed"
+            ),
+            None => println!(
+                "  {name:<4} best {best:>12.0} ev/s (median {median:>12.0}, {events} events)"
+            ),
+        }
+        sim_json_rows.push((name.clone(), *best, *median, *events, baseline, speedup));
+    }
+
+    // Reduced-scale rows: the committed baseline the CI smoke gate
+    // compares against (same scale as `--smoke` runs), plus the frozen
+    // legacy-kernel canary the gate uses to normalize machine speed.
+    println!("smoke baseline rows ({SMOKE_REQUESTS} requests):");
+    let smoke_canary = {
+        let runs: Vec<f64> = (0..5).map(|_| bench_legacy(128, 500_000)).collect();
+        best_and_median(runs).0
+    };
+    println!("  machine-speed canary: {smoke_canary:.0} ev/s");
+    let smoke_rows = measure_simulator(SMOKE_REQUESTS, SIM_REPS);
+    for (name, best, _, _) in &smoke_rows {
+        println!("  {name:<4} best {best:>12.0} ev/s");
+    }
+
+    // ---- layer 4: scenario library ---------------------------------------
+    const SCENARIO_OPS: u64 = 20_000;
+    const SCENARIO_REPS: usize = 3;
+    let scenarios = ScenarioRegistry::with_defaults();
+    let mut names = scenarios.names();
+    println!("scenario library (C3, {SCENARIO_OPS} ops, best of {SCENARIO_REPS}):");
+    let samples = interleaved(&mut names, SCENARIO_REPS, |name| {
+        let (ops, _events) = bench_scenario(&scenarios, name, SCENARIO_OPS);
+        ops
+    });
+    let mut scenario_rows = Vec::new();
+    for (name, runs) in names.iter().zip(samples) {
+        let (best, _) = best_and_median(runs);
+        println!("  {name:<16} {best:>10.0} ops/sec");
+        scenario_rows.push((name.to_string(), best));
+    }
+
+    // ---- write JSON ------------------------------------------------------
     let mut json = String::new();
     json.push_str("{\n");
+    json.push_str("  \"schema\": 2,\n");
     json.push_str(&format!(
-        "  \"kernel_churn\": {{\"pending\": {PENDING}, \"steps\": {STEPS}, \
-         \"legacy_events_per_sec\": {legacy:.0}, \"engine_events_per_sec\": {slab:.0}, \
-         \"delta_pct\": {:.2}}},\n",
-        (slab / legacy - 1.0) * 100.0
+        "  \"methodology\": {{\"estimator\": \"best-of-R interleaved (min-time)\", \"kernel_reps\": {KERNEL_REPS}, \"sim_reps\": {SIM_REPS}}},\n"
     ));
+    json.push_str("  \"kernel_churn\": [\n");
+    for (i, (pending, legacy, engine, delta)) in kernel_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"pending\": {pending}, \"steps\": {KERNEL_STEPS}, \"legacy_events_per_sec\": {legacy:.0}, \"engine_events_per_sec\": {engine:.0}, \"delta_pct\": {delta:.2}}}{}",
+            if i + 1 < kernel_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"selector_ns_per_cycle\": {\n");
+    for (i, (name, ns)) in selector_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{name}\": {ns:.1}{}",
+            if i + 1 < selector_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  },\n");
     json.push_str("  \"simulator\": {\n");
-    for (i, (label, eps, events)) in sim_results.iter().enumerate() {
-        json.push_str(&format!(
-            "    \"{label}\": {{\"events_per_sec\": {eps:.0}, \"events\": {events}}}{}\n",
-            if i + 1 < sim_results.len() { "," } else { "" }
-        ));
+    for (i, (name, best, median, events, baseline, speedup)) in sim_json_rows.iter().enumerate() {
+        let mut row = format!(
+            "    \"{name}\": {{\"events_per_sec\": {best:.0}, \"median_events_per_sec\": {median:.0}, \"events\": {events}"
+        );
+        if let (Some(b), Some(s)) = (baseline, speedup) {
+            let _ = write!(
+                row,
+                ", \"previous_events_per_sec\": {b:.0}, \"speedup\": {s:.2}"
+            );
+        }
+        let _ = writeln!(
+            json,
+            "{row}}}{}",
+            if i + 1 < sim_json_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"smoke\": {\n");
+    let _ = writeln!(json, "    \"requests\": {SMOKE_REQUESTS},");
+    let _ = writeln!(
+        json,
+        "    \"canary\": {{\"legacy_events_per_sec\": {smoke_canary:.0}}},"
+    );
+    for (i, (name, best, _, events)) in smoke_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{name}\": {{\"events_per_sec\": {best:.0}, \"events\": {events}}}{}",
+            if i + 1 < smoke_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"scenario_ops_per_sec\": {\n");
+    for (i, (name, ops)) in scenario_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{name}\": {ops:.0}{}",
+            if i + 1 < scenario_rows.len() { "," } else { "" }
+        );
     }
     json.push_str("  }\n}\n");
 
-    let path = std::env::var("BENCH_ENGINE_OUT").unwrap_or_else(|_| "BENCH_engine.json".into());
-    let mut f = std::fs::File::create(&path).expect("create BENCH_engine.json");
+    let mut f = std::fs::File::create(&out_path).expect("create BENCH_engine.json");
     f.write_all(json.as_bytes())
         .expect("write BENCH_engine.json");
-    println!("wrote {path}");
+    println!("wrote {out_path}");
 }

@@ -113,6 +113,9 @@ struct SendState {
     node: u16,
     is_write: bool,
     sent_at: Nanos,
+    /// Feedback piggybacked on this send's response — inline so the
+    /// per-response path touches one array, not two.
+    feedback: Feedback,
 }
 
 /// Per-node service stages.
@@ -131,6 +134,9 @@ struct NodeState {
 struct Coordinator {
     selector: Box<dyn ReplicaSelector>,
     backlogs: Vec<BacklogQueue<OpId>>,
+    /// Number of non-empty backlogs: lets the per-response drain skip the
+    /// group walk entirely in the common no-backpressure case.
+    backlogged: u32,
     /// Pending `RetryBacklog` timer per replica group, cancelled when a
     /// response drains the backlog first (so no dead retry events fire).
     retry_timer: Vec<Option<TimerId>>,
@@ -223,7 +229,6 @@ pub struct ClusterScenario {
     coords: Vec<Coordinator>,
     ops: Vec<OpState>,
     sends: Vec<SendState>,
-    feedbacks: Vec<Feedback>,
     /// Key chooser + mix per generator thread.
     threads: Vec<ThreadState>,
     /// Shared Zipfian tables cloned into phase threads (Figure 11).
@@ -247,8 +252,9 @@ pub struct ClusterScenario {
     score_trace: Vec<(Nanos, Vec<f64>)>,
     score_interval: Nanos,
     last_score_sample: Option<Nanos>,
-    /// Scratch for the per-response backlog drain (avoids allocation).
-    drain_scratch: Vec<usize>,
+    /// Scratch for the replica group under dispatch (avoids allocating a
+    /// group Vec per operation).
+    group_scratch: Vec<ServerId>,
 }
 
 struct ThreadState {
@@ -319,6 +325,7 @@ impl ClusterScenario {
                 Coordinator {
                     selector,
                     backlogs: (0..cfg.nodes).map(|_| BacklogQueue::new()).collect(),
+                    backlogged: 0,
                     retry_timer: vec![None; cfg.nodes],
                     replica_latency: LogHistogram::new(),
                 }
@@ -351,7 +358,6 @@ impl ClusterScenario {
             key_template,
             ops: Vec::with_capacity(cfg.total_ops as usize),
             sends: Vec::with_capacity(cfg.total_ops as usize * 2),
-            feedbacks: Vec::with_capacity(cfg.total_ops as usize * 2),
             threads,
             records,
             seeds,
@@ -369,7 +375,7 @@ impl ClusterScenario {
             score_trace: Vec::new(),
             score_interval: Nanos::from_millis(50),
             last_score_sample: None,
-            drain_scratch: Vec::new(),
+            group_scratch: Vec::new(),
             wl_rng,
             cfg,
         }
@@ -449,6 +455,24 @@ impl ClusterScenario {
         self.dead_spec_checks + self.dead_retries
     }
 
+    /// Fill the reusable scratch buffer with the replica group whose
+    /// primary is `primary` and hand it out. Callers return it with
+    /// [`ClusterScenario::put_group`]; the take/put dance exists so the
+    /// slice can be borrowed while `&mut self` methods run, without
+    /// allocating a group Vec per operation.
+    fn take_group(&mut self, primary: usize) -> Vec<ServerId> {
+        let mut group = std::mem::take(&mut self.group_scratch);
+        group.clear();
+        let ring = self.ring;
+        group.extend(ring.group_members(primary));
+        group
+    }
+
+    /// Return the scratch buffer taken by [`ClusterScenario::take_group`].
+    fn put_group(&mut self, group: Vec<ServerId>) {
+        self.group_scratch = group;
+    }
+
     // ---- client side -----------------------------------------------------
 
     fn on_client_issue(&mut self, thread: usize, now: Nanos, engine: &mut EventQueue<Ev>) {
@@ -516,9 +540,11 @@ impl ClusterScenario {
         let op = self.ops[op_id as usize];
         match op.kind {
             Op::Update => {
-                // Writes fan out to all replicas; CL=ONE.
-                let group = self.ring.group_of_primary(op.group as usize);
-                for node in group {
+                // Writes fan out to all replicas (CL=ONE); the ring copy
+                // keeps the per-write path allocation-free while the group
+                // layout stays defined in one place.
+                let ring = self.ring;
+                for node in ring.group_members(op.group as usize) {
                     self.forward(op_id, node, true, false, now, engine);
                 }
             }
@@ -529,7 +555,7 @@ impl ClusterScenario {
     fn dispatch_read(&mut self, op_id: OpId, now: Nanos, engine: &mut EventQueue<Ev>) {
         let op = self.ops[op_id as usize];
         let coord_id = op.coord as usize;
-        let group = self.ring.group_of_primary(op.group as usize);
+        let group = self.take_group(op.group as usize);
 
         match self.coords[coord_id].selector.select(&group, now) {
             Selection::Server(primary) => {
@@ -545,18 +571,22 @@ impl ClusterScenario {
                 }
                 if self.cfg.speculative_retry {
                     let threshold = self.spec_threshold(coord_id);
-                    let timer = engine.schedule_in(threshold, Ev::SpecCheck { op: op_id });
+                    let timer =
+                        engine.schedule_in_cancellable(threshold, Ev::SpecCheck { op: op_id });
                     self.ops[op_id as usize].spec_timer = Some(timer);
                 }
             }
             Selection::Backpressure { retry_at } => {
                 let group_id = op.group as usize;
                 let coord = &mut self.coords[coord_id];
+                if coord.backlogs[group_id].is_empty() {
+                    coord.backlogged += 1;
+                }
                 coord.backlogs[group_id].push(op_id);
                 let entered_backpressure = coord.backlogs[group_id].len() == 1;
                 if coord.retry_timer[group_id].is_none() {
                     let at = retry_at.max(now + Nanos(1));
-                    let timer = engine.schedule(
+                    let timer = engine.schedule_cancellable(
                         at,
                         Ev::RetryBacklog {
                             coord: coord_id,
@@ -574,6 +604,7 @@ impl ClusterScenario {
                 }
             }
         }
+        self.put_group(group);
     }
 
     /// Forward a sub-request from the coordinator to a replica node.
@@ -592,8 +623,8 @@ impl ClusterScenario {
             node: node as u16,
             is_write,
             sent_at: now,
+            feedback: Feedback::new(0, Nanos::ZERO),
         });
-        self.feedbacks.push(Feedback::new(0, Nanos::ZERO));
         if primary {
             self.ops[op_id as usize].primary_send = send_id;
         }
@@ -630,8 +661,12 @@ impl ClusterScenario {
         self.spec_retries += 1;
         // Reissue to a replica other than the one already tried.
         let tried = self.sends[op.primary_send as usize].node as usize;
-        let group = self.ring.group_of_primary(op.group as usize);
-        let alt = *group.iter().find(|&&n| n != tried).unwrap_or(&group[0]);
+        let primary = op.group as usize;
+        let alt = self
+            .ring
+            .group_members(primary)
+            .find(|&m| m != tried)
+            .unwrap_or(primary);
         let coord_id = op.coord as usize;
         self.coords[coord_id].selector.on_send(alt, now);
         // Whichever response arrives first completes the op (completion is
@@ -642,8 +677,8 @@ impl ClusterScenario {
             node: alt as u16,
             is_write: false,
             sent_at: now,
+            feedback: Feedback::new(0, Nanos::ZERO),
         });
-        self.feedbacks.push(Feedback::new(0, Nanos::ZERO));
         let delay = if coord_id == alt {
             Nanos::from_micros(20)
         } else {
@@ -751,7 +786,7 @@ impl ClusterScenario {
             let node = &self.nodes[node_id];
             (node.read_inflight + node.read_q.len()) as u32
         };
-        self.feedbacks[send_id as usize] = Feedback::new(pending, service_time);
+        self.sends[send_id as usize].feedback = Feedback::new(pending, service_time);
 
         let coord = self.ops[send.op as usize].coord as usize;
         let delay = if coord == node_id {
@@ -770,7 +805,7 @@ impl ClusterScenario {
         let coord_id = op.coord as usize;
         let node = send.node as usize;
         let rtt = now.saturating_sub(send.sent_at);
-        let feedback = self.feedbacks[send_id as usize];
+        let feedback = send.feedback;
 
         // Update the coordinator's selection state (reads only; writes are
         // fan-out sends the selector never chose).
@@ -831,17 +866,17 @@ impl ClusterScenario {
 
         // A response may free rate for the backlogged groups containing
         // this node (backpressure-capable selectors only; others never
-        // have a backlog). The scratch buffer is reused across events so
-        // this per-response path does not allocate.
-        let mut groups = std::mem::take(&mut self.drain_scratch);
-        groups.clear();
-        groups.extend(self.ring.groups_of_node(node));
-        for &group_id in &groups {
-            if !self.coords[coord_id].backlogs[group_id].is_empty() {
-                self.on_retry(coord_id, group_id, now, engine, false);
+        // have a backlog). The non-empty-backlog counter makes the common
+        // nothing-backlogged case a single load; the group ids are
+        // computed arithmetically, so this path never allocates.
+        if self.coords[coord_id].backlogged > 0 {
+            let ring = self.ring;
+            for group_id in ring.groups_of_node(node) {
+                if !self.coords[coord_id].backlogs[group_id].is_empty() {
+                    self.on_retry(coord_id, group_id, now, engine, false);
+                }
             }
         }
-        self.drain_scratch = groups;
     }
 
     fn on_retry(
@@ -866,15 +901,18 @@ impl ClusterScenario {
             // below supersedes it, so the timer must not fire dead.
             engine.cancel(timer);
         }
-        loop {
-            let Some(&op_id) = self.coords[coord_id].backlogs[group_id].peek() else {
-                return;
-            };
-            let group = self.ring.group_of_primary(group_id);
+        let group = self.take_group(group_id);
+        'drain: while let Some(&op_id) = self.coords[coord_id].backlogs[group_id].peek() {
             match self.coords[coord_id].selector.select(&group, now) {
                 Selection::Server(node) => {
-                    self.coords[coord_id].backlogs[group_id].pop();
-                    self.coords[coord_id].selector.on_send(node, now);
+                    {
+                        let coord = &mut self.coords[coord_id];
+                        coord.backlogs[group_id].pop();
+                        if coord.backlogs[group_id].is_empty() {
+                            coord.backlogged -= 1;
+                        }
+                        coord.selector.on_send(node, now);
+                    }
                     self.forward(op_id, node, false, true, now, engine);
                     let op = self.ops[op_id as usize];
                     if op.read_repair {
@@ -890,7 +928,7 @@ impl ClusterScenario {
                     let coord = &mut self.coords[coord_id];
                     if coord.retry_timer[group_id].is_none() {
                         let at = retry_at.max(now + Nanos(1));
-                        let timer = engine.schedule(
+                        let timer = engine.schedule_cancellable(
                             at,
                             Ev::RetryBacklog {
                                 coord: coord_id,
@@ -899,10 +937,11 @@ impl ClusterScenario {
                         );
                         coord.retry_timer[group_id] = Some(timer);
                     }
-                    return;
+                    break 'drain;
                 }
             }
         }
+        self.put_group(group);
     }
 
     // ---- cluster-wide processes -------------------------------------------

@@ -10,7 +10,11 @@
 use c3_core::ServerId;
 
 /// Equal-range token ring with successor replication.
-#[derive(Clone, Debug)]
+///
+/// `Copy` on purpose: hot paths that need a replica group while holding
+/// `&mut` to their scenario copy the ring out first, so group membership
+/// always comes from these methods instead of re-derived arithmetic.
+#[derive(Clone, Copy, Debug)]
 pub struct Ring {
     nodes: usize,
     replication_factor: usize,
@@ -77,9 +81,15 @@ impl Ring {
 
     /// The members of the replica group whose primary is `primary`.
     pub fn group_of_primary(&self, primary: ServerId) -> Vec<ServerId> {
-        (0..self.replication_factor)
-            .map(|k| (primary + k) % self.nodes)
-            .collect()
+        self.group_members(primary).collect()
+    }
+
+    /// The members of the replica group whose primary is `primary`, in
+    /// group order, without allocating — the hot-path form of
+    /// [`Ring::group_of_primary`].
+    pub fn group_members(&self, primary: ServerId) -> impl Iterator<Item = ServerId> + '_ {
+        let nodes = self.nodes;
+        (0..self.replication_factor).map(move |k| (primary + k) % nodes)
     }
 
     /// All groups that `node` belongs to (used to drain backlogs when a

@@ -34,17 +34,25 @@ pub enum RatePhase {
 }
 
 /// Per-server token-bucket rate limiter with cubic rate adaptation.
+///
+/// Field order is hot-first: `try_acquire` runs once per selection for
+/// every C3 client × server pair, and its working set (tokens, window
+/// start, the δ copy, the meter) packs into the limiter's first cache
+/// line; the adaptation anchors and introspection counters trail behind.
 #[derive(Clone, Debug)]
 pub struct RateLimiter {
-    cfg: RateParams,
-    /// Current sending-rate limit, requests per δ.
-    srate: f64,
     /// Tokens remaining in the current δ window.
     tokens: f64,
     /// Start of the current token window.
     window_start: Nanos,
+    /// δ in nanoseconds, copied next to the token state so the per-send
+    /// path does not reach into `cfg`'s cache line.
+    delta_ns: u64,
+    /// Current sending-rate limit, requests per δ.
+    srate: f64,
     /// Per-window traffic measurement (sends, receives, throttles).
     meter: WindowMeter,
+    cfg: RateParams,
     /// Saturation rate `R₀`: srate at the moment of the last decrease.
     r0: f64,
     /// Time of the last multiplicative decrease.
@@ -62,7 +70,6 @@ pub struct RateLimiter {
 #[derive(Clone, Copy, Debug)]
 struct RateParams {
     beta: f64,
-    delta: Nanos,
     saddle: Nanos,
     smax: f64,
     hysteresis: Nanos,
@@ -88,7 +95,6 @@ impl RateLimiter {
         Self {
             cfg: RateParams {
                 beta: cfg.beta,
-                delta: cfg.delta,
                 saddle: cfg.saddle,
                 smax: cfg.smax,
                 hysteresis: cfg.hysteresis,
@@ -97,6 +103,7 @@ impl RateLimiter {
             srate: cfg.initial_rate,
             tokens: cfg.initial_rate,
             window_start: now,
+            delta_ns: cfg.delta.as_nanos(),
             meter: WindowMeter::new(now),
             r0: cfg.initial_rate,
             t_decrease: now,
@@ -162,14 +169,23 @@ impl RateLimiter {
     }
 
     /// Roll the token window forward if `now` has crossed one or more
-    /// window boundaries, refilling the budget to `srate`.
+    /// window boundaries, refilling the budget.
+    ///
+    /// Refill accumulates `srate` per elapsed window, capped at
+    /// `max(srate, 1.0)`. For rates of at least one request per window the
+    /// cap makes this identical to the historical "reset to `srate`"
+    /// refill (the accumulated value always clears the cap). For
+    /// fractional rates the accumulation is what makes `min_rate < 1.0`
+    /// usable at all: a whole token is needed to send, so a window that
+    /// refilled *to* `0.5` tokens could never send — the limiter starved
+    /// permanently instead of sending every other window.
     fn roll_window(&mut self, now: Nanos) {
-        let delta = self.cfg.delta.as_nanos();
+        let delta = self.delta_ns;
         let elapsed = now.saturating_sub(self.window_start).as_nanos();
         if elapsed >= delta {
             let windows = elapsed / delta;
             self.window_start = Nanos(self.window_start.as_nanos() + windows * delta);
-            self.tokens = self.srate;
+            self.tokens = (self.tokens + windows as f64 * self.srate).min(self.srate.max(1.0));
         }
     }
 
@@ -178,7 +194,7 @@ impl RateLimiter {
     /// saturated for the remainder of the window.
     pub fn try_acquire(&mut self, now: Nanos) -> bool {
         self.roll_window(now);
-        self.meter.roll(now, self.cfg.delta);
+        self.meter.roll(now, Nanos(self.delta_ns));
         if self.tokens >= 1.0 {
             self.tokens -= 1.0;
             self.meter.sent += 1;
@@ -190,14 +206,25 @@ impl RateLimiter {
         }
     }
 
-    /// Earliest time at which a token could become available again (the next
-    /// window boundary). Backpressured callers should retry then (a response
-    /// arriving earlier may also raise the rate; callers retry on responses
-    /// too).
+    /// Earliest window boundary at which a whole send token could exist.
+    /// Backpressured callers should retry then (a response arriving
+    /// earlier may also raise the rate; callers retry on responses too).
+    ///
+    /// For rates of at least one token per window this is simply the next
+    /// boundary. For fractional rates it is the boundary at which the
+    /// accumulated fraction first reaches a whole token — otherwise a
+    /// backlogged caller's retry timer would fire (and fail, and
+    /// reschedule) up to `⌈1/srate⌉` times per actual send opportunity.
     pub fn next_window(&self, now: Nanos) -> Nanos {
-        let delta = self.cfg.delta.as_nanos();
+        let delta = self.delta_ns;
         let elapsed = now.saturating_sub(self.window_start).as_nanos();
-        let windows_ahead = elapsed / delta + 1;
+        let base = elapsed / delta + 1;
+        let windows_ahead = if self.srate >= 1.0 {
+            base
+        } else {
+            let needed = ((1.0 - self.tokens) / self.srate).ceil() as u64;
+            base.max(needed)
+        };
         Nanos(self.window_start.as_nanos() + windows_ahead * delta)
     }
 
@@ -227,7 +254,7 @@ impl RateLimiter {
     /// stands in for) and grows along the cubic curve when the budget was
     /// actually exhausted while the server kept pace.
     pub fn on_response(&mut self, now: Nanos) {
-        self.meter.roll(now, self.cfg.delta);
+        self.meter.roll(now, Nanos(self.delta_ns));
         self.meter.recv += 1;
         let arate = self.meter.arate;
         let rrate = self.meter.rrate;
@@ -265,19 +292,24 @@ impl RateLimiter {
 const DEAD_BAND: f64 = 1.0;
 
 /// Per-δ-window measurement of actual traffic to one server.
+///
+/// Counts are `u32`: a δ window is 20 ms, so even at one event per
+/// nanosecond a window cannot overflow 32 bits — and a C3 client keeps
+/// one limiter per server, so the smaller meter is real cache relief on
+/// the per-request path.
 #[derive(Clone, Copy, Debug)]
 struct WindowMeter {
     window_start: Nanos,
-    sent: u64,
-    recv: u64,
-    throttled: u64,
+    sent: u32,
+    recv: u32,
+    throttled: u32,
+    /// Whether any send was throttled in the last completed window (or the
+    /// current one).
+    was_throttled: bool,
     /// Send rate over the last completed window.
     arate: f64,
     /// Receive rate over the last completed window.
     rrate: f64,
-    /// Whether any send was throttled in the last completed window (or the
-    /// current one).
-    was_throttled: bool,
 }
 
 impl WindowMeter {
@@ -374,6 +406,25 @@ mod tests {
     }
 
     #[test]
+    fn next_window_skips_to_whole_token_for_fractional_rates() {
+        // At 0.25 tokens/window a drained bucket needs four windows; the
+        // retry hint must point there directly instead of at the next
+        // boundary (where a retry would just fail and reschedule).
+        let c = C3Config {
+            initial_rate: 0.25,
+            min_rate: 0.25,
+            ..C3Config::default()
+        };
+        let mut rl = RateLimiter::new(&c, Nanos::ZERO);
+        assert!(!rl.try_acquire(ms(1)), "0.25 tokens cannot send");
+        assert_eq!(rl.next_window(ms(1)), ms(60), "3 more windows to 1.0");
+        // After the token is spent the full 1/srate wait applies.
+        assert!(rl.try_acquire(ms(60)));
+        assert!(!rl.try_acquire(ms(61)));
+        assert_eq!(rl.next_window(ms(61)), ms(140), "4 windows from 60 ms");
+    }
+
+    #[test]
     fn cubic_curve_endpoints() {
         // At ΔT=0 the curve is R₀(1−β); at the saddle it crosses R₀.
         let r0 = 100.0;
@@ -441,6 +492,67 @@ mod tests {
         drive(&mut rl, 0, 50, 1, 10); // light traffic, healthy server
         assert_eq!(rl.stats().decreases, 0, "healthy idle traffic decreased");
         assert_eq!(rl.srate(), 10.0);
+    }
+
+    #[test]
+    fn fractional_rate_accumulates_tokens_across_windows() {
+        // A limiter pinned below one request per window must still send —
+        // at the fractional rate, not never. With srate = 0.25 the bucket
+        // needs four windows to accumulate a whole token.
+        let c = C3Config {
+            initial_rate: 0.25,
+            min_rate: 0.25,
+            ..C3Config::default()
+        };
+        let mut rl = RateLimiter::new(&c, Nanos::ZERO);
+        let mut sent = 0;
+        for w in 0..40u64 {
+            if rl.try_acquire(ms(w * 20)) {
+                sent += 1;
+            }
+        }
+        assert_eq!(
+            sent, 10,
+            "0.25 tokens/window over 40 windows must send 10 times"
+        );
+    }
+
+    #[test]
+    fn fractional_accumulation_caps_at_one_token() {
+        // A long idle gap must not bank more than one whole token for a
+        // sub-1.0 rate: the cap keeps fractional limiters from bursting.
+        let c = C3Config {
+            initial_rate: 0.5,
+            min_rate: 0.5,
+            ..C3Config::default()
+        };
+        let mut rl = RateLimiter::new(&c, Nanos::ZERO);
+        // 100 windows of idling bank at most 1.0 token.
+        assert!(rl.try_acquire(ms(2_000)));
+        assert!(!rl.try_acquire(ms(2_001)), "only one token banked");
+        // The next whole token takes two more windows at 0.5/window.
+        assert!(!rl.try_acquire(ms(2_020)));
+        assert!(rl.try_acquire(ms(2_040)));
+    }
+
+    #[test]
+    fn whole_rates_refill_exactly_as_before() {
+        // For srate >= 1 the accumulate-with-cap refill is bit-identical
+        // to the historical "reset to srate" refill: unspent tokens never
+        // carry past the cap.
+        let mut rl = RateLimiter::new(&cfg(), Nanos::ZERO);
+        // Spend 3 of 10 tokens in window 0.
+        for _ in 0..3 {
+            assert!(rl.try_acquire(ms(1)));
+        }
+        // Window 5: budget is exactly srate again, not 7 + 5·10.
+        let mut sent = 0;
+        for _ in 0..50 {
+            if rl.try_acquire(ms(100)) {
+                sent += 1;
+            }
+        }
+        assert_eq!(sent, 10, "refill must cap at srate");
     }
 
     #[test]

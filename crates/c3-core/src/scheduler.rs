@@ -17,7 +17,6 @@ use std::collections::VecDeque;
 use crate::config::C3Config;
 use crate::feedback::Feedback;
 use crate::rate::{RateLimiter, RateStats};
-use crate::score::{rank_by_score, score};
 use crate::time::Nanos;
 use crate::tracker::ServerTracker;
 
@@ -43,8 +42,10 @@ pub struct C3State {
     cfg: C3Config,
     trackers: Vec<ServerTracker>,
     limiters: Vec<RateLimiter>,
-    /// Scratch buffer reused by `try_send` to avoid per-request allocation.
-    scratch: Vec<ServerId>,
+    /// Scratch scores aligned with the group passed to `try_send`,
+    /// computed once per call and reused across calls — the selection hot
+    /// path performs no allocation.
+    scores: Vec<f64>,
 }
 
 impl C3State {
@@ -59,7 +60,7 @@ impl C3State {
                 .map(|_| RateLimiter::new(&cfg, now))
                 .collect(),
             cfg,
-            scratch: Vec::new(),
+            scores: Vec::new(),
         }
     }
 
@@ -75,7 +76,7 @@ impl C3State {
 
     /// Current C3 score of a server (lower is better).
     pub fn score_of(&self, server: ServerId) -> f64 {
-        score(&self.cfg, &self.trackers[server].snapshot())
+        self.trackers[server].score(&self.cfg)
     }
 
     /// Outstanding requests to a server.
@@ -104,40 +105,60 @@ impl C3State {
     /// Panics if `group` is empty or contains an out-of-range server id.
     pub fn try_send(&mut self, group: &[ServerId], now: Nanos) -> SendDecision {
         assert!(!group.is_empty(), "replica group must not be empty");
-        self.scratch.clear();
-        self.scratch.extend_from_slice(group);
-        let mut ranked = std::mem::take(&mut self.scratch);
-        {
-            let cfg = &self.cfg;
-            let trackers = &self.trackers;
-            rank_by_score(cfg, &mut ranked, |s| trackers[s].snapshot());
+        // Score every candidate exactly once into the scratch buffer (the
+        // old ranking sort recomputed scores inside its comparator), then
+        // visit candidates best-first with a lazy arg-min scan instead of a
+        // full sort: in the common case the top-ranked server has a token
+        // and only one scan happens. Ties visit in caller order, exactly as
+        // the previous stable sort did.
+        self.scores.clear();
+        for &s in group {
+            let score = self.trackers[s].score(&self.cfg);
+            debug_assert!(!score.is_nan(), "C3 scores must not be NaN");
+            self.scores.push(score);
         }
 
         let mut decision = None;
         if self.cfg.rate_control {
-            for &s in ranked.iter() {
+            for _ in 0..group.len() {
+                // Leftmost minimum among the not-yet-tried candidates
+                // (tried entries are marked NaN, which never compares
+                // less-than).
+                let mut best: Option<(f64, usize)> = None;
+                for (i, &sc) in self.scores.iter().enumerate() {
+                    if !sc.is_nan() && best.is_none_or(|(b, _)| sc < b) {
+                        best = Some((sc, i));
+                    }
+                }
+                let (_, i) = best.expect("untried candidate remains");
+                self.scores[i] = f64::NAN;
+                let s = group[i];
                 if self.limiters[s].try_acquire(now) {
                     decision = Some(s);
                     break;
                 }
             }
         } else {
-            decision = Some(ranked[0]);
+            let mut best = 0;
+            for i in 1..self.scores.len() {
+                if self.scores[i] < self.scores[best] {
+                    best = i;
+                }
+            }
+            decision = Some(group[best]);
         }
 
-        let out = match decision {
+        match decision {
             Some(s) => SendDecision::Send(s),
             None => {
-                let retry_at = ranked
+                let retry_at = group
                     .iter()
                     .map(|&s| self.limiters[s].next_window(now))
                     .min()
                     .expect("non-empty group");
                 SendDecision::Backpressure { retry_at }
             }
-        };
-        self.scratch = ranked;
-        out
+        }
     }
 
     /// Account an actual send to `server` (increments the outstanding

@@ -27,11 +27,17 @@ use crate::tracker::TrackerSnapshot;
 /// dropped and the raw outstanding count is used instead, modelling a client
 /// that ignores the existence of other clients.
 pub fn queue_size_estimate(cfg: &C3Config, snap: &TrackerSnapshot) -> f64 {
-    let q_bar = snap.queue_size.unwrap_or(0.0);
+    q_hat_raw(cfg, snap.outstanding, snap.queue_size.unwrap_or(0.0))
+}
+
+/// The queue-size estimate over raw observations — the single definition
+/// behind both [`queue_size_estimate`] and [`score_raw`].
+#[inline]
+fn q_hat_raw(cfg: &C3Config, outstanding: u32, q_bar: f64) -> f64 {
     let concurrency = if cfg.concurrency_compensation {
-        snap.outstanding as f64 * cfg.concurrency_weight
+        outstanding as f64 * cfg.concurrency_weight
     } else {
-        snap.outstanding as f64
+        outstanding as f64
     };
     1.0 + concurrency + q_bar
 }
@@ -52,10 +58,37 @@ pub const COLD_START_SERVICE_MS: f64 = 1.0;
 /// arrives the service time is assumed to be [`COLD_START_SERVICE_MS`], so
 /// outstanding requests still push the score up during cold start.
 pub fn score(cfg: &C3Config, snap: &TrackerSnapshot) -> f64 {
-    let response_time = snap.response_time_ms.unwrap_or(0.0);
-    let service_time = snap.service_time_ms.unwrap_or(COLD_START_SERVICE_MS);
-    let q_hat = queue_size_estimate(cfg, snap);
-    response_time - service_time + q_hat.powi(cfg.queue_exponent as i32) * service_time
+    score_raw(
+        cfg,
+        snap.outstanding,
+        snap.queue_size.unwrap_or(0.0),
+        snap.service_time_ms.unwrap_or(COLD_START_SERVICE_MS),
+        snap.response_time_ms.unwrap_or(0.0),
+    )
+}
+
+/// The scoring core over raw observations (defaults already applied):
+/// the single definition both [`score`] and the hot-path
+/// `ServerTracker::score` evaluate, so the formula cannot fork.
+#[inline]
+pub(crate) fn score_raw(
+    cfg: &C3Config,
+    outstanding: u32,
+    q_bar: f64,
+    service_time_ms: f64,
+    response_time_ms: f64,
+) -> f64 {
+    let q_hat = q_hat_raw(cfg, outstanding, q_bar);
+    // `powi` with a runtime exponent is a multiply loop the optimizer
+    // cannot unroll; the paper's cubic (b = 3) gets a straight-line fast
+    // path. `powi(3)` lowers to the identical (x·x)·x product chain, so
+    // the result is bit-for-bit the same.
+    let penalty = if cfg.queue_exponent == 3 {
+        (q_hat * q_hat) * q_hat
+    } else {
+        q_hat.powi(cfg.queue_exponent as i32)
+    };
+    response_time_ms - service_time_ms + penalty * service_time_ms
 }
 
 /// Rank the servers in `group` by ascending score, in place, deterministically

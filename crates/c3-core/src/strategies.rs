@@ -48,17 +48,26 @@ impl LeastOutstanding {
 impl ReplicaSelector for LeastOutstanding {
     fn select(&mut self, group: &[ServerId], _now: Nanos) -> Selection {
         assert!(!group.is_empty());
+        // Count the ties instead of collecting them: one RNG draw over the
+        // tie count, then a second scan picks the drawn tie. Same RNG
+        // stream and same pick as the old `Vec`-collecting version, with
+        // zero allocation on the per-request path.
         let min = group
             .iter()
             .map(|&s| self.outstanding[s])
             .min()
             .expect("non-empty group");
-        let ties: Vec<ServerId> = group
+        let ties = group
+            .iter()
+            .filter(|&&s| self.outstanding[s] == min)
+            .count();
+        let k = self.rng.gen_range(0..ties);
+        let pick = group
             .iter()
             .copied()
             .filter(|&s| self.outstanding[s] == min)
-            .collect();
-        let pick = ties[self.rng.gen_range(0..ties.len())];
+            .nth(k)
+            .expect("tie index in range");
         Selection::Server(pick)
     }
 
@@ -190,18 +199,26 @@ impl LeastResponseTime {
 impl ReplicaSelector for LeastResponseTime {
     fn select(&mut self, group: &[ServerId], _now: Nanos) -> Selection {
         assert!(!group.is_empty());
-        // Unknown servers score 0 so they get explored first.
+        // Unknown servers score 0 so they get explored first. Ties are
+        // counted rather than collected (see `LeastOutstanding`): one RNG
+        // draw, no per-request allocation.
         let best = group
             .iter()
-            .map(|&s| (self.response_ms[s].value_or(0.0), s))
-            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"))
+            .map(|&s| self.response_ms[s].value_or(0.0))
+            .min_by(|a, b| a.partial_cmp(b).expect("no NaN"))
             .expect("non-empty group");
-        let ties: Vec<ServerId> = group
+        let ties = group
+            .iter()
+            .filter(|&&s| self.response_ms[s].value_or(0.0) == best)
+            .count();
+        let k = self.rng.gen_range(0..ties);
+        let pick = group
             .iter()
             .copied()
-            .filter(|&s| self.response_ms[s].value_or(0.0) == best.0)
-            .collect();
-        Selection::Server(ties[self.rng.gen_range(0..ties.len())])
+            .filter(|&s| self.response_ms[s].value_or(0.0) == best)
+            .nth(k)
+            .expect("tie index in range");
+        Selection::Server(pick)
     }
 
     fn on_send(&mut self, _server: ServerId, _now: Nanos) {}
@@ -224,6 +241,8 @@ impl ReplicaSelector for LeastResponseTime {
 pub struct WeightedRandom {
     response_ms: Vec<Ewma>,
     rng: SmallRng,
+    /// Per-selector scratch for the group's weights, reused across calls.
+    weights: Vec<f64>,
 }
 
 impl WeightedRandom {
@@ -232,6 +251,7 @@ impl WeightedRandom {
         Self {
             response_ms: (0..num_servers).map(|_| Ewma::new(ewma_alpha)).collect(),
             rng: SmallRng::seed_from_u64(seed),
+            weights: Vec::new(),
         }
     }
 }
@@ -241,13 +261,15 @@ impl ReplicaSelector for WeightedRandom {
         assert!(!group.is_empty());
         // Weight = 1 / (response_time + ε); unknown servers get the weight
         // of a 1 ms server so they are explored.
-        let weights: Vec<f64> = group
-            .iter()
-            .map(|&s| 1.0 / (self.response_ms[s].value_or(1.0).max(0.001)))
-            .collect();
-        let total: f64 = weights.iter().sum();
+        self.weights.clear();
+        self.weights.extend(
+            group
+                .iter()
+                .map(|&s| 1.0 / (self.response_ms[s].value_or(1.0).max(0.001))),
+        );
+        let total: f64 = self.weights.iter().sum();
         let mut x = self.rng.gen_range(0.0..total);
-        for (i, &w) in weights.iter().enumerate() {
+        for (i, &w) in self.weights.iter().enumerate() {
             if x < w {
                 return Selection::Server(group[i]);
             }

@@ -10,17 +10,46 @@
 //! [`ServerTracker`] owns that state; [`TrackerSnapshot`] is a cheap copy
 //! handed to the scoring function.
 
-use crate::ewma::Ewma;
 use crate::feedback::Feedback;
 use crate::time::Nanos;
 
 /// Per-server client state feeding the C3 scoring function.
+///
+/// The three EWMAs share one `alpha` and store their averages as plain
+/// `f64`s with NaN standing for "no sample yet" (EWMA inputs are finite
+/// times and queue sizes, so NaN is free to repurpose). That packs a
+/// tracker into a single cache line — `C3State` scores three of these per
+/// request, so the per-`Ewma` `Option<f64>` + duplicated-alpha layout
+/// (two lines per tracker) was measurable cache pressure.
 #[derive(Clone, Debug)]
 pub struct ServerTracker {
+    alpha: f64,
     outstanding: u32,
-    queue_size: Ewma,
-    service_time_ms: Ewma,
-    response_time_ms: Ewma,
+    queue_size: f64,
+    service_time_ms: f64,
+    response_time_ms: f64,
+}
+
+/// Fold a sample into a NaN-initialized EWMA cell: the first sample
+/// initializes, later samples use `α·x + (1−α)·x̄` — bit-identical to the
+/// standalone [`crate::Ewma`].
+#[inline]
+fn fold(alpha: f64, avg: &mut f64, sample: f64) {
+    *avg = if avg.is_nan() {
+        sample
+    } else {
+        alpha * sample + (1.0 - alpha) * *avg
+    };
+}
+
+/// NaN-sentinel → `Option` view used by [`TrackerSnapshot`].
+#[inline]
+fn cell(avg: f64) -> Option<f64> {
+    if avg.is_nan() {
+        None
+    } else {
+        Some(avg)
+    }
 }
 
 /// A read-only snapshot of a [`ServerTracker`] used for scoring.
@@ -38,12 +67,21 @@ pub struct TrackerSnapshot {
 
 impl ServerTracker {
     /// Create a tracker whose EWMAs use the given new-sample weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ewma_alpha` is outside `(0, 1]` or not finite.
     pub fn new(ewma_alpha: f64) -> Self {
+        assert!(
+            ewma_alpha.is_finite() && ewma_alpha > 0.0 && ewma_alpha <= 1.0,
+            "alpha must be in (0, 1], got {ewma_alpha}"
+        );
         Self {
+            alpha: ewma_alpha,
             outstanding: 0,
-            queue_size: Ewma::new(ewma_alpha),
-            service_time_ms: Ewma::new(ewma_alpha),
-            response_time_ms: Ewma::new(ewma_alpha),
+            queue_size: f64::NAN,
+            service_time_ms: f64::NAN,
+            response_time_ms: f64::NAN,
         }
     }
 
@@ -60,10 +98,18 @@ impl ServerTracker {
     pub fn on_response(&mut self, response_time: Nanos, feedback: Option<&Feedback>) {
         debug_assert!(self.outstanding > 0, "response without outstanding request");
         self.outstanding = self.outstanding.saturating_sub(1);
-        self.response_time_ms.update(response_time.as_millis_f64());
+        fold(
+            self.alpha,
+            &mut self.response_time_ms,
+            response_time.as_millis_f64(),
+        );
         if let Some(fb) = feedback {
-            self.queue_size.update(fb.queue_size as f64);
-            self.service_time_ms.update(fb.service_time.as_millis_f64());
+            fold(self.alpha, &mut self.queue_size, fb.queue_size as f64);
+            fold(
+                self.alpha,
+                &mut self.service_time_ms,
+                fb.service_time.as_millis_f64(),
+            );
         }
     }
 
@@ -82,10 +128,35 @@ impl ServerTracker {
     pub fn snapshot(&self) -> TrackerSnapshot {
         TrackerSnapshot {
             outstanding: self.outstanding,
-            queue_size: self.queue_size.value(),
-            service_time_ms: self.service_time_ms.value(),
-            response_time_ms: self.response_time_ms.value(),
+            queue_size: cell(self.queue_size),
+            service_time_ms: cell(self.service_time_ms),
+            response_time_ms: cell(self.response_time_ms),
         }
+    }
+
+    /// The C3 score `Ψ_s` computed straight off the packed fields — the
+    /// same arithmetic as [`crate::score`] over [`ServerTracker::snapshot`]
+    /// (both call the one scoring core in `score.rs`) without
+    /// materializing the `Option`-based snapshot struct. This is the
+    /// per-candidate call on the selection hot path.
+    #[inline]
+    pub fn score(&self, cfg: &crate::config::C3Config) -> f64 {
+        let response_time = if self.response_time_ms.is_nan() {
+            0.0
+        } else {
+            self.response_time_ms
+        };
+        let service_time = if self.service_time_ms.is_nan() {
+            crate::score::COLD_START_SERVICE_MS
+        } else {
+            self.service_time_ms
+        };
+        let q_bar = if self.queue_size.is_nan() {
+            0.0
+        } else {
+            self.queue_size
+        };
+        crate::score::score_raw(cfg, self.outstanding, q_bar, service_time, response_time)
     }
 }
 
@@ -149,6 +220,41 @@ mod tests {
         let mut t = ServerTracker::new(0.5);
         t.on_abandoned();
         assert_eq!(t.outstanding(), 0);
+    }
+
+    #[test]
+    fn packed_score_matches_snapshot_score() {
+        use crate::config::C3Config;
+        use crate::score::score;
+        for cfg in [
+            C3Config::for_clients(40),
+            C3Config::default().without_concurrency_compensation(),
+            C3Config::default().with_queue_exponent(2),
+        ] {
+            let mut t = ServerTracker::new(cfg.ewma_alpha);
+            // Cold start, partial state, and fully-warmed state must all
+            // agree with the snapshot-based scoring function bit-for-bit.
+            assert_eq!(
+                t.score(&cfg).to_bits(),
+                score(&cfg, &t.snapshot()).to_bits()
+            );
+            t.on_send();
+            assert_eq!(
+                t.score(&cfg).to_bits(),
+                score(&cfg, &t.snapshot()).to_bits()
+            );
+            t.on_response(Nanos::from_millis(7), None);
+            assert_eq!(
+                t.score(&cfg).to_bits(),
+                score(&cfg, &t.snapshot()).to_bits()
+            );
+            t.on_send();
+            t.on_response(Nanos::from_millis(9), Some(&fb(5, 3)));
+            assert_eq!(
+                t.score(&cfg).to_bits(),
+                score(&cfg, &t.snapshot()).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -2,13 +2,31 @@
 //!
 //! The kernel orders typed events by `(time, insertion sequence)` so that
 //! simultaneous events fire in insertion order — runs are bit-for-bit
-//! reproducible given a seed. Event payloads live in a slab with an
-//! intrusive free list: the binary heap holds only small fixed-size keys,
-//! vacated slots chain onto the free list in place (no auxiliary free
-//! vector, no `Option<E>` per live slot), and cancelled timers simply
-//! vacate their slot — the stale heap key is skipped when it surfaces.
+//! reproducible given a seed.
+//!
+//! Two hot-path design decisions:
+//!
+//! **Payload placement.** The overwhelming majority of events are
+//! fire-and-forget (the simulators cancel only speculative-retry checks
+//! and backlog-retry timers), so [`EventQueue::schedule`] stores the
+//! payload *inline in the queue node* — no slab write, no free-list
+//! traffic, no occupied-check on pop. Only
+//! [`EventQueue::schedule_cancellable`] pays for a slab slot (with an
+//! intrusive free list), which is what makes a [`TimerId`] able to revoke
+//! the event later: cancellation vacates the slot in place and the stale
+//! node is skipped when it surfaces.
+//!
+//! **Two-tier ordering (calendar queue).** A single binary heap pays
+//! `O(log n)` sift depth over *all* pending events on every operation,
+//! although only the imminent few ever matter. The kernel instead keeps a
+//! tiny sorted `near` heap for events inside the current ~33 µs epoch and
+//! an O(1) ring of `NUM_BUCKETS` unsorted epoch buckets for everything
+//! farther out; when `near` drains, the next occupied epoch's bucket is
+//! filtered into it. Pop order is still *exactly* `(time, seq)` — the
+//! buckets only defer sorting until an event's epoch is reached, so runs
+//! are bit-identical to the one-heap kernel, measurably faster.
 
-use std::cmp::Reverse;
+use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
 use c3_core::Nanos;
@@ -16,23 +34,70 @@ use c3_core::Nanos;
 /// Sentinel for "free list empty".
 const NIL: u32 = u32::MAX;
 
-/// Key stored in the heap: orders by time, then insertion sequence.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-struct HeapKey {
-    time: Nanos,
-    seq: u64,
-    slot: u32,
+/// log2 of the epoch (bucket) width in nanoseconds: 2^15 ns ≈ 32.8 µs.
+/// Narrow enough that the `near` heap holds only a handful of events even
+/// at simulator event rates (~100 events per sim-millisecond).
+const EPOCH_SHIFT: u32 = 15;
+
+/// Number of ring buckets (must be a power of two). The ring spans
+/// `NUM_BUCKETS << EPOCH_SHIFT` ≈ 67 ms; events beyond that simply stay
+/// in their slot and are skipped over once per rotation.
+const NUM_BUCKETS: usize = 2048;
+
+/// Epoch index of a timestamp.
+#[inline]
+fn epoch(t: Nanos) -> u64 {
+    t.as_nanos() >> EPOCH_SHIFT
 }
 
-/// One slab cell: either a live event (tagged with the sequence number of
-/// the heap key that owns it) or a link in the free list.
+/// Where a heap node's payload lives.
+#[derive(Debug)]
+enum Payload<E> {
+    /// Fire-and-forget event: payload travels with the heap node.
+    Inline(E),
+    /// Cancellable event: payload parked in the slab at this slot.
+    Slab(u32),
+}
+
+/// One heap node: the `(time, seq)` ordering key plus the payload.
+#[derive(Debug)]
+struct Node<E> {
+    time: Nanos,
+    seq: u64,
+    payload: Payload<E>,
+}
+
+impl<E> PartialEq for Node<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Node<E> {}
+
+impl<E> PartialOrd for Node<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Node<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// One slab cell: either a live cancellable event (tagged with the
+/// sequence number of the heap node that owns it) or a link in the free
+/// list.
 #[derive(Debug)]
 enum Slot<E> {
     Occupied { seq: u64, event: E },
     Vacant { next_free: u32 },
 }
 
-/// Handle to a scheduled event, usable to cancel it before it fires.
+/// Handle to a cancellable scheduled event, usable to cancel it before it
+/// fires.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TimerId {
     slot: u32,
@@ -45,7 +110,19 @@ pub struct TimerId {
 /// it only orders them.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<HeapKey>>,
+    /// Sorted tier: every pending event whose epoch is `< horizon_epoch`.
+    near: BinaryHeap<Reverse<Node<E>>>,
+    /// Unsorted tier: events with epoch `>= horizon_epoch`, ring-indexed
+    /// by `epoch & (NUM_BUCKETS - 1)` (a slot may hold several epochs).
+    buckets: Vec<Vec<Node<E>>>,
+    /// One bit per bucket: set iff the bucket is non-empty.
+    occupied: Vec<u64>,
+    /// Nodes currently parked in `buckets` (including cancelled stale
+    /// ones, which are dropped when their epoch drains).
+    far: usize,
+    /// All events in epochs below this are in `near`.
+    horizon_epoch: u64,
+    /// Payload store for cancellable events only.
     slab: Vec<Slot<E>>,
     free_head: u32,
     seq: u64,
@@ -65,7 +142,11 @@ impl<E> EventQueue<E> {
     /// An empty queue starting at time zero.
     pub fn new() -> Self {
         Self {
-            heap: BinaryHeap::new(),
+            near: BinaryHeap::new(),
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            occupied: vec![0u64; NUM_BUCKETS / 64],
+            far: 0,
+            horizon_epoch: 0,
             slab: Vec::new(),
             free_head: NIL,
             seq: 0,
@@ -73,6 +154,93 @@ impl<E> EventQueue<E> {
             processed: 0,
             cancelled: 0,
             live: 0,
+        }
+    }
+
+    /// File a node into the tier its epoch belongs to.
+    #[inline]
+    fn file(&mut self, node: Node<E>) {
+        if epoch(node.time) < self.horizon_epoch {
+            self.near.push(Reverse(node));
+        } else {
+            let b = (epoch(node.time) as usize) & (NUM_BUCKETS - 1);
+            self.buckets[b].push(node);
+            self.occupied[b / 64] |= 1u64 << (b % 64);
+            self.far += 1;
+        }
+    }
+
+    /// Ring distance from slot `from` to the nearest occupied slot
+    /// (`0` when `from` itself is occupied). Caller guarantees at least
+    /// one occupied slot exists.
+    fn distance_to_occupied(&self, from: usize) -> usize {
+        // Scan the bitmap word-wise, starting inside `from`'s word.
+        let words = self.occupied.len();
+        let (mut w, bit) = (from / 64, from % 64);
+        let masked = self.occupied[w] >> bit;
+        if masked != 0 {
+            return masked.trailing_zeros() as usize;
+        }
+        let mut dist = 64 - bit;
+        for _ in 0..words {
+            w = (w + 1) % words;
+            let word = self.occupied[w];
+            if word != 0 {
+                return dist + word.trailing_zeros() as usize;
+            }
+            dist += 64;
+        }
+        unreachable!("no occupied bucket despite far > 0");
+    }
+
+    /// Refill `near` from the buckets. Caller guarantees `near` is empty
+    /// and `far > 0`; on return `near` is non-empty.
+    fn advance(&mut self) {
+        debug_assert!(self.near.is_empty() && self.far > 0);
+        // Guard against far-future events (more than one ring span ahead):
+        // after one fruitless full rotation, jump the horizon straight to
+        // the earliest far epoch instead of spinning per-slot.
+        let mut stepped = 0usize;
+        loop {
+            let slot = (self.horizon_epoch as usize) & (NUM_BUCKETS - 1);
+            let d = self.distance_to_occupied(slot);
+            self.horizon_epoch += d as u64;
+            stepped += d;
+            let b = (self.horizon_epoch as usize) & (NUM_BUCKETS - 1);
+            // Drain this epoch's events out of the (multi-epoch) bucket.
+            let current = self.horizon_epoch;
+            let mut i = 0;
+            let bucket = &mut self.buckets[b];
+            while i < bucket.len() {
+                if epoch(bucket[i].time) == current {
+                    let node = bucket.swap_remove(i);
+                    self.near.push(Reverse(node));
+                    self.far -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+            if bucket.is_empty() {
+                self.occupied[b / 64] &= !(1u64 << (b % 64));
+            }
+            self.horizon_epoch += 1;
+            stepped += 1;
+            if !self.near.is_empty() {
+                return;
+            }
+            if stepped > NUM_BUCKETS {
+                // Everything left is beyond a full rotation: jump to the
+                // earliest far epoch (one linear scan, then drain above).
+                let min_epoch = self
+                    .buckets
+                    .iter()
+                    .flatten()
+                    .map(|n| epoch(n.time))
+                    .min()
+                    .expect("far > 0");
+                self.horizon_epoch = min_epoch;
+                stepped = 0;
+            }
         }
     }
 
@@ -101,13 +269,9 @@ impl<E> EventQueue<E> {
         self.live == 0
     }
 
-    /// Schedule `event` at absolute time `at`. Returns a [`TimerId`] that
-    /// can cancel the event before it fires.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `at` is in the past (before the current time).
-    pub fn schedule(&mut self, at: Nanos, event: E) -> TimerId {
+    /// Allocate the next sequence number, asserting the schedule time.
+    #[inline]
+    fn next_seq(&mut self, at: Nanos) -> u64 {
         assert!(
             at >= self.now,
             "cannot schedule into the past: {at:?} < {:?}",
@@ -115,6 +279,47 @@ impl<E> EventQueue<E> {
         );
         let seq = self.seq;
         self.seq += 1;
+        seq
+    }
+
+    /// Schedule a fire-and-forget `event` at absolute time `at`.
+    ///
+    /// The payload is carried inline by the heap node — this is the
+    /// allocation- and indirection-free hot path. Use
+    /// [`EventQueue::schedule_cancellable`] when the event may need to be
+    /// revoked before it fires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before the current time).
+    #[inline]
+    pub fn schedule(&mut self, at: Nanos, event: E) {
+        let seq = self.next_seq(at);
+        self.file(Node {
+            time: at,
+            seq,
+            payload: Payload::Inline(event),
+        });
+        self.live += 1;
+    }
+
+    /// Schedule a fire-and-forget `event` after a delay from the current
+    /// time.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: Nanos, event: E) {
+        let at = self.now.saturating_add(delay);
+        self.schedule(at, event);
+    }
+
+    /// Schedule `event` at absolute time `at`, returning a [`TimerId`]
+    /// that can cancel the event before it fires. The payload is parked in
+    /// the slab (slot reuse through an intrusive free list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before the current time).
+    pub fn schedule_cancellable(&mut self, at: Nanos, event: E) -> TimerId {
+        let seq = self.next_seq(at);
         let slot = if self.free_head != NIL {
             let idx = self.free_head;
             match self.slab[idx as usize] {
@@ -128,19 +333,19 @@ impl<E> EventQueue<E> {
             self.slab.push(Slot::Occupied { seq, event });
             (self.slab.len() - 1) as u32
         };
-        self.heap.push(Reverse(HeapKey {
+        self.file(Node {
             time: at,
             seq,
-            slot,
-        }));
+            payload: Payload::Slab(slot),
+        });
         self.live += 1;
         TimerId { slot, seq }
     }
 
-    /// Schedule `event` after a delay from the current time.
-    pub fn schedule_in(&mut self, delay: Nanos, event: E) -> TimerId {
+    /// Schedule a cancellable `event` after a delay from the current time.
+    pub fn schedule_in_cancellable(&mut self, delay: Nanos, event: E) -> TimerId {
         let at = self.now.saturating_add(delay);
-        self.schedule(at, event)
+        self.schedule_cancellable(at, event)
     }
 
     /// Cancel a scheduled event, returning its payload if it had not yet
@@ -169,52 +374,79 @@ impl<E> EventQueue<E> {
     /// Timestamp of the next live event, if any, without popping it.
     pub fn next_time(&mut self) -> Option<Nanos> {
         self.skim_stale();
-        self.heap.peek().map(|Reverse(k)| k.time)
+        self.near.peek().map(|Reverse(n)| n.time)
     }
 
-    /// Drop stale (cancelled) keys off the front of the heap.
+    /// Drop stale (cancelled) nodes off the front of the queue, refilling
+    /// `near` from the buckets as needed.
     fn skim_stale(&mut self) {
-        while let Some(Reverse(key)) = self.heap.peek() {
-            let fresh = matches!(
-                self.slab.get(key.slot as usize),
-                Some(Slot::Occupied { seq, .. }) if *seq == key.seq
-            );
+        loop {
+            if self.near.is_empty() {
+                if self.far == 0 {
+                    return;
+                }
+                self.advance();
+            }
+            let node = match self.near.peek() {
+                Some(Reverse(n)) => n,
+                None => return,
+            };
+            let fresh = match node.payload {
+                Payload::Inline(_) => true,
+                Payload::Slab(slot) => matches!(
+                    self.slab.get(slot as usize),
+                    Some(Slot::Occupied { seq, .. }) if *seq == node.seq
+                ),
+            };
             if fresh {
                 return;
             }
-            self.heap.pop();
+            self.near.pop();
         }
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Nanos, E)> {
         loop {
-            let Reverse(key) = self.heap.pop()?;
-            let fresh = matches!(
-                self.slab.get(key.slot as usize),
-                Some(Slot::Occupied { seq, .. }) if *seq == key.seq
-            );
-            if !fresh {
-                continue; // cancelled timer: slot was vacated or reused
+            if self.near.is_empty() {
+                if self.far == 0 {
+                    return None;
+                }
+                self.advance();
             }
-            let taken = std::mem::replace(
-                &mut self.slab[key.slot as usize],
-                Slot::Vacant {
-                    next_free: self.free_head,
-                },
-            );
-            self.free_head = key.slot;
-            self.now = key.time;
+            let Reverse(node) = self.near.pop()?;
+            let event = match node.payload {
+                Payload::Inline(event) => event,
+                Payload::Slab(slot) => {
+                    let fresh = matches!(
+                        self.slab.get(slot as usize),
+                        Some(Slot::Occupied { seq, .. }) if *seq == node.seq
+                    );
+                    if !fresh {
+                        continue; // cancelled timer: slot was vacated or reused
+                    }
+                    let taken = std::mem::replace(
+                        &mut self.slab[slot as usize],
+                        Slot::Vacant {
+                            next_free: self.free_head,
+                        },
+                    );
+                    self.free_head = slot;
+                    match taken {
+                        Slot::Occupied { event, .. } => event,
+                        Slot::Vacant { .. } => unreachable!("checked occupied above"),
+                    }
+                }
+            };
+            self.now = node.time;
             self.processed += 1;
             self.live -= 1;
-            match taken {
-                Slot::Occupied { event, .. } => return Some((key.time, event)),
-                Slot::Vacant { .. } => unreachable!("checked occupied above"),
-            }
+            return Some((node.time, event));
         }
     }
 
-    /// Capacity of the backing slab (diagnostics: peak concurrent events).
+    /// Capacity of the backing slab (diagnostics: peak concurrent
+    /// *cancellable* events; fire-and-forget events never touch it).
     pub fn slab_capacity(&self) -> usize {
         self.slab.len()
     }
@@ -243,6 +475,17 @@ mod tests {
         }
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn inline_and_cancellable_events_interleave_in_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_millis(2), "inline-2");
+        q.schedule_cancellable(Nanos::from_millis(1), "slab-1");
+        q.schedule_cancellable(Nanos::from_millis(3), "slab-3");
+        q.schedule(Nanos::from_millis(4), "inline-4");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["slab-1", "inline-2", "slab-3", "inline-4"]);
     }
 
     #[test]
@@ -276,10 +519,20 @@ mod tests {
     }
 
     #[test]
-    fn slots_are_recycled() {
+    fn fire_and_forget_events_never_touch_the_slab() {
         let mut q = EventQueue::new();
         for round in 0..100 {
             q.schedule_in(Nanos::from_millis(1), round);
+            q.pop();
+        }
+        assert_eq!(q.slab_capacity(), 0, "inline path must not use the slab");
+    }
+
+    #[test]
+    fn cancellable_slots_are_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..100 {
+            q.schedule_in_cancellable(Nanos::from_millis(1), round);
             q.pop();
         }
         assert!(q.slab_capacity() <= 2, "slab grew: {}", q.slab_capacity());
@@ -296,8 +549,8 @@ mod tests {
     #[test]
     fn cancel_removes_event() {
         let mut q = EventQueue::new();
-        let keep = q.schedule(Nanos::from_millis(1), "keep");
-        let drop = q.schedule(Nanos::from_millis(2), "drop");
+        let keep = q.schedule_cancellable(Nanos::from_millis(1), "keep");
+        let drop = q.schedule_cancellable(Nanos::from_millis(2), "drop");
         assert_eq!(q.len(), 2);
         assert_eq!(q.cancel(drop), Some("drop"));
         assert_eq!(q.len(), 1);
@@ -312,10 +565,10 @@ mod tests {
     #[test]
     fn cancel_is_safe_across_slot_reuse() {
         let mut q = EventQueue::new();
-        let a = q.schedule(Nanos::from_millis(1), 1);
+        let a = q.schedule_cancellable(Nanos::from_millis(1), 1);
         assert_eq!(q.cancel(a), Some(1));
         // Slot is reused by a new event; the old handle must not cancel it.
-        let b = q.schedule(Nanos::from_millis(2), 2);
+        let b = q.schedule_cancellable(Nanos::from_millis(2), 2);
         assert_eq!(q.cancel(a), None);
         assert_eq!(q.pop(), Some((Nanos::from_millis(2), 2)));
         assert_eq!(q.cancel(b), None);
@@ -324,11 +577,46 @@ mod tests {
     #[test]
     fn next_time_skips_cancelled_heads() {
         let mut q = EventQueue::new();
-        let head = q.schedule(Nanos::from_millis(1), "head");
+        let head = q.schedule_cancellable(Nanos::from_millis(1), "head");
         q.schedule(Nanos::from_millis(5), "tail");
         q.cancel(head);
         assert_eq!(q.next_time(), Some(Nanos::from_millis(5)));
         assert_eq!(q.pop(), Some((Nanos::from_millis(5), "tail")));
+    }
+
+    #[test]
+    fn far_future_events_pop_in_order() {
+        // Events farther out than the ring span (≈67 ms) exercise the
+        // rotation-skip and global-min jump paths.
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_secs(30), "far");
+        q.schedule(Nanos::from_millis(1), "near");
+        q.schedule(Nanos::from_secs(3600), "very-far");
+        q.schedule(Nanos::from_millis(500), "mid");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["near", "mid", "far", "very-far"]);
+    }
+
+    #[test]
+    fn ring_slot_collisions_keep_epoch_order() {
+        // Two events whose epochs map to the same ring slot (exactly one
+        // ring span apart) must still pop in time order.
+        let span = Nanos((NUM_BUCKETS as u64) << EPOCH_SHIFT);
+        let mut q = EventQueue::new();
+        let t1 = Nanos::from_millis(5);
+        let t2 = Nanos(t1.as_nanos() + span.as_nanos());
+        let t3 = Nanos(t1.as_nanos() + 2 * span.as_nanos());
+        q.schedule(t3, "third");
+        q.schedule(t1, "first");
+        q.schedule(t2, "second");
+        assert_eq!(q.pop(), Some((t1, "first")));
+        // Interleave a fresh near-term event after draining an epoch.
+        let t_mid = Nanos(t1.as_nanos() + 1);
+        q.schedule(t_mid, "mid");
+        assert_eq!(q.pop(), Some((t_mid, "mid")));
+        assert_eq!(q.pop(), Some((t2, "second")));
+        assert_eq!(q.pop(), Some((t3, "third")));
+        assert!(q.pop().is_none());
     }
 
     #[test]

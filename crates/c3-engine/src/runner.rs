@@ -15,7 +15,9 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use c3_core::Nanos;
-use c3_metrics::{ChannelId, ChannelSet, Ecdf, LatencySummary, LogHistogram, WindowedCounts};
+use c3_metrics::{
+    ChannelId, ChannelSet, Ecdf, ExactReservoir, LatencySummary, LogHistogram, WindowedCounts,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -85,6 +87,13 @@ pub struct RunMetrics {
     warmup: u64,
     channels: ChannelSet,
     latency: Vec<LogHistogram>,
+    /// Optional exact-percentile recorders, one per channel, running
+    /// alongside the streaming histograms (see
+    /// [`RunMetrics::with_exact_reservoir`]). `RefCell` so the reservoir's
+    /// deferred-sort cache persists across `&self` summary queries —
+    /// without it every summary would clone and re-sort the full sample
+    /// vector.
+    exact: Option<Vec<std::cell::RefCell<ExactReservoir>>>,
     completions: Vec<u64>,
     server_load: Vec<WindowedCounts>,
     first_completion: Option<Nanos>,
@@ -102,6 +111,7 @@ impl RunMetrics {
             warmup,
             channels,
             latency: (0..n).map(|_| LogHistogram::new()).collect(),
+            exact: None,
             completions: vec![0; n],
             server_load: (0..servers)
                 .map(|_| WindowedCounts::new(load_window.as_nanos()))
@@ -109,6 +119,26 @@ impl RunMetrics {
             first_completion: None,
             last_completion: Nanos::ZERO,
         }
+    }
+
+    /// Additionally record every measured completion into an exact
+    /// (every-sample) reservoir per channel, so [`RunMetrics::summary`]
+    /// reports exact order statistics instead of bucketed ones. Use for
+    /// the claims/figure tiers where close percentile comparisons matter;
+    /// it costs O(completions) memory, which is why the streaming
+    /// histogram stays the default.
+    pub fn with_exact_reservoir(mut self) -> Self {
+        self.exact = Some(
+            (0..self.channels.len())
+                .map(|_| std::cell::RefCell::new(ExactReservoir::new()))
+                .collect(),
+        );
+        self
+    }
+
+    /// Whether the exact-reservoir path is enabled.
+    pub fn exact_enabled(&self) -> bool {
+        self.exact.is_some()
     }
 
     /// The channel names of this run.
@@ -140,6 +170,9 @@ impl RunMetrics {
         self.completions[channel.index()] += 1;
         if measured {
             self.latency[channel.index()].record(latency.as_nanos());
+            if let Some(exact) = &mut self.exact {
+                exact[channel.index()].get_mut().record(latency.as_nanos());
+            }
             if self.first_completion.is_none() {
                 self.first_completion = Some(now);
             }
@@ -172,8 +205,20 @@ impl RunMetrics {
         &self.latency[channel.index()]
     }
 
-    /// Latency summary of a channel at the paper's percentiles.
+    /// Latency summary of a channel at the paper's percentiles. With the
+    /// exact-reservoir flag enabled the percentiles are exact order
+    /// statistics; otherwise they come from the streaming histogram
+    /// (bounded to one log-linear bucket of quantization error).
     pub fn summary(&self, channel: ChannelId) -> LatencySummary {
+        if let Some(exact) = &self.exact {
+            return exact[channel.index()].borrow_mut().summary();
+        }
+        LatencySummary::from_histogram(&self.latency[channel.index()])
+    }
+
+    /// Streaming-histogram summary of a channel, regardless of the exact
+    /// flag (parity-test hook).
+    pub fn streaming_summary(&self, channel: ChannelId) -> LatencySummary {
         LatencySummary::from_histogram(&self.latency[channel.index()])
     }
 
@@ -292,6 +337,7 @@ pub trait Scenario {
 pub struct ScenarioRunner {
     seeds: SeedSeq,
     warmup: u64,
+    exact: bool,
 }
 
 impl ScenarioRunner {
@@ -300,12 +346,23 @@ impl ScenarioRunner {
         Self {
             seeds: SeedSeq::new(seed),
             warmup: 0,
+            exact: false,
         }
     }
 
     /// Exclude the first `n` issued units from latency measurement.
     pub fn with_warmup(mut self, n: u64) -> Self {
         self.warmup = n;
+        self
+    }
+
+    /// Record measured latencies into exact (every-sample) reservoirs in
+    /// addition to the streaming histograms, making
+    /// [`RunMetrics::summary`] report exact percentiles. Required for the
+    /// claims/figure tiers where strategies are compared at close
+    /// percentile margins; costs O(completions) memory.
+    pub fn with_exact_latency(mut self) -> Self {
+        self.exact = true;
         self
     }
 
@@ -324,6 +381,9 @@ impl ScenarioRunner {
         load_window: Nanos,
     ) -> (RunMetrics, EngineStats) {
         let mut metrics = RunMetrics::new(scenario.channels(), servers, load_window, self.warmup);
+        if self.exact {
+            metrics = metrics.with_exact_reservoir();
+        }
         let mut engine = EventQueue::new();
         scenario.start(&mut engine);
         while let Some((now, event)) = engine.pop() {

@@ -14,6 +14,10 @@
 //!
 //! - [`LogHistogram`]: a log-linear bucketed histogram (HdrHistogram-style)
 //!   for nanosecond-scale latency values with bounded relative error,
+//! - [`ExactReservoir`]: an every-sample reservoir with exact order
+//!   statistics, for the claims/figure tiers where bucket quantization
+//!   would blur close percentile comparisons (flag-gated; the streaming
+//!   histogram is the hot-path default),
 //! - [`Ecdf`]: exact empirical CDFs built from raw samples,
 //! - [`WindowedCounts`]: fixed-window event counters (e.g. reads per 100 ms),
 //! - [`moving_median`] / [`MovingMedian`]: sliding-window medians,
@@ -33,6 +37,7 @@
 
 mod channels;
 mod ecdf;
+mod exact;
 mod histogram;
 mod moving;
 mod summary;
@@ -41,6 +46,7 @@ mod timeseries;
 
 pub use channels::{ChannelId, ChannelSet};
 pub use ecdf::Ecdf;
+pub use exact::ExactReservoir;
 pub use histogram::LogHistogram;
 pub use moving::{moving_median, MovingMedian};
 pub use summary::{jain_index, ConfidenceInterval, LatencySummary, RunSet};

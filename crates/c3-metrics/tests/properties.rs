@@ -104,3 +104,52 @@ proptest! {
         }
     }
 }
+
+/// The naive reference implementation the order-maintained
+/// [`c3_metrics::MovingMedian`] replaced: collect the window, sort, take
+/// the middle.
+fn naive_moving_median(values: &[f64], window: usize) -> Vec<f64> {
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let start = i.saturating_sub(window - 1);
+            let mut w: Vec<f64> = values[start..=i].to_vec();
+            w.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            let n = w.len();
+            if n % 2 == 1 {
+                w[n / 2]
+            } else {
+                (w[n / 2 - 1] + w[n / 2]) / 2.0
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    /// The binary-search insert/remove window produces *identical* output
+    /// to the naive sort-per-push implementation, duplicates included.
+    #[test]
+    fn moving_median_matches_naive_implementation(
+        values in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        window in 1usize..20,
+    ) {
+        let fast = moving_median(&values, window);
+        let naive = naive_moving_median(&values, window);
+        prop_assert_eq!(fast, naive);
+    }
+
+    /// Same property on small integer-valued samples, which force heavy
+    /// duplication in the sorted window (the delicate path for
+    /// binary-search removal).
+    #[test]
+    fn moving_median_matches_naive_with_duplicates(
+        values in proptest::collection::vec(0u32..4, 1..300),
+        window in 1usize..10,
+    ) {
+        let values: Vec<f64> = values.into_iter().map(f64::from).collect();
+        let fast = moving_median(&values, window);
+        let naive = naive_moving_median(&values, window);
+        prop_assert_eq!(fast, naive);
+    }
+}

@@ -469,7 +469,7 @@ impl MultiTenantScenario {
                 client.backlogs[group_id].push(req);
                 if client.retry_timer[group_id].is_none() {
                     let at = retry_at.max(now + Nanos(1));
-                    let timer = engine.schedule(
+                    let timer = engine.schedule_cancellable(
                         at,
                         MtEvent::RetryBacklog {
                             client: client_id,
@@ -628,7 +628,7 @@ impl MultiTenantScenario {
                     let client = &mut self.clients[client_id];
                     if client.retry_timer[group_id].is_none() {
                         let at = retry_at.max(now + Nanos(1));
-                        let timer = engine.schedule(
+                        let timer = engine.schedule_cancellable(
                             at,
                             MtEvent::RetryBacklog {
                                 client: client_id,

@@ -330,9 +330,11 @@ mod tests {
             seed: 3,
             ..Default::default()
         };
-        // min_rate stays at 1.0: a window refills to `srate` tokens, so a
-        // rate below one token per window could never send at all.
-        tight.c3.initial_rate = 1.0;
+        // A sub-1.0 floor is usable since the limiter accumulates
+        // fractional tokens across windows (it used to starve: a window
+        // refilled *to* `srate` tokens and a send needs a whole one).
+        tight.c3.initial_rate = 0.5;
+        tight.c3.min_rate = 0.5;
         tight.c3.smax = 0.2;
         let report = multi_tenant::run(tight, &scenario_registry());
         assert!(

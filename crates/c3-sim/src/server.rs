@@ -39,6 +39,13 @@ pub struct SimServer {
     queue: std::collections::VecDeque<ReqId>,
     /// Current speed state.
     speed: SpeedState,
+    /// Mean service time under `speed`, cached at each state change — the
+    /// Oracle reads it per candidate per request, and every service-time
+    /// sample needs it.
+    mean_ms: f64,
+    /// `1 / mean_ms` under `speed`, cached at each state change so the
+    /// Oracle's per-candidate scoring pays no division here.
+    rate_per_ms: f64,
     /// Cumulative requests completed (diagnostics).
     completed: u64,
     /// Largest queue length observed (diagnostics).
@@ -68,30 +75,42 @@ impl SimServer {
         initial_speed: SpeedState,
     ) -> Self {
         assert!(concurrency >= 1);
-        Self {
+        let mut server = Self {
             mean_service_ms,
             range_d,
             concurrency,
             in_service: 0,
             queue: std::collections::VecDeque::new(),
             speed: initial_speed,
+            mean_ms: 0.0,
+            rate_per_ms: 0.0,
             completed: 0,
             max_queue: 0,
-        }
+        };
+        server.recompute_speed_cache();
+        server
+    }
+
+    /// Refresh the cached mean/rate after a speed-state change (the same
+    /// expressions the accessors historically evaluated per call, so the
+    /// cached values are bit-identical).
+    fn recompute_speed_cache(&mut self) {
+        self.mean_ms = match self.speed {
+            SpeedState::Slow => self.mean_service_ms,
+            SpeedState::Fast => self.mean_service_ms / self.range_d,
+        };
+        self.rate_per_ms = 1.0 / self.mean_ms;
     }
 
     /// Mean service time under the current speed state, in milliseconds.
     pub fn current_mean_service_ms(&self) -> f64 {
-        match self.speed {
-            SpeedState::Slow => self.mean_service_ms,
-            SpeedState::Fast => self.mean_service_ms / self.range_d,
-        }
+        self.mean_ms
     }
 
     /// Current service rate (1/mean-service-time) in requests per ms per
     /// slot — the μ the Oracle strategy divides by.
     pub fn current_rate_per_ms(&self) -> f64 {
-        1.0 / self.current_mean_service_ms()
+        self.rate_per_ms
     }
 
     /// Current speed state.
@@ -107,12 +126,14 @@ impl SimServer {
         } else {
             SpeedState::Slow
         };
+        self.recompute_speed_cache();
     }
 
     /// Pin the speed state (used by tests and the Figure 13 scenario that
     /// scripts a server's performance).
     pub fn set_speed(&mut self, speed: SpeedState) {
         self.speed = speed;
+        self.recompute_speed_cache();
     }
 
     /// Total pending work: executing plus queued. This is the `q` the

@@ -81,6 +81,9 @@ struct SendState {
     req: ReqId,
     server: u32,
     sent_at: Nanos,
+    /// Feedback piggybacked on this send's response — stored inline so the
+    /// per-response path touches one cache line, not two parallel arrays.
+    feedback: Feedback,
 }
 
 struct SimClient {
@@ -90,6 +93,9 @@ struct SimClient {
     backlogs: Vec<BacklogQueue<ReqId>>,
     /// Whether a retry event is already scheduled per group.
     retry_scheduled: Vec<bool>,
+    /// Number of non-empty backlogs: lets the per-response drain scan skip
+    /// the group walk entirely in the common no-backpressure case.
+    backlogged: u32,
 }
 
 /// Optional probe recording one client's sending rate towards one server
@@ -112,8 +118,6 @@ pub struct SimScenario {
     groups: Vec<Vec<ServerId>>,
     requests: Vec<RequestState>,
     sends: Vec<SendState>,
-    /// Feedback piggybacked on each send's response, indexed by send id.
-    feedbacks: Vec<Feedback>,
     arrivals: PoissonArrivals,
     /// Workload randomness (client/group/read-repair choices, arrivals).
     wl_rng: SmallRng,
@@ -191,6 +195,7 @@ impl SimScenario {
                     selector,
                     backlogs: (0..cfg.servers).map(|_| BacklogQueue::new()).collect(),
                     retry_scheduled: vec![false; cfg.servers],
+                    backlogged: 0,
                 }
             })
             .collect();
@@ -203,7 +208,6 @@ impl SimScenario {
             groups,
             requests: Vec::with_capacity(cfg.total_requests as usize),
             sends: Vec::with_capacity(cfg.total_requests as usize + 16),
-            feedbacks: Vec::with_capacity(cfg.total_requests as usize + 16),
             arrivals,
             wl_rng,
             srv_rng,
@@ -344,9 +348,12 @@ impl SimScenario {
     ) {
         self.send_one(req, primary, now, true, engine);
         if self.requests[req as usize].read_repair {
+            // Walk the group table by index: re-borrowing per element
+            // keeps the fan-out allocation-free (this used to clone the
+            // group Vec per read-repair) without re-deriving the layout.
             let group_id = self.requests[req as usize].group as usize;
-            let group = self.groups[group_id].clone();
-            for s in group {
+            for k in 0..self.groups[group_id].len() {
+                let s = self.groups[group_id][k];
                 if s != primary {
                     self.send_one(req, s, now, false, engine);
                 }
@@ -364,6 +371,9 @@ impl SimScenario {
         engine: &mut EventQueue<Event>,
     ) {
         let client = &mut self.clients[client_id];
+        if client.backlogs[group_id].is_empty() {
+            client.backlogged += 1;
+        }
         client.backlogs[group_id].push(req);
         if !client.retry_scheduled[group_id] {
             client.retry_scheduled[group_id] = true;
@@ -391,8 +401,8 @@ impl SimScenario {
             req,
             server: server as u32,
             sent_at: now,
+            feedback: Feedback::new(0, Nanos::ZERO),
         });
-        self.feedbacks.push(Feedback::new(0, Nanos::ZERO));
         if primary {
             self.requests[req as usize].primary_send = send_id;
         }
@@ -435,7 +445,7 @@ impl SimScenario {
     ) {
         let (feedback, next) = self.servers[server].on_completion(service_time, &mut self.srv_rng);
         metrics.record_service(server, now);
-        self.feedbacks[send as usize] = feedback;
+        self.sends[send as usize].feedback = feedback;
         engine.schedule_in(self.cfg.one_way_latency, Event::ClientReceive { send });
         if let ServerAction::StartService {
             req: next_send,
@@ -462,7 +472,7 @@ impl SimScenario {
     ) {
         let s = self.sends[send as usize];
         let client_id = self.requests[s.req as usize].client as usize;
-        let feedback = self.feedbacks[send as usize];
+        let feedback = s.feedback;
         let response_time = now.saturating_sub(s.sent_at);
 
         if let Some(sel) = self.clients[client_id].selector.as_mut() {
@@ -511,6 +521,10 @@ impl SimScenario {
         now: Nanos,
         engine: &mut EventQueue<Event>,
     ) {
+        if self.clients[client_id].backlogged == 0 {
+            // Common case: nothing backlogged anywhere, skip the group walk.
+            return;
+        }
         let rf = self.cfg.replication_factor;
         let n = self.cfg.servers;
         for k in 0..rf {
@@ -543,7 +557,11 @@ impl SimScenario {
             };
             match selection {
                 Selection::Server(server) => {
-                    self.clients[client_id].backlogs[group_id].pop();
+                    let client = &mut self.clients[client_id];
+                    client.backlogs[group_id].pop();
+                    if client.backlogs[group_id].is_empty() {
+                        client.backlogged -= 1;
+                    }
                     self.fan_out(req, server, now, engine);
                 }
                 Selection::Backpressure { retry_at } => {

@@ -89,11 +89,26 @@ pub trait SampleRange<T> {
 
 /// Unbiased integer sampling in `[0, bound)` via Lemire-style rejection
 /// on the widening multiply.
+///
+/// The rejection threshold `2⁶⁴ mod bound` is only computed when the
+/// low product half falls below `bound` (probability `bound / 2⁶⁴`, i.e.
+/// effectively never): since the threshold is `< bound`, a low half
+/// `≥ bound` always accepts. This keeps the 64-bit modulo off the hot
+/// path while accepting and rejecting *exactly* the same draws as the
+/// always-compute version — RNG streams are unchanged.
 fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
     debug_assert!(bound > 0);
     // Widening multiply maps a 64-bit draw into [0, bound); reject the
     // low-product draws that would bias small residue classes.
+    let x = rng.next_u64();
+    let m = (x as u128) * (bound as u128);
+    if (m as u64) >= bound {
+        return (m >> 64) as u64;
+    }
     let threshold = bound.wrapping_neg() % bound;
+    if (m as u64) >= threshold {
+        return (m >> 64) as u64;
+    }
     loop {
         let x = rng.next_u64();
         let m = (x as u128) * (bound as u128);

@@ -1,0 +1,86 @@
+//! Streaming-vs-exact recorder parity at the runner level.
+//!
+//! `ScenarioRunner::with_exact_latency` runs an exact (every-sample)
+//! reservoir alongside the streaming log-linear histograms. These tests
+//! pin the two contracts that make the flag safe to reach for:
+//!
+//! 1. the streaming percentiles stay within one log-linear bucket width
+//!    of the exact order statistics (p50/p95/p99/p99.9), and
+//! 2. enabling the flag changes *nothing else* — the simulated event
+//!    stream and the streaming histograms are bit-identical with and
+//!    without it.
+
+use c3::core::Nanos;
+use c3::engine::{ChannelId, ScenarioRunner};
+use c3::sim::{SimConfig, SimScenario, Strategy};
+
+const LATENCY: ChannelId = ChannelId::new(0);
+
+fn cfg(strategy: Strategy) -> SimConfig {
+    SimConfig {
+        servers: 12,
+        clients: 24,
+        generators: 24,
+        total_requests: 20_000,
+        fluctuation_interval: Nanos::from_millis(100),
+        strategy,
+        seed: 21,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn exact_percentiles_within_one_bucket_of_streaming() {
+    for strategy in [Strategy::c3(), Strategy::lor()] {
+        let c = cfg(strategy.clone());
+        let runner = ScenarioRunner::new(c.seed)
+            .with_warmup(c.warmup_requests)
+            .with_exact_latency();
+        let mut scenario = SimScenario::new(c.clone());
+        let (metrics, _) = runner.run(&mut scenario, c.servers, c.load_window);
+        assert!(metrics.exact_enabled());
+
+        let exact = metrics.summary(LATENCY);
+        let stream = metrics.streaming_summary(LATENCY);
+        assert_eq!(exact.count, stream.count);
+        for (name, e, s) in [
+            ("p50", exact.p50_ns, stream.p50_ns),
+            ("p95", exact.p95_ns, stream.p95_ns),
+            ("p99", exact.p99_ns, stream.p99_ns),
+            ("p99.9", exact.p999_ns, stream.p999_ns),
+        ] {
+            // One log-linear bucket at value v is at most v/64 wide
+            // (SUB_BITS = 7 ⇒ 64 sub-buckets per power of two).
+            let bucket = e as f64 / 64.0 + 1.0;
+            assert!(
+                (s as f64 - e as f64).abs() <= bucket,
+                "{strategy}/{name}: streaming {s} vs exact {e} off by more than one bucket"
+            );
+        }
+        // max is exact in both recorders.
+        assert_eq!(exact.max_ns, stream.max_ns, "{strategy}: max must be exact");
+    }
+}
+
+#[test]
+fn exact_flag_does_not_change_the_run() {
+    let c = cfg(Strategy::c3());
+    let run = |exact: bool| {
+        let mut runner = ScenarioRunner::new(c.seed).with_warmup(c.warmup_requests);
+        if exact {
+            runner = runner.with_exact_latency();
+        }
+        let mut scenario = SimScenario::new(c.clone());
+        let (metrics, stats) = runner.run(&mut scenario, c.servers, c.load_window);
+        let s = metrics.streaming_summary(LATENCY);
+        (
+            stats.events_processed,
+            metrics.measured(LATENCY),
+            s.p50_ns,
+            s.p99_ns,
+            s.p999_ns,
+            s.mean_ns.to_bits(),
+        )
+    };
+    assert_eq!(run(false), run(true));
+}
