@@ -1,0 +1,19 @@
+//! Throughput-at-SLO sweep: for every `(scenario, strategy, seed)` cell,
+//! bisect for the maximum offered rate whose p99 still meets the
+//! scenario's SLO, and write the fingerprinted results to
+//! `BENCH_slo.json`.
+//!
+//! Honours `C3_SCALE` (quick/full — ops per probe), `C3_RUNS` (seeds per
+//! cell), `C3_SLO_LIVE` (`0` skips the loopback-socket tier; default on)
+//! and `BENCH_SLO_OUT` (output path, default `BENCH_slo.json`).
+use c3_bench::slo_experiments;
+use c3_bench::support::{runs_from_env, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let include_live = std::env::var("C3_SLO_LIVE").as_deref() != Ok("0");
+    let results = slo_experiments::throughput_at_slo(scale, runs_from_env(), include_live);
+    let out = std::env::var("BENCH_SLO_OUT").unwrap_or_else(|_| "BENCH_slo.json".into());
+    std::fs::write(&out, slo_experiments::slo_json(&results)).expect("write BENCH_slo.json");
+    println!("\nwrote {out}");
+}

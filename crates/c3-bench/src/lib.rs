@@ -6,10 +6,14 @@
 //!
 //! All experiments honour `C3_SCALE` (`quick`/`full`) and `C3_RUNS`
 //! (repetitions per configuration); `run_all` executes the full suite and
-//! is what `EXPERIMENTS.md` is produced from.
+//! is what `EXPERIMENTS.md` is produced from. The `slo_sweep` bin runs
+//! the throughput-at-SLO tier (`slo_experiments`) and writes
+//! `BENCH_slo.json`; `bench_engine` runs the perf suite and writes
+//! `BENCH_engine.json`.
 
 pub mod analytic;
 pub mod cluster_experiments;
 pub mod scenario_experiments;
 pub mod sim_experiments;
+pub mod slo_experiments;
 pub mod support;

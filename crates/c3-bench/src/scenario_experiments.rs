@@ -9,7 +9,7 @@
 use c3_metrics::Table;
 use c3_scenarios::{scenario_registry, ScenarioError, ScenarioRegistry, ScenarioReport};
 
-use crate::support::{banner, fan_out_threads, runs_from_env, Scale};
+use crate::support::{banner, fan_out_threads, runs_from_env, Scale, SkipLog};
 
 /// Worker threads for scenario sweeps: the machine's parallelism, capped
 /// so CI runners are not oversubscribed. Results do not depend on this.
@@ -45,7 +45,10 @@ pub fn scenario_matrix(scale: Scale) {
 
     let results = scenarios.sweep(&scenario_names, &strategies, &seeds, ops, threads);
 
-    // Matrix order is scenario-major, then strategy, then seed.
+    // Matrix order is scenario-major, then strategy, then seed. Cells a
+    // frontend cannot drive are deduped into one notice per
+    // (scenario, strategy, reason) instead of one per seeded run.
+    let mut skips = SkipLog::new();
     let mut iter = results.into_iter();
     for scenario in &scenario_names {
         let mut table = Table::new(vec![
@@ -65,13 +68,18 @@ pub fn scenario_matrix(scale: Scale) {
                     table.row(row);
                 }
                 None => {
+                    for run in &cell_runs {
+                        if let Err(e) = run {
+                            skips.note(scenario, strategy.label(), &e.to_string());
+                        }
+                    }
                     table.row(vec![
                         strategy.label().to_string(),
                         "—".into(),
                         "—".into(),
                         "—".into(),
                         "—".into(),
-                        "unsupported on this frontend".into(),
+                        "skipped".into(),
                     ]);
                 }
             }
@@ -81,6 +89,7 @@ pub fn scenario_matrix(scale: Scale) {
             seeds.len()
         );
     }
+    skips.print_summary();
     println!(
         "Paper shape: C3 keeps the read tail ahead of DS and the static\n\
          Primary/Nearest baselines in every scenario — widest under\n\

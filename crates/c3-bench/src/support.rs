@@ -6,6 +6,8 @@
 //!   operation counts (slower by ~20×),
 //! - `C3_RUNS`: repetitions per configuration (default 3; the paper uses 5).
 
+use std::collections::BTreeSet;
+
 use c3_engine::fan_out;
 use c3_metrics::RunSet;
 
@@ -89,6 +91,57 @@ pub fn across_seeds(runs: u64, f: impl Fn(u64) -> f64 + Sync) -> RunSet {
 pub fn banner(id: &str, title: &str) {
     println!();
     println!("== {id}: {title} ==");
+}
+
+/// Deduplicating collector for skipped sweep cells.
+///
+/// Sweeps run each `(scenario, strategy)` cell once per seed, so a cell a
+/// backend cannot drive (the `ORA` oracle on cluster-backed scenarios,
+/// unknown strategies) used to surface one notice *per run*. Every sweep
+/// bin (`scenario_sweep`, `slo_sweep`, `run_all`) now funnels its skips
+/// through this log instead: identical `(scenario, strategy, reason)`
+/// triples collapse to a single line, printed once at the end of the
+/// sweep.
+#[derive(Debug, Default)]
+pub struct SkipLog {
+    seen: BTreeSet<(String, String, String)>,
+}
+
+impl SkipLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Note one skipped cell; duplicates (across seeds or repeated
+    /// sweeps) collapse.
+    pub fn note(&mut self, scenario: &str, strategy: &str, reason: &str) {
+        self.seen
+            .insert((scenario.into(), strategy.into(), reason.into()));
+    }
+
+    /// Whether anything was skipped.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// Distinct skipped cells, in `(scenario, strategy)` order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &str, &str)> {
+        self.seen
+            .iter()
+            .map(|(sc, st, r)| (sc.as_str(), st.as_str(), r.as_str()))
+    }
+
+    /// Print the deduped summary (nothing when the log is empty).
+    pub fn print_summary(&self) {
+        if self.is_empty() {
+            return;
+        }
+        println!("\nskipped cells (deduped across seeds):");
+        for (scenario, strategy, reason) in self.entries() {
+            println!("  {scenario}/{strategy}: {reason}");
+        }
+    }
 }
 
 #[cfg(test)]

@@ -38,6 +38,22 @@ pub struct ClusterConfig {
     pub mix: WorkloadMix,
     /// Closed-loop generator threads (paper: 120, later 210).
     pub generators: usize,
+    /// Offered load in operations/second across all generator threads.
+    /// `None` runs closed-loop (each thread issues its next operation as
+    /// soon as the previous one completes, like the paper's YCSB
+    /// generators); `Some(rate)` runs **open-loop**: each thread issues on
+    /// its own Poisson schedule at `rate / generators` regardless of
+    /// outstanding operations, so queueing delay counts against the
+    /// strategy that caused it from the *intended* arrival time — the
+    /// rate axis the SLO-seeking controller searches. A mid-run
+    /// [`WorkloadPhase`] adds its joiners at the same per-thread rate on
+    /// top of `rate`.
+    pub offered_rate: Option<f64>,
+    /// Record measured latencies into exact (every-sample) reservoirs so
+    /// summaries report exact order statistics instead of histogram
+    /// buckets — required when close percentile comparisons decide a
+    /// result (claims, figures, SLO probes). Costs O(ops) memory.
+    pub exact_latency: bool,
     /// Total client operations to run (paper: 10 M; scale down for CI).
     pub total_ops: u64,
     /// Operations to ignore in latency metrics while state warms up.
@@ -85,6 +101,8 @@ impl Default for ClusterConfig {
             disk: DiskKind::Spinning,
             mix: WorkloadMix::read_heavy(),
             generators: 120,
+            offered_rate: None,
+            exact_latency: false,
             total_ops: 500_000,
             warmup_ops: 20_000,
             keys: 10_000_000,
@@ -132,6 +150,12 @@ impl ClusterConfig {
     pub fn validate(&self) {
         assert!(self.nodes >= self.replication_factor, "too few nodes");
         assert!(self.generators >= 1, "need generators");
+        if let Some(rate) = self.offered_rate {
+            assert!(
+                rate.is_finite() && rate > 0.0,
+                "offered rate must be positive and finite"
+            );
+        }
         assert!(self.total_ops > 0, "need operations");
         assert!(self.warmup_ops < self.total_ops, "warm-up swallows the run");
         assert!(self.keys > 0, "need keys");

@@ -22,6 +22,12 @@
 //!   [`Scenario`] implementation. Independent runs fan out across worker
 //!   threads via [`ScenarioRunner::run_all`] / [`fan_out`], bit-identical
 //!   for any thread count.
+//! - [`SloSearch`] / [`SloSweep`]: the SLO-seeking rate controller — a
+//!   deterministic integer-grid bisection for the maximum offered rate a
+//!   `(scenario, strategy, seed)` cell sustains under a latency
+//!   [`SloPredicate`], producing a fingerprinted [`SloReport`] (the
+//!   paper's throughput-at-SLO frame, over any backend that can run at a
+//!   requested rate).
 //!
 //! ```
 //! use c3_core::Nanos;
@@ -77,8 +83,13 @@
 mod kernel;
 mod registry;
 mod runner;
+mod slo;
 
-pub use c3_metrics::{ChannelId, ChannelSet};
+pub use c3_metrics::{ChannelId, ChannelSet, SloMetric, SloPredicate};
 pub use kernel::{EventQueue, TimerId};
 pub use registry::{BuiltSelector, SelectorCtx, Strategy, StrategyRegistry, UnknownStrategy};
 pub use runner::{fan_out, EngineStats, RunMetrics, Scenario, ScenarioRunner, SeedSeq};
+pub use slo::{
+    RateProbe, RateWindow, SkippedCell, SloCell, SloCellReport, SloOutcome, SloReport, SloSearch,
+    SloSweep,
+};

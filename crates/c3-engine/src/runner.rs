@@ -366,6 +366,16 @@ impl ScenarioRunner {
         self
     }
 
+    /// Conditional form of [`ScenarioRunner::with_exact_latency`], for
+    /// backends plumbing an `exact_latency` config flag through.
+    pub fn with_exact_latency_if(self, exact: bool) -> Self {
+        if exact {
+            self.with_exact_latency()
+        } else {
+            self
+        }
+    }
+
     /// The seed-derivation scheme of this run.
     pub fn seeds(&self) -> &SeedSeq {
         &self.seeds

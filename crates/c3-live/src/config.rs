@@ -62,6 +62,11 @@ pub struct LiveConfig {
     /// strategies' tails comparable — closed loop lets a faster strategy
     /// raise its own utilization and pay for it at the tail.
     pub offered_rate: Option<f64>,
+    /// Record measured latencies into exact (every-sample) reservoirs so
+    /// summaries report exact order statistics — the SLO controller's
+    /// probes use this so a pass/fail at the bound is not decided by
+    /// histogram bucket quantization.
+    pub exact_latency: bool,
     /// Wall-clock run length.
     pub run_for: Duration,
     /// Operations excluded from latency measurement while state warms up
@@ -96,6 +101,7 @@ impl Default for LiveConfig {
             c3: C3Config::default(),
             snitch: SnitchConfig::default(),
             offered_rate: None,
+            exact_latency: false,
             run_for: Duration::from_millis(1_500),
             warmup_ops: 500,
             ops_cap: u64::MAX,

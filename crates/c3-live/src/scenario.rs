@@ -134,7 +134,9 @@ pub fn run_live(scenario_name: &str, cfg: LiveConfig) -> LiveReport {
     let strategy = cfg.strategy.clone();
     let seed = cfg.seed;
     let replicas = cfg.replicas;
-    let runner = ScenarioRunner::new(seed).with_warmup(cfg.warmup_ops);
+    let runner = ScenarioRunner::new(seed)
+        .with_warmup(cfg.warmup_ops)
+        .with_exact_latency_if(cfg.exact_latency);
     let mut scenario = LiveScenario::new(cfg);
     let (metrics, stats) = runner.run(&mut scenario, replicas, Nanos::from_millis(100));
     let artifacts = scenario.artifacts.take().expect("run completed");
@@ -147,9 +149,19 @@ pub fn run_live(scenario_name: &str, cfg: LiveConfig) -> LiveReport {
 }
 
 /// The live hetero-fleet script: every third replica a permanent 3x tier,
-/// matching the sim scenario's default shape.
+/// matching the sim scenario's default shape — including its spinning
+/// disks. On SSDs a 3x tier costs ~2 ms and tier-blindness barely
+/// registers; the sim scenario's whole point is the seek-dominated slow
+/// tier, so its live twin sleeps the same spinning-disk service times.
 pub fn hetero_fleet_config(params: &ScenarioParams) -> Result<LiveConfig, ScenarioError> {
     let mut cfg = base_config(LIVE_HETERO_FLEET, params)?;
+    cfg.disk = c3_cluster::DiskKind::Spinning;
+    // Workers are single-in-flight; with seek-length sleeps the default
+    // 8 threads saturate long before the fleet does, and every strategy
+    // degenerates to "whatever the client can push". 24 mostly-sleeping
+    // workers put the bottleneck back on the replicas, where tier-aware
+    // routing is the thing under test.
+    cfg.threads = 24;
     cfg.scripted = SlowdownScript::tiers(&[1.0, 1.0, 3.0], cfg.replicas)
         .windows()
         .to_vec();
@@ -184,6 +196,8 @@ fn base_config(scenario: &str, params: &ScenarioParams) -> Result<LiveConfig, Sc
         seed: params.seed,
         warmup_ops: params.warmup,
         ops_cap: params.ops,
+        offered_rate: params.offered_rate,
+        exact_latency: params.exact,
         run_for: Duration::from_millis(1_500),
         ..LiveConfig::default()
     };

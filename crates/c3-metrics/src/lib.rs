@@ -40,6 +40,7 @@ mod ecdf;
 mod exact;
 mod histogram;
 mod moving;
+mod slo;
 mod summary;
 mod table;
 mod timeseries;
@@ -49,6 +50,7 @@ pub use ecdf::Ecdf;
 pub use exact::ExactReservoir;
 pub use histogram::LogHistogram;
 pub use moving::{moving_median, MovingMedian};
+pub use slo::{SloMetric, SloPredicate};
 pub use summary::{jain_index, ConfidenceInterval, LatencySummary, RunSet};
 pub use table::{f2, Align, Table};
 pub use timeseries::{GaugeSeries, WindowedCounts};

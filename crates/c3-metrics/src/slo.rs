@@ -1,0 +1,164 @@
+//! Service-level-objective predicates over latency summaries.
+//!
+//! The paper's headline evaluation frame is not only "lower p99 at equal
+//! load" but "**higher throughput at a fixed tail-latency SLO**": raise the
+//! offered rate until a chosen percentile crosses a limit, and report the
+//! highest rate that still passes. The types here name that limit — a
+//! [`SloMetric`] (which order statistic) plus a bound in milliseconds —
+//! so the rate-seeking controller in `c3-engine`, the bench harness and
+//! the report files all speak the same predicate.
+
+use std::fmt;
+
+use crate::summary::LatencySummary;
+
+/// Which latency statistic an SLO constrains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SloMetric {
+    /// Arithmetic mean.
+    Mean,
+    /// Median (50th percentile).
+    Median,
+    /// 95th percentile.
+    P95,
+    /// 99th percentile — the paper's headline tail.
+    P99,
+    /// 99.9th percentile.
+    P999,
+    /// Maximum observed latency.
+    Max,
+}
+
+impl SloMetric {
+    /// The statistic's value in milliseconds from a summary.
+    pub fn value_ms(&self, summary: &LatencySummary) -> f64 {
+        summary.metric_ms(self.label())
+    }
+
+    /// The label `LatencySummary::metric_ms` resolves.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SloMetric::Mean => "mean",
+            SloMetric::Median => "median",
+            SloMetric::P95 => "p95",
+            SloMetric::P99 => "p99",
+            SloMetric::P999 => "p999",
+            SloMetric::Max => "max",
+        }
+    }
+}
+
+impl fmt::Display for SloMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A latency SLO: `metric ≤ max_ms`.
+///
+/// ```
+/// use c3_metrics::{LatencySummary, SloPredicate};
+///
+/// let slo = SloPredicate::p99_under_ms(20.0);
+/// assert!(slo.passes_ms(19.9));
+/// assert!(!slo.passes_ms(20.1));
+/// assert_eq!(slo.to_string(), "p99 <= 20 ms");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SloPredicate {
+    /// The constrained statistic.
+    pub metric: SloMetric,
+    /// The inclusive bound in milliseconds.
+    pub max_ms: f64,
+}
+
+impl SloPredicate {
+    /// An SLO on the given metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bound is not positive and finite.
+    pub fn new(metric: SloMetric, max_ms: f64) -> Self {
+        assert!(
+            max_ms.is_finite() && max_ms > 0.0,
+            "SLO bound must be positive and finite (got {max_ms})"
+        );
+        Self { metric, max_ms }
+    }
+
+    /// The paper's usual frame: `p99 ≤ max_ms`.
+    pub fn p99_under_ms(max_ms: f64) -> Self {
+        Self::new(SloMetric::P99, max_ms)
+    }
+
+    /// The constrained statistic's value in milliseconds.
+    pub fn value_ms(&self, summary: &LatencySummary) -> f64 {
+        self.metric.value_ms(summary)
+    }
+
+    /// Whether a summary satisfies the SLO.
+    pub fn passes(&self, summary: &LatencySummary) -> bool {
+        self.passes_ms(self.value_ms(summary))
+    }
+
+    /// Whether an already-extracted metric value (ms) satisfies the SLO.
+    pub fn passes_ms(&self, value_ms: f64) -> bool {
+        value_ms <= self.max_ms
+    }
+}
+
+impl fmt::Display for SloPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} <= {} ms", self.metric, self.max_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary() -> LatencySummary {
+        LatencySummary {
+            count: 1000,
+            mean_ns: 2.0e6,
+            p50_ns: 1_500_000,
+            p95_ns: 6_000_000,
+            p99_ns: 12_000_000,
+            p999_ns: 30_000_000,
+            max_ns: 50_000_000,
+        }
+    }
+
+    #[test]
+    fn metrics_extract_the_right_field() {
+        let s = summary();
+        assert_eq!(SloMetric::Median.value_ms(&s), 1.5);
+        assert_eq!(SloMetric::P95.value_ms(&s), 6.0);
+        assert_eq!(SloMetric::P99.value_ms(&s), 12.0);
+        assert_eq!(SloMetric::P999.value_ms(&s), 30.0);
+        assert_eq!(SloMetric::Max.value_ms(&s), 50.0);
+        assert_eq!(SloMetric::Mean.value_ms(&s), 2.0);
+    }
+
+    #[test]
+    fn predicate_is_inclusive_at_the_bound() {
+        let slo = SloPredicate::p99_under_ms(12.0);
+        assert!(slo.passes(&summary()), "12 ms p99 meets a 12 ms bound");
+        let tighter = SloPredicate::p99_under_ms(11.999);
+        assert!(!tighter.passes(&summary()));
+    }
+
+    #[test]
+    fn display_names_the_frame() {
+        assert_eq!(
+            SloPredicate::new(SloMetric::P999, 50.0).to_string(),
+            "p999 <= 50 ms"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn bound_must_be_positive() {
+        let _ = SloPredicate::p99_under_ms(0.0);
+    }
+}

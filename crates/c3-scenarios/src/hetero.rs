@@ -90,7 +90,9 @@ pub fn run(cfg: &HeteroFleetConfig, registry: &StrategyRegistry) -> ScenarioRepo
     let seed = cluster_cfg.seed;
     let nodes = cluster_cfg.nodes;
     let load_window = cluster_cfg.load_window;
-    let runner = ScenarioRunner::new(seed).with_warmup(cluster_cfg.warmup_ops);
+    let runner = ScenarioRunner::new(seed)
+        .with_warmup(cluster_cfg.warmup_ops)
+        .with_exact_latency_if(cluster_cfg.exact_latency);
     let mut scenario = ClusterScenario::with_registry(cluster_cfg, registry);
     let (metrics, stats) = runner.run(&mut scenario, nodes, load_window);
     ScenarioReport::from_metrics(super::HETERO_FLEET, &strategy, seed, &metrics, &stats)

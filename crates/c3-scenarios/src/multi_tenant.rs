@@ -91,6 +91,16 @@ pub struct MultiTenantConfig {
     /// Offered load as a fraction of fleet capacity, accounting for each
     /// tenant's value-size service multiplier.
     pub utilization: f64,
+    /// Absolute offered arrival rate in requests/second across all
+    /// tenants, overriding the `utilization`-derived rate when set.
+    /// Unlike `utilization` it is not clamped below capacity — the
+    /// SLO-seeking controller's search bracket deliberately crosses the
+    /// saturation point.
+    pub offered_rate: Option<f64>,
+    /// Record measured latencies into exact (every-sample) reservoirs so
+    /// summaries report exact order statistics (claims/figure/SLO-probe
+    /// tiers). Costs O(requests) memory.
+    pub exact_latency: bool,
     /// One-way client/server network latency.
     pub one_way_latency: Nanos,
     /// Distinct keys; a key's replica group is `key % servers`.
@@ -123,6 +133,8 @@ impl Default for MultiTenantConfig {
             server_concurrency: 4,
             mean_service_ms: 3.0,
             utilization: 0.65,
+            offered_rate: None,
+            exact_latency: false,
             one_way_latency: Nanos::from_micros(250),
             keys: 100_000,
             total_requests: 40_000,
@@ -151,12 +163,20 @@ impl MultiTenantConfig {
             .sum()
     }
 
-    /// Total offered arrival rate in requests/second at the configured
-    /// utilization.
+    /// Fleet capacity in requests/second at the tenant-demand-weighted
+    /// mean service time.
+    pub fn capacity(&self) -> f64 {
+        self.servers as f64 * self.server_concurrency as f64 * 1000.0 / self.effective_service_ms()
+    }
+
+    /// Total offered arrival rate in requests/second: the `offered_rate`
+    /// override when set, else the configured utilization of
+    /// [`MultiTenantConfig::capacity`].
     pub fn total_arrival_rate(&self) -> f64 {
-        let capacity = self.servers as f64 * self.server_concurrency as f64 * 1000.0
-            / self.effective_service_ms();
-        self.utilization * capacity
+        if let Some(rate) = self.offered_rate {
+            return rate;
+        }
+        self.utilization * self.capacity()
     }
 
     /// The configuration of tenant `i` running *alone* on the same fleet
@@ -181,6 +201,9 @@ impl MultiTenantConfig {
             .min(total.saturating_sub(1));
         MultiTenantConfig {
             utilization,
+            // An absolute-rate override scales directly: the tenant keeps
+            // its shared-run arrival rate when running alone.
+            offered_rate: self.offered_rate.map(|r| r * tenant.demand_fraction),
             total_requests: total,
             warmup_requests: warmup,
             tenants: vec![TenantSpec {
@@ -205,6 +228,12 @@ impl MultiTenantConfig {
             self.utilization > 0.0 && self.utilization < 1.0,
             "utilization must be in (0,1)"
         );
+        if let Some(rate) = self.offered_rate {
+            assert!(
+                rate.is_finite() && rate > 0.0,
+                "offered rate must be positive and finite"
+            );
+        }
         assert!(self.keys > 0, "need keys");
         assert!(self.total_requests > 0, "need requests");
         assert!(
@@ -721,7 +750,9 @@ pub fn run_isolated(cfg: &MultiTenantConfig, registry: &StrategyRegistry) -> Vec
 
 /// Run a multi-tenant config to completion and report per-tenant channels.
 pub fn run(cfg: MultiTenantConfig, registry: &StrategyRegistry) -> ScenarioReport {
-    let runner = ScenarioRunner::new(cfg.seed).with_warmup(cfg.warmup_requests);
+    let runner = ScenarioRunner::new(cfg.seed)
+        .with_warmup(cfg.warmup_requests)
+        .with_exact_latency_if(cfg.exact_latency);
     let servers = cfg.servers;
     let load_window = cfg.load_window;
     let strategy = cfg.strategy.clone();

@@ -31,6 +31,15 @@ pub struct ScenarioParams {
     /// configured default — the stock cluster uses 10 M keys, whose
     /// Zipf table dominates a short run's build time).
     pub keys: Option<u64>,
+    /// Offered load in operations/second. `None` keeps each scenario's
+    /// native drive (the cluster's closed loop, multi-tenant's configured
+    /// utilization); `Some(rate)` runs open-loop at that rate on every
+    /// backend — the axis the SLO-seeking controller searches.
+    pub offered_rate: Option<f64>,
+    /// Use exact (every-sample) percentile reservoirs instead of the
+    /// streaming histogram — required when close percentile comparisons
+    /// decide a result (claims, figures, SLO probes).
+    pub exact: bool,
 }
 
 impl ScenarioParams {
@@ -49,7 +58,22 @@ impl ScenarioParams {
             ops,
             warmup: ops / 20,
             keys: Some(1_000_000),
+            offered_rate: None,
+            exact: false,
         }
+    }
+
+    /// Drive the scenario open-loop at `rate` operations/second.
+    pub fn with_offered_rate(mut self, rate: f64) -> Self {
+        self.offered_rate = Some(rate);
+        self
+    }
+
+    /// Report exact order-statistic percentiles instead of streaming
+    /// histogram buckets.
+    pub fn with_exact_latency(mut self) -> Self {
+        self.exact = true;
+        self
     }
 }
 
@@ -125,6 +149,8 @@ impl ScenarioRegistry {
                 warmup_requests: p.warmup,
                 strategy: p.strategy.clone(),
                 seed: p.seed,
+                offered_rate: p.offered_rate,
+                exact_latency: p.exact,
                 ..multi_tenant::MultiTenantConfig::default()
             };
             if let Some(keys) = p.keys {
@@ -234,6 +260,8 @@ fn apply_cluster_params(
     cfg.warmup_ops = p.warmup;
     cfg.strategy = p.strategy.clone();
     cfg.seed = p.seed;
+    cfg.offered_rate = p.offered_rate;
+    cfg.exact_latency = p.exact;
     if let Some(keys) = p.keys {
         cfg.keys = cfg.keys.min(keys);
     }
@@ -345,6 +373,70 @@ mod tests {
             report.dead_events, 0,
             "cancellation must leave no dead retry"
         );
+    }
+
+    #[test]
+    fn offered_rate_paces_cluster_backed_scenarios() {
+        // The same cell, closed-loop vs open-loop at a binding rate: the
+        // paced run's measured window must stretch to ~ops/rate.
+        let reg = ScenarioRegistry::with_defaults();
+        let closed = reg
+            .run(
+                HETERO_FLEET,
+                &ScenarioParams::sized(Strategy::c3(), 2, 4_000),
+            )
+            .unwrap();
+        let open = reg
+            .run(
+                HETERO_FLEET,
+                &ScenarioParams::sized(Strategy::c3(), 2, 4_000).with_offered_rate(2_000.0),
+            )
+            .unwrap();
+        assert_eq!(open.total_completions(), closed.total_completions());
+        assert!(
+            open.duration > closed.duration,
+            "pacing at 2k/s must out-last the closed loop: {:?} vs {:?}",
+            open.duration,
+            closed.duration
+        );
+    }
+
+    #[test]
+    fn exact_latency_flag_reaches_every_backend() {
+        // Exact percentiles change summaries (order statistics vs bucket
+        // midpoints) without changing the run itself.
+        let reg = ScenarioRegistry::with_defaults();
+        for name in reg.names() {
+            let plain = reg
+                .run(name, &ScenarioParams::sized(Strategy::lor(), 4, 3_000))
+                .unwrap();
+            let exact = reg
+                .run(
+                    name,
+                    &ScenarioParams::sized(Strategy::lor(), 4, 3_000).with_exact_latency(),
+                )
+                .unwrap();
+            assert_eq!(
+                plain.events_processed, exact.events_processed,
+                "{name}: the flag must not perturb the simulation"
+            );
+            assert_eq!(plain.total_completions(), exact.total_completions());
+            // And the flag must actually do its job: some reported
+            // percentile must move off its streaming-histogram bucket
+            // midpoint onto the exact order statistic. A backend that
+            // silently drops `with_exact_latency` fails here.
+            let differs = plain.channels.iter().zip(&exact.channels).any(|(p, e)| {
+                p.summary.p50_ns != e.summary.p50_ns
+                    || p.summary.p95_ns != e.summary.p95_ns
+                    || p.summary.p99_ns != e.summary.p99_ns
+                    || p.summary.p999_ns != e.summary.p999_ns
+                    || p.summary.max_ns != e.summary.max_ns
+            });
+            assert!(
+                differs,
+                "{name}: exact summaries must differ from bucketed ones"
+            );
+        }
     }
 
     #[test]

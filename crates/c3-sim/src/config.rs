@@ -49,6 +49,13 @@ pub struct SimConfig {
     /// "high" and 0.45 "low"). Capacity counts each server as
     /// `concurrency × (μ + μD)/2`.
     pub utilization: f64,
+    /// Absolute offered arrival rate in requests/second, overriding the
+    /// `utilization`-derived rate when set. Unlike `utilization` it is
+    /// not clamped below capacity, so direct §6 experiments (or an SLO
+    /// search driving `Simulation` as its measurement function, the way
+    /// `slo_sweep` drives the scenario registry) can deliberately cross
+    /// the saturation point.
+    pub offered_rate: Option<f64>,
     /// Probability a read is sent to all replicas (paper: 10%).
     pub read_repair_prob: f64,
     /// One-way network latency between any client and server (paper:
@@ -89,6 +96,7 @@ impl Default for SimConfig {
             range_d: 3.0,
             fluctuation_interval: Nanos::from_millis(100),
             utilization: 0.7,
+            offered_rate: None,
             read_repair_prob: 0.1,
             one_way_latency: Nanos::from_micros(250),
             total_requests: 600_000,
@@ -128,9 +136,12 @@ impl SimConfig {
         self.server_concurrency as f64 * mu * (1.0 + self.range_d) / 2.0
     }
 
-    /// Total offered arrival rate in requests/sec
-    /// (`utilization × servers × mean_server_rate`).
+    /// Total offered arrival rate in requests/sec: the `offered_rate`
+    /// override when set, else `utilization × servers × mean_server_rate`.
     pub fn total_arrival_rate(&self) -> f64 {
+        if let Some(rate) = self.offered_rate {
+            return rate;
+        }
         self.utilization * self.servers as f64 * self.mean_server_rate()
     }
 
@@ -151,6 +162,12 @@ impl SimConfig {
             self.utilization > 0.0 && self.utilization < 1.0,
             "utilization must be in (0,1)"
         );
+        if let Some(rate) = self.offered_rate {
+            assert!(
+                rate.is_finite() && rate > 0.0,
+                "offered rate must be positive and finite"
+            );
+        }
         assert!(
             (0.0..=1.0).contains(&self.read_repair_prob),
             "read-repair probability out of range"
@@ -206,6 +223,25 @@ mod tests {
         assert_eq!(c.strategy, Strategy::lor());
         assert_eq!(c.fluctuation_interval, Nanos::from_millis(500));
         assert!((c.utilization - 0.45).abs() < 1e-12);
+        c.validate();
+    }
+
+    #[test]
+    fn offered_rate_overrides_utilization_derived_rate() {
+        let mut c = SimConfig::default();
+        assert!((c.total_arrival_rate() - 70_000.0).abs() < 1e-6);
+        c.offered_rate = Some(123_456.0);
+        c.validate();
+        assert_eq!(c.total_arrival_rate(), 123_456.0, "override wins");
+    }
+
+    #[test]
+    #[should_panic(expected = "offered rate")]
+    fn validate_rejects_nonpositive_offered_rate() {
+        let c = SimConfig {
+            offered_rate: Some(0.0),
+            ..SimConfig::default()
+        };
         c.validate();
     }
 
