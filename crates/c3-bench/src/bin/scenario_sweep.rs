@@ -8,4 +8,5 @@ fn main() {
     let scale = Scale::from_env();
     scenario_experiments::scenario_matrix(scale);
     scenario_experiments::multi_tenant_fairness(scale);
+    scenario_experiments::live_client_health(scale);
 }

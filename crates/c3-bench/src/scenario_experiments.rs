@@ -161,6 +161,93 @@ pub fn multi_tenant_fairness(scale: Scale) {
     );
 }
 
+/// Live-client health: the multiplexed client's own diagnostics, per
+/// live scenario, for the live strategy pair.
+///
+/// Two named series ride on every [`c3_live::LiveReport`] outside its
+/// workload channels (so SLO anchors and completion counts stay pure):
+///
+/// - **inflight** — in-flight occupancy sampled at every issue. The
+///   percentiles here are *counts*. A p99 pinned near the budget means
+///   the budget (the client) was the binding constraint: the run was
+///   client-bound and its throughput says nothing about the servers. A
+///   p99 with headroom means issuing kept up and the fleet set the pace —
+///   server-bound, the regime every live number should be measured in.
+/// - **feedback-lag** — nanoseconds a reader thread spent folding one
+///   completion into selector state; the per-update price of the
+///   concurrency-safe selector (atomic folds for C3, one shard lock for
+///   the baselines).
+///
+/// Cells run *open-loop* at a fixed offered rate: a closed loop keeps its
+/// budget fully occupied by construction, which would make the occupancy
+/// verdict trivially "client-bound" in every cell. Under a paced load the
+/// verdict is diagnostic — occupancy rides up only when the fleet (or a
+/// blackout) stops absorbing the offered rate.
+pub fn live_client_health(_scale: Scale) {
+    use c3_engine::Strategy;
+    use c3_live::{hetero_fleet_config, partition_flux_config, run_live};
+    use c3_scenarios::ScenarioParams;
+
+    banner(
+        "SC-L",
+        "live client health: in-flight occupancy + feedback lag",
+    );
+    let strategies = [Strategy::c3(), Strategy::dynamic_snitching()];
+    for scenario in [c3_live::LIVE_HETERO_FLEET, c3_live::LIVE_PARTITION_FLUX] {
+        let mut table = Table::new(vec![
+            "strategy",
+            "inflight p50/p99/max",
+            "budget",
+            "verdict",
+            "fb-lag p50 µs",
+            "fb-lag p99 µs",
+            "updates/s",
+        ]);
+        for strategy in &strategies {
+            // ~1/6 of the fleet's SSD plateau: heavy enough to queue on a
+            // 3x tier or through a blackout, light enough that a healthy
+            // client never exhausts its budget.
+            let params =
+                ScenarioParams::sized(strategy.clone(), 1, u64::MAX).with_offered_rate(6_000.0);
+            let cfg = match scenario {
+                c3_live::LIVE_HETERO_FLEET => hetero_fleet_config(&params),
+                _ => partition_flux_config(&params),
+            }
+            .expect("live strategies are supported");
+            let budget = cfg.in_flight;
+            let live = run_live(scenario, cfg);
+            let inflight = &live.health[0];
+            let lag = &live.health[1];
+            // Client-bound when the occupancy tail sits at the budget
+            // ceiling: issuers were blocked on permits, not on servers.
+            let verdict = if inflight.summary.p99_ns as f64 >= 0.9 * budget as f64 {
+                "client-bound"
+            } else {
+                "server-bound"
+            };
+            table.row(vec![
+                strategy.label().to_string(),
+                format!(
+                    "{}/{}/{}",
+                    inflight.summary.p50_ns, inflight.summary.p99_ns, inflight.summary.max_ns
+                ),
+                budget.to_string(),
+                verdict.to_string(),
+                format!("{:.1}", lag.summary.p50_ns as f64 / 1e3),
+                format!("{:.1}", lag.summary.p99_ns as f64 / 1e3),
+                format!("{:.0}", lag.throughput),
+            ]);
+        }
+        println!("\nscenario {scenario}:\n{table}");
+    }
+    println!(
+        "Reading: a healthy live cell is server-bound — occupancy p99 well\n\
+         under the budget. client-bound cells measure the client, not the\n\
+         strategy; raise `in_flight` (or add connections) before trusting\n\
+         their latency numbers."
+    );
+}
+
 /// Average a strategy's seed runs into one table row, or `None` when the
 /// frontend does not support the strategy.
 fn summarize_cell(runs: &[Result<ScenarioReport, ScenarioError>]) -> Option<Vec<String>> {

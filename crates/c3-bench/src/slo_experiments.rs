@@ -82,10 +82,17 @@ pub fn sim_slo_scenarios() -> Vec<SloScenario> {
 /// the adversity service floor, below saturation). Coarser grids —
 /// every probe costs 1.5 s of wall time:
 ///
-/// - `live-hetero-fleet` sleeps spinning-disk service times (matching
-///   the sim scenario), so the slow tier's miss path is `exp(24 ms)`;
+/// - `live-hetero-fleet` sleeps SSD service times with a permanent 3x
+///   tier, so the slow tier's miss path is `exp(2.4 ms)` plus queueing;
 /// - `live-partition-flux` blackouts multiply SSD misses 30x, so a
 ///   struck read sleeps `~exp(24 ms)` plus queueing.
+///
+/// With the multiplexed client these cells are server-decided, and DS
+/// can score a legitimate **0** on `live-partition-flux`: even at the
+/// bracket floor its interval-frozen rankings park more than 1% of the
+/// run's ops on a blacked-out replica whose queue now actually builds
+/// (the old serial client physically capped that queue at the worker
+/// count, which is why pre-multiplex DS numbers looked sustainable).
 pub fn live_slo_scenarios() -> Vec<SloScenario> {
     vec![
         SloScenario {

@@ -63,6 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod concurrent;
 mod config;
 mod ewma;
 mod feedback;
@@ -74,6 +75,7 @@ pub mod strategies;
 mod time;
 mod tracker;
 
+pub use concurrent::{AtomicTracker, SharedC3State, MAX_GROUP};
 pub use config::C3Config;
 pub use ewma::Ewma;
 pub use feedback::{Feedback, ServiceTimer};

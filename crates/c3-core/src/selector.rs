@@ -31,9 +31,14 @@ pub struct ResponseInfo {
 /// On `Selection::Backpressure` the driver must hold the request and retry
 /// at `retry_at` or when any response arrives.
 ///
-/// Selectors are `Send`: the live socket client shares one selector
-/// across worker threads behind a mutex, and every implementation is
-/// plain data (trackers, limiters, small RNGs).
+/// Selectors are `Send` but not required to be `Sync`: every
+/// implementation is plain data (trackers, limiters, small RNGs) that a
+/// concurrent driver must shard or lock. The live socket client runs
+/// non-C3 strategies as one selector instance per replica group behind
+/// per-group mutexes (feedback routed back to the group that issued the
+/// request); C3 itself bypasses this trait's `&mut self` API entirely in
+/// that client and drives [`crate::SharedC3State`], whose trackers are
+/// atomics, so selections and completions never serialize globally.
 pub trait ReplicaSelector: Send {
     /// Choose a server from `group` for the next request.
     fn select(&mut self, group: &[ServerId], now: Nanos) -> Selection;

@@ -1,35 +1,58 @@
-//! The threaded C3 client: closed-loop workers over blocking connection
-//! pools, one *shared* replica selector driving every send.
+//! The multiplexed C3 client: issue/complete split over per-replica
+//! writer+reader thread pairs, with a correlation table matching
+//! out-of-order responses back to requests.
 //!
-//! The selector is exactly the `c3-core` machinery the simulators run —
-//! cubic scoring, CUBIC rate control, backpressure — built through the
-//! same strategy registry, fed wall-clock `Nanos` from the run's shared
-//! [`WallClock`]. Workers serialize briefly on the selector mutex around
-//! `select`/`on_response` (microseconds against millisecond service
-//! times), which mirrors the paper's single scheduler actor per client.
+//! Architecture (one process, thousands of requests in flight):
 //!
-//! On `Backpressure` a worker sleeps until the returned token time and
+//! - **Connections**: [`LiveConfig::connections`] TCP streams per
+//!   replica, each with a *writer thread* (drains an mpsc queue of
+//!   request frames, coalescing bursts into single writes) and a *reader
+//!   thread* (decodes response frames, completes them through the
+//!   connection's [`CorrelationTable`] in whatever order the server
+//!   finished them).
+//! - **Issuers**: [`LiveConfig::threads`] threads drive the workload.
+//!   Each acquires a permit from the global in-flight budget
+//!   ([`LiveConfig::in_flight`]), selects a replica, registers the
+//!   request in the correlation table, and hands the frame to the
+//!   writer. Quasi-open-loop runs pace issues from Poisson intended
+//!   arrivals and charge latency from the *intended* arrival — with a
+//!   deep in-flight budget the client keeps issuing into a slow fleet
+//!   instead of head-of-line blocking, which is exactly the
+//!   coordinated-omission regime the old one-request-per-worker client
+//!   could not reach.
+//! - **Selector state**: C3-family strategies run on
+//!   [`SharedC3State`] — the packed EWMA tracker fields and outstanding
+//!   counts are atomics, so issuers read scores and readers fold
+//!   feedback without a global lock (per-server rate-limiter mutexes
+//!   only). Non-C3 strategies are sharded one selector instance per
+//!   replica group (keyed by the group's primary), the paper's
+//!   independent-clients shape; completions route back to the shard
+//!   that issued them. The DS recompute ticker walks every shard at the
+//!   snitch's configured cadence.
+//!
+//! On `Backpressure` an issuer sleeps until the returned token time and
 //! retries — the live analogue of the simulators' backlog queues — and
 //! the waiting time lands in the recorded latency, as it does in the sim.
 
-use std::io;
+use std::io::{self, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use bytes::{Bytes, BytesMut};
 use c3_cluster::{register_cluster_strategies, SnitchSelector};
-use c3_core::{Clock, Nanos, ReplicaSelector, ResponseInfo, Selection, WallClock};
+use c3_core::{Clock, Nanos, ReplicaSelector, ResponseInfo, Selection, SharedC3State, WallClock};
 use c3_engine::{SeedSeq, SelectorCtx, StrategyRegistry};
-use c3_net::proto::{Frame, Request};
+use c3_net::proto::{encode_request, Frame, Request};
 use c3_workload::{PoissonArrivals, ScrambledZipfian};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::LiveConfig;
+use crate::mux::{CorrelationTable, InFlightBudget};
 use crate::server::{encode_key, LiveCluster};
 use crate::slowdown::SlowdownScript;
-use crate::wire::{read_frame, write_request};
+use crate::wire::read_frame;
 
 /// One completed operation, as the metrics replay sees it.
 #[derive(Clone, Copy, Debug)]
@@ -48,14 +71,165 @@ pub(crate) struct ClientArtifacts {
     pub score_trace: Vec<(Nanos, Vec<f64>)>,
     pub backpressure_waits: u64,
     pub issued: u64,
+    /// `(at, in-flight count)` sampled at every issue — the client-health
+    /// occupancy series (a budget pinned at its ceiling means the client,
+    /// not the servers, was the bottleneck).
+    pub occupancy: Vec<(Nanos, u64)>,
+    /// `(at, nanos)` the reader spent updating selector state per read
+    /// completion — the feedback-update latency health series.
+    pub feedback_lag: Vec<(Nanos, u64)>,
 }
 
-/// Selector state shared by every worker (and the DS ticker).
-struct SelectorState {
-    selector: Box<dyn ReplicaSelector>,
-    last_score_sample: Option<Nanos>,
-    score_trace: Vec<(Nanos, Vec<f64>)>,
-    backpressure_waits: u64,
+/// Per-request bookkeeping parked in the correlation table between issue
+/// and completion.
+struct Pending {
+    issue_index: u64,
+    is_read: bool,
+    /// Latency epoch: intended arrival under open loop, issue time
+    /// closed-loop.
+    created: Nanos,
+    /// When the frame was handed to the writer (response-time epoch for
+    /// selector feedback).
+    sent_at: Nanos,
+    replica: usize,
+    /// Selector shard (replica-group primary) that issued this request —
+    /// completions must route their feedback back to it.
+    shard: usize,
+}
+
+/// "No score sampled yet" sentinel for the trace cadence cell.
+const NEVER_SAMPLED: u64 = u64::MAX;
+
+/// Concurrency-safe selector state shared by issuers and readers.
+enum SelectorKind {
+    /// C3-family: lock-free trackers + per-server limiter locks.
+    SharedC3 {
+        state: SharedC3State,
+        replicas: usize,
+        /// Monotonic nanos of the last score sample (CAS-gated cadence).
+        last_sample: AtomicU64,
+        sample_interval: u64,
+        trace: Mutex<Vec<(Nanos, Vec<f64>)>>,
+    },
+    /// Baselines: one selector instance per replica group, the paper's
+    /// independent-clients sharding (outstanding counts and reservoirs
+    /// are per shard, so a shard behaves like a smaller client).
+    Sharded {
+        shards: Vec<Mutex<Box<dyn ReplicaSelector>>>,
+    },
+}
+
+struct LiveSelector {
+    kind: SelectorKind,
+    backpressure_waits: AtomicU64,
+}
+
+impl LiveSelector {
+    /// One selection attempt: on `Server` the send is already accounted
+    /// (`on_send`), so every chosen target must be put on the wire.
+    fn try_select(&self, group: &[usize], shard: usize, now: Nanos) -> Selection {
+        match &self.kind {
+            SelectorKind::SharedC3 { state, .. } => match state.try_send(group, now) {
+                c3_core::SendDecision::Send(s) => {
+                    state.record_send(s);
+                    Selection::Server(s)
+                }
+                c3_core::SendDecision::Backpressure { retry_at } => {
+                    Selection::Backpressure { retry_at }
+                }
+            },
+            SelectorKind::Sharded { shards } => {
+                let mut sel = shards[shard].lock().expect("selector poisoned");
+                let decision = sel.select(group, now);
+                if let Selection::Server(s) = decision {
+                    sel.on_send(s, now);
+                }
+                decision
+            }
+        }
+    }
+
+    /// Feed a read completion back (Algorithm 2), and — for C3 — sample
+    /// the per-replica score trace at the configured cadence. The CAS on
+    /// `last_sample` elects exactly one completing reader per interval;
+    /// the scores it reads are per-replica atomic loads, not a frozen
+    /// global snapshot, which is why the parity harness compares
+    /// window-averaged rankings rather than single vectors.
+    fn complete_read(&self, target: usize, shard: usize, info: &ResponseInfo, now: Nanos) {
+        match &self.kind {
+            SelectorKind::SharedC3 {
+                state,
+                replicas,
+                last_sample,
+                sample_interval,
+                trace,
+            } => {
+                state.on_response(target, info.response_time, info.feedback.as_ref(), now);
+                let last = last_sample.load(Ordering::Relaxed);
+                let at = now.as_nanos();
+                let due = last == NEVER_SAMPLED || at.saturating_sub(last) >= *sample_interval;
+                if due
+                    && last_sample
+                        .compare_exchange(last, at, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    let scores: Vec<f64> = (0..*replicas).map(|r| state.score_of(r)).collect();
+                    trace.lock().expect("trace poisoned").push((now, scores));
+                }
+            }
+            SelectorKind::Sharded { shards } => {
+                shards[shard]
+                    .lock()
+                    .expect("selector poisoned")
+                    .on_response(target, info, now);
+            }
+        }
+    }
+
+    /// Release the outstanding slot of a request that will never complete
+    /// (end-of-run stragglers).
+    fn abandon_read(&self, target: usize, shard: usize, now: Nanos) {
+        match &self.kind {
+            SelectorKind::SharedC3 { state, .. } => state.on_abandoned(target),
+            SelectorKind::Sharded { shards } => shards[shard]
+                .lock()
+                .expect("selector poisoned")
+                .on_abandoned(target, now),
+        }
+    }
+
+    /// Dynamic Snitching's periodic recompute, applied to every shard
+    /// (each shard is an independent snitch client at the same cadence
+    /// the sim delivers through gossip tick events).
+    fn ds_tick(&self, replicas: usize, now: Nanos) {
+        if let SelectorKind::Sharded { shards } = &self.kind {
+            for shard in shards {
+                let mut sel = shard.lock().expect("selector poisoned");
+                if let Some(snitch) = sel
+                    .as_any_mut()
+                    .and_then(|any| any.downcast_mut::<SnitchSelector>())
+                {
+                    for peer in 0..replicas {
+                        // Loopback replicas idle at baseline iowait; the
+                        // latency reservoir carries the signal, as in the
+                        // multi-tenant frontend.
+                        snitch.snitch_mut().record_iowait(peer, 0.02);
+                    }
+                    snitch.snitch_mut().recompute(now);
+                }
+            }
+        }
+    }
+
+    fn into_artifact_parts(self) -> (Vec<(Nanos, Vec<f64>)>, u64) {
+        let waits = self.backpressure_waits.load(Ordering::Acquire);
+        match self.kind {
+            SelectorKind::SharedC3 { trace, .. } => {
+                (trace.into_inner().expect("trace poisoned"), waits)
+            }
+            SelectorKind::Sharded { .. } => (Vec::new(), waits),
+        }
+    }
 }
 
 /// The strategy registry live runs resolve against: the engine defaults
@@ -66,8 +240,69 @@ pub fn live_strategy_registry(cfg: &LiveConfig) -> StrategyRegistry {
     registry
 }
 
-/// Spawn the fleet, run the closed-loop workers to the configured stop
-/// condition, tear everything down, and hand back the raw artifacts.
+/// Build the concurrency-safe selector for a run: C3-family strategies
+/// get the lock-free [`SharedC3State`] (with whatever `C3Config` variant
+/// the registry resolved — ablations included); everything else is
+/// sharded per replica group.
+fn build_selector(cfg: &LiveConfig, registry: &StrategyRegistry) -> LiveSelector {
+    let seeds = SeedSeq::new(cfg.seed);
+    let mut c3 = cfg.c3;
+    // One shared state sees every outstanding request of this client, so
+    // its counts are already the client's global concurrency: w = 1.
+    c3.concurrency_weight = 1.0;
+    let ctx = SelectorCtx {
+        servers: cfg.replicas,
+        c3,
+        seed: seeds.client_seed(0),
+        now: Nanos::ZERO,
+    };
+    let probe = registry
+        .build(&cfg.strategy, &ctx)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .expect_selector(&cfg.strategy);
+    let kind = match probe.as_c3() {
+        Some(c3_probe) => SelectorKind::SharedC3 {
+            state: SharedC3State::new(cfg.replicas, *c3_probe.state().config(), Nanos::ZERO),
+            replicas: cfg.replicas,
+            last_sample: AtomicU64::new(NEVER_SAMPLED),
+            sample_interval: Nanos::from(cfg.score_sample_every).as_nanos(),
+            trace: Mutex::new(Vec::new()),
+        },
+        None => SelectorKind::Sharded {
+            shards: (0..cfg.replicas)
+                .map(|g| {
+                    let ctx = SelectorCtx {
+                        servers: cfg.replicas,
+                        c3,
+                        seed: seeds.client_seed(g as u64),
+                        now: Nanos::ZERO,
+                    };
+                    Mutex::new(
+                        registry
+                            .build(&cfg.strategy, &ctx)
+                            .unwrap_or_else(|e| panic!("{e}"))
+                            .expect_selector(&cfg.strategy),
+                    )
+                })
+                .collect(),
+        },
+    };
+    LiveSelector {
+        kind,
+        backpressure_waits: AtomicU64::new(0),
+    }
+}
+
+type Table = Mutex<CorrelationTable<Pending>>;
+
+/// What one reader thread hands back at join.
+struct ReaderOut {
+    samples: Vec<Sample>,
+    feedback_lag: Vec<(Nanos, u64)>,
+}
+
+/// Spawn the fleet, run the multiplexed client to the configured stop
+/// condition, drain, tear everything down, and hand back the artifacts.
 ///
 /// # Panics
 ///
@@ -83,38 +318,63 @@ pub(crate) fn execute(cfg: &LiveConfig) -> io::Result<ClientArtifacts> {
     )?;
 
     let registry = live_strategy_registry(cfg);
-    let seeds = SeedSeq::new(cfg.seed);
-    let mut c3 = cfg.c3;
-    // All workers share one selector, so its outstanding counts are
-    // already the client's global concurrency: w = 1.
-    c3.concurrency_weight = 1.0;
-    let ctx = SelectorCtx {
-        servers: cfg.replicas,
-        c3,
-        seed: seeds.client_seed(0),
-        now: Nanos::ZERO,
-    };
-    let selector = registry
-        .build(&cfg.strategy, &ctx)
-        .unwrap_or_else(|e| panic!("{e}"))
-        .expect_selector(&cfg.strategy);
+    let selector = Arc::new(build_selector(cfg, &registry));
     let is_ds = cfg.strategy.name() == "DS";
-    let shared = Arc::new(Mutex::new(SelectorState {
-        selector,
-        last_score_sample: None,
-        score_trace: Vec::new(),
-        backpressure_waits: 0,
-    }));
 
     let issued = Arc::new(AtomicU64::new(0));
     let stop = Arc::new(AtomicBool::new(false));
+    let budget = Arc::new(InFlightBudget::new(cfg.in_flight));
     let key_template = ScrambledZipfian::new(cfg.keys, cfg.keys, cfg.zipf_theta);
-    let addrs: Arc<Vec<_>> = Arc::new(cluster.addrs().to_vec());
+
+    // One correlation table + writer/reader thread pair per connection,
+    // `cfg.connections` connections per replica.
+    let tables: Arc<Vec<Vec<Table>>> = Arc::new(
+        (0..cfg.replicas)
+            .map(|_| {
+                (0..cfg.connections)
+                    .map(|_| Mutex::new(CorrelationTable::new()))
+                    .collect()
+            })
+            .collect(),
+    );
+    let mut senders: Vec<Vec<mpsc::Sender<Request>>> = Vec::with_capacity(cfg.replicas);
+    let mut streams = Vec::new();
+    let mut writer_handles = Vec::new();
+    let mut reader_handles = Vec::new();
+    for (replica, addr) in cluster.addrs().iter().enumerate() {
+        let mut replica_senders = Vec::with_capacity(cfg.connections);
+        for conn in 0..cfg.connections {
+            let stream = std::net::TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+            let (tx, rx) = mpsc::channel::<Request>();
+            let writer_stream = stream.try_clone()?;
+            writer_handles.push(std::thread::spawn(move || writer_loop(writer_stream, &rx)));
+            let reader_stream = stream.try_clone()?;
+            let tables = Arc::clone(&tables);
+            let selector = Arc::clone(&selector);
+            let budget = Arc::clone(&budget);
+            let stop = Arc::clone(&stop);
+            reader_handles.push(std::thread::spawn(move || {
+                reader_loop(
+                    reader_stream,
+                    &tables[replica][conn],
+                    &selector,
+                    &budget,
+                    clock,
+                    &stop,
+                )
+            }));
+            replica_senders.push(tx);
+            streams.push(stream);
+        }
+        senders.push(replica_senders);
+    }
 
     // Dynamic Snitching gets its periodic recompute from a ticker thread
     // (the cluster delivers the same through gossip/snitch tick events).
     let ticker = is_ds.then(|| {
-        let shared = Arc::clone(&shared);
+        let selector = Arc::clone(&selector);
         let stop = Arc::clone(&stop);
         let interval: Nanos = cfg.snitch.update_interval;
         let replicas = cfg.replicas;
@@ -131,47 +391,74 @@ pub(crate) fn execute(cfg: &LiveConfig) -> io::Result<ClientArtifacts> {
                     continue;
                 }
                 last_recompute = now;
-                let mut state = shared.lock().expect("selector poisoned");
-                if let Some(snitch) = state
-                    .selector
-                    .as_any_mut()
-                    .and_then(|any| any.downcast_mut::<SnitchSelector>())
-                {
-                    for peer in 0..replicas {
-                        // Loopback replicas idle at baseline iowait; the
-                        // latency reservoir carries the signal, as in the
-                        // multi-tenant frontend.
-                        snitch.snitch_mut().record_iowait(peer, 0.02);
-                    }
-                    snitch.snitch_mut().recompute(now);
-                }
+                selector.ds_tick(replicas, now);
             }
         })
     });
 
-    let workers: Vec<_> = (0..cfg.threads)
+    let issuers: Vec<_> = (0..cfg.threads)
         .map(|w| {
             let cfg = cfg.clone();
-            let addrs = Arc::clone(&addrs);
-            let shared = Arc::clone(&shared);
+            let selector = Arc::clone(&selector);
+            let tables = Arc::clone(&tables);
+            let senders = senders.clone();
             let issued = Arc::clone(&issued);
+            let budget = Arc::clone(&budget);
             let keys = key_template.clone();
-            std::thread::spawn(move || worker_loop(w, &cfg, &addrs, clock, &shared, &issued, keys))
+            std::thread::spawn(move || {
+                issuer_loop(
+                    w, &cfg, clock, &selector, &tables, &senders, &issued, &budget, keys,
+                )
+            })
         })
         .collect();
 
-    let mut samples = Vec::new();
+    let mut occupancy = Vec::new();
     let mut first_err = None;
-    for worker in workers {
-        match worker.join().expect("worker panicked") {
-            Ok(mut s) => samples.append(&mut s),
+    for issuer in issuers {
+        match issuer.join().expect("issuer panicked") {
+            Ok(mut occ) => occupancy.append(&mut occ),
             Err(e) => first_err = first_err.or(Some(e)),
         }
     }
+
+    // Teardown: close the issue side, wait for in-flight requests to
+    // drain (bounded — a blacked-out replica's queue should not stall the
+    // harness), then unblock the readers and abandon the stragglers.
+    drop(senders);
+    for handle in writer_handles {
+        let _ = handle.join();
+    }
+    let _ = budget.drained_within(Duration::from_secs(3));
     stop.store(true, Ordering::Release);
+    for stream in &streams {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+    let mut samples = Vec::new();
+    let mut feedback_lag = Vec::new();
+    for handle in reader_handles {
+        match handle.join().expect("reader panicked") {
+            Ok(mut out) => {
+                samples.append(&mut out.samples);
+                feedback_lag.append(&mut out.feedback_lag);
+            }
+            Err(e) => first_err = first_err.or(Some(e)),
+        }
+    }
+    let now = clock.now();
+    for replica_tables in tables.iter() {
+        for table in replica_tables {
+            for p in table.lock().expect("table poisoned").drain() {
+                if p.is_read {
+                    selector.abandon_read(p.replica, p.shard, now);
+                }
+            }
+        }
+    }
     if let Some(t) = ticker {
         let _ = t.join();
     }
+    drop(streams);
     cluster.shutdown();
     if let Some(e) = first_err {
         return Err(e);
@@ -180,73 +467,77 @@ pub(crate) fn execute(cfg: &LiveConfig) -> io::Result<ClientArtifacts> {
     // Replay order must be completion order for the metrics' first/last
     // window; wall timestamps from different threads share one origin.
     samples.sort_by_key(|s| (s.completed_at, s.issue_index));
-    let state = Arc::try_unwrap(shared)
+    occupancy.sort_by_key(|&(at, _)| at);
+    feedback_lag.sort_by_key(|&(at, _)| at);
+    let selector = Arc::try_unwrap(selector)
         .map_err(|_| "selector still shared")
-        .expect("all workers joined")
-        .into_inner()
-        .expect("selector poisoned");
+        .expect("all workers joined");
+    let (score_trace, backpressure_waits) = selector.into_artifact_parts();
     Ok(ClientArtifacts {
         samples,
-        score_trace: state.score_trace,
-        backpressure_waits: state.backpressure_waits,
+        score_trace,
+        backpressure_waits,
         issued: issued.load(Ordering::Acquire),
+        occupancy,
+        feedback_lag,
     })
 }
 
-/// One closed-loop worker: issue, select (or wait out backpressure),
-/// send, receive, feed the selector, record — until the deadline or cap.
-fn worker_loop(
+/// One issuer: pace (Poisson intended arrivals under open loop), take an
+/// in-flight permit, select (or wait out backpressure), register in the
+/// correlation table, hand the frame to the connection's writer — never
+/// blocking on any individual response.
+#[allow(clippy::too_many_arguments)]
+fn issuer_loop(
     w: usize,
     cfg: &LiveConfig,
-    addrs: &[std::net::SocketAddr],
     clock: WallClock,
-    shared: &Mutex<SelectorState>,
+    selector: &LiveSelector,
+    tables: &[Vec<Table>],
+    senders: &[Vec<mpsc::Sender<Request>>],
     issued: &AtomicU64,
+    budget: &InFlightBudget,
     keys: ScrambledZipfian,
-) -> io::Result<Vec<Sample>> {
+) -> io::Result<Vec<(Nanos, u64)>> {
     let deadline: Nanos = Nanos::from(cfg.run_for);
-    let score_interval: Nanos = Nanos::from(cfg.score_sample_every);
+    let wall_deadline = Instant::now() + cfg.run_for.saturating_sub(clock.now().into());
     let mut rng = SmallRng::seed_from_u64(SeedSeq::new(cfg.seed).thread_seed(w as u64));
     let value = Bytes::from(vec![0x5Au8; cfg.value_bytes as usize]);
 
-    let mut streams = Vec::with_capacity(addrs.len());
-    let mut bufs = Vec::with_capacity(addrs.len());
-    for addr in addrs {
-        let stream = std::net::TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-        streams.push(stream);
-        bufs.push(BytesMut::new());
-    }
-
-    // Quasi-open loop: this worker's own Poisson arrival schedule. The
-    // intended arrival time is the latency epoch, so lag a slow replica
-    // inflicts on the worker is charged to the strategy (no coordinated
+    // Quasi-open loop: this issuer's own Poisson arrival schedule. The
+    // intended arrival time is the latency epoch, so lag a slow fleet
+    // inflicts on the issuer is charged to the strategy (no coordinated
     // omission).
     let mut arrivals = cfg
         .offered_rate
         .map(|rate| PoissonArrivals::new(rate / cfg.threads as f64));
     let mut next_arrival = Nanos::ZERO;
 
-    let mut samples = Vec::new();
+    let mut occupancy = Vec::new();
     let mut next_id = (w as u64) << 48;
     loop {
-        if clock.now() >= deadline {
+        let now = clock.now();
+        if now >= deadline {
             break;
         }
         if let Some(arrivals) = arrivals.as_mut() {
             next_arrival += arrivals.next_gap(&mut rng);
-            let now = clock.now();
             if next_arrival > now {
                 std::thread::sleep((next_arrival - now).into());
             }
         }
-        let issue_index = issued.fetch_add(1, Ordering::AcqRel);
-        if issue_index >= cfg.ops_cap {
+        if !budget.acquire_until(wall_deadline) {
             break;
         }
+        let issue_index = issued.fetch_add(1, Ordering::AcqRel);
+        if issue_index >= cfg.ops_cap {
+            budget.release();
+            break;
+        }
+        occupancy.push((clock.now(), budget.in_flight() as u64));
         let key = keys.sample(&mut rng);
         let group = cfg.group_of(key);
+        let shard = group[0];
         let is_read = rng.gen_bool(cfg.read_fraction);
         next_id += 1;
         let id = next_id;
@@ -257,31 +548,12 @@ fn worker_loop(
         };
 
         let target = if is_read {
-            // Algorithm 1 under the shared selector; park on backpressure.
-            loop {
-                let now = clock.now();
-                let decision = {
-                    let mut state = shared.lock().expect("selector poisoned");
-                    let decision = state.selector.select(&group, now);
-                    if let Selection::Server(s) = decision {
-                        state.selector.on_send(s, now);
-                    } else {
-                        state.backpressure_waits += 1;
-                    }
-                    decision
-                };
-                match decision {
-                    Selection::Server(s) => break s,
-                    Selection::Backpressure { retry_at } => {
-                        if now >= deadline {
-                            return Ok(samples);
-                        }
-                        let wait = retry_at
-                            .saturating_sub(now)
-                            .max(Nanos::from_micros(100))
-                            .min(Nanos::from_millis(20));
-                        std::thread::sleep(wait.into());
-                    }
+            // Algorithm 1 over the shared state; park on backpressure.
+            match select_read_target(selector, &group, shard, clock, deadline) {
+                Some(t) => t,
+                None => {
+                    budget.release();
+                    break;
                 }
             }
         } else {
@@ -302,58 +574,140 @@ fn worker_loop(
                 value: value.clone(),
             }
         };
+        let conn = (id as usize) % cfg.connections;
         let sent_at = clock.now();
-        write_request(&mut streams[target], &request)?;
-        let frame = read_frame(&mut streams[target], &mut bufs[target])?.ok_or_else(|| {
-            io::Error::new(io::ErrorKind::UnexpectedEof, "replica closed mid-run")
-        })?;
+        let pending = Pending {
+            issue_index,
+            is_read,
+            created,
+            sent_at,
+            replica: target,
+            shard,
+        };
+        tables[target][conn]
+            .lock()
+            .expect("table poisoned")
+            .register(id, pending)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if senders[target][conn].send(request).is_err() {
+            let _ = tables[target][conn]
+                .lock()
+                .expect("table poisoned")
+                .complete(id);
+            budget.release();
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "connection writer gone mid-run",
+            ));
+        }
+    }
+    Ok(occupancy)
+}
+
+/// Run selection until a server is granted, sleeping out backpressure
+/// windows. `None` means the run deadline passed while parked.
+fn select_read_target(
+    selector: &LiveSelector,
+    group: &[usize],
+    shard: usize,
+    clock: WallClock,
+    deadline: Nanos,
+) -> Option<usize> {
+    loop {
+        let now = clock.now();
+        if now >= deadline {
+            return None;
+        }
+        match selector.try_select(group, shard, now) {
+            Selection::Server(s) => return Some(s),
+            Selection::Backpressure { retry_at } => {
+                selector.backpressure_waits.fetch_add(1, Ordering::Relaxed);
+                let wait = retry_at
+                    .saturating_sub(now)
+                    .max(Nanos::from_micros(100))
+                    .min(Nanos::from_millis(20));
+                std::thread::sleep(wait.into());
+            }
+        }
+    }
+}
+
+/// Writer half of one connection: encode queued requests, coalescing
+/// whatever has already accumulated into a single `write_all` (at high
+/// in-flight counts this batches dozens of frames per syscall).
+fn writer_loop(mut stream: std::net::TcpStream, rx: &mpsc::Receiver<Request>) {
+    const COALESCE_LIMIT: usize = 64 * 1024;
+    while let Ok(req) = rx.recv() {
+        let mut out = BytesMut::new();
+        encode_request(&req, &mut out);
+        while out.len() < COALESCE_LIMIT {
+            match rx.try_recv() {
+                Ok(req) => encode_request(&req, &mut out),
+                Err(_) => break,
+            }
+        }
+        if stream.write_all(&out).is_err() {
+            return;
+        }
+    }
+}
+
+/// Reader half of one connection: decode response frames as they arrive —
+/// in whatever order the server finished them — complete each through the
+/// correlation table, feed the selector, record the sample, and release
+/// the in-flight permit.
+fn reader_loop(
+    mut stream: std::net::TcpStream,
+    table: &Table,
+    selector: &LiveSelector,
+    budget: &InFlightBudget,
+    clock: WallClock,
+    stop: &AtomicBool,
+) -> io::Result<ReaderOut> {
+    let mut buf = BytesMut::new();
+    let mut out = ReaderOut {
+        samples: Vec::new(),
+        feedback_lag: Vec::new(),
+    };
+    loop {
+        let frame = match read_frame(&mut stream, &mut buf) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break,
+            // Teardown shuts the socket down under us; anything after the
+            // stop flag is the expected unblock, not a failure.
+            Err(_) if stop.load(Ordering::Acquire) => break,
+            Err(e) => return Err(e),
+        };
         let Frame::Response(resp) = frame else {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "client received a request frame",
             ));
         };
-        if resp.id != id {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("response id {} for request {}", resp.id, id),
-            ));
-        }
+        let entry = table
+            .lock()
+            .expect("table poisoned")
+            .complete(resp.id)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         let now = clock.now();
-
-        if is_read {
-            let mut state = shared.lock().expect("selector poisoned");
-            state.selector.on_response(
-                target,
-                &ResponseInfo {
-                    response_time: now.saturating_sub(sent_at),
-                    feedback: Some(resp.feedback),
-                },
-                now,
-            );
-            // The live half of the parity trace: per-replica scores at a
-            // steady cadence, from whichever worker's response lands past
-            // the sampling interval first.
-            let due = state
-                .last_score_sample
-                .is_none_or(|last| now.saturating_sub(last) >= score_interval);
-            if due {
-                if let Some(c3) = state.selector.as_c3() {
-                    let scores: Vec<f64> =
-                        (0..cfg.replicas).map(|r| c3.state().score_of(r)).collect();
-                    state.score_trace.push((now, scores));
-                    state.last_score_sample = Some(now);
-                }
-            }
+        if entry.is_read {
+            let info = ResponseInfo {
+                response_time: now.saturating_sub(entry.sent_at),
+                feedback: Some(resp.feedback),
+            };
+            selector.complete_read(entry.replica, entry.shard, &info, now);
+            let updated = clock.now();
+            out.feedback_lag
+                .push((updated, updated.saturating_sub(now).as_nanos()));
         }
-
-        samples.push(Sample {
-            issue_index,
-            is_read,
+        out.samples.push(Sample {
+            issue_index: entry.issue_index,
+            is_read: entry.is_read,
             completed_at: now,
-            latency: now.saturating_sub(created),
-            replica: target,
+            latency: now.saturating_sub(entry.created),
+            replica: entry.replica,
         });
+        budget.release();
     }
-    Ok(samples)
+    Ok(out)
 }

@@ -23,9 +23,21 @@ pub struct LiveConfig {
     /// Replica-group size: a key's group is its primary (`key % replicas`)
     /// plus the next `replication_factor - 1` successors.
     pub replication_factor: usize,
-    /// Closed-loop client worker threads, each holding one connection per
-    /// replica. All workers share one replica selector.
+    /// Client *issuer* threads. Issuers only select, register, and hand
+    /// frames to the multiplexed connections — they never block on a
+    /// response — so a handful saturate the fleet; concurrency comes from
+    /// [`LiveConfig::in_flight`], not from here.
     pub threads: usize,
+    /// The client's in-flight budget: total requests outstanding across
+    /// all replicas at once. Closed-loop runs are bounded by exactly this
+    /// concurrency; quasi-open-loop runs use it as a safety valve against
+    /// unbounded queue growth when the fleet falls behind the offered
+    /// rate.
+    pub in_flight: usize,
+    /// Multiplexed TCP connections per replica, each with its own
+    /// writer/reader thread pair and correlation table. One is enough on
+    /// loopback; more spread framing work across reader threads.
+    pub connections: usize,
     /// Distinct keys (Zipfian-chosen).
     pub keys: u64,
     /// Zipfian constant of the key distribution.
@@ -91,6 +103,8 @@ impl Default for LiveConfig {
             replicas: 6,
             replication_factor: 3,
             threads: 8,
+            in_flight: 64,
+            connections: 1,
             keys: 10_000,
             zipf_theta: 0.99,
             read_fraction: 0.9,
@@ -122,6 +136,8 @@ impl LiveConfig {
         assert!(self.replicas >= self.replication_factor, "too few replicas");
         assert!(self.replication_factor >= 1, "need a replica group");
         assert!(self.threads >= 1, "need client workers");
+        assert!(self.in_flight >= 1, "need an in-flight budget");
+        assert!(self.connections >= 1, "need connections per replica");
         assert!(self.keys > 0, "need keys");
         assert!(
             self.zipf_theta > 0.0 && self.zipf_theta < 1.0,

@@ -18,11 +18,15 @@
 //!   the same `ScriptedSlowdown` windows the sim scenarios use, replayed
 //!   against wall time, so `hetero-fleet` and `partition-flux` scripts
 //!   run unchanged over real sockets;
-//! - the threaded client ([`LiveConfig::threads`] closed-loop workers
-//!   over blocking per-replica connections) drives the **same
-//!   `c3-core` selector state the simulators run** — scoring, cubic rate
-//!   control, backpressure — built by name through the same strategy
-//!   registry (incl. `DS`, ticked by a recompute thread);
+//! - the multiplexed client: per-replica connections each split into a
+//!   writer and a reader thread, a [`CorrelationTable`] matching
+//!   out-of-order responses back to requests by the wire id, and a global
+//!   [`InFlightBudget`] so one client holds hundreds-to-thousands of
+//!   requests in flight. Issuer threads drive the **same `c3-core`
+//!   selection machinery the simulators run** — C3-family strategies on
+//!   the lock-free `SharedC3State`, baselines sharded per replica group —
+//!   built by name through the same strategy registry (incl. `DS`, ticked
+//!   by a recompute thread);
 //! - [`LiveScenario`] adapts a run onto the engine's `Scenario` trait,
 //!   so results land in the same named `read`/`update` channels and the
 //!   same [`c3_scenarios::ScenarioReport`]; [`register_live_scenarios`]
@@ -43,6 +47,7 @@
 
 mod client;
 mod config;
+mod mux;
 mod scenario;
 mod server;
 mod slowdown;
@@ -50,6 +55,7 @@ mod wire;
 
 pub use client::live_strategy_registry;
 pub use config::LiveConfig;
+pub use mux::{CorrelationTable, InFlightBudget, MuxError};
 pub use scenario::{
     hetero_fleet_config, live_registry, partition_flux_config, register_live_scenarios, run_live,
     LiveReport, LiveScenario, LIVE_HETERO_FLEET, LIVE_PARTITION_FLUX,

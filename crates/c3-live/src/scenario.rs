@@ -20,7 +20,10 @@ use std::time::Duration;
 use c3_cluster::{ScriptedSlowdown, CLUSTER_CHANNELS};
 use c3_core::Nanos;
 use c3_engine::{ChannelId, ChannelSet, EventQueue, RunMetrics, Scenario, ScenarioRunner};
-use c3_scenarios::{ScenarioError, ScenarioParams, ScenarioRegistry, ScenarioReport};
+use c3_metrics::ExactReservoir;
+use c3_scenarios::{
+    ChannelReport, ScenarioError, ScenarioParams, ScenarioRegistry, ScenarioReport,
+};
 
 use crate::client::{execute, live_strategy_registry, ClientArtifacts};
 use crate::config::LiveConfig;
@@ -110,6 +113,40 @@ pub struct LiveReport {
     pub backpressure_waits: u64,
     /// Operations issued (including unmeasured warm-up).
     pub ops_issued: u64,
+    /// Client-health series, `ChannelReport`-shaped but deliberately
+    /// *outside* [`LiveReport::report`]'s channels: the SLO machinery
+    /// sums throughput and completions over all report channels, and
+    /// these are diagnostics, not workload.
+    ///
+    /// - `"inflight"`: in-flight occupancy sampled at every issue — the
+    ///   `*_ns` fields hold raw **counts**, not times. An occupancy
+    ///   percentile pinned at the in-flight budget means the client was
+    ///   the bottleneck (client-bound); a fleet-bound run keeps headroom.
+    /// - `"feedback-lag"`: nanoseconds a reader thread spent folding one
+    ///   read completion into selector state — the latency cost of the
+    ///   selector's concurrency story, per update.
+    pub health: Vec<ChannelReport>,
+}
+
+/// Summarize a client-health series into a `ChannelReport`, exact order
+/// statistics over every sample ("throughput" = samples per second of
+/// measured run time).
+fn health_channel(name: &str, values: &[(Nanos, u64)], duration: Nanos) -> ChannelReport {
+    let mut reservoir = ExactReservoir::new();
+    for &(_, v) in values {
+        reservoir.record(v);
+    }
+    let secs = duration.as_nanos() as f64 / 1e9;
+    ChannelReport {
+        name: name.to_string(),
+        completions: values.len() as u64,
+        throughput: if secs > 0.0 {
+            values.len() as f64 / secs
+        } else {
+            0.0
+        },
+        summary: reservoir.summary(),
+    }
 }
 
 /// Run a live config under a scenario name, through the engine runner.
@@ -140,28 +177,33 @@ pub fn run_live(scenario_name: &str, cfg: LiveConfig) -> LiveReport {
     let mut scenario = LiveScenario::new(cfg);
     let (metrics, stats) = runner.run(&mut scenario, replicas, Nanos::from_millis(100));
     let artifacts = scenario.artifacts.take().expect("run completed");
+    let report = ScenarioReport::from_metrics(scenario_name, &strategy, seed, &metrics, &stats);
+    let health = vec![
+        health_channel("inflight", &artifacts.occupancy, report.duration),
+        health_channel("feedback-lag", &artifacts.feedback_lag, report.duration),
+    ];
     LiveReport {
-        report: ScenarioReport::from_metrics(scenario_name, &strategy, seed, &metrics, &stats),
+        report,
         score_trace: artifacts.score_trace,
         backpressure_waits: artifacts.backpressure_waits,
         ops_issued: artifacts.issued,
+        health,
     }
 }
 
-/// The live hetero-fleet script: every third replica a permanent 3x tier,
-/// matching the sim scenario's default shape — including its spinning
-/// disks. On SSDs a 3x tier costs ~2 ms and tier-blindness barely
-/// registers; the sim scenario's whole point is the seek-dominated slow
-/// tier, so its live twin sleeps the same spinning-disk service times.
+/// The live hetero-fleet script: every third replica a permanent 3x tier
+/// on SSD-class service times, matching the sim scenario's default shape.
+///
+/// History: while the client was single-in-flight-per-worker, this config
+/// overrode the fleet to spinning disks and 24 worker threads — SSD sleeps
+/// were so short that 8 one-at-a-time workers saturated the *client*
+/// before the slow tier ever queued, and every strategy degenerated to
+/// "whatever the client can push". The multiplexed client holds an
+/// in-flight budget far beyond thread count, so the fleet is the
+/// bottleneck again at SSD speeds and the override is gone; the slow tier
+/// is queueing-decided, not client-decided.
 pub fn hetero_fleet_config(params: &ScenarioParams) -> Result<LiveConfig, ScenarioError> {
     let mut cfg = base_config(LIVE_HETERO_FLEET, params)?;
-    cfg.disk = c3_cluster::DiskKind::Spinning;
-    // Workers are single-in-flight; with seek-length sleeps the default
-    // 8 threads saturate long before the fleet does, and every strategy
-    // degenerates to "whatever the client can push". 24 mostly-sleeping
-    // workers put the bottleneck back on the replicas, where tier-aware
-    // routing is the thing under test.
-    cfg.threads = 24;
     cfg.scripted = SlowdownScript::tiers(&[1.0, 1.0, 3.0], cfg.replicas)
         .windows()
         .to_vec();
@@ -199,10 +241,22 @@ fn base_config(scenario: &str, params: &ScenarioParams) -> Result<LiveConfig, Sc
         offered_rate: params.offered_rate,
         exact_latency: params.exact,
         run_for: Duration::from_millis(1_500),
+        // Paper-scale concurrency for the registry twins: deep enough
+        // that a strategy which parks requests on one dark replica (DS
+        // between recomputes) cannot exhaust the whole permit budget and
+        // stall the healthy replicas with it — that stall is a *client*
+        // limit, and live SLO cells must be server-decided.
+        in_flight: 256,
         ..LiveConfig::default()
     };
     if let Some(keys) = params.keys {
         cfg.keys = cfg.keys.min(keys);
+    }
+    if let Some(in_flight) = params.in_flight {
+        cfg.in_flight = in_flight;
+    }
+    if let Some(connections) = params.connections {
+        cfg.connections = connections;
     }
     if !live_strategy_registry(&cfg).contains(&cfg.strategy) {
         return Err(ScenarioError::UnknownStrategy(cfg.strategy.name().into()));
@@ -273,6 +327,38 @@ mod tests {
         for (_, scores) in &live.score_trace {
             assert_eq!(scores.len(), 3);
         }
+        // Client-health series ride outside the report's channels (the
+        // SLO anchor sums report-channel throughput; diagnostics must not
+        // inflate it).
+        let names: Vec<&str> = live.health.iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(names, ["inflight", "feedback-lag"]);
+        for h in &live.health {
+            assert!(h.completions > 0, "{} series must have samples", h.name);
+        }
+    }
+
+    #[test]
+    fn multiplexed_client_holds_many_requests_in_flight() {
+        // The tentpole claim in miniature: a handful of issuer threads
+        // hold an in-flight budget far beyond their own count, so the
+        // occupancy the client reaches is bounded by the budget, not by
+        // threads — the old one-request-per-worker client could never
+        // exceed `threads` in flight.
+        let cfg = LiveConfig {
+            in_flight: 256,
+            threads: 4,
+            run_for: Duration::from_millis(400),
+            ..smoke_cfg(Strategy::c3())
+        };
+        let live = run_live("live-mux-smoke", cfg);
+        assert!(live.report.total_completions() > 100);
+        let inflight = &live.health[0];
+        assert_eq!(inflight.name, "inflight");
+        assert!(
+            inflight.summary.max_ns >= 32,
+            "closed loop must fill well past the 4 issuer threads, peaked at {}",
+            inflight.summary.max_ns
+        );
     }
 
     #[test]

@@ -1,16 +1,26 @@
 //! The live replica fleet: N key-value servers on loopback TCP, each a
-//! `TcpListener` with one handler thread per connection, a sharded
-//! in-memory store, bounded execution slots, and per-replica queue-size
+//! `TcpListener` with a reader thread per connection feeding a bounded
+//! *executor pool*, a sharded in-memory store, and per-replica queue-size
 //! accounting piggybacked on every response.
 //!
 //! Service times come from the same [`DiskModel`] the §5 cluster
 //! simulates — sampled, scaled by the injected [`Slowdown`] hook at the
-//! current wall time, then *actually slept* while holding one of the
-//! replica's execution slots. Arrivals beyond the slot count queue on the
-//! slot gate, so the `queue_size` a response carries reflects genuine
-//! contention, exactly like the simulator's `read_inflight + read_q`.
+//! current wall time, then *actually slept* by one of the replica's
+//! `concurrency` executor threads. Arrivals beyond the executor count
+//! queue in the replica's FIFO job queue, so the `queue_size` a response
+//! carries reflects genuine contention, exactly like the simulator's
+//! `read_inflight + read_q`.
+//!
+//! Because execution is decoupled from the connection that delivered the
+//! frame, responses leave in **completion order**, not arrival order — a
+//! multiplexed client can therefore keep hundreds of requests in flight
+//! on one connection and the replica interleaves them across its
+//! executors, the behavior the correlation table on the client side
+//! exists to absorb. Serial one-request-at-a-time clients observe exactly
+//! the old semantics (their next frame is only read after they saw the
+//! previous response).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -33,44 +43,28 @@ use crate::wire::{read_frame, write_response};
 /// writers off each other's locks).
 const SHARDS: usize = 16;
 
-/// A counting semaphore: the replica's execution slots.
-struct Gate {
-    permits: Mutex<usize>,
-    available: Condvar,
+/// One unit of work for a replica's executor pool: the decoded request
+/// plus the write half of the connection it arrived on (shared with that
+/// connection's other in-flight jobs, so completed responses can leave
+/// out of order but never interleave bytes).
+struct Job {
+    req: Request,
+    writer: Arc<Mutex<TcpStream>>,
 }
 
-impl Gate {
-    fn new(permits: usize) -> Self {
-        Self {
-            permits: Mutex::new(permits),
-            available: Condvar::new(),
-        }
-    }
-
-    fn acquire(&self) {
-        let mut permits = self.permits.lock().expect("gate poisoned");
-        while *permits == 0 {
-            permits = self.available.wait(permits).expect("gate poisoned");
-        }
-        *permits -= 1;
-    }
-
-    fn release(&self) {
-        let mut permits = self.permits.lock().expect("gate poisoned");
-        *permits += 1;
-        drop(permits);
-        self.available.notify_one();
-    }
-}
-
-/// Shared state of one replica, seen by all its connection handlers.
+/// Shared state of one replica, seen by all its connection readers and
+/// executor threads.
 struct Replica {
     id: usize,
     shards: Vec<Mutex<HashMap<u64, Bytes>>>,
     /// Requests arrived but not yet responded (inflight + queued) — the
     /// `q_s` feedback C3 smooths into its queue-size estimate.
     pending: AtomicU32,
-    gate: Gate,
+    /// FIFO of arrived-but-not-started requests, drained by the executor
+    /// pool (the live analogue of the simulator node's read queue).
+    queue: Mutex<VecDeque<Job>>,
+    work: Condvar,
+    stop: Arc<AtomicBool>,
     model: DiskModel,
     /// Service-time randomness, shared so the stream is seed-derived.
     rng: Mutex<SmallRng>,
@@ -84,12 +78,47 @@ impl Replica {
         &self.shards[(key % SHARDS as u64) as usize]
     }
 
-    /// Execute one request: queue for a slot, sleep the sampled service
-    /// time (scaled by the slowdown hook), touch the store, and build the
-    /// response with fresh feedback.
-    fn execute(&self, req: Request) -> Response {
+    /// A request frame arrived: it counts as pending from this moment
+    /// (matching the old slot-gate accounting, where the handler bumped
+    /// `pending` before queueing for a slot).
+    fn enqueue(&self, req: Request, writer: Arc<Mutex<TcpStream>>) {
         self.pending.fetch_add(1, Ordering::AcqRel);
-        self.gate.acquire();
+        self.queue
+            .lock()
+            .expect("queue poisoned")
+            .push_back(Job { req, writer });
+        self.work.notify_one();
+    }
+
+    /// Executor thread: pop jobs FIFO, execute, write the response to the
+    /// job's own connection. Exits when the cluster stops (any still-
+    /// queued jobs were abandoned by the client).
+    fn executor_loop(&self) {
+        loop {
+            let job = {
+                let mut queue = self.queue.lock().expect("queue poisoned");
+                loop {
+                    if self.stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if let Some(job) = queue.pop_front() {
+                        break job;
+                    }
+                    queue = self.work.wait(queue).expect("queue poisoned");
+                }
+            };
+            let resp = self.execute(job.req);
+            // The client may already be gone at teardown; a failed
+            // response write is its problem, not the replica's.
+            let mut writer = job.writer.lock().expect("writer poisoned");
+            let _ = write_response(&mut writer, &resp);
+        }
+    }
+
+    /// Execute one request: sleep the sampled service time (scaled by the
+    /// slowdown hook), touch the store, and build the response with fresh
+    /// feedback.
+    fn execute(&self, req: Request) -> Response {
         let multiplier = self.slowdown.multiplier(self.id, self.clock.now());
         let (id, key, put_value) = match req {
             Request::Get { id, key } => (id, key, None),
@@ -129,7 +158,6 @@ impl Replica {
             },
         };
 
-        self.gate.release();
         // Pending *after* this request left, like the simulator reports
         // the node's remaining read queue when the response departs.
         let pending_after = self
@@ -164,6 +192,8 @@ pub struct LiveCluster {
     shutdown: Arc<AtomicBool>,
     accept_handles: Vec<JoinHandle<()>>,
     conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    replicas: Vec<Arc<Replica>>,
+    executor_handles: Vec<JoinHandle<()>>,
 }
 
 impl LiveCluster {
@@ -184,6 +214,8 @@ impl LiveCluster {
         };
         let mut addrs = Vec::with_capacity(cfg.replicas);
         let mut accept_handles = Vec::with_capacity(cfg.replicas);
+        let mut replicas = Vec::with_capacity(cfg.replicas);
+        let mut executor_handles = Vec::with_capacity(cfg.replicas * cfg.concurrency);
         for id in 0..cfg.replicas {
             let listener = TcpListener::bind("127.0.0.1:0")?;
             addrs.push(listener.local_addr()?);
@@ -191,7 +223,9 @@ impl LiveCluster {
                 id,
                 shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
                 pending: AtomicU32::new(0),
-                gate: Gate::new(cfg.concurrency),
+                queue: Mutex::new(VecDeque::new()),
+                work: Condvar::new(),
+                stop: Arc::clone(&shutdown),
                 model,
                 rng: Mutex::new(SmallRng::seed_from_u64(
                     cfg.seed ^ 0xd1b5_4a32_d192_ed03u64.wrapping_mul(id as u64 + 1),
@@ -200,8 +234,13 @@ impl LiveCluster {
                 clock,
                 nominal_bytes: cfg.value_bytes,
             });
+            for _ in 0..cfg.concurrency {
+                let replica = Arc::clone(&replica);
+                executor_handles.push(std::thread::spawn(move || replica.executor_loop()));
+            }
             let stop = Arc::clone(&shutdown);
             let conns = Arc::clone(&conn_handles);
+            replicas.push(Arc::clone(&replica));
             accept_handles.push(std::thread::spawn(move || {
                 accept_loop(listener, replica, stop, conns)
             }));
@@ -211,6 +250,8 @@ impl LiveCluster {
             shutdown,
             accept_handles,
             conn_handles,
+            replicas,
+            executor_handles,
         })
     }
 
@@ -232,6 +273,15 @@ impl LiveCluster {
         }
         let handles = std::mem::take(&mut *self.conn_handles.lock().expect("handles poisoned"));
         for handle in handles {
+            let _ = handle.join();
+        }
+        // Executors park on their queue condvars; wake them so they see
+        // the stop flag (jobs still queued at this point were abandoned
+        // by the client and are dropped unexecuted).
+        for replica in &self.replicas {
+            replica.work.notify_all();
+        }
+        for handle in self.executor_handles {
             let _ = handle.join();
         }
     }
@@ -275,19 +325,23 @@ fn accept_loop(
     }
 }
 
-/// Serve one client connection to completion (EOF or error).
-fn serve_connection(mut stream: TcpStream, replica: &Replica) -> io::Result<()> {
+/// Serve one client connection to completion (EOF or error): read frames
+/// and hand them to the replica's executor pool. Responses are written by
+/// the executors, through the shared write half, as each job finishes —
+/// out of arrival order when the pool has more than one thread.
+fn serve_connection(stream: TcpStream, replica: &Replica) -> io::Result<()> {
     stream.set_nodelay(true)?;
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let mut reader = stream;
     let mut buf = BytesMut::new();
-    while let Some(frame) = read_frame(&mut stream, &mut buf)? {
+    while let Some(frame) = read_frame(&mut reader, &mut buf)? {
         let Frame::Request(req) = frame else {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "server received a response frame",
             ));
         };
-        let resp = replica.execute(req);
-        write_response(&mut stream, &resp)?;
+        replica.enqueue(req, Arc::clone(&writer));
     }
     Ok(())
 }

@@ -5,10 +5,15 @@
 //!
 //! The frames are `c3-net`'s — the live backend pumps them over blocking
 //! sockets — so these properties cover exactly the bytes `c3-live` puts
-//! on the wire.
+//! on the wire. The second half exercises the request-id layer on top:
+//! frames carry a `u64` id end-to-end, and the multiplexed client's
+//! [`CorrelationTable`] must hand back the right bookkeeping for
+//! interleaved, out-of-order, arbitrarily fragmented response streams —
+//! and reject unknown or still-in-flight ids outright.
 
 use bytes::{BufMut, Bytes, BytesMut};
 use c3_core::{Feedback, Nanos};
+use c3_live::{CorrelationTable, MuxError};
 use c3_net::proto::{
     decode_frame, encode_request, encode_response, Frame, Request, Response, Status, MAX_FRAME,
 };
@@ -154,5 +159,109 @@ proptest! {
         buf.put_u32((MAX_FRAME + extra) as u32);
         buf.put_u8(1);
         prop_assert!(decode_frame(&mut buf).is_err(), "oversized frame must error");
+    }
+
+    #[test]
+    fn request_ids_survive_the_wire_round_trip(
+        kind in 0u32..2,
+        id in 0u64..u64::MAX,
+        key_len in 0usize..64,
+        payload_len in 0usize..256,
+    ) {
+        // The id is the correlation key: whatever id a request frame was
+        // encoded with must come back from decode bit-exactly, for both
+        // request kinds and for the response that answers it.
+        let request = frame_from(kind, id, key_len, payload_len, 0, 0);
+        let response = frame_from(2, id, key_len, payload_len, 5, 777);
+        let mut buf = BytesMut::new();
+        encode(&request, &mut buf);
+        encode(&response, &mut buf);
+        let decoded_req = decode_frame(&mut buf).unwrap().unwrap();
+        let decoded_resp = decode_frame(&mut buf).unwrap().unwrap();
+        let req_id = match &decoded_req {
+            Frame::Request(Request::Get { id, .. }) => *id,
+            Frame::Request(Request::Put { id, .. }) => *id,
+            Frame::Response(_) => unreachable!("kind < 2 encodes a request"),
+        };
+        let resp_id = match &decoded_resp {
+            Frame::Response(resp) => resp.id,
+            Frame::Request(_) => unreachable!("kind 2 encodes a response"),
+        };
+        prop_assert_eq!(req_id, id);
+        prop_assert_eq!(resp_id, id);
+    }
+
+    #[test]
+    fn interleaved_out_of_order_responses_correlate_on_one_stream(
+        raw_ids in proptest::collection::vec(0u64..1_000_000, 1..40),
+        order_seed in 0u64..u64::MAX,
+        chunk in 1usize..48,
+    ) {
+        // One multiplexed stream: many requests registered, the server
+        // answers in an arbitrary (seed-shuffled) order, the bytes arrive
+        // arbitrarily fragmented. Every decoded response must complete
+        // exactly its own registration, regardless of order.
+        let mut ids = raw_ids;
+        ids.sort_unstable();
+        ids.dedup();
+        let mut table = CorrelationTable::new();
+        for &id in &ids {
+            table.register(id, id ^ 0xabcd).unwrap();
+        }
+
+        // Deterministic shuffle of the completion order.
+        let mut shuffled = ids.clone();
+        let mut state = order_seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            shuffled.swap(i, (state >> 33) as usize % (i + 1));
+        }
+
+        // The server's byte stream: responses in shuffled order.
+        let mut stream = BytesMut::new();
+        for &id in &shuffled {
+            encode(&frame_from(2, id, 8, (id % 128) as usize, 1, 10), &mut stream);
+        }
+
+        // The client reader: fragmented arrival, decode, correlate.
+        let mut incoming = BytesMut::new();
+        let mut completed = Vec::new();
+        for piece in stream.chunks(chunk) {
+            incoming.extend_from_slice(piece);
+            while let Some(frame) = decode_frame(&mut incoming).unwrap() {
+                let Frame::Response(resp) = frame else {
+                    return Err(proptest::TestCaseError::fail("stream held only responses"));
+                };
+                let entry = table.complete(resp.id).expect("registered id completes");
+                prop_assert_eq!(entry, resp.id ^ 0xabcd, "wrong bookkeeping handed back");
+                completed.push(resp.id);
+            }
+        }
+        prop_assert_eq!(completed, shuffled, "every response completes, in arrival order");
+        prop_assert!(table.is_empty(), "nothing left in flight");
+    }
+
+    #[test]
+    fn unknown_and_in_flight_ids_are_rejected(
+        raw_ids in proptest::collection::vec(0u64..1_000_000, 1..20),
+        stranger in 1_000_000u64..2_000_000,
+    ) {
+        let mut ids = raw_ids;
+        ids.sort_unstable();
+        ids.dedup();
+        let mut table = CorrelationTable::new();
+        for &id in &ids {
+            table.register(id, ()).unwrap();
+        }
+        // Re-registering any in-flight id is a protocol bug, not a retry.
+        for &id in &ids {
+            prop_assert_eq!(table.register(id, ()), Err(MuxError::DuplicateId(id)));
+        }
+        // A response for an id never issued must error, not complete.
+        prop_assert_eq!(table.complete(stranger), Err(MuxError::UnknownId(stranger)));
+        // Completing twice is the duplicate-response case: second errors.
+        table.complete(ids[0]).unwrap();
+        prop_assert_eq!(table.complete(ids[0]), Err(MuxError::UnknownId(ids[0])));
+        prop_assert_eq!(table.len(), ids.len() - 1);
     }
 }

@@ -40,6 +40,13 @@ pub struct ScenarioParams {
     /// streaming histogram — required when close percentile comparisons
     /// decide a result (claims, figures, SLO probes).
     pub exact: bool,
+    /// Live backends only: the client's total in-flight request budget
+    /// (`None` keeps the live config's default). Sim backends ignore it —
+    /// their concurrency is the modeled client population.
+    pub in_flight: Option<usize>,
+    /// Live backends only: multiplexed connections per replica (`None`
+    /// keeps the default of one).
+    pub connections: Option<usize>,
 }
 
 impl ScenarioParams {
@@ -60,6 +67,8 @@ impl ScenarioParams {
             keys: Some(1_000_000),
             offered_rate: None,
             exact: false,
+            in_flight: None,
+            connections: None,
         }
     }
 
@@ -73,6 +82,19 @@ impl ScenarioParams {
     /// histogram buckets.
     pub fn with_exact_latency(mut self) -> Self {
         self.exact = true;
+        self
+    }
+
+    /// Bound the live client to `budget` total in-flight requests.
+    pub fn with_in_flight(mut self, budget: usize) -> Self {
+        self.in_flight = Some(budget);
+        self
+    }
+
+    /// Open `connections` multiplexed connections per replica (live
+    /// backends).
+    pub fn with_connections(mut self, connections: usize) -> Self {
+        self.connections = Some(connections);
         self
     }
 }
