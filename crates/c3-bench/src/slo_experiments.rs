@@ -259,9 +259,11 @@ pub fn throughput_at_slo(
     skips.print_summary();
     println!(
         "\nReading: higher max-sustainable-rate at the SLO is the paper's\n\
-         throughput-at-SLO claim. 'saturated' cells passed the SLO at the\n\
-         bracket ceiling (range-limited); 0 means the SLO failed even at\n\
-         the bracket floor; '!' flags a non-monotone probe trace."
+         throughput-at-SLO claim. '^' cells passed the SLO at the bracket\n\
+         ceiling (range-limited); '*' cells failed at the bracket floor\n\
+         itself (no rate in the window sustains the SLO — rendered as 0,\n\
+         `fails_at_bracket_floor` in the JSON); '!' flags a non-monotone\n\
+         probe trace."
     );
     out
 }
@@ -291,6 +293,9 @@ fn print_scenario_table(spec: &SloScenario, report: &SloReport, seeds: &[u64]) {
                     ran += 1;
                     probes += cell.outcome.probes();
                     let mut mark = String::new();
+                    if cell.outcome.fails_at_bracket_floor() {
+                        mark.push('*');
+                    }
                     if cell.outcome.saturated {
                         mark.push('^');
                     }
@@ -354,10 +359,12 @@ pub fn slo_json(results: &[(SloScenario, SloReport)]) -> String {
         for (j, cell) in ran.iter().enumerate() {
             json.push_str(&format!(
                 "        {{\"strategy\": {}, \"seed\": {}, \"max_rate\": {}, \
+                 \"fails_at_bracket_floor\": {}, \
                  \"saturated\": {}, \"monotone\": {}, \"window\": [{}, {}], \"trace\": [",
                 json_str(&cell.cell.strategy),
                 cell.cell.seed,
                 cell.outcome.max_rate.unwrap_or(0.0),
+                cell.outcome.fails_at_bracket_floor(),
                 cell.outcome.saturated,
                 cell.outcome.monotone,
                 cell.window.lo,
@@ -501,6 +508,7 @@ mod tests {
         let json = slo_json(&[(spec, report)]);
         assert!(json.contains("\"scenario\": \"multi-tenant\""));
         assert!(json.contains("\"max_rate\""));
+        assert!(json.contains("\"fails_at_bracket_floor\""));
         assert!(json.contains("\"fingerprint\""));
     }
 }

@@ -107,6 +107,14 @@ impl SloOutcome {
     pub fn probes(&self) -> u32 {
         self.trace.len() as u32
     }
+
+    /// True when the SLO failed at the bracket's floor itself: no rate in
+    /// the window sustains it. The explicit reason behind a reported 0 —
+    /// distinguishing "probed and collapsed immediately" from a cell that
+    /// was never probed at all (a skip, which has no outcome).
+    pub fn fails_at_bracket_floor(&self) -> bool {
+        self.max_rate.is_none()
+    }
 }
 
 /// A deterministic bisection search for the maximum sustainable rate
@@ -392,6 +400,7 @@ mod tests {
         let s = search(2000.0, 4000.0, 8, 20.0); // even lo breaks the SLO
         let out = s.seek(linear).unwrap();
         assert_eq!(out.max_rate, None);
+        assert!(out.fails_at_bracket_floor(), "None IS the floor failure");
         assert!(!out.saturated);
         assert_eq!(out.probes(), 1, "lo probe alone settles it");
     }
@@ -401,6 +410,7 @@ mod tests {
         let s = search(100.0, 900.0, 8, 20.0); // even hi passes
         let out = s.seek(linear).unwrap();
         assert_eq!(out.max_rate, Some(900.0));
+        assert!(!out.fails_at_bracket_floor());
         assert!(out.saturated);
         assert_eq!(out.probes(), 2, "lo + hi probes settle it");
     }

@@ -445,14 +445,12 @@ pub(crate) fn execute(cfg: &LiveConfig) -> io::Result<ClientArtifacts> {
             Err(e) => first_err = first_err.or(Some(e)),
         }
     }
-    let now = clock.now();
+    // Readers drain their own tables on exit; what's left here are
+    // entries registered in the race window after a reader was already
+    // gone. Their permits come back like any other straggler's.
     for replica_tables in tables.iter() {
         for table in replica_tables {
-            for p in table.lock().expect("table poisoned").drain() {
-                if p.is_read {
-                    selector.abandon_read(p.replica, p.shard, now);
-                }
-            }
+            release_stragglers(table, &selector, &budget, clock.now());
         }
     }
     if let Some(t) = ticker {
@@ -590,11 +588,21 @@ fn issuer_loop(
             .register(id, pending)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         if senders[target][conn].send(request).is_err() {
-            let _ = tables[target][conn]
+            // Reclaim our registration — but only if it is still ours. A
+            // dead connection's reader drains its table as it exits and
+            // releases the permits of whatever it finds, so releasing here
+            // too would hand the same permit back twice.
+            let reclaimed = tables[target][conn]
                 .lock()
                 .expect("table poisoned")
-                .complete(id);
-            budget.release();
+                .complete(id)
+                .is_ok();
+            if reclaimed {
+                if is_read {
+                    selector.abandon_read(target, shard, clock.now());
+                }
+                budget.release();
+            }
             return Err(io::Error::new(
                 io::ErrorKind::BrokenPipe,
                 "connection writer gone mid-run",
@@ -652,23 +660,58 @@ fn writer_loop(mut stream: std::net::TcpStream, rx: &mpsc::Receiver<Request>) {
     }
 }
 
+/// Abandon every still-pending entry of one connection's table and hand
+/// its in-flight permits back. Draining removes the entries, so whoever
+/// gets to an entry first (a dying reader, the end-of-run sweep, or an
+/// issuer reclaiming a failed send) owns its single release.
+fn release_stragglers(table: &Table, selector: &LiveSelector, budget: &InFlightBudget, now: Nanos) {
+    for p in table.lock().expect("table poisoned").drain() {
+        if p.is_read {
+            selector.abandon_read(p.replica, p.shard, now);
+        }
+        budget.release();
+    }
+}
+
 /// Reader half of one connection: decode response frames as they arrive —
 /// in whatever order the server finished them — complete each through the
 /// correlation table, feed the selector, record the sample, and release
 /// the in-flight permit.
+///
+/// However the connection ends — clean EOF, teardown, or a mid-run death —
+/// the requests still parked in its table will never complete: their
+/// permits are released on the way out, so issuers blocked at the budget
+/// cap don't hang on a connection that can no longer answer.
 fn reader_loop(
-    mut stream: std::net::TcpStream,
+    stream: std::net::TcpStream,
     table: &Table,
     selector: &LiveSelector,
     budget: &InFlightBudget,
     clock: WallClock,
     stop: &AtomicBool,
 ) -> io::Result<ReaderOut> {
-    let mut buf = BytesMut::new();
     let mut out = ReaderOut {
         samples: Vec::new(),
         feedback_lag: Vec::new(),
     };
+    let result = read_responses(stream, table, selector, budget, clock, stop, &mut out);
+    release_stragglers(table, selector, budget, clock.now());
+    result.map(|()| out)
+}
+
+/// The frame-decoding loop of [`reader_loop`], split out so every exit —
+/// including protocol-violation errors — funnels through the straggler
+/// release above.
+fn read_responses(
+    mut stream: std::net::TcpStream,
+    table: &Table,
+    selector: &LiveSelector,
+    budget: &InFlightBudget,
+    clock: WallClock,
+    stop: &AtomicBool,
+    out: &mut ReaderOut,
+) -> io::Result<()> {
+    let mut buf = BytesMut::new();
     loop {
         let frame = match read_frame(&mut stream, &mut buf) {
             Ok(Some(frame)) => frame,
@@ -709,5 +752,73 @@ fn reader_loop(
         });
         budget.release();
     }
-    Ok(out)
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Kill a connection with requests still in flight: the dying reader
+    /// must hand every parked permit back, so `drained_within` succeeds
+    /// instead of issuers hanging at the budget cap against a table that
+    /// can no longer complete anything.
+    #[test]
+    fn a_dead_connection_releases_its_permits() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::net::TcpStream::connect(addr).unwrap();
+        let (server_end, _) = listener.accept().unwrap();
+
+        let cfg = LiveConfig::default();
+        let registry = live_strategy_registry(&cfg);
+        let selector = build_selector(&cfg, &registry);
+        let budget = InFlightBudget::new(4);
+        let table: Table = Mutex::new(CorrelationTable::new());
+        let clock = WallClock::start();
+        let stop = AtomicBool::new(false);
+
+        // Three writes in flight through this one connection. (Writes keep
+        // the test independent of selector bookkeeping; reads take the
+        // same drain path plus an `abandon_read`.)
+        let deadline = Instant::now() + Duration::from_secs(1);
+        for id in 0..3u64 {
+            assert!(budget.acquire_until(deadline));
+            table
+                .lock()
+                .unwrap()
+                .register(
+                    id,
+                    Pending {
+                        issue_index: id,
+                        is_read: false,
+                        created: clock.now(),
+                        sent_at: clock.now(),
+                        replica: 0,
+                        shard: 0,
+                    },
+                )
+                .unwrap();
+        }
+        assert_eq!(budget.in_flight(), 3);
+        assert!(
+            !budget.drained_within(Duration::from_millis(20)),
+            "permits must be parked before the kill"
+        );
+
+        std::thread::scope(|s| {
+            let reader = s.spawn(|| reader_loop(client, &table, &selector, &budget, clock, &stop));
+            // Mid-run kill: the server side of the connection goes away.
+            drop(server_end);
+            let out = reader.join().unwrap().expect("EOF is a clean exit");
+            assert!(out.samples.is_empty(), "nothing ever completed");
+        });
+
+        assert!(
+            budget.drained_within(Duration::from_millis(500)),
+            "a dead connection's permits must come back"
+        );
+        assert!(table.lock().unwrap().is_empty(), "stragglers drained");
+        assert_eq!(budget.in_flight(), 0);
+    }
 }

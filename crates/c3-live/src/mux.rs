@@ -13,7 +13,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// A correlation-table violation.
@@ -98,6 +98,12 @@ impl<T> CorrelationTable<T> {
 /// A counting semaphore bounding the client's total in-flight requests —
 /// the "in-flight budget". Issuers block in `acquire` when the budget is
 /// spent; reader threads `release` on every completion.
+///
+/// The budget deliberately shrugs off mutex poisoning: its state is a
+/// plain permit counter that is valid no matter where a panicking holder
+/// died, and the threads touching it span every issuer and reader in the
+/// client — propagating one worker's panic here would cascade a single
+/// failure into a deadlocked shutdown of all of them.
 #[derive(Debug)]
 pub struct InFlightBudget {
     permits: Mutex<usize>,
@@ -127,13 +133,13 @@ impl InFlightBudget {
 
     /// Requests currently in flight (capacity minus free permits).
     pub fn in_flight(&self) -> usize {
-        self.capacity - *self.permits.lock().expect("budget poisoned")
+        self.capacity - *self.permits.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Take one permit, blocking until one frees up or `deadline` passes.
     /// Returns `false` on deadline (the caller's run is over).
     pub fn acquire_until(&self, deadline: Instant) -> bool {
-        let mut permits = self.permits.lock().expect("budget poisoned");
+        let mut permits = self.permits.lock().unwrap_or_else(PoisonError::into_inner);
         while *permits == 0 {
             let now = Instant::now();
             if now >= deadline {
@@ -142,7 +148,7 @@ impl InFlightBudget {
             let (guard, timeout) = self
                 .available
                 .wait_timeout(permits, deadline - now)
-                .expect("budget poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             permits = guard;
             if timeout.timed_out() && *permits == 0 {
                 return false;
@@ -154,7 +160,7 @@ impl InFlightBudget {
 
     /// Return one permit.
     pub fn release(&self) {
-        let mut permits = self.permits.lock().expect("budget poisoned");
+        let mut permits = self.permits.lock().unwrap_or_else(PoisonError::into_inner);
         *permits += 1;
         debug_assert!(*permits <= self.capacity, "over-released budget");
         drop(permits);
@@ -165,7 +171,7 @@ impl InFlightBudget {
     /// `timeout` elapses; returns whether the budget fully drained.
     pub fn drained_within(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        let mut permits = self.permits.lock().expect("budget poisoned");
+        let mut permits = self.permits.lock().unwrap_or_else(PoisonError::into_inner);
         while *permits < self.capacity {
             let now = Instant::now();
             if now >= deadline {
@@ -174,7 +180,7 @@ impl InFlightBudget {
             let (guard, _) = self
                 .available
                 .wait_timeout(permits, deadline - now)
-                .expect("budget poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             permits = guard;
         }
         true
@@ -240,6 +246,29 @@ mod tests {
         std::thread::sleep(Duration::from_millis(30));
         budget.release();
         assert!(waiter.join().unwrap(), "release must wake the waiter");
+        budget.release();
+        budget.release();
+        assert!(budget.drained_within(Duration::from_millis(100)));
+        assert_eq!(budget.in_flight(), 0);
+    }
+
+    #[test]
+    fn a_poisoned_budget_keeps_serving_every_caller() {
+        use std::panic::AssertUnwindSafe;
+        use std::sync::Arc;
+        let budget = Arc::new(InFlightBudget::new(2));
+        assert!(budget.acquire_until(Instant::now() + Duration::from_secs(1)));
+        // Panic while holding the lock, as a dying worker would.
+        let poisoner = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = budget.permits.lock().unwrap();
+            panic!("worker dies mid-critical-section");
+        }));
+        assert!(poisoner.is_err());
+        assert!(budget.permits.lock().is_err(), "mutex must be poisoned");
+        // Every entry point must recover instead of cascading the panic.
+        assert_eq!(budget.in_flight(), 1);
+        assert!(budget.acquire_until(Instant::now() + Duration::from_secs(1)));
+        assert!(!budget.drained_within(Duration::from_millis(20)));
         budget.release();
         budget.release();
         assert!(budget.drained_within(Duration::from_millis(100)));

@@ -11,6 +11,9 @@
 //! - [`MULTI_TENANT`] ([`MultiTenantConfig`]): several tenant classes with
 //!   distinct Zipf skew, arrival rates and value sizes sharing one fleet,
 //!   reporting latency into one **named channel per tenant**;
+//! - [`MEGA_FLEET`] ([`MegaFleetConfig`]): hundreds of replicas serving
+//!   100k+ closed-loop clients through a pool of shared selector shards —
+//!   the kernel's sustained 100k-pending-event regime;
 //! - [`HETERO_FLEET`] ([`HeteroFleetConfig`]): permanent fast/slow
 //!   hardware tiers layered on the §5 cluster's ring;
 //! - [`PARTITION_FLUX`] ([`PartitionFluxConfig`]): scripted and stochastic
@@ -40,12 +43,14 @@
 #![warn(missing_docs)]
 
 mod hetero;
+mod mega_fleet;
 mod multi_tenant;
 mod partition;
 mod registry;
 mod report;
 
 pub use hetero::{run as run_hetero_fleet, HeteroFleetConfig};
+pub use mega_fleet::{run as run_mega_fleet, MegaFleetConfig, MegaFleetScenario, MfEvent};
 pub use multi_tenant::{
     run as run_multi_tenant, run_isolated as run_multi_tenant_isolated, MtEvent, MultiTenantConfig,
     MultiTenantScenario, TenantSpec,
@@ -59,6 +64,8 @@ use c3_engine::StrategyRegistry;
 
 /// Registry name of the multi-tenant scenario.
 pub const MULTI_TENANT: &str = "multi-tenant";
+/// Registry name of the mega-fleet scenario.
+pub const MEGA_FLEET: &str = "mega-fleet";
 /// Registry name of the heterogeneous-fleet scenario.
 pub const HETERO_FLEET: &str = "hetero-fleet";
 /// Registry name of the partition/flux scenario.

@@ -1,0 +1,705 @@
+//! Mega-fleet workload: hundreds of replicas serving a six-figure
+//! population of closed-loop clients — the million-user-scale regime the
+//! roadmap's multi-process fleets push every simulation into.
+//!
+//! C3's evaluation (§6) scales to hundreds of clients per replica group;
+//! this scenario takes the same shape two orders of magnitude further:
+//! every simulated client is an independent think → request → response
+//! cycle, so the kernel holds **one pending timer per client** (100k+
+//! concurrent events) for the whole run. Think times (~200 ms) sit several
+//! ring spans past the calendar queue's horizon, so the far-future
+//! overflow tier — not just the ring — carries the census. That makes
+//! this scenario double as the kernel's scale proof: `bench_engine`
+//! reports its ops/sec next to the 65536-pending churn row.
+//!
+//! Selector state is pooled: clients map onto a fixed set of **selector
+//! shards** (the live client shards its baseline selector state the same
+//! way), so 100k clients cost 100k pending events but only
+//! `selector_shards` selector instances. Backpressure backlogs and retry
+//! timers live on the shard, matching the shared selector whose rate
+//! limiter actually pushed back.
+
+use std::collections::VecDeque;
+
+use c3_cluster::SnitchSelector;
+use c3_core::{BacklogQueue, C3Config, Feedback, Nanos, ReplicaSelector, ResponseInfo, Selection};
+use c3_engine::{
+    BuiltSelector, ChannelId, ChannelSet, EventQueue, RunMetrics, Scenario, ScenarioRunner,
+    SeedSeq, SelectorCtx, Strategy, StrategyRegistry, TimerId,
+};
+use c3_workload::{exp_sample, ScrambledZipfian};
+use rand::rngs::SmallRng;
+
+use crate::report::ScenarioReport;
+
+/// Full configuration of one mega-fleet run.
+#[derive(Clone, Debug)]
+pub struct MegaFleetConfig {
+    /// Replica servers in the fleet.
+    pub servers: usize,
+    /// Closed-loop simulated clients; each holds exactly one pending
+    /// event (a think timer or an in-flight request) at all times, so
+    /// this is also the kernel's sustained pending-event census.
+    pub clients: u64,
+    /// Selector instances shared by the clients (`client % shards`).
+    pub selector_shards: usize,
+    /// Replica-group size.
+    pub replication_factor: usize,
+    /// Requests a server executes in parallel.
+    pub server_concurrency: usize,
+    /// Mean service time in ms (exponential).
+    pub mean_service_ms: f64,
+    /// Mean per-client think time between response and next request, ms
+    /// (exponential). With `clients` closed loops the offered rate is
+    /// ≈ `clients / (think + response)`.
+    pub mean_think_ms: f64,
+    /// Absolute offered arrival rate in requests/second, overriding the
+    /// think time with `clients / rate` when set (approximate closed-loop
+    /// pacing — the axis the SLO controller searches).
+    pub offered_rate: Option<f64>,
+    /// Record measured latencies into exact (every-sample) reservoirs.
+    pub exact_latency: bool,
+    /// One-way client/server network latency.
+    pub one_way_latency: Nanos,
+    /// Distinct keys; a key's replica group is `key % servers`.
+    pub keys: u64,
+    /// Zipfian constant of the key distribution, in `(0, 1)` exclusive.
+    pub zipf_theta: f64,
+    /// Completions that end the run.
+    pub total_requests: u64,
+    /// Requests excluded from latency measurement while state warms up.
+    pub warmup_requests: u64,
+    /// Strategy under test, by registry name.
+    pub strategy: Strategy,
+    /// C3 parameters; `concurrency_weight` is set to the shard count.
+    pub c3: C3Config,
+    /// Recompute interval for Dynamic Snitching selectors.
+    pub snitch_tick: Nanos,
+    /// Window for the per-server load time series.
+    pub load_window: Nanos,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MegaFleetConfig {
+    fn default() -> Self {
+        Self {
+            servers: 256,
+            clients: 120_000,
+            selector_shards: 128,
+            replication_factor: 3,
+            server_concurrency: 8,
+            mean_service_ms: 2.0,
+            mean_think_ms: 200.0,
+            offered_rate: None,
+            exact_latency: false,
+            one_way_latency: Nanos::from_micros(250),
+            keys: 100_000,
+            zipf_theta: 0.9,
+            total_requests: 40_000,
+            warmup_requests: 2_000,
+            strategy: Strategy::c3(),
+            c3: C3Config::default(),
+            snitch_tick: Nanos::from_millis(100),
+            load_window: Nanos::from_millis(100),
+            seed: 1,
+        }
+    }
+}
+
+impl MegaFleetConfig {
+    /// Fleet capacity in requests/second.
+    pub fn capacity(&self) -> f64 {
+        self.servers as f64 * self.server_concurrency as f64 * 1000.0 / self.mean_service_ms
+    }
+
+    /// The mean think time actually used: the configured one, or the
+    /// `offered_rate` pacing override.
+    pub fn effective_think_ms(&self) -> f64 {
+        match self.offered_rate {
+            Some(rate) => self.clients as f64 / rate * 1000.0,
+            None => self.mean_think_ms,
+        }
+    }
+
+    /// Validate invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a parameter is out of range.
+    pub fn validate(&self) {
+        assert!(self.servers >= self.replication_factor, "too few servers");
+        assert!(self.clients >= 1, "need clients");
+        assert!(
+            self.selector_shards >= 1 && self.selector_shards as u64 <= self.clients,
+            "selector shards must be in [1, clients]"
+        );
+        assert!(self.server_concurrency >= 1, "need execution slots");
+        assert!(self.mean_service_ms > 0.0, "service time must be positive");
+        assert!(self.mean_think_ms > 0.0, "think time must be positive");
+        if let Some(rate) = self.offered_rate {
+            assert!(
+                rate.is_finite() && rate > 0.0,
+                "offered rate must be positive and finite"
+            );
+        }
+        assert!(self.keys > 0, "need keys");
+        assert!(
+            self.zipf_theta > 0.0 && self.zipf_theta < 1.0,
+            "zipf theta must be in (0,1) exclusive"
+        );
+        assert!(self.total_requests > 0, "need requests");
+        assert!(
+            self.warmup_requests < self.total_requests,
+            "warm-up swallows the run"
+        );
+        self.c3.validate();
+    }
+}
+
+/// The scenario's event alphabet.
+#[derive(Clone, Copy, Debug)]
+#[allow(missing_docs)]
+pub enum MfEvent {
+    /// A client's think timer fires: issue its next request.
+    Arrive { client: u32 },
+    /// A request reaches its server.
+    ServerArrive { req: u64 },
+    /// A request finishes executing at its server.
+    ServiceDone {
+        server: u32,
+        req: u64,
+        service_time: Nanos,
+    },
+    /// A response reaches its client.
+    ClientReceive { req: u64 },
+    /// A shard retries the backlog of one replica group.
+    RetryBacklog { shard: u32, group: u32 },
+    /// Dynamic Snitching selectors recompute their scores.
+    SnitchTick,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct MfRequest {
+    client: u32,
+    group: u16,
+    server: u16,
+    created: Nanos,
+    sent_at: Nanos,
+    measured: bool,
+}
+
+struct MfServer {
+    queue: VecDeque<u64>,
+    inflight: usize,
+}
+
+/// One pooled selector instance plus the backpressure state owned by it.
+struct MfShard {
+    /// `None` for the Oracle, which reads global server state instead.
+    selector: Option<Box<dyn ReplicaSelector>>,
+    backlogs: Vec<BacklogQueue<u64>>,
+    /// Pending `RetryBacklog` timer per replica group, cancelled when a
+    /// response drains the backlog first (so no dead retry events fire).
+    retry_timer: Vec<Option<TimerId>>,
+}
+
+/// The mega-fleet scenario, driven by the engine's [`ScenarioRunner`].
+pub struct MegaFleetScenario {
+    cfg: MegaFleetConfig,
+    servers: Vec<MfServer>,
+    shards: Vec<MfShard>,
+    groups: Vec<Vec<usize>>,
+    requests: Vec<MfRequest>,
+    feedbacks: Vec<Feedback>,
+    keys: ScrambledZipfian,
+    wl_rng: SmallRng,
+    srv_rng: SmallRng,
+    think_ms: f64,
+    generated: u64,
+    dead_retries: u64,
+}
+
+impl MegaFleetScenario {
+    /// Build the scenario, resolving the strategy through `registry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configured strategy is not in the registry.
+    pub fn new(cfg: MegaFleetConfig, registry: &StrategyRegistry) -> Self {
+        cfg.validate();
+        let seeds = SeedSeq::new(cfg.seed);
+        let wl_rng = seeds.workload_rng();
+        let srv_rng = seeds.service_rng(37);
+
+        let mut c3 = cfg.c3;
+        c3.concurrency_weight = cfg.selector_shards as f64;
+
+        let groups: Vec<Vec<usize>> = (0..cfg.servers)
+            .map(|g| {
+                (0..cfg.replication_factor)
+                    .map(|k| (g + k) % cfg.servers)
+                    .collect()
+            })
+            .collect();
+
+        let servers = (0..cfg.servers)
+            .map(|_| MfServer {
+                queue: VecDeque::new(),
+                inflight: 0,
+            })
+            .collect();
+
+        let shards: Vec<MfShard> = (0..cfg.selector_shards)
+            .map(|i| {
+                let ctx = SelectorCtx {
+                    servers: cfg.servers,
+                    c3,
+                    seed: seeds.client_seed(i as u64),
+                    now: Nanos::ZERO,
+                };
+                let selector = match registry
+                    .build(&cfg.strategy, &ctx)
+                    .unwrap_or_else(|e| panic!("{e}"))
+                {
+                    BuiltSelector::Selector(s) => Some(s),
+                    BuiltSelector::Oracle => None,
+                };
+                MfShard {
+                    selector,
+                    backlogs: (0..cfg.servers).map(|_| BacklogQueue::new()).collect(),
+                    retry_timer: vec![None; cfg.servers],
+                }
+            })
+            .collect();
+
+        let think_ms = cfg.effective_think_ms();
+        Self {
+            servers,
+            shards,
+            groups,
+            // In-flight requests can overshoot the completion target by up
+            // to one per client; reserve for the common case only.
+            requests: Vec::with_capacity(cfg.total_requests as usize),
+            feedbacks: Vec::with_capacity(cfg.total_requests as usize),
+            keys: ScrambledZipfian::new(cfg.keys, cfg.keys, cfg.zipf_theta),
+            wl_rng,
+            srv_rng,
+            think_ms,
+            generated: 0,
+            dead_retries: 0,
+            cfg,
+        }
+    }
+
+    /// `RetryBacklog` events that fired against an already-drained
+    /// backlog. Draining cancels the pending timer, so this stays zero —
+    /// asserted regression-style across the scenario library.
+    pub fn dead_events(&self) -> u64 {
+        self.dead_retries
+    }
+
+    /// The config in force.
+    pub fn config(&self) -> &MegaFleetConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn shard_of(&self, client: u32) -> usize {
+        client as usize % self.cfg.selector_shards
+    }
+
+    fn think_gap(&mut self) -> Nanos {
+        Nanos::from_millis_f64(exp_sample(&mut self.wl_rng, self.think_ms))
+    }
+
+    fn service_time(&mut self) -> Nanos {
+        Nanos::from_millis_f64(exp_sample(&mut self.srv_rng, self.cfg.mean_service_ms))
+    }
+
+    fn on_arrive(
+        &mut self,
+        client: u32,
+        now: Nanos,
+        engine: &mut EventQueue<MfEvent>,
+        metrics: &RunMetrics,
+    ) {
+        let issue_index = self.generated;
+        self.generated += 1;
+        let key = self.keys.sample(&mut self.wl_rng);
+        let group = (key % self.cfg.servers as u64) as usize;
+        let req = self.requests.len() as u64;
+        self.requests.push(MfRequest {
+            client,
+            group: group as u16,
+            server: u16::MAX,
+            created: now,
+            sent_at: Nanos::ZERO,
+            measured: metrics.past_warmup(issue_index),
+        });
+        self.feedbacks.push(Feedback::new(0, Nanos::ZERO));
+        self.try_dispatch(req, now, engine);
+    }
+
+    fn try_dispatch(&mut self, req: u64, now: Nanos, engine: &mut EventQueue<MfEvent>) {
+        let (shard_id, group_id) = {
+            let r = &self.requests[req as usize];
+            (self.shard_of(r.client), r.group as usize)
+        };
+
+        // Oracle path: perfect knowledge of instantaneous queue depths.
+        if self.shards[shard_id].selector.is_none() {
+            let server = self.oracle_pick(group_id);
+            self.send(req, server, now, engine);
+            return;
+        }
+
+        let selection = {
+            let group = &self.groups[group_id];
+            let sel = self.shards[shard_id].selector.as_mut().expect("selector");
+            sel.select(group, now)
+        };
+        match selection {
+            Selection::Server(server) => self.send(req, server, now, engine),
+            Selection::Backpressure { retry_at } => {
+                let shard = &mut self.shards[shard_id];
+                shard.backlogs[group_id].push(req);
+                if shard.retry_timer[group_id].is_none() {
+                    let at = retry_at.max(now + Nanos(1));
+                    let timer = engine.schedule_cancellable(
+                        at,
+                        MfEvent::RetryBacklog {
+                            shard: shard_id as u32,
+                            group: group_id as u32,
+                        },
+                    );
+                    shard.retry_timer[group_id] = Some(timer);
+                }
+            }
+        }
+    }
+
+    fn oracle_pick(&self, group_id: usize) -> usize {
+        *self.groups[group_id]
+            .iter()
+            .min_by_key(|&&s| self.servers[s].inflight + self.servers[s].queue.len())
+            .expect("non-empty group")
+    }
+
+    fn send(&mut self, req: u64, server: usize, now: Nanos, engine: &mut EventQueue<MfEvent>) {
+        let client = {
+            let r = &mut self.requests[req as usize];
+            r.server = server as u16;
+            r.sent_at = now;
+            r.client
+        };
+        let shard_id = self.shard_of(client);
+        if let Some(sel) = self.shards[shard_id].selector.as_mut() {
+            sel.on_send(server, now);
+        }
+        engine.schedule_in(self.cfg.one_way_latency, MfEvent::ServerArrive { req });
+    }
+
+    fn on_server_arrive(&mut self, req: u64, engine: &mut EventQueue<MfEvent>) {
+        let server = self.requests[req as usize].server as usize;
+        if self.servers[server].inflight < self.cfg.server_concurrency {
+            self.servers[server].inflight += 1;
+            let st = self.service_time();
+            engine.schedule_in(
+                st,
+                MfEvent::ServiceDone {
+                    server: server as u32,
+                    req,
+                    service_time: st,
+                },
+            );
+        } else {
+            self.servers[server].queue.push_back(req);
+        }
+    }
+
+    fn on_service_done(
+        &mut self,
+        server: usize,
+        req: u64,
+        service_time: Nanos,
+        now: Nanos,
+        engine: &mut EventQueue<MfEvent>,
+        metrics: &mut RunMetrics,
+    ) {
+        metrics.record_service(server, now);
+        self.servers[server].inflight -= 1;
+        if let Some(next) = self.servers[server].queue.pop_front() {
+            self.servers[server].inflight += 1;
+            let st = self.service_time();
+            engine.schedule_in(
+                st,
+                MfEvent::ServiceDone {
+                    server: server as u32,
+                    req: next,
+                    service_time: st,
+                },
+            );
+        }
+        let pending = (self.servers[server].inflight + self.servers[server].queue.len()) as u32;
+        self.feedbacks[req as usize] = Feedback::new(pending, service_time);
+        engine.schedule_in(self.cfg.one_way_latency, MfEvent::ClientReceive { req });
+    }
+
+    fn on_client_receive(
+        &mut self,
+        req: u64,
+        now: Nanos,
+        engine: &mut EventQueue<MfEvent>,
+        metrics: &mut RunMetrics,
+    ) {
+        let r = self.requests[req as usize];
+        let shard_id = self.shard_of(r.client);
+        let server = r.server as usize;
+        if let Some(sel) = self.shards[shard_id].selector.as_mut() {
+            sel.on_response(
+                server,
+                &ResponseInfo {
+                    response_time: now.saturating_sub(r.sent_at),
+                    feedback: Some(self.feedbacks[req as usize]),
+                },
+                now,
+            );
+        }
+        metrics.record_completion(
+            ChannelId::new(0),
+            now,
+            now.saturating_sub(r.created),
+            r.measured,
+        );
+        // A response may free rate for the groups containing this server.
+        let rf = self.cfg.replication_factor;
+        let n = self.cfg.servers;
+        for k in 0..rf {
+            let group_id = (server + n - k) % n;
+            if !self.shards[shard_id].backlogs[group_id].is_empty() {
+                self.on_retry(shard_id, group_id, now, engine, false);
+            }
+        }
+        // Closed loop: the client thinks, then issues its next request —
+        // exactly one pending event per client, for the whole run.
+        let gap = self.think_gap();
+        engine.schedule_in(gap, MfEvent::Arrive { client: r.client });
+    }
+
+    fn on_retry(
+        &mut self,
+        shard_id: usize,
+        group_id: usize,
+        now: Nanos,
+        engine: &mut EventQueue<MfEvent>,
+        from_timer: bool,
+    ) {
+        if from_timer {
+            // The timer owning this event has fired; forget its handle.
+            self.shards[shard_id].retry_timer[group_id] = None;
+            if self.shards[shard_id].backlogs[group_id].is_empty() {
+                // Unreachable since draining cancels the timer; counted so
+                // a regression back to fire-and-filter is visible.
+                self.dead_retries += 1;
+                return;
+            }
+        } else if let Some(timer) = self.shards[shard_id].retry_timer[group_id].take() {
+            // A response beat the retry timer to this backlog: the drain
+            // below supersedes it, so the timer must not fire dead.
+            engine.cancel(timer);
+        }
+        loop {
+            let Some(&req) = self.shards[shard_id].backlogs[group_id].peek() else {
+                return;
+            };
+            let selection = {
+                let group = &self.groups[group_id];
+                let sel = self.shards[shard_id]
+                    .selector
+                    .as_mut()
+                    .expect("backpressure implies a selector");
+                sel.select(group, now)
+            };
+            match selection {
+                Selection::Server(server) => {
+                    self.shards[shard_id].backlogs[group_id].pop();
+                    self.send(req, server, now, engine);
+                }
+                Selection::Backpressure { retry_at } => {
+                    let shard = &mut self.shards[shard_id];
+                    if shard.retry_timer[group_id].is_none() {
+                        let at = retry_at.max(now + Nanos(1));
+                        let timer = engine.schedule_cancellable(
+                            at,
+                            MfEvent::RetryBacklog {
+                                shard: shard_id as u32,
+                                group: group_id as u32,
+                            },
+                        );
+                        shard.retry_timer[group_id] = Some(timer);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Feed Dynamic Snitching selectors their periodic recompute.
+    fn on_snitch_tick(&mut self, now: Nanos, engine: &mut EventQueue<MfEvent>) {
+        let servers = self.cfg.servers;
+        for shard in &mut self.shards {
+            if let Some(snitch) = shard
+                .selector
+                .as_mut()
+                .and_then(|s| s.as_any_mut())
+                .and_then(|any| any.downcast_mut::<SnitchSelector>())
+            {
+                for peer in 0..servers {
+                    snitch.snitch_mut().record_iowait(peer, 0.02);
+                }
+                snitch.snitch_mut().recompute(now);
+            }
+        }
+        engine.schedule_in(self.cfg.snitch_tick, MfEvent::SnitchTick);
+    }
+}
+
+impl Scenario for MegaFleetScenario {
+    type Event = MfEvent;
+
+    fn channels(&self) -> ChannelSet {
+        ChannelSet::of(["fleet".to_string()])
+    }
+
+    fn start(&mut self, engine: &mut EventQueue<MfEvent>) {
+        for client in 0..self.cfg.clients {
+            let jitter = self.think_gap();
+            engine.schedule(
+                jitter,
+                MfEvent::Arrive {
+                    client: client as u32,
+                },
+            );
+        }
+        engine.schedule(self.cfg.snitch_tick, MfEvent::SnitchTick);
+    }
+
+    fn handle(
+        &mut self,
+        event: MfEvent,
+        now: Nanos,
+        engine: &mut EventQueue<MfEvent>,
+        metrics: &mut RunMetrics,
+    ) {
+        match event {
+            MfEvent::Arrive { client } => self.on_arrive(client, now, engine, metrics),
+            MfEvent::ServerArrive { req } => self.on_server_arrive(req, engine),
+            MfEvent::ServiceDone {
+                server,
+                req,
+                service_time,
+            } => self.on_service_done(server as usize, req, service_time, now, engine, metrics),
+            MfEvent::ClientReceive { req } => self.on_client_receive(req, now, engine, metrics),
+            MfEvent::RetryBacklog { shard, group } => {
+                self.on_retry(shard as usize, group as usize, now, engine, true)
+            }
+            MfEvent::SnitchTick => self.on_snitch_tick(now, engine),
+        }
+    }
+
+    fn is_done(&self, metrics: &RunMetrics) -> bool {
+        metrics.total_completions() >= self.cfg.total_requests
+    }
+}
+
+/// Run a mega-fleet config to completion and report the fleet channel.
+pub fn run(cfg: MegaFleetConfig, registry: &StrategyRegistry) -> ScenarioReport {
+    let runner = ScenarioRunner::new(cfg.seed)
+        .with_warmup(cfg.warmup_requests)
+        .with_exact_latency_if(cfg.exact_latency);
+    let servers = cfg.servers;
+    let load_window = cfg.load_window;
+    let strategy = cfg.strategy.clone();
+    let seed = cfg.seed;
+    let mut scenario = MegaFleetScenario::new(cfg, registry);
+    let (metrics, stats) = runner.run(&mut scenario, servers, load_window);
+    ScenarioReport::from_metrics(super::MEGA_FLEET, &strategy, seed, &metrics, &stats)
+        .with_dead_events(scenario.dead_events())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario_registry;
+
+    /// A scaled-down fleet for quick in-crate tests; the registry tests
+    /// exercise the full 120k-client default shape.
+    fn small(strategy: Strategy) -> MegaFleetConfig {
+        MegaFleetConfig {
+            servers: 32,
+            clients: 2_000,
+            selector_shards: 16,
+            total_requests: 5_000,
+            warmup_requests: 400,
+            strategy,
+            seed: 5,
+            ..MegaFleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn every_client_holds_one_pending_event_at_start() {
+        let cfg = small(Strategy::c3());
+        let clients = cfg.clients;
+        let mut scenario = MegaFleetScenario::new(cfg, &scenario_registry());
+        let mut engine = EventQueue::new();
+        scenario.start(&mut engine);
+        // One think timer per client, plus the snitch tick.
+        assert_eq!(engine.len(), clients as usize + 1);
+    }
+
+    #[test]
+    fn closed_loop_completes_and_reports_the_fleet_channel() {
+        let report = run(small(Strategy::c3()), &scenario_registry());
+        assert_eq!(report.channels.len(), 1);
+        assert_eq!(report.headline().name, "fleet");
+        assert!(report.total_completions() > 0);
+        assert_eq!(report.dead_events, 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(small(Strategy::c3()), &scenario_registry());
+        let b = run(small(Strategy::c3()), &scenario_registry());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn oracle_and_snitch_run_on_this_frontend() {
+        for strategy in [Strategy::oracle(), Strategy::dynamic_snitching()] {
+            let report = run(small(strategy.clone()), &scenario_registry());
+            assert!(
+                report.total_completions() > 0,
+                "strategy {strategy} must complete"
+            );
+        }
+    }
+
+    #[test]
+    fn offered_rate_overrides_the_think_time() {
+        let mut cfg = small(Strategy::c3());
+        cfg.offered_rate = Some(1_000.0);
+        // 2000 clients at 1000 req/s → 2 s mean think time.
+        assert!((cfg.effective_think_ms() - 2_000.0).abs() < 1e-9);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "selector shards")]
+    fn more_shards_than_clients_is_rejected() {
+        let mut cfg = small(Strategy::c3());
+        cfg.selector_shards = 4_000;
+        cfg.validate();
+    }
+}

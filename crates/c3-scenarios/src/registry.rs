@@ -12,8 +12,8 @@ use std::fmt;
 use c3_engine::{fan_out, Strategy};
 
 use crate::report::ScenarioReport;
-use crate::{hetero, multi_tenant, partition, scenario_registry};
-use crate::{HETERO_FLEET, MULTI_TENANT, PARTITION_FLUX};
+use crate::{hetero, mega_fleet, multi_tenant, partition, scenario_registry};
+use crate::{HETERO_FLEET, MEGA_FLEET, MULTI_TENANT, PARTITION_FLUX};
 
 /// Everything a scenario needs to produce one run.
 #[derive(Clone, Debug)]
@@ -156,11 +156,31 @@ impl ScenarioRegistry {
         }
     }
 
-    /// The library's stock scenarios: [`MULTI_TENANT`], [`HETERO_FLEET`]
-    /// and [`PARTITION_FLUX`], each at its default shape scaled by
-    /// [`ScenarioParams::ops`].
+    /// The library's stock scenarios: [`MULTI_TENANT`], [`MEGA_FLEET`],
+    /// [`HETERO_FLEET`] and [`PARTITION_FLUX`], each at its default shape
+    /// scaled by [`ScenarioParams::ops`].
     pub fn with_defaults() -> Self {
         let mut reg = Self::empty();
+        reg.register(MEGA_FLEET, |p: &ScenarioParams| {
+            let strategies = scenario_registry();
+            if !strategies.contains(&p.strategy) {
+                return Err(ScenarioError::UnknownStrategy(p.strategy.name().into()));
+            }
+            let mut cfg = mega_fleet::MegaFleetConfig {
+                total_requests: p.ops,
+                warmup_requests: p.warmup,
+                strategy: p.strategy.clone(),
+                seed: p.seed,
+                offered_rate: p.offered_rate,
+                exact_latency: p.exact,
+                ..mega_fleet::MegaFleetConfig::default()
+            };
+            if let Some(keys) = p.keys {
+                cfg.keys = cfg.keys.min(keys);
+            }
+            cfg.validate();
+            Ok(mega_fleet::run(cfg, &strategies))
+        });
         reg.register(MULTI_TENANT, |p: &ScenarioParams| {
             let strategies = scenario_registry();
             if !strategies.contains(&p.strategy) {
@@ -299,7 +319,7 @@ mod tests {
         let reg = ScenarioRegistry::with_defaults();
         assert_eq!(
             reg.names(),
-            vec![HETERO_FLEET, MULTI_TENANT, PARTITION_FLUX]
+            vec![HETERO_FLEET, MEGA_FLEET, MULTI_TENANT, PARTITION_FLUX]
         );
         assert!(reg.contains(MULTI_TENANT));
         assert!(!reg.contains("nope"));

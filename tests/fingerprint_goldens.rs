@@ -123,6 +123,8 @@ type SimDigest = (u64, u64, u64, u64, u64);
 type ClusterDigest = (u64, u64, u64, u64);
 
 // ---- goldens captured before the zero-allocation rewrite -----------------
+// (mega-fleet rows pinned at that scenario's introduction, alongside the
+// three-tier kernel; every older row is bit-identical across both rewrites)
 
 const SCENARIO_GOLDENS: &[(&str, u64)] = &[
     ("hetero-fleet/C3", 7050262698758109882),
@@ -138,6 +140,19 @@ const SCENARIO_GOLDENS: &[(&str, u64)] = &[
     ("hetero-fleet/RR", 4413659735633985249),
     ("hetero-fleet/Random", 1819907086238340354),
     ("hetero-fleet/WRand", 12106456419154545558),
+    ("mega-fleet/C3", 3328357399988597455),
+    ("mega-fleet/C3-noCC", 17322654640519654979),
+    ("mega-fleet/C3-noRC", 1418286848514427208),
+    ("mega-fleet/DS", 1203729500023910457),
+    ("mega-fleet/LOR", 7597553776627808979),
+    ("mega-fleet/LRT", 6562588991307864533),
+    ("mega-fleet/Nearest", 18121773560648049824),
+    ("mega-fleet/ORA", 9407041454031528839),
+    ("mega-fleet/P2C", 17284629313583644851),
+    ("mega-fleet/Primary", 3444066750861978085),
+    ("mega-fleet/RR", 6277884077171246735),
+    ("mega-fleet/Random", 8084691762338802668),
+    ("mega-fleet/WRand", 10175098223761098140),
     ("multi-tenant/C3", 10320501728810496735),
     ("multi-tenant/C3-noCC", 7899227759370894826),
     ("multi-tenant/C3-noRC", 5198472214331896130),
