@@ -40,6 +40,9 @@ struct Cell {
     occupancy_p50: u64,
     occupancy_p99: u64,
     occupancy_max: u64,
+    feedback_lag_p50_ns: u64,
+    feedback_lag_p99_ns: u64,
+    feedback_lag_max_ns: u64,
 }
 
 fn cell_cfg(strategy: Strategy, in_flight: usize, run_for: Duration) -> LiveConfig {
@@ -87,6 +90,7 @@ fn main() {
             let throughput: f64 = report.channels.iter().map(|c| c.throughput).sum();
             let read_p99_ms = report.p99_ms();
             let occ = &live.health[0].summary;
+            let lag = &live.health[1].summary;
             println!(
                 "{:<9} {:>9} {:>12.0} {:>9.2} {:>10}/{}/{}",
                 strategy.label(),
@@ -105,6 +109,9 @@ fn main() {
                 occupancy_p50: occ.p50_ns,
                 occupancy_p99: occ.p99_ns,
                 occupancy_max: occ.max_ns,
+                feedback_lag_p50_ns: lag.p50_ns,
+                feedback_lag_p99_ns: lag.p99_ns,
+                feedback_lag_max_ns: lag.max_ns,
             });
         }
     }
@@ -165,7 +172,9 @@ fn main() {
             json,
             "    {{\"strategy\": \"{}\", \"in_flight\": {}, \"throughput\": {:.1}, \
              \"read_p99_ms\": {:.3}, \"occupancy_p50\": {}, \"occupancy_p99\": {}, \
-             \"occupancy_max\": {}, \"verdict\": \"{}\"}}",
+             \"occupancy_max\": {}, \"feedback_lag_p50_ns\": {}, \
+             \"feedback_lag_p99_ns\": {}, \"feedback_lag_max_ns\": {}, \
+             \"verdict\": \"{}\"}}",
             c.strategy,
             c.in_flight,
             c.throughput,
@@ -173,6 +182,9 @@ fn main() {
             c.occupancy_p50,
             c.occupancy_p99,
             c.occupancy_max,
+            c.feedback_lag_p50_ns,
+            c.feedback_lag_p99_ns,
+            c.feedback_lag_max_ns,
             verdict
         );
         json.push_str(if i + 1 == cells.len() { "\n" } else { ",\n" });

@@ -28,6 +28,7 @@ fn main() {
     sim::ablation_components(scale);
     sim::ablation_params(scale);
     sc::scenario_matrix(scale);
+    sc::tail_attribution_matrix(scale);
     sc::multi_tenant_fairness(scale);
     println!("\nSuite complete.");
 }

@@ -7,6 +7,7 @@ use c3_bench::support::Scale;
 fn main() {
     let scale = Scale::from_env();
     scenario_experiments::scenario_matrix(scale);
+    scenario_experiments::tail_attribution_matrix(scale);
     scenario_experiments::multi_tenant_fairness(scale);
     scenario_experiments::live_client_health(scale);
 }

@@ -248,6 +248,100 @@ pub fn live_client_health(_scale: Scale) {
     );
 }
 
+/// Tail-latency attribution: where the p99+ bucket of each scenario spends
+/// its time, per strategy, from the flight recorder.
+///
+/// Each cell re-runs the scenario with a [`c3_telemetry::Recorder`]
+/// attached (recorded runs are fingerprint-identical to plain ones, so
+/// these are the *same* runs the matrix reports) and decomposes every
+/// tail-bucket request into wait-for-permit / queueing-at-replica /
+/// service, plus two **selection regret** measures: score regret (chosen
+/// replica vs best available under freshly recomputed scores) and
+/// ground-truth queue regret (chosen pending depth minus the group's
+/// shortest). Queue regret is the cross-strategy verdict — under a
+/// blackout DS's fresh recompute reads the same starved reservoir its
+/// frozen ranking does, so only the driver's ground truth can show the
+/// Fig. 2 herd: DS's tail queue regret should sit well above C3's.
+pub fn tail_attribution_matrix(scale: Scale) {
+    use c3_engine::Strategy;
+    use c3_scenarios::ScenarioParams;
+    use c3_telemetry::{attribute_tail, Recorder};
+
+    banner(
+        "SC-T",
+        "tail attribution: where the p99+ bucket spends its time",
+    );
+    let registry = ScenarioRegistry::with_defaults();
+    let strategies = [
+        Strategy::c3(),
+        Strategy::dynamic_snitching(),
+        Strategy::lor(),
+    ];
+    let ops = scale.scenario_ops();
+    // Enough ring for a quick-scale run end to end; at full scale the ring
+    // keeps the newest ~50k requests and attribution reports the join
+    // count, so the drop is visible rather than silent.
+    let capacity = ((ops as usize).saturating_mul(6)).min(1 << 18);
+    let mut skips = SkipLog::new();
+    for scenario in registry.names() {
+        let mut table = Table::new(vec![
+            "strategy",
+            "joined",
+            "tail n",
+            "p99 ms",
+            "wait ms",
+            "queue ms",
+            "service ms",
+            "tail regret",
+            "body regret",
+            "queue regret",
+        ]);
+        for strategy in &strategies {
+            let params = ScenarioParams::sized(strategy.clone(), 1, ops);
+            let (_, rec) = match registry.run_recorded(scenario, &params, Recorder::new(capacity)) {
+                Ok(out) => out,
+                Err(e) => {
+                    skips.note(scenario, strategy.label(), &e.to_string());
+                    continue;
+                }
+            };
+            let attr = attribute_tail(rec.events(), scenario, strategy.label(), 0.99);
+            let fmt_rel = |v: f64| {
+                if v.is_finite() {
+                    format!("{v:.3}")
+                } else {
+                    "-".into()
+                }
+            };
+            table.row(vec![
+                strategy.label().to_string(),
+                attr.joined.to_string(),
+                attr.tail.len().to_string(),
+                format!("{:.2}", attr.threshold_ns as f64 / 1e6),
+                format!("{:.2}", attr.mean_wait_ns / 1e6),
+                format!("{:.2}", attr.mean_queueing_ns / 1e6),
+                format!("{:.2}", attr.mean_service_ns / 1e6),
+                fmt_rel(attr.mean_regret_rel),
+                fmt_rel(attr.body_mean_regret_rel),
+                fmt_rel(attr.mean_queue_regret),
+            ]);
+        }
+        println!("\nscenario {scenario} (p99+ bucket, seed 1, {ops} ops):\n{table}");
+    }
+    skips.print_summary();
+    println!(
+        "Reading: `tail/body regret` compare choices against the best\n\
+         freshly-recomputed score (0 = picked the best); `queue regret` is\n\
+         ground truth — chosen replica's pending depth minus the group's\n\
+         shortest at decision time. Queue regret is the cross-strategy\n\
+         verdict: a dark node starves DS's reservoirs, so DS's *fresh*\n\
+         scores are as blind as its frozen ones, while the driver's queue\n\
+         depths are not. DS's tail queue regret sitting above C3's is\n\
+         Fig. 2's stale-ranking herd, attributed per request.\n\
+         `trace_explain` prints the worst offenders row by row."
+    );
+}
+
 /// Average a strategy's seed runs into one table row, or `None` when the
 /// frontend does not support the strategy.
 fn summarize_cell(runs: &[Result<ScenarioReport, ScenarioError>]) -> Option<Vec<String>> {

@@ -28,6 +28,7 @@ use c3_engine::{
     SelectorCtx, StrategyRegistry, TimerId,
 };
 use c3_metrics::{GaugeSeries, LogHistogram, WindowedCounts};
+use c3_telemetry::{Recorder, ReplicaSnap, TracePoint, NO_SERVER, TRACE_GROUP};
 use c3_workload::{Op, PoissonArrivals, RecordSizes, ScrambledZipfian, WorkloadMix};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -189,6 +190,9 @@ pub struct ClusterResult {
     /// `(time, per-node C3 scores)` of the probed coordinator (sim-vs-live
     /// parity harness); empty unless a score probe was installed.
     pub score_trace: Vec<(Nanos, Vec<f64>)>,
+    /// The flight recorder that rode along, carrying the lifecycle trace
+    /// for tail attribution; `None` unless one was attached.
+    pub recorder: Option<Recorder>,
     /// Events processed (diagnostics).
     pub events_processed: u64,
 }
@@ -252,9 +256,10 @@ pub struct ClusterScenario {
     /// Coordinator whose per-replica C3 scores are sampled (sim-vs-live
     /// parity harness).
     score_probe: Option<usize>,
-    score_trace: Vec<(Nanos, Vec<f64>)>,
-    score_interval: Nanos,
-    last_score_sample: Option<Nanos>,
+    /// The flight recorder: lifecycle trace, score trace and gauges all go
+    /// through it (the one sampling path). Purely observational — a run's
+    /// fingerprint is identical with and without it.
+    recorder: Option<Recorder>,
     /// Scratch for the replica group under dispatch (avoids allocating a
     /// group Vec per operation).
     group_scratch: Vec<ServerId>,
@@ -380,9 +385,7 @@ impl ClusterScenario {
             rate_traces: Vec::new(),
             backpressure_events: Vec::new(),
             score_probe: None,
-            score_trace: Vec::new(),
-            score_interval: Nanos::from_millis(50),
-            last_score_sample: None,
+            recorder: None,
             group_scratch: Vec::new(),
             wl_rng,
             cfg,
@@ -406,6 +409,28 @@ impl ClusterScenario {
     pub fn set_score_probe(&mut self, coord: usize) {
         assert!(coord < self.cfg.nodes, "probe out of range");
         self.score_probe = Some(coord);
+        // The trace lives on the recorder (the one sampling path); without
+        // an attached one, ride a score/gauge-only recorder (capacity 0).
+        if self.recorder.is_none() {
+            self.recorder = Some(Recorder::new(0));
+        }
+    }
+
+    /// Attach a flight recorder: lifecycle events (issue → select → send →
+    /// feedback → complete, reads only — the paper's metric) plus decision
+    /// snapshots flow into its ring buffer, and any score probe samples
+    /// into its score trace. Recording is purely observational; results
+    /// are bit-identical with and without it.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Detach the flight recorder, if any. Scenario frontends that build
+    /// their reports straight from run metrics (without
+    /// [`ClusterScenario::into_result`]) use this to recover the trace
+    /// after the run.
+    pub fn take_recorder(&mut self) -> Option<Recorder> {
+        self.recorder.take()
     }
 
     /// Install sending-rate probes: `(coordinator, target node)` pairs
@@ -434,6 +459,11 @@ impl ClusterScenario {
         let (_channels, mut latency, server_load, _completions, duration) = metrics.into_parts();
         let update_latency = latency.remove(UPDATE_CHANNEL.index());
         let read_latency = latency.remove(READ_CHANNEL.index());
+        let mut recorder = self.recorder;
+        let score_trace = recorder
+            .as_mut()
+            .map(|r| r.take_score_trace())
+            .unwrap_or_default();
         ClusterResult {
             strategy: self.cfg.strategy.label().to_string(),
             seed: self.cfg.seed,
@@ -451,7 +481,8 @@ impl ClusterScenario {
             latency_trace: self.latency_trace,
             rate_traces: self.rate_traces,
             backpressure_events: self.backpressure_events,
-            score_trace: self.score_trace,
+            score_trace,
+            recorder,
             events_processed: stats.events_processed,
         }
     }
@@ -521,6 +552,11 @@ impl ClusterScenario {
             spec_sent: false,
             spec_timer: None,
         });
+        if kind == Op::Read {
+            if let Some(rec) = &mut self.recorder {
+                rec.record(now, op_id, TracePoint::Issue);
+            }
+        }
         engine.schedule_in(self.cfg.net_latency, Ev::CoordArrive { op: op_id });
     }
 
@@ -541,6 +577,19 @@ impl ClusterScenario {
         metrics.record_completion(channel, now, latency, measured);
         if measured && op.kind == Op::Read && self.record_trace {
             self.latency_trace.push((now, latency));
+        }
+        // Warm-up reads get no Complete event, so they never join into
+        // attribution rows — matching what the latency channels measure.
+        if measured && op.kind == Op::Read {
+            if let Some(rec) = &mut self.recorder {
+                rec.record(
+                    now,
+                    op_id,
+                    TracePoint::Complete {
+                        latency_ns: latency.as_nanos(),
+                    },
+                );
+            }
         }
         // Closed loop: the thread issues its next operation immediately.
         // (Open-loop arrivals are self-scheduled in `on_client_issue`.)
@@ -572,6 +621,50 @@ impl ClusterScenario {
         }
     }
 
+    /// Record a selection decision into the flight recorder: what the
+    /// selector saw for every candidate (chosen replica first, so the
+    /// [`TRACE_GROUP`] truncation can never drop it) plus the ground-truth
+    /// pending depth at each node. `chosen == None` marks a backpressure
+    /// verdict. No-op unless an event-recording recorder is attached.
+    fn record_decision(
+        &mut self,
+        op_id: OpId,
+        coord_id: usize,
+        chosen: Option<ServerId>,
+        group: &[ServerId],
+        now: Nanos,
+    ) {
+        if self.recorder.as_ref().is_none_or(|r| r.capacity() == 0) {
+            return;
+        }
+        let mut snaps = [ReplicaSnap::empty(); TRACE_GROUP];
+        let mut len = 0usize;
+        let ordered = chosen
+            .into_iter()
+            .chain(group.iter().copied().filter(|&n| Some(n) != chosen));
+        for node in ordered.take(TRACE_GROUP) {
+            let n = &self.nodes[node];
+            let pending = (n.read_inflight + n.read_q.len()) as u32;
+            snaps[len] = match self.coords[coord_id].selector.replica_view(node) {
+                Some(view) => ReplicaSnap::from_view(node as u32, &view, pending),
+                // Baselines expose no view; keep the ground truth so
+                // queue-regret still works where score-regret cannot.
+                None => ReplicaSnap::blind(node as u32, pending),
+            };
+            len += 1;
+        }
+        let rec = self.recorder.as_mut().expect("checked above");
+        rec.record(
+            now,
+            op_id,
+            TracePoint::Decision {
+                chosen: chosen.map_or(NO_SERVER, |c| c as u32),
+                group_len: len as u8,
+                group: snaps,
+            },
+        );
+    }
+
     fn dispatch_read(&mut self, op_id: OpId, now: Nanos, engine: &mut EventQueue<Ev>) {
         let op = self.ops[op_id as usize];
         let coord_id = op.coord as usize;
@@ -579,6 +672,7 @@ impl ClusterScenario {
 
         match self.coords[coord_id].selector.select(&group, now) {
             Selection::Server(primary) => {
+                self.record_decision(op_id, coord_id, Some(primary), &group, now);
                 self.coords[coord_id].selector.on_send(primary, now);
                 self.forward(op_id, primary, false, true, now, engine);
                 if op.read_repair {
@@ -597,6 +691,7 @@ impl ClusterScenario {
                 }
             }
             Selection::Backpressure { retry_at } => {
+                self.record_decision(op_id, coord_id, None, &group, now);
                 let group_id = op.group as usize;
                 let coord = &mut self.coords[coord_id];
                 if coord.backlogs[group_id].is_empty() {
@@ -648,6 +743,10 @@ impl ClusterScenario {
         if primary {
             self.ops[op_id as usize].primary_send = send_id;
         }
+        // No Send record here: the chosen read's send is folded into the
+        // `Decision` event (same timestamp), and read-repair duplicates
+        // carry no decision worth tracing. Speculative retries record an
+        // explicit `Send` in `on_spec_check`.
         let coord = self.ops[op_id as usize].coord as usize;
         let delay = if coord == node {
             Nanos::from_micros(20) // local read: in-process handoff
@@ -699,6 +798,9 @@ impl ClusterScenario {
             sent_at: now,
             feedback: Feedback::new(0, Nanos::ZERO),
         });
+        if let Some(rec) = &mut self.recorder {
+            rec.record(now, op_id, TracePoint::Send { server: alt as u32 });
+        }
         let delay = if coord_id == alt {
             Nanos::from_micros(20)
         } else {
@@ -840,6 +942,17 @@ impl ClusterScenario {
                 now,
             );
             coord.replica_latency.record(rtt.as_nanos());
+            if let Some(rec) = &mut self.recorder {
+                rec.record(
+                    now,
+                    send.op,
+                    TracePoint::Feedback {
+                        server: node as u32,
+                        queue: feedback.queue_size,
+                        service_ns: feedback.service_time.as_nanos(),
+                    },
+                );
+            }
         }
 
         // Sample rate probes after the controller reacted.
@@ -851,19 +964,19 @@ impl ClusterScenario {
             }
         }
 
-        // Sample the score probe after the tracker EWMAs updated (one
-        // sample per interval, so traces stay small at any run length).
-        if self.score_probe == Some(coord_id)
-            && self
-                .last_score_sample
-                .is_none_or(|last| now.saturating_sub(last) >= self.score_interval)
-        {
-            if let Some(c3) = self.coords[coord_id].selector.as_c3() {
-                let scores: Vec<f64> = (0..self.cfg.nodes)
-                    .map(|n| c3.state().score_of(n))
-                    .collect();
-                self.score_trace.push((now, scores));
-                self.last_score_sample = Some(now);
+        // Sample the score probe after the tracker EWMAs updated (the
+        // recorder throttles to one sample per interval, so traces stay
+        // small at any run length).
+        if self.score_probe == Some(coord_id) {
+            if let Some(rec) = &mut self.recorder {
+                if rec.scores_due(now) {
+                    if let Some(c3) = self.coords[coord_id].selector.as_c3() {
+                        let scores: Vec<f64> = (0..self.cfg.nodes)
+                            .map(|n| c3.state().score_of(n))
+                            .collect();
+                        rec.push_scores(now, scores);
+                    }
+                }
             }
         }
 
@@ -925,6 +1038,7 @@ impl ClusterScenario {
         'drain: while let Some(&op_id) = self.coords[coord_id].backlogs[group_id].peek() {
             match self.coords[coord_id].selector.select(&group, now) {
                 Selection::Server(node) => {
+                    self.record_decision(op_id, coord_id, Some(node), &group, now);
                     {
                         let coord = &mut self.coords[coord_id];
                         coord.backlogs[group_id].pop();
@@ -1139,6 +1253,13 @@ impl Cluster {
         self
     }
 
+    /// Attach a flight recorder (see [`ClusterScenario::set_recorder`]);
+    /// it comes back in `ClusterResult::recorder`.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.scenario.set_recorder(recorder);
+        self
+    }
+
     /// The config in force.
     pub fn config(&self) -> &ClusterConfig {
         self.scenario.config()
@@ -1330,6 +1451,48 @@ mod tests {
         for w in res.score_trace.windows(2) {
             assert!(w[1].0.saturating_sub(w[0].0) >= Nanos::from_millis(50));
         }
+    }
+
+    #[test]
+    fn recorder_captures_read_lifecycles_without_perturbing_the_run() {
+        let plain = Cluster::new(small(Strategy::c3())).run();
+        let recorded = Cluster::new(small(Strategy::c3()))
+            .with_recorder(Recorder::with_default_capacity())
+            .run();
+        // Observational: the run itself is bit-identical.
+        assert_eq!(plain.events_processed, recorded.events_processed);
+        assert_eq!(
+            plain.read_latency.value_at_quantile(0.99),
+            recorded.read_latency.value_at_quantile(0.99)
+        );
+        let rec = recorded.recorder.expect("recorder rides along");
+        assert!(!rec.is_empty(), "lifecycle events must be captured");
+        let attr = c3_telemetry::attribute_tail(rec.events(), "small", "C3", 0.99);
+        assert!(attr.joined > 0, "completed reads must join");
+        assert!(!attr.tail.is_empty(), "a tail bucket must exist");
+        for row in &attr.tail {
+            assert_eq!(
+                row.wait_for_permit_ns + row.queueing_ns + row.service_ns,
+                row.latency_ns,
+                "decomposition must be exact"
+            );
+            assert!(row.regret.is_finite(), "C3 decisions carry views");
+            assert!(row.regret >= 0.0, "chosen can't beat the best candidate");
+        }
+    }
+
+    #[test]
+    fn ds_decisions_carry_frozen_and_fresh_scores() {
+        let recorded = Cluster::new(small(Strategy::dynamic_snitching()))
+            .with_recorder(Recorder::with_default_capacity())
+            .run();
+        let rec = recorded.recorder.expect("recorder rides along");
+        let attr = c3_telemetry::attribute_tail(rec.events(), "small", "DS", 0.99);
+        assert!(attr.joined > 0);
+        assert!(
+            attr.mean_regret_rel.is_finite(),
+            "DS tail must carry fresh-score regret"
+        );
     }
 
     #[test]

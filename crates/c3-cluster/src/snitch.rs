@@ -147,6 +147,14 @@ impl DynamicSnitch {
         self.scores[peer]
     }
 
+    /// What the score *would be* if recomputed right now, from the current
+    /// reservoir and gossiped iowait. Read-only: rankings stay frozen. The
+    /// telemetry layer compares selections against this to measure how much
+    /// regret the freeze (§2.3, Fig. 2) costs.
+    pub fn fresh_score(&self, peer: usize) -> f64 {
+        self.samples[peer].median().unwrap_or(0.0) + self.cfg.iowait_weight * self.iowait[peer]
+    }
+
     /// Pick the best replica from `group` under the frozen scores.
     /// Deterministic: ties resolve to the earliest group member, exactly
     /// the property that synchronizes coordinators between recomputes.
@@ -217,6 +225,17 @@ impl c3_core::ReplicaSelector for SnitchSelector {
 
     fn name(&self) -> &'static str {
         "DS"
+    }
+
+    fn replica_view(&self, server: usize) -> Option<c3_core::ReplicaView> {
+        Some(c3_core::ReplicaView {
+            score: self.snitch.score(server),
+            fresh_score: self.snitch.fresh_score(server),
+            ewma_latency_ms: self.snitch.samples[server].median().unwrap_or(f64::NAN),
+            ewma_queue: f64::NAN,
+            outstanding: 0,
+            srate: f64::NAN,
+        })
     }
 
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {

@@ -82,6 +82,6 @@ pub use feedback::{Feedback, ServiceTimer};
 pub use rate::{cubic_rate, RateLimiter, RatePhase, RateStats};
 pub use scheduler::{BacklogQueue, C3State, SendDecision, ServerId};
 pub use score::{queue_size_estimate, rank_by_score, score};
-pub use selector::{C3Selector, ReplicaSelector, ResponseInfo, Selection};
+pub use selector::{C3Selector, ReplicaSelector, ReplicaView, ResponseInfo, Selection};
 pub use time::{Clock, Nanos, WallClock};
 pub use tracker::{ServerTracker, TrackerSnapshot};

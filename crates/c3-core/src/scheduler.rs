@@ -90,6 +90,12 @@ impl C3State {
         &self.limiters[server]
     }
 
+    /// Read-only tracker snapshot of a server (EWMAs, outstanding count)
+    /// for decision-time telemetry.
+    pub fn tracker_snapshot(&self, server: ServerId) -> crate::tracker::TrackerSnapshot {
+        self.trackers[server].snapshot()
+    }
+
     /// Algorithm 1: rank `group` by score and return the best server that is
     /// within its sending rate, consuming a token. With rate control
     /// disabled (ablation), the top-ranked server is returned

@@ -19,6 +19,37 @@ pub struct ResponseInfo {
     pub feedback: Option<Feedback>,
 }
 
+/// Read-only view of one replica's state as the selector sees it *right
+/// now* — the decision-time snapshot the telemetry layer records next to
+/// every selection. Fields a strategy does not track are `NaN`.
+///
+/// `score` is the number the strategy actually ranked on for its most
+/// recent decision (Dynamic Snitching's interval-frozen severity, C3's
+/// live cubic score), while `fresh_score` is the same scoring function
+/// recomputed from the strategy's *current* evidence. For always-fresh
+/// strategies the two coincide; for interval-frozen ones the gap is the
+/// staleness the paper's Fig. 2 oscillation grows from, and the
+/// tail-attribution pass measures selection regret against `fresh_score`
+/// so a frozen strategy cannot grade its own homework.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReplicaView {
+    /// Ranking score the selector used (lower is better).
+    pub score: f64,
+    /// The score recomputed from current evidence at observation time.
+    pub fresh_score: f64,
+    /// Smoothed client-observed latency in milliseconds (`NaN` before any
+    /// sample or when the strategy does not track latency).
+    pub ewma_latency_ms: f64,
+    /// Smoothed queue-size feedback (`NaN` when untracked).
+    pub ewma_queue: f64,
+    /// Outstanding requests from this selector to the replica (0 when
+    /// untracked).
+    pub outstanding: u32,
+    /// Rate-limiter send rate in requests per δ window (`NaN` for
+    /// strategies without rate control).
+    pub srate: f64,
+}
+
 /// Client-side replica selection strategy.
 ///
 /// Contract: for every request, the driver calls [`ReplicaSelector::select`]
@@ -66,6 +97,15 @@ pub trait ReplicaSelector: Send {
     /// plumbing beyond this trait (e.g. Dynamic Snitching's gossip feed).
     /// Selectors that have nothing to expose keep the default `None`.
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+
+    /// Decision-time snapshot of one replica's state for the flight
+    /// recorder. Must be purely observational — no RNG draws, no state
+    /// mutation — so attaching a recorder cannot perturb a run. Strategies
+    /// without introspectable per-replica state keep the default `None`.
+    fn replica_view(&self, server: ServerId) -> Option<ReplicaView> {
+        let _ = server;
         None
     }
 }
@@ -141,6 +181,21 @@ impl ReplicaSelector for C3Selector {
 
     fn as_c3(&self) -> Option<&C3Selector> {
         Some(self)
+    }
+
+    fn replica_view(&self, server: ServerId) -> Option<ReplicaView> {
+        let snap = self.state.tracker_snapshot(server);
+        let score = self.state.score_of(server);
+        Some(ReplicaView {
+            score,
+            // C3 recomputes its cubic score on every selection, so the
+            // decision score *is* the fresh score.
+            fresh_score: score,
+            ewma_latency_ms: snap.response_time_ms.unwrap_or(f64::NAN),
+            ewma_queue: snap.queue_size.unwrap_or(f64::NAN),
+            outstanding: snap.outstanding,
+            srate: self.state.limiter(server).srate(),
+        })
     }
 }
 

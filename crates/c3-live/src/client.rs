@@ -44,6 +44,7 @@ use c3_cluster::{register_cluster_strategies, SnitchSelector};
 use c3_core::{Clock, Nanos, ReplicaSelector, ResponseInfo, Selection, SharedC3State, WallClock};
 use c3_engine::{SeedSeq, SelectorCtx, StrategyRegistry};
 use c3_net::proto::{encode_request, Frame, Request};
+use c3_telemetry::Recorder;
 use c3_workload::{PoissonArrivals, ScrambledZipfian};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -68,16 +69,16 @@ pub(crate) struct Sample {
 /// Everything a live run produces besides the uniform report.
 pub(crate) struct ClientArtifacts {
     pub samples: Vec<Sample>,
-    pub score_trace: Vec<(Nanos, Vec<f64>)>,
     pub backpressure_waits: u64,
     pub issued: u64,
-    /// `(at, in-flight count)` sampled at every issue — the client-health
-    /// occupancy series (a budget pinned at its ceiling means the client,
-    /// not the servers, was the bottleneck).
-    pub occupancy: Vec<(Nanos, u64)>,
-    /// `(at, nanos)` the reader spent updating selector state per read
-    /// completion — the feedback-update latency health series.
-    pub feedback_lag: Vec<(Nanos, u64)>,
+    /// The flight recorder the run's sampling paths drain into: the C3
+    /// per-replica score trace, plus the client-health gauge series —
+    /// `"inflight"` (in-flight count sampled at every issue; a budget
+    /// pinned at its ceiling means the client, not the servers, was the
+    /// bottleneck) and `"feedback-lag"` (nanos a reader spent folding one
+    /// read completion into selector state). Threads keep their own
+    /// buffers on the hot path and pour them in at teardown.
+    pub recorder: Recorder,
 }
 
 /// Per-request bookkeeping parked in the correlation table between issue
@@ -471,13 +472,20 @@ pub(crate) fn execute(cfg: &LiveConfig) -> io::Result<ClientArtifacts> {
         .map_err(|_| "selector still shared")
         .expect("all workers joined");
     let (score_trace, backpressure_waits) = selector.into_artifact_parts();
+    // One sampling/reporting path: the per-thread buffers pour into the
+    // flight recorder (capacity 0 — live runs carry series, not lifecycle
+    // events), where the score trace and health gauges come back out.
+    let mut recorder = Recorder::new(0);
+    for (at, scores) in score_trace {
+        recorder.push_scores(at, scores);
+    }
+    recorder.gauge_extend(crate::scenario::HEALTH_INFLIGHT, &occupancy);
+    recorder.gauge_extend(crate::scenario::HEALTH_FEEDBACK_LAG, &feedback_lag);
     Ok(ClientArtifacts {
         samples,
-        score_trace,
         backpressure_waits,
         issued: issued.load(Ordering::Acquire),
-        occupancy,
-        feedback_lag,
+        recorder,
     })
 }
 

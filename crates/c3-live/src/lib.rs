@@ -58,7 +58,8 @@ pub use config::LiveConfig;
 pub use mux::{CorrelationTable, InFlightBudget, MuxError};
 pub use scenario::{
     hetero_fleet_config, live_registry, partition_flux_config, register_live_scenarios, run_live,
-    LiveReport, LiveScenario, LIVE_HETERO_FLEET, LIVE_PARTITION_FLUX,
+    LiveReport, LiveScenario, HEALTH_FEEDBACK_LAG, HEALTH_INFLIGHT, LIVE_HETERO_FLEET,
+    LIVE_PARTITION_FLUX,
 };
 pub use server::{encode_key, LiveCluster};
 pub use slowdown::{NoSlowdown, Slowdown, SlowdownScript};

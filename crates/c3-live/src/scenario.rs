@@ -20,10 +20,10 @@ use std::time::Duration;
 use c3_cluster::{ScriptedSlowdown, CLUSTER_CHANNELS};
 use c3_core::Nanos;
 use c3_engine::{ChannelId, ChannelSet, EventQueue, RunMetrics, Scenario, ScenarioRunner};
-use c3_metrics::ExactReservoir;
 use c3_scenarios::{
     ChannelReport, ScenarioError, ScenarioParams, ScenarioRegistry, ScenarioReport,
 };
+use c3_telemetry::{summarize_gauge, Recorder};
 
 use crate::client::{execute, live_strategy_registry, ClientArtifacts};
 use crate::config::LiveConfig;
@@ -36,6 +36,11 @@ const UPDATE_CHANNEL: ChannelId = ChannelId::new(1);
 pub const LIVE_HETERO_FLEET: &str = "live-hetero-fleet";
 /// Registry name of the live partition/flux scenario.
 pub const LIVE_PARTITION_FLUX: &str = "live-partition-flux";
+
+/// Gauge-series name of the in-flight occupancy health channel.
+pub const HEALTH_INFLIGHT: &str = "inflight";
+/// Gauge-series name of the feedback-update latency health channel.
+pub const HEALTH_FEEDBACK_LAG: &str = "feedback-lag";
 
 /// A live run as an engine scenario: one event, inside which the socket
 /// cluster spins up, the workers run to the stop condition, and every
@@ -126,26 +131,27 @@ pub struct LiveReport {
     ///   read completion into selector state — the latency cost of the
     ///   selector's concurrency story, per update.
     pub health: Vec<ChannelReport>,
+    /// The flight recorder the run's sampling paths drained into; the
+    /// health gauge series above are summaries of its
+    /// [`HEALTH_INFLIGHT`] / [`HEALTH_FEEDBACK_LAG`] series.
+    pub recorder: Recorder,
 }
 
-/// Summarize a client-health series into a `ChannelReport`, exact order
-/// statistics over every sample ("throughput" = samples per second of
-/// measured run time).
-fn health_channel(name: &str, values: &[(Nanos, u64)], duration: Nanos) -> ChannelReport {
-    let mut reservoir = ExactReservoir::new();
-    for &(_, v) in values {
-        reservoir.record(v);
-    }
-    let secs = duration.as_nanos() as f64 / 1e9;
+/// Summarize a client-health gauge series from the recorder into a
+/// `ChannelReport` — exact order statistics over every sample
+/// ("throughput" = samples per second of measured run time), via the
+/// telemetry layer's one construction path.
+fn health_channel(recorder: &Recorder, name: &str, duration: Nanos) -> ChannelReport {
+    let values = recorder
+        .gauge_series(name)
+        .map(|g| g.values.as_slice())
+        .unwrap_or(&[]);
+    let gauge = summarize_gauge(values, duration.into());
     ChannelReport {
         name: name.to_string(),
-        completions: values.len() as u64,
-        throughput: if secs > 0.0 {
-            values.len() as f64 / secs
-        } else {
-            0.0
-        },
-        summary: reservoir.summary(),
+        completions: gauge.count,
+        throughput: gauge.throughput,
+        summary: gauge.summary,
     }
 }
 
@@ -176,18 +182,19 @@ pub fn run_live(scenario_name: &str, cfg: LiveConfig) -> LiveReport {
         .with_exact_latency_if(cfg.exact_latency);
     let mut scenario = LiveScenario::new(cfg);
     let (metrics, stats) = runner.run(&mut scenario, replicas, Nanos::from_millis(100));
-    let artifacts = scenario.artifacts.take().expect("run completed");
+    let mut artifacts = scenario.artifacts.take().expect("run completed");
     let report = ScenarioReport::from_metrics(scenario_name, &strategy, seed, &metrics, &stats);
     let health = vec![
-        health_channel("inflight", &artifacts.occupancy, report.duration),
-        health_channel("feedback-lag", &artifacts.feedback_lag, report.duration),
+        health_channel(&artifacts.recorder, HEALTH_INFLIGHT, report.duration),
+        health_channel(&artifacts.recorder, HEALTH_FEEDBACK_LAG, report.duration),
     ];
     LiveReport {
         report,
-        score_trace: artifacts.score_trace,
+        score_trace: artifacts.recorder.take_score_trace(),
         backpressure_waits: artifacts.backpressure_waits,
         ops_issued: artifacts.issued,
         health,
+        recorder: artifacts.recorder,
     }
 }
 

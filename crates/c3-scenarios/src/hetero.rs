@@ -13,6 +13,7 @@
 use c3_cluster::{ClusterConfig, ClusterScenario, ScriptedSlowdown};
 use c3_core::Nanos;
 use c3_engine::{ScenarioRunner, Strategy, StrategyRegistry};
+use c3_telemetry::Recorder;
 
 use crate::report::ScenarioReport;
 
@@ -85,6 +86,31 @@ impl HeteroFleetConfig {
 /// Panics when the configured strategy is unknown or needs
 /// simulator-global state (`ORA`).
 pub fn run(cfg: &HeteroFleetConfig, registry: &StrategyRegistry) -> ScenarioReport {
+    run_inner(cfg, registry, None).0
+}
+
+/// Run with a flight recorder riding along: the read lifecycle trace and
+/// decision snapshots land in the recorder, which comes back alongside
+/// the (bit-identical) report.
+///
+/// # Panics
+///
+/// Panics when the configured strategy is unknown or needs
+/// simulator-global state (`ORA`).
+pub fn run_recorded(
+    cfg: &HeteroFleetConfig,
+    registry: &StrategyRegistry,
+    recorder: Recorder,
+) -> (ScenarioReport, Recorder) {
+    let (report, rec) = run_inner(cfg, registry, Some(recorder));
+    (report, rec.expect("recorder was attached"))
+}
+
+fn run_inner(
+    cfg: &HeteroFleetConfig,
+    registry: &StrategyRegistry,
+    recorder: Option<Recorder>,
+) -> (ScenarioReport, Option<Recorder>) {
     let cluster_cfg = cfg.apply();
     let strategy: Strategy = cluster_cfg.strategy.clone();
     let seed = cluster_cfg.seed;
@@ -94,9 +120,15 @@ pub fn run(cfg: &HeteroFleetConfig, registry: &StrategyRegistry) -> ScenarioRepo
         .with_warmup(cluster_cfg.warmup_ops)
         .with_exact_latency_if(cluster_cfg.exact_latency);
     let mut scenario = ClusterScenario::with_registry(cluster_cfg, registry);
+    if let Some(rec) = recorder {
+        scenario.set_recorder(rec);
+    }
     let (metrics, stats) = runner.run(&mut scenario, nodes, load_window);
-    ScenarioReport::from_metrics(super::HETERO_FLEET, &strategy, seed, &metrics, &stats)
-        .with_dead_events(scenario.dead_events())
+    let recorder = scenario.take_recorder();
+    let report =
+        ScenarioReport::from_metrics(super::HETERO_FLEET, &strategy, seed, &metrics, &stats)
+            .with_dead_events(scenario.dead_events());
+    (report, recorder)
 }
 
 #[cfg(test)]

@@ -27,6 +27,7 @@ use c3_engine::{
     BuiltSelector, ChannelId, ChannelSet, EventQueue, RunMetrics, Scenario, ScenarioRunner,
     SeedSeq, SelectorCtx, Strategy, StrategyRegistry, TimerId,
 };
+use c3_telemetry::{Recorder, ReplicaSnap, TracePoint, NO_SERVER, TRACE_GROUP};
 use c3_workload::{exp_sample, ScrambledZipfian};
 use rand::rngs::SmallRng;
 
@@ -218,6 +219,9 @@ pub struct MegaFleetScenario {
     think_ms: f64,
     generated: u64,
     dead_retries: u64,
+    /// Flight recorder for the request lifecycle trace; purely
+    /// observational — a run's fingerprint is identical with and without.
+    recorder: Option<Recorder>,
 }
 
 impl MegaFleetScenario {
@@ -288,8 +292,21 @@ impl MegaFleetScenario {
             think_ms,
             generated: 0,
             dead_retries: 0,
+            recorder: None,
             cfg,
         }
+    }
+
+    /// Attach a flight recorder: issue → decision → send → feedback →
+    /// complete events flow into its ring buffer. Recording is purely
+    /// observational; results are bit-identical with and without it.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Detach the flight recorder, if any.
+    pub fn take_recorder(&mut self) -> Option<Recorder> {
+        self.recorder.take()
     }
 
     /// `RetryBacklog` events that fired against an already-drained
@@ -338,7 +355,61 @@ impl MegaFleetScenario {
             measured: metrics.past_warmup(issue_index),
         });
         self.feedbacks.push(Feedback::new(0, Nanos::ZERO));
+        if let Some(rec) = &mut self.recorder {
+            rec.record(now, req, TracePoint::Issue);
+        }
         self.try_dispatch(req, now, engine);
+    }
+
+    /// Record a selection decision into the flight recorder: what the
+    /// shard's selector saw for every candidate (chosen replica first, so
+    /// the [`TRACE_GROUP`] truncation can never drop it) plus the
+    /// ground-truth pending depth at each server. `chosen == None` marks a
+    /// backpressure verdict. No-op unless an event-recording recorder is
+    /// attached.
+    fn record_decision(
+        &mut self,
+        req: u64,
+        shard_id: usize,
+        chosen: Option<usize>,
+        group_id: usize,
+        now: Nanos,
+    ) {
+        if self.recorder.as_ref().is_none_or(|r| r.capacity() == 0) {
+            return;
+        }
+        let mut snaps = [ReplicaSnap::empty(); TRACE_GROUP];
+        let mut len = 0usize;
+        let ordered = chosen.into_iter().chain(
+            self.groups[group_id]
+                .iter()
+                .copied()
+                .filter(|&s| Some(s) != chosen),
+        );
+        for server in ordered.take(TRACE_GROUP) {
+            let pending = (self.servers[server].inflight + self.servers[server].queue.len()) as u32;
+            let view = self.shards[shard_id]
+                .selector
+                .as_deref()
+                .and_then(|sel| sel.replica_view(server));
+            snaps[len] = match view {
+                Some(view) => ReplicaSnap::from_view(server as u32, &view, pending),
+                // The Oracle exposes no view; keep the ground truth so
+                // queue-regret still works where score-regret cannot.
+                None => ReplicaSnap::blind(server as u32, pending),
+            };
+            len += 1;
+        }
+        let rec = self.recorder.as_mut().expect("checked above");
+        rec.record(
+            now,
+            req,
+            TracePoint::Decision {
+                chosen: chosen.map_or(NO_SERVER, |c| c as u32),
+                group_len: len as u8,
+                group: snaps,
+            },
+        );
     }
 
     fn try_dispatch(&mut self, req: u64, now: Nanos, engine: &mut EventQueue<MfEvent>) {
@@ -350,6 +421,7 @@ impl MegaFleetScenario {
         // Oracle path: perfect knowledge of instantaneous queue depths.
         if self.shards[shard_id].selector.is_none() {
             let server = self.oracle_pick(group_id);
+            self.record_decision(req, shard_id, Some(server), group_id, now);
             self.send(req, server, now, engine);
             return;
         }
@@ -360,8 +432,12 @@ impl MegaFleetScenario {
             sel.select(group, now)
         };
         match selection {
-            Selection::Server(server) => self.send(req, server, now, engine),
+            Selection::Server(server) => {
+                self.record_decision(req, shard_id, Some(server), group_id, now);
+                self.send(req, server, now, engine)
+            }
             Selection::Backpressure { retry_at } => {
+                self.record_decision(req, shard_id, None, group_id, now);
                 let shard = &mut self.shards[shard_id];
                 shard.backlogs[group_id].push(req);
                 if shard.retry_timer[group_id].is_none() {
@@ -397,6 +473,8 @@ impl MegaFleetScenario {
         if let Some(sel) = self.shards[shard_id].selector.as_mut() {
             sel.on_send(server, now);
         }
+        // No Send record: every send here is implied by the `Decision`
+        // event recorded at the same timestamp (attribution folds them).
         engine.schedule_in(self.cfg.one_way_latency, MfEvent::ServerArrive { req });
     }
 
@@ -472,6 +550,29 @@ impl MegaFleetScenario {
             now.saturating_sub(r.created),
             r.measured,
         );
+        if let Some(rec) = &mut self.recorder {
+            let fb = self.feedbacks[req as usize];
+            rec.record(
+                now,
+                req,
+                TracePoint::Feedback {
+                    server: server as u32,
+                    queue: fb.queue_size,
+                    service_ns: fb.service_time.as_nanos(),
+                },
+            );
+            // Warm-up requests get no Complete event, so they never join
+            // into attribution rows — matching the latency channel.
+            if r.measured {
+                rec.record(
+                    now,
+                    req,
+                    TracePoint::Complete {
+                        latency_ns: now.saturating_sub(r.created).as_nanos(),
+                    },
+                );
+            }
+        }
         // A response may free rate for the groups containing this server.
         let rf = self.cfg.replication_factor;
         let n = self.cfg.servers;
@@ -523,6 +624,7 @@ impl MegaFleetScenario {
             };
             match selection {
                 Selection::Server(server) => {
+                    self.record_decision(req, shard_id, Some(server), group_id, now);
                     self.shards[shard_id].backlogs[group_id].pop();
                     self.send(req, server, now, engine);
                 }
@@ -615,6 +717,26 @@ impl Scenario for MegaFleetScenario {
 
 /// Run a mega-fleet config to completion and report the fleet channel.
 pub fn run(cfg: MegaFleetConfig, registry: &StrategyRegistry) -> ScenarioReport {
+    run_inner(cfg, registry, None).0
+}
+
+/// Run with a flight recorder riding along: the request lifecycle trace
+/// and decision snapshots land in the recorder, which comes back
+/// alongside the (bit-identical) report.
+pub fn run_recorded(
+    cfg: MegaFleetConfig,
+    registry: &StrategyRegistry,
+    recorder: Recorder,
+) -> (ScenarioReport, Recorder) {
+    let (report, rec) = run_inner(cfg, registry, Some(recorder));
+    (report, rec.expect("recorder was attached"))
+}
+
+fn run_inner(
+    cfg: MegaFleetConfig,
+    registry: &StrategyRegistry,
+    recorder: Option<Recorder>,
+) -> (ScenarioReport, Option<Recorder>) {
     let runner = ScenarioRunner::new(cfg.seed)
         .with_warmup(cfg.warmup_requests)
         .with_exact_latency_if(cfg.exact_latency);
@@ -623,9 +745,14 @@ pub fn run(cfg: MegaFleetConfig, registry: &StrategyRegistry) -> ScenarioReport 
     let strategy = cfg.strategy.clone();
     let seed = cfg.seed;
     let mut scenario = MegaFleetScenario::new(cfg, registry);
+    if let Some(rec) = recorder {
+        scenario.set_recorder(rec);
+    }
     let (metrics, stats) = runner.run(&mut scenario, servers, load_window);
-    ScenarioReport::from_metrics(super::MEGA_FLEET, &strategy, seed, &metrics, &stats)
-        .with_dead_events(scenario.dead_events())
+    let recorder = scenario.take_recorder();
+    let report = ScenarioReport::from_metrics(super::MEGA_FLEET, &strategy, seed, &metrics, &stats)
+        .with_dead_events(scenario.dead_events());
+    (report, recorder)
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@ use c3_engine::{
     BuiltSelector, ChannelId, ChannelSet, EventQueue, RunMetrics, Scenario, ScenarioRunner,
     SeedSeq, SelectorCtx, Strategy, StrategyRegistry, TimerId,
 };
+use c3_telemetry::{Recorder, ReplicaSnap, TracePoint, NO_SERVER, TRACE_GROUP};
 use c3_workload::{exp_sample, PoissonArrivals, ScrambledZipfian};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -333,6 +334,9 @@ pub struct MultiTenantScenario {
     srv_rng: SmallRng,
     generated: u64,
     dead_retries: u64,
+    /// Flight recorder for the request lifecycle trace; purely
+    /// observational — a run's fingerprint is identical with and without.
+    recorder: Option<Recorder>,
 }
 
 impl MultiTenantScenario {
@@ -412,8 +416,21 @@ impl MultiTenantScenario {
             srv_rng,
             generated: 0,
             dead_retries: 0,
+            recorder: None,
             cfg,
         }
+    }
+
+    /// Attach a flight recorder: issue → decision → send → feedback →
+    /// complete events flow into its ring buffer. Recording is purely
+    /// observational; results are bit-identical with and without it.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Detach the flight recorder, if any.
+    pub fn take_recorder(&mut self) -> Option<Recorder> {
+        self.recorder.take()
     }
 
     /// `RetryBacklog` events that fired against an already-drained
@@ -465,12 +482,66 @@ impl MultiTenantScenario {
             measured: metrics.past_warmup(issue_index),
         });
         self.feedbacks.push(Feedback::new(0, Nanos::ZERO));
+        if let Some(rec) = &mut self.recorder {
+            rec.record(now, req, TracePoint::Issue);
+        }
         self.try_dispatch(req, now, engine);
         if self.generated < self.cfg.total_requests {
             let t = &mut self.tenants[tenant];
             let gap = t.arrivals.next_gap(&mut t.rng);
             engine.schedule_in(gap, MtEvent::Arrive { tenant });
         }
+    }
+
+    /// Record a selection decision into the flight recorder: what the
+    /// client's selector saw for every candidate (chosen replica first, so
+    /// the [`TRACE_GROUP`] truncation can never drop it) plus the
+    /// ground-truth pending depth at each server. `chosen == None` marks a
+    /// backpressure verdict. No-op unless an event-recording recorder is
+    /// attached.
+    fn record_decision(
+        &mut self,
+        req: u64,
+        client_id: usize,
+        chosen: Option<usize>,
+        group_id: usize,
+        now: Nanos,
+    ) {
+        if self.recorder.as_ref().is_none_or(|r| r.capacity() == 0) {
+            return;
+        }
+        let mut snaps = [ReplicaSnap::empty(); TRACE_GROUP];
+        let mut len = 0usize;
+        let ordered = chosen.into_iter().chain(
+            self.groups[group_id]
+                .iter()
+                .copied()
+                .filter(|&s| Some(s) != chosen),
+        );
+        for server in ordered.take(TRACE_GROUP) {
+            let pending = (self.servers[server].inflight + self.servers[server].queue.len()) as u32;
+            let view = self.clients[client_id]
+                .selector
+                .as_deref()
+                .and_then(|sel| sel.replica_view(server));
+            snaps[len] = match view {
+                Some(view) => ReplicaSnap::from_view(server as u32, &view, pending),
+                // The Oracle exposes no view; keep the ground truth so
+                // queue-regret still works where score-regret cannot.
+                None => ReplicaSnap::blind(server as u32, pending),
+            };
+            len += 1;
+        }
+        let rec = self.recorder.as_mut().expect("checked above");
+        rec.record(
+            now,
+            req,
+            TracePoint::Decision {
+                chosen: chosen.map_or(NO_SERVER, |c| c as u32),
+                group_len: len as u8,
+                group: snaps,
+            },
+        );
     }
 
     fn try_dispatch(&mut self, req: u64, now: Nanos, engine: &mut EventQueue<MtEvent>) {
@@ -482,6 +553,7 @@ impl MultiTenantScenario {
         // Oracle path: perfect knowledge of instantaneous queue depths.
         if self.clients[client_id].selector.is_none() {
             let server = self.oracle_pick(group_id);
+            self.record_decision(req, client_id, Some(server), group_id, now);
             self.send(req, server, now, engine);
             return;
         }
@@ -492,8 +564,12 @@ impl MultiTenantScenario {
             sel.select(group, now)
         };
         match selection {
-            Selection::Server(server) => self.send(req, server, now, engine),
+            Selection::Server(server) => {
+                self.record_decision(req, client_id, Some(server), group_id, now);
+                self.send(req, server, now, engine)
+            }
             Selection::Backpressure { retry_at } => {
+                self.record_decision(req, client_id, None, group_id, now);
                 let client = &mut self.clients[client_id];
                 client.backlogs[group_id].push(req);
                 if client.retry_timer[group_id].is_none() {
@@ -528,6 +604,8 @@ impl MultiTenantScenario {
         if let Some(sel) = self.clients[client_id].selector.as_mut() {
             sel.on_send(server, now);
         }
+        // No Send record: every send here is implied by the `Decision`
+        // event recorded at the same timestamp (attribution folds them).
         engine.schedule_in(self.cfg.one_way_latency, MtEvent::ServerArrive { req });
     }
 
@@ -603,6 +681,29 @@ impl MultiTenantScenario {
             now.saturating_sub(r.created),
             r.measured,
         );
+        if let Some(rec) = &mut self.recorder {
+            let fb = self.feedbacks[req as usize];
+            rec.record(
+                now,
+                req,
+                TracePoint::Feedback {
+                    server: server as u32,
+                    queue: fb.queue_size,
+                    service_ns: fb.service_time.as_nanos(),
+                },
+            );
+            // Warm-up requests get no Complete event, so they never join
+            // into attribution rows — matching the latency channels.
+            if r.measured {
+                rec.record(
+                    now,
+                    req,
+                    TracePoint::Complete {
+                        latency_ns: now.saturating_sub(r.created).as_nanos(),
+                    },
+                );
+            }
+        }
         // A response may free rate for the groups containing this server.
         let rf = self.cfg.replication_factor;
         let n = self.cfg.servers;
@@ -650,6 +751,7 @@ impl MultiTenantScenario {
             };
             match selection {
                 Selection::Server(server) => {
+                    self.record_decision(req, client_id, Some(server), group_id, now);
                     self.clients[client_id].backlogs[group_id].pop();
                     self.send(req, server, now, engine);
                 }
@@ -750,6 +852,26 @@ pub fn run_isolated(cfg: &MultiTenantConfig, registry: &StrategyRegistry) -> Vec
 
 /// Run a multi-tenant config to completion and report per-tenant channels.
 pub fn run(cfg: MultiTenantConfig, registry: &StrategyRegistry) -> ScenarioReport {
+    run_inner(cfg, registry, None).0
+}
+
+/// Run with a flight recorder riding along: the request lifecycle trace
+/// and decision snapshots land in the recorder, which comes back
+/// alongside the (bit-identical) report.
+pub fn run_recorded(
+    cfg: MultiTenantConfig,
+    registry: &StrategyRegistry,
+    recorder: Recorder,
+) -> (ScenarioReport, Recorder) {
+    let (report, rec) = run_inner(cfg, registry, Some(recorder));
+    (report, rec.expect("recorder was attached"))
+}
+
+fn run_inner(
+    cfg: MultiTenantConfig,
+    registry: &StrategyRegistry,
+    recorder: Option<Recorder>,
+) -> (ScenarioReport, Option<Recorder>) {
     let runner = ScenarioRunner::new(cfg.seed)
         .with_warmup(cfg.warmup_requests)
         .with_exact_latency_if(cfg.exact_latency);
@@ -758,9 +880,15 @@ pub fn run(cfg: MultiTenantConfig, registry: &StrategyRegistry) -> ScenarioRepor
     let strategy = cfg.strategy.clone();
     let seed = cfg.seed;
     let mut scenario = MultiTenantScenario::new(cfg, registry);
+    if let Some(rec) = recorder {
+        scenario.set_recorder(rec);
+    }
     let (metrics, stats) = runner.run(&mut scenario, servers, load_window);
-    ScenarioReport::from_metrics(super::MULTI_TENANT, &strategy, seed, &metrics, &stats)
-        .with_dead_events(scenario.dead_events())
+    let recorder = scenario.take_recorder();
+    let report =
+        ScenarioReport::from_metrics(super::MULTI_TENANT, &strategy, seed, &metrics, &stats)
+            .with_dead_events(scenario.dead_events());
+    (report, recorder)
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@
 use c3_cluster::{ClusterConfig, ClusterScenario, EpisodeSpec, PerturbationSpec, ScriptedSlowdown};
 use c3_core::Nanos;
 use c3_engine::{ScenarioRunner, Strategy, StrategyRegistry};
+use c3_telemetry::Recorder;
 
 use crate::report::ScenarioReport;
 
@@ -91,6 +92,31 @@ impl PartitionFluxConfig {
 /// Panics when the configured strategy is unknown or needs
 /// simulator-global state (`ORA`).
 pub fn run(cfg: &PartitionFluxConfig, registry: &StrategyRegistry) -> ScenarioReport {
+    run_inner(cfg, registry, None).0
+}
+
+/// Run with a flight recorder riding along: the read lifecycle trace and
+/// decision snapshots land in the recorder, which comes back alongside
+/// the (bit-identical) report.
+///
+/// # Panics
+///
+/// Panics when the configured strategy is unknown or needs
+/// simulator-global state (`ORA`).
+pub fn run_recorded(
+    cfg: &PartitionFluxConfig,
+    registry: &StrategyRegistry,
+    recorder: Recorder,
+) -> (ScenarioReport, Recorder) {
+    let (report, rec) = run_inner(cfg, registry, Some(recorder));
+    (report, rec.expect("recorder was attached"))
+}
+
+fn run_inner(
+    cfg: &PartitionFluxConfig,
+    registry: &StrategyRegistry,
+    recorder: Option<Recorder>,
+) -> (ScenarioReport, Option<Recorder>) {
     let cluster_cfg = cfg.apply();
     let strategy: Strategy = cluster_cfg.strategy.clone();
     let seed = cluster_cfg.seed;
@@ -100,9 +126,15 @@ pub fn run(cfg: &PartitionFluxConfig, registry: &StrategyRegistry) -> ScenarioRe
         .with_warmup(cluster_cfg.warmup_ops)
         .with_exact_latency_if(cluster_cfg.exact_latency);
     let mut scenario = ClusterScenario::with_registry(cluster_cfg, registry);
+    if let Some(rec) = recorder {
+        scenario.set_recorder(rec);
+    }
     let (metrics, stats) = runner.run(&mut scenario, nodes, load_window);
-    ScenarioReport::from_metrics(super::PARTITION_FLUX, &strategy, seed, &metrics, &stats)
-        .with_dead_events(scenario.dead_events())
+    let recorder = scenario.take_recorder();
+    let report =
+        ScenarioReport::from_metrics(super::PARTITION_FLUX, &strategy, seed, &metrics, &stats)
+            .with_dead_events(scenario.dead_events());
+    (report, recorder)
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use c3_engine::{fan_out, Strategy};
+use c3_telemetry::Recorder;
 
 use crate::report::ScenarioReport;
 use crate::{hetero, mega_fleet, multi_tenant, partition, scenario_registry};
@@ -137,9 +138,19 @@ impl std::error::Error for ScenarioError {}
 type ScenarioFn =
     Box<dyn Fn(&ScenarioParams) -> Result<ScenarioReport, ScenarioError> + Send + Sync>;
 
+type RecordedFn = Box<
+    dyn Fn(&ScenarioParams, Recorder) -> Result<(ScenarioReport, Recorder), ScenarioError>
+        + Send
+        + Sync,
+>;
+
 /// Name → runnable-workload table.
 pub struct ScenarioRegistry {
     entries: BTreeMap<String, ScenarioFn>,
+    /// Recorded variants: the same runs with a flight recorder riding
+    /// along. Kept as a parallel table so plain registrations (e.g. the
+    /// live harness's) stay source-compatible.
+    recorded: BTreeMap<String, RecordedFn>,
 }
 
 impl Default for ScenarioRegistry {
@@ -153,6 +164,7 @@ impl ScenarioRegistry {
     pub fn empty() -> Self {
         Self {
             entries: BTreeMap::new(),
+            recorded: BTreeMap::new(),
         }
     }
 
@@ -163,43 +175,23 @@ impl ScenarioRegistry {
         let mut reg = Self::empty();
         reg.register(MEGA_FLEET, |p: &ScenarioParams| {
             let strategies = scenario_registry();
-            if !strategies.contains(&p.strategy) {
-                return Err(ScenarioError::UnknownStrategy(p.strategy.name().into()));
-            }
-            let mut cfg = mega_fleet::MegaFleetConfig {
-                total_requests: p.ops,
-                warmup_requests: p.warmup,
-                strategy: p.strategy.clone(),
-                seed: p.seed,
-                offered_rate: p.offered_rate,
-                exact_latency: p.exact,
-                ..mega_fleet::MegaFleetConfig::default()
-            };
-            if let Some(keys) = p.keys {
-                cfg.keys = cfg.keys.min(keys);
-            }
-            cfg.validate();
+            let cfg = mega_fleet_cfg(p, &strategies)?;
             Ok(mega_fleet::run(cfg, &strategies))
+        });
+        reg.register_recorded(MEGA_FLEET, |p: &ScenarioParams, rec: Recorder| {
+            let strategies = scenario_registry();
+            let cfg = mega_fleet_cfg(p, &strategies)?;
+            Ok(mega_fleet::run_recorded(cfg, &strategies, rec))
         });
         reg.register(MULTI_TENANT, |p: &ScenarioParams| {
             let strategies = scenario_registry();
-            if !strategies.contains(&p.strategy) {
-                return Err(ScenarioError::UnknownStrategy(p.strategy.name().into()));
-            }
-            let mut cfg = multi_tenant::MultiTenantConfig {
-                total_requests: p.ops,
-                warmup_requests: p.warmup,
-                strategy: p.strategy.clone(),
-                seed: p.seed,
-                offered_rate: p.offered_rate,
-                exact_latency: p.exact,
-                ..multi_tenant::MultiTenantConfig::default()
-            };
-            if let Some(keys) = p.keys {
-                cfg.keys = cfg.keys.min(keys);
-            }
-            cfg.validate();
+            let cfg = multi_tenant_cfg(p, &strategies)?;
             Ok(multi_tenant::run(cfg, &strategies))
+        });
+        reg.register_recorded(MULTI_TENANT, |p: &ScenarioParams, rec: Recorder| {
+            let strategies = scenario_registry();
+            let cfg = multi_tenant_cfg(p, &strategies)?;
+            Ok(multi_tenant::run_recorded(cfg, &strategies, rec))
         });
         reg.register(HETERO_FLEET, |p: &ScenarioParams| {
             let strategies = scenario_registry();
@@ -207,11 +199,23 @@ impl ScenarioRegistry {
             apply_cluster_params(&mut cfg.cluster, p, HETERO_FLEET, &strategies)?;
             Ok(hetero::run(&cfg, &strategies))
         });
+        reg.register_recorded(HETERO_FLEET, |p: &ScenarioParams, rec: Recorder| {
+            let strategies = scenario_registry();
+            let mut cfg = hetero::HeteroFleetConfig::default();
+            apply_cluster_params(&mut cfg.cluster, p, HETERO_FLEET, &strategies)?;
+            Ok(hetero::run_recorded(&cfg, &strategies, rec))
+        });
         reg.register(PARTITION_FLUX, |p: &ScenarioParams| {
             let strategies = scenario_registry();
             let mut cfg = partition::PartitionFluxConfig::default();
             apply_cluster_params(&mut cfg.cluster, p, PARTITION_FLUX, &strategies)?;
             Ok(partition::run(&cfg, &strategies))
+        });
+        reg.register_recorded(PARTITION_FLUX, |p: &ScenarioParams, rec: Recorder| {
+            let strategies = scenario_registry();
+            let mut cfg = partition::PartitionFluxConfig::default();
+            apply_cluster_params(&mut cfg.cluster, p, PARTITION_FLUX, &strategies)?;
+            Ok(partition::run_recorded(&cfg, &strategies, rec))
         });
         reg
     }
@@ -222,6 +226,26 @@ impl ScenarioRegistry {
         F: Fn(&ScenarioParams) -> Result<ScenarioReport, ScenarioError> + Send + Sync + 'static,
     {
         self.entries.insert(name.into(), Box::new(run));
+    }
+
+    /// Register (or replace) the recorded variant of a named scenario: the
+    /// same run with a flight recorder attached, returning the report
+    /// alongside the recorder. Variants must keep the report bit-identical
+    /// to the plain run — recording is observation, not perturbation.
+    pub fn register_recorded<F>(&mut self, name: impl Into<String>, run: F)
+    where
+        F: Fn(&ScenarioParams, Recorder) -> Result<(ScenarioReport, Recorder), ScenarioError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.recorded.insert(name.into(), Box::new(run));
+    }
+
+    /// Whether a scenario has a recorded variant (all stock scenarios do;
+    /// externally registered ones may not).
+    pub fn has_recorded(&self, name: &str) -> bool {
+        self.recorded.contains_key(name)
     }
 
     /// Whether a scenario name is registered.
@@ -245,6 +269,23 @@ impl ScenarioRegistry {
             .get(name)
             .ok_or_else(|| ScenarioError::UnknownScenario(name.to_string()))?;
         entry(params)
+    }
+
+    /// Run one scenario by name with a flight recorder attached; the
+    /// lifecycle trace comes back in the returned recorder. Scenarios
+    /// without a recorded variant fall back to the plain run and return
+    /// the recorder untouched.
+    pub fn run_recorded(
+        &self,
+        name: &str,
+        params: &ScenarioParams,
+        recorder: Recorder,
+    ) -> Result<(ScenarioReport, Recorder), ScenarioError> {
+        if let Some(entry) = self.recorded.get(name) {
+            return entry(params, recorder);
+        }
+        let report = self.run(name, params)?;
+        Ok((report, recorder))
     }
 
     /// Sweep the full `scenarios × strategies × seeds` matrix, fanning the
@@ -279,6 +320,54 @@ impl ScenarioRegistry {
             )
         })
     }
+}
+
+/// Plumb the shared params into a mega-fleet config.
+fn mega_fleet_cfg(
+    p: &ScenarioParams,
+    strategies: &c3_engine::StrategyRegistry,
+) -> Result<mega_fleet::MegaFleetConfig, ScenarioError> {
+    if !strategies.contains(&p.strategy) {
+        return Err(ScenarioError::UnknownStrategy(p.strategy.name().into()));
+    }
+    let mut cfg = mega_fleet::MegaFleetConfig {
+        total_requests: p.ops,
+        warmup_requests: p.warmup,
+        strategy: p.strategy.clone(),
+        seed: p.seed,
+        offered_rate: p.offered_rate,
+        exact_latency: p.exact,
+        ..mega_fleet::MegaFleetConfig::default()
+    };
+    if let Some(keys) = p.keys {
+        cfg.keys = cfg.keys.min(keys);
+    }
+    cfg.validate();
+    Ok(cfg)
+}
+
+/// Plumb the shared params into a multi-tenant config.
+fn multi_tenant_cfg(
+    p: &ScenarioParams,
+    strategies: &c3_engine::StrategyRegistry,
+) -> Result<multi_tenant::MultiTenantConfig, ScenarioError> {
+    if !strategies.contains(&p.strategy) {
+        return Err(ScenarioError::UnknownStrategy(p.strategy.name().into()));
+    }
+    let mut cfg = multi_tenant::MultiTenantConfig {
+        total_requests: p.ops,
+        warmup_requests: p.warmup,
+        strategy: p.strategy.clone(),
+        seed: p.seed,
+        offered_rate: p.offered_rate,
+        exact_latency: p.exact,
+        ..multi_tenant::MultiTenantConfig::default()
+    };
+    if let Some(keys) = p.keys {
+        cfg.keys = cfg.keys.min(keys);
+    }
+    cfg.validate();
+    Ok(cfg)
 }
 
 /// Plumb the shared params into a cluster-backed scenario's config,
@@ -479,6 +568,46 @@ mod tests {
                 "{name}: exact summaries must differ from bucketed ones"
             );
         }
+    }
+
+    #[test]
+    fn recorded_runs_are_bit_identical_and_carry_a_trace() {
+        // Every stock scenario has a recorded variant, and attaching a
+        // flight recorder is pure observation: same fingerprint, same
+        // event count, plus a non-empty lifecycle trace to attribute.
+        let reg = ScenarioRegistry::with_defaults();
+        for name in reg.names() {
+            assert!(reg.has_recorded(name), "{name} needs a recorded variant");
+            let p = ScenarioParams::sized(Strategy::c3(), 2, 4_000);
+            let plain = reg.run(name, &p).unwrap();
+            let (recorded, rec) = reg
+                .run_recorded(name, &p, Recorder::with_default_capacity())
+                .unwrap();
+            assert_eq!(
+                plain.fingerprint(),
+                recorded.fingerprint(),
+                "{name}: the recorder must not perturb the run"
+            );
+            assert_eq!(plain.events_processed, recorded.events_processed);
+            assert!(!rec.is_empty(), "{name}: recorder captured no events");
+        }
+    }
+
+    #[test]
+    fn run_recorded_falls_back_to_plain_entries() {
+        let mut reg = ScenarioRegistry::empty();
+        reg.register(MULTI_TENANT, |p: &ScenarioParams| {
+            let strategies = scenario_registry();
+            let cfg = super::multi_tenant_cfg(p, &strategies)?;
+            Ok(multi_tenant::run(cfg, &strategies))
+        });
+        assert!(!reg.has_recorded(MULTI_TENANT));
+        let p = ScenarioParams::sized(Strategy::lor(), 1, 3_000);
+        let (report, rec) = reg
+            .run_recorded(MULTI_TENANT, &p, Recorder::with_default_capacity())
+            .unwrap();
+        assert!(report.total_completions() > 0);
+        assert!(rec.is_empty(), "fallback must leave the recorder untouched");
     }
 
     #[test]

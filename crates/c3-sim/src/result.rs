@@ -2,6 +2,7 @@
 
 use c3_core::{Nanos, RateStats};
 use c3_metrics::{Ecdf, LatencySummary, LogHistogram, WindowedCounts};
+use c3_telemetry::Recorder;
 
 /// Everything the harness needs from one run.
 #[derive(Debug)]
@@ -24,6 +25,9 @@ pub struct RunResult {
     pub backpressure_activations: u64,
     /// Aggregate rate-limiter statistics across clients (C3/RR only).
     pub rate_stats: RateStats,
+    /// The flight recorder that rode along (lifecycle trace for tail
+    /// attribution); `None` unless one was attached.
+    pub recorder: Option<Recorder>,
     /// Events processed by the kernel (diagnostics).
     pub events_processed: u64,
 }

@@ -23,6 +23,7 @@ use c3_engine::{
     ScenarioRunner, SeedSeq, SelectorCtx, StrategyRegistry,
 };
 use c3_metrics::GaugeSeries;
+use c3_telemetry::{Recorder, ReplicaSnap, TracePoint, NO_SERVER, TRACE_GROUP};
 use c3_workload::PoissonArrivals;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -126,6 +127,9 @@ pub struct SimScenario {
     generated: u64,
     probe: Option<RateProbe>,
     probe_series: GaugeSeries,
+    /// The flight recorder (lifecycle + decision snapshots). Purely
+    /// observational — a run is bit-identical with and without it.
+    recorder: Option<Recorder>,
 }
 
 impl SimScenario {
@@ -214,6 +218,7 @@ impl SimScenario {
             generated: 0,
             probe: None,
             probe_series: GaugeSeries::new(),
+            recorder: None,
             cfg,
         }
     }
@@ -228,6 +233,14 @@ impl SimScenario {
         assert!(probe.client < self.cfg.clients, "probe client out of range");
         assert!(probe.server < self.cfg.servers, "probe server out of range");
         self.probe = Some(probe);
+    }
+
+    /// Attach a flight recorder: request lifecycles (issue → select →
+    /// send → feedback → complete) and per-decision replica snapshots go
+    /// into its ring buffer. Recording is purely observational; results
+    /// are bit-identical with and without it.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
     }
 
     /// Assemble the public result from this scenario plus the runner's
@@ -255,6 +268,7 @@ impl SimScenario {
                 duration,
                 backpressure_activations: backpressure,
                 rate_stats,
+                recorder: self.recorder,
                 events_processed: stats.events_processed,
             },
             self.probe_series,
@@ -286,6 +300,9 @@ impl SimScenario {
             measured: metrics.past_warmup(issue_index),
             completed: false,
         });
+        if let Some(rec) = &mut self.recorder {
+            rec.record(now, req_id, TracePoint::Issue);
+        }
         self.try_dispatch(req_id, now, engine);
         if self.generated < self.cfg.total_requests {
             let gap = self.arrivals.next_gap(&mut self.wl_rng);
@@ -320,6 +337,7 @@ impl SimScenario {
         if self.clients[client_id].selector.is_none() {
             let group = &self.groups[group_id];
             let primary = oracle_pick(&self.servers, group);
+            self.record_decision(req, client_id, Some(primary), group_id, now);
             self.fan_out(req, primary, now, engine);
             return;
         }
@@ -330,11 +348,63 @@ impl SimScenario {
             sel.select(group, now)
         };
         match selection {
-            Selection::Server(primary) => self.fan_out(req, primary, now, engine),
+            Selection::Server(primary) => {
+                self.record_decision(req, client_id, Some(primary), group_id, now);
+                self.fan_out(req, primary, now, engine)
+            }
             Selection::Backpressure { retry_at } => {
+                self.record_decision(req, client_id, None, group_id, now);
                 self.backlog(client_id, group_id, req, retry_at, now, engine)
             }
         }
+    }
+
+    /// Record a selection decision into the flight recorder: what the
+    /// selector saw for every candidate (chosen replica first, so the
+    /// [`TRACE_GROUP`] truncation can never drop it) plus the ground-truth
+    /// pending depth at each server. `chosen == None` marks a backpressure
+    /// verdict. No-op unless an event-recording recorder is attached.
+    fn record_decision(
+        &mut self,
+        req: ReqId,
+        client_id: usize,
+        chosen: Option<ServerId>,
+        group_id: usize,
+        now: Nanos,
+    ) {
+        if self.recorder.as_ref().is_none_or(|r| r.capacity() == 0) {
+            return;
+        }
+        let mut snaps = [ReplicaSnap::empty(); TRACE_GROUP];
+        let mut len = 0usize;
+        let group = &self.groups[group_id];
+        let ordered = chosen
+            .into_iter()
+            .chain(group.iter().copied().filter(|&s| Some(s) != chosen));
+        for server in ordered.take(TRACE_GROUP) {
+            let pending = self.servers[server].pending() as u32;
+            let view = self.clients[client_id]
+                .selector
+                .as_deref()
+                .and_then(|sel| sel.replica_view(server));
+            snaps[len] = match view {
+                Some(view) => ReplicaSnap::from_view(server as u32, &view, pending),
+                // Oracle and view-less baselines: ground truth only, so
+                // queue-regret still works where score-regret cannot.
+                None => ReplicaSnap::blind(server as u32, pending),
+            };
+            len += 1;
+        }
+        let rec = self.recorder.as_mut().expect("checked above");
+        rec.record(
+            now,
+            req,
+            TracePoint::Decision {
+                chosen: chosen.map_or(NO_SERVER, |c| c as u32),
+                group_len: len as u8,
+                group: snaps,
+            },
+        );
     }
 
     /// Send the primary, plus read-repair duplicates to the rest of the
@@ -410,6 +480,8 @@ impl SimScenario {
         if let Some(sel) = self.clients[client_id].selector.as_mut() {
             sel.on_send(server, now);
         }
+        // No Send record: every send here is implied by the `Decision`
+        // event recorded at the same timestamp (attribution folds them).
         engine.schedule_in(
             self.cfg.one_way_latency,
             Event::ServerArrive {
@@ -485,6 +557,17 @@ impl SimScenario {
                 now,
             );
         }
+        if let Some(rec) = &mut self.recorder {
+            rec.record(
+                now,
+                s.req,
+                TracePoint::Feedback {
+                    server: s.server,
+                    queue: feedback.queue_size,
+                    service_ns: feedback.service_time.as_nanos(),
+                },
+            );
+        }
 
         {
             let req = &mut self.requests[s.req as usize];
@@ -493,6 +576,19 @@ impl SimScenario {
                 let latency = now.saturating_sub(req.created);
                 let measured = req.measured;
                 metrics.record_completion(LATENCY, now, latency, measured);
+                // Warm-up requests get no Complete event, so they never
+                // join into attribution rows — matching the channel.
+                if measured {
+                    if let Some(rec) = &mut self.recorder {
+                        rec.record(
+                            now,
+                            s.req,
+                            TracePoint::Complete {
+                                latency_ns: latency.as_nanos(),
+                            },
+                        );
+                    }
+                }
             }
         }
 
@@ -557,6 +653,7 @@ impl SimScenario {
             };
             match selection {
                 Selection::Server(server) => {
+                    self.record_decision(req, client_id, Some(server), group_id, now);
                     let client = &mut self.clients[client_id];
                     client.backlogs[group_id].pop();
                     if client.backlogs[group_id].is_empty() {
@@ -658,6 +755,13 @@ impl Simulation {
     /// Install a sending-rate probe (only meaningful for C3-family runs).
     pub fn with_rate_probe(mut self, probe: RateProbe) -> Self {
         self.scenario.set_rate_probe(probe);
+        self
+    }
+
+    /// Attach a flight recorder (see [`SimScenario::set_recorder`]); it
+    /// comes back in `RunResult::recorder`.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.scenario.set_recorder(recorder);
         self
     }
 
@@ -830,6 +934,45 @@ mod tests {
         });
         let (_res, series) = sim.run_with_probe();
         assert!(!series.is_empty(), "probe should record samples");
+    }
+
+    #[test]
+    fn recorder_captures_lifecycles_without_perturbing_the_run() {
+        let plain = Simulation::new(small_cfg(Strategy::c3())).run();
+        let recorded = Simulation::new(small_cfg(Strategy::c3()))
+            .with_recorder(Recorder::with_default_capacity())
+            .run();
+        assert_eq!(plain.events_processed, recorded.events_processed);
+        assert_eq!(
+            plain.latency.value_at_quantile(0.99),
+            recorded.latency.value_at_quantile(0.99)
+        );
+        let rec = recorded.recorder.expect("recorder rides along");
+        let attr = c3_telemetry::attribute_tail(rec.events(), "sim", "C3", 0.99);
+        assert!(attr.joined > 0);
+        assert!(!attr.tail.is_empty());
+        for row in &attr.tail {
+            assert_eq!(
+                row.wait_for_permit_ns + row.queueing_ns + row.service_ns,
+                row.latency_ns
+            );
+            assert!(
+                row.queue_regret.is_finite(),
+                "sim drivers expose ground-truth pending"
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_decisions_carry_ground_truth_only() {
+        let recorded = Simulation::new(small_cfg(Strategy::oracle()))
+            .with_recorder(Recorder::with_default_capacity())
+            .run();
+        let rec = recorded.recorder.expect("recorder rides along");
+        let attr = c3_telemetry::attribute_tail(rec.events(), "sim", "ORA", 0.99);
+        assert!(attr.joined > 0);
+        assert!(attr.mean_regret.is_nan(), "oracle exposes no score view");
+        assert!(attr.mean_queue_regret.is_finite(), "but pending is known");
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Hand-rolled JSONL / CSV emitters for attribution tables.
+//!
+//! The workspace has no serde (offline, shim-only dependencies), so the
+//! export format is written by hand exactly like the `BENCH_*.json`
+//! artifacts: stable key order, `NaN` serialized as `null`, and one
+//! record per line so nightly artifacts stream through `jq`/`grep`.
+
+use crate::attribution::{Attribution, TailAttribution};
+use crate::recorder::NO_SERVER;
+
+/// Escape a string for embedding in a JSON double-quoted literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a CSV field (RFC 4180 quoting, only when needed).
+pub fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// A float as a JSON value: `null` when not finite.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A server id as a JSON value: `null` for [`NO_SERVER`].
+fn json_server(s: u32) -> String {
+    if s == NO_SERVER {
+        "null".to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+impl Attribution {
+    /// One JSON object (single line, stable key order).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"request\":{},\"latency_ns\":{},\"wait_for_permit_ns\":{},",
+                "\"queueing_ns\":{},\"service_ns\":{},\"chosen\":{},",
+                "\"backpressured\":{},\"chosen_score\":{},\"chosen_fresh\":{},",
+                "\"best_fresh\":{},\"best_server\":{},\"regret\":{},",
+                "\"regret_rel\":{},\"queue_regret\":{}}}"
+            ),
+            self.request,
+            self.latency_ns,
+            self.wait_for_permit_ns,
+            self.queueing_ns,
+            self.service_ns,
+            json_server(self.chosen),
+            self.backpressured,
+            json_f64(self.chosen_score),
+            json_f64(self.chosen_fresh),
+            json_f64(self.best_fresh),
+            json_server(self.best_server),
+            json_f64(self.regret),
+            json_f64(self.regret_rel),
+            json_f64(self.queue_regret),
+        )
+    }
+}
+
+impl TailAttribution {
+    /// CSV header matching [`Attribution::to_csv_row`].
+    pub const CSV_HEADER: &'static str = "scenario,strategy,request,latency_ms,\
+        wait_for_permit_ms,queueing_ms,service_ms,chosen,backpressured,\
+        regret,regret_rel,queue_regret";
+
+    /// JSONL: one `meta` record, then one record per tail request,
+    /// worst first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            concat!(
+                "{{\"kind\":\"tail_attribution\",\"scenario\":\"{}\",",
+                "\"strategy\":\"{}\",\"quantile\":{},\"threshold_ns\":{},",
+                "\"joined\":{},\"tail\":{},\"mean_wait_ns\":{},",
+                "\"mean_queueing_ns\":{},\"mean_service_ns\":{},",
+                "\"mean_regret\":{},\"mean_regret_rel\":{},",
+                "\"mean_queue_regret\":{},\"body_mean_regret_rel\":{}}}\n"
+            ),
+            json_escape(&self.scenario),
+            json_escape(&self.strategy),
+            self.quantile,
+            self.threshold_ns,
+            self.joined,
+            self.tail.len(),
+            json_f64(self.mean_wait_ns),
+            json_f64(self.mean_queueing_ns),
+            json_f64(self.mean_service_ns),
+            json_f64(self.mean_regret),
+            json_f64(self.mean_regret_rel),
+            json_f64(self.mean_queue_regret),
+            json_f64(self.body_mean_regret_rel),
+        ));
+        for row in &self.tail {
+            out.push_str(&format!(
+                "{{\"kind\":\"tail_request\",\"scenario\":\"{}\",\"strategy\":\"{}\",{}\n",
+                json_escape(&self.scenario),
+                json_escape(&self.strategy),
+                row.to_json().split_at(1).1, // merge into one object
+            ));
+        }
+        out
+    }
+
+    /// CSV rows (no header; see [`Self::CSV_HEADER`]), worst first.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for r in &self.tail {
+            out.push_str(&format!(
+                "{},{},{},{:.3},{:.3},{:.3},{:.3},{},{},{},{},{}\n",
+                csv_escape(&self.scenario),
+                csv_escape(&self.strategy),
+                r.request,
+                r.latency_ns as f64 / 1e6,
+                r.wait_for_permit_ns as f64 / 1e6,
+                r.queueing_ns as f64 / 1e6,
+                r.service_ns as f64 / 1e6,
+                if r.chosen == NO_SERVER {
+                    "-".to_string()
+                } else {
+                    r.chosen.to_string()
+                },
+                r.backpressured,
+                if r.regret.is_finite() {
+                    format!("{:.4}", r.regret)
+                } else {
+                    "-".to_string()
+                },
+                if r.regret_rel.is_finite() {
+                    format!("{:.4}", r.regret_rel)
+                } else {
+                    "-".to_string()
+                },
+                if r.queue_regret.is_finite() {
+                    format!("{:.1}", r.queue_regret)
+                } else {
+                    "-".to_string()
+                },
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b\"c"), "\"a,b\"\"c\"");
+    }
+
+    #[test]
+    fn jsonl_merges_rows_into_flat_objects() {
+        let t = TailAttribution {
+            scenario: "s".into(),
+            strategy: "C3".into(),
+            quantile: 0.99,
+            threshold_ns: 10,
+            joined: 1,
+            tail: vec![Attribution {
+                request: 1,
+                latency_ns: 10,
+                wait_for_permit_ns: 1,
+                queueing_ns: 9,
+                service_ns: 0,
+                chosen: 2,
+                backpressured: false,
+                chosen_score: 1.0,
+                chosen_fresh: 1.0,
+                best_fresh: 1.0,
+                best_server: 2,
+                regret: 0.0,
+                regret_rel: 0.0,
+                queue_regret: f64::NAN,
+            }],
+            mean_wait_ns: 1.0,
+            mean_queueing_ns: 9.0,
+            mean_service_ns: 0.0,
+            mean_regret: 0.0,
+            mean_regret_rel: 0.0,
+            mean_queue_regret: f64::NAN,
+            body_mean_regret_rel: f64::NAN,
+        };
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"tail_attribution\""));
+        assert!(lines[0].contains("\"mean_queue_regret\":null"));
+        assert!(lines[1].starts_with("{\"kind\":\"tail_request\""));
+        assert!(lines[1].contains("\"queue_regret\":null"));
+        assert!(lines[1].ends_with('}'));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("s,C3,1,"));
+    }
+}

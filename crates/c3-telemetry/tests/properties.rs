@@ -1,0 +1,94 @@
+//! Property tests for the flight recorder's ring buffer.
+//!
+//! The recorder's whole value rests on three promises: it never grows past
+//! its capacity (bounded memory on the sim hot path), it evicts strictly
+//! oldest-first (so what survives is always a clean time-*suffix* of the
+//! run, which is what lets the attribution join treat a surviving `Issue`
+//! as proof the whole lifecycle survived), and at capacity 0 it records
+//! nothing at all (the disabled path the fingerprint goldens run against).
+
+use c3_core::Nanos;
+use c3_telemetry::{Recorder, TracePoint};
+use proptest::prelude::*;
+
+/// Replay `timestamps` (made non-decreasing by prefix-max, the way any
+/// driver clock behaves) into a recorder of `capacity` and return it
+/// alongside the full event log it was fed.
+fn replay(capacity: usize, timestamps: &[u64]) -> (Recorder, Vec<(u64, u64)>) {
+    let mut rec = Recorder::new(capacity);
+    let mut fed = Vec::with_capacity(timestamps.len());
+    let mut clock = 0u64;
+    for (i, &t) in timestamps.iter().enumerate() {
+        clock = clock.max(t);
+        let request = (i / 3) as u64; // ~3 lifecycle points per request
+        rec.record(Nanos(clock), request, TracePoint::Issue);
+        fed.push((clock, request));
+    }
+    (rec, fed)
+}
+
+proptest! {
+    /// The ring never holds more than `capacity` events, and accounts for
+    /// every eviction: held + dropped = fed.
+    #[test]
+    fn ring_is_capacity_bounded(
+        capacity in 1usize..128,
+        timestamps in proptest::collection::vec(0u64..1_000_000, 0..400),
+    ) {
+        let (rec, fed) = replay(capacity, &timestamps);
+        prop_assert!(rec.len() <= capacity);
+        prop_assert_eq!(rec.len(), fed.len().min(capacity));
+        prop_assert_eq!(rec.len() as u64 + rec.dropped(), fed.len() as u64);
+    }
+
+    /// Drop-oldest: the survivors are exactly the newest `len` events that
+    /// were fed, in feed order — a time-suffix, never a gap.
+    #[test]
+    fn ring_drops_oldest_first(
+        capacity in 1usize..64,
+        timestamps in proptest::collection::vec(0u64..1_000_000, 0..300),
+    ) {
+        let (rec, fed) = replay(capacity, &timestamps);
+        let survivors: Vec<(u64, u64)> = rec
+            .events()
+            .map(|ev| (ev.at.as_nanos(), ev.request))
+            .collect();
+        let expected = &fed[fed.len() - rec.len()..];
+        prop_assert_eq!(survivors.as_slice(), expected);
+    }
+
+    /// Per-request timestamps come back out monotone (oldest first): the
+    /// ring's iteration order never reorders a request's lifecycle.
+    #[test]
+    fn per_request_timestamps_are_monotone(
+        capacity in 1usize..64,
+        timestamps in proptest::collection::vec(0u64..1_000_000, 0..300),
+    ) {
+        let (rec, _) = replay(capacity, &timestamps);
+        let mut last_by_request: std::collections::HashMap<u64, u64> =
+            std::collections::HashMap::new();
+        for ev in rec.events() {
+            if let Some(&prev) = last_by_request.get(&ev.request) {
+                prop_assert!(
+                    ev.at.as_nanos() >= prev,
+                    "request {} went back in time: {} then {}",
+                    ev.request, prev, ev.at.as_nanos(),
+                );
+            }
+            last_by_request.insert(ev.request, ev.at.as_nanos());
+        }
+    }
+
+    /// Capacity 0 is the disabled path: no events, ever, and no drop
+    /// accounting (nothing was admitted to be dropped).
+    #[test]
+    fn capacity_zero_records_nothing(
+        timestamps in proptest::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let (rec, _) = replay(0, &timestamps);
+        prop_assert!(rec.is_empty());
+        prop_assert_eq!(rec.len(), 0);
+        prop_assert_eq!(rec.dropped(), 0);
+        prop_assert_eq!(rec.events().count(), 0);
+    }
+}

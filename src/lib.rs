@@ -19,6 +19,9 @@
 //! - [`scenarios`] — the named workload scenario library (multi-tenant,
 //!   heterogeneous fleets, partition/flux) with registry-driven parallel
 //!   sweeps.
+//! - [`telemetry`] — the flight recorder (ring-buffered lifecycle trace,
+//!   score trace, gauge series) and tail-latency attribution shared by
+//!   the simulators and the live backend.
 //! - [`net`] — the C3 wire protocol (the tokio client/server sit behind
 //!   the non-default `rt` feature).
 //! - [`live`] — C3 over real loopback sockets with std-only threading: a
@@ -36,4 +39,5 @@ pub use c3_metrics as metrics;
 pub use c3_net as net;
 pub use c3_scenarios as scenarios;
 pub use c3_sim as sim;
+pub use c3_telemetry as telemetry;
 pub use c3_workload as workload;

@@ -216,6 +216,51 @@ fn scenario_fingerprints_match_pre_rewrite_goldens() {
     }
 }
 
+/// Flight-recorder neutrality: every cell, re-run with a recorder
+/// attached, must reproduce the SAME pinned fingerprints as the plain
+/// runs — the recorder is purely observational (no RNG draws, no
+/// scheduling, read-only selector snapshots), so attaching it cannot
+/// move a single decision. A drift here means telemetry changed results.
+#[test]
+fn scenario_fingerprints_are_recorder_neutral() {
+    use c3::telemetry::Recorder;
+    let scenarios = ScenarioRegistry::with_defaults();
+    let strategies = c3::scenarios::scenario_registry();
+    let mut traced_cells = 0u32;
+    let mut got = Vec::new();
+    for scenario in scenarios.names() {
+        for strategy in strategies.names() {
+            let params = ScenarioParams::sized(Strategy::named(strategy), SEED, OPS);
+            let fp = match scenarios.run_recorded(
+                scenario,
+                &params,
+                Recorder::with_default_capacity(),
+            ) {
+                Ok((report, rec)) => {
+                    if !rec.is_empty() {
+                        traced_cells += 1;
+                    }
+                    report.fingerprint()
+                }
+                Err(_) => UNSUPPORTED,
+            };
+            got.push((format!("{scenario}/{strategy}"), fp));
+        }
+    }
+    assert_eq!(got.len(), SCENARIO_GOLDENS.len(), "registry shape changed");
+    for ((cell, fp), (gold_cell, gold_fp)) in got.iter().zip(SCENARIO_GOLDENS) {
+        assert_eq!(cell, gold_cell, "cell order changed");
+        assert_eq!(
+            fp, gold_fp,
+            "{cell}: attaching a recorder changed the fingerprint"
+        );
+    }
+    assert!(
+        traced_cells > 0,
+        "recorder-neutrality must be proven on runs that actually traced"
+    );
+}
+
 #[test]
 fn simulator_digests_match_pre_rewrite_goldens() {
     for (name, gold) in SIM_GOLDENS {
