@@ -32,7 +32,9 @@
 
 use c3_engine::Strategy;
 use c3_metrics::Table;
-use c3_scenarios::{ScenarioParams, ScenarioRegistry, HETERO_FLEET, PARTITION_FLUX};
+use c3_scenarios::{
+    ScenarioParams, ScenarioRegistry, CRASH_FLUX, FLAKY_NET, HETERO_FLEET, PARTITION_FLUX,
+};
 use c3_telemetry::{attribute_tail, Recorder, TailAttribution, NO_SERVER};
 
 /// How many worst requests each cell prints (the JSONL carries the whole
@@ -88,8 +90,27 @@ fn explain_cell(
         "best (srv)",
         "regret",
         "q-regret",
+        "lifecycle",
     ]);
     for row in attr.tail.iter().take(WORST) {
+        // The hardened-lifecycle story of this request: deadline
+        // expiries, retry re-dispatches, and how its hedge race ended.
+        let mut lifecycle = String::new();
+        if row.timeouts > 0 {
+            lifecycle.push_str(&format!("to×{} ", row.timeouts));
+        }
+        if row.retries > 0 {
+            lifecycle.push_str(&format!("re×{} ", row.retries));
+        }
+        if row.hedged {
+            lifecycle.push_str(if row.hedge_rescued {
+                "hedge:rescue"
+            } else if row.hedge_won {
+                "hedge:won"
+            } else {
+                "hedge:lost"
+            });
+        }
         table.row(vec![
             row.request.to_string(),
             format!("{:.2}", row.latency_ns as f64 / 1e6),
@@ -106,10 +127,36 @@ fn explain_cell(
             ),
             fmt_score(row.regret_rel),
             fmt_score(row.queue_regret),
+            if lifecycle.is_empty() {
+                "-".into()
+            } else {
+                lifecycle.trim_end().to_string()
+            },
         ]);
     }
     println!("{table}");
+    if attr.hedges > 0 || attr.total_timeouts > 0 {
+        println!(
+            "lifecycle ledger: {} timeouts, {} retries; {} hedges issued, {} won \
+             ({} rescues), mean saved {} per measurable win, mean duplicate burn {}",
+            attr.total_timeouts,
+            attr.total_retries,
+            attr.hedges,
+            attr.hedge_wins,
+            attr.hedge_rescues,
+            fmt_ms(attr.mean_hedge_saved_ns),
+            fmt_ms(attr.mean_hedge_waste_ns),
+        );
+    }
     attr
+}
+
+fn fmt_ms(ns: f64) -> String {
+    if ns.is_finite() {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        "-".into()
+    }
 }
 
 fn main() {
@@ -150,6 +197,25 @@ fn main() {
             } else {
                 "UNEXPECTED: DS tail queue-regret did not exceed C3's in this run"
             }
+        );
+    }
+
+    // The fault-injection cells: here the tail is bought back (or burned)
+    // by the hardened lifecycle, so the story is the lifecycle ledger —
+    // how much hedging saved vs the duplicate service it cost — rather
+    // than selection regret alone.
+    for scenario in [CRASH_FLUX, FLAKY_NET] {
+        let mut cells = Vec::new();
+        for strategy in &strategies {
+            let attr = explain_cell(&registry, scenario, strategy, ops);
+            jsonl.push_str(&attr.to_jsonl());
+            cells.push(attr);
+        }
+        let (c3, ds) = (&cells[0], &cells[1]);
+        println!(
+            "{scenario}: hedge wins C3 {}/{} vs DS {}/{} — the worst requests above \
+             carry their timeout/retry/hedge history in the `lifecycle` column",
+            c3.hedge_wins, c3.hedges, ds.hedge_wins, ds.hedges,
         );
     }
     std::fs::write(&out_path, jsonl).expect("write TRACE_explain.jsonl");

@@ -19,10 +19,15 @@
 //! 1-vs-4-thread sweep fingerprints); live cells measure wall time over
 //! real sockets and are ranked, not fingerprint-pinned.
 
-use c3_engine::{RateWindow, SloCell, SloPredicate, SloReport, SloSweep, Strategy};
+use c3_engine::{
+    ProbeMeasurement, RateWindow, SloCell, SloPredicate, SloReport, SloSweep, Strategy,
+};
 use c3_live::live_registry;
 use c3_metrics::Table;
-use c3_scenarios::{ScenarioParams, ScenarioRegistry, HETERO_FLEET, MULTI_TENANT, PARTITION_FLUX};
+use c3_scenarios::{
+    ScenarioParams, ScenarioRegistry, CRASH_FLUX, FLAKY_NET, HETERO_FLEET, MULTI_TENANT,
+    PARTITION_FLUX,
+};
 
 use crate::support::{banner, fan_out_threads, Scale, SkipLog};
 
@@ -54,6 +59,15 @@ pub struct SloScenario {
 ///   above the single-blackout band and below queue divergence.
 /// - `multi-tenant`: no time-based adversity — the tail is pure queueing,
 ///   so a tight interactive-tenant bound works directly.
+/// - `crash-flux` / `flaky-net`: the hardened lifecycle (75–100 ms
+///   deadline, retries, hedging) caps what a fault episode can cost one
+///   read at a few deadline multiples — and at overload it *parks* what
+///   it cannot complete, which keeps the p99-of-completions flat instead
+///   of blowing up. Pass/fail is therefore shed-decided: a probe that
+///   parks >1% of its ops fails regardless of its metric value, and a
+///   cell that sheds even at the bracket floor reports
+///   `floor_reason: "timeout"` in the JSON. 400 ms clears the worst
+///   permitted retry chain (75 ms × 4 + backoff).
 pub fn sim_slo_scenarios() -> Vec<SloScenario> {
     vec![
         SloScenario {
@@ -71,6 +85,18 @@ pub fn sim_slo_scenarios() -> Vec<SloScenario> {
         SloScenario {
             name: MULTI_TENANT,
             slo: SloPredicate::p99_under_ms(20.0),
+            steps: 32,
+            live: false,
+        },
+        SloScenario {
+            name: CRASH_FLUX,
+            slo: SloPredicate::p99_under_ms(400.0),
+            steps: 32,
+            live: false,
+        },
+        SloScenario {
+            name: FLAKY_NET,
+            slo: SloPredicate::p99_under_ms(400.0),
             steps: 32,
             live: false,
         },
@@ -104,6 +130,18 @@ pub fn live_slo_scenarios() -> Vec<SloScenario> {
         SloScenario {
             name: c3_live::LIVE_PARTITION_FLUX,
             slo: SloPredicate::p99_under_ms(150.0),
+            steps: 12,
+            live: true,
+        },
+        SloScenario {
+            name: c3_live::LIVE_CRASH_FLUX,
+            slo: SloPredicate::p99_under_ms(150.0),
+            steps: 12,
+            live: true,
+        },
+        SloScenario {
+            name: c3_live::LIVE_FLAKY_NET,
+            slo: SloPredicate::p99_under_ms(200.0),
             steps: 12,
             live: true,
         },
@@ -179,7 +217,17 @@ pub fn sweep_scenario(
             let report = registry
                 .run(&cell.scenario, &params)
                 .map_err(|e| e.to_string())?;
-            Ok(slo.metric.value_ms(&report.headline().summary))
+            // A hardened lifecycle parks what it cannot complete, so at
+            // overload the p99 *of the completions* stays flat — the
+            // metric alone would call a collapsing rate sustained. A probe
+            // that parks more than 1% of its ops is shed, which fails it
+            // and names the cause (`floor_reason`: "timeout" vs
+            // "slo-miss") when a cell collapses at the bracket floor.
+            let ops = report.total_completions() + report.parked;
+            Ok(ProbeMeasurement {
+                value_ms: slo.metric.value_ms(&report.headline().summary),
+                timed_out: report.parked as f64 > 0.01 * ops as f64,
+            })
         },
     )
 }
@@ -262,8 +310,10 @@ pub fn throughput_at_slo(
          throughput-at-SLO claim. '^' cells passed the SLO at the bracket\n\
          ceiling (range-limited); '*' cells failed at the bracket floor\n\
          itself (no rate in the window sustains the SLO — rendered as 0,\n\
-         `fails_at_bracket_floor` in the JSON); '!' flags a non-monotone\n\
-         probe trace."
+         `fails_at_bracket_floor` in the JSON, with `floor_reason` naming\n\
+         the cause: \"timeout\" when the floor probe shed ops to timeouts,\n\
+         \"slo-miss\" when the completed tail crossed the limit); '!'\n\
+         flags a non-monotone probe trace."
     );
     out
 }
@@ -340,7 +390,7 @@ fn json_str(s: &str) -> String {
 /// Serialize the sweep tier to the `BENCH_slo.json` schema.
 pub fn slo_json(results: &[(SloScenario, SloReport)]) -> String {
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": 1,\n  \"scenarios\": [\n");
+    json.push_str("{\n  \"schema\": 2,\n  \"scenarios\": [\n");
     for (i, (spec, report)) in results.iter().enumerate() {
         json.push_str("    {\n");
         json.push_str(&format!("      \"scenario\": {},\n", json_str(spec.name)));
@@ -359,12 +409,16 @@ pub fn slo_json(results: &[(SloScenario, SloReport)]) -> String {
         for (j, cell) in ran.iter().enumerate() {
             json.push_str(&format!(
                 "        {{\"strategy\": {}, \"seed\": {}, \"max_rate\": {}, \
-                 \"fails_at_bracket_floor\": {}, \
+                 \"fails_at_bracket_floor\": {}, \"floor_reason\": {}, \
                  \"saturated\": {}, \"monotone\": {}, \"window\": [{}, {}], \"trace\": [",
                 json_str(&cell.cell.strategy),
                 cell.cell.seed,
                 cell.outcome.max_rate.unwrap_or(0.0),
                 cell.outcome.fails_at_bracket_floor(),
+                match cell.outcome.floor_reason() {
+                    Some(reason) => json_str(reason),
+                    None => "null".to_string(),
+                },
                 cell.outcome.saturated,
                 cell.outcome.monotone,
                 cell.window.lo,
@@ -372,10 +426,11 @@ pub fn slo_json(results: &[(SloScenario, SloReport)]) -> String {
             ));
             for (k, p) in cell.outcome.trace.iter().enumerate() {
                 json.push_str(&format!(
-                    "[{:.3}, {:.4}, {}]{}",
+                    "[{:.3}, {:.4}, {}, {}]{}",
                     p.rate,
                     p.value_ms,
                     p.pass,
+                    p.timed_out,
                     if k + 1 < cell.outcome.trace.len() {
                         ", "
                     } else {
@@ -417,10 +472,10 @@ mod tests {
     #[test]
     fn tiers_name_library_scenarios() {
         let sim = sim_slo_scenarios();
-        assert_eq!(sim.len(), 3);
+        assert_eq!(sim.len(), 5);
         assert!(sim.iter().all(|s| !s.live));
         let live = live_slo_scenarios();
-        assert_eq!(live.len(), 2);
+        assert_eq!(live.len(), 4);
         assert!(live.iter().all(|s| s.live));
         let reg = live_registry();
         for s in sim.iter().chain(live.iter()) {
@@ -509,6 +564,58 @@ mod tests {
         assert!(json.contains("\"scenario\": \"multi-tenant\""));
         assert!(json.contains("\"max_rate\""));
         assert!(json.contains("\"fails_at_bracket_floor\""));
+        assert!(json.contains("\"floor_reason\""));
         assert!(json.contains("\"fingerprint\""));
+    }
+
+    #[test]
+    fn floor_failures_name_their_reason_in_the_json() {
+        // Two toy cells, both collapsing at the bracket floor: one whose
+        // probes shed ops to timeouts, one that merely misses the SLO.
+        let spec = SloScenario {
+            name: "toy",
+            slo: SloPredicate::p99_under_ms(20.0),
+            steps: 4,
+            live: false,
+        };
+        let cells = [SloCell::new("toy", "C3", 1), SloCell::new("toy", "DS", 1)];
+        let report = SloSweep::new(spec.slo).run(
+            &cells,
+            1,
+            |_| Ok(RateWindow::new(100.0, 2_000.0, 4)),
+            |cell, _rate| {
+                Ok(ProbeMeasurement {
+                    value_ms: 1_000.0, // over the SLO even at the floor
+                    timed_out: cell.strategy == "C3",
+                })
+            },
+        );
+        for ran in report.ran() {
+            assert!(ran.outcome.fails_at_bracket_floor());
+        }
+        let json = slo_json(&[(spec, report)]);
+        assert!(
+            json.contains("\"floor_reason\": \"timeout\""),
+            "timeout-driven floor failure must be named: {json}"
+        );
+        assert!(
+            json.contains("\"floor_reason\": \"slo-miss\""),
+            "plain SLO miss at the floor must be named: {json}"
+        );
+        // Sustainable cells render the reason as null.
+        let spec_ok = SloScenario {
+            name: "toy-ok",
+            slo: SloPredicate::p99_under_ms(20.0),
+            steps: 4,
+            live: false,
+        };
+        let ok = SloSweep::new(spec_ok.slo).run(
+            &[SloCell::new("toy-ok", "C3", 1)],
+            1,
+            |_| Ok(RateWindow::new(100.0, 2_000.0, 4)),
+            |_, rate| Ok(rate / 200.0),
+        );
+        let json_ok = slo_json(&[(spec_ok, ok)]);
+        assert!(json_ok.contains("\"floor_reason\": null"), "{json_ok}");
     }
 }

@@ -50,6 +50,18 @@ const UPDATE_CHANNEL: ChannelId = ChannelId::new(1);
 /// The channel names the cluster records into.
 pub const CLUSTER_CHANNELS: [&str; 2] = ["read", "update"];
 
+/// Sentinel request id under which cluster-level failure-detector events
+/// (`Evict`/`Reinstate`) are traced; never a real operation, so the
+/// request join ignores them.
+const DETECTOR_OP: OpId = OpId::MAX;
+
+/// Consecutive deadline expiries before the failure detector evicts a
+/// replica from a coordinator's candidate sets.
+const EVICT_THRESHOLD: u32 = 3;
+
+/// Base eviction window; doubles per further consecutive expiry (×16 cap).
+const EVICT_BASE: Nanos = Nanos::from_millis(250);
+
 /// Register the cluster-only strategies (Dynamic Snitching, which needs a
 /// [`SnitchConfig`] and gossip plumbing) into an engine registry.
 pub fn register_cluster_strategies(registry: &mut StrategyRegistry, snitch: SnitchConfig) {
@@ -87,6 +99,12 @@ pub enum Ev {
     SpecCheck { op: OpId },
     /// Extra generators enter the system (Figure 11).
     PhaseStart,
+    /// A read's per-request deadline expires (lifecycle hardening).
+    Deadline { op: OpId },
+    /// A read's backoff wait ends and its retry goes out.
+    RetryOp { op: OpId },
+    /// Hedge threshold check: duplicate a slow read to a second replica.
+    HedgeCheck { op: OpId },
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -106,6 +124,18 @@ struct OpState {
     /// The pending speculative-retry check timer, cancelled on completion
     /// so no dead `SpecCheck` events survive on the hot path.
     spec_timer: Option<TimerId>,
+    /// Deadline expiries consumed so far (bounded by `cfg.retries`).
+    attempts: u8,
+    /// The operation was abandoned: deadline and retry budget spent. A
+    /// parked op never completes but still counts toward run termination.
+    parked: bool,
+    /// The hedged duplicate's send; `SendId::MAX` while un-hedged.
+    hedge_send: SendId,
+    /// Pending deadline *or* backoff-retry timer (mutually exclusive in
+    /// time), cancelled on completion so neither fires dead.
+    deadline_timer: Option<TimerId>,
+    /// Pending hedge-check timer, cancelled on completion/parking.
+    hedge_timer: Option<TimerId>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -144,6 +174,17 @@ struct Coordinator {
     /// Coordinator-observed replica read latencies (speculative-retry
     /// threshold source).
     replica_latency: LogHistogram,
+    /// Failure detector: consecutive deadline expiries charged to each
+    /// node. Any response from the node resets its streak.
+    timeout_streak: Vec<u32>,
+    /// Node excluded from this coordinator's candidate sets until the
+    /// given instant ([`Nanos::ZERO`] = not evicted). Expiry is the
+    /// implicit probe: the node becomes selectable again and either
+    /// responds (reinstate) or times out (re-evict, longer window).
+    evicted_until: Vec<Nanos>,
+    /// Upper bound over `evicted_until`, so the no-eviction common case
+    /// costs one comparison per dispatch.
+    max_evicted_until: Nanos,
 }
 
 /// Results of one cluster run.
@@ -179,8 +220,31 @@ pub struct ClusterResult {
     /// the field exists to prove that regression-style.
     pub dead_retries: u64,
     /// Timers cancelled before firing: speculative-retry checks cancelled
-    /// on op completion plus backlog-retry timers cancelled on drain.
+    /// on op completion plus backlog-retry timers cancelled on drain (and,
+    /// with lifecycle hardening on, deadline/hedge timers cancelled on
+    /// completion).
     pub events_cancelled: u64,
+    /// Per-request deadlines that expired.
+    pub timeouts: u64,
+    /// Reads re-dispatched after a deadline expiry.
+    pub retries_issued: u64,
+    /// Reads abandoned with deadline and retry budget spent. Parked ops
+    /// never complete; they count toward run termination instead.
+    pub parked: u64,
+    /// Hedged duplicates issued.
+    pub hedges_issued: u64,
+    /// Hedged reads won by the duplicate (it responded first).
+    pub hedge_wins: u64,
+    /// Failure-detector evictions (transitions into an eviction window).
+    pub evictions: u64,
+    /// Failure-detector reinstatements (a suspected node responded).
+    pub reinstates: u64,
+    /// Requests or responses destroyed by the fault plan.
+    pub faults_dropped: u64,
+    /// Lifecycle timers (deadline/retry/hedge) that fired after their op
+    /// completed or parked. Completion cancels them, so this stays zero;
+    /// the field exists to prove that regression-style.
+    pub dead_lifecycle: u64,
     /// Optional `(time, read latency)` trace (Figure 11).
     pub latency_trace: Vec<(Nanos, Nanos)>,
     /// Sending-rate traces for each configured probe (Figure 13).
@@ -244,10 +308,23 @@ pub struct ClusterScenario {
     seeds: SeedSeq,
     wl_rng: SmallRng,
     srv_rng: SmallRng,
+    /// Lifecycle randomness: backoff jitter and fault-plan drop draws.
+    /// Kept separate from `srv_rng`/`wl_rng` and never drawn when the
+    /// knobs are off, so hardened-off runs stay bit-identical.
+    life_rng: SmallRng,
     issued: u64,
     spec_retries: u64,
     dead_spec_checks: u64,
     dead_retries: u64,
+    timeouts: u64,
+    retries_issued: u64,
+    parked: u64,
+    hedges_issued: u64,
+    hedge_wins: u64,
+    evictions: u64,
+    reinstates: u64,
+    faults_dropped: u64,
+    dead_lifecycle: u64,
     latency_trace: Vec<(Nanos, Nanos)>,
     record_trace: bool,
     probes: Vec<(usize, usize)>,
@@ -295,6 +372,7 @@ impl ClusterScenario {
         let seeds = SeedSeq::new(cfg.seed);
         let wl_rng = seeds.workload_rng();
         let srv_rng = seeds.service_rng(7);
+        let life_rng = seeds.service_rng(0x11fe);
 
         let mut c3 = cfg.c3;
         // w = number of clients; coordinators are the C3 clients here.
@@ -336,6 +414,9 @@ impl ClusterScenario {
                     backlogged: 0,
                     retry_timer: vec![None; cfg.nodes],
                     replica_latency: LogHistogram::new(),
+                    timeout_streak: vec![0; cfg.nodes],
+                    evicted_until: vec![Nanos::ZERO; cfg.nodes],
+                    max_evicted_until: Nanos::ZERO,
                 }
             })
             .collect();
@@ -379,6 +460,15 @@ impl ClusterScenario {
             spec_retries: 0,
             dead_spec_checks: 0,
             dead_retries: 0,
+            timeouts: 0,
+            retries_issued: 0,
+            parked: 0,
+            hedges_issued: 0,
+            hedge_wins: 0,
+            evictions: 0,
+            reinstates: 0,
+            faults_dropped: 0,
+            dead_lifecycle: 0,
             latency_trace: Vec::new(),
             record_trace: false,
             probes: Vec::new(),
@@ -388,6 +478,7 @@ impl ClusterScenario {
             recorder: None,
             group_scratch: Vec::new(),
             wl_rng,
+            life_rng,
             cfg,
         }
     }
@@ -478,6 +569,15 @@ impl ClusterScenario {
             dead_spec_checks: self.dead_spec_checks,
             dead_retries: self.dead_retries,
             events_cancelled: stats.events_cancelled,
+            timeouts: self.timeouts,
+            retries_issued: self.retries_issued,
+            parked: self.parked,
+            hedges_issued: self.hedges_issued,
+            hedge_wins: self.hedge_wins,
+            evictions: self.evictions,
+            reinstates: self.reinstates,
+            faults_dropped: self.faults_dropped,
+            dead_lifecycle: self.dead_lifecycle,
             latency_trace: self.latency_trace,
             rate_traces: self.rate_traces,
             backpressure_events: self.backpressure_events,
@@ -488,10 +588,17 @@ impl ClusterScenario {
     }
 
     /// Events that fired with nothing left to do (completed op, drained
-    /// backlog). Both sources are cancelled at their trigger, so this is
+    /// backlog). All sources are cancelled at their trigger, so this is
     /// zero on every scenario — asserted regression-style.
     pub fn dead_events(&self) -> u64 {
-        self.dead_spec_checks + self.dead_retries
+        self.dead_spec_checks + self.dead_retries + self.dead_lifecycle
+    }
+
+    /// Lifecycle-hardening tallies `(timeouts, parked)` for scenario
+    /// frontends that report straight from run metrics. Both stay zero
+    /// when no deadline is configured.
+    pub fn lifecycle_counts(&self) -> (u64, u64) {
+        (self.timeouts, self.parked)
     }
 
     /// Fill the reusable scratch buffer with the replica group whose
@@ -551,6 +658,11 @@ impl ClusterScenario {
             completed: false,
             spec_sent: false,
             spec_timer: None,
+            attempts: 0,
+            parked: false,
+            hedge_send: SendId::MAX,
+            deadline_timer: None,
+            hedge_timer: None,
         });
         if kind == Op::Read {
             if let Some(rec) = &mut self.recorder {
@@ -669,10 +781,21 @@ impl ClusterScenario {
         let op = self.ops[op_id as usize];
         let coord_id = op.coord as usize;
         let group = self.take_group(op.group as usize);
+        // Retries steer away from the replica that just timed out; the
+        // failure detector additionally masks evicted nodes. `None` = no
+        // filtering (the hot path: no deadline configured, or nothing to
+        // exclude).
+        let exclude = if op.attempts > 0 && op.primary_send != SendId::MAX {
+            Some(self.sends[op.primary_send as usize].node as usize)
+        } else {
+            None
+        };
+        let filtered = self.filtered_candidates(coord_id, &group, exclude, now);
+        let cand: &[ServerId] = filtered.as_deref().unwrap_or(&group);
 
-        match self.coords[coord_id].selector.select(&group, now) {
+        match self.coords[coord_id].selector.select(cand, now) {
             Selection::Server(primary) => {
-                self.record_decision(op_id, coord_id, Some(primary), &group, now);
+                self.record_decision(op_id, coord_id, Some(primary), cand, now);
                 self.coords[coord_id].selector.on_send(primary, now);
                 self.forward(op_id, primary, false, true, now, engine);
                 if op.read_repair {
@@ -689,9 +812,10 @@ impl ClusterScenario {
                         engine.schedule_in_cancellable(threshold, Ev::SpecCheck { op: op_id });
                     self.ops[op_id as usize].spec_timer = Some(timer);
                 }
+                self.arm_lifecycle(op_id, engine);
             }
             Selection::Backpressure { retry_at } => {
-                self.record_decision(op_id, coord_id, None, &group, now);
+                self.record_decision(op_id, coord_id, None, cand, now);
                 let group_id = op.group as usize;
                 let coord = &mut self.coords[coord_id];
                 if coord.backlogs[group_id].is_empty() {
@@ -764,6 +888,275 @@ impl ClusterScenario {
         Nanos(h.value_at_quantile(0.99).max(1_000_000))
     }
 
+    // ---- request-lifecycle hardening --------------------------------------
+
+    /// The candidate set actually offered to the selector, or `None` when
+    /// the full group applies (the hot path — one comparison when no
+    /// deadline is configured or nothing is excluded). Filtering drops
+    /// detector-evicted nodes and, on a retry, the replica that just timed
+    /// out; a wholly-filtered group falls back ("a suspect replica beats
+    /// none") to everything but the excluded node, then to the full group.
+    fn filtered_candidates(
+        &self,
+        coord_id: usize,
+        group: &[ServerId],
+        exclude: Option<usize>,
+        now: Nanos,
+    ) -> Option<Vec<ServerId>> {
+        self.cfg.deadline?;
+        let coord = &self.coords[coord_id];
+        let evicting = now < coord.max_evicted_until;
+        if !evicting && exclude.is_none() {
+            return None;
+        }
+        let live: Vec<ServerId> = group
+            .iter()
+            .copied()
+            .filter(|&n| Some(n) != exclude && (!evicting || coord.evicted_until[n] <= now))
+            .collect();
+        if live.len() == group.len() {
+            return None;
+        }
+        if !live.is_empty() {
+            return Some(live);
+        }
+        let relaxed: Vec<ServerId> = group
+            .iter()
+            .copied()
+            .filter(|&n| Some(n) != exclude)
+            .collect();
+        if relaxed.is_empty() {
+            None
+        } else {
+            Some(relaxed)
+        }
+    }
+
+    /// Arm the per-request timers on dispatch: the deadline (whose expiry
+    /// retries or parks the read) and, on the first attempt only, the
+    /// hedge check. No-ops when the knobs are off.
+    fn arm_lifecycle(&mut self, op_id: OpId, engine: &mut EventQueue<Ev>) {
+        if let Some(d) = self.cfg.deadline {
+            let timer = engine.schedule_in_cancellable(d, Ev::Deadline { op: op_id });
+            self.ops[op_id as usize].deadline_timer = Some(timer);
+        }
+        if let Some(h) = self.cfg.hedge_after {
+            let op = &self.ops[op_id as usize];
+            if op.attempts == 0 && op.hedge_send == SendId::MAX && op.hedge_timer.is_none() {
+                let timer = engine.schedule_in_cancellable(h, Ev::HedgeCheck { op: op_id });
+                self.ops[op_id as usize].hedge_timer = Some(timer);
+            }
+        }
+    }
+
+    /// A read's deadline expired: charge the failure detector, then retry
+    /// (with exponential backoff and jitter) while budget remains, else
+    /// park the operation.
+    fn on_deadline(&mut self, op_id: OpId, now: Nanos, engine: &mut EventQueue<Ev>) {
+        self.ops[op_id as usize].deadline_timer = None;
+        let op = self.ops[op_id as usize];
+        if op.completed || op.parked {
+            // Unreachable since completion/parking cancels the timer;
+            // counted so a regression back to fire-and-filter is visible.
+            self.dead_lifecycle += 1;
+            return;
+        }
+        self.timeouts += 1;
+        let node = self.sends[op.primary_send as usize].node as usize;
+        self.note_timeout(op.coord as usize, node, now);
+        if let Some(rec) = &mut self.recorder {
+            rec.record(
+                now,
+                op_id,
+                TracePoint::Timeout {
+                    server: node as u32,
+                },
+            );
+        }
+        if u32::from(op.attempts) < self.cfg.retries {
+            self.ops[op_id as usize].attempts = op.attempts + 1;
+            // Backoff before the retry goes out, doubling per attempt with
+            // jitter so synchronized expiries don't stampede the survivors.
+            let deadline = self.cfg.deadline.expect("deadline fired");
+            let shift = u32::from(op.attempts).min(6);
+            let base = (deadline.as_nanos() / 8).max(1) << shift;
+            let wait = Nanos((base as f64 * self.life_rng.gen_range(0.5..1.5)) as u64);
+            let timer = engine.schedule_in_cancellable(wait, Ev::RetryOp { op: op_id });
+            self.ops[op_id as usize].deadline_timer = Some(timer);
+        } else {
+            self.park(op_id, engine);
+        }
+    }
+
+    /// Give up on an operation: deadline and retry budget spent. The op
+    /// never completes — its generator thread moves on so the rest of the
+    /// workload still runs — and `is_done` counts it as finished.
+    fn park(&mut self, op_id: OpId, engine: &mut EventQueue<Ev>) {
+        let thread = {
+            let op = &mut self.ops[op_id as usize];
+            op.parked = true;
+            if let Some(timer) = op.hedge_timer.take() {
+                engine.cancel(timer);
+            }
+            op.thread as usize
+        };
+        self.parked += 1;
+        if self.open_arrivals.is_none() {
+            engine.schedule_in(Nanos::from_micros(50), Ev::ClientIssue { thread });
+        }
+    }
+
+    /// The backoff wait ended: re-dispatch through the normal selection
+    /// path. The replica that timed out is excluded from the candidate set
+    /// (see `dispatch_read`) and the fresh primary send supersedes the
+    /// abandoned one.
+    fn on_retry_op(&mut self, op_id: OpId, now: Nanos, engine: &mut EventQueue<Ev>) {
+        self.ops[op_id as usize].deadline_timer = None;
+        let op = self.ops[op_id as usize];
+        if op.completed || op.parked {
+            self.dead_lifecycle += 1;
+            return;
+        }
+        self.retries_issued += 1;
+        // A pure marker: the retry's own send is traced by the `Decision`
+        // the re-dispatch emits. `server` names the replica retried away
+        // from.
+        if let Some(rec) = &mut self.recorder {
+            let prev = self.sends[op.primary_send as usize].node as u32;
+            rec.record(
+                now,
+                op_id,
+                TracePoint::Retry {
+                    server: prev,
+                    attempt: op.attempts,
+                },
+            );
+        }
+        self.dispatch_read(op_id, now, engine);
+    }
+
+    /// The hedge threshold passed without a response: duplicate the read
+    /// to a second replica, RepNet-style. First response wins; the loser
+    /// is discarded at the coordinator.
+    fn on_hedge_check(&mut self, op_id: OpId, now: Nanos, engine: &mut EventQueue<Ev>) {
+        self.ops[op_id as usize].hedge_timer = None;
+        let op = self.ops[op_id as usize];
+        if op.completed || op.parked {
+            self.dead_lifecycle += 1;
+            return;
+        }
+        if op.hedge_send != SendId::MAX {
+            return;
+        }
+        let tried = self.sends[op.primary_send as usize].node as usize;
+        let coord_id = op.coord as usize;
+        // Prefer a replica the detector trusts; any other member failing
+        // that; the tried node itself as a last resort.
+        let alt = {
+            let coord = &self.coords[coord_id];
+            let ring = self.ring;
+            let mut fallback = None;
+            let mut pick = None;
+            for m in ring.group_members(op.group as usize) {
+                if m == tried {
+                    continue;
+                }
+                if fallback.is_none() {
+                    fallback = Some(m);
+                }
+                if coord.evicted_until[m] <= now {
+                    pick = Some(m);
+                    break;
+                }
+            }
+            pick.or(fallback).unwrap_or(tried)
+        };
+        self.hedges_issued += 1;
+        self.coords[coord_id].selector.on_send(alt, now);
+        let send_id = self.sends.len() as SendId;
+        self.sends.push(SendState {
+            op: op_id,
+            node: alt as u16,
+            is_write: false,
+            sent_at: now,
+            feedback: Feedback::new(0, Nanos::ZERO),
+        });
+        self.ops[op_id as usize].hedge_send = send_id;
+        // `HedgeIssue` IS the duplicate's wire record — no separate `Send`.
+        if let Some(rec) = &mut self.recorder {
+            rec.record(now, op_id, TracePoint::HedgeIssue { server: alt as u32 });
+        }
+        let delay = if coord_id == alt {
+            Nanos::from_micros(20)
+        } else {
+            self.cfg.net_latency
+        };
+        engine.schedule_in(delay, Ev::ReplicaArrive { send: send_id });
+    }
+
+    /// Failure detector: a deadline expiry charged to `node`. Three
+    /// consecutive expiries evict it from this coordinator's candidate
+    /// sets for a window that doubles per further expiry.
+    fn note_timeout(&mut self, coord_id: usize, node: usize, now: Nanos) {
+        let newly_evicted = {
+            let coord = &mut self.coords[coord_id];
+            coord.timeout_streak[node] += 1;
+            let streak = coord.timeout_streak[node];
+            if streak < EVICT_THRESHOLD {
+                return;
+            }
+            let over = (streak - EVICT_THRESHOLD).min(4);
+            let until = now + Nanos(EVICT_BASE.as_nanos() << over);
+            let was_active = coord.evicted_until[node] > now;
+            if until > coord.evicted_until[node] {
+                coord.evicted_until[node] = until;
+                coord.max_evicted_until = coord.max_evicted_until.max(until);
+            }
+            !was_active
+        };
+        if newly_evicted {
+            self.evictions += 1;
+            if let Some(rec) = &mut self.recorder {
+                rec.record(
+                    now,
+                    DETECTOR_OP,
+                    TracePoint::Evict {
+                        server: node as u32,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Failure detector: any response from `node` proves it alive — the
+    /// streak resets and a standing eviction is lifted (write acks and
+    /// read-repair fan-out keep probing evicted nodes, so recovery is
+    /// observed without dedicated probe traffic).
+    fn note_success(&mut self, coord_id: usize, node: usize, now: Nanos) {
+        let cleared = {
+            let coord = &mut self.coords[coord_id];
+            coord.timeout_streak[node] = 0;
+            if coord.evicted_until[node] > Nanos::ZERO {
+                coord.evicted_until[node] = Nanos::ZERO;
+                true
+            } else {
+                false
+            }
+        };
+        if cleared {
+            self.reinstates += 1;
+            if let Some(rec) = &mut self.recorder {
+                rec.record(
+                    now,
+                    DETECTOR_OP,
+                    TracePoint::Reinstate {
+                        server: node as u32,
+                    },
+                );
+            }
+        }
+    }
+
     fn on_spec_check(&mut self, op_id: OpId, now: Nanos, engine: &mut EventQueue<Ev>) {
         self.ops[op_id as usize].spec_timer = None;
         let op = self.ops[op_id as usize];
@@ -813,6 +1206,13 @@ impl ClusterScenario {
 
     fn on_replica_arrive(&mut self, send_id: SendId, now: Nanos, engine: &mut EventQueue<Ev>) {
         let send = self.sends[send_id as usize];
+        if !self.cfg.faults.is_empty() && self.cfg.faults.down(send.node as usize, now) {
+            // The replica is crashed or its transport is resetting: the
+            // request vanishes. Recovery is the client's job (deadline →
+            // retry/hedge/park).
+            self.faults_dropped += 1;
+            return;
+        }
         let node = &mut self.nodes[send.node as usize];
         node.perturb.expire(now);
         if send.is_write {
@@ -911,11 +1311,27 @@ impl ClusterScenario {
         self.sends[send_id as usize].feedback = Feedback::new(pending, service_time);
 
         let coord = self.ops[send.op as usize].coord as usize;
-        let delay = if coord == node_id {
+        let mut delay = if coord == node_id {
             Nanos::from_micros(20)
         } else {
             self.cfg.net_latency
         };
+        if !self.cfg.faults.is_empty() {
+            // Response-side faults: a crash/reset window or a lossy window
+            // destroys the response after it burned service time; a laggy
+            // window stretches its return path. The stage bookkeeping
+            // above already ran, so the replica itself keeps draining.
+            if self.cfg.faults.down(node_id, now) {
+                self.faults_dropped += 1;
+                return;
+            }
+            let p = self.cfg.faults.drop_prob(node_id, now);
+            if p > 0.0 && self.life_rng.gen::<f64>() < p {
+                self.faults_dropped += 1;
+                return;
+            }
+            delay += self.cfg.faults.extra_delay(node_id, now);
+        }
         engine.schedule_in(delay, Ev::CoordReceive { send: send_id });
     }
 
@@ -928,6 +1344,12 @@ impl ClusterScenario {
         let node = send.node as usize;
         let rtt = now.saturating_sub(send.sent_at);
         let feedback = send.feedback;
+
+        // Any response proves the node alive: reset its failure-detector
+        // streak and lift a standing eviction (only armed with deadlines).
+        if self.cfg.deadline.is_some() {
+            self.note_success(coord_id, node, now);
+        }
 
         // Update the coordinator's selection state (reads only; writes are
         // fan-out sends the selector never chose).
@@ -981,20 +1403,60 @@ impl ClusterScenario {
         }
 
         // Completion semantics: reads complete on the primary (or any
-        // speculative duplicate); writes complete on the first ack.
+        // speculative duplicate, or the hedged duplicate — first response
+        // wins); writes complete on the first ack. Parked ops are already
+        // charged to their thread and can no longer complete.
         let completes = if send.is_write {
             !op.completed
         } else {
-            !op.completed && (op.primary_send == send_id || op.spec_sent)
+            !op.completed
+                && !op.parked
+                && (op.primary_send == send_id || op.spec_sent || op.hedge_send == send_id)
         };
         if completes {
             self.ops[send.op as usize].completed = true;
-            // The speculative-retry check can no longer act: cancel it
-            // instead of letting a dead event surface through the kernel.
+            // Timers that can no longer act (speculative-retry check,
+            // deadline or backoff retry, hedge check) are cancelled
+            // instead of surfacing as dead events through the kernel.
             if let Some(timer) = self.ops[send.op as usize].spec_timer.take() {
                 engine.cancel(timer);
             }
+            if let Some(timer) = self.ops[send.op as usize].deadline_timer.take() {
+                engine.cancel(timer);
+            }
+            if let Some(timer) = self.ops[send.op as usize].hedge_timer.take() {
+                engine.cancel(timer);
+            }
+            if op.hedge_send == send_id {
+                self.hedge_wins += 1;
+                if let Some(rec) = &mut self.recorder {
+                    rec.record(
+                        now,
+                        send.op,
+                        TracePoint::HedgeWin {
+                            server: node as u32,
+                        },
+                    );
+                }
+            }
             engine.schedule_in(self.cfg.net_latency, Ev::ClientReceive { op: send.op });
+        } else if op.completed
+            && !send.is_write
+            && op.hedge_send != SendId::MAX
+            && (send_id == op.primary_send || send_id == op.hedge_send)
+        {
+            // The losing half of a hedged pair straggling in after the
+            // winner: discarded, but traced so the hedge ledger can price
+            // the duplicate's flight time.
+            if let Some(rec) = &mut self.recorder {
+                rec.record(
+                    now,
+                    send.op,
+                    TracePoint::HedgeLoss {
+                        server: node as u32,
+                    },
+                );
+            }
         }
 
         // A response may free rate for the backlogged groups containing
@@ -1035,10 +1497,15 @@ impl ClusterScenario {
             engine.cancel(timer);
         }
         let group = self.take_group(group_id);
+        // Eviction state cannot change mid-drain (no responses are
+        // processed inside the loop), so the filtered view is computed
+        // once; `None` = the full group (the hot path).
+        let filtered = self.filtered_candidates(coord_id, &group, None, now);
+        let cand: &[ServerId] = filtered.as_deref().unwrap_or(&group);
         'drain: while let Some(&op_id) = self.coords[coord_id].backlogs[group_id].peek() {
-            match self.coords[coord_id].selector.select(&group, now) {
+            match self.coords[coord_id].selector.select(cand, now) {
                 Selection::Server(node) => {
-                    self.record_decision(op_id, coord_id, Some(node), &group, now);
+                    self.record_decision(op_id, coord_id, Some(node), cand, now);
                     {
                         let coord = &mut self.coords[coord_id];
                         coord.backlogs[group_id].pop();
@@ -1048,6 +1515,7 @@ impl ClusterScenario {
                         coord.selector.on_send(node, now);
                     }
                     self.forward(op_id, node, false, true, now, engine);
+                    self.arm_lifecycle(op_id, engine);
                     let op = self.ops[op_id as usize];
                     if op.read_repair {
                         for &n in &group {
@@ -1203,11 +1671,17 @@ impl Scenario for ClusterScenario {
             Ev::RetryBacklog { coord, group } => self.on_retry(coord, group, now, engine, true),
             Ev::SpecCheck { op } => self.on_spec_check(op, now, engine),
             Ev::PhaseStart => self.on_phase_start(now, engine),
+            Ev::Deadline { op } => self.on_deadline(op, now, engine),
+            Ev::RetryOp { op } => self.on_retry_op(op, now, engine),
+            Ev::HedgeCheck { op } => self.on_hedge_check(op, now, engine),
         }
     }
 
     fn is_done(&self, metrics: &RunMetrics) -> bool {
-        metrics.total_completions() >= self.cfg.total_ops
+        // Parked operations never complete; they still count as finished
+        // so a faulted run terminates (identical to the seed expression
+        // whenever nothing parks).
+        metrics.total_completions() + self.parked >= self.cfg.total_ops
     }
 }
 
@@ -1280,6 +1754,7 @@ impl Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use c3_engine::Strategy;
 
     fn small(strategy: Strategy) -> ClusterConfig {
@@ -1563,6 +2038,150 @@ mod tests {
         .unwrap_err();
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.contains("ORA"), "got: {msg}");
+    }
+
+    #[test]
+    fn generous_deadline_changes_no_outcome() {
+        // A deadline that never fires arms and cancels one timer per
+        // dispatch but must not change anything the clients observe.
+        let mut cfg = small(Strategy::c3());
+        cfg.total_ops = 3_000;
+        cfg.warmup_ops = 200;
+        let base = Cluster::new(cfg.clone()).run();
+        cfg.deadline = Some(Nanos::from_secs(5));
+        let hard = Cluster::new(cfg).run();
+        assert_eq!(hard.timeouts, 0);
+        assert_eq!(hard.parked, 0);
+        assert_eq!(hard.evictions, 0);
+        assert_eq!(base.duration, hard.duration);
+        assert_eq!(
+            base.read_latency.value_at_quantile(0.99),
+            hard.read_latency.value_at_quantile(0.99)
+        );
+        assert!(
+            hard.events_cancelled > base.events_cancelled,
+            "every dispatch armed a deadline that completion cancelled"
+        );
+    }
+
+    fn crashy(strategy: Strategy) -> ClusterConfig {
+        let mut cfg = small(strategy);
+        cfg.total_ops = 6_000;
+        cfg.warmup_ops = 200;
+        cfg.faults = FaultPlan::crash_flux(5, 9, Nanos::from_secs(30));
+        cfg.deadline = Some(Nanos::from_millis(60));
+        cfg
+    }
+
+    #[test]
+    fn naked_deadline_parks_reads_under_crash_flux() {
+        // No retries, no hedging: reads dispatched into a crash window
+        // time out once and park.
+        let res = Cluster::new(crashy(Strategy::dynamic_snitching())).run();
+        assert!(res.faults_dropped > 0, "crash windows must destroy sends");
+        assert!(res.timeouts > 0, "destroyed sends must expire deadlines");
+        assert!(res.parked > 0, "without retries a timed-out read parks");
+        assert_eq!(res.dead_lifecycle, 0, "lifecycle timers never fire dead");
+    }
+
+    #[test]
+    fn retries_and_hedging_rescue_crashed_reads() {
+        let naked = Cluster::new(crashy(Strategy::c3())).run();
+        let mut cfg = crashy(Strategy::c3());
+        cfg.retries = 3;
+        cfg.hedge_after = Some(Nanos::from_millis(30));
+        let hardened = Cluster::new(cfg).run();
+        assert!(hardened.timeouts > 0);
+        assert!(hardened.retries_issued > 0, "timeouts must trigger retries");
+        assert!(hardened.hedges_issued > 0, "slow reads must hedge");
+        assert_eq!(hardened.dead_lifecycle, 0);
+        assert!(
+            hardened.parked < naked.parked,
+            "retry + hedge must park fewer reads than naked deadlines \
+             ({} vs {})",
+            hardened.parked,
+            naked.parked
+        );
+    }
+
+    #[test]
+    fn failure_detector_evicts_and_reinstates() {
+        let mut cfg = crashy(Strategy::c3());
+        cfg.retries = 3;
+        let res = Cluster::new(cfg).run();
+        assert!(
+            res.evictions > 0,
+            "three consecutive expiries must evict the crashed node"
+        );
+        assert!(
+            res.reinstates > 0,
+            "responses after restart must lift the eviction"
+        );
+    }
+
+    #[test]
+    fn flaky_net_drops_and_delays_are_survivable() {
+        let mut cfg = small(Strategy::c3());
+        cfg.total_ops = 6_000;
+        cfg.warmup_ops = 200;
+        cfg.faults = FaultPlan::flaky_net(5, 9, Nanos::from_secs(30));
+        cfg.deadline = Some(Nanos::from_millis(100));
+        cfg.retries = 3;
+        let res = Cluster::new(cfg).run();
+        assert!(res.faults_dropped > 0, "lossy windows must destroy traffic");
+        assert!(res.timeouts > 0);
+        assert!(res.retries_issued > 0);
+        assert_eq!(res.dead_lifecycle, 0);
+    }
+
+    #[test]
+    fn hedged_runs_trace_the_full_lifecycle() {
+        let mut cfg = crashy(Strategy::c3());
+        cfg.retries = 2;
+        cfg.hedge_after = Some(Nanos::from_millis(30));
+        // Size the ring for every event of the run (~6 per request), so
+        // rare early points (retries) can't be evicted before we look.
+        let res = Cluster::new(cfg)
+            .with_recorder(Recorder::new(64 * 1024))
+            .run();
+        assert!(res.hedges_issued > 0);
+        assert!(res.hedge_wins > 0, "some hedged duplicates must win");
+        let rec = res.recorder.expect("recorder rides along");
+        let events: Vec<_> = rec.events().collect();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.point, TracePoint::Timeout { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.point, TracePoint::Retry { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.point, TracePoint::HedgeIssue { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.point, TracePoint::HedgeWin { .. })));
+        let attr = c3_telemetry::attribute_tail(rec.events(), "crashy", "C3", 0.99);
+        assert!(attr.joined > 0);
+        assert!(attr.hedges > 0, "hedge ledger must see the duplicates");
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let mut cfg = crashy(Strategy::c3());
+        cfg.retries = 2;
+        cfg.hedge_after = Some(Nanos::from_millis(30));
+        let a = Cluster::new(cfg.clone()).run();
+        let b = Cluster::new(cfg).run();
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.timeouts, b.timeouts);
+        assert_eq!(a.retries_issued, b.retries_issued);
+        assert_eq!(a.hedges_issued, b.hedges_issued);
+        assert_eq!(a.parked, b.parked);
+        assert_eq!(a.faults_dropped, b.faults_dropped);
+        assert_eq!(
+            a.read_latency.value_at_quantile(0.99),
+            b.read_latency.value_at_quantile(0.99)
+        );
     }
 
     #[test]

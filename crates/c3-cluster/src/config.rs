@@ -9,6 +9,7 @@ use c3_core::{C3Config, Nanos};
 use c3_engine::Strategy;
 use c3_workload::WorkloadMix;
 
+use crate::fault::FaultPlan;
 use crate::perturb::{PerturbationSpec, ScriptedSlowdown};
 use crate::snitch::SnitchConfig;
 use crate::storage::{DiskKind, DiskModel};
@@ -76,6 +77,23 @@ pub struct ClusterConfig {
     /// Enable speculative retry at the coordinator's running p99 (the
     /// paper's negative result, §5).
     pub speculative_retry: bool,
+    /// Deterministic fault-injection plan replayed as engine events
+    /// (replica crashes, connection resets, response drops/delays). Empty
+    /// by default, which leaves the replica path untouched.
+    pub faults: FaultPlan,
+    /// Per-read deadline, measured from dispatch. When it expires the
+    /// coordinator gives up on the outstanding attempt: it either retries
+    /// (see [`ClusterConfig::retries`]) or parks the operation. `None`
+    /// disables timeout reaping entirely (the seed behaviour).
+    pub deadline: Option<Nanos>,
+    /// Bounded retry budget after a deadline expiry. Each retry re-selects
+    /// a replica (excluding the one that just timed out) after an
+    /// exponential backoff with jitter. Requires a deadline.
+    pub retries: u32,
+    /// Hedge a read to a second replica after this delay (RepNet-style:
+    /// first response wins, the loser is discarded). `None` disables
+    /// hedging.
+    pub hedge_after: Option<Nanos>,
     /// Replica-selection strategy under test, by registry name.
     pub strategy: Strategy,
     /// C3 parameters; `concurrency_weight` is set to the number of
@@ -113,6 +131,10 @@ impl Default for ClusterConfig {
             perturbations: PerturbationSpec::default(),
             scripted: Vec::new(),
             speculative_retry: false,
+            faults: FaultPlan::none(),
+            deadline: None,
+            retries: 0,
+            hedge_after: None,
             strategy: Strategy::c3(),
             c3: C3Config::default(),
             snitch: SnitchConfig::default(),
@@ -166,6 +188,19 @@ impl ClusterConfig {
         if let Some(p) = &self.phase {
             assert!(p.extra_generators > 0, "phase must add generators");
         }
+        if let Some(d) = self.deadline {
+            assert!(d > Nanos::ZERO, "deadline must be positive");
+        }
+        assert!(
+            self.retries == 0 || self.deadline.is_some(),
+            "retries need a deadline to trigger them"
+        );
+        if let Some(h) = self.hedge_after {
+            assert!(h > Nanos::ZERO, "hedge delay must be positive");
+        }
+        for ev in &self.faults.events {
+            assert!(ev.node < self.nodes, "fault episode on unknown node");
+        }
         self.c3.validate();
     }
 }
@@ -184,6 +219,25 @@ mod tests {
         assert!((c.zipf_theta - 0.99).abs() < 1e-12);
         assert!((c.read_repair_prob - 0.1).abs() < 1e-12);
         assert_eq!(c.disk, DiskKind::Spinning);
+        c.validate();
+    }
+
+    #[test]
+    fn lifecycle_hardening_defaults_off() {
+        let c = ClusterConfig::default();
+        assert!(c.faults.is_empty());
+        assert!(c.deadline.is_none());
+        assert_eq!(c.retries, 0);
+        assert!(c.hedge_after.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "retries need a deadline")]
+    fn retries_without_deadline_are_rejected() {
+        let c = ClusterConfig {
+            retries: 2,
+            ..ClusterConfig::default()
+        };
         c.validate();
     }
 

@@ -1,0 +1,301 @@
+//! Deterministic fault-injection plans.
+//!
+//! Where [`crate::perturb`] models replicas that get *slow* (GC,
+//! compaction, noisy neighbours), this module models replicas that
+//! *fail*: crash/restart windows, connection resets mid-stream, silently
+//! dropped responses, and delayed responses. A [`FaultPlan`] is a fully
+//! materialized, seeded schedule of such episodes — the same plan replays
+//! as engine events on the simulated cluster and against wall time on the
+//! live backend, so a `(scenario, seed)` cell means the same fault
+//! timeline on both.
+//!
+//! The plan is pure data queried by time: backends ask `down(node, now)`,
+//! `drop_prob(node, now)` and `extra_delay(node, now)` at each
+//! request/response boundary. No hidden state, no RNG at replay time —
+//! which is what keeps fingerprints stable and the live replay honest.
+
+use c3_core::Nanos;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// What a fault episode does to its node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The replica process is down: requests vanish, responses in flight
+    /// are lost, connections to it are dead for the whole window.
+    Crash,
+    /// Established connections are reset. The live backend shuts the
+    /// socket (possibly mid-frame); the simulation treats it as a brief
+    /// total outage of the node's transport.
+    ConnReset,
+    /// Responses are dropped with probability `magnitude` (the request
+    /// still burns service time at the replica).
+    RespDrop,
+    /// Responses are delayed by an extra `magnitude` milliseconds.
+    RespDelay,
+}
+
+/// One scheduled fault window on one node.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultEvent {
+    /// Node the fault applies to.
+    pub node: usize,
+    /// What happens during the window.
+    pub kind: FaultKind,
+    /// Window start (inclusive).
+    pub start: Nanos,
+    /// Window end (exclusive).
+    pub end: Nanos,
+    /// Kind-specific magnitude: drop probability for [`FaultKind::RespDrop`],
+    /// extra delay in milliseconds for [`FaultKind::RespDelay`], unused
+    /// (0.0) otherwise.
+    pub magnitude: f64,
+}
+
+impl FaultEvent {
+    /// Whether the window covers `now`.
+    pub fn active(&self, now: Nanos) -> bool {
+        self.start <= now && now < self.end
+    }
+}
+
+/// A deterministic schedule of fault episodes.
+///
+/// The default plan is empty: every query returns the no-fault answer and
+/// backends skip the fault paths entirely, which keeps unfaulted runs
+/// bit-identical to builds that predate fault injection.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// The scheduled episodes, in no particular order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan (no faults).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The `crash-flux` plan: one node at a time crashes and restarts.
+    ///
+    /// Windows are sequential and non-overlapping with recovery gaps
+    /// between them, so at most one node is down at any instant — with
+    /// replication factor ≥ 2 every key keeps a live replica and a
+    /// hardened client can always finish. Crash windows run 200–800 ms
+    /// with 300–900 ms gaps, starting after a 400 ms quiet lead-in.
+    pub fn crash_flux(seed: u64, nodes: usize, span: Nanos) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut events = Vec::new();
+        let mut at = Nanos::from_millis(400);
+        while at < span && nodes > 0 {
+            let node = rng.gen_range(0..nodes);
+            let dur = Nanos::from_millis_f64(rng.gen_range(200.0..800.0));
+            events.push(FaultEvent {
+                node,
+                kind: FaultKind::Crash,
+                start: at,
+                end: at + dur,
+                magnitude: 0.0,
+            });
+            let gap = Nanos::from_millis_f64(rng.gen_range(300.0..900.0));
+            at = at + dur + gap;
+        }
+        Self { events }
+    }
+
+    /// The `flaky-net` plan: connections reset, responses vanish or lag.
+    ///
+    /// Three independent sequential tracks share one seeded stream:
+    /// short 50–150 ms [`FaultKind::ConnReset`] windows, 200–600 ms
+    /// [`FaultKind::RespDrop`] windows at 30–70% drop probability, and
+    /// 200–600 ms [`FaultKind::RespDelay`] windows adding 20–80 ms.
+    /// Tracks may overlap each other but never themselves, so no node is
+    /// ever doubly dropped.
+    pub fn flaky_net(seed: u64, nodes: usize, span: Nanos) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xc2b2_ae3d_27d4_eb4f);
+        let mut events = Vec::new();
+        if nodes == 0 {
+            return Self { events };
+        }
+        // Connection resets: frequent, brief.
+        let mut at = Nanos::from_millis(300);
+        while at < span {
+            let node = rng.gen_range(0..nodes);
+            let dur = Nanos::from_millis_f64(rng.gen_range(50.0..150.0));
+            events.push(FaultEvent {
+                node,
+                kind: FaultKind::ConnReset,
+                start: at,
+                end: at + dur,
+                magnitude: 0.0,
+            });
+            at = at + dur + Nanos::from_millis_f64(rng.gen_range(400.0..1_000.0));
+        }
+        // Response drops: lossy windows.
+        let mut at = Nanos::from_millis(500);
+        while at < span {
+            let node = rng.gen_range(0..nodes);
+            let dur = Nanos::from_millis_f64(rng.gen_range(200.0..600.0));
+            events.push(FaultEvent {
+                node,
+                kind: FaultKind::RespDrop,
+                start: at,
+                end: at + dur,
+                magnitude: rng.gen_range(0.3..0.7),
+            });
+            at = at + dur + Nanos::from_millis_f64(rng.gen_range(500.0..1_200.0));
+        }
+        // Response delays: laggy windows.
+        let mut at = Nanos::from_millis(700);
+        while at < span {
+            let node = rng.gen_range(0..nodes);
+            let dur = Nanos::from_millis_f64(rng.gen_range(200.0..600.0));
+            events.push(FaultEvent {
+                node,
+                kind: FaultKind::RespDelay,
+                start: at,
+                end: at + dur,
+                magnitude: rng.gen_range(20.0..80.0),
+            });
+            at = at + dur + Nanos::from_millis_f64(rng.gen_range(500.0..1_200.0));
+        }
+        Self { events }
+    }
+
+    /// Whether `node` is unreachable at `now` (crashed, or its transport
+    /// is resetting).
+    pub fn down(&self, node: usize, now: Nanos) -> bool {
+        self.events.iter().any(|e| {
+            e.node == node
+                && matches!(e.kind, FaultKind::Crash | FaultKind::ConnReset)
+                && e.active(now)
+        })
+    }
+
+    /// Probability that a response from `node` at `now` is dropped
+    /// (0.0 outside [`FaultKind::RespDrop`] windows).
+    pub fn drop_prob(&self, node: usize, now: Nanos) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.node == node && e.kind == FaultKind::RespDrop && e.active(now))
+            .map(|e| e.magnitude)
+            .fold(0.0, f64::max)
+    }
+
+    /// Extra delay added to a response from `node` at `now`
+    /// ([`Nanos::ZERO`] outside [`FaultKind::RespDelay`] windows).
+    pub fn extra_delay(&self, node: usize, now: Nanos) -> Nanos {
+        let ms = self
+            .events
+            .iter()
+            .filter(|e| e.node == node && e.kind == FaultKind::RespDelay && e.active(now))
+            .map(|e| e.magnitude)
+            .sum::<f64>();
+        if ms > 0.0 {
+            Nanos::from_millis_f64(ms)
+        } else {
+            Nanos::ZERO
+        }
+    }
+
+    /// End of the last scheduled window ([`Nanos::ZERO`] for the empty
+    /// plan) — lets a live replay stop polling once the plan is spent.
+    pub fn horizon(&self) -> Nanos {
+        self.events
+            .iter()
+            .map(|e| e.end)
+            .max()
+            .unwrap_or(Nanos::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_answers_no_fault() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert!(!p.down(0, Nanos::from_millis(100)));
+        assert_eq!(p.drop_prob(0, Nanos::from_millis(100)), 0.0);
+        assert_eq!(p.extra_delay(0, Nanos::from_millis(100)), Nanos::ZERO);
+        assert_eq!(p.horizon(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn crash_flux_is_deterministic_and_non_overlapping() {
+        let span = Nanos::from_secs(10);
+        let a = FaultPlan::crash_flux(7, 15, span);
+        let b = FaultPlan::crash_flux(7, 15, span);
+        assert!(!a.is_empty());
+        assert_eq!(a.events.len(), b.events.len());
+        for (x, y) in a.events.iter().zip(&b.events) {
+            assert_eq!(x.node, y.node);
+            assert_eq!(x.start, y.start);
+            assert_eq!(x.end, y.end);
+        }
+        // Sequential generation: each window ends before the next starts,
+        // so at most one node is ever down.
+        for w in a.events.windows(2) {
+            assert!(w[0].end < w[1].start);
+        }
+        for e in &a.events {
+            assert_eq!(e.kind, FaultKind::Crash);
+            assert!(e.node < 15);
+            assert!(e.start < e.end);
+        }
+    }
+
+    #[test]
+    fn crash_window_reports_down_only_inside() {
+        let p = FaultPlan::crash_flux(3, 9, Nanos::from_secs(5));
+        let e = p.events[0];
+        assert!(p.down(e.node, e.start));
+        assert!(!p.down(e.node, e.end));
+        let before = Nanos::from_millis(1);
+        assert!(!p.down(e.node, before));
+    }
+
+    #[test]
+    fn flaky_net_schedules_all_three_kinds() {
+        let p = FaultPlan::flaky_net(11, 15, Nanos::from_secs(10));
+        for kind in [
+            FaultKind::ConnReset,
+            FaultKind::RespDrop,
+            FaultKind::RespDelay,
+        ] {
+            assert!(
+                p.events.iter().any(|e| e.kind == kind),
+                "missing {kind:?} windows"
+            );
+        }
+        let drop = p
+            .events
+            .iter()
+            .find(|e| e.kind == FaultKind::RespDrop)
+            .unwrap();
+        assert!((0.3..0.7).contains(&drop.magnitude));
+        let mid = Nanos((drop.start.0 + drop.end.0) / 2);
+        assert!(p.drop_prob(drop.node, mid) >= 0.3);
+        let delay = p
+            .events
+            .iter()
+            .find(|e| e.kind == FaultKind::RespDelay)
+            .unwrap();
+        let mid = Nanos((delay.start.0 + delay.end.0) / 2);
+        assert!(p.extra_delay(delay.node, mid) >= Nanos::from_millis(20));
+    }
+
+    #[test]
+    fn horizon_covers_every_window() {
+        let p = FaultPlan::flaky_net(5, 9, Nanos::from_secs(3));
+        let h = p.horizon();
+        assert!(p.events.iter().all(|e| e.end <= h));
+    }
+}

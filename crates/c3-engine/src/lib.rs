@@ -90,6 +90,6 @@ pub use kernel::{EventQueue, TimerId};
 pub use registry::{BuiltSelector, SelectorCtx, Strategy, StrategyRegistry, UnknownStrategy};
 pub use runner::{fan_out, EngineStats, RunMetrics, Scenario, ScenarioRunner, SeedSeq};
 pub use slo::{
-    RateProbe, RateWindow, SkippedCell, SloCell, SloCellReport, SloOutcome, SloReport, SloSearch,
-    SloSweep,
+    ProbeMeasurement, RateProbe, RateWindow, SkippedCell, SloCell, SloCellReport, SloOutcome,
+    SloReport, SloSearch, SloSweep,
 };

@@ -79,6 +79,41 @@ pub struct RateProbe {
     pub value_ms: f64,
     /// Whether the SLO predicate passed at this rate.
     pub pass: bool,
+    /// Whether the measurement shed operations to the request lifecycle
+    /// (timed-out/parked past the backend's tolerance) — a shed probe
+    /// fails regardless of `value_ms`. Carried per probe so a floor
+    /// failure can name its cause — see [`SloOutcome::floor_reason`].
+    pub timed_out: bool,
+}
+
+/// What a `measure` callback hands back to the search: the SLO metric's
+/// value plus whether the run behind it shed operations to timeouts.
+///
+/// A shed run **cannot pass** the SLO regardless of its metric value: a
+/// hardened lifecycle parks what it cannot complete, so the p99 *of the
+/// completions* stays flat right through overload — judging the metric
+/// alone would call a collapsing rate "sustained". Setting `timed_out`
+/// makes the probe fail and records why in the trace.
+///
+/// `From<f64>` keeps plain-metric callbacks working unchanged (they report
+/// `timed_out: false`), so only backends that track request lifecycles —
+/// the fault-injection scenarios — need to construct this explicitly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProbeMeasurement {
+    /// The SLO metric's measured value in milliseconds.
+    pub value_ms: f64,
+    /// Whether the run shed operations to the hardened lifecycle (parked
+    /// more than the caller's tolerance). Forces the probe to fail.
+    pub timed_out: bool,
+}
+
+impl From<f64> for ProbeMeasurement {
+    fn from(value_ms: f64) -> Self {
+        Self {
+            value_ms,
+            timed_out: false,
+        }
+    }
 }
 
 /// The result of one rate search.
@@ -115,6 +150,35 @@ impl SloOutcome {
     pub fn fails_at_bracket_floor(&self) -> bool {
         self.max_rate.is_none()
     }
+
+    /// Why the search collapsed at the floor, when it did:
+    /// `Some("timeout")` when the failing floor probe shed operations to
+    /// timeouts (the tail is parked/reaped requests, not queueing),
+    /// `Some("slo-miss")` when the metric crossed the limit with every
+    /// operation completing, `None` when the cell did not fail at the
+    /// floor at all. Under fault injection the distinction matters: a
+    /// crash-flux cell that times out at every rate is broken in a
+    /// different way than one that merely queues past the SLO.
+    pub fn floor_reason(&self) -> Option<&'static str> {
+        if !self.fails_at_bracket_floor() {
+            return None;
+        }
+        // A floor failure is decided by the lo probe alone, but stay
+        // robust to richer traces: "timeout" when every failing probe was
+        // timeout-afflicted.
+        let failing = self.trace.iter().filter(|p| !p.pass);
+        let mut any = false;
+        let mut all_timed_out = true;
+        for p in failing {
+            any = true;
+            all_timed_out &= p.timed_out;
+        }
+        Some(if any && all_timed_out {
+            "timeout"
+        } else {
+            "slo-miss"
+        })
+    }
 }
 
 /// A deterministic bisection search for the maximum sustainable rate
@@ -128,25 +192,30 @@ pub struct SloSearch {
 }
 
 impl SloSearch {
-    /// Run the search. `measure(rate)` produces the SLO metric's value in
-    /// milliseconds at that offered rate (one warm-started scenario run);
-    /// an `Err` aborts the search and is handed back to the caller — the
-    /// cell-skip path for strategies a backend cannot drive.
+    /// Run the search. `measure(rate)` produces the SLO metric's value at
+    /// that offered rate (one warm-started scenario run) — either a bare
+    /// milliseconds value or a [`ProbeMeasurement`] carrying the run's
+    /// timeout flag; an `Err` aborts the search and is handed back to the
+    /// caller — the cell-skip path for strategies a backend cannot drive.
     ///
     /// Probe order: `lo` first (unsustainable early-out), then `hi`
     /// (saturation early-out), then bisection midpoints maintaining
     /// pass-at-`lo_k` / fail-at-`hi_k` until the bracket is one step wide.
-    pub fn seek<E>(&self, mut measure: impl FnMut(f64) -> Result<f64, E>) -> Result<SloOutcome, E> {
+    pub fn seek<T, E>(&self, mut measure: impl FnMut(f64) -> Result<T, E>) -> Result<SloOutcome, E>
+    where
+        T: Into<ProbeMeasurement>,
+    {
         let w = self.window;
         let mut trace: Vec<RateProbe> = Vec::new();
         let mut probe = |k: u32, trace: &mut Vec<RateProbe>| -> Result<bool, E> {
             let rate = w.rate(k);
-            let value_ms = measure(rate)?;
-            let pass = self.slo.passes_ms(value_ms);
+            let m: ProbeMeasurement = measure(rate)?.into();
+            let pass = self.slo.passes_ms(m.value_ms) && !m.timed_out;
             trace.push(RateProbe {
                 rate,
-                value_ms,
+                value_ms: m.value_ms,
                 pass,
+                timed_out: m.timed_out,
             });
             Ok(pass)
         };
@@ -291,6 +360,12 @@ impl SloReport {
                         p.rate.to_bits().hash(&mut h);
                         p.value_ms.to_bits().hash(&mut h);
                         p.pass.hash(&mut h);
+                        // Hashed only when set, so reports predating the
+                        // timeout flag (and all non-fault sweeps) keep
+                        // their committed fingerprints bit-identical.
+                        if p.timed_out {
+                            p.timed_out.hash(&mut h);
+                        }
                     }
                 }
                 Err(s) => {
@@ -325,13 +400,21 @@ impl SloSweep {
     ///
     /// `window(cell)` calibrates the cell's rate bracket (e.g. from a
     /// closed-loop run at the cell's seed); `measure(cell, rate)` runs the
-    /// scenario at an offered rate and returns the SLO metric's value in
-    /// milliseconds. Either returning `Err` skips the cell with that
-    /// reason — the same skip path for every backend.
-    pub fn run<W, M>(&self, cells: &[SloCell], threads: usize, window: W, measure: M) -> SloReport
+    /// scenario at an offered rate and returns the SLO metric's value —
+    /// bare milliseconds or a [`ProbeMeasurement`] with the run's timeout
+    /// flag. Either returning `Err` skips the cell with that reason — the
+    /// same skip path for every backend.
+    pub fn run<W, M, T>(
+        &self,
+        cells: &[SloCell],
+        threads: usize,
+        window: W,
+        measure: M,
+    ) -> SloReport
     where
         W: Fn(&SloCell) -> Result<RateWindow, String> + Sync,
-        M: Fn(&SloCell, f64) -> Result<f64, String> + Sync,
+        M: Fn(&SloCell, f64) -> Result<T, String> + Sync,
+        T: Into<ProbeMeasurement>,
     {
         let slo = self.slo;
         let results = fan_out(cells.len(), threads, |i| {
@@ -413,6 +496,63 @@ mod tests {
         assert!(!out.fails_at_bracket_floor());
         assert!(out.saturated);
         assert_eq!(out.probes(), 2, "lo + hi probes settle it");
+    }
+
+    #[test]
+    fn floor_reason_distinguishes_timeout_from_slo_miss() {
+        let s = search(2000.0, 4000.0, 8, 20.0); // even lo breaks the SLO
+        let miss = s.seek(linear).unwrap();
+        assert!(miss.fails_at_bracket_floor());
+        assert_eq!(miss.floor_reason(), Some("slo-miss"));
+        let timed = s
+            .seek(|rate| {
+                Ok::<_, String>(ProbeMeasurement {
+                    value_ms: rate / 50.0,
+                    timed_out: true,
+                })
+            })
+            .unwrap();
+        assert!(timed.fails_at_bracket_floor());
+        assert_eq!(timed.floor_reason(), Some("timeout"));
+        // Cells that sustain some rate have no floor reason at all.
+        let ok = search(100.0, 2000.0, 8, 20.0).seek(linear).unwrap();
+        assert_eq!(ok.floor_reason(), None);
+        // A shed probe fails even when its metric value passes: the p99
+        // of the completions is meaningless once ops are being parked.
+        let shed = search(100.0, 2000.0, 8, 20.0)
+            .seek(|_| {
+                Ok::<_, String>(ProbeMeasurement {
+                    value_ms: 1.0, // comfortably under the SLO
+                    timed_out: true,
+                })
+            })
+            .unwrap();
+        assert!(shed.fails_at_bracket_floor());
+        assert_eq!(shed.floor_reason(), Some("timeout"));
+    }
+
+    #[test]
+    fn timeout_flag_changes_the_fingerprint_only_when_set() {
+        let sweep = SloSweep::new(SloPredicate::p99_under_ms(20.0));
+        let cells = [SloCell::new("toy", "C3", 1)];
+        let window = |_: &SloCell| Ok(RateWindow::new(100.0, 2000.0, 16));
+        let plain = sweep.run(&cells, 1, window, |_, rate| Ok(rate / 50.0));
+        let flagged_false = sweep.run(&cells, 1, window, |_, rate| {
+            Ok(ProbeMeasurement {
+                value_ms: rate / 50.0,
+                timed_out: false,
+            })
+        });
+        let flagged_true = sweep.run(&cells, 1, window, |_, rate| {
+            Ok(ProbeMeasurement {
+                value_ms: rate / 50.0,
+                timed_out: true,
+            })
+        });
+        // An unset flag is invisible — committed pre-flag fingerprints
+        // stay valid. A set flag is a different measurement.
+        assert_eq!(plain.fingerprint(), flagged_false.fingerprint());
+        assert_ne!(plain.fingerprint(), flagged_true.fingerprint());
     }
 
     #[test]

@@ -1,25 +1,36 @@
 //! The multiplexed C3 client: issue/complete split over per-replica
-//! writer+reader thread pairs, with a correlation table matching
-//! out-of-order responses back to requests.
+//! connection supervisors, with a correlation table matching out-of-order
+//! responses back to requests and a reaper enforcing the request
+//! lifecycle (deadlines, retries, hedging, replica eviction).
 //!
 //! Architecture (one process, thousands of requests in flight):
 //!
 //! - **Connections**: [`LiveConfig::connections`] TCP streams per
-//!   replica, each with a *writer thread* (drains an mpsc queue of
-//!   request frames, coalescing bursts into single writes) and a *reader
-//!   thread* (decodes response frames, completes them through the
-//!   connection's [`CorrelationTable`] in whatever order the server
-//!   finished them).
+//!   replica, each owned by a *supervisor thread* that writes queued
+//!   request frames (coalescing bursts into single writes), runs a scoped
+//!   reader decoding response frames in whatever order the server
+//!   finished them, and — when a fault window severs the stream — redials
+//!   and replays whatever frames were still queued.
 //! - **Issuers**: [`LiveConfig::threads`] threads drive the workload.
 //!   Each acquires a permit from the global in-flight budget
 //!   ([`LiveConfig::in_flight`]), selects a replica, registers the
 //!   request in the correlation table, and hands the frame to the
-//!   writer. Quasi-open-loop runs pace issues from Poisson intended
+//!   supervisor. Quasi-open-loop runs pace issues from Poisson intended
 //!   arrivals and charge latency from the *intended* arrival — with a
 //!   deep in-flight budget the client keeps issuing into a slow fleet
 //!   instead of head-of-line blocking, which is exactly the
 //!   coordinated-omission regime the old one-request-per-worker client
 //!   could not reach.
+//! - **Reaper**: when [`LiveConfig::deadline`] is set, one thread sweeps
+//!   every correlation table each millisecond. An expired request is
+//!   reaped — its selector slot abandoned, its id tombstoned so a late
+//!   response is discarded rather than tripping the correlation check —
+//!   and, budget permitting, re-issued to a *different* replica with
+//!   exponential backoff and jitter. Reads still unanswered after
+//!   [`LiveConfig::hedge_after`] get a duplicate on a second replica;
+//!   whichever response arrives first owns the sample. Replicas that eat
+//!   [`EVICT_AFTER`] consecutive deadlines are evicted from candidate
+//!   sets for a doubling window, then probed back in.
 //! - **Selector state**: C3-family strategies run on
 //!   [`SharedC3State`] — the packed EWMA tracker fields and outstanding
 //!   counts are atomics, so issuers read scores and readers fold
@@ -30,12 +41,20 @@
 //!   that issued them. The DS recompute ticker walks every shard at the
 //!   snitch's configured cadence.
 //!
+//! Permit accounting is per *operation*, not per wire attempt: retries
+//! and hedges share the original's [`OpToken`], and whoever flips its
+//! `done` flag first — a response, a park, a teardown sweep — owns the
+//! op's single sample and single permit release. Every path a request
+//! can leave a table without a response funnels through [`reap_send`];
+//! `execute` asserts at teardown that the budget came back whole.
+//!
 //! On `Backpressure` an issuer sleeps until the returned token time and
 //! retries — the live analogue of the simulators' backlog queues — and
 //! the waiting time lands in the recorded latency, as it does in the sim.
 
+use std::collections::HashSet;
 use std::io::{self, Write};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -66,11 +85,65 @@ pub(crate) struct Sample {
     pub replica: usize,
 }
 
+/// Request-lifecycle tallies of one live run — the wall-clock mirror of
+/// the sim cluster's `lifecycle_counts`, extended with what only a real
+/// transport can exhibit (reconnects, detector evictions).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LifecycleCounts {
+    /// Deadline expiries (one per op per expiry; hedge twins excluded).
+    pub timeouts: u64,
+    /// Re-issues to a different replica after a deadline expiry.
+    pub retries: u64,
+    /// Hedge duplicates issued.
+    pub hedges: u64,
+    /// Ops whose hedge answered before the original.
+    pub hedge_wins: u64,
+    /// Ops abandoned with no response after the retry budget ran out.
+    pub parked: u64,
+    /// Replica evictions by the consecutive-timeout detector.
+    pub evictions: u64,
+    /// Evicted replicas probed back into service.
+    pub reinstates: u64,
+    /// Connections redialed after a mid-run death.
+    pub reconnects: u64,
+}
+
+/// Atomic accumulators behind [`LifecycleCounts`], shared by readers,
+/// supervisors and the reaper.
+#[derive(Debug, Default)]
+struct LifecycleTallies {
+    timeouts: AtomicU64,
+    retries: AtomicU64,
+    hedges: AtomicU64,
+    hedge_wins: AtomicU64,
+    parked: AtomicU64,
+    evictions: AtomicU64,
+    reinstates: AtomicU64,
+    reconnects: AtomicU64,
+}
+
+impl LifecycleTallies {
+    fn snapshot(&self) -> LifecycleCounts {
+        LifecycleCounts {
+            timeouts: self.timeouts.load(Ordering::Acquire),
+            retries: self.retries.load(Ordering::Acquire),
+            hedges: self.hedges.load(Ordering::Acquire),
+            hedge_wins: self.hedge_wins.load(Ordering::Acquire),
+            parked: self.parked.load(Ordering::Acquire),
+            evictions: self.evictions.load(Ordering::Acquire),
+            reinstates: self.reinstates.load(Ordering::Acquire),
+            reconnects: self.reconnects.load(Ordering::Acquire),
+        }
+    }
+}
+
 /// Everything a live run produces besides the uniform report.
 pub(crate) struct ClientArtifacts {
     pub samples: Vec<Sample>,
     pub backpressure_waits: u64,
     pub issued: u64,
+    /// Lifecycle tallies (zeros when hardening was off).
+    pub lifecycle: LifecycleCounts,
     /// The flight recorder the run's sampling paths drain into: the C3
     /// per-replica score trace, plus the client-health gauge series —
     /// `"inflight"` (in-flight count sampled at every issue; a budget
@@ -81,21 +154,166 @@ pub(crate) struct ClientArtifacts {
     pub recorder: Recorder,
 }
 
+/// The shared fate of one operation across all its wire attempts.
+#[derive(Debug, Default)]
+struct OpToken {
+    /// Whoever swaps this to `true` owns the op's single sample and
+    /// single permit release; everyone after is a late arrival.
+    done: AtomicBool,
+    /// At most one hedge per op; rolled back when the hedge could not be
+    /// put on the wire (backpressure) so a later tick can try again.
+    hedged: AtomicBool,
+}
+
 /// Per-request bookkeeping parked in the correlation table between issue
-/// and completion.
+/// and completion. One entry per *wire attempt*: retries and hedges get
+/// fresh entries under fresh wire ids, all pointing at the same op.
+#[derive(Clone)]
 struct Pending {
     issue_index: u64,
     is_read: bool,
     /// Latency epoch: intended arrival under open loop, issue time
-    /// closed-loop.
+    /// closed-loop. Retries inherit it — a rescued op pays for every
+    /// attempt it took.
     created: Nanos,
-    /// When the frame was handed to the writer (response-time epoch for
-    /// selector feedback).
+    /// When the frame was handed to its connection (deadline epoch, and
+    /// the response-time epoch for selector feedback).
     sent_at: Nanos,
     replica: usize,
     /// Selector shard (replica-group primary) that issued this request —
     /// completions must route their feedback back to it.
     shard: usize,
+    /// Workload key, kept so retries and hedges can re-derive the
+    /// replica group and re-encode the request.
+    key: u64,
+    /// 0 = the original issue; each retry increments.
+    attempt: u32,
+    /// A hedge duplicate: never retried itself, never counted as the
+    /// op's timeout — the original attempt owns the op's lifecycle.
+    is_hedge: bool,
+    /// The op this wire attempt belongs to.
+    op: Arc<OpToken>,
+}
+
+/// A fresh wire attempt of the same op.
+fn reissue(p: &Pending, target: usize, sent_at: Nanos, attempt: u32, is_hedge: bool) -> Pending {
+    Pending {
+        issue_index: p.issue_index,
+        is_read: p.is_read,
+        created: p.created,
+        sent_at,
+        replica: target,
+        shard: p.shard,
+        key: p.key,
+        attempt,
+        is_hedge,
+        op: Arc::clone(&p.op),
+    }
+}
+
+/// One connection's correlation table plus the tombstones of reaped ids.
+/// A response for a tombstoned id is a late arrival to discard — the
+/// request was already reaped, retried, or outraced by its hedge — not
+/// the correlation bug the `UnknownId` check exists to catch.
+struct TableState {
+    live: CorrelationTable<Pending>,
+    reaped: HashSet<u64>,
+}
+
+impl TableState {
+    fn new() -> Self {
+        Self {
+            live: CorrelationTable::new(),
+            reaped: HashSet::new(),
+        }
+    }
+}
+
+type Table = Mutex<TableState>;
+
+/// Consecutive deadline expiries that evict a replica.
+const EVICT_AFTER: u32 = 3;
+/// First eviction window; consecutive evictions double it (capped).
+const EVICTION_BASE: Nanos = Nanos(250_000_000);
+
+/// The failure detector: a replica that eats [`EVICT_AFTER`] deadlines
+/// in a row is evicted from candidate sets for a doubling window, then
+/// probed back in by time — the next requests routed to it are the
+/// probes, and a success resets its record.
+struct FailureDetector {
+    /// Consecutive timeouts per replica (a success resets to 0).
+    streaks: Vec<AtomicU32>,
+    /// Nanos until which the replica is evicted (0 = in service).
+    until: Vec<AtomicU64>,
+    /// Consecutive evictions, driving the doubling window.
+    over: Vec<AtomicU32>,
+}
+
+impl FailureDetector {
+    fn new(replicas: usize) -> Self {
+        Self {
+            streaks: (0..replicas).map(|_| AtomicU32::new(0)).collect(),
+            until: (0..replicas).map(|_| AtomicU64::new(0)).collect(),
+            over: (0..replicas).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+
+    fn is_evicted(&self, replica: usize, now: Nanos) -> bool {
+        self.until[replica].load(Ordering::Acquire) > now.as_nanos()
+    }
+
+    /// Record a deadline expiry; `true` when this one tips the replica
+    /// into eviction (the caller mirrors it into the selector).
+    fn note_timeout(&self, replica: usize, now: Nanos) -> bool {
+        let streak = self.streaks[replica].fetch_add(1, Ordering::AcqRel) + 1;
+        if streak < EVICT_AFTER || self.is_evicted(replica, now) {
+            return false;
+        }
+        let over = self.over[replica].fetch_add(1, Ordering::AcqRel).min(4);
+        let window = Nanos(EVICTION_BASE.as_nanos() << over);
+        self.until[replica].store((now + window).as_nanos(), Ordering::Release);
+        self.streaks[replica].store(0, Ordering::Release);
+        true
+    }
+
+    fn note_success(&self, replica: usize) {
+        self.streaks[replica].store(0, Ordering::Release);
+        self.over[replica].store(0, Ordering::Release);
+    }
+
+    /// Replicas whose eviction window just lapsed, each reported once
+    /// (the CAS elects a single reporter even with concurrent sweeps).
+    fn reinstate_due(&self, now: Nanos) -> Vec<usize> {
+        let mut due = Vec::new();
+        for replica in 0..self.until.len() {
+            let until = self.until[replica].load(Ordering::Acquire);
+            if until != 0
+                && until <= now.as_nanos()
+                && self.until[replica]
+                    .compare_exchange(until, 0, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                due.push(replica);
+            }
+        }
+        due
+    }
+
+    /// `group` minus evicted replicas — never empty: when the whole
+    /// group is out, the original group comes back (someone has to take
+    /// the request, and those sends double as probes).
+    fn filter(&self, group: &[usize], now: Nanos) -> Vec<usize> {
+        let kept: Vec<usize> = group
+            .iter()
+            .copied()
+            .filter(|&r| !self.is_evicted(r, now))
+            .collect();
+        if kept.is_empty() {
+            group.to_vec()
+        } else {
+            kept
+        }
+    }
 }
 
 /// "No score sampled yet" sentinel for the trace cadence cell.
@@ -188,7 +406,7 @@ impl LiveSelector {
     }
 
     /// Release the outstanding slot of a request that will never complete
-    /// (end-of-run stragglers).
+    /// (reaped, parked, or an end-of-run straggler).
     fn abandon_read(&self, target: usize, shard: usize, now: Nanos) {
         match &self.kind {
             SelectorKind::SharedC3 { state, .. } => state.on_abandoned(target),
@@ -196,6 +414,23 @@ impl LiveSelector {
                 .lock()
                 .expect("selector poisoned")
                 .on_abandoned(target, now),
+        }
+    }
+
+    /// Mirror a detector eviction into the shared selector state, so C3
+    /// scoring skips the replica too (sharded baselines are covered by
+    /// candidate filtering alone).
+    fn evict(&self, server: usize) {
+        if let SelectorKind::SharedC3 { state, .. } = &self.kind {
+            state.evict(server);
+        }
+    }
+
+    /// Undo [`LiveSelector::evict`] when the detector probes the replica
+    /// back in.
+    fn reinstate(&self, server: usize) {
+        if let SelectorKind::SharedC3 { state, .. } = &self.kind {
+            state.reinstate(server);
         }
     }
 
@@ -294,12 +529,53 @@ fn build_selector(cfg: &LiveConfig, registry: &StrategyRegistry) -> LiveSelector
     }
 }
 
-type Table = Mutex<CorrelationTable<Pending>>;
-
-/// What one reader thread hands back at join.
+/// What one connection supervisor hands back at join.
 struct ReaderOut {
     samples: Vec<Sample>,
     feedback_lag: Vec<(Nanos, u64)>,
+}
+
+/// THE reap path: every wire attempt that leaves a table without a
+/// response funnels through here — deadline sweeps, dead-connection
+/// reaps, failed re-sends, and the end-of-run straggler sweep alike.
+/// Abandons the read's selector slot; unless the permit is being kept
+/// (a retry inherits it), races the op token for the single release.
+/// Returns whether this call became the op's owner.
+fn reap_send(
+    p: &Pending,
+    selector: &LiveSelector,
+    budget: &InFlightBudget,
+    now: Nanos,
+    keep_permit: bool,
+) -> bool {
+    if p.is_read {
+        selector.abandon_read(p.replica, p.shard, now);
+    }
+    if keep_permit {
+        return false;
+    }
+    let owner = !p.op.done.swap(true, Ordering::AcqRel);
+    if owner {
+        budget.release();
+    }
+    owner
+}
+
+/// Reap every still-pending entry of one connection's table through
+/// [`reap_send`], tombstoning the ids so responses that straggle in
+/// after a redial are discarded instead of failing correlation.
+fn reap_connection(table: &Table, selector: &LiveSelector, budget: &InFlightBudget, now: Nanos) {
+    let entries = {
+        let mut t = table.lock().expect("table poisoned");
+        let entries = t.live.drain_entries();
+        for (id, _) in &entries {
+            t.reaped.insert(*id);
+        }
+        entries
+    };
+    for (_, p) in entries {
+        reap_send(&p, selector, budget, now, false);
+    }
 }
 
 /// Spawn the fleet, run the multiplexed client to the configured stop
@@ -308,7 +584,9 @@ struct ReaderOut {
 /// # Panics
 ///
 /// Panics when the strategy is unknown or needs simulator-global state
-/// this backend cannot provide (`ORA`) — mirroring the §5 cluster.
+/// this backend cannot provide (`ORA`) — mirroring the §5 cluster — and
+/// when the in-flight budget comes back short at teardown (a permit or
+/// correlation-entry leak; the invariant the randomized kill tests pin).
 pub(crate) fn execute(cfg: &LiveConfig) -> io::Result<ClientArtifacts> {
     cfg.validate();
     let clock = WallClock::start();
@@ -321,56 +599,78 @@ pub(crate) fn execute(cfg: &LiveConfig) -> io::Result<ClientArtifacts> {
     let registry = live_strategy_registry(cfg);
     let selector = Arc::new(build_selector(cfg, &registry));
     let is_ds = cfg.strategy.name() == "DS";
+    let hardened = cfg.deadline.is_some();
+    let faults_expected = !cfg.faults.is_empty();
 
     let issued = Arc::new(AtomicU64::new(0));
     let stop = Arc::new(AtomicBool::new(false));
     let budget = Arc::new(InFlightBudget::new(cfg.in_flight));
+    let detector = Arc::new(FailureDetector::new(cfg.replicas));
+    let tallies = Arc::new(LifecycleTallies::default());
     let key_template = ScrambledZipfian::new(cfg.keys, cfg.keys, cfg.zipf_theta);
 
-    // One correlation table + writer/reader thread pair per connection,
+    // One correlation table + supervisor thread per connection,
     // `cfg.connections` connections per replica.
     let tables: Arc<Vec<Vec<Table>>> = Arc::new(
         (0..cfg.replicas)
             .map(|_| {
                 (0..cfg.connections)
-                    .map(|_| Mutex::new(CorrelationTable::new()))
+                    .map(|_| Mutex::new(TableState::new()))
                     .collect()
             })
             .collect(),
     );
     let mut senders: Vec<Vec<mpsc::Sender<Request>>> = Vec::with_capacity(cfg.replicas);
-    let mut streams = Vec::new();
-    let mut writer_handles = Vec::new();
-    let mut reader_handles = Vec::new();
+    let mut supervisors = Vec::new();
     for (replica, addr) in cluster.addrs().iter().enumerate() {
         let mut replica_senders = Vec::with_capacity(cfg.connections);
         for conn in 0..cfg.connections {
-            let stream = std::net::TcpStream::connect(addr)?;
-            stream.set_nodelay(true)?;
-            stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+            let addr = *addr;
             let (tx, rx) = mpsc::channel::<Request>();
-            let writer_stream = stream.try_clone()?;
-            writer_handles.push(std::thread::spawn(move || writer_loop(writer_stream, &rx)));
-            let reader_stream = stream.try_clone()?;
             let tables = Arc::clone(&tables);
             let selector = Arc::clone(&selector);
             let budget = Arc::clone(&budget);
+            let detector = Arc::clone(&detector);
+            let tallies = Arc::clone(&tallies);
             let stop = Arc::clone(&stop);
-            reader_handles.push(std::thread::spawn(move || {
-                reader_loop(
-                    reader_stream,
+            supervisors.push(std::thread::spawn(move || {
+                connection_loop(
+                    addr,
+                    &rx,
                     &tables[replica][conn],
                     &selector,
                     &budget,
+                    &detector,
+                    &tallies,
                     clock,
                     &stop,
+                    hardened,
+                    faults_expected,
                 )
             }));
             replica_senders.push(tx);
-            streams.push(stream);
         }
         senders.push(replica_senders);
     }
+
+    // The reaper enforces the lifecycle: deadline sweep, retry queue,
+    // hedging pass, detector reinstates. It holds its own sender clones
+    // for re-issues; they drop when it exits at teardown.
+    let reaper = hardened.then(|| {
+        let cfg = cfg.clone();
+        let tables = Arc::clone(&tables);
+        let senders = senders.clone();
+        let selector = Arc::clone(&selector);
+        let budget = Arc::clone(&budget);
+        let detector = Arc::clone(&detector);
+        let tallies = Arc::clone(&tallies);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            reaper_loop(
+                &cfg, clock, &tables, &senders, &selector, &budget, &detector, &tallies, &stop,
+            );
+        })
+    });
 
     // Dynamic Snitching gets its periodic recompute from a ticker thread
     // (the cluster delivers the same through gossip/snitch tick events).
@@ -405,10 +705,11 @@ pub(crate) fn execute(cfg: &LiveConfig) -> io::Result<ClientArtifacts> {
             let senders = senders.clone();
             let issued = Arc::clone(&issued);
             let budget = Arc::clone(&budget);
+            let detector = Arc::clone(&detector);
             let keys = key_template.clone();
             std::thread::spawn(move || {
                 issuer_loop(
-                    w, &cfg, clock, &selector, &tables, &senders, &issued, &budget, keys,
+                    w, &cfg, clock, &selector, &tables, &senders, &issued, &budget, &detector, keys,
                 )
             })
         })
@@ -424,21 +725,21 @@ pub(crate) fn execute(cfg: &LiveConfig) -> io::Result<ClientArtifacts> {
     }
 
     // Teardown: close the issue side, wait for in-flight requests to
-    // drain (bounded — a blacked-out replica's queue should not stall the
-    // harness), then unblock the readers and abandon the stragglers.
+    // drain — the reaper keeps sweeping expiries meanwhile, so a crashed
+    // replica's swallowed requests cannot stall the drain — then stop
+    // everyone. The reaper goes first (flushing its retry queue as
+    // parks); its sender clones drop with it, so the supervisors' write
+    // loops see disconnect and finish their drain.
     drop(senders);
-    for handle in writer_handles {
-        let _ = handle.join();
-    }
     let _ = budget.drained_within(Duration::from_secs(3));
     stop.store(true, Ordering::Release);
-    for stream in &streams {
-        let _ = stream.shutdown(std::net::Shutdown::Both);
+    if let Some(r) = reaper {
+        let _ = r.join();
     }
     let mut samples = Vec::new();
     let mut feedback_lag = Vec::new();
-    for handle in reader_handles {
-        match handle.join().expect("reader panicked") {
+    for handle in supervisors {
+        match handle.join().expect("connection supervisor panicked") {
             Ok(mut out) => {
                 samples.append(&mut out.samples);
                 feedback_lag.append(&mut out.feedback_lag);
@@ -446,22 +747,29 @@ pub(crate) fn execute(cfg: &LiveConfig) -> io::Result<ClientArtifacts> {
             Err(e) => first_err = first_err.or(Some(e)),
         }
     }
-    // Readers drain their own tables on exit; what's left here are
-    // entries registered in the race window after a reader was already
-    // gone. Their permits come back like any other straggler's.
+    // Supervisors reap their own tables on exit; what's left here are
+    // entries registered in the race window after a supervisor was
+    // already gone. Their permits come back like any other straggler's.
     for replica_tables in tables.iter() {
         for table in replica_tables {
-            release_stragglers(table, &selector, &budget, clock.now());
+            reap_connection(table, &selector, &budget, clock.now());
         }
     }
     if let Some(t) = ticker {
         let _ = t.join();
     }
-    drop(streams);
     cluster.shutdown();
     if let Some(e) = first_err {
         return Err(e);
     }
+    // The leak invariant: every permit funneled back through a response
+    // or reap_send. A shortfall means a correlation entry or op token
+    // got lost — fail loudly rather than ship corrupt accounting.
+    assert_eq!(
+        budget.in_flight(),
+        0,
+        "in-flight permits leaked at teardown"
+    );
 
     // Replay order must be completion order for the metrics' first/last
     // window; wall timestamps from different threads share one origin.
@@ -485,14 +793,16 @@ pub(crate) fn execute(cfg: &LiveConfig) -> io::Result<ClientArtifacts> {
         samples,
         backpressure_waits,
         issued: issued.load(Ordering::Acquire),
+        lifecycle: tallies.snapshot(),
         recorder,
     })
 }
 
 /// One issuer: pace (Poisson intended arrivals under open loop), take an
-/// in-flight permit, select (or wait out backpressure), register in the
-/// correlation table, hand the frame to the connection's writer — never
-/// blocking on any individual response.
+/// in-flight permit, select (or wait out backpressure) among the
+/// non-evicted replicas, register in the correlation table, hand the
+/// frame to the connection's supervisor — never blocking on any
+/// individual response.
 #[allow(clippy::too_many_arguments)]
 fn issuer_loop(
     w: usize,
@@ -503,6 +813,7 @@ fn issuer_loop(
     senders: &[Vec<mpsc::Sender<Request>>],
     issued: &AtomicU64,
     budget: &InFlightBudget,
+    detector: &FailureDetector,
     keys: ScrambledZipfian,
 ) -> io::Result<Vec<(Nanos, u64)>> {
     let deadline: Nanos = Nanos::from(cfg.run_for);
@@ -554,8 +865,10 @@ fn issuer_loop(
         };
 
         let target = if is_read {
-            // Algorithm 1 over the shared state; park on backpressure.
-            match select_read_target(selector, &group, shard, clock, deadline) {
+            // Algorithm 1 over the non-evicted candidates; park on
+            // backpressure.
+            let candidates = detector.filter(&group, clock.now());
+            match select_read_target(selector, &candidates, shard, clock, deadline) {
                 Some(t) => t,
                 None => {
                     budget.release();
@@ -589,31 +902,33 @@ fn issuer_loop(
             sent_at,
             replica: target,
             shard,
+            key,
+            attempt: 0,
+            is_hedge: false,
+            op: Arc::new(OpToken::default()),
         };
         tables[target][conn]
             .lock()
             .expect("table poisoned")
-            .register(id, pending)
+            .live
+            .register(id, pending.clone())
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         if senders[target][conn].send(request).is_err() {
             // Reclaim our registration — but only if it is still ours. A
-            // dead connection's reader drains its table as it exits and
-            // releases the permits of whatever it finds, so releasing here
-            // too would hand the same permit back twice.
+            // dying supervisor reaps its table as it exits; whoever
+            // removes the entry first owns its reap.
             let reclaimed = tables[target][conn]
                 .lock()
                 .expect("table poisoned")
+                .live
                 .complete(id)
                 .is_ok();
             if reclaimed {
-                if is_read {
-                    selector.abandon_read(target, shard, clock.now());
-                }
-                budget.release();
+                reap_send(&pending, selector, budget, clock.now(), false);
             }
             return Err(io::Error::new(
                 io::ErrorKind::BrokenPipe,
-                "connection writer gone mid-run",
+                "connection supervisor gone mid-run",
             ));
         }
     }
@@ -648,99 +963,418 @@ fn select_read_target(
     }
 }
 
-/// Writer half of one connection: encode queued requests, coalescing
-/// whatever has already accumulated into a single `write_all` (at high
-/// in-flight counts this batches dozens of frames per syscall).
-fn writer_loop(mut stream: std::net::TcpStream, rx: &mpsc::Receiver<Request>) {
-    const COALESCE_LIMIT: usize = 64 * 1024;
-    while let Ok(req) = rx.recv() {
-        let mut out = BytesMut::new();
-        encode_request(&req, &mut out);
-        while out.len() < COALESCE_LIMIT {
-            match rx.try_recv() {
-                Ok(req) => encode_request(&req, &mut out),
-                Err(_) => break,
+/// A reaped wire attempt waiting out its backoff before re-issue.
+struct RetryItem {
+    due: Nanos,
+    pending: Pending,
+}
+
+/// The lifecycle reaper: every millisecond, sweep expired requests out
+/// of the correlation tables (tombstoning their ids), queue retries with
+/// exponential backoff + jitter, issue hedge duplicates for slow reads,
+/// and run the failure detector's evict/reinstate transitions. Runs only
+/// when a deadline is configured.
+#[allow(clippy::too_many_arguments)]
+fn reaper_loop(
+    cfg: &LiveConfig,
+    clock: WallClock,
+    tables: &[Vec<Table>],
+    senders: &[Vec<mpsc::Sender<Request>>],
+    selector: &LiveSelector,
+    budget: &InFlightBudget,
+    detector: &FailureDetector,
+    tallies: &LifecycleTallies,
+    stop: &AtomicBool,
+) {
+    let deadline: Nanos = Nanos::from(cfg.deadline.expect("reaper runs only with a deadline"));
+    let hedge_after: Option<Nanos> = cfg.hedge_after.map(Nanos::from);
+    let value = Bytes::from(vec![0x5Au8; cfg.value_bytes as usize]);
+    let mut rng = SmallRng::seed_from_u64(SeedSeq::new(cfg.seed).thread_seed(u64::from(u16::MAX)));
+    let mut queue: Vec<RetryItem> = Vec::new();
+    // Wire ids disjoint from every issuer's block (those start below
+    // `threads << 48`).
+    let mut next_id = (cfg.threads as u64) << 48;
+
+    // Register and send one re-issued wire attempt; on a failed send
+    // (its supervisor exited) the registration is reclaimed and the
+    // attempt reaped. Returns whether the frame went out.
+    let mut put_on_wire = |p: Pending, keep_permit_on_fail: bool, now: Nanos| -> bool {
+        next_id += 1;
+        let id = next_id;
+        let request = if p.is_read {
+            Request::Get {
+                id,
+                key: encode_key(p.key),
+            }
+        } else {
+            Request::Put {
+                id,
+                key: encode_key(p.key),
+                value: value.clone(),
+            }
+        };
+        let conn = (id as usize) % cfg.connections;
+        let table = &tables[p.replica][conn];
+        table
+            .lock()
+            .expect("table poisoned")
+            .live
+            .register(id, p.clone())
+            .expect("reaper ids are unique");
+        if senders[p.replica][conn].send(request).is_err() {
+            let reclaimed = table
+                .lock()
+                .expect("table poisoned")
+                .live
+                .complete(id)
+                .is_ok();
+            if reclaimed && reap_send(&p, selector, budget, now, keep_permit_on_fail) {
+                tallies.parked.fetch_add(1, Ordering::Relaxed);
+            }
+            return false;
+        }
+        true
+    };
+
+    while !stop.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(1));
+        let now = clock.now();
+
+        // 1. Deadline sweep: reap everything sent longer than `deadline`
+        // ago. A reaped original either retries (keeping the op's
+        // permit) or parks; a reaped hedge twin just frees its selector
+        // slot — the original owns the op's lifecycle.
+        let cutoff = now.saturating_sub(deadline);
+        for replica_tables in tables {
+            for table in replica_tables {
+                let expired = {
+                    let mut t = table.lock().expect("table poisoned");
+                    let expired = t.live.take_matching(|p| p.sent_at <= cutoff);
+                    for (id, _) in &expired {
+                        t.reaped.insert(*id);
+                    }
+                    expired
+                };
+                for (_, p) in expired {
+                    if p.op.done.load(Ordering::Acquire) || p.is_hedge {
+                        reap_send(&p, selector, budget, now, true);
+                        continue;
+                    }
+                    tallies.timeouts.fetch_add(1, Ordering::Relaxed);
+                    if detector.note_timeout(p.replica, now) {
+                        selector.evict(p.replica);
+                        tallies.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if p.attempt < cfg.retries {
+                        reap_send(&p, selector, budget, now, true);
+                        tallies.retries.fetch_add(1, Ordering::Relaxed);
+                        // 2 ms << attempt, capped at 16 ms, jittered
+                        // ×[0.5, 1.5) so synchronized expiries spread.
+                        let base = Nanos::from_millis(2 << p.attempt.min(3));
+                        let backoff =
+                            Nanos((base.as_nanos() as f64 * (0.5 + rng.gen::<f64>())) as u64);
+                        queue.push(RetryItem {
+                            due: now + backoff,
+                            pending: p,
+                        });
+                    } else if reap_send(&p, selector, budget, now, false) {
+                        tallies.parked.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
         }
-        if stream.write_all(&out).is_err() {
-            return;
+
+        // 2. Due retries: re-select among the non-evicted candidates,
+        // preferring a replica other than the one that just timed out.
+        let mut i = 0;
+        while i < queue.len() {
+            if queue[i].due > now {
+                i += 1;
+                continue;
+            }
+            let RetryItem { pending: p, .. } = queue.swap_remove(i);
+            let target = if p.is_read {
+                let group = cfg.group_of(p.key);
+                let mut candidates = detector.filter(&group, now);
+                if candidates.len() > 1 {
+                    candidates.retain(|&r| r != p.replica);
+                }
+                match selector.try_select(&candidates, p.shard, now) {
+                    Selection::Server(s) => s,
+                    Selection::Backpressure { .. } => {
+                        // Everyone is full: try again next tick.
+                        queue.push(RetryItem {
+                            due: now + Nanos::from_millis(1),
+                            pending: p,
+                        });
+                        continue;
+                    }
+                }
+            } else {
+                // Writes re-target their primary.
+                p.shard
+            };
+            let np = reissue(&p, target, clock.now(), p.attempt + 1, false);
+            put_on_wire(np, false, now);
+        }
+
+        // 3. Hedging: reads past `hedge_after` with no response yet get
+        // one duplicate on a different replica; the `hedged` flag swap
+        // elects one hedge per op, rolled back when it cannot issue.
+        if let Some(hedge_after) = hedge_after {
+            let hedge_cutoff = now.saturating_sub(hedge_after);
+            let mut to_hedge: Vec<Pending> = Vec::new();
+            for replica_tables in tables {
+                for table in replica_tables {
+                    let t = table.lock().expect("table poisoned");
+                    for (_, p) in t.live.iter() {
+                        if p.is_read
+                            && !p.is_hedge
+                            && p.sent_at <= hedge_cutoff
+                            && !p.op.done.load(Ordering::Acquire)
+                            && !p.op.hedged.swap(true, Ordering::AcqRel)
+                        {
+                            to_hedge.push(p.clone());
+                        }
+                    }
+                }
+            }
+            for p in to_hedge {
+                let group = cfg.group_of(p.key);
+                let mut candidates = detector.filter(&group, now);
+                candidates.retain(|&r| r != p.replica);
+                if candidates.is_empty() {
+                    p.op.hedged.store(false, Ordering::Release);
+                    continue;
+                }
+                match selector.try_select(&candidates, p.shard, now) {
+                    Selection::Server(s) => {
+                        let hp = reissue(&p, s, clock.now(), p.attempt, true);
+                        if put_on_wire(hp, true, now) {
+                            tallies.hedges.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Selection::Backpressure { .. } => {
+                        p.op.hedged.store(false, Ordering::Release);
+                    }
+                }
+            }
+        }
+
+        // 4. Detector reinstates: eviction windows are time-bounded; the
+        // next requests routed back are the probes.
+        for replica in detector.reinstate_due(now) {
+            selector.reinstate(replica);
+            tallies.reinstates.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    // Teardown: queued retries hold permits with no table entry left —
+    // park them so the budget drains whole.
+    let now = clock.now();
+    for item in queue {
+        if reap_send(&item.pending, selector, budget, now, false) {
+            tallies.parked.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
 
-/// Abandon every still-pending entry of one connection's table and hand
-/// its in-flight permits back. Draining removes the entries, so whoever
-/// gets to an entry first (a dying reader, the end-of-run sweep, or an
-/// issuer reclaiming a failed send) owns its single release.
-fn release_stragglers(table: &Table, selector: &LiveSelector, budget: &InFlightBudget, now: Nanos) {
-    for p in table.lock().expect("table poisoned").drain() {
-        if p.is_read {
-            selector.abandon_read(p.replica, p.shard, now);
-        }
-        budget.release();
-    }
-}
-
-/// Reader half of one connection: decode response frames as they arrive —
-/// in whatever order the server finished them — complete each through the
-/// correlation table, feed the selector, record the sample, and release
-/// the in-flight permit.
-///
-/// However the connection ends — clean EOF, teardown, or a mid-run death —
-/// the requests still parked in its table will never complete: their
-/// permits are released on the way out, so issuers blocked at the budget
-/// cap don't hang on a connection that can no longer answer.
-fn reader_loop(
-    stream: std::net::TcpStream,
+/// One connection supervisor: dial, run the write/read halves until the
+/// connection dies or the run ends, and — when fault windows are in play
+/// — redial and carry on. Frames still queued at a death replay onto the
+/// fresh connection; responses to attempts reaped meanwhile are
+/// tombstone-discarded.
+#[allow(clippy::too_many_arguments)]
+fn connection_loop(
+    addr: std::net::SocketAddr,
+    rx: &mpsc::Receiver<Request>,
     table: &Table,
     selector: &LiveSelector,
     budget: &InFlightBudget,
+    detector: &FailureDetector,
+    tallies: &LifecycleTallies,
     clock: WallClock,
     stop: &AtomicBool,
+    hardened: bool,
+    faults_expected: bool,
 ) -> io::Result<ReaderOut> {
+    const WRITE_POLL: Duration = Duration::from_millis(20);
+    const READ_POLL: Duration = Duration::from_millis(50);
+    const COALESCE_LIMIT: usize = 64 * 1024;
     let mut out = ReaderOut {
         samples: Vec::new(),
         feedback_lag: Vec::new(),
     };
-    let result = read_responses(stream, table, selector, budget, clock, stop, &mut out);
-    release_stragglers(table, selector, budget, clock.now());
-    result.map(|()| out)
+    let mut redial = Duration::from_millis(2);
+    loop {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let stream = match std::net::TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(e) => {
+                if !faults_expected {
+                    reap_connection(table, selector, budget, clock.now());
+                    return Err(e);
+                }
+                // The replica's fault window rejects dials: back off and
+                // keep trying — it restarts on script.
+                if !hardened {
+                    reap_connection(table, selector, budget, clock.now());
+                }
+                std::thread::sleep(redial);
+                redial = (redial * 2).min(Duration::from_millis(50));
+                continue;
+            }
+        };
+        redial = Duration::from_millis(2);
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(READ_POLL))?;
+        let conn_dead = AtomicBool::new(false);
+        let read_res = std::thread::scope(|s| {
+            let reader = s.spawn(|| {
+                read_responses(
+                    &stream, table, selector, budget, detector, tallies, clock, stop, &conn_dead,
+                    &mut out,
+                )
+            });
+            loop {
+                if stop.load(Ordering::Acquire) || conn_dead.load(Ordering::Acquire) {
+                    break;
+                }
+                match rx.recv_timeout(WRITE_POLL) {
+                    Ok(req) => {
+                        let mut buf = BytesMut::new();
+                        encode_request(&req, &mut buf);
+                        while buf.len() < COALESCE_LIMIT {
+                            match rx.try_recv() {
+                                Ok(req) => encode_request(&req, &mut buf),
+                                Err(_) => break,
+                            }
+                        }
+                        if (&stream).write_all(&buf).is_err() {
+                            conn_dead.store(true, Ordering::Release);
+                            break;
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    // Issue side closed: the drain phase — the reader
+                    // keeps collecting responses until stop flips.
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            reader.join().expect("reader panicked")
+        });
+        if let Err(e) = read_res {
+            // Protocol violation: correlation is broken, stop hard.
+            reap_connection(table, selector, budget, clock.now());
+            return Err(e);
+        }
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        if conn_dead.load(Ordering::Acquire) {
+            tallies.reconnects.fetch_add(1, Ordering::Relaxed);
+            if !hardened {
+                // No reaper to sweep a dead connection's entries: reap
+                // them now through the same path deadlines use.
+                reap_connection(table, selector, budget, clock.now());
+            }
+            if !faults_expected {
+                // An unscripted death with nobody watching: release
+                // everything and end this connection — the old
+                // single-dial semantics.
+                reap_connection(table, selector, budget, clock.now());
+                break;
+            }
+            continue;
+        }
+        // Writer saw disconnect and the reader came home clean: teardown.
+        break;
+    }
+    reap_connection(table, selector, budget, clock.now());
+    Ok(out)
 }
 
-/// The frame-decoding loop of [`reader_loop`], split out so every exit —
-/// including protocol-violation errors — funnels through the straggler
-/// release above.
+/// The frame-decoding half of one connection: complete each response
+/// through the correlation table — discarding late arrivals for reaped
+/// (tombstoned) attempts — feed the selector, and let the op token
+/// decide whether this response owns the sample and the permit.
+///
+/// Exits clean on stop or EOF (flagging the connection dead so the
+/// writer half stops too); returns an error only for protocol
+/// violations, which abort the run.
+#[allow(clippy::too_many_arguments)]
 fn read_responses(
-    mut stream: std::net::TcpStream,
+    stream: &std::net::TcpStream,
     table: &Table,
     selector: &LiveSelector,
     budget: &InFlightBudget,
+    detector: &FailureDetector,
+    tallies: &LifecycleTallies,
     clock: WallClock,
     stop: &AtomicBool,
+    conn_dead: &AtomicBool,
     out: &mut ReaderOut,
 ) -> io::Result<()> {
     let mut buf = BytesMut::new();
+    let mut reader = stream;
     loop {
-        let frame = match read_frame(&mut stream, &mut buf) {
+        if stop.load(Ordering::Acquire) || conn_dead.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let frame = match read_frame(&mut reader, &mut buf) {
             Ok(Some(frame)) => frame,
-            Ok(None) => break,
-            // Teardown shuts the socket down under us; anything after the
-            // stop flag is the expected unblock, not a failure.
-            Err(_) if stop.load(Ordering::Acquire) => break,
-            Err(e) => return Err(e),
+            Ok(None) => {
+                // EOF: teardown if stopping, a severed connection
+                // otherwise; either way this stream is done.
+                conn_dead.store(true, Ordering::Release);
+                return Ok(());
+            }
+            // The read poll timed out: partial-frame bytes stay in `buf`,
+            // so looping back around is safe.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                conn_dead.store(true, Ordering::Release);
+                return Err(e);
+            }
+            // Transport death (reset, mid-frame EOF): the supervisor
+            // decides whether to redial.
+            Err(_) => {
+                conn_dead.store(true, Ordering::Release);
+                return Ok(());
+            }
         };
         let Frame::Response(resp) = frame else {
+            conn_dead.store(true, Ordering::Release);
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "client received a request frame",
             ));
         };
-        let entry = table
-            .lock()
-            .expect("table poisoned")
-            .complete(resp.id)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let entry = {
+            let mut t = table.lock().expect("table poisoned");
+            match t.live.complete(resp.id) {
+                Ok(entry) => entry,
+                // A late response for a reaped attempt: consume the
+                // tombstone and move on.
+                Err(_) if t.reaped.remove(&resp.id) => continue,
+                Err(e) => {
+                    drop(t);
+                    conn_dead.store(true, Ordering::Release);
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+                }
+            }
+        };
         let now = clock.now();
+        detector.note_success(entry.replica);
         if entry.is_read {
             let info = ResponseInfo {
                 response_time: now.saturating_sub(entry.sent_at),
@@ -751,61 +1385,77 @@ fn read_responses(
             out.feedback_lag
                 .push((updated, updated.saturating_sub(now).as_nanos()));
         }
-        out.samples.push(Sample {
-            issue_index: entry.issue_index,
-            is_read: entry.is_read,
-            completed_at: now,
-            latency: now.saturating_sub(entry.created),
-            replica: entry.replica,
-        });
-        budget.release();
+        // The op token race: only the first responder (across the
+        // original, its retries, and its hedge) samples and releases.
+        // Losers still fed the selector above — their on_send slots need
+        // the matching on_response either way.
+        if !entry.op.done.swap(true, Ordering::AcqRel) {
+            if entry.is_hedge {
+                tallies.hedge_wins.fetch_add(1, Ordering::Relaxed);
+            }
+            out.samples.push(Sample {
+                issue_index: entry.issue_index,
+                is_read: entry.is_read,
+                completed_at: now,
+                latency: now.saturating_sub(entry.created),
+                replica: entry.replica,
+            });
+            budget.release();
+        }
     }
-    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use c3_cluster::{FaultEvent, FaultKind, FaultPlan};
 
-    /// Kill a connection with requests still in flight: the dying reader
-    /// must hand every parked permit back, so `drained_within` succeeds
-    /// instead of issuers hanging at the budget cap against a table that
-    /// can no longer complete anything.
+    fn write_entry(clock: WallClock, issue_index: u64) -> Pending {
+        Pending {
+            issue_index,
+            is_read: false,
+            created: clock.now(),
+            sent_at: clock.now(),
+            replica: 0,
+            shard: 0,
+            key: issue_index,
+            attempt: 0,
+            is_hedge: false,
+            op: Arc::new(OpToken::default()),
+        }
+    }
+
+    /// Kill a connection with requests still in flight: the dying
+    /// supervisor must hand every parked permit back, so `drained_within`
+    /// succeeds instead of issuers hanging at the budget cap against a
+    /// table that can no longer complete anything.
     #[test]
     fn a_dead_connection_releases_its_permits() {
         let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let client = std::net::TcpStream::connect(addr).unwrap();
-        let (server_end, _) = listener.accept().unwrap();
 
         let cfg = LiveConfig::default();
         let registry = live_strategy_registry(&cfg);
         let selector = build_selector(&cfg, &registry);
         let budget = InFlightBudget::new(4);
-        let table: Table = Mutex::new(CorrelationTable::new());
+        let detector = FailureDetector::new(cfg.replicas);
+        let tallies = LifecycleTallies::default();
+        let table: Table = Mutex::new(TableState::new());
         let clock = WallClock::start();
         let stop = AtomicBool::new(false);
+        let (_tx, rx) = mpsc::channel::<Request>();
 
         // Three writes in flight through this one connection. (Writes keep
         // the test independent of selector bookkeeping; reads take the
-        // same drain path plus an `abandon_read`.)
+        // same reap path plus an `abandon_read`.)
         let deadline = Instant::now() + Duration::from_secs(1);
         for id in 0..3u64 {
             assert!(budget.acquire_until(deadline));
             table
                 .lock()
                 .unwrap()
-                .register(
-                    id,
-                    Pending {
-                        issue_index: id,
-                        is_read: false,
-                        created: clock.now(),
-                        sent_at: clock.now(),
-                        replica: 0,
-                        shard: 0,
-                    },
-                )
+                .live
+                .register(id, write_entry(clock, id))
                 .unwrap();
         }
         assert_eq!(budget.in_flight(), 3);
@@ -815,10 +1465,18 @@ mod tests {
         );
 
         std::thread::scope(|s| {
-            let reader = s.spawn(|| reader_loop(client, &table, &selector, &budget, clock, &stop));
+            let (table, selector, budget) = (&table, &selector, &budget);
+            let (detector, tallies, stop) = (&detector, &tallies, &stop);
+            let supervisor = s.spawn(move || {
+                connection_loop(
+                    addr, &rx, table, selector, budget, detector, tallies, clock, stop, false,
+                    false,
+                )
+            });
             // Mid-run kill: the server side of the connection goes away.
+            let (server_end, _) = listener.accept().unwrap();
             drop(server_end);
-            let out = reader.join().unwrap().expect("EOF is a clean exit");
+            let out = supervisor.join().unwrap().expect("EOF is a clean exit");
             assert!(out.samples.is_empty(), "nothing ever completed");
         });
 
@@ -826,7 +1484,86 @@ mod tests {
             budget.drained_within(Duration::from_millis(500)),
             "a dead connection's permits must come back"
         );
-        assert!(table.lock().unwrap().is_empty(), "stragglers drained");
+        assert!(table.lock().unwrap().live.is_empty(), "stragglers reaped");
         assert_eq!(budget.in_flight(), 0);
+    }
+
+    /// The op token elects exactly one owner across the reap paths: a
+    /// reap and a (simulated) completion race for the same op, and the
+    /// permit comes back exactly once.
+    #[test]
+    fn reap_send_releases_each_op_once() {
+        let cfg = LiveConfig::default();
+        let registry = live_strategy_registry(&cfg);
+        let selector = build_selector(&cfg, &registry);
+        let budget = InFlightBudget::new(2);
+        let clock = WallClock::start();
+        assert!(budget.acquire_until(Instant::now() + Duration::from_secs(1)));
+        let p = write_entry(clock, 0);
+        let twin = p.clone();
+        // A retry keeps the permit...
+        assert!(!reap_send(&p, &selector, &budget, clock.now(), true));
+        assert_eq!(budget.in_flight(), 1);
+        // ...the park releases it...
+        assert!(reap_send(&p, &selector, &budget, clock.now(), false));
+        assert_eq!(budget.in_flight(), 0);
+        // ...and the twin attempt finds the op already owned.
+        assert!(!reap_send(&twin, &selector, &budget, clock.now(), false));
+        assert_eq!(budget.in_flight(), 0);
+    }
+
+    /// The leak regression: full hardened runs with crash and reset
+    /// windows at randomized (seed-varied) times. `execute` asserts at
+    /// teardown that every permit funneled back — getting through the
+    /// loop IS the pass; any correlation-entry or permit leak panics.
+    #[test]
+    fn randomized_kill_timing_leaks_nothing() {
+        let mut reconnects = 0;
+        for seed in 0..3u64 {
+            let at = 20 + seed * 17;
+            let mut cfg = LiveConfig {
+                replicas: 3,
+                replication_factor: 2,
+                threads: 2,
+                in_flight: 16,
+                keys: 500,
+                run_for: Duration::from_millis(300),
+                warmup_ops: 0,
+                deadline: Some(Duration::from_millis(40)),
+                retries: 2,
+                hedge_after: Some(Duration::from_millis(20)),
+                seed,
+                ..LiveConfig::default()
+            };
+            cfg.faults = FaultPlan {
+                events: vec![
+                    FaultEvent {
+                        node: (seed % 3) as usize,
+                        kind: FaultKind::ConnReset,
+                        start: Nanos::from_millis(at),
+                        end: Nanos::from_millis(at + 80),
+                        magnitude: 0.0,
+                    },
+                    FaultEvent {
+                        node: ((seed + 1) % 3) as usize,
+                        kind: FaultKind::Crash,
+                        start: Nanos::from_millis(at + 40),
+                        end: Nanos::from_millis(at + 140),
+                        magnitude: 0.0,
+                    },
+                ],
+            };
+            let artifacts = execute(&cfg).expect("hardened runs survive kills");
+            assert!(artifacts.issued > 0, "seed {seed} issued nothing");
+            assert!(
+                !artifacts.samples.is_empty(),
+                "seed {seed} completed nothing"
+            );
+            reconnects += artifacts.lifecycle.reconnects;
+        }
+        assert!(
+            reconnects > 0,
+            "reset windows must have severed at least one connection"
+        );
     }
 }

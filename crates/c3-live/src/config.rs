@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use c3_cluster::{DiskKind, ScriptedSlowdown, SnitchConfig};
+use c3_cluster::{DiskKind, FaultPlan, ScriptedSlowdown, SnitchConfig};
 use c3_core::C3Config;
 use c3_engine::Strategy;
 
@@ -90,6 +90,24 @@ pub struct LiveConfig {
     /// time since run start). The same scripts drive the §5 cluster, so
     /// sim and live timelines line up for parity checks.
     pub scripted: Vec<ScriptedSlowdown>,
+    /// Deterministic fault episodes replayed by the replicas against wall
+    /// time since run start — the same [`FaultPlan`] the sim cluster
+    /// replays as engine events. Crashed/resetting replicas sever their
+    /// connections and swallow requests; `RespDrop`/`RespDelay` windows
+    /// lose or lag responses after service.
+    pub faults: FaultPlan,
+    /// Per-request deadline: a request unanswered this long after it was
+    /// handed to its connection is reaped — its permit comes back, its
+    /// selector slot is abandoned, and (budget permitting) it is retried.
+    /// `None` disables the whole client-side lifecycle hardening.
+    pub deadline: Option<Duration>,
+    /// Retry budget after a deadline expiry (0 = park the op on its first
+    /// expiry). Retries go to a *different* replica with exponential
+    /// backoff and jitter; writes re-target their primary.
+    pub retries: u32,
+    /// Hedge reads to a second replica after this delay; the first
+    /// response wins and the loser is discarded. `None` disables hedging.
+    pub hedge_after: Option<Duration>,
     /// Minimum spacing between per-replica score samples of the shared
     /// C3 selector (the live side of the parity trace).
     pub score_sample_every: Duration,
@@ -120,6 +138,10 @@ impl Default for LiveConfig {
             warmup_ops: 500,
             ops_cap: u64::MAX,
             scripted: Vec::new(),
+            faults: FaultPlan::none(),
+            deadline: None,
+            retries: 0,
+            hedge_after: None,
             score_sample_every: Duration::from_millis(50),
             seed: 1,
         }
@@ -158,6 +180,25 @@ impl LiveConfig {
             assert!(s.node < self.replicas, "scripted slowdown out of range");
             assert!(s.multiplier >= 1.0, "slowdowns must slow things down");
         }
+        for e in &self.faults.events {
+            assert!(e.node < self.replicas, "fault event out of range");
+            assert!(e.start < e.end, "fault window must have positive span");
+        }
+        if self.retries > 0 {
+            assert!(
+                self.deadline.is_some(),
+                "retries fire on deadline expiry; set a deadline"
+            );
+        }
+        if let Some(d) = self.deadline {
+            assert!(d > Duration::ZERO, "deadline must be positive");
+        }
+        if let Some(h) = self.hedge_after {
+            assert!(h > Duration::ZERO, "hedge delay must be positive");
+            if let Some(d) = self.deadline {
+                assert!(h < d, "a hedge after the deadline can never fire");
+            }
+        }
         self.c3.validate();
     }
 
@@ -185,6 +226,57 @@ mod tests {
         assert_eq!(cfg.group_of(0), vec![0, 1, 2]);
         assert_eq!(cfg.group_of(5), vec![5, 0, 1]);
         assert_eq!(cfg.group_of(17), vec![5, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "set a deadline")]
+    fn retries_without_deadline_are_rejected() {
+        let cfg = LiveConfig {
+            retries: 2,
+            ..LiveConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "never fire")]
+    fn hedge_after_the_deadline_is_rejected() {
+        let cfg = LiveConfig {
+            deadline: Some(Duration::from_millis(50)),
+            hedge_after: Some(Duration::from_millis(80)),
+            ..LiveConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fault event out of range")]
+    fn fault_nodes_must_exist() {
+        let cfg = LiveConfig {
+            faults: FaultPlan {
+                events: vec![c3_cluster::FaultEvent {
+                    node: 99,
+                    kind: c3_cluster::FaultKind::Crash,
+                    start: c3_core::Nanos::ZERO,
+                    end: c3_core::Nanos::from_secs(1),
+                    magnitude: 0.0,
+                }],
+            },
+            ..LiveConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn hardened_config_validates() {
+        let cfg = LiveConfig {
+            deadline: Some(Duration::from_millis(75)),
+            retries: 3,
+            hedge_after: Some(Duration::from_millis(30)),
+            faults: FaultPlan::crash_flux(1, 6, c3_core::Nanos::from_secs(2)),
+            ..LiveConfig::default()
+        };
+        cfg.validate();
     }
 
     #[test]

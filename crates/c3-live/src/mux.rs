@@ -93,6 +93,33 @@ impl<T> CorrelationTable<T> {
     pub fn drain(&mut self) -> Vec<T> {
         self.pending.drain().map(|(_, v)| v).collect()
     }
+
+    /// Drain every still-pending entry together with its wire id — the
+    /// reap paths need the ids to tombstone, so late responses for
+    /// reaped requests can be told apart from correlation bugs.
+    pub fn drain_entries(&mut self) -> Vec<(u64, T)> {
+        self.pending.drain().collect()
+    }
+
+    /// Iterate the in-flight entries (the hedging pass scans without
+    /// removing).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> + '_ {
+        self.pending.iter().map(|(&id, v)| (id, v))
+    }
+
+    /// Remove and return every entry matching `pred` (the deadline
+    /// sweep: "everything sent before the cutoff").
+    pub fn take_matching(&mut self, mut pred: impl FnMut(&T) -> bool) -> Vec<(u64, T)> {
+        let ids: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, v)| pred(v))
+            .map(|(&id, _)| id)
+            .collect();
+        ids.into_iter()
+            .map(|id| (id, self.pending.remove(&id).expect("id just seen")))
+            .collect()
+    }
 }
 
 /// A counting semaphore bounding the client's total in-flight requests —
@@ -214,6 +241,31 @@ mod tests {
         assert_eq!(table.complete(42), Err(MuxError::UnknownId(42)));
         // Once completed, the id is free for reuse.
         table.register(42, ()).unwrap();
+    }
+
+    #[test]
+    fn take_matching_removes_only_the_matches() {
+        let mut table = CorrelationTable::new();
+        for id in 0..6u64 {
+            table.register(id, id).unwrap();
+        }
+        let mut taken = table.take_matching(|&v| v % 2 == 0);
+        taken.sort_unstable();
+        assert_eq!(taken, vec![(0, 0), (2, 2), (4, 4)]);
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.complete(3).unwrap(), 3);
+        assert_eq!(table.complete(0), Err(MuxError::UnknownId(0)));
+    }
+
+    #[test]
+    fn drain_entries_keeps_the_ids() {
+        let mut table = CorrelationTable::new();
+        table.register(9, "a").unwrap();
+        table.register(4, "b").unwrap();
+        let mut all = table.drain_entries();
+        all.sort_unstable();
+        assert_eq!(all, vec![(4, "b"), (9, "a")]);
+        assert!(table.is_empty());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use std::time::Duration;
 
-use c3_cluster::{ScriptedSlowdown, CLUSTER_CHANNELS};
+use c3_cluster::{FaultEvent, FaultKind, FaultPlan, ScriptedSlowdown, CLUSTER_CHANNELS};
 use c3_core::Nanos;
 use c3_engine::{ChannelId, ChannelSet, EventQueue, RunMetrics, Scenario, ScenarioRunner};
 use c3_scenarios::{
@@ -25,7 +25,7 @@ use c3_scenarios::{
 };
 use c3_telemetry::{summarize_gauge, Recorder};
 
-use crate::client::{execute, live_strategy_registry, ClientArtifacts};
+use crate::client::{execute, live_strategy_registry, ClientArtifacts, LifecycleCounts};
 use crate::config::LiveConfig;
 use crate::slowdown::SlowdownScript;
 
@@ -36,6 +36,10 @@ const UPDATE_CHANNEL: ChannelId = ChannelId::new(1);
 pub const LIVE_HETERO_FLEET: &str = "live-hetero-fleet";
 /// Registry name of the live partition/flux scenario.
 pub const LIVE_PARTITION_FLUX: &str = "live-partition-flux";
+/// Registry name of the live crash/restart fault scenario.
+pub const LIVE_CRASH_FLUX: &str = "live-crash-flux";
+/// Registry name of the live flaky-network fault scenario.
+pub const LIVE_FLAKY_NET: &str = "live-flaky-net";
 
 /// Gauge-series name of the in-flight occupancy health channel.
 pub const HEALTH_INFLIGHT: &str = "inflight";
@@ -118,6 +122,11 @@ pub struct LiveReport {
     pub backpressure_waits: u64,
     /// Operations issued (including unmeasured warm-up).
     pub ops_issued: u64,
+    /// Request-lifecycle tallies (deadlines, retries, hedges, evictions,
+    /// reconnects); all zero when the hardening knobs are off. The
+    /// `timeouts`/`parked` pair also lands in
+    /// [`LiveReport::report`], where it is fingerprinted like the sim's.
+    pub lifecycle: LifecycleCounts,
     /// Client-health series, `ChannelReport`-shaped but deliberately
     /// *outside* [`LiveReport::report`]'s channels: the SLO machinery
     /// sums throughput and completions over all report channels, and
@@ -183,7 +192,8 @@ pub fn run_live(scenario_name: &str, cfg: LiveConfig) -> LiveReport {
     let mut scenario = LiveScenario::new(cfg);
     let (metrics, stats) = runner.run(&mut scenario, replicas, Nanos::from_millis(100));
     let mut artifacts = scenario.artifacts.take().expect("run completed");
-    let report = ScenarioReport::from_metrics(scenario_name, &strategy, seed, &metrics, &stats);
+    let report = ScenarioReport::from_metrics(scenario_name, &strategy, seed, &metrics, &stats)
+        .with_lifecycle(artifacts.lifecycle.timeouts, artifacts.lifecycle.parked);
     let health = vec![
         health_channel(&artifacts.recorder, HEALTH_INFLIGHT, report.duration),
         health_channel(&artifacts.recorder, HEALTH_FEEDBACK_LAG, report.duration),
@@ -193,6 +203,7 @@ pub fn run_live(scenario_name: &str, cfg: LiveConfig) -> LiveReport {
         score_trace: artifacts.recorder.take_score_trace(),
         backpressure_waits: artifacts.backpressure_waits,
         ops_issued: artifacts.issued,
+        lifecycle: artifacts.lifecycle,
         health,
         recorder: artifacts.recorder,
     }
@@ -236,6 +247,67 @@ pub fn partition_flux_config(params: &ScenarioParams) -> Result<LiveConfig, Scen
             multiplier: 30.0,
         },
     ];
+    Ok(cfg)
+}
+
+/// The live crash-flux script: the same seeded [`FaultPlan::crash_flux`]
+/// timeline the sim scenario replays as engine events, replayed by the
+/// replicas against wall time — crashed nodes sever their connections
+/// and swallow requests — with the same lifecycle hardening on the
+/// client (75 ms deadline, 3 retries, 30 ms hedge) plus the same early
+/// crash window, so even smoke-scale runs meet a fault.
+pub fn crash_flux_config(params: &ScenarioParams) -> Result<LiveConfig, ScenarioError> {
+    let mut cfg = base_config(LIVE_CRASH_FLUX, params)?;
+    let mut plan = FaultPlan::crash_flux(cfg.seed, cfg.replicas, Nanos::from_secs(60));
+    plan.events.push(FaultEvent {
+        node: 0,
+        kind: FaultKind::Crash,
+        start: Nanos::from_millis(60),
+        end: Nanos::from_millis(260),
+        magnitude: 0.0,
+    });
+    cfg.faults = plan;
+    cfg.deadline = Some(Duration::from_millis(75));
+    cfg.retries = 3;
+    cfg.hedge_after = Some(Duration::from_millis(30));
+    Ok(cfg)
+}
+
+/// The live flaky-net script: [`FaultPlan::flaky_net`]'s resets, dropped
+/// responses and delayed responses against wall time, hardened like the
+/// sim twin (100 ms deadline to ride out the injected response lag,
+/// 3 retries, 50 ms hedge) with the same early episodes.
+pub fn flaky_net_config(params: &ScenarioParams) -> Result<LiveConfig, ScenarioError> {
+    let mut cfg = base_config(LIVE_FLAKY_NET, params)?;
+    let mut plan = FaultPlan::flaky_net(cfg.seed, cfg.replicas, Nanos::from_secs(60));
+    plan.events.extend([
+        FaultEvent {
+            node: 1,
+            kind: FaultKind::ConnReset,
+            start: Nanos::from_millis(50),
+            end: Nanos::from_millis(140),
+            magnitude: 0.0,
+        },
+        FaultEvent {
+            node: 2,
+            kind: FaultKind::RespDelay,
+            start: Nanos::from_millis(60),
+            end: Nanos::from_millis(300),
+            magnitude: 40.0,
+        },
+        FaultEvent {
+            node: 3,
+            kind: FaultKind::RespDrop,
+            start: Nanos::from_millis(80),
+            end: Nanos::from_millis(320),
+            magnitude: 0.5,
+        },
+    ]);
+    plan.events.retain(|e| e.node < cfg.replicas);
+    cfg.faults = plan;
+    cfg.deadline = Some(Duration::from_millis(100));
+    cfg.retries = 3;
+    cfg.hedge_after = Some(Duration::from_millis(50));
     Ok(cfg)
 }
 
@@ -286,6 +358,12 @@ pub fn register_live_scenarios(registry: &mut ScenarioRegistry) {
     });
     registry.register(LIVE_PARTITION_FLUX, |p: &ScenarioParams| {
         Ok(run_live(LIVE_PARTITION_FLUX, partition_flux_config(p)?).report)
+    });
+    registry.register(LIVE_CRASH_FLUX, |p: &ScenarioParams| {
+        Ok(run_live(LIVE_CRASH_FLUX, crash_flux_config(p)?).report)
+    });
+    registry.register(LIVE_FLAKY_NET, |p: &ScenarioParams| {
+        Ok(run_live(LIVE_FLAKY_NET, flaky_net_config(p)?).report)
     });
 }
 
@@ -396,6 +474,49 @@ mod tests {
             )
             .expect("live hetero runs by name");
         assert_eq!(report.scenario, LIVE_HETERO_FLEET);
+        assert!(report.total_completions() > 0);
+    }
+
+    #[test]
+    fn live_crash_flux_recovers_through_the_lifecycle() {
+        let params = ScenarioParams::sized(Strategy::c3(), 3, 1_200);
+        let cfg = crash_flux_config(&params).unwrap();
+        assert!(!cfg.faults.is_empty());
+        assert_eq!(cfg.deadline, Some(Duration::from_millis(75)));
+        let mut cfg = LiveConfig {
+            replicas: 3,
+            replication_factor: 2,
+            run_for: Duration::from_millis(400),
+            ..cfg
+        };
+        cfg.faults.events.retain(|e| e.node < 3);
+        let live = run_live(LIVE_CRASH_FLUX, cfg);
+        assert_eq!(live.report.scenario, LIVE_CRASH_FLUX);
+        assert!(
+            live.report.total_completions() > 0,
+            "hardened runs finish despite the crash window"
+        );
+        assert!(
+            live.lifecycle.reconnects > 0,
+            "the crash window must sever at least one connection"
+        );
+        // The report's lifecycle pair mirrors the client tallies.
+        assert_eq!(live.report.timeouts, live.lifecycle.timeouts);
+        assert_eq!(live.report.parked, live.lifecycle.parked);
+    }
+
+    #[test]
+    fn live_fault_scenarios_run_by_name() {
+        let registry = live_registry();
+        assert!(registry.contains(LIVE_CRASH_FLUX));
+        assert!(registry.contains(LIVE_FLAKY_NET));
+        let report = registry
+            .run(
+                LIVE_FLAKY_NET,
+                &ScenarioParams::sized(Strategy::lor(), 2, 600),
+            )
+            .expect("live flaky-net runs by name");
+        assert_eq!(report.scenario, LIVE_FLAKY_NET);
         assert!(report.total_completions() > 0);
     }
 

@@ -31,9 +31,9 @@ use bytes::{Bytes, BytesMut};
 use c3_core::{Clock, Feedback, WallClock};
 use c3_net::proto::{Frame, Request, Response, Status};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-use c3_cluster::DiskModel;
+use c3_cluster::{DiskModel, FaultPlan};
 
 use crate::config::LiveConfig;
 use crate::slowdown::Slowdown;
@@ -69,6 +69,11 @@ struct Replica {
     /// Service-time randomness, shared so the stream is seed-derived.
     rng: Mutex<SmallRng>,
     slowdown: Arc<dyn Slowdown>,
+    /// Fault timeline replayed against wall time — the second injectable
+    /// adversity hook next to [`Slowdown`]: where the slowdown hook makes
+    /// this replica *slow*, the plan makes it *fail* (sever connections,
+    /// swallow requests, drop or delay responses).
+    faults: Arc<FaultPlan>,
     clock: WallClock,
     nominal_bytes: u32,
 }
@@ -107,7 +112,12 @@ impl Replica {
                     queue = self.work.wait(queue).expect("queue poisoned");
                 }
             };
-            let resp = self.execute(job.req);
+            // A faulted execution produces no response: the request
+            // vanished into a crash window or its response was dropped.
+            // The client's deadline reaper is what gets its permit back.
+            let Some(resp) = self.execute(job.req) else {
+                continue;
+            };
             // The client may already be gone at teardown; a failed
             // response write is its problem, not the replica's.
             let mut writer = job.writer.lock().expect("writer poisoned");
@@ -117,9 +127,17 @@ impl Replica {
 
     /// Execute one request: sleep the sampled service time (scaled by the
     /// slowdown hook), touch the store, and build the response with fresh
-    /// feedback.
-    fn execute(&self, req: Request) -> Response {
-        let multiplier = self.slowdown.multiplier(self.id, self.clock.now());
+    /// feedback. Returns `None` when the fault plan eats the request (a
+    /// crash window at execution time) or its response (`RespDrop`).
+    fn execute(&self, req: Request) -> Option<Response> {
+        let arrived = self.clock.now();
+        if self.faults.down(self.id, arrived) {
+            // A crashed replica does no work: the request vanishes
+            // without burning an executor's time.
+            self.pending.fetch_sub(1, Ordering::AcqRel);
+            return None;
+        }
+        let multiplier = self.slowdown.multiplier(self.id, arrived);
         let (id, key, put_value) = match req {
             Request::Get { id, key } => (id, key, None),
             Request::Put { id, key, value } => (id, key, Some(value)),
@@ -137,6 +155,11 @@ impl Replica {
             }
         };
         std::thread::sleep(service.into());
+        let after_service = self.clock.now();
+        let extra = self.faults.extra_delay(self.id, after_service);
+        if extra > c3_core::Nanos::ZERO {
+            std::thread::sleep(extra.into());
+        }
 
         let key_id = decode_key(&key);
         let (status, value) = match put_value {
@@ -164,12 +187,23 @@ impl Replica {
             .pending
             .fetch_sub(1, Ordering::AcqRel)
             .saturating_sub(1);
-        Response {
+        // Response-side faults: the work was done (store touched, service
+        // burned, pending decremented) but the answer is lost — or the
+        // node crashed while the request was in service.
+        let departing = self.clock.now();
+        if self.faults.down(self.id, departing) {
+            return None;
+        }
+        let drop_prob = self.faults.drop_prob(self.id, departing);
+        if drop_prob > 0.0 && self.rng.lock().expect("rng poisoned").gen::<f64>() < drop_prob {
+            return None;
+        }
+        Some(Response {
             id,
             status,
             feedback: Feedback::new(pending_after, service),
             value,
-        }
+        })
     }
 }
 
@@ -208,6 +242,7 @@ impl LiveCluster {
         cfg.validate();
         let shutdown = Arc::new(AtomicBool::new(false));
         let conn_handles = Arc::new(Mutex::new(Vec::new()));
+        let faults = Arc::new(cfg.faults.clone());
         let model = match cfg.disk {
             c3_cluster::DiskKind::Spinning => DiskModel::spinning(cfg.read_fraction),
             c3_cluster::DiskKind::Ssd => DiskModel::ssd(cfg.read_fraction),
@@ -231,6 +266,7 @@ impl LiveCluster {
                     cfg.seed ^ 0xd1b5_4a32_d192_ed03u64.wrapping_mul(id as u64 + 1),
                 )),
                 slowdown: Arc::clone(&slowdown),
+                faults: Arc::clone(&faults),
                 clock,
                 nominal_bytes: cfg.value_bytes,
             });
@@ -341,6 +377,16 @@ fn serve_connection(stream: TcpStream, replica: &Replica) -> io::Result<()> {
                 "server received a response frame",
             ));
         };
+        // A crashed or resetting replica severs the connection the moment
+        // a frame reaches it — mid-stream from the client's perspective,
+        // which is exactly the reset the hardened client must absorb and
+        // redial. Requests already queued are eaten by `execute`.
+        if replica.faults.down(replica.id, replica.clock.now()) {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "replica down: fault window severs the connection",
+            ));
+        }
         replica.enqueue(req, Arc::clone(&writer));
     }
     Ok(())
@@ -454,6 +500,101 @@ mod tests {
             timings[0],
             timings[1]
         );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn crash_window_severs_connections_but_spares_healthy_replicas() {
+        use c3_cluster::{FaultEvent, FaultKind};
+        let cfg = LiveConfig {
+            faults: FaultPlan {
+                events: vec![FaultEvent {
+                    node: 0,
+                    kind: FaultKind::Crash,
+                    start: Nanos::ZERO,
+                    end: Nanos::from_secs(60),
+                    magnitude: 0.0,
+                }],
+            },
+            ..tiny_cfg()
+        };
+        let cluster = LiveCluster::spawn(&cfg, Arc::new(NoSlowdown), WallClock::start()).unwrap();
+
+        // The crashed replica kills the connection on the first frame.
+        let mut dead = TcpStream::connect(cluster.addrs()[0]).unwrap();
+        write_request(
+            &mut dead,
+            &Request::Get {
+                id: 1,
+                key: encode_key(1),
+            },
+        )
+        .unwrap();
+        let mut buf = BytesMut::new();
+        let answer = read_frame(&mut dead, &mut buf);
+        assert!(
+            matches!(answer, Ok(None) | Err(_)),
+            "a crashed replica must never answer: {answer:?}"
+        );
+
+        // Its healthy peer still round-trips.
+        let mut alive = TcpStream::connect(cluster.addrs()[1]).unwrap();
+        let mut buf = BytesMut::new();
+        let resp = round_trip(
+            &mut alive,
+            &mut buf,
+            Request::Get {
+                id: 2,
+                key: encode_key(2),
+            },
+        );
+        assert_eq!(resp.id, 2);
+
+        drop(dead);
+        drop(alive);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn resp_drop_burns_service_but_loses_the_answer() {
+        use c3_cluster::{FaultEvent, FaultKind};
+        let cfg = LiveConfig {
+            faults: FaultPlan {
+                events: vec![FaultEvent {
+                    node: 0,
+                    kind: FaultKind::RespDrop,
+                    start: Nanos::ZERO,
+                    end: Nanos::from_secs(60),
+                    magnitude: 1.0,
+                }],
+            },
+            ..tiny_cfg()
+        };
+        let cluster = LiveCluster::spawn(&cfg, Arc::new(NoSlowdown), WallClock::start()).unwrap();
+        let mut stream = TcpStream::connect(cluster.addrs()[0]).unwrap();
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_millis(300)))
+            .unwrap();
+        write_request(
+            &mut stream,
+            &Request::Get {
+                id: 7,
+                key: encode_key(7),
+            },
+        )
+        .unwrap();
+        // The request executes but its response is eaten: the read must
+        // time out rather than deliver a frame.
+        let mut buf = BytesMut::new();
+        let err = read_frame(&mut stream, &mut buf).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            "dropped response must leave the client waiting: {err:?}"
+        );
+        drop(stream);
         cluster.shutdown();
     }
 

@@ -14,7 +14,7 @@ use c3_net::proto::{decode_frame, encode_request, encode_response, Frame, Reques
 /// Read one frame, blocking until it is complete. Returns `None` on a
 /// clean end-of-stream at a frame boundary; mid-frame EOF and protocol
 /// violations surface as errors.
-pub fn read_frame(stream: &mut TcpStream, buf: &mut BytesMut) -> io::Result<Option<Frame>> {
+pub fn read_frame<R: Read>(stream: &mut R, buf: &mut BytesMut) -> io::Result<Option<Frame>> {
     let mut chunk = [0u8; 4096];
     loop {
         match decode_frame(buf) {

@@ -13,7 +13,7 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 use c3_core::{Feedback, Nanos};
-use c3_live::{CorrelationTable, MuxError};
+use c3_live::{read_frame, CorrelationTable, MuxError};
 use c3_net::proto::{
     decode_frame, encode_request, encode_response, Frame, Request, Response, Status, MAX_FRAME,
 };
@@ -239,6 +239,82 @@ proptest! {
         }
         prop_assert_eq!(completed, shuffled, "every response completes, in arrival order");
         prop_assert!(table.is_empty(), "nothing left in flight");
+    }
+
+    #[test]
+    fn mid_frame_connection_death_is_a_clean_error(
+        kind in 0u32..4,
+        id in 0u64..u64::MAX,
+        payload_len in 1usize..512,
+        cut in 1usize..64,
+    ) {
+        // A fault window severs the connection partway through a frame:
+        // the reader must surface a mid-frame EOF error — never hang,
+        // never report a clean end-of-stream, never fabricate a frame.
+        use std::io::Write as _;
+        let frame = frame_from(kind, id, 8, payload_len, 1, 1);
+        let mut full = BytesMut::new();
+        encode(&frame, &mut full);
+        prop_assume!(cut < full.len());
+
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = std::net::TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        server.write_all(&full[..cut]).unwrap();
+        drop(server);
+
+        let mut buf = BytesMut::new();
+        match read_frame(&mut client, &mut buf) {
+            Ok(Some(_)) => return Err(proptest::TestCaseError::fail(
+                "misparsed a frame from a truncated stream",
+            )),
+            Ok(None) => return Err(proptest::TestCaseError::fail(
+                "mid-frame EOF reported as a clean end-of-stream",
+            )),
+            Err(e) => prop_assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof),
+        }
+    }
+
+    #[test]
+    fn a_read_timeout_mid_frame_resumes_without_corruption(
+        kind in 0u32..4,
+        id in 0u64..u64::MAX,
+        payload_len in 1usize..512,
+        cut in 1usize..64,
+    ) {
+        // The live reader polls with a read timeout so it can check its
+        // stop flag; a timeout that lands mid-frame must leave the
+        // partial bytes in the buffer so the next poll resumes the same
+        // frame — and a close at the boundary afterwards is clean.
+        use std::io::Write as _;
+        let frame = frame_from(kind, id, 8, payload_len, 2, 9);
+        let mut full = BytesMut::new();
+        encode(&frame, &mut full);
+        prop_assume!(cut < full.len());
+
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = std::net::TcpStream::connect(addr).unwrap();
+        client
+            .set_read_timeout(Some(std::time::Duration::from_millis(10)))
+            .unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        server.write_all(&full[..cut]).unwrap();
+
+        let mut buf = BytesMut::new();
+        let e = read_frame(&mut client, &mut buf)
+            .expect_err("a partial frame cannot complete yet");
+        prop_assert!(
+            matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut),
+            "expected a poll timeout, got {e}"
+        );
+
+        server.write_all(&full[cut..]).unwrap();
+        drop(server);
+        let decoded = read_frame(&mut client, &mut buf).unwrap().expect("completed frame");
+        prop_assert_eq!(&decoded, &frame);
+        prop_assert_eq!(read_frame(&mut client, &mut buf).unwrap(), None);
     }
 
     #[test]

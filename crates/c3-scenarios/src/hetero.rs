@@ -125,9 +125,11 @@ fn run_inner(
     }
     let (metrics, stats) = runner.run(&mut scenario, nodes, load_window);
     let recorder = scenario.take_recorder();
+    let (timeouts, parked) = scenario.lifecycle_counts();
     let report =
         ScenarioReport::from_metrics(super::HETERO_FLEET, &strategy, seed, &metrics, &stats)
-            .with_dead_events(scenario.dead_events());
+            .with_dead_events(scenario.dead_events())
+            .with_lifecycle(timeouts, parked);
     (report, recorder)
 }
 

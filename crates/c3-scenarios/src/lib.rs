@@ -18,7 +18,12 @@
 //!   hardware tiers layered on the §5 cluster's ring;
 //! - [`PARTITION_FLUX`] ([`PartitionFluxConfig`]): scripted and stochastic
 //!   replica blackouts and recoveries built on the cluster's perturbation
-//!   episodes, exercising C3's rate-control recovery path.
+//!   episodes, exercising C3's rate-control recovery path;
+//! - [`CRASH_FLUX`] and [`FLAKY_NET`] ([`FaultFluxConfig`]): deterministic
+//!   fault-injection timelines (node crashes; connection resets, dropped
+//!   and delayed responses) replayed against the hardened request
+//!   lifecycle — deadlines, bounded retry with backoff, hedged requests
+//!   and a failure detector.
 //!
 //! Every run produces the same [`ScenarioReport`] (per-channel summaries,
 //! throughput, a bit-exact [`ScenarioReport::fingerprint`]), and
@@ -42,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod faults;
 mod hetero;
 mod mega_fleet;
 mod multi_tenant;
@@ -49,6 +55,7 @@ mod partition;
 mod registry;
 mod report;
 
+pub use faults::{run as run_fault_flux, FaultFlavor, FaultFluxConfig};
 pub use hetero::{run as run_hetero_fleet, HeteroFleetConfig};
 pub use mega_fleet::{run as run_mega_fleet, MegaFleetConfig, MegaFleetScenario, MfEvent};
 pub use multi_tenant::{
@@ -70,6 +77,10 @@ pub const MEGA_FLEET: &str = "mega-fleet";
 pub const HETERO_FLEET: &str = "hetero-fleet";
 /// Registry name of the partition/flux scenario.
 pub const PARTITION_FLUX: &str = "partition-flux";
+/// Registry name of the crash/restart fault-injection scenario.
+pub const CRASH_FLUX: &str = "crash-flux";
+/// Registry name of the flaky-network fault-injection scenario.
+pub const FLAKY_NET: &str = "flaky-net";
 
 /// The full strategy registry every scenario resolves against: the
 /// engine's defaults plus the cluster-only strategies (Dynamic Snitching

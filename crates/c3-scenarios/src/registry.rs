@@ -13,8 +13,8 @@ use c3_engine::{fan_out, Strategy};
 use c3_telemetry::Recorder;
 
 use crate::report::ScenarioReport;
-use crate::{hetero, mega_fleet, multi_tenant, partition, scenario_registry};
-use crate::{HETERO_FLEET, MEGA_FLEET, MULTI_TENANT, PARTITION_FLUX};
+use crate::{faults, hetero, mega_fleet, multi_tenant, partition, scenario_registry};
+use crate::{CRASH_FLUX, FLAKY_NET, HETERO_FLEET, MEGA_FLEET, MULTI_TENANT, PARTITION_FLUX};
 
 /// Everything a scenario needs to produce one run.
 #[derive(Clone, Debug)]
@@ -169,8 +169,9 @@ impl ScenarioRegistry {
     }
 
     /// The library's stock scenarios: [`MULTI_TENANT`], [`MEGA_FLEET`],
-    /// [`HETERO_FLEET`] and [`PARTITION_FLUX`], each at its default shape
-    /// scaled by [`ScenarioParams::ops`].
+    /// [`HETERO_FLEET`], [`PARTITION_FLUX`], [`CRASH_FLUX`] and
+    /// [`FLAKY_NET`], each at its default shape scaled by
+    /// [`ScenarioParams::ops`].
     pub fn with_defaults() -> Self {
         let mut reg = Self::empty();
         reg.register(MEGA_FLEET, |p: &ScenarioParams| {
@@ -216,6 +217,30 @@ impl ScenarioRegistry {
             let mut cfg = partition::PartitionFluxConfig::default();
             apply_cluster_params(&mut cfg.cluster, p, PARTITION_FLUX, &strategies)?;
             Ok(partition::run_recorded(&cfg, &strategies, rec))
+        });
+        reg.register(CRASH_FLUX, |p: &ScenarioParams| {
+            let strategies = scenario_registry();
+            let mut cfg = faults::FaultFluxConfig::crash_flux();
+            apply_cluster_params(&mut cfg.cluster, p, CRASH_FLUX, &strategies)?;
+            Ok(faults::run(&cfg, &strategies))
+        });
+        reg.register_recorded(CRASH_FLUX, |p: &ScenarioParams, rec: Recorder| {
+            let strategies = scenario_registry();
+            let mut cfg = faults::FaultFluxConfig::crash_flux();
+            apply_cluster_params(&mut cfg.cluster, p, CRASH_FLUX, &strategies)?;
+            Ok(faults::run_recorded(&cfg, &strategies, rec))
+        });
+        reg.register(FLAKY_NET, |p: &ScenarioParams| {
+            let strategies = scenario_registry();
+            let mut cfg = faults::FaultFluxConfig::flaky_net();
+            apply_cluster_params(&mut cfg.cluster, p, FLAKY_NET, &strategies)?;
+            Ok(faults::run(&cfg, &strategies))
+        });
+        reg.register_recorded(FLAKY_NET, |p: &ScenarioParams, rec: Recorder| {
+            let strategies = scenario_registry();
+            let mut cfg = faults::FaultFluxConfig::flaky_net();
+            apply_cluster_params(&mut cfg.cluster, p, FLAKY_NET, &strategies)?;
+            Ok(faults::run_recorded(&cfg, &strategies, rec))
         });
         reg
     }
@@ -408,7 +433,14 @@ mod tests {
         let reg = ScenarioRegistry::with_defaults();
         assert_eq!(
             reg.names(),
-            vec![HETERO_FLEET, MEGA_FLEET, MULTI_TENANT, PARTITION_FLUX]
+            vec![
+                CRASH_FLUX,
+                FLAKY_NET,
+                HETERO_FLEET,
+                MEGA_FLEET,
+                MULTI_TENANT,
+                PARTITION_FLUX
+            ]
         );
         assert!(reg.contains(MULTI_TENANT));
         assert!(!reg.contains("nope"));
@@ -434,7 +466,7 @@ mod tests {
     fn oracle_is_unsupported_on_cluster_backed_scenarios_only() {
         let reg = ScenarioRegistry::with_defaults();
         let p = ScenarioParams::sized(Strategy::oracle(), 1, 4_000);
-        for name in [HETERO_FLEET, PARTITION_FLUX] {
+        for name in [HETERO_FLEET, PARTITION_FLUX, CRASH_FLUX, FLAKY_NET] {
             match reg.run(name, &p) {
                 Err(ScenarioError::UnsupportedStrategy { scenario, strategy }) => {
                     assert_eq!(scenario, name);

@@ -44,6 +44,13 @@ pub struct ScenarioReport {
     /// cancelled at its trigger, so this is zero for every scenario — the
     /// dead-event regression test asserts it across the whole library.
     pub dead_events: u64,
+    /// Per-request deadline expiries (request-lifecycle hardening). Zero
+    /// unless the scenario configures a deadline.
+    pub timeouts: u64,
+    /// Operations abandoned after exhausting deadline + retry budget.
+    /// Parked operations are *not* completions; a scenario that parks
+    /// reports fewer completions than it issued.
+    pub parked: u64,
 }
 
 impl ScenarioReport {
@@ -74,6 +81,8 @@ impl ScenarioReport {
             events_processed: stats.events_processed,
             events_cancelled: stats.events_cancelled,
             dead_events: 0,
+            timeouts: 0,
+            parked: 0,
         }
     }
 
@@ -81,6 +90,14 @@ impl ScenarioReport {
     /// [`ScenarioReport::dead_events`]).
     pub fn with_dead_events(mut self, dead_events: u64) -> Self {
         self.dead_events = dead_events;
+        self
+    }
+
+    /// Attach the scenario's lifecycle-hardening tallies (see
+    /// [`ScenarioReport::timeouts`] and [`ScenarioReport::parked`]).
+    pub fn with_lifecycle(mut self, timeouts: u64, parked: u64) -> Self {
+        self.timeouts = timeouts;
+        self.parked = parked;
         self
     }
 
@@ -164,6 +181,13 @@ impl ScenarioReport {
         self.events_processed.hash(&mut h);
         self.events_cancelled.hash(&mut h);
         self.dead_events.hash(&mut h);
+        // Lifecycle tallies joined the report after the goldens were
+        // pinned; hashing them only when set keeps every hardening-off
+        // fingerprint bit-identical to its pre-hardening value.
+        if self.timeouts != 0 || self.parked != 0 {
+            self.timeouts.hash(&mut h);
+            self.parked.hash(&mut h);
+        }
         for c in &self.channels {
             c.name.hash(&mut h);
             c.completions.hash(&mut h);
@@ -207,6 +231,8 @@ mod tests {
             events_processed: 500,
             events_cancelled: 0,
             dead_events: 0,
+            timeouts: 0,
+            parked: 0,
         }
     }
 
@@ -225,6 +251,19 @@ mod tests {
         let dirty = toy_report(3_000_000).with_dead_events(1);
         assert_eq!(dirty.dead_events, 1);
         assert_ne!(clean.fingerprint(), dirty.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sees_lifecycle_tallies_only_when_set() {
+        // Hardening-off runs must keep their pre-hardening fingerprints;
+        // runs that time out or park must be distinguishable.
+        let base = toy_report(3_000_000);
+        let zeroed = toy_report(3_000_000).with_lifecycle(0, 0);
+        assert_eq!(base.fingerprint(), zeroed.fingerprint());
+        let timed_out = toy_report(3_000_000).with_lifecycle(3, 0);
+        let parked = toy_report(3_000_000).with_lifecycle(3, 1);
+        assert_ne!(base.fingerprint(), timed_out.fingerprint());
+        assert_ne!(timed_out.fingerprint(), parked.fingerprint());
     }
 
     #[test]

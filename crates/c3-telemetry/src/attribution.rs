@@ -61,6 +61,20 @@ pub struct RequestJoin {
     pub feedback: Option<(u32, u64)>,
     /// End-to-end latency, set on completion.
     pub latency_ns: Option<u64>,
+    /// When the request completed (driver time) — anchors the hedge
+    /// benefit computation.
+    pub complete_at: Option<Nanos>,
+    /// Deadline expirations observed.
+    pub timeouts: u32,
+    /// Retry re-dispatches observed.
+    pub retries: u32,
+    /// When the hedge duplicate went on the wire.
+    pub hedge_at: Option<Nanos>,
+    /// Whether the hedge duplicate's response completed the request.
+    pub hedge_won: bool,
+    /// When the losing response of a hedge race arrived (and was
+    /// discarded); `None` when the loser never responded.
+    pub hedge_loss_at: Option<Nanos>,
 }
 
 /// One tail request's decomposed latency.
@@ -99,6 +113,27 @@ pub struct Attribution {
     /// `chosen.pending − min(pending)` (`NaN` when the driver cannot see
     /// replica queues).
     pub queue_regret: f64,
+    /// Deadline expirations this request survived.
+    pub timeouts: u32,
+    /// Retry re-dispatches after timeouts.
+    pub retries: u32,
+    /// Whether a hedge duplicate was issued.
+    pub hedged: bool,
+    /// Whether the hedge duplicate won the race.
+    pub hedge_won: bool,
+    /// Hedge won and the original never responded at all — the duplicate
+    /// didn't just shave latency, it rescued the request (the benefit is
+    /// unbounded, so `hedge_saved_ns` stays 0 and this flag marks it).
+    pub hedge_rescued: bool,
+    /// Latency bought back by the winning hedge: the losing response's
+    /// arrival minus completion time — how much longer the request would
+    /// have taken without the duplicate. 0 when the hedge lost or the
+    /// loser never arrived.
+    pub hedge_saved_ns: u64,
+    /// Duplicate service burned by hedging: the losing response's flight
+    /// time (arrival minus its dispatch) — work a replica did for a
+    /// result nobody used. 0 when no loser response arrived.
+    pub hedge_waste_ns: u64,
 }
 
 /// The tail-attribution table of one `(scenario, strategy)` cell.
@@ -132,6 +167,23 @@ pub struct TailAttribution {
     /// Mean normalized regret over the *body* (below-threshold requests),
     /// for tail-vs-body contrast.
     pub body_mean_regret_rel: f64,
+    /// Requests (across the whole cell, not just the tail) that issued a
+    /// hedge duplicate.
+    pub hedges: usize,
+    /// Hedged requests the duplicate won.
+    pub hedge_wins: usize,
+    /// Hedge wins where the original never responded (rescues).
+    pub hedge_rescues: usize,
+    /// Mean latency bought back per measurable hedge win, ns (NaN when
+    /// none) — the benefit side of the hedging ledger.
+    pub mean_hedge_saved_ns: f64,
+    /// Mean duplicate service burned per hedged request with a losing
+    /// response, ns (NaN when none) — the cost side.
+    pub mean_hedge_waste_ns: f64,
+    /// Deadline expirations across the cell.
+    pub total_timeouts: u64,
+    /// Retry re-dispatches across the cell.
+    pub total_retries: u64,
 }
 
 /// Mean over the finite entries of an iterator (NaN when none).
@@ -222,7 +274,25 @@ pub fn join_requests(events: impl Iterator<Item = TraceEvent>) -> Vec<RequestJoi
                     join.feedback = Some((queue, service_ns));
                 }
             }
-            TracePoint::Complete { latency_ns } => join.latency_ns = Some(latency_ns),
+            TracePoint::Complete { latency_ns } => {
+                join.latency_ns = Some(latency_ns);
+                join.complete_at = Some(ev.at);
+            }
+            TracePoint::Timeout { .. } => join.timeouts += 1,
+            // A retry re-enters selection, so its send is counted by the
+            // Decision it triggers; this is a pure marker.
+            TracePoint::Retry { .. } => join.retries += 1,
+            // A hedge duplicate bypasses selection: this IS its wire
+            // record (drivers emit HedgeIssue instead of Send for it).
+            TracePoint::HedgeIssue { .. } => {
+                join.hedge_at = Some(ev.at);
+                join.sends += 1;
+            }
+            TracePoint::HedgeWin { .. } => join.hedge_won = true,
+            TracePoint::HedgeLoss { .. } => join.hedge_loss_at = Some(ev.at),
+            // Failure-detector transitions are cluster-level, recorded
+            // under a sentinel request id; nothing to join per request.
+            TracePoint::Evict { .. } | TracePoint::Reinstate { .. } => {}
         }
     }
     // HashMap iteration order is nondeterministic; return first-seen order
@@ -270,6 +340,32 @@ fn attribution_of(join: &RequestJoin) -> Option<Attribution> {
     } else {
         f64::NAN
     };
+    let hedged = join.hedge_at.is_some();
+    let hedge_rescued = join.hedge_won && join.hedge_loss_at.is_none();
+    let hedge_saved_ns = if join.hedge_won {
+        match (join.hedge_loss_at, join.complete_at) {
+            (Some(loss), Some(done)) => loss.saturating_sub(done).as_nanos(),
+            _ => 0,
+        }
+    } else {
+        0
+    };
+    let hedge_waste_ns = match join.hedge_loss_at {
+        // Loser's flight: when the hedge won the loser is the original
+        // (dispatched at first send); when the original won the loser is
+        // the duplicate (dispatched at hedge time).
+        Some(loss) => {
+            let dispatched = if join.hedge_won {
+                join.send_at
+            } else {
+                join.hedge_at
+            };
+            dispatched
+                .map(|d| loss.saturating_sub(d).as_nanos())
+                .unwrap_or(0)
+        }
+        None => 0,
+    };
     Some(Attribution {
         request: join.request,
         latency_ns,
@@ -285,6 +381,13 @@ fn attribution_of(join: &RequestJoin) -> Option<Attribution> {
         regret,
         regret_rel,
         queue_regret,
+        timeouts: join.timeouts,
+        retries: join.retries,
+        hedged,
+        hedge_won: join.hedge_won,
+        hedge_rescued,
+        hedge_saved_ns,
+        hedge_waste_ns,
     })
 }
 
@@ -313,6 +416,23 @@ pub fn attribute_tail(
             .min(latencies.len());
         latencies[rank - 1]
     };
+    // Hedging cost/benefit is a cell-level ledger: count it over every
+    // joined row before the tail/body split.
+    let hedges = rows.iter().filter(|r| r.hedged).count();
+    let hedge_wins = rows.iter().filter(|r| r.hedge_won).count();
+    let hedge_rescues = rows.iter().filter(|r| r.hedge_rescued).count();
+    let mean_hedge_saved_ns = finite_mean(
+        rows.iter()
+            .filter(|r| r.hedge_saved_ns > 0)
+            .map(|r| r.hedge_saved_ns as f64),
+    );
+    let mean_hedge_waste_ns = finite_mean(
+        rows.iter()
+            .filter(|r| r.hedge_waste_ns > 0)
+            .map(|r| r.hedge_waste_ns as f64),
+    );
+    let total_timeouts: u64 = rows.iter().map(|r| r.timeouts as u64).sum();
+    let total_retries: u64 = rows.iter().map(|r| r.retries as u64).sum();
     let (mut tail, body): (Vec<Attribution>, Vec<Attribution>) = rows
         .into_iter()
         .partition(|r| r.latency_ns >= threshold_ns && threshold_ns > 0);
@@ -334,6 +454,13 @@ pub fn attribute_tail(
         mean_regret_rel: finite_mean(tail.iter().map(|r| r.regret_rel)),
         mean_queue_regret: finite_mean(tail.iter().map(|r| r.queue_regret)),
         body_mean_regret_rel: finite_mean(body.iter().map(|r| r.regret_rel)),
+        hedges,
+        hedge_wins,
+        hedge_rescues,
+        mean_hedge_saved_ns,
+        mean_hedge_waste_ns,
+        total_timeouts,
+        total_retries,
         tail,
     }
 }
@@ -418,6 +545,63 @@ mod tests {
         assert_eq!(attr.tail.len(), 2, "at-or-above threshold, worst first");
         assert_eq!(attr.tail[0].latency_ns, 1_990);
         assert_eq!(attr.tail[1].latency_ns, 1_980);
+    }
+
+    #[test]
+    fn hedge_ledger_decomposes_benefit_and_cost() {
+        let mut rec = Recorder::new(64);
+        // Request 1: hedge wins, loser arrives later — measurable save.
+        rec.record(Nanos(0), 1, TracePoint::Issue);
+        rec.record(Nanos(0), 1, TracePoint::Send { server: 0 });
+        rec.record(Nanos(2_000), 1, TracePoint::HedgeIssue { server: 1 });
+        rec.record(Nanos(3_000), 1, TracePoint::HedgeWin { server: 1 });
+        rec.record(Nanos(3_000), 1, TracePoint::Complete { latency_ns: 3_000 });
+        rec.record(Nanos(8_000), 1, TracePoint::HedgeLoss { server: 0 });
+        // Request 2: original wins, the duplicate's flight is pure waste.
+        rec.record(Nanos(0), 2, TracePoint::Issue);
+        rec.record(Nanos(0), 2, TracePoint::Send { server: 0 });
+        rec.record(Nanos(2_000), 2, TracePoint::HedgeIssue { server: 1 });
+        rec.record(Nanos(2_500), 2, TracePoint::Complete { latency_ns: 2_500 });
+        rec.record(Nanos(6_000), 2, TracePoint::HedgeLoss { server: 1 });
+        // Request 3: hedge rescues (the original never responds), after a
+        // timeout and a retry.
+        rec.record(Nanos(0), 3, TracePoint::Issue);
+        rec.record(Nanos(0), 3, TracePoint::Send { server: 0 });
+        rec.record(Nanos(5_000), 3, TracePoint::Timeout { server: 0 });
+        rec.record(
+            Nanos(5_100),
+            3,
+            TracePoint::Retry {
+                server: 2,
+                attempt: 1,
+            },
+        );
+        rec.record(Nanos(6_000), 3, TracePoint::HedgeIssue { server: 1 });
+        rec.record(Nanos(7_000), 3, TracePoint::HedgeWin { server: 1 });
+        rec.record(Nanos(7_000), 3, TracePoint::Complete { latency_ns: 7_000 });
+        let attr = attribute_tail(rec.events(), "crash-flux", "C3", 0.5);
+        assert_eq!(attr.hedges, 3);
+        assert_eq!(attr.hedge_wins, 2);
+        assert_eq!(attr.hedge_rescues, 1);
+        assert_eq!(attr.total_timeouts, 1);
+        assert_eq!(attr.total_retries, 1);
+        // Save: request 1's loser at 8 000 vs completion at 3 000.
+        assert!((attr.mean_hedge_saved_ns - 5_000.0).abs() < 1e-9);
+        // Waste: request 1's loser flew 8 000 (sent at 0), request 2's
+        // duplicate flew 4 000 (hedged at 2 000, lost at 6 000).
+        assert!((attr.mean_hedge_waste_ns - 6_000.0).abs() < 1e-9);
+        let r3 = attr
+            .tail
+            .iter()
+            .find(|r| r.request == 3)
+            .expect("request 3 in tail");
+        assert!(r3.hedge_rescued);
+        assert_eq!(
+            r3.hedge_saved_ns, 0,
+            "rescue benefit is unbounded, not summed"
+        );
+        assert_eq!(r3.timeouts, 1);
+        assert_eq!(r3.retries, 1);
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl Attribution {
                 "\"queueing_ns\":{},\"service_ns\":{},\"chosen\":{},",
                 "\"backpressured\":{},\"chosen_score\":{},\"chosen_fresh\":{},",
                 "\"best_fresh\":{},\"best_server\":{},\"regret\":{},",
-                "\"regret_rel\":{},\"queue_regret\":{}}}"
+                "\"regret_rel\":{},\"queue_regret\":{},\"timeouts\":{},",
+                "\"retries\":{},\"hedged\":{},\"hedge_won\":{},",
+                "\"hedge_rescued\":{},\"hedge_saved_ns\":{},",
+                "\"hedge_waste_ns\":{}}}"
             ),
             self.request,
             self.latency_ns,
@@ -77,6 +80,13 @@ impl Attribution {
             json_f64(self.regret),
             json_f64(self.regret_rel),
             json_f64(self.queue_regret),
+            self.timeouts,
+            self.retries,
+            self.hedged,
+            self.hedge_won,
+            self.hedge_rescued,
+            self.hedge_saved_ns,
+            self.hedge_waste_ns,
         )
     }
 }
@@ -98,7 +108,10 @@ impl TailAttribution {
                 "\"joined\":{},\"tail\":{},\"mean_wait_ns\":{},",
                 "\"mean_queueing_ns\":{},\"mean_service_ns\":{},",
                 "\"mean_regret\":{},\"mean_regret_rel\":{},",
-                "\"mean_queue_regret\":{},\"body_mean_regret_rel\":{}}}\n"
+                "\"mean_queue_regret\":{},\"body_mean_regret_rel\":{},",
+                "\"hedges\":{},\"hedge_wins\":{},\"hedge_rescues\":{},",
+                "\"mean_hedge_saved_ns\":{},\"mean_hedge_waste_ns\":{},",
+                "\"total_timeouts\":{},\"total_retries\":{}}}\n"
             ),
             json_escape(&self.scenario),
             json_escape(&self.strategy),
@@ -113,6 +126,13 @@ impl TailAttribution {
             json_f64(self.mean_regret_rel),
             json_f64(self.mean_queue_regret),
             json_f64(self.body_mean_regret_rel),
+            self.hedges,
+            self.hedge_wins,
+            self.hedge_rescues,
+            json_f64(self.mean_hedge_saved_ns),
+            json_f64(self.mean_hedge_waste_ns),
+            self.total_timeouts,
+            self.total_retries,
         ));
         for row in &self.tail {
             out.push_str(&format!(
@@ -199,6 +219,13 @@ mod tests {
                 regret: 0.0,
                 regret_rel: 0.0,
                 queue_regret: f64::NAN,
+                timeouts: 0,
+                retries: 0,
+                hedged: true,
+                hedge_won: true,
+                hedge_rescued: false,
+                hedge_saved_ns: 5,
+                hedge_waste_ns: 3,
             }],
             mean_wait_ns: 1.0,
             mean_queueing_ns: 9.0,
@@ -207,6 +234,13 @@ mod tests {
             mean_regret_rel: 0.0,
             mean_queue_regret: f64::NAN,
             body_mean_regret_rel: f64::NAN,
+            hedges: 1,
+            hedge_wins: 1,
+            hedge_rescues: 0,
+            mean_hedge_saved_ns: 5.0,
+            mean_hedge_waste_ns: 3.0,
+            total_timeouts: 0,
+            total_retries: 0,
         };
         let jsonl = t.to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();

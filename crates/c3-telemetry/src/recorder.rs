@@ -141,6 +141,48 @@ pub enum TracePoint {
         /// End-to-end latency in nanoseconds.
         latency_ns: u64,
     },
+    /// The request's deadline expired with no response; the client reaped
+    /// it (and either retried, hedged on, or parked it).
+    Timeout {
+        /// Server the timed-out attempt was outstanding to.
+        server: u32,
+    },
+    /// The request was re-dispatched after a timeout.
+    Retry {
+        /// New destination server (different from the timed-out one when
+        /// the group allows).
+        server: u32,
+        /// 1-based retry attempt number.
+        attempt: u8,
+    },
+    /// A hedge duplicate went on the wire (RepNet-style request
+    /// replication: first response wins).
+    HedgeIssue {
+        /// Destination of the duplicate.
+        server: u32,
+    },
+    /// The hedge duplicate's response arrived first and completed the
+    /// request.
+    HedgeWin {
+        /// Server whose response won the race.
+        server: u32,
+    },
+    /// A response for an already-completed request arrived and was
+    /// discarded — the losing side of a hedge race.
+    HedgeLoss {
+        /// Server whose response lost.
+        server: u32,
+    },
+    /// The failure detector evicted a server from candidate sets.
+    Evict {
+        /// Evicted server.
+        server: u32,
+    },
+    /// The failure detector reinstated a previously evicted server.
+    Reinstate {
+        /// Reinstated server.
+        server: u32,
+    },
 }
 
 /// One recorded event: a lifecycle point of one request at one time.
@@ -178,6 +220,28 @@ enum SlotPoint {
     },
     Complete {
         latency_ns: u64,
+    },
+    Timeout {
+        server: u32,
+    },
+    Retry {
+        server: u32,
+        attempt: u8,
+    },
+    HedgeIssue {
+        server: u32,
+    },
+    HedgeWin {
+        server: u32,
+    },
+    HedgeLoss {
+        server: u32,
+    },
+    Evict {
+        server: u32,
+    },
+    Reinstate {
+        server: u32,
     },
 }
 
@@ -319,6 +383,13 @@ impl Recorder {
                 None,
             ),
             TracePoint::Complete { latency_ns } => (SlotPoint::Complete { latency_ns }, None),
+            TracePoint::Timeout { server } => (SlotPoint::Timeout { server }, None),
+            TracePoint::Retry { server, attempt } => (SlotPoint::Retry { server, attempt }, None),
+            TracePoint::HedgeIssue { server } => (SlotPoint::HedgeIssue { server }, None),
+            TracePoint::HedgeWin { server } => (SlotPoint::HedgeWin { server }, None),
+            TracePoint::HedgeLoss { server } => (SlotPoint::HedgeLoss { server }, None),
+            TracePoint::Evict { server } => (SlotPoint::Evict { server }, None),
+            TracePoint::Reinstate { server } => (SlotPoint::Reinstate { server }, None),
         };
         let slot = Slot {
             at,
@@ -368,6 +439,13 @@ impl Recorder {
                     service_ns,
                 },
                 SlotPoint::Complete { latency_ns } => TracePoint::Complete { latency_ns },
+                SlotPoint::Timeout { server } => TracePoint::Timeout { server },
+                SlotPoint::Retry { server, attempt } => TracePoint::Retry { server, attempt },
+                SlotPoint::HedgeIssue { server } => TracePoint::HedgeIssue { server },
+                SlotPoint::HedgeWin { server } => TracePoint::HedgeWin { server },
+                SlotPoint::HedgeLoss { server } => TracePoint::HedgeLoss { server },
+                SlotPoint::Evict { server } => TracePoint::Evict { server },
+                SlotPoint::Reinstate { server } => TracePoint::Reinstate { server },
             };
             TraceEvent {
                 at: slot.at,
@@ -563,6 +641,28 @@ mod tests {
         assert_eq!(s.count, 2);
         assert_eq!(s.summary.max_ns, 5);
         assert_eq!(s.throughput, 2.0);
+    }
+
+    #[test]
+    fn lifecycle_hardening_points_round_trip() {
+        let mut rec = Recorder::new(16);
+        let pts = [
+            TracePoint::Timeout { server: 3 },
+            TracePoint::Retry {
+                server: 4,
+                attempt: 1,
+            },
+            TracePoint::HedgeIssue { server: 5 },
+            TracePoint::HedgeWin { server: 5 },
+            TracePoint::HedgeLoss { server: 3 },
+            TracePoint::Evict { server: 3 },
+            TracePoint::Reinstate { server: 3 },
+        ];
+        for (i, p) in pts.iter().enumerate() {
+            rec.record(Nanos(i as u64), 9, *p);
+        }
+        let back: Vec<TracePoint> = rec.events().map(|e| e.point).collect();
+        assert_eq!(back, pts.to_vec());
     }
 
     #[test]

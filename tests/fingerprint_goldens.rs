@@ -124,9 +124,37 @@ type ClusterDigest = (u64, u64, u64, u64);
 
 // ---- goldens captured before the zero-allocation rewrite -----------------
 // (mega-fleet rows pinned at that scenario's introduction, alongside the
-// three-tier kernel; every older row is bit-identical across both rewrites)
+// three-tier kernel; crash-flux/flaky-net rows pinned at the
+// request-lifecycle hardening's introduction; every older row is
+// bit-identical across all three changes)
 
 const SCENARIO_GOLDENS: &[(&str, u64)] = &[
+    ("crash-flux/C3", 2043877774330935434),
+    ("crash-flux/C3-noCC", 6431961928732625900),
+    ("crash-flux/C3-noRC", 15002264132766175299),
+    ("crash-flux/DS", 13093105039088276574),
+    ("crash-flux/LOR", 14827472713032882375),
+    ("crash-flux/LRT", 17154799870675725317),
+    ("crash-flux/Nearest", 14533448508562729873),
+    ("crash-flux/ORA", 0),
+    ("crash-flux/P2C", 16626941724014691916),
+    ("crash-flux/Primary", 12649903060600385671),
+    ("crash-flux/RR", 16775129784544419603),
+    ("crash-flux/Random", 11176400021246524490),
+    ("crash-flux/WRand", 5713682082301649854),
+    ("flaky-net/C3", 4031593305840699500),
+    ("flaky-net/C3-noCC", 5394718398890976770),
+    ("flaky-net/C3-noRC", 3207569583367091303),
+    ("flaky-net/DS", 12758352570785813365),
+    ("flaky-net/LOR", 1372026281614900520),
+    ("flaky-net/LRT", 12931143494619906874),
+    ("flaky-net/Nearest", 4492042859659148074),
+    ("flaky-net/ORA", 0),
+    ("flaky-net/P2C", 9298709928205131138),
+    ("flaky-net/Primary", 3093964459137379615),
+    ("flaky-net/RR", 5298536402458944883),
+    ("flaky-net/Random", 17800054528881913395),
+    ("flaky-net/WRand", 14905555092383374880),
     ("hetero-fleet/C3", 7050262698758109882),
     ("hetero-fleet/C3-noCC", 18279527324888245155),
     ("hetero-fleet/C3-noRC", 6772007575759189173),
