@@ -20,6 +20,12 @@
 //! client-bound region p99 occupancy sits at the budget ceiling; past the
 //! knee the budget stops being the binding constraint on throughput.
 //!
+//! A second section sweeps **fleet shape**: the same workload against
+//! multi-process `c3-live-node` fleets (one replica per OS process),
+//! with per-process RSS/CPU peaks from the coordinator's procfs gauges
+//! — the cross-process twin of the in-flight ladder, skipped gracefully
+//! when the node binary is not built.
+//!
 //! Each cell is a real socket run with real sleeps, so cells run
 //! serially (the `run_live` gate) and the whole sweep takes
 //! `cells × run_for` wall time. `--quick` halves the budget ladder and
@@ -30,6 +36,8 @@ use std::time::Duration;
 
 use c3_engine::Strategy;
 use c3_live::{run_live, LiveConfig};
+use c3_live_node::{node_bin, run_node};
+use c3_telemetry::{node_cpu_gauge, node_rss_gauge};
 
 /// One measured cell of the sweep.
 struct Cell {
@@ -198,7 +206,68 @@ fn main() {
         );
         json.push_str(if i + 1 == knees.len() { "\n" } else { ",\n" });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    node_cells_json(&mut json, quick, run_for);
+    json.push_str("}\n");
     std::fs::write(&out_path, json).expect("write BENCH_live.json");
     println!("wrote {out_path}");
+}
+
+/// The node-scaling cells: the same closed-loop workload against fleets
+/// of `c3-live-node` *processes* — one replica per process, per-process
+/// RSS/CPU from procfs. Skipped (with an empty-but-present JSON section)
+/// when the node binary is not built, so the sweep still runs from a
+/// bare `cargo run --bin client_scaling`.
+fn node_cells_json(json: &mut String, quick: bool, run_for: Duration) {
+    json.push_str("  \"node_cells\": [\n");
+    let Some(bin) = node_bin() else {
+        println!(
+            "node scaling: skipped (c3-live-node binary not built; cargo build --release first)"
+        );
+        json.push_str("  ]\n");
+        return;
+    };
+    let fleets: &[usize] = if quick { &[3] } else { &[3, 6] };
+    println!("node scaling: closed loop, one process per replica, in-flight 256, {run_for:?}/cell");
+    for (i, &nodes) in fleets.iter().enumerate() {
+        let cfg = LiveConfig {
+            replicas: nodes,
+            in_flight: 256,
+            threads: 8,
+            run_for,
+            warmup_ops: 200,
+            seed: 1,
+            ..LiveConfig::default()
+        };
+        let live = run_node("node-scaling", cfg, &bin);
+        let report = &live.report;
+        let throughput: f64 = report.channels.iter().map(|c| c.throughput).sum();
+        let read_p99_ms = report.p99_ms();
+        let _ = write!(
+            json,
+            "    {{\"strategy\": \"C3\", \"nodes\": {nodes}, \"throughput\": {throughput:.1}, \
+             \"read_p99_ms\": {read_p99_ms:.3}, \"processes\": ["
+        );
+        let mut procs = Vec::new();
+        for replica in 0..nodes {
+            let peak = |name: &str| {
+                live.recorder
+                    .gauge_series(name)
+                    .map(|g| g.values.iter().map(|(_, v)| *v).max().unwrap_or(0))
+                    .unwrap_or(0)
+            };
+            let rss_kb = peak(&node_rss_gauge(replica));
+            let cpu_ms = peak(&node_cpu_gauge(replica));
+            procs.push(format!(
+                "{{\"replica\": {replica}, \"rss_kb_peak\": {rss_kb}, \"cpu_ms\": {cpu_ms}}}"
+            ));
+        }
+        let _ = write!(json, "{}]}}", procs.join(", "));
+        json.push_str(if i + 1 == fleets.len() { "\n" } else { ",\n" });
+        println!(
+            "nodes={nodes}: {throughput:.0} ops/s, p99 {read_p99_ms:.2} ms, per-process peaks: {}",
+            procs.join(" ")
+        );
+    }
+    json.push_str("  ]\n");
 }

@@ -109,7 +109,9 @@ pub fn scenario_matrix(scale: Scale) {
 /// same relative price; 1/n = one tenant absorbs all the interference).
 pub fn multi_tenant_fairness(scale: Scale) {
     use c3_engine::Strategy;
-    use c3_scenarios::{run_multi_tenant, run_multi_tenant_isolated, MultiTenantConfig};
+    use c3_scenarios::{
+        run_multi_tenant, run_multi_tenant_isolated, MultiTenantConfig, RunOptions,
+    };
 
     banner(
         "SC-F",
@@ -140,7 +142,7 @@ pub fn multi_tenant_fairness(scale: Scale) {
             strategy: strategies[i].clone(),
             ..base.clone()
         };
-        let shared = run_multi_tenant(cfg.clone(), &registry);
+        let shared = run_multi_tenant(cfg.clone(), &registry, RunOptions::default()).report;
         let isolated = run_multi_tenant_isolated(&cfg, &registry);
         let slowdowns = shared.slowdown_vs_isolated(&isolated);
         let jain = shared.jain_fairness(&isolated);
@@ -186,7 +188,7 @@ pub fn multi_tenant_fairness(scale: Scale) {
 pub fn live_client_health(_scale: Scale) {
     use c3_engine::Strategy;
     use c3_live::{hetero_fleet_config, partition_flux_config, run_live};
-    use c3_scenarios::ScenarioParams;
+    use c3_scenarios::{RunTuning, ScenarioParams};
 
     banner(
         "SC-L",
@@ -207,8 +209,15 @@ pub fn live_client_health(_scale: Scale) {
             // ~1/6 of the fleet's SSD plateau: heavy enough to queue on a
             // 3x tier or through a blackout, light enough that a healthy
             // client never exhausts its budget.
-            let params =
-                ScenarioParams::sized(strategy.clone(), 1, u64::MAX).with_offered_rate(6_000.0);
+            let params = ScenarioParams::tuned(
+                strategy.clone(),
+                1,
+                u64::MAX,
+                RunTuning {
+                    offered_rate: Some(6_000.0),
+                    ..RunTuning::default()
+                },
+            );
             let cfg = match scenario {
                 c3_live::LIVE_HETERO_FLEET => hetero_fleet_config(&params),
                 _ => partition_flux_config(&params),

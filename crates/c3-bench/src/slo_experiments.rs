@@ -25,7 +25,7 @@ use c3_engine::{
 use c3_live::live_registry;
 use c3_metrics::Table;
 use c3_scenarios::{
-    ScenarioParams, ScenarioRegistry, CRASH_FLUX, FLAKY_NET, HETERO_FLEET, MULTI_TENANT,
+    RunTuning, ScenarioParams, ScenarioRegistry, CRASH_FLUX, FLAKY_NET, HETERO_FLEET, MULTI_TENANT,
     PARTITION_FLUX,
 };
 
@@ -211,9 +211,16 @@ pub fn sweep_scenario(
             ))
         },
         |cell, rate| {
-            let params = ScenarioParams::sized(Strategy::named(&cell.strategy), cell.seed, ops)
-                .with_offered_rate(rate)
-                .with_exact_latency();
+            let params = ScenarioParams::tuned(
+                Strategy::named(&cell.strategy),
+                cell.seed,
+                ops,
+                RunTuning {
+                    offered_rate: Some(rate),
+                    exact_latency: true,
+                    ..RunTuning::default()
+                },
+            );
             let report = registry
                 .run(&cell.scenario, &params)
                 .map_err(|e| e.to_string())?;

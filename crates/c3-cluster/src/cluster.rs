@@ -55,13 +55,6 @@ pub const CLUSTER_CHANNELS: [&str; 2] = ["read", "update"];
 /// request join ignores them.
 const DETECTOR_OP: OpId = OpId::MAX;
 
-/// Consecutive deadline expiries before the failure detector evicts a
-/// replica from a coordinator's candidate sets.
-const EVICT_THRESHOLD: u32 = 3;
-
-/// Base eviction window; doubles per further consecutive expiry (×16 cap).
-const EVICT_BASE: Nanos = Nanos::from_millis(250);
-
 /// Register the cluster-only strategies (Dynamic Snitching, which needs a
 /// [`SnitchConfig`] and gossip plumbing) into an engine registry.
 pub fn register_cluster_strategies(registry: &mut StrategyRegistry, snitch: SnitchConfig) {
@@ -124,7 +117,7 @@ struct OpState {
     /// The pending speculative-retry check timer, cancelled on completion
     /// so no dead `SpecCheck` events survive on the hot path.
     spec_timer: Option<TimerId>,
-    /// Deadline expiries consumed so far (bounded by `cfg.retries`).
+    /// Deadline expiries consumed so far (bounded by `cfg.lifecycle.retries`).
     attempts: u8,
     /// The operation was abandoned: deadline and retry budget spent. A
     /// parked op never completes but still counts toward run termination.
@@ -903,7 +896,7 @@ impl ClusterScenario {
         exclude: Option<usize>,
         now: Nanos,
     ) -> Option<Vec<ServerId>> {
-        self.cfg.deadline?;
+        self.cfg.lifecycle.deadline?;
         let coord = &self.coords[coord_id];
         let evicting = now < coord.max_evicted_until;
         if !evicting && exclude.is_none() {
@@ -936,11 +929,11 @@ impl ClusterScenario {
     /// retries or parks the read) and, on the first attempt only, the
     /// hedge check. No-ops when the knobs are off.
     fn arm_lifecycle(&mut self, op_id: OpId, engine: &mut EventQueue<Ev>) {
-        if let Some(d) = self.cfg.deadline {
+        if let Some(d) = self.cfg.lifecycle.deadline {
             let timer = engine.schedule_in_cancellable(d, Ev::Deadline { op: op_id });
             self.ops[op_id as usize].deadline_timer = Some(timer);
         }
-        if let Some(h) = self.cfg.hedge_after {
+        if let Some(h) = self.cfg.lifecycle.hedge_after {
             let op = &self.ops[op_id as usize];
             if op.attempts == 0 && op.hedge_send == SendId::MAX && op.hedge_timer.is_none() {
                 let timer = engine.schedule_in_cancellable(h, Ev::HedgeCheck { op: op_id });
@@ -973,11 +966,11 @@ impl ClusterScenario {
                 },
             );
         }
-        if u32::from(op.attempts) < self.cfg.retries {
+        if u32::from(op.attempts) < self.cfg.lifecycle.retries {
             self.ops[op_id as usize].attempts = op.attempts + 1;
             // Backoff before the retry goes out, doubling per attempt with
             // jitter so synchronized expiries don't stampede the survivors.
-            let deadline = self.cfg.deadline.expect("deadline fired");
+            let deadline = self.cfg.lifecycle.deadline.expect("deadline fired");
             let shift = u32::from(op.attempts).min(6);
             let base = (deadline.as_nanos() / 8).max(1) << shift;
             let wait = Nanos((base as f64 * self.life_rng.gen_range(0.5..1.5)) as u64);
@@ -1094,19 +1087,22 @@ impl ClusterScenario {
         engine.schedule_in(delay, Ev::ReplicaArrive { send: send_id });
     }
 
-    /// Failure detector: a deadline expiry charged to `node`. Three
-    /// consecutive expiries evict it from this coordinator's candidate
-    /// sets for a window that doubles per further expiry.
+    /// Failure detector: a deadline expiry charged to `node`.
+    /// [`c3_core::LifecycleConfig::evict_after`] consecutive expiries evict it
+    /// from this coordinator's candidate sets for a window that doubles
+    /// per further expiry.
     fn note_timeout(&mut self, coord_id: usize, node: usize, now: Nanos) {
+        let evict_after = self.cfg.lifecycle.evict_after;
+        let evict_base = self.cfg.lifecycle.eviction_base;
         let newly_evicted = {
             let coord = &mut self.coords[coord_id];
             coord.timeout_streak[node] += 1;
             let streak = coord.timeout_streak[node];
-            if streak < EVICT_THRESHOLD {
+            if streak < evict_after {
                 return;
             }
-            let over = (streak - EVICT_THRESHOLD).min(4);
-            let until = now + Nanos(EVICT_BASE.as_nanos() << over);
+            let over = (streak - evict_after).min(4);
+            let until = now + Nanos(evict_base.as_nanos() << over);
             let was_active = coord.evicted_until[node] > now;
             if until > coord.evicted_until[node] {
                 coord.evicted_until[node] = until;
@@ -1347,7 +1343,7 @@ impl ClusterScenario {
 
         // Any response proves the node alive: reset its failure-detector
         // streak and lift a standing eviction (only armed with deadlines).
-        if self.cfg.deadline.is_some() {
+        if self.cfg.lifecycle.deadline.is_some() {
             self.note_success(coord_id, node, now);
         }
 
@@ -2048,7 +2044,7 @@ mod tests {
         cfg.total_ops = 3_000;
         cfg.warmup_ops = 200;
         let base = Cluster::new(cfg.clone()).run();
-        cfg.deadline = Some(Nanos::from_secs(5));
+        cfg.lifecycle.deadline = Some(Nanos::from_secs(5));
         let hard = Cluster::new(cfg).run();
         assert_eq!(hard.timeouts, 0);
         assert_eq!(hard.parked, 0);
@@ -2069,7 +2065,7 @@ mod tests {
         cfg.total_ops = 6_000;
         cfg.warmup_ops = 200;
         cfg.faults = FaultPlan::crash_flux(5, 9, Nanos::from_secs(30));
-        cfg.deadline = Some(Nanos::from_millis(60));
+        cfg.lifecycle.deadline = Some(Nanos::from_millis(60));
         cfg
     }
 
@@ -2088,8 +2084,8 @@ mod tests {
     fn retries_and_hedging_rescue_crashed_reads() {
         let naked = Cluster::new(crashy(Strategy::c3())).run();
         let mut cfg = crashy(Strategy::c3());
-        cfg.retries = 3;
-        cfg.hedge_after = Some(Nanos::from_millis(30));
+        cfg.lifecycle.retries = 3;
+        cfg.lifecycle.hedge_after = Some(Nanos::from_millis(30));
         let hardened = Cluster::new(cfg).run();
         assert!(hardened.timeouts > 0);
         assert!(hardened.retries_issued > 0, "timeouts must trigger retries");
@@ -2107,7 +2103,7 @@ mod tests {
     #[test]
     fn failure_detector_evicts_and_reinstates() {
         let mut cfg = crashy(Strategy::c3());
-        cfg.retries = 3;
+        cfg.lifecycle.retries = 3;
         let res = Cluster::new(cfg).run();
         assert!(
             res.evictions > 0,
@@ -2125,8 +2121,8 @@ mod tests {
         cfg.total_ops = 6_000;
         cfg.warmup_ops = 200;
         cfg.faults = FaultPlan::flaky_net(5, 9, Nanos::from_secs(30));
-        cfg.deadline = Some(Nanos::from_millis(100));
-        cfg.retries = 3;
+        cfg.lifecycle.deadline = Some(Nanos::from_millis(100));
+        cfg.lifecycle.retries = 3;
         let res = Cluster::new(cfg).run();
         assert!(res.faults_dropped > 0, "lossy windows must destroy traffic");
         assert!(res.timeouts > 0);
@@ -2137,8 +2133,8 @@ mod tests {
     #[test]
     fn hedged_runs_trace_the_full_lifecycle() {
         let mut cfg = crashy(Strategy::c3());
-        cfg.retries = 2;
-        cfg.hedge_after = Some(Nanos::from_millis(30));
+        cfg.lifecycle.retries = 2;
+        cfg.lifecycle.hedge_after = Some(Nanos::from_millis(30));
         // Size the ring for every event of the run (~6 per request), so
         // rare early points (retries) can't be evicted before we look.
         let res = Cluster::new(cfg)
@@ -2168,8 +2164,8 @@ mod tests {
     #[test]
     fn fault_runs_are_deterministic() {
         let mut cfg = crashy(Strategy::c3());
-        cfg.retries = 2;
-        cfg.hedge_after = Some(Nanos::from_millis(30));
+        cfg.lifecycle.retries = 2;
+        cfg.lifecycle.hedge_after = Some(Nanos::from_millis(30));
         let a = Cluster::new(cfg.clone()).run();
         let b = Cluster::new(cfg).run();
         assert_eq!(a.events_processed, b.events_processed);

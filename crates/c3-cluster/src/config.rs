@@ -5,7 +5,7 @@
 //! 10% of reads, driven by 120 closed-loop YCSB generator threads issuing
 //! Zipfian-keyed (ρ = 0.99) requests over 10 M keys.
 
-use c3_core::{C3Config, Nanos};
+use c3_core::{C3Config, LifecycleConfig, Nanos};
 use c3_engine::Strategy;
 use c3_workload::WorkloadMix;
 
@@ -81,19 +81,10 @@ pub struct ClusterConfig {
     /// (replica crashes, connection resets, response drops/delays). Empty
     /// by default, which leaves the replica path untouched.
     pub faults: FaultPlan,
-    /// Per-read deadline, measured from dispatch. When it expires the
-    /// coordinator gives up on the outstanding attempt: it either retries
-    /// (see [`ClusterConfig::retries`]) or parks the operation. `None`
-    /// disables timeout reaping entirely (the seed behaviour).
-    pub deadline: Option<Nanos>,
-    /// Bounded retry budget after a deadline expiry. Each retry re-selects
-    /// a replica (excluding the one that just timed out) after an
-    /// exponential backoff with jitter. Requires a deadline.
-    pub retries: u32,
-    /// Hedge a read to a second replica after this delay (RepNet-style:
-    /// first response wins, the loser is discarded). `None` disables
-    /// hedging.
-    pub hedge_after: Option<Nanos>,
+    /// Request-lifecycle hardening (deadline, retries, hedging, failure
+    /// detector) — the [`LifecycleConfig`] shared with the live backends,
+    /// defaulting to everything off (the seed behaviour).
+    pub lifecycle: LifecycleConfig,
     /// Replica-selection strategy under test, by registry name.
     pub strategy: Strategy,
     /// C3 parameters; `concurrency_weight` is set to the number of
@@ -132,9 +123,7 @@ impl Default for ClusterConfig {
             scripted: Vec::new(),
             speculative_retry: false,
             faults: FaultPlan::none(),
-            deadline: None,
-            retries: 0,
-            hedge_after: None,
+            lifecycle: LifecycleConfig::default(),
             strategy: Strategy::c3(),
             c3: C3Config::default(),
             snitch: SnitchConfig::default(),
@@ -188,16 +177,7 @@ impl ClusterConfig {
         if let Some(p) = &self.phase {
             assert!(p.extra_generators > 0, "phase must add generators");
         }
-        if let Some(d) = self.deadline {
-            assert!(d > Nanos::ZERO, "deadline must be positive");
-        }
-        assert!(
-            self.retries == 0 || self.deadline.is_some(),
-            "retries need a deadline to trigger them"
-        );
-        if let Some(h) = self.hedge_after {
-            assert!(h > Nanos::ZERO, "hedge delay must be positive");
-        }
+        self.lifecycle.validate();
         for ev in &self.faults.events {
             assert!(ev.node < self.nodes, "fault episode on unknown node");
         }
@@ -226,16 +206,19 @@ mod tests {
     fn lifecycle_hardening_defaults_off() {
         let c = ClusterConfig::default();
         assert!(c.faults.is_empty());
-        assert!(c.deadline.is_none());
-        assert_eq!(c.retries, 0);
-        assert!(c.hedge_after.is_none());
+        assert!(c.lifecycle.deadline.is_none());
+        assert_eq!(c.lifecycle.retries, 0);
+        assert!(c.lifecycle.hedge_after.is_none());
     }
 
     #[test]
     #[should_panic(expected = "retries need a deadline")]
     fn retries_without_deadline_are_rejected() {
         let c = ClusterConfig {
-            retries: 2,
+            lifecycle: LifecycleConfig {
+                retries: 2,
+                ..LifecycleConfig::default()
+            },
             ..ClusterConfig::default()
         };
         c.validate();

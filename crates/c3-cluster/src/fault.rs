@@ -36,7 +36,7 @@ pub enum FaultKind {
 }
 
 /// One scheduled fault window on one node.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FaultEvent {
     /// Node the fault applies to.
     pub node: usize,
@@ -64,7 +64,7 @@ impl FaultEvent {
 /// The default plan is empty: every query returns the no-fault answer and
 /// backends skip the fault paths entirely, which keeps unfaulted runs
 /// bit-identical to builds that predate fault injection.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct FaultPlan {
     /// The scheduled episodes, in no particular order.
     pub events: Vec<FaultEvent>,

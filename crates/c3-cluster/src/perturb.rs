@@ -112,7 +112,7 @@ const KINDS: [EpisodeKind; 3] = [
 
 /// A scripted slowdown window (Figure 13 injects latency into one node at
 /// fixed times with `tc`).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ScriptedSlowdown {
     /// Node to perturb.
     pub node: usize,

@@ -67,6 +67,8 @@ mod concurrent;
 mod config;
 mod ewma;
 mod feedback;
+pub mod kv;
+mod lifecycle;
 mod rate;
 mod scheduler;
 mod score;
@@ -79,6 +81,7 @@ pub use concurrent::{AtomicTracker, SharedC3State, MAX_GROUP};
 pub use config::C3Config;
 pub use ewma::Ewma;
 pub use feedback::{Feedback, ServiceTimer};
+pub use lifecycle::LifecycleConfig;
 pub use rate::{cubic_rate, RateLimiter, RatePhase, RateStats};
 pub use scheduler::{BacklogQueue, C3State, SendDecision, ServerId};
 pub use score::{queue_size_estimate, rank_by_score, score};

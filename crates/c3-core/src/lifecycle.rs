@@ -1,0 +1,194 @@
+//! Request-lifecycle hardening knobs, shared by every backend.
+//!
+//! The sim cluster, the live client, and the `c3-live-node` replica
+//! fleet all enforce the same request lifecycle: a per-read deadline,
+//! a bounded retry budget, RepNet-style hedging, and a
+//! consecutive-timeout failure detector with doubling eviction
+//! windows. These used to be parallel field triples on `ClusterConfig`
+//! and `LiveConfig` (plus compile-time detector constants), which is
+//! exactly the drift a cross-process config digest cannot tolerate —
+//! so they live here once, with a plain-text codec the coordinator
+//! uses to ship them to node processes.
+
+use crate::kv::{encode_kv, opt_nanos_value, KvError, KvMap};
+use crate::time::Nanos;
+
+/// The shared request-lifecycle configuration.
+///
+/// All durations are [`Nanos`]: the simulators already spoke
+/// nanoseconds, and the live client converted its `Duration` fields on
+/// entry anyway.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LifecycleConfig {
+    /// Per-read deadline, measured from dispatch. When it expires the
+    /// client gives up on the outstanding attempt: it either retries
+    /// (see [`LifecycleConfig::retries`]) or parks the operation.
+    /// `None` disables timeout reaping entirely.
+    pub deadline: Option<Nanos>,
+    /// Bounded retry budget after a deadline expiry. Each retry
+    /// re-selects a replica (excluding the one that just timed out)
+    /// after an exponential backoff with jitter. Requires a deadline.
+    pub retries: u32,
+    /// Hedge a read to a second replica after this delay (RepNet-style:
+    /// first response wins, the loser is discarded). `None` disables
+    /// hedging.
+    pub hedge_after: Option<Nanos>,
+    /// Consecutive deadline expiries before the failure detector evicts
+    /// a replica from candidate sets.
+    pub evict_after: u32,
+    /// First eviction window; consecutive evictions double it (×16 cap).
+    pub eviction_base: Nanos,
+}
+
+impl Default for LifecycleConfig {
+    fn default() -> Self {
+        Self {
+            deadline: None,
+            retries: 0,
+            hedge_after: None,
+            evict_after: 3,
+            eviction_base: Nanos::from_millis(250),
+        }
+    }
+}
+
+impl LifecycleConfig {
+    /// A hardened lifecycle with the detector at its defaults.
+    pub fn hardened(deadline: Nanos, retries: u32, hedge_after: Option<Nanos>) -> Self {
+        Self {
+            deadline: Some(deadline),
+            retries,
+            hedge_after,
+            ..Self::default()
+        }
+    }
+
+    /// Whether any client-side lifecycle enforcement is on (the reaper
+    /// and detector only run with a deadline to expire).
+    pub fn hardened_on(&self) -> bool {
+        self.deadline.is_some()
+    }
+
+    /// Validate invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a parameter is out of range.
+    pub fn validate(&self) {
+        if let Some(d) = self.deadline {
+            assert!(d > Nanos::ZERO, "deadline must be positive");
+        }
+        assert!(
+            self.retries == 0 || self.deadline.is_some(),
+            "retries need a deadline to trigger them; set a deadline"
+        );
+        if let Some(h) = self.hedge_after {
+            assert!(h > Nanos::ZERO, "hedge delay must be positive");
+        }
+        assert!(self.evict_after >= 1, "detector needs a timeout threshold");
+        assert!(
+            self.eviction_base > Nanos::ZERO,
+            "eviction window must be positive"
+        );
+    }
+
+    /// Encode in the shared `key=value` dialect (the node-handshake
+    /// config digest covers this text).
+    pub fn to_kv(&self) -> String {
+        encode_kv([
+            ("deadline_ns", opt_nanos_value(self.deadline)),
+            ("retries", self.retries.to_string()),
+            ("hedge_after_ns", opt_nanos_value(self.hedge_after)),
+            ("evict_after", self.evict_after.to_string()),
+            (
+                "eviction_base_ns",
+                self.eviction_base.as_nanos().to_string(),
+            ),
+        ])
+    }
+
+    /// Decode the [`LifecycleConfig::to_kv`] form. Absent keys keep
+    /// their defaults; unknown keys are an error.
+    pub fn from_kv(text: &str) -> Result<Self, KvError> {
+        let mut kv = KvMap::parse(text)?;
+        let out = Self::from_kv_map(&mut kv)?;
+        kv.finish()?;
+        Ok(out)
+    }
+
+    /// Decode from an already-parsed map, consuming only the lifecycle
+    /// keys — composite configs (the node handshake) embed it this way.
+    pub fn from_kv_map(kv: &mut KvMap) -> Result<Self, KvError> {
+        let d = Self::default();
+        Ok(Self {
+            deadline: kv.take_opt_nanos("deadline_ns")?,
+            retries: kv.take_parsed("retries", "a u32")?.unwrap_or(d.retries),
+            hedge_after: kv.take_opt_nanos("hedge_after_ns")?,
+            evict_after: kv
+                .take_parsed("evict_after", "a u32")?
+                .unwrap_or(d.evict_after),
+            eviction_base: kv
+                .take_parsed::<u64>("eviction_base_ns", "u64 nanoseconds")?
+                .map(Nanos)
+                .unwrap_or(d.eviction_base),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_off_with_paper_detector() {
+        let l = LifecycleConfig::default();
+        assert!(l.deadline.is_none());
+        assert_eq!(l.retries, 0);
+        assert!(l.hedge_after.is_none());
+        assert_eq!(l.evict_after, 3);
+        assert_eq!(l.eviction_base, Nanos::from_millis(250));
+        assert!(!l.hardened_on());
+        l.validate();
+    }
+
+    #[test]
+    fn kv_round_trips_hardened_and_default() {
+        for l in [
+            LifecycleConfig::default(),
+            LifecycleConfig::hardened(Nanos::from_millis(75), 3, Some(Nanos::from_millis(30))),
+        ] {
+            assert_eq!(LifecycleConfig::from_kv(&l.to_kv()).unwrap(), l);
+        }
+    }
+
+    #[test]
+    fn absent_keys_keep_defaults() {
+        let l = LifecycleConfig::from_kv("retries=0\n").unwrap();
+        assert_eq!(l, LifecycleConfig::default());
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        assert!(LifecycleConfig::from_kv("deadlime_ns=1\n").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "retries need a deadline")]
+    fn retries_without_deadline_are_rejected() {
+        LifecycleConfig {
+            retries: 2,
+            ..LifecycleConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must be positive")]
+    fn zero_deadline_is_rejected() {
+        LifecycleConfig {
+            deadline: Some(Nanos::ZERO),
+            ..LifecycleConfig::default()
+        }
+        .validate();
+    }
+}

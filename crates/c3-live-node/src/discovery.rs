@@ -1,0 +1,179 @@
+//! Fleet discovery: how a coordinator finds already-running nodes.
+//!
+//! Two equivalent sources, both mapping replica id → socket address:
+//!
+//! - an **address file** in the kv dialect, one `<id>=<addr>` line per
+//!   node (the coordinator writes one next to the fleet it spawns, and
+//!   operators can hand-write one to attach to a fleet started by other
+//!   means);
+//! - the **`C3_NODES`** environment variable, a comma- or
+//!   whitespace-separated list of addresses in replica order — the
+//!   zero-file path for CI one-liners.
+//!
+//! Ids must be dense (`0..n`): a gap means a node is missing and the
+//! client would dial the wrong replica under a shifted index, so
+//! discovery fails loudly instead.
+
+use std::fmt;
+use std::net::SocketAddr;
+
+use c3_core::kv::{KvError, KvMap};
+
+/// Environment variable naming a fleet: comma- or whitespace-separated
+/// node addresses in replica order.
+pub const NODES_ENV: &str = "C3_NODES";
+
+/// A discovery failure: malformed text, or a sparse/empty fleet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DiscoveryError {
+    /// The address file failed to parse as kv text or held a bad value.
+    Kv(KvError),
+    /// No nodes listed at all.
+    Empty,
+    /// Ids are not dense `0..n` — `missing` is the first absent id.
+    Gap {
+        /// The first replica id with no address.
+        missing: usize,
+    },
+}
+
+impl fmt::Display for DiscoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiscoveryError::Kv(e) => write!(f, "address list: {e}"),
+            DiscoveryError::Empty => write!(f, "address list names no nodes"),
+            DiscoveryError::Gap { missing } => {
+                write!(
+                    f,
+                    "address list has no node {missing}: ids must be dense 0..n"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiscoveryError {}
+
+impl From<KvError> for DiscoveryError {
+    fn from(e: KvError) -> Self {
+        DiscoveryError::Kv(e)
+    }
+}
+
+/// Render a fleet as address-file text: one `<id>=<addr>` line per node.
+pub fn encode_addresses(addrs: &[SocketAddr]) -> String {
+    let mut out = String::new();
+    for (id, addr) in addrs.iter().enumerate() {
+        out.push_str(&format!("{id}={addr}\n"));
+    }
+    out
+}
+
+/// Parse address-file text into replica-ordered addresses. Ids must be
+/// dense `0..n`; unknown keys, duplicates and gaps are errors.
+pub fn parse_addresses(text: &str) -> Result<Vec<SocketAddr>, DiscoveryError> {
+    let mut kv = KvMap::parse(text)?;
+    let mut addrs = Vec::new();
+    loop {
+        // Take ids densely; the id key is dynamic, so parse the value by
+        // hand rather than through `take_parsed` (which wants a static
+        // key for its error).
+        let key = addrs.len().to_string();
+        let Some(value) = kv.take(&key) else { break };
+        let addr = value.parse().map_err(|_| {
+            DiscoveryError::Kv(KvError::Invalid {
+                key,
+                value,
+                expected: "socket address",
+            })
+        })?;
+        addrs.push(addr);
+    }
+    if addrs.is_empty() {
+        // Distinguish "nothing at all" from "ids start above zero".
+        if kv.is_empty() {
+            return Err(DiscoveryError::Empty);
+        }
+        return Err(DiscoveryError::Gap { missing: 0 });
+    }
+    // Any leftover key is either a non-dense id or a typo; both mean the
+    // file does not describe the fleet the client is about to dial.
+    kv.finish().map_err(|e| match e {
+        KvError::Unknown { key } if key.parse::<usize>().is_ok() => DiscoveryError::Gap {
+            missing: addrs.len(),
+        },
+        other => DiscoveryError::Kv(other),
+    })?;
+    Ok(addrs)
+}
+
+/// Parse a `C3_NODES`-style value: addresses separated by commas and/or
+/// whitespace, in replica order.
+pub fn parse_env(value: &str) -> Result<Vec<SocketAddr>, DiscoveryError> {
+    let addrs = value
+        .split(|c: char| c == ',' || c.is_whitespace())
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse().map_err(|_| {
+                DiscoveryError::Kv(KvError::Invalid {
+                    key: NODES_ENV.to_string(),
+                    value: s.to_string(),
+                    expected: "socket address",
+                })
+            })
+        })
+        .collect::<Result<Vec<SocketAddr>, _>>()?;
+    if addrs.is_empty() {
+        return Err(DiscoveryError::Empty);
+    }
+    Ok(addrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_file_round_trips() {
+        let addrs: Vec<SocketAddr> = vec![
+            "127.0.0.1:4100".parse().unwrap(),
+            "127.0.0.1:4101".parse().unwrap(),
+            "127.0.0.1:4102".parse().unwrap(),
+        ];
+        assert_eq!(parse_addresses(&encode_addresses(&addrs)).unwrap(), addrs);
+    }
+
+    #[test]
+    fn gaps_fail_loudly() {
+        let text = "0=127.0.0.1:4100\n2=127.0.0.1:4102\n";
+        assert_eq!(
+            parse_addresses(text),
+            Err(DiscoveryError::Gap { missing: 1 })
+        );
+        assert_eq!(
+            parse_addresses("1=127.0.0.1:4101\n"),
+            Err(DiscoveryError::Gap { missing: 0 })
+        );
+    }
+
+    #[test]
+    fn empty_and_malformed_inputs_are_rejected() {
+        assert_eq!(parse_addresses(""), Err(DiscoveryError::Empty));
+        assert!(matches!(
+            parse_addresses("0=not-an-address\n"),
+            Err(DiscoveryError::Kv(KvError::Invalid { .. }))
+        ));
+        assert!(matches!(
+            parse_addresses("0=127.0.0.1:4100\nwat=1\n"),
+            Err(DiscoveryError::Kv(KvError::Unknown { .. }))
+        ));
+    }
+
+    #[test]
+    fn env_accepts_commas_and_whitespace() {
+        let addrs = parse_env("127.0.0.1:4100, 127.0.0.1:4101\n127.0.0.1:4102").unwrap();
+        assert_eq!(addrs.len(), 3);
+        assert_eq!(addrs[2], "127.0.0.1:4102".parse().unwrap());
+        assert_eq!(parse_env("  ,  "), Err(DiscoveryError::Empty));
+    }
+}

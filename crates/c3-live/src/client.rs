@@ -21,16 +21,16 @@
 //!   instead of head-of-line blocking, which is exactly the
 //!   coordinated-omission regime the old one-request-per-worker client
 //!   could not reach.
-//! - **Reaper**: when [`LiveConfig::deadline`] is set, one thread sweeps
-//!   every correlation table each millisecond. An expired request is
-//!   reaped — its selector slot abandoned, its id tombstoned so a late
-//!   response is discarded rather than tripping the correlation check —
-//!   and, budget permitting, re-issued to a *different* replica with
-//!   exponential backoff and jitter. Reads still unanswered after
-//!   [`LiveConfig::hedge_after`] get a duplicate on a second replica;
-//!   whichever response arrives first owns the sample. Replicas that eat
-//!   [`EVICT_AFTER`] consecutive deadlines are evicted from candidate
-//!   sets for a doubling window, then probed back in.
+//! - **Reaper**: when the [`LifecycleConfig`] deadline is set, one
+//!   thread sweeps every correlation table each millisecond. An expired
+//!   request is reaped — its selector slot abandoned, its id tombstoned
+//!   so a late response is discarded rather than tripping the
+//!   correlation check — and, budget permitting, re-issued to a
+//!   *different* replica with exponential backoff and jitter. Reads
+//!   still unanswered after `hedge_after` get a duplicate on a second
+//!   replica; whichever response arrives first owns the sample.
+//!   Replicas that eat `evict_after` consecutive deadlines are evicted
+//!   from candidate sets for a doubling window, then probed back in.
 //! - **Selector state**: C3-family strategies run on
 //!   [`SharedC3State`] — the packed EWMA tracker fields and outstanding
 //!   counts are atomics, so issuers read scores and readers fold
@@ -60,19 +60,52 @@ use std::time::{Duration, Instant};
 
 use bytes::{Bytes, BytesMut};
 use c3_cluster::{register_cluster_strategies, SnitchSelector};
-use c3_core::{Clock, Nanos, ReplicaSelector, ResponseInfo, Selection, SharedC3State, WallClock};
+use c3_core::{
+    Clock, LifecycleConfig, Nanos, ReplicaSelector, ResponseInfo, Selection, SharedC3State,
+    WallClock,
+};
 use c3_engine::{SeedSeq, SelectorCtx, StrategyRegistry};
 use c3_net::proto::{encode_request, Frame, Request};
 use c3_telemetry::Recorder;
 use c3_workload::{PoissonArrivals, ScrambledZipfian};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::net::SocketAddr;
 
 use crate::config::LiveConfig;
 use crate::mux::{CorrelationTable, InFlightBudget};
 use crate::server::{encode_key, LiveCluster};
 use crate::slowdown::SlowdownScript;
 use crate::wire::read_frame;
+
+/// Where the replica fleet lives relative to the client.
+///
+/// The multiplexed client is transport-agnostic past the dial: the same
+/// supervisors, correlation tables and lifecycle reaper drive an
+/// in-process [`LiveCluster`] or a fleet of `c3-live-node` processes.
+#[derive(Clone, Debug)]
+pub enum Transport {
+    /// Spawn the fleet inside this process (threads, loopback sockets) —
+    /// the classic single-process live mode.
+    InProcess,
+    /// Attach to already-running node processes. `addrs` is in
+    /// replica-id order; every connection must open with a hello frame
+    /// carrying the matching replica id and this fleet-config digest,
+    /// or the run aborts (mis-wired address file / stale node).
+    Remote {
+        /// Node addresses, indexed by replica id.
+        addrs: Vec<SocketAddr>,
+        /// Expected FNV-1a 64 digest of the canonical fleet-config text.
+        config_digest: u64,
+    },
+}
+
+/// What a remote connection must see in its opening hello frame.
+#[derive(Clone, Copy, Debug)]
+struct ExpectedHello {
+    replica: u32,
+    digest: u64,
+}
 
 /// One completed operation, as the metrics replay sees it.
 #[derive(Clone, Copy, Debug)]
@@ -231,16 +264,16 @@ impl TableState {
 
 type Table = Mutex<TableState>;
 
-/// Consecutive deadline expiries that evict a replica.
-const EVICT_AFTER: u32 = 3;
-/// First eviction window; consecutive evictions double it (capped).
-const EVICTION_BASE: Nanos = Nanos(250_000_000);
-
-/// The failure detector: a replica that eats [`EVICT_AFTER`] deadlines
-/// in a row is evicted from candidate sets for a doubling window, then
-/// probed back in by time — the next requests routed to it are the
-/// probes, and a success resets its record.
+/// The failure detector: a replica that eats
+/// [`LifecycleConfig::evict_after`] deadlines in a row is evicted from
+/// candidate sets for a doubling window, then probed back in by time —
+/// the next requests routed to it are the probes, and a success resets
+/// its record.
 struct FailureDetector {
+    /// Consecutive expiries that trip an eviction.
+    evict_after: u32,
+    /// First eviction window; consecutive evictions double it (capped).
+    eviction_base: Nanos,
     /// Consecutive timeouts per replica (a success resets to 0).
     streaks: Vec<AtomicU32>,
     /// Nanos until which the replica is evicted (0 = in service).
@@ -250,8 +283,10 @@ struct FailureDetector {
 }
 
 impl FailureDetector {
-    fn new(replicas: usize) -> Self {
+    fn new(replicas: usize, lifecycle: &LifecycleConfig) -> Self {
         Self {
+            evict_after: lifecycle.evict_after,
+            eviction_base: lifecycle.eviction_base,
             streaks: (0..replicas).map(|_| AtomicU32::new(0)).collect(),
             until: (0..replicas).map(|_| AtomicU64::new(0)).collect(),
             over: (0..replicas).map(|_| AtomicU32::new(0)).collect(),
@@ -266,11 +301,11 @@ impl FailureDetector {
     /// into eviction (the caller mirrors it into the selector).
     fn note_timeout(&self, replica: usize, now: Nanos) -> bool {
         let streak = self.streaks[replica].fetch_add(1, Ordering::AcqRel) + 1;
-        if streak < EVICT_AFTER || self.is_evicted(replica, now) {
+        if streak < self.evict_after || self.is_evicted(replica, now) {
             return false;
         }
         let over = self.over[replica].fetch_add(1, Ordering::AcqRel).min(4);
-        let window = Nanos(EVICTION_BASE.as_nanos() << over);
+        let window = Nanos(self.eviction_base.as_nanos() << over);
         self.until[replica].store((now + window).as_nanos(), Ordering::Release);
         self.streaks[replica].store(0, Ordering::Release);
         true
@@ -578,8 +613,10 @@ fn reap_connection(table: &Table, selector: &LiveSelector, budget: &InFlightBudg
     }
 }
 
-/// Spawn the fleet, run the multiplexed client to the configured stop
-/// condition, drain, tear everything down, and hand back the artifacts.
+/// Run the multiplexed client against `transport` — an in-process fleet
+/// spawned (and torn down) here, or remote node processes attached to
+/// over the network — to the configured stop condition, drain, and hand
+/// back the artifacts.
 ///
 /// # Panics
 ///
@@ -587,25 +624,44 @@ fn reap_connection(table: &Table, selector: &LiveSelector, budget: &InFlightBudg
 /// this backend cannot provide (`ORA`) — mirroring the §5 cluster — and
 /// when the in-flight budget comes back short at teardown (a permit or
 /// correlation-entry leak; the invariant the randomized kill tests pin).
-pub(crate) fn execute(cfg: &LiveConfig) -> io::Result<ClientArtifacts> {
+pub(crate) fn execute_on(cfg: &LiveConfig, transport: &Transport) -> io::Result<ClientArtifacts> {
     cfg.validate();
     let clock = WallClock::start();
-    let cluster = LiveCluster::spawn(
-        cfg,
-        SlowdownScript::new(cfg.scripted.clone()).into_hook(),
-        clock,
-    )?;
+    let (cluster, addrs) = match transport {
+        Transport::InProcess => {
+            let cluster = LiveCluster::spawn(
+                cfg,
+                SlowdownScript::new(cfg.scripted.clone()).into_hook(),
+                clock,
+            )?;
+            let addrs = cluster.addrs().to_vec();
+            (Some(cluster), addrs)
+        }
+        Transport::Remote { addrs, .. } => {
+            if addrs.len() != cfg.replicas {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "transport lists {} nodes but the config needs {} replicas",
+                        addrs.len(),
+                        cfg.replicas
+                    ),
+                ));
+            }
+            (None, addrs.clone())
+        }
+    };
 
     let registry = live_strategy_registry(cfg);
     let selector = Arc::new(build_selector(cfg, &registry));
     let is_ds = cfg.strategy.name() == "DS";
-    let hardened = cfg.deadline.is_some();
+    let hardened = cfg.lifecycle.hardened_on();
     let faults_expected = !cfg.faults.is_empty();
 
     let issued = Arc::new(AtomicU64::new(0));
     let stop = Arc::new(AtomicBool::new(false));
     let budget = Arc::new(InFlightBudget::new(cfg.in_flight));
-    let detector = Arc::new(FailureDetector::new(cfg.replicas));
+    let detector = Arc::new(FailureDetector::new(cfg.replicas, &cfg.lifecycle));
     let tallies = Arc::new(LifecycleTallies::default());
     let key_template = ScrambledZipfian::new(cfg.keys, cfg.keys, cfg.zipf_theta);
 
@@ -622,7 +678,14 @@ pub(crate) fn execute(cfg: &LiveConfig) -> io::Result<ClientArtifacts> {
     );
     let mut senders: Vec<Vec<mpsc::Sender<Request>>> = Vec::with_capacity(cfg.replicas);
     let mut supervisors = Vec::new();
-    for (replica, addr) in cluster.addrs().iter().enumerate() {
+    for (replica, addr) in addrs.iter().enumerate() {
+        let expect_hello = match transport {
+            Transport::InProcess => None,
+            Transport::Remote { config_digest, .. } => Some(ExpectedHello {
+                replica: replica as u32,
+                digest: *config_digest,
+            }),
+        };
         let mut replica_senders = Vec::with_capacity(cfg.connections);
         for conn in 0..cfg.connections {
             let addr = *addr;
@@ -646,6 +709,7 @@ pub(crate) fn execute(cfg: &LiveConfig) -> io::Result<ClientArtifacts> {
                     &stop,
                     hardened,
                     faults_expected,
+                    expect_hello,
                 )
             }));
             replica_senders.push(tx);
@@ -716,11 +780,11 @@ pub(crate) fn execute(cfg: &LiveConfig) -> io::Result<ClientArtifacts> {
         .collect();
 
     let mut occupancy = Vec::new();
-    let mut first_err = None;
+    let mut issuer_err = None;
     for issuer in issuers {
         match issuer.join().expect("issuer panicked") {
             Ok(mut occ) => occupancy.append(&mut occ),
-            Err(e) => first_err = first_err.or(Some(e)),
+            Err(e) => issuer_err = issuer_err.or(Some(e)),
         }
     }
 
@@ -738,13 +802,14 @@ pub(crate) fn execute(cfg: &LiveConfig) -> io::Result<ClientArtifacts> {
     }
     let mut samples = Vec::new();
     let mut feedback_lag = Vec::new();
+    let mut supervisor_err = None;
     for handle in supervisors {
         match handle.join().expect("connection supervisor panicked") {
             Ok(mut out) => {
                 samples.append(&mut out.samples);
                 feedback_lag.append(&mut out.feedback_lag);
             }
-            Err(e) => first_err = first_err.or(Some(e)),
+            Err(e) => supervisor_err = supervisor_err.or(Some(e)),
         }
     }
     // Supervisors reap their own tables on exit; what's left here are
@@ -758,8 +823,13 @@ pub(crate) fn execute(cfg: &LiveConfig) -> io::Result<ClientArtifacts> {
     if let Some(t) = ticker {
         let _ = t.join();
     }
-    cluster.shutdown();
-    if let Some(e) = first_err {
+    if let Some(cluster) = cluster {
+        cluster.shutdown();
+    }
+    // A supervisor's hard error (dial refused, hello identity/digest
+    // mismatch) is the root cause; an issuer's send-to-dead-channel is
+    // its symptom. Surface the cause.
+    if let Some(e) = supervisor_err.or(issuer_err) {
         return Err(e);
     }
     // The leak invariant: every permit funneled back through a response
@@ -986,8 +1056,11 @@ fn reaper_loop(
     tallies: &LifecycleTallies,
     stop: &AtomicBool,
 ) {
-    let deadline: Nanos = Nanos::from(cfg.deadline.expect("reaper runs only with a deadline"));
-    let hedge_after: Option<Nanos> = cfg.hedge_after.map(Nanos::from);
+    let deadline: Nanos = cfg
+        .lifecycle
+        .deadline
+        .expect("reaper runs only with a deadline");
+    let hedge_after: Option<Nanos> = cfg.lifecycle.hedge_after;
     let value = Bytes::from(vec![0x5Au8; cfg.value_bytes as usize]);
     let mut rng = SmallRng::seed_from_u64(SeedSeq::new(cfg.seed).thread_seed(u64::from(u16::MAX)));
     let mut queue: Vec<RetryItem> = Vec::new();
@@ -1065,7 +1138,7 @@ fn reaper_loop(
                         selector.evict(p.replica);
                         tallies.evictions.fetch_add(1, Ordering::Relaxed);
                     }
-                    if p.attempt < cfg.retries {
+                    if p.attempt < cfg.lifecycle.retries {
                         reap_send(&p, selector, budget, now, true);
                         tallies.retries.fetch_add(1, Ordering::Relaxed);
                         // 2 ms << attempt, capped at 16 ms, jittered
@@ -1197,6 +1270,7 @@ fn connection_loop(
     stop: &AtomicBool,
     hardened: bool,
     faults_expected: bool,
+    expect_hello: Option<ExpectedHello>,
 ) -> io::Result<ReaderOut> {
     const WRITE_POLL: Duration = Duration::from_millis(20);
     const READ_POLL: Duration = Duration::from_millis(50);
@@ -1227,15 +1301,45 @@ fn connection_loop(
                 continue;
             }
         };
-        redial = Duration::from_millis(2);
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(READ_POLL))?;
+        // Remote nodes announce themselves before anything else; verify
+        // identity and config digest before a single request goes out.
+        // Response bytes that followed the hello stay in `buf` for the
+        // reader. A connection that dies before its hello is a severed
+        // connection like any other; a *wrong* hello aborts the run.
+        let mut buf = BytesMut::new();
+        if let Some(expected) = expect_hello {
+            match await_hello(&stream, &mut buf, expected, stop) {
+                Ok(true) => {}
+                Ok(false) => {
+                    if !faults_expected {
+                        reap_connection(table, selector, budget, clock.now());
+                        return Err(io::Error::new(
+                            io::ErrorKind::ConnectionAborted,
+                            "node died before its hello",
+                        ));
+                    }
+                    if !hardened {
+                        reap_connection(table, selector, budget, clock.now());
+                    }
+                    std::thread::sleep(redial);
+                    redial = (redial * 2).min(Duration::from_millis(50));
+                    continue;
+                }
+                Err(e) => {
+                    reap_connection(table, selector, budget, clock.now());
+                    return Err(e);
+                }
+            }
+        }
+        redial = Duration::from_millis(2);
         let conn_dead = AtomicBool::new(false);
         let read_res = std::thread::scope(|s| {
             let reader = s.spawn(|| {
                 read_responses(
-                    &stream, table, selector, budget, detector, tallies, clock, stop, &conn_dead,
-                    &mut out,
+                    &stream, buf, table, selector, budget, detector, tallies, clock, stop,
+                    &conn_dead, &mut out,
                 )
             });
             loop {
@@ -1296,6 +1400,63 @@ fn connection_loop(
     Ok(out)
 }
 
+/// Wait for a remote node's opening hello and verify it. `Ok(true)` means
+/// verified (response bytes that trailed the hello remain in `buf`);
+/// `Ok(false)` means the connection died first (EOF, reset, or ~1 s of
+/// silence — a healthy node writes its hello immediately after accept);
+/// `Err` is an identity or protocol violation that must abort the run.
+fn await_hello(
+    mut stream: &std::net::TcpStream,
+    buf: &mut BytesMut,
+    expected: ExpectedHello,
+    stop: &AtomicBool,
+) -> io::Result<bool> {
+    for _ in 0..20 {
+        if stop.load(Ordering::Acquire) {
+            return Ok(false);
+        }
+        match read_frame(&mut stream, buf) {
+            Ok(Some(Frame::Hello(hello))) => {
+                if hello.replica_id != expected.replica {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "node identity mismatch: dialed replica {} but the node says it is {}",
+                            expected.replica, hello.replica_id
+                        ),
+                    ));
+                }
+                if hello.config_digest != expected.digest {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "fleet-config digest mismatch on replica {}: client {:#018x}, \
+                             node {:#018x} (stale node or wrong fleet)",
+                            expected.replica, expected.digest, hello.config_digest
+                        ),
+                    ));
+                }
+                return Ok(true);
+            }
+            Ok(Some(_)) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "expected a hello as the first frame from a node",
+                ));
+            }
+            Ok(None) => return Ok(false),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => return Err(e),
+            Err(_) => return Ok(false),
+        }
+    }
+    Ok(false)
+}
+
 /// The frame-decoding half of one connection: complete each response
 /// through the correlation table — discarding late arrivals for reaped
 /// (tombstoned) attempts — feed the selector, and let the op token
@@ -1307,6 +1468,7 @@ fn connection_loop(
 #[allow(clippy::too_many_arguments)]
 fn read_responses(
     stream: &std::net::TcpStream,
+    mut buf: BytesMut,
     table: &Table,
     selector: &LiveSelector,
     budget: &InFlightBudget,
@@ -1317,7 +1479,6 @@ fn read_responses(
     conn_dead: &AtomicBool,
     out: &mut ReaderOut,
 ) -> io::Result<()> {
-    let mut buf = BytesMut::new();
     let mut reader = stream;
     loop {
         if stop.load(Ordering::Acquire) || conn_dead.load(Ordering::Acquire) {
@@ -1356,7 +1517,7 @@ fn read_responses(
             conn_dead.store(true, Ordering::Release);
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                "client received a request frame",
+                "client received a non-response frame",
             ));
         };
         let entry = {
@@ -1438,7 +1599,7 @@ mod tests {
         let registry = live_strategy_registry(&cfg);
         let selector = build_selector(&cfg, &registry);
         let budget = InFlightBudget::new(4);
-        let detector = FailureDetector::new(cfg.replicas);
+        let detector = FailureDetector::new(cfg.replicas, &cfg.lifecycle);
         let tallies = LifecycleTallies::default();
         let table: Table = Mutex::new(TableState::new());
         let clock = WallClock::start();
@@ -1470,7 +1631,7 @@ mod tests {
             let supervisor = s.spawn(move || {
                 connection_loop(
                     addr, &rx, table, selector, budget, detector, tallies, clock, stop, false,
-                    false,
+                    false, None,
                 )
             });
             // Mid-run kill: the server side of the connection goes away.
@@ -1529,9 +1690,11 @@ mod tests {
                 keys: 500,
                 run_for: Duration::from_millis(300),
                 warmup_ops: 0,
-                deadline: Some(Duration::from_millis(40)),
-                retries: 2,
-                hedge_after: Some(Duration::from_millis(20)),
+                lifecycle: LifecycleConfig::hardened(
+                    Nanos::from_millis(40),
+                    2,
+                    Some(Nanos::from_millis(20)),
+                ),
                 seed,
                 ..LiveConfig::default()
             };
@@ -1553,7 +1716,8 @@ mod tests {
                     },
                 ],
             };
-            let artifacts = execute(&cfg).expect("hardened runs survive kills");
+            let artifacts =
+                execute_on(&cfg, &Transport::InProcess).expect("hardened runs survive kills");
             assert!(artifacts.issued > 0, "seed {seed} issued nothing");
             assert!(
                 !artifacts.samples.is_empty(),

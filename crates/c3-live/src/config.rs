@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 use c3_cluster::{DiskKind, FaultPlan, ScriptedSlowdown, SnitchConfig};
-use c3_core::C3Config;
+use c3_core::{C3Config, LifecycleConfig};
 use c3_engine::Strategy;
 
 /// Full configuration of one live run: the server fleet, the client, the
@@ -96,18 +96,12 @@ pub struct LiveConfig {
     /// connections and swallow requests; `RespDrop`/`RespDelay` windows
     /// lose or lag responses after service.
     pub faults: FaultPlan,
-    /// Per-request deadline: a request unanswered this long after it was
-    /// handed to its connection is reaped — its permit comes back, its
-    /// selector slot is abandoned, and (budget permitting) it is retried.
-    /// `None` disables the whole client-side lifecycle hardening.
-    pub deadline: Option<Duration>,
-    /// Retry budget after a deadline expiry (0 = park the op on its first
-    /// expiry). Retries go to a *different* replica with exponential
-    /// backoff and jitter; writes re-target their primary.
-    pub retries: u32,
-    /// Hedge reads to a second replica after this delay; the first
-    /// response wins and the loser is discarded. `None` disables hedging.
-    pub hedge_after: Option<Duration>,
+    /// Request-lifecycle hardening: the shared [`LifecycleConfig`]
+    /// (deadline, retries, hedging, failure-detector knobs). A `None`
+    /// deadline disables the whole client-side lifecycle machinery;
+    /// retries go to a *different* replica with exponential backoff and
+    /// jitter, hedged reads race a duplicate, first response wins.
+    pub lifecycle: LifecycleConfig,
     /// Minimum spacing between per-replica score samples of the shared
     /// C3 selector (the live side of the parity trace).
     pub score_sample_every: Duration,
@@ -139,9 +133,7 @@ impl Default for LiveConfig {
             ops_cap: u64::MAX,
             scripted: Vec::new(),
             faults: FaultPlan::none(),
-            deadline: None,
-            retries: 0,
-            hedge_after: None,
+            lifecycle: LifecycleConfig::default(),
             score_sample_every: Duration::from_millis(50),
             seed: 1,
         }
@@ -184,20 +176,9 @@ impl LiveConfig {
             assert!(e.node < self.replicas, "fault event out of range");
             assert!(e.start < e.end, "fault window must have positive span");
         }
-        if self.retries > 0 {
-            assert!(
-                self.deadline.is_some(),
-                "retries fire on deadline expiry; set a deadline"
-            );
-        }
-        if let Some(d) = self.deadline {
-            assert!(d > Duration::ZERO, "deadline must be positive");
-        }
-        if let Some(h) = self.hedge_after {
-            assert!(h > Duration::ZERO, "hedge delay must be positive");
-            if let Some(d) = self.deadline {
-                assert!(h < d, "a hedge after the deadline can never fire");
-            }
+        self.lifecycle.validate();
+        if let (Some(h), Some(d)) = (self.lifecycle.hedge_after, self.lifecycle.deadline) {
+            assert!(h < d, "a hedge after the deadline can never fire");
         }
         self.c3.validate();
     }
@@ -232,7 +213,10 @@ mod tests {
     #[should_panic(expected = "set a deadline")]
     fn retries_without_deadline_are_rejected() {
         let cfg = LiveConfig {
-            retries: 2,
+            lifecycle: LifecycleConfig {
+                retries: 2,
+                ..LifecycleConfig::default()
+            },
             ..LiveConfig::default()
         };
         cfg.validate();
@@ -242,8 +226,11 @@ mod tests {
     #[should_panic(expected = "never fire")]
     fn hedge_after_the_deadline_is_rejected() {
         let cfg = LiveConfig {
-            deadline: Some(Duration::from_millis(50)),
-            hedge_after: Some(Duration::from_millis(80)),
+            lifecycle: LifecycleConfig::hardened(
+                c3_core::Nanos::from_millis(50),
+                0,
+                Some(c3_core::Nanos::from_millis(80)),
+            ),
             ..LiveConfig::default()
         };
         cfg.validate();
@@ -270,9 +257,11 @@ mod tests {
     #[test]
     fn hardened_config_validates() {
         let cfg = LiveConfig {
-            deadline: Some(Duration::from_millis(75)),
-            retries: 3,
-            hedge_after: Some(Duration::from_millis(30)),
+            lifecycle: LifecycleConfig::hardened(
+                c3_core::Nanos::from_millis(75),
+                3,
+                Some(c3_core::Nanos::from_millis(30)),
+            ),
             faults: FaultPlan::crash_flux(1, 6, c3_core::Nanos::from_secs(2)),
             ..LiveConfig::default()
         };

@@ -53,14 +53,14 @@ mod server;
 mod slowdown;
 mod wire;
 
-pub use client::{live_strategy_registry, LifecycleCounts};
+pub use client::{live_strategy_registry, LifecycleCounts, Transport};
 pub use config::LiveConfig;
 pub use mux::{CorrelationTable, InFlightBudget, MuxError};
 pub use scenario::{
     crash_flux_config, flaky_net_config, hetero_fleet_config, live_registry, partition_flux_config,
-    register_live_scenarios, run_live, LiveReport, LiveScenario, HEALTH_FEEDBACK_LAG,
+    register_live_scenarios, run_live, run_live_on, LiveReport, LiveScenario, HEALTH_FEEDBACK_LAG,
     HEALTH_INFLIGHT, LIVE_CRASH_FLUX, LIVE_FLAKY_NET, LIVE_HETERO_FLEET, LIVE_PARTITION_FLUX,
 };
-pub use server::{encode_key, LiveCluster};
+pub use server::{encode_key, LiveCluster, ReplicaServer, ReplicaSpec};
 pub use slowdown::{NoSlowdown, Slowdown, SlowdownScript};
 pub use wire::read_frame;

@@ -18,14 +18,16 @@
 use std::time::Duration;
 
 use c3_cluster::{FaultEvent, FaultKind, FaultPlan, ScriptedSlowdown, CLUSTER_CHANNELS};
-use c3_core::Nanos;
+use c3_core::{LifecycleConfig, Nanos};
 use c3_engine::{ChannelId, ChannelSet, EventQueue, RunMetrics, Scenario, ScenarioRunner};
 use c3_scenarios::{
     ChannelReport, ScenarioError, ScenarioParams, ScenarioRegistry, ScenarioReport,
 };
 use c3_telemetry::{summarize_gauge, Recorder};
 
-use crate::client::{execute, live_strategy_registry, ClientArtifacts, LifecycleCounts};
+use crate::client::{
+    execute_on, live_strategy_registry, ClientArtifacts, LifecycleCounts, Transport,
+};
 use crate::config::LiveConfig;
 use crate::slowdown::SlowdownScript;
 
@@ -51,15 +53,22 @@ pub const HEALTH_FEEDBACK_LAG: &str = "feedback-lag";
 /// completion is replayed into the runner's metrics.
 pub struct LiveScenario {
     cfg: LiveConfig,
+    transport: Transport,
     artifacts: Option<ClientArtifacts>,
 }
 
 impl LiveScenario {
-    /// Wrap a validated config.
+    /// Wrap a validated config (in-process fleet).
     pub fn new(cfg: LiveConfig) -> Self {
+        Self::on(cfg, Transport::InProcess)
+    }
+
+    /// Wrap a validated config over an explicit transport.
+    pub fn on(cfg: LiveConfig, transport: Transport) -> Self {
         cfg.validate();
         Self {
             cfg,
+            transport,
             artifacts: None,
         }
     }
@@ -88,7 +97,7 @@ impl Scenario for LiveScenario {
         _engine: &mut EventQueue<()>,
         metrics: &mut RunMetrics,
     ) {
-        let artifacts = execute(&self.cfg).expect("live run failed");
+        let artifacts = execute_on(&self.cfg, &self.transport).expect("live run failed");
         for s in &artifacts.samples {
             let channel = if s.is_read {
                 READ_CHANNEL
@@ -177,6 +186,18 @@ fn health_channel(recorder: &Recorder, name: &str, duration: Nanos) -> ChannelRe
 /// Panics when the strategy is unknown/unsupported or the loopback
 /// cluster cannot be spawned.
 pub fn run_live(scenario_name: &str, cfg: LiveConfig) -> LiveReport {
+    run_live_on(scenario_name, cfg, Transport::InProcess)
+}
+
+/// [`run_live`] over an explicit [`Transport`] — the entry the node
+/// coordinator uses to drive a multi-process fleet through the same
+/// engine-runner plumbing (and the same wall-time gate).
+///
+/// # Panics
+///
+/// As [`run_live`]; additionally when a remote node's hello fails
+/// verification (identity or config-digest mismatch).
+pub fn run_live_on(scenario_name: &str, cfg: LiveConfig, transport: Transport) -> LiveReport {
     static LIVE_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
     let _exclusive = LIVE_GATE.lock().unwrap_or_else(|poisoned| {
         // A panicked sibling run cannot corrupt the gate (it guards no
@@ -189,7 +210,7 @@ pub fn run_live(scenario_name: &str, cfg: LiveConfig) -> LiveReport {
     let runner = ScenarioRunner::new(seed)
         .with_warmup(cfg.warmup_ops)
         .with_exact_latency_if(cfg.exact_latency);
-    let mut scenario = LiveScenario::new(cfg);
+    let mut scenario = LiveScenario::on(cfg, transport);
     let (metrics, stats) = runner.run(&mut scenario, replicas, Nanos::from_millis(100));
     let mut artifacts = scenario.artifacts.take().expect("run completed");
     let report = ScenarioReport::from_metrics(scenario_name, &strategy, seed, &metrics, &stats)
@@ -267,9 +288,8 @@ pub fn crash_flux_config(params: &ScenarioParams) -> Result<LiveConfig, Scenario
         magnitude: 0.0,
     });
     cfg.faults = plan;
-    cfg.deadline = Some(Duration::from_millis(75));
-    cfg.retries = 3;
-    cfg.hedge_after = Some(Duration::from_millis(30));
+    cfg.lifecycle =
+        LifecycleConfig::hardened(Nanos::from_millis(75), 3, Some(Nanos::from_millis(30)));
     Ok(cfg)
 }
 
@@ -305,9 +325,8 @@ pub fn flaky_net_config(params: &ScenarioParams) -> Result<LiveConfig, ScenarioE
     ]);
     plan.events.retain(|e| e.node < cfg.replicas);
     cfg.faults = plan;
-    cfg.deadline = Some(Duration::from_millis(100));
-    cfg.retries = 3;
-    cfg.hedge_after = Some(Duration::from_millis(50));
+    cfg.lifecycle =
+        LifecycleConfig::hardened(Nanos::from_millis(100), 3, Some(Nanos::from_millis(50)));
     Ok(cfg)
 }
 
@@ -317,8 +336,8 @@ fn base_config(scenario: &str, params: &ScenarioParams) -> Result<LiveConfig, Sc
         seed: params.seed,
         warmup_ops: params.warmup,
         ops_cap: params.ops,
-        offered_rate: params.offered_rate,
-        exact_latency: params.exact,
+        offered_rate: params.tuning.offered_rate,
+        exact_latency: params.tuning.exact_latency,
         run_for: Duration::from_millis(1_500),
         // Paper-scale concurrency for the registry twins: deep enough
         // that a strategy which parks requests on one dark replica (DS
@@ -331,10 +350,10 @@ fn base_config(scenario: &str, params: &ScenarioParams) -> Result<LiveConfig, Sc
     if let Some(keys) = params.keys {
         cfg.keys = cfg.keys.min(keys);
     }
-    if let Some(in_flight) = params.in_flight {
+    if let Some(in_flight) = params.tuning.in_flight {
         cfg.in_flight = in_flight;
     }
-    if let Some(connections) = params.connections {
+    if let Some(connections) = params.tuning.connections {
         cfg.connections = connections;
     }
     if !live_strategy_registry(&cfg).contains(&cfg.strategy) {
@@ -482,7 +501,7 @@ mod tests {
         let params = ScenarioParams::sized(Strategy::c3(), 3, 1_200);
         let cfg = crash_flux_config(&params).unwrap();
         assert!(!cfg.faults.is_empty());
-        assert_eq!(cfg.deadline, Some(Duration::from_millis(75)));
+        assert_eq!(cfg.lifecycle.deadline, Some(Nanos::from_millis(75)));
         let mut cfg = LiveConfig {
             replicas: 3,
             replication_factor: 2,

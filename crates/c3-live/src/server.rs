@@ -29,11 +29,11 @@ use std::thread::JoinHandle;
 
 use bytes::{Bytes, BytesMut};
 use c3_core::{Clock, Feedback, WallClock};
-use c3_net::proto::{Frame, Request, Response, Status};
+use c3_net::proto::{encode_hello, Frame, Hello, Request, Response, Status};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use c3_cluster::{DiskModel, FaultPlan};
+use c3_cluster::{DiskKind, DiskModel, FaultPlan};
 
 use crate::config::LiveConfig;
 use crate::slowdown::Slowdown;
@@ -76,6 +76,11 @@ struct Replica {
     faults: Arc<FaultPlan>,
     clock: WallClock,
     nominal_bytes: u32,
+    /// First frame written on every accepted connection, when set. Node
+    /// processes announce their replica id and fleet-config digest this
+    /// way; in-process clusters leave it `None` (raw-socket harnesses and
+    /// serial clients expect the first frame they read to be a response).
+    hello: Option<Hello>,
 }
 
 impl Replica {
@@ -220,14 +225,152 @@ pub fn encode_key(key: u64) -> Bytes {
     Bytes::copy_from_slice(&key.to_be_bytes())
 }
 
-/// The running fleet: addresses to dial plus the shutdown plumbing.
+/// Everything one replica server needs to come up, independent of the
+/// rest of the fleet — the unit a node *process* is configured with. The
+/// in-process [`LiveCluster`] builds one per replica from a [`LiveConfig`];
+/// the `c3-live-node` binary decodes one from its config file.
+#[derive(Clone, Debug)]
+pub struct ReplicaSpec {
+    /// Replica id within the fleet (drives fault-plan matching, slowdown
+    /// scripting and the seed derivation).
+    pub id: usize,
+    /// Executor-pool size: how many requests are serviced concurrently.
+    pub concurrency: usize,
+    /// Disk model the sampled service times come from.
+    pub disk: DiskKind,
+    /// Read fraction the disk model is parameterized with.
+    pub read_fraction: f64,
+    /// Nominal record size for GET service-time sampling.
+    pub value_bytes: u32,
+    /// Fleet seed; the replica's rng stream is derived from it and `id`.
+    pub seed: u64,
+    /// Fault timeline replayed against this replica's wall clock.
+    pub faults: FaultPlan,
+    /// Identity frame written first on every accepted connection (node
+    /// processes); `None` for in-process clusters.
+    pub hello: Option<Hello>,
+}
+
+impl ReplicaSpec {
+    /// The spec `LiveCluster` uses for replica `id` of an in-process
+    /// fleet: everything from the live config, no hello.
+    pub fn from_live(cfg: &LiveConfig, id: usize) -> Self {
+        Self {
+            id,
+            concurrency: cfg.concurrency,
+            disk: cfg.disk,
+            read_fraction: cfg.read_fraction,
+            value_bytes: cfg.value_bytes,
+            seed: cfg.seed,
+            faults: cfg.faults.clone(),
+            hello: None,
+        }
+    }
+}
+
+/// One running replica server: a listener, its connection handlers and
+/// executor pool, with self-contained shutdown plumbing. This is what a
+/// `c3-live-node` process runs exactly one of; [`LiveCluster`] runs one
+/// per replica in-process.
+pub struct ReplicaServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: JoinHandle<()>,
+    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    replica: Arc<Replica>,
+    executor_handles: Vec<JoinHandle<()>>,
+}
+
+impl ReplicaServer {
+    /// Bind `bind_addr` (use port 0 for an ephemeral port — the learned
+    /// port is in [`ReplicaServer::addr`]) and start the accept loop and
+    /// `spec.concurrency` executor threads. `clock` and `slowdown` are
+    /// shared so everyone agrees on the adversity timeline.
+    pub fn bind(
+        spec: &ReplicaSpec,
+        bind_addr: SocketAddr,
+        slowdown: Arc<dyn Slowdown>,
+        clock: WallClock,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conn_handles = Arc::new(Mutex::new(Vec::new()));
+        let model = match spec.disk {
+            DiskKind::Spinning => DiskModel::spinning(spec.read_fraction),
+            DiskKind::Ssd => DiskModel::ssd(spec.read_fraction),
+        };
+        let replica = Arc::new(Replica {
+            id: spec.id,
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            pending: AtomicU32::new(0),
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            stop: Arc::clone(&shutdown),
+            model,
+            rng: Mutex::new(SmallRng::seed_from_u64(
+                spec.seed ^ 0xd1b5_4a32_d192_ed03u64.wrapping_mul(spec.id as u64 + 1),
+            )),
+            slowdown,
+            faults: Arc::new(spec.faults.clone()),
+            clock,
+            nominal_bytes: spec.value_bytes,
+            hello: spec.hello,
+        });
+        let mut executor_handles = Vec::with_capacity(spec.concurrency);
+        for _ in 0..spec.concurrency {
+            let replica = Arc::clone(&replica);
+            executor_handles.push(std::thread::spawn(move || replica.executor_loop()));
+        }
+        let stop = Arc::clone(&shutdown);
+        let conns = Arc::clone(&conn_handles);
+        let accept_replica = Arc::clone(&replica);
+        let accept_handle =
+            std::thread::spawn(move || accept_loop(listener, accept_replica, stop, conns));
+        Ok(Self {
+            addr,
+            shutdown,
+            accept_handle,
+            conn_handles,
+            replica,
+            executor_handles,
+        })
+    }
+
+    /// The bound address clients dial (the learned ephemeral port when
+    /// bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wait for every handler to drain, and join all
+    /// server threads. Callers must have closed their client connections
+    /// first (handlers exit on EOF).
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::Release);
+        // The accept loop polls nonblockingly, so the flag alone is
+        // guaranteed to stop it within one poll interval — no wake-up
+        // connection whose failure could leave a thread parked forever.
+        let _ = self.accept_handle.join();
+        let handles = std::mem::take(&mut *self.conn_handles.lock().expect("handles poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        // Executors park on their queue condvar; wake them so they see
+        // the stop flag (jobs still queued at this point were abandoned
+        // by the client and are dropped unexecuted).
+        self.replica.work.notify_all();
+        for handle in self.executor_handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The running in-process fleet: one [`ReplicaServer`] per replica on
+/// loopback ephemeral ports.
 pub struct LiveCluster {
     addrs: Vec<SocketAddr>,
-    shutdown: Arc<AtomicBool>,
-    accept_handles: Vec<JoinHandle<()>>,
-    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    replicas: Vec<Arc<Replica>>,
-    executor_handles: Vec<JoinHandle<()>>,
+    servers: Vec<ReplicaServer>,
 }
 
 impl LiveCluster {
@@ -240,55 +383,19 @@ impl LiveCluster {
         clock: WallClock,
     ) -> io::Result<Self> {
         cfg.validate();
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let conn_handles = Arc::new(Mutex::new(Vec::new()));
-        let faults = Arc::new(cfg.faults.clone());
-        let model = match cfg.disk {
-            c3_cluster::DiskKind::Spinning => DiskModel::spinning(cfg.read_fraction),
-            c3_cluster::DiskKind::Ssd => DiskModel::ssd(cfg.read_fraction),
-        };
-        let mut addrs = Vec::with_capacity(cfg.replicas);
-        let mut accept_handles = Vec::with_capacity(cfg.replicas);
-        let mut replicas = Vec::with_capacity(cfg.replicas);
-        let mut executor_handles = Vec::with_capacity(cfg.replicas * cfg.concurrency);
+        let loopback: SocketAddr = (std::net::Ipv4Addr::LOCALHOST, 0).into();
+        let mut servers = Vec::with_capacity(cfg.replicas);
         for id in 0..cfg.replicas {
-            let listener = TcpListener::bind("127.0.0.1:0")?;
-            addrs.push(listener.local_addr()?);
-            let replica = Arc::new(Replica {
-                id,
-                shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-                pending: AtomicU32::new(0),
-                queue: Mutex::new(VecDeque::new()),
-                work: Condvar::new(),
-                stop: Arc::clone(&shutdown),
-                model,
-                rng: Mutex::new(SmallRng::seed_from_u64(
-                    cfg.seed ^ 0xd1b5_4a32_d192_ed03u64.wrapping_mul(id as u64 + 1),
-                )),
-                slowdown: Arc::clone(&slowdown),
-                faults: Arc::clone(&faults),
+            let spec = ReplicaSpec::from_live(cfg, id);
+            servers.push(ReplicaServer::bind(
+                &spec,
+                loopback,
+                Arc::clone(&slowdown),
                 clock,
-                nominal_bytes: cfg.value_bytes,
-            });
-            for _ in 0..cfg.concurrency {
-                let replica = Arc::clone(&replica);
-                executor_handles.push(std::thread::spawn(move || replica.executor_loop()));
-            }
-            let stop = Arc::clone(&shutdown);
-            let conns = Arc::clone(&conn_handles);
-            replicas.push(Arc::clone(&replica));
-            accept_handles.push(std::thread::spawn(move || {
-                accept_loop(listener, replica, stop, conns)
-            }));
+            )?);
         }
-        Ok(Self {
-            addrs,
-            shutdown,
-            accept_handles,
-            conn_handles,
-            replicas,
-            executor_handles,
-        })
+        let addrs = servers.iter().map(ReplicaServer::addr).collect();
+        Ok(Self { addrs, servers })
     }
 
     /// Addresses of the replicas, in replica-id order.
@@ -296,29 +403,10 @@ impl LiveCluster {
         &self.addrs
     }
 
-    /// Stop accepting, wait for every handler to drain, and join all
-    /// server threads. Callers must have closed their client connections
-    /// first (handlers exit on EOF).
+    /// Shut every replica server down (see [`ReplicaServer::shutdown`]).
     pub fn shutdown(self) {
-        self.shutdown.store(true, Ordering::Release);
-        // The accept loops poll nonblockingly, so the flag alone is
-        // guaranteed to stop them within one poll interval — no wake-up
-        // connection whose failure could leave a thread parked forever.
-        for handle in self.accept_handles {
-            let _ = handle.join();
-        }
-        let handles = std::mem::take(&mut *self.conn_handles.lock().expect("handles poisoned"));
-        for handle in handles {
-            let _ = handle.join();
-        }
-        // Executors park on their queue condvars; wake them so they see
-        // the stop flag (jobs still queued at this point were abandoned
-        // by the client and are dropped unexecuted).
-        for replica in &self.replicas {
-            replica.work.notify_all();
-        }
-        for handle in self.executor_handles {
-            let _ = handle.join();
+        for server in self.servers {
+            server.shutdown();
         }
     }
 }
@@ -368,13 +456,21 @@ fn accept_loop(
 fn serve_connection(stream: TcpStream, replica: &Replica) -> io::Result<()> {
     stream.set_nodelay(true)?;
     let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    // Node processes identify themselves before anything else so a
+    // mis-wired or stale address file is caught at connect time.
+    if let Some(hello) = replica.hello {
+        use std::io::Write as _;
+        let mut out = BytesMut::new();
+        encode_hello(&hello, &mut out);
+        writer.lock().expect("writer poisoned").write_all(&out)?;
+    }
     let mut reader = stream;
     let mut buf = BytesMut::new();
     while let Some(frame) = read_frame(&mut reader, &mut buf)? {
         let Frame::Request(req) = frame else {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                "server received a response frame",
+                "server received a non-request frame",
             ));
         };
         // A crashed or resetting replica severs the connection the moment
@@ -461,6 +557,44 @@ mod tests {
 
         drop(stream);
         cluster.shutdown();
+    }
+
+    #[test]
+    fn hello_enabled_server_announces_identity_first() {
+        let cfg = tiny_cfg();
+        let mut spec = ReplicaSpec::from_live(&cfg, 0);
+        spec.hello = Some(Hello {
+            replica_id: 0,
+            config_digest: 0x77,
+        });
+        let server = ReplicaServer::bind(
+            &spec,
+            (std::net::Ipv4Addr::LOCALHOST, 0).into(),
+            Arc::new(NoSlowdown),
+            WallClock::start(),
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let mut buf = BytesMut::new();
+        let first = read_frame(&mut stream, &mut buf).unwrap().expect("hello");
+        assert_eq!(
+            first,
+            Frame::Hello(Hello {
+                replica_id: 0,
+                config_digest: 0x77
+            })
+        );
+        let resp = round_trip(
+            &mut stream,
+            &mut buf,
+            Request::Get {
+                id: 9,
+                key: encode_key(9),
+            },
+        );
+        assert_eq!(resp.id, 9);
+        drop(stream);
+        server.shutdown();
     }
 
     #[test]

@@ -71,7 +71,7 @@ mod tests {
             while let Some(frame) = read_frame(&mut conn, &mut buf).unwrap() {
                 match frame {
                     Frame::Request(req) => seen.push(req.id()),
-                    Frame::Response(_) => panic!("client sends requests"),
+                    other => panic!("client sends requests, got {other:?}"),
                 }
             }
             seen

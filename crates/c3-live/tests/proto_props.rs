@@ -15,12 +15,13 @@ use bytes::{BufMut, Bytes, BytesMut};
 use c3_core::{Feedback, Nanos};
 use c3_live::{read_frame, CorrelationTable, MuxError};
 use c3_net::proto::{
-    decode_frame, encode_request, encode_response, Frame, Request, Response, Status, MAX_FRAME,
+    decode_frame, encode_hello, encode_request, encode_response, Frame, Hello, Request, Response,
+    Status, MAX_FRAME,
 };
 use proptest::prelude::*;
 
 /// Build an arbitrary frame from sampled scalars: kind 0 = GET, 1 = PUT,
-/// 2+ = response (even = Ok, odd = NotFound).
+/// 2/3 = response (Ok / NotFound), 4 = node hello.
 fn frame_from(
     kind: u32,
     id: u64,
@@ -35,12 +36,16 @@ fn frame_from(
             .map(|i| (i % 13) as u8)
             .collect::<Vec<u8>>(),
     );
-    match kind % 4 {
+    match kind % 5 {
         0 => Frame::Request(Request::Get { id, key }),
         1 => Frame::Request(Request::Put {
             id,
             key,
             value: payload,
+        }),
+        4 => Frame::Hello(Hello {
+            replica_id: id as u32,
+            config_digest: service_ns,
         }),
         k => Frame::Response(Response {
             id,
@@ -55,13 +60,14 @@ fn encode(frame: &Frame, out: &mut BytesMut) {
     match frame {
         Frame::Request(req) => encode_request(req, out),
         Frame::Response(resp) => encode_response(resp, out),
+        Frame::Hello(hello) => encode_hello(hello, out),
     }
 }
 
 proptest! {
     #[test]
     fn frames_round_trip(
-        kind in 0u32..4,
+        kind in 0u32..5,
         id in 0u64..u64::MAX,
         key_len in 0usize..300,
         payload_len in 0usize..4096,
@@ -78,7 +84,7 @@ proptest! {
 
     #[test]
     fn fragmentation_never_changes_the_result(
-        kind in 0u32..4,
+        kind in 0u32..5,
         id in 0u64..u64::MAX,
         key_len in 0usize..64,
         payload_len in 0usize..512,
@@ -181,11 +187,11 @@ proptest! {
         let req_id = match &decoded_req {
             Frame::Request(Request::Get { id, .. }) => *id,
             Frame::Request(Request::Put { id, .. }) => *id,
-            Frame::Response(_) => unreachable!("kind < 2 encodes a request"),
+            _ => unreachable!("kind < 2 encodes a request"),
         };
         let resp_id = match &decoded_resp {
             Frame::Response(resp) => resp.id,
-            Frame::Request(_) => unreachable!("kind 2 encodes a response"),
+            _ => unreachable!("kind 2 encodes a response"),
         };
         prop_assert_eq!(req_id, id);
         prop_assert_eq!(resp_id, id);

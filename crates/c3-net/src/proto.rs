@@ -79,6 +79,22 @@ pub struct Response {
 const KIND_GET: u8 = 1;
 const KIND_PUT: u8 = 2;
 const KIND_RESPONSE: u8 = 3;
+const KIND_HELLO: u8 = 4;
+
+/// The first frame a replica *node process* sends on every accepted
+/// connection: which replica this is and a digest of the fleet config it
+/// was launched with. Clients attaching to a multi-process fleet verify
+/// both before issuing requests, so a mis-wired address file or a stale
+/// node (old config) is rejected at connect time instead of corrupting an
+/// experiment. In-process clusters skip the hello entirely — the frame is
+/// opt-in per server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hello {
+    /// The replica's id within the fleet (index into the address file).
+    pub replica_id: u32,
+    /// FNV-1a 64 digest of the canonical fleet-config text.
+    pub config_digest: u64,
+}
 
 /// Encode a request into a frame (including the length prefix).
 pub fn encode_request(req: &Request, out: &mut BytesMut) {
@@ -120,6 +136,16 @@ pub fn encode_response(resp: &Response, out: &mut BytesMut) {
     patch_len(out, start);
 }
 
+/// Encode a hello into a frame (including the length prefix).
+pub fn encode_hello(hello: &Hello, out: &mut BytesMut) {
+    let start = out.len();
+    out.put_u32(0);
+    out.put_u8(KIND_HELLO);
+    out.put_u32(hello.replica_id);
+    out.put_u64(hello.config_digest);
+    patch_len(out, start);
+}
+
 fn patch_len(out: &mut BytesMut, start: usize) {
     let body_len = out.len() - start - 4;
     out[start..start + 4].copy_from_slice(&(body_len as u32).to_be_bytes());
@@ -132,6 +158,8 @@ pub enum Frame {
     Request(Request),
     /// A response frame.
     Response(Response),
+    /// A node-identity hello frame.
+    Hello(Hello),
 }
 
 /// Try to decode one frame from `buf`. Returns `Ok(None)` when more bytes
@@ -195,6 +223,14 @@ fn parse_body(body: &mut BytesMut) -> Result<Frame, NetError> {
                 value,
             }))
         }
+        KIND_HELLO => {
+            let replica_id = need_u32(body)?;
+            let config_digest = need_u64(body)?;
+            Ok(Frame::Hello(Hello {
+                replica_id,
+                config_digest,
+            }))
+        }
         k => Err(NetError::Malformed(Box::leak(
             format!("unknown frame kind {k}").into_boxed_str(),
         ))),
@@ -245,6 +281,7 @@ mod tests {
         match &frame {
             Frame::Request(r) => encode_request(r, &mut buf),
             Frame::Response(r) => encode_response(r, &mut buf),
+            Frame::Hello(h) => encode_hello(h, &mut buf),
         }
         let decoded = decode_frame(&mut buf).unwrap().unwrap();
         assert_eq!(decoded, frame);
@@ -286,6 +323,26 @@ mod tests {
             feedback: Feedback::new(0, Nanos::ZERO),
             value: Bytes::new(),
         }));
+    }
+
+    #[test]
+    fn hello_round_trips() {
+        round_trip(Frame::Hello(Hello {
+            replica_id: 3,
+            config_digest: 0xdead_beef_cafe_f00d,
+        }));
+    }
+
+    #[test]
+    fn truncated_hello_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(5); // kind + u32 only; digest missing
+        buf.put_u8(KIND_HELLO);
+        buf.put_u32(1);
+        assert!(matches!(
+            decode_frame(&mut buf),
+            Err(NetError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! Property tests for the node-identity hello frame: arbitrary replica
+//! ids and config digests round-trip bit-exactly, survive arbitrary
+//! fragmentation, and truncated hellos are rejected instead of misread.
+
+use bytes::{BufMut, BytesMut};
+use c3_net::proto::{decode_frame, encode_hello, Frame, Hello};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn hello_round_trips(replica_id in 0u32..u32::MAX, config_digest in 0u64..u64::MAX) {
+        let hello = Hello { replica_id, config_digest };
+        let mut buf = BytesMut::new();
+        encode_hello(&hello, &mut buf);
+        let decoded = decode_frame(&mut buf).unwrap().expect("complete frame");
+        prop_assert_eq!(decoded, Frame::Hello(hello));
+        prop_assert!(buf.is_empty(), "decode must consume the whole frame");
+    }
+
+    #[test]
+    fn fragmented_hello_decodes_identically(
+        replica_id in 0u32..u32::MAX,
+        config_digest in 0u64..u64::MAX,
+        chunk in 1usize..8,
+    ) {
+        let hello = Hello { replica_id, config_digest };
+        let mut full = BytesMut::new();
+        encode_hello(&hello, &mut full);
+        let mut incoming = BytesMut::new();
+        let mut decoded = None;
+        for piece in full.chunks(chunk) {
+            prop_assert!(decoded.is_none(), "frame decoded before all bytes arrived");
+            incoming.extend_from_slice(piece);
+            decoded = decode_frame(&mut incoming).unwrap();
+        }
+        prop_assert_eq!(decoded.expect("all bytes delivered"), Frame::Hello(hello));
+    }
+
+    #[test]
+    fn truncated_hello_is_rejected(
+        replica_id in 0u32..u32::MAX,
+        config_digest in 0u64..u64::MAX,
+        cut in 1usize..12,
+    ) {
+        // Shrink the length prefix so a chopped body claims to be
+        // complete: the decoder must error, never fabricate identity.
+        let hello = Hello { replica_id, config_digest };
+        let mut full = BytesMut::new();
+        encode_hello(&hello, &mut full);
+        let body_len = full.len() - 4;
+        prop_assume!(cut < body_len);
+        let lied_len = (body_len - cut) as u32;
+        let mut buf = BytesMut::new();
+        buf.put_u32(lied_len);
+        buf.extend_from_slice(&full[4..4 + lied_len as usize]);
+        prop_assert!(decode_frame(&mut buf).is_err(), "truncated hello must error");
+    }
+}

@@ -15,10 +15,11 @@
 use c3_cluster::{
     ClusterConfig, ClusterScenario, FaultEvent, FaultKind, FaultPlan, PerturbationSpec,
 };
-use c3_core::Nanos;
+use c3_core::{LifecycleConfig, Nanos};
 use c3_engine::{ScenarioRunner, Strategy, StrategyRegistry};
 use c3_telemetry::Recorder;
 
+use crate::options::{RunOptions, RunOutput};
 use crate::report::ScenarioReport;
 
 /// Which fault timeline a [`FaultFluxConfig`] replays.
@@ -36,9 +37,8 @@ pub enum FaultFlavor {
 /// Configuration of a fault-injection run.
 #[derive(Clone, Debug)]
 pub struct FaultFluxConfig {
-    /// The underlying cluster. Its `perturbations`, `faults`, `deadline`,
-    /// `retries` and `hedge_after` fields are overwritten by
-    /// [`FaultFluxConfig::apply`].
+    /// The underlying cluster. Its `perturbations`, `faults` and
+    /// `lifecycle` fields are overwritten by [`FaultFluxConfig::apply`].
     pub cluster: ClusterConfig,
     /// Which fault timeline to generate.
     pub flavor: FaultFlavor,
@@ -51,12 +51,9 @@ pub struct FaultFluxConfig {
     /// keep a few hundred milliseconds of quiet lead-in). Episodes naming
     /// nodes outside the cluster are skipped.
     pub early: Vec<FaultEvent>,
-    /// Per-read deadline installed on the cluster.
-    pub deadline: Nanos,
-    /// Retry budget after a deadline expiry (0 = park on first expiry).
-    pub retries: u32,
-    /// Hedge reads to a second replica after this delay; `None` disables.
-    pub hedge_after: Option<Nanos>,
+    /// Lifecycle hardening installed on the cluster (deadline, retries,
+    /// hedging, failure detector).
+    pub lifecycle: LifecycleConfig,
 }
 
 impl FaultFluxConfig {
@@ -75,9 +72,11 @@ impl FaultFluxConfig {
                 end: Nanos::from_millis(260),
                 magnitude: 0.0,
             }],
-            deadline: Nanos::from_millis(75),
-            retries: 3,
-            hedge_after: Some(Nanos::from_millis(30)),
+            lifecycle: LifecycleConfig::hardened(
+                Nanos::from_millis(75),
+                3,
+                Some(Nanos::from_millis(30)),
+            ),
         }
     }
 
@@ -112,9 +111,11 @@ impl FaultFluxConfig {
                     magnitude: 0.5,
                 },
             ],
-            deadline: Nanos::from_millis(100),
-            retries: 3,
-            hedge_after: Some(Nanos::from_millis(50)),
+            lifecycle: LifecycleConfig::hardened(
+                Nanos::from_millis(100),
+                3,
+                Some(Nanos::from_millis(50)),
+            ),
         }
     }
 
@@ -134,9 +135,7 @@ impl FaultFluxConfig {
         plan.events
             .extend(self.early.iter().copied().filter(|e| e.node < cfg.nodes));
         cfg.faults = plan;
-        cfg.deadline = Some(self.deadline);
-        cfg.retries = self.retries;
-        cfg.hedge_after = self.hedge_after;
+        cfg.lifecycle = self.lifecycle;
         cfg
     }
 
@@ -149,38 +148,16 @@ impl FaultFluxConfig {
     }
 }
 
-/// Run a fault-injection config to completion.
+/// Run a fault-injection config to completion. Attach a recorder via
+/// [`RunOptions::recorded`] to capture the hardened lifecycle trace
+/// (timeouts, retries, hedges, evictions); the report is bit-identical
+/// either way.
 ///
 /// # Panics
 ///
 /// Panics when the configured strategy is unknown or needs
 /// simulator-global state (`ORA`).
-pub fn run(cfg: &FaultFluxConfig, registry: &StrategyRegistry) -> ScenarioReport {
-    run_inner(cfg, registry, None).0
-}
-
-/// Run with a flight recorder riding along: the hardened lifecycle trace
-/// (timeouts, retries, hedges, evictions) lands in the recorder, which
-/// comes back alongside the (bit-identical) report.
-///
-/// # Panics
-///
-/// Panics when the configured strategy is unknown or needs
-/// simulator-global state (`ORA`).
-pub fn run_recorded(
-    cfg: &FaultFluxConfig,
-    registry: &StrategyRegistry,
-    recorder: Recorder,
-) -> (ScenarioReport, Recorder) {
-    let (report, rec) = run_inner(cfg, registry, Some(recorder));
-    (report, rec.expect("recorder was attached"))
-}
-
-fn run_inner(
-    cfg: &FaultFluxConfig,
-    registry: &StrategyRegistry,
-    recorder: Option<Recorder>,
-) -> (ScenarioReport, Option<Recorder>) {
+pub fn run(cfg: &FaultFluxConfig, registry: &StrategyRegistry, options: RunOptions) -> RunOutput {
     let name = cfg.name();
     let cluster_cfg = cfg.apply();
     cluster_cfg.validate();
@@ -192,7 +169,7 @@ fn run_inner(
         .with_warmup(cluster_cfg.warmup_ops)
         .with_exact_latency_if(cluster_cfg.exact_latency);
     let mut scenario = ClusterScenario::with_registry(cluster_cfg, registry);
-    if let Some(rec) = recorder {
+    if let Some(rec) = options.recorder {
         scenario.set_recorder(rec);
     }
     let (metrics, stats) = runner.run(&mut scenario, nodes, load_window);
@@ -201,7 +178,22 @@ fn run_inner(
     let report = ScenarioReport::from_metrics(name, &strategy, seed, &metrics, &stats)
         .with_dead_events(scenario.dead_events())
         .with_lifecycle(timeouts, parked);
-    (report, recorder)
+    RunOutput { report, recorder }
+}
+
+/// Deprecated wrapper over [`run`] with a recorder attached.
+///
+/// # Panics
+///
+/// Panics when the configured strategy is unknown or needs
+/// simulator-global state (`ORA`).
+#[deprecated(note = "use run(cfg, registry, RunOptions::recorded(recorder)) instead")]
+pub fn run_recorded(
+    cfg: &FaultFluxConfig,
+    registry: &StrategyRegistry,
+    recorder: Recorder,
+) -> (ScenarioReport, Recorder) {
+    run(cfg, registry, RunOptions::recorded(recorder)).expect_recorded()
 }
 
 #[cfg(test)]
@@ -225,9 +217,9 @@ mod tests {
         let cfg = FaultFluxConfig::crash_flux();
         let applied = cfg.apply();
         assert!(!applied.faults.is_empty());
-        assert_eq!(applied.deadline, Some(Nanos::from_millis(75)));
-        assert_eq!(applied.retries, 3);
-        assert!(applied.hedge_after.is_some());
+        assert_eq!(applied.lifecycle.deadline, Some(Nanos::from_millis(75)));
+        assert_eq!(applied.lifecycle.retries, 3);
+        assert!(applied.lifecycle.hedge_after.is_some());
         assert!(!applied.perturbations.gc.mean_interval_ms.is_finite());
         // The early crash rides under the seeded plan's quiet lead-in.
         assert!(applied
@@ -243,8 +235,8 @@ mod tests {
         // Hedging off: reads into the crash window must ride the
         // timeout → retry path instead of being rescued early.
         let mut cfg = small(FaultFluxConfig::crash_flux(), Strategy::c3());
-        cfg.hedge_after = None;
-        let report = run(&cfg, &scenario_registry());
+        cfg.lifecycle.hedge_after = None;
+        let report = run(&cfg, &scenario_registry(), RunOptions::default()).report;
         assert_eq!(report.scenario, crate::CRASH_FLUX);
         assert!(report.timeouts > 0, "crashes must cause deadline expiries");
         assert!(report.total_completions() > 0);
@@ -255,7 +247,9 @@ mod tests {
         let hedged = run(
             &small(FaultFluxConfig::crash_flux(), Strategy::c3()),
             &scenario_registry(),
-        );
+            RunOptions::default(),
+        )
+        .report;
         assert!(
             hedged.timeouts < report.timeouts,
             "hedging must absorb deadline expiries: {} vs {}",
@@ -267,7 +261,7 @@ mod tests {
     #[test]
     fn flaky_net_times_out_and_recovers() {
         let cfg = small(FaultFluxConfig::flaky_net(), Strategy::dynamic_snitching());
-        let report = run(&cfg, &scenario_registry());
+        let report = run(&cfg, &scenario_registry(), RunOptions::default()).report;
         assert_eq!(report.scenario, crate::FLAKY_NET);
         assert!(report.timeouts > 0, "drops must cause deadline expiries");
         assert!(report.total_completions() > 0);
@@ -277,12 +271,12 @@ mod tests {
     #[test]
     fn naked_deadline_parks_what_retries_rescue() {
         let mut naked = small(FaultFluxConfig::crash_flux(), Strategy::lor());
-        naked.retries = 0;
-        naked.hedge_after = None;
+        naked.lifecycle.retries = 0;
+        naked.lifecycle.hedge_after = None;
         let hardened = small(FaultFluxConfig::crash_flux(), Strategy::lor());
         let reg = scenario_registry();
-        let parked = run(&naked, &reg).parked;
-        let rescued = run(&hardened, &reg).parked;
+        let parked = run(&naked, &reg, RunOptions::default()).report.parked;
+        let rescued = run(&hardened, &reg, RunOptions::default()).report.parked;
         assert!(parked > 0, "a crash window must park naked reads");
         assert!(
             rescued < parked,
@@ -294,8 +288,8 @@ mod tests {
     fn fault_runs_are_deterministic() {
         let cfg = small(FaultFluxConfig::flaky_net(), Strategy::c3());
         let reg = scenario_registry();
-        let a = run(&cfg, &reg);
-        let b = run(&cfg, &reg);
+        let a = run(&cfg, &reg, RunOptions::default()).report;
+        let b = run(&cfg, &reg, RunOptions::default()).report;
         assert_eq!(a.fingerprint(), b.fingerprint());
     }
 }

@@ -15,6 +15,7 @@ use c3_core::Nanos;
 use c3_engine::{ScenarioRunner, Strategy, StrategyRegistry};
 use c3_telemetry::Recorder;
 
+use crate::options::{RunOptions, RunOutput};
 use crate::report::ScenarioReport;
 
 /// Configuration of a heterogeneous-fleet run.
@@ -79,38 +80,15 @@ impl HeteroFleetConfig {
     }
 }
 
-/// Run a heterogeneous-fleet config to completion.
+/// Run a heterogeneous-fleet config to completion. Attach a recorder via
+/// [`RunOptions::recorded`] to capture the read lifecycle trace and
+/// decision snapshots; the report is bit-identical either way.
 ///
 /// # Panics
 ///
 /// Panics when the configured strategy is unknown or needs
 /// simulator-global state (`ORA`).
-pub fn run(cfg: &HeteroFleetConfig, registry: &StrategyRegistry) -> ScenarioReport {
-    run_inner(cfg, registry, None).0
-}
-
-/// Run with a flight recorder riding along: the read lifecycle trace and
-/// decision snapshots land in the recorder, which comes back alongside
-/// the (bit-identical) report.
-///
-/// # Panics
-///
-/// Panics when the configured strategy is unknown or needs
-/// simulator-global state (`ORA`).
-pub fn run_recorded(
-    cfg: &HeteroFleetConfig,
-    registry: &StrategyRegistry,
-    recorder: Recorder,
-) -> (ScenarioReport, Recorder) {
-    let (report, rec) = run_inner(cfg, registry, Some(recorder));
-    (report, rec.expect("recorder was attached"))
-}
-
-fn run_inner(
-    cfg: &HeteroFleetConfig,
-    registry: &StrategyRegistry,
-    recorder: Option<Recorder>,
-) -> (ScenarioReport, Option<Recorder>) {
+pub fn run(cfg: &HeteroFleetConfig, registry: &StrategyRegistry, options: RunOptions) -> RunOutput {
     let cluster_cfg = cfg.apply();
     let strategy: Strategy = cluster_cfg.strategy.clone();
     let seed = cluster_cfg.seed;
@@ -120,7 +98,7 @@ fn run_inner(
         .with_warmup(cluster_cfg.warmup_ops)
         .with_exact_latency_if(cluster_cfg.exact_latency);
     let mut scenario = ClusterScenario::with_registry(cluster_cfg, registry);
-    if let Some(rec) = recorder {
+    if let Some(rec) = options.recorder {
         scenario.set_recorder(rec);
     }
     let (metrics, stats) = runner.run(&mut scenario, nodes, load_window);
@@ -130,7 +108,22 @@ fn run_inner(
         ScenarioReport::from_metrics(super::HETERO_FLEET, &strategy, seed, &metrics, &stats)
             .with_dead_events(scenario.dead_events())
             .with_lifecycle(timeouts, parked);
-    (report, recorder)
+    RunOutput { report, recorder }
+}
+
+/// Deprecated wrapper over [`run`] with a recorder attached.
+///
+/// # Panics
+///
+/// Panics when the configured strategy is unknown or needs
+/// simulator-global state (`ORA`).
+#[deprecated(note = "use run(cfg, registry, RunOptions::recorded(recorder)) instead")]
+pub fn run_recorded(
+    cfg: &HeteroFleetConfig,
+    registry: &StrategyRegistry,
+    recorder: Recorder,
+) -> (ScenarioReport, Recorder) {
+    run(cfg, registry, RunOptions::recorded(recorder)).expect_recorded()
 }
 
 #[cfg(test)]
@@ -165,8 +158,8 @@ mod tests {
         let hetero = small(Strategy::primary_only());
         let mut uniform = small(Strategy::primary_only());
         uniform.tier_multipliers = vec![1.0];
-        let h = run(&hetero, &scenario_registry());
-        let u = run(&uniform, &scenario_registry());
+        let h = run(&hetero, &scenario_registry(), RunOptions::default()).report;
+        let u = run(&uniform, &scenario_registry(), RunOptions::default()).report;
         assert!(
             h.headline().summary.p99_ns > u.headline().summary.p99_ns,
             "a slow tier must hurt a tier-blind strategy: {} vs {}",
@@ -177,7 +170,12 @@ mod tests {
 
     #[test]
     fn reports_read_and_update_channels() {
-        let report = run(&small(Strategy::c3()), &scenario_registry());
+        let report = run(
+            &small(Strategy::c3()),
+            &scenario_registry(),
+            RunOptions::default(),
+        )
+        .report;
         assert_eq!(report.headline().name, "read");
         assert!(report.channel("update").is_some());
         assert_eq!(report.total_completions(), 5_500);

@@ -51,6 +51,7 @@ mod faults;
 mod hetero;
 mod mega_fleet;
 mod multi_tenant;
+mod options;
 mod partition;
 mod registry;
 mod report;
@@ -62,9 +63,18 @@ pub use multi_tenant::{
     run as run_multi_tenant, run_isolated as run_multi_tenant_isolated, MtEvent, MultiTenantConfig,
     MultiTenantScenario, TenantSpec,
 };
+pub use options::{RunOptions, RunOutput, RunTuning};
 pub use partition::{run as run_partition_flux, PartitionFluxConfig};
 pub use registry::{ScenarioError, ScenarioParams, ScenarioRegistry};
 pub use report::{ChannelReport, ScenarioReport};
+#[allow(deprecated)]
+pub use {
+    faults::run_recorded as run_fault_flux_recorded,
+    hetero::run_recorded as run_hetero_fleet_recorded,
+    mega_fleet::run_recorded as run_mega_fleet_recorded,
+    multi_tenant::run_recorded as run_multi_tenant_recorded,
+    partition::run_recorded as run_partition_flux_recorded,
+};
 
 use c3_cluster::{register_cluster_strategies, SnitchConfig};
 use c3_engine::StrategyRegistry;

@@ -31,6 +31,7 @@ use c3_telemetry::{Recorder, ReplicaSnap, TracePoint, NO_SERVER, TRACE_GROUP};
 use c3_workload::{exp_sample, ScrambledZipfian};
 use rand::rngs::SmallRng;
 
+use crate::options::{RunOptions, RunOutput};
 use crate::report::ScenarioReport;
 
 /// Full configuration of one mega-fleet run.
@@ -716,27 +717,10 @@ impl Scenario for MegaFleetScenario {
 }
 
 /// Run a mega-fleet config to completion and report the fleet channel.
-pub fn run(cfg: MegaFleetConfig, registry: &StrategyRegistry) -> ScenarioReport {
-    run_inner(cfg, registry, None).0
-}
-
-/// Run with a flight recorder riding along: the request lifecycle trace
-/// and decision snapshots land in the recorder, which comes back
-/// alongside the (bit-identical) report.
-pub fn run_recorded(
-    cfg: MegaFleetConfig,
-    registry: &StrategyRegistry,
-    recorder: Recorder,
-) -> (ScenarioReport, Recorder) {
-    let (report, rec) = run_inner(cfg, registry, Some(recorder));
-    (report, rec.expect("recorder was attached"))
-}
-
-fn run_inner(
-    cfg: MegaFleetConfig,
-    registry: &StrategyRegistry,
-    recorder: Option<Recorder>,
-) -> (ScenarioReport, Option<Recorder>) {
+/// Attach a recorder via [`RunOptions::recorded`] to capture the request
+/// lifecycle trace and decision snapshots; the report is bit-identical
+/// either way.
+pub fn run(cfg: MegaFleetConfig, registry: &StrategyRegistry, options: RunOptions) -> RunOutput {
     let runner = ScenarioRunner::new(cfg.seed)
         .with_warmup(cfg.warmup_requests)
         .with_exact_latency_if(cfg.exact_latency);
@@ -745,14 +729,24 @@ fn run_inner(
     let strategy = cfg.strategy.clone();
     let seed = cfg.seed;
     let mut scenario = MegaFleetScenario::new(cfg, registry);
-    if let Some(rec) = recorder {
+    if let Some(rec) = options.recorder {
         scenario.set_recorder(rec);
     }
     let (metrics, stats) = runner.run(&mut scenario, servers, load_window);
     let recorder = scenario.take_recorder();
     let report = ScenarioReport::from_metrics(super::MEGA_FLEET, &strategy, seed, &metrics, &stats)
         .with_dead_events(scenario.dead_events());
-    (report, recorder)
+    RunOutput { report, recorder }
+}
+
+/// Deprecated wrapper over [`run`] with a recorder attached.
+#[deprecated(note = "use run(cfg, registry, RunOptions::recorded(recorder)) instead")]
+pub fn run_recorded(
+    cfg: MegaFleetConfig,
+    registry: &StrategyRegistry,
+    recorder: Recorder,
+) -> (ScenarioReport, Recorder) {
+    run(cfg, registry, RunOptions::recorded(recorder)).expect_recorded()
 }
 
 #[cfg(test)]
@@ -788,7 +782,12 @@ mod tests {
 
     #[test]
     fn closed_loop_completes_and_reports_the_fleet_channel() {
-        let report = run(small(Strategy::c3()), &scenario_registry());
+        let report = run(
+            small(Strategy::c3()),
+            &scenario_registry(),
+            RunOptions::default(),
+        )
+        .report;
         assert_eq!(report.channels.len(), 1);
         assert_eq!(report.headline().name, "fleet");
         assert!(report.total_completions() > 0);
@@ -797,15 +796,30 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic() {
-        let a = run(small(Strategy::c3()), &scenario_registry());
-        let b = run(small(Strategy::c3()), &scenario_registry());
+        let a = run(
+            small(Strategy::c3()),
+            &scenario_registry(),
+            RunOptions::default(),
+        )
+        .report;
+        let b = run(
+            small(Strategy::c3()),
+            &scenario_registry(),
+            RunOptions::default(),
+        )
+        .report;
         assert_eq!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]
     fn oracle_and_snitch_run_on_this_frontend() {
         for strategy in [Strategy::oracle(), Strategy::dynamic_snitching()] {
-            let report = run(small(strategy.clone()), &scenario_registry());
+            let report = run(
+                small(strategy.clone()),
+                &scenario_registry(),
+                RunOptions::default(),
+            )
+            .report;
             assert!(
                 report.total_completions() > 0,
                 "strategy {strategy} must complete"

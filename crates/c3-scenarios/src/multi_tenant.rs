@@ -25,6 +25,7 @@ use c3_workload::{exp_sample, PoissonArrivals, ScrambledZipfian};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::options::{RunOptions, RunOutput};
 use crate::report::ScenarioReport;
 
 /// One tenant class sharing the fleet.
@@ -846,32 +847,15 @@ impl Scenario for MultiTenantScenario {
 /// [`ScenarioReport::jain_fairness`] take.
 pub fn run_isolated(cfg: &MultiTenantConfig, registry: &StrategyRegistry) -> Vec<ScenarioReport> {
     (0..cfg.tenants.len())
-        .map(|i| run(cfg.isolated(i), registry))
+        .map(|i| run(cfg.isolated(i), registry, RunOptions::default()).report)
         .collect()
 }
 
-/// Run a multi-tenant config to completion and report per-tenant channels.
-pub fn run(cfg: MultiTenantConfig, registry: &StrategyRegistry) -> ScenarioReport {
-    run_inner(cfg, registry, None).0
-}
-
-/// Run with a flight recorder riding along: the request lifecycle trace
-/// and decision snapshots land in the recorder, which comes back
-/// alongside the (bit-identical) report.
-pub fn run_recorded(
-    cfg: MultiTenantConfig,
-    registry: &StrategyRegistry,
-    recorder: Recorder,
-) -> (ScenarioReport, Recorder) {
-    let (report, rec) = run_inner(cfg, registry, Some(recorder));
-    (report, rec.expect("recorder was attached"))
-}
-
-fn run_inner(
-    cfg: MultiTenantConfig,
-    registry: &StrategyRegistry,
-    recorder: Option<Recorder>,
-) -> (ScenarioReport, Option<Recorder>) {
+/// Run a multi-tenant config to completion and report per-tenant
+/// channels. Attach a recorder via [`RunOptions::recorded`] to capture
+/// the request lifecycle trace and decision snapshots; the report is
+/// bit-identical either way.
+pub fn run(cfg: MultiTenantConfig, registry: &StrategyRegistry, options: RunOptions) -> RunOutput {
     let runner = ScenarioRunner::new(cfg.seed)
         .with_warmup(cfg.warmup_requests)
         .with_exact_latency_if(cfg.exact_latency);
@@ -880,7 +864,7 @@ fn run_inner(
     let strategy = cfg.strategy.clone();
     let seed = cfg.seed;
     let mut scenario = MultiTenantScenario::new(cfg, registry);
-    if let Some(rec) = recorder {
+    if let Some(rec) = options.recorder {
         scenario.set_recorder(rec);
     }
     let (metrics, stats) = runner.run(&mut scenario, servers, load_window);
@@ -888,7 +872,17 @@ fn run_inner(
     let report =
         ScenarioReport::from_metrics(super::MULTI_TENANT, &strategy, seed, &metrics, &stats)
             .with_dead_events(scenario.dead_events());
-    (report, recorder)
+    RunOutput { report, recorder }
+}
+
+/// Deprecated wrapper over [`run`] with a recorder attached.
+#[deprecated(note = "use run(cfg, registry, RunOptions::recorded(recorder)) instead")]
+pub fn run_recorded(
+    cfg: MultiTenantConfig,
+    registry: &StrategyRegistry,
+    recorder: Recorder,
+) -> (ScenarioReport, Recorder) {
+    run(cfg, registry, RunOptions::recorded(recorder)).expect_recorded()
 }
 
 #[cfg(test)]
@@ -908,7 +902,12 @@ mod tests {
 
     #[test]
     fn tenants_get_their_own_channels() {
-        let report = run(small(Strategy::c3()), &scenario_registry());
+        let report = run(
+            small(Strategy::c3()),
+            &scenario_registry(),
+            RunOptions::default(),
+        )
+        .report;
         assert_eq!(report.channels.len(), 3);
         assert_eq!(report.headline().name, "interactive");
         assert!(report.channel("analytics").is_some());
@@ -921,7 +920,12 @@ mod tests {
 
     #[test]
     fn heavier_values_cost_more_latency() {
-        let report = run(small(Strategy::c3()), &scenario_registry());
+        let report = run(
+            small(Strategy::c3()),
+            &scenario_registry(),
+            RunOptions::default(),
+        )
+        .report;
         let interactive = report.channel("interactive").unwrap().summary.p50_ns;
         let bulk = report.channel("bulk").unwrap().summary.p50_ns;
         assert!(
@@ -932,15 +936,30 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic() {
-        let a = run(small(Strategy::c3()), &scenario_registry());
-        let b = run(small(Strategy::c3()), &scenario_registry());
+        let a = run(
+            small(Strategy::c3()),
+            &scenario_registry(),
+            RunOptions::default(),
+        )
+        .report;
+        let b = run(
+            small(Strategy::c3()),
+            &scenario_registry(),
+            RunOptions::default(),
+        )
+        .report;
         assert_eq!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]
     fn oracle_and_snitch_run_on_this_frontend() {
         for strategy in [Strategy::oracle(), Strategy::dynamic_snitching()] {
-            let report = run(small(strategy.clone()), &scenario_registry());
+            let report = run(
+                small(strategy.clone()),
+                &scenario_registry(),
+                RunOptions::default(),
+            )
+            .report;
             assert_eq!(
                 report.total_completions(),
                 5_500,
@@ -972,7 +991,7 @@ mod tests {
     fn fairness_metrics_come_out_of_isolated_baselines() {
         let cfg = small(Strategy::c3());
         let reg = scenario_registry();
-        let shared = run(cfg.clone(), &reg);
+        let shared = run(cfg.clone(), &reg, RunOptions::default()).report;
         let isolated = run_isolated(&cfg, &reg);
         let slowdowns = shared.slowdown_vs_isolated(&isolated);
         assert_eq!(slowdowns.len(), 3);

@@ -17,6 +17,7 @@ use c3_core::Nanos;
 use c3_engine::{ScenarioRunner, Strategy, StrategyRegistry};
 use c3_telemetry::Recorder;
 
+use crate::options::{RunOptions, RunOutput};
 use crate::report::ScenarioReport;
 
 /// Configuration of a partition/flux run.
@@ -85,38 +86,19 @@ impl PartitionFluxConfig {
     }
 }
 
-/// Run a partition/flux config to completion.
+/// Run a partition/flux config to completion. Attach a recorder via
+/// [`RunOptions::recorded`] to capture the read lifecycle trace and
+/// decision snapshots; the report is bit-identical either way.
 ///
 /// # Panics
 ///
 /// Panics when the configured strategy is unknown or needs
 /// simulator-global state (`ORA`).
-pub fn run(cfg: &PartitionFluxConfig, registry: &StrategyRegistry) -> ScenarioReport {
-    run_inner(cfg, registry, None).0
-}
-
-/// Run with a flight recorder riding along: the read lifecycle trace and
-/// decision snapshots land in the recorder, which comes back alongside
-/// the (bit-identical) report.
-///
-/// # Panics
-///
-/// Panics when the configured strategy is unknown or needs
-/// simulator-global state (`ORA`).
-pub fn run_recorded(
+pub fn run(
     cfg: &PartitionFluxConfig,
     registry: &StrategyRegistry,
-    recorder: Recorder,
-) -> (ScenarioReport, Recorder) {
-    let (report, rec) = run_inner(cfg, registry, Some(recorder));
-    (report, rec.expect("recorder was attached"))
-}
-
-fn run_inner(
-    cfg: &PartitionFluxConfig,
-    registry: &StrategyRegistry,
-    recorder: Option<Recorder>,
-) -> (ScenarioReport, Option<Recorder>) {
+    options: RunOptions,
+) -> RunOutput {
     let cluster_cfg = cfg.apply();
     let strategy: Strategy = cluster_cfg.strategy.clone();
     let seed = cluster_cfg.seed;
@@ -126,7 +108,7 @@ fn run_inner(
         .with_warmup(cluster_cfg.warmup_ops)
         .with_exact_latency_if(cluster_cfg.exact_latency);
     let mut scenario = ClusterScenario::with_registry(cluster_cfg, registry);
-    if let Some(rec) = recorder {
+    if let Some(rec) = options.recorder {
         scenario.set_recorder(rec);
     }
     let (metrics, stats) = runner.run(&mut scenario, nodes, load_window);
@@ -136,7 +118,22 @@ fn run_inner(
         ScenarioReport::from_metrics(super::PARTITION_FLUX, &strategy, seed, &metrics, &stats)
             .with_dead_events(scenario.dead_events())
             .with_lifecycle(timeouts, parked);
-    (report, recorder)
+    RunOutput { report, recorder }
+}
+
+/// Deprecated wrapper over [`run`] with a recorder attached.
+///
+/// # Panics
+///
+/// Panics when the configured strategy is unknown or needs
+/// simulator-global state (`ORA`).
+#[deprecated(note = "use run(cfg, registry, RunOptions::recorded(recorder)) instead")]
+pub fn run_recorded(
+    cfg: &PartitionFluxConfig,
+    registry: &StrategyRegistry,
+    recorder: Recorder,
+) -> (ScenarioReport, Recorder) {
+    run(cfg, registry, RunOptions::recorded(recorder)).expect_recorded()
 }
 
 #[cfg(test)]
@@ -178,8 +175,8 @@ mod tests {
         quiet.blackout.min_duration_ms = 0.0;
         quiet.blackout.max_duration_ms = 0.0;
         quiet.scripted_blackouts.clear();
-        let dark = run(&flux, &scenario_registry());
-        let calm = run(&quiet, &scenario_registry());
+        let dark = run(&flux, &scenario_registry(), RunOptions::default()).report;
+        let calm = run(&quiet, &scenario_registry(), RunOptions::default()).report;
         assert!(
             dark.headline().summary.p999_ns > calm.headline().summary.p999_ns,
             "blackouts must show up in the tail: {} vs {}",
@@ -190,7 +187,12 @@ mod tests {
 
     #[test]
     fn c3_completes_and_reports_under_flux() {
-        let report = run(&small(Strategy::c3()), &scenario_registry());
+        let report = run(
+            &small(Strategy::c3()),
+            &scenario_registry(),
+            RunOptions::default(),
+        )
+        .report;
         assert_eq!(report.total_completions(), 5_500);
         assert_eq!(report.headline().name, "read");
     }

@@ -12,6 +12,7 @@ use std::fmt;
 use c3_engine::{fan_out, Strategy};
 use c3_telemetry::Recorder;
 
+use crate::options::{RunOptions, RunTuning};
 use crate::report::ScenarioReport;
 use crate::{faults, hetero, mega_fleet, multi_tenant, partition, scenario_registry};
 use crate::{CRASH_FLUX, FLAKY_NET, HETERO_FLEET, MEGA_FLEET, MULTI_TENANT, PARTITION_FLUX};
@@ -32,22 +33,10 @@ pub struct ScenarioParams {
     /// configured default — the stock cluster uses 10 M keys, whose
     /// Zipf table dominates a short run's build time).
     pub keys: Option<u64>,
-    /// Offered load in operations/second. `None` keeps each scenario's
-    /// native drive (the cluster's closed loop, multi-tenant's configured
-    /// utilization); `Some(rate)` runs open-loop at that rate on every
-    /// backend — the axis the SLO-seeking controller searches.
-    pub offered_rate: Option<f64>,
-    /// Use exact (every-sample) percentile reservoirs instead of the
-    /// streaming histogram — required when close percentile comparisons
-    /// decide a result (claims, figures, SLO probes).
-    pub exact: bool,
-    /// Live backends only: the client's total in-flight request budget
-    /// (`None` keeps the live config's default). Sim backends ignore it —
-    /// their concurrency is the modeled client population.
-    pub in_flight: Option<usize>,
-    /// Live backends only: multiplexed connections per replica (`None`
-    /// keeps the default of one).
-    pub connections: Option<usize>,
+    /// Per-run tuning knobs (offered rate, exact percentiles, live
+    /// client budget/connections) — one plain struct instead of the
+    /// former `with_*` builder sprawl; see [`RunTuning`].
+    pub tuning: RunTuning,
 }
 
 impl ScenarioParams {
@@ -66,36 +55,45 @@ impl ScenarioParams {
             ops,
             warmup: ops / 20,
             keys: Some(1_000_000),
-            offered_rate: None,
-            exact: false,
-            in_flight: None,
-            connections: None,
+            tuning: RunTuning::default(),
+        }
+    }
+
+    /// Params with explicit tuning knobs attached.
+    pub fn tuned(strategy: Strategy, seed: u64, ops: u64, tuning: RunTuning) -> Self {
+        Self {
+            tuning,
+            ..Self::sized(strategy, seed, ops)
         }
     }
 
     /// Drive the scenario open-loop at `rate` operations/second.
+    #[deprecated(note = "set `tuning.offered_rate` (see RunTuning) instead")]
     pub fn with_offered_rate(mut self, rate: f64) -> Self {
-        self.offered_rate = Some(rate);
+        self.tuning.offered_rate = Some(rate);
         self
     }
 
     /// Report exact order-statistic percentiles instead of streaming
     /// histogram buckets.
+    #[deprecated(note = "set `tuning.exact_latency` (see RunTuning) instead")]
     pub fn with_exact_latency(mut self) -> Self {
-        self.exact = true;
+        self.tuning.exact_latency = true;
         self
     }
 
     /// Bound the live client to `budget` total in-flight requests.
+    #[deprecated(note = "set `tuning.in_flight` (see RunTuning) instead")]
     pub fn with_in_flight(mut self, budget: usize) -> Self {
-        self.in_flight = Some(budget);
+        self.tuning.in_flight = Some(budget);
         self
     }
 
     /// Open `connections` multiplexed connections per replica (live
     /// backends).
+    #[deprecated(note = "set `tuning.connections` (see RunTuning) instead")]
     pub fn with_connections(mut self, connections: usize) -> Self {
-        self.connections = Some(connections);
+        self.tuning.connections = Some(connections);
         self
     }
 }
@@ -177,70 +175,70 @@ impl ScenarioRegistry {
         reg.register(MEGA_FLEET, |p: &ScenarioParams| {
             let strategies = scenario_registry();
             let cfg = mega_fleet_cfg(p, &strategies)?;
-            Ok(mega_fleet::run(cfg, &strategies))
+            Ok(mega_fleet::run(cfg, &strategies, RunOptions::default()).report)
         });
         reg.register_recorded(MEGA_FLEET, |p: &ScenarioParams, rec: Recorder| {
             let strategies = scenario_registry();
             let cfg = mega_fleet_cfg(p, &strategies)?;
-            Ok(mega_fleet::run_recorded(cfg, &strategies, rec))
+            Ok(mega_fleet::run(cfg, &strategies, RunOptions::recorded(rec)).expect_recorded())
         });
         reg.register(MULTI_TENANT, |p: &ScenarioParams| {
             let strategies = scenario_registry();
             let cfg = multi_tenant_cfg(p, &strategies)?;
-            Ok(multi_tenant::run(cfg, &strategies))
+            Ok(multi_tenant::run(cfg, &strategies, RunOptions::default()).report)
         });
         reg.register_recorded(MULTI_TENANT, |p: &ScenarioParams, rec: Recorder| {
             let strategies = scenario_registry();
             let cfg = multi_tenant_cfg(p, &strategies)?;
-            Ok(multi_tenant::run_recorded(cfg, &strategies, rec))
+            Ok(multi_tenant::run(cfg, &strategies, RunOptions::recorded(rec)).expect_recorded())
         });
         reg.register(HETERO_FLEET, |p: &ScenarioParams| {
             let strategies = scenario_registry();
             let mut cfg = hetero::HeteroFleetConfig::default();
             apply_cluster_params(&mut cfg.cluster, p, HETERO_FLEET, &strategies)?;
-            Ok(hetero::run(&cfg, &strategies))
+            Ok(hetero::run(&cfg, &strategies, RunOptions::default()).report)
         });
         reg.register_recorded(HETERO_FLEET, |p: &ScenarioParams, rec: Recorder| {
             let strategies = scenario_registry();
             let mut cfg = hetero::HeteroFleetConfig::default();
             apply_cluster_params(&mut cfg.cluster, p, HETERO_FLEET, &strategies)?;
-            Ok(hetero::run_recorded(&cfg, &strategies, rec))
+            Ok(hetero::run(&cfg, &strategies, RunOptions::recorded(rec)).expect_recorded())
         });
         reg.register(PARTITION_FLUX, |p: &ScenarioParams| {
             let strategies = scenario_registry();
             let mut cfg = partition::PartitionFluxConfig::default();
             apply_cluster_params(&mut cfg.cluster, p, PARTITION_FLUX, &strategies)?;
-            Ok(partition::run(&cfg, &strategies))
+            Ok(partition::run(&cfg, &strategies, RunOptions::default()).report)
         });
         reg.register_recorded(PARTITION_FLUX, |p: &ScenarioParams, rec: Recorder| {
             let strategies = scenario_registry();
             let mut cfg = partition::PartitionFluxConfig::default();
             apply_cluster_params(&mut cfg.cluster, p, PARTITION_FLUX, &strategies)?;
-            Ok(partition::run_recorded(&cfg, &strategies, rec))
+            Ok(partition::run(&cfg, &strategies, RunOptions::recorded(rec)).expect_recorded())
         });
         reg.register(CRASH_FLUX, |p: &ScenarioParams| {
             let strategies = scenario_registry();
             let mut cfg = faults::FaultFluxConfig::crash_flux();
             apply_cluster_params(&mut cfg.cluster, p, CRASH_FLUX, &strategies)?;
-            Ok(faults::run(&cfg, &strategies))
+            Ok(faults::run(&cfg, &strategies, RunOptions::default()).report)
         });
         reg.register_recorded(CRASH_FLUX, |p: &ScenarioParams, rec: Recorder| {
             let strategies = scenario_registry();
             let mut cfg = faults::FaultFluxConfig::crash_flux();
             apply_cluster_params(&mut cfg.cluster, p, CRASH_FLUX, &strategies)?;
-            Ok(faults::run_recorded(&cfg, &strategies, rec))
+            Ok(faults::run(&cfg, &strategies, RunOptions::recorded(rec)).expect_recorded())
         });
         reg.register(FLAKY_NET, |p: &ScenarioParams| {
             let strategies = scenario_registry();
             let mut cfg = faults::FaultFluxConfig::flaky_net();
             apply_cluster_params(&mut cfg.cluster, p, FLAKY_NET, &strategies)?;
-            Ok(faults::run(&cfg, &strategies))
+            Ok(faults::run(&cfg, &strategies, RunOptions::default()).report)
         });
         reg.register_recorded(FLAKY_NET, |p: &ScenarioParams, rec: Recorder| {
             let strategies = scenario_registry();
             let mut cfg = faults::FaultFluxConfig::flaky_net();
             apply_cluster_params(&mut cfg.cluster, p, FLAKY_NET, &strategies)?;
-            Ok(faults::run_recorded(&cfg, &strategies, rec))
+            Ok(faults::run(&cfg, &strategies, RunOptions::recorded(rec)).expect_recorded())
         });
         reg
     }
@@ -360,8 +358,8 @@ fn mega_fleet_cfg(
         warmup_requests: p.warmup,
         strategy: p.strategy.clone(),
         seed: p.seed,
-        offered_rate: p.offered_rate,
-        exact_latency: p.exact,
+        offered_rate: p.tuning.offered_rate,
+        exact_latency: p.tuning.exact_latency,
         ..mega_fleet::MegaFleetConfig::default()
     };
     if let Some(keys) = p.keys {
@@ -384,8 +382,8 @@ fn multi_tenant_cfg(
         warmup_requests: p.warmup,
         strategy: p.strategy.clone(),
         seed: p.seed,
-        offered_rate: p.offered_rate,
-        exact_latency: p.exact,
+        offered_rate: p.tuning.offered_rate,
+        exact_latency: p.tuning.exact_latency,
         ..multi_tenant::MultiTenantConfig::default()
     };
     if let Some(keys) = p.keys {
@@ -416,8 +414,8 @@ fn apply_cluster_params(
     cfg.warmup_ops = p.warmup;
     cfg.strategy = p.strategy.clone();
     cfg.seed = p.seed;
-    cfg.offered_rate = p.offered_rate;
-    cfg.exact_latency = p.exact;
+    cfg.offered_rate = p.tuning.offered_rate;
+    cfg.exact_latency = p.tuning.exact_latency;
     if let Some(keys) = p.keys {
         cfg.keys = cfg.keys.min(keys);
     }
@@ -527,7 +525,7 @@ mod tests {
         tight.c3.initial_rate = 0.5;
         tight.c3.min_rate = 0.5;
         tight.c3.smax = 0.2;
-        let report = multi_tenant::run(tight, &scenario_registry());
+        let report = multi_tenant::run(tight, &scenario_registry(), RunOptions::default()).report;
         assert!(
             report.events_cancelled > 0,
             "tight rate cap must exercise retry-timer cancellation"
@@ -552,7 +550,15 @@ mod tests {
         let open = reg
             .run(
                 HETERO_FLEET,
-                &ScenarioParams::sized(Strategy::c3(), 2, 4_000).with_offered_rate(2_000.0),
+                &ScenarioParams::tuned(
+                    Strategy::c3(),
+                    2,
+                    4_000,
+                    RunTuning {
+                        offered_rate: Some(2_000.0),
+                        ..RunTuning::default()
+                    },
+                ),
             )
             .unwrap();
         assert_eq!(open.total_completions(), closed.total_completions());
@@ -576,7 +582,15 @@ mod tests {
             let exact = reg
                 .run(
                     name,
-                    &ScenarioParams::sized(Strategy::lor(), 4, 3_000).with_exact_latency(),
+                    &ScenarioParams::tuned(
+                        Strategy::lor(),
+                        4,
+                        3_000,
+                        RunTuning {
+                            exact_latency: true,
+                            ..RunTuning::default()
+                        },
+                    ),
                 )
                 .unwrap();
             assert_eq!(
@@ -631,7 +645,7 @@ mod tests {
         reg.register(MULTI_TENANT, |p: &ScenarioParams| {
             let strategies = scenario_registry();
             let cfg = super::multi_tenant_cfg(p, &strategies)?;
-            Ok(multi_tenant::run(cfg, &strategies))
+            Ok(multi_tenant::run(cfg, &strategies, RunOptions::default()).report)
         });
         assert!(!reg.has_recorded(MULTI_TENANT));
         let p = ScenarioParams::sized(Strategy::lor(), 1, 3_000);

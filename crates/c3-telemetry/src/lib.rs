@@ -37,10 +37,12 @@
 
 mod attribution;
 mod export;
+mod process;
 mod recorder;
 
 pub use attribution::{attribute_tail, join_requests, Attribution, RequestJoin, TailAttribution};
 pub use export::{csv_escape, json_escape};
+pub use process::{node_cpu_gauge, node_rss_gauge, sample_process, ProcessSample};
 pub use recorder::{
     summarize_gauge, GaugeSeries, GaugeSummary, Recorder, ReplicaSnap, SharedRecorder, TraceEvent,
     TracePoint, NO_SERVER, TRACE_GROUP,

@@ -5,7 +5,7 @@
 //! - the [`proptest!`] macro (each test runs a fixed number of
 //!   deterministically seeded cases; failing inputs are printed, there is
 //!   no shrinking),
-//! - strategies: numeric ranges, tuples (arity 2–4), [`collection::vec`],
+//! - strategies: numeric ranges, tuples (arity 2–6), [`collection::vec`],
 //!   [`option::of`], [`bool::ANY`], and [`Strategy::prop_map`],
 //! - assertions: [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`].
 
@@ -91,7 +91,7 @@ macro_rules! impl_int_range {
     )*};
 }
 
-impl_int_range!(u16, u32, u64, usize);
+impl_int_range!(u8, u16, u32, u64, usize);
 
 impl Strategy for Range<f64> {
     type Value = f64;
@@ -112,7 +112,13 @@ macro_rules! impl_tuple_strategy {
     )+};
 }
 
-impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+impl_tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
 
 /// Boolean strategies (`prop::bool::ANY`).
 pub mod bool {

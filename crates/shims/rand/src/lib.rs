@@ -142,7 +142,7 @@ macro_rules! impl_range_int {
     )*};
 }
 
-impl_range_int!(u16, u32, u64, usize);
+impl_range_int!(u8, u16, u32, u64, usize);
 
 impl SampleRange<f64> for Range<f64> {
     fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {

@@ -28,6 +28,10 @@
 //!   replicated KV fleet, a threaded client driving the same selector
 //!   state as the simulators, and live twins of the scenario library
 //!   (`live-hetero-fleet`, `live-partition-flux`).
+//! - [`live_node`] — the cross-process tier: one replica per OS process
+//!   (`c3-live-node` binary), fleet spawning/supervision and address-file
+//!   discovery, the hello config-digest handshake, and node scenarios
+//!   where a crash is a real `SIGKILL`.
 //!
 //! See `README.md` for the crate map and quickstart.
 
@@ -35,6 +39,7 @@ pub use c3_cluster as cluster;
 pub use c3_core as core;
 pub use c3_engine as engine;
 pub use c3_live as live;
+pub use c3_live_node as live_node;
 pub use c3_metrics as metrics;
 pub use c3_net as net;
 pub use c3_scenarios as scenarios;

@@ -13,8 +13,8 @@
 
 use c3::engine::Strategy;
 use c3::scenarios::{
-    run_fault_flux, scenario_registry, FaultFluxConfig, ScenarioParams, ScenarioRegistry,
-    CRASH_FLUX, HETERO_FLEET, MULTI_TENANT, PARTITION_FLUX,
+    run_fault_flux, scenario_registry, FaultFluxConfig, RunOptions, ScenarioParams,
+    ScenarioRegistry, CRASH_FLUX, HETERO_FLEET, MULTI_TENANT, PARTITION_FLUX,
 };
 use c3::telemetry::{attribute_tail, Recorder, TracePoint};
 
@@ -124,13 +124,13 @@ fn hardening_bounds_every_strategy_under_crash_flux_where_naked_ds_parks() {
     let mut parked_frac_sum = 0.0;
     for &seed in &seeds {
         let mut naked = FaultFluxConfig::crash_flux();
-        naked.retries = 0;
-        naked.hedge_after = None;
+        naked.lifecycle.retries = 0;
+        naked.lifecycle.hedge_after = None;
         naked.cluster.strategy = Strategy::dynamic_snitching();
         naked.cluster.seed = seed;
         naked.cluster.total_ops = OPS;
         naked.cluster.warmup_ops = OPS / 20;
-        let report = run_fault_flux(&naked, &strategies);
+        let report = run_fault_flux(&naked, &strategies, RunOptions::default()).report;
         let ops = report.total_completions() + report.parked;
         parked_frac_sum += report.parked as f64 / ops as f64;
     }

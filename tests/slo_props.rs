@@ -13,7 +13,7 @@
 
 use c3::engine::{RateWindow, SloCell, SloSearch, SloSweep, Strategy};
 use c3::metrics::SloPredicate;
-use c3::scenarios::{ScenarioParams, ScenarioRegistry, MULTI_TENANT};
+use c3::scenarios::{RunTuning, ScenarioParams, ScenarioRegistry, MULTI_TENANT};
 use proptest::prelude::*;
 
 /// The largest grid rate whose (strictly increasing) latency stays under
@@ -108,10 +108,16 @@ fn slo_sweep_fingerprints_are_thread_invariant() {
             threads,
             |_| Ok(RateWindow::new(1_000.0, 6_000.0, 8)),
             |cell, rate| {
-                let params =
-                    ScenarioParams::sized(Strategy::named(&cell.strategy), cell.seed, 2_000)
-                        .with_offered_rate(rate)
-                        .with_exact_latency();
+                let params = ScenarioParams::tuned(
+                    Strategy::named(&cell.strategy),
+                    cell.seed,
+                    2_000,
+                    RunTuning {
+                        offered_rate: Some(rate),
+                        exact_latency: true,
+                        ..RunTuning::default()
+                    },
+                );
                 let report = registry
                     .run(&cell.scenario, &params)
                     .map_err(|e| e.to_string())?;
@@ -143,8 +149,15 @@ fn unsupported_cells_skip_with_the_registry_reason() {
         1,
         |_| Ok(RateWindow::new(500.0, 4_000.0, 4)),
         |cell, rate| {
-            let params = ScenarioParams::sized(Strategy::named(&cell.strategy), cell.seed, 2_000)
-                .with_offered_rate(rate);
+            let params = ScenarioParams::tuned(
+                Strategy::named(&cell.strategy),
+                cell.seed,
+                2_000,
+                RunTuning {
+                    offered_rate: Some(rate),
+                    ..RunTuning::default()
+                },
+            );
             let r = registry
                 .run(&cell.scenario, &params)
                 .map_err(|e| e.to_string())?;
